@@ -1,0 +1,209 @@
+//! One criterion bench per paper table/figure, each running a scaled-down
+//! version of the corresponding experiment (the full-scale binaries live in
+//! `crates/experiments`). Throughputs here are simulator-performance
+//! numbers; the *paper's* numbers come from the experiment binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spin_bench::{dragonfly_bench_net, mesh_bench_net};
+use spin_core::SpinConfig;
+use spin_power::{PowerModel, RouterParams, Scheme};
+use spin_routing::{EscapeVc, FavorsMinimal, FavorsNonMinimal, Ugal, WestFirst};
+use spin_sim::{NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic, AppTraffic, PARSEC_PRESETS};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Table I: CDG construction + acyclicity check over a mesh.
+    c.bench_function("table1_cdg_acyclicity_mesh8x8", |b| {
+        let topo = Topology::mesh(8, 8);
+        b.iter(|| {
+            let mut cdg = spin_deadlock::Cdg::new();
+            for (from, to) in topo.links() {
+                for p in topo.network_ports(to.router) {
+                    if let Some(peer) = topo.neighbor(to.router, p) {
+                        if peer.router != from.router {
+                            cdg.add_dependency(
+                                (from.router, from.port),
+                                (to.router, p),
+                            );
+                            let _ = peer;
+                        }
+                    }
+                }
+            }
+            black_box(cdg.is_acyclic())
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    // Fig. 3: time to detect a first true deadlock at high load (includes
+    // the ground-truth wait-graph checks).
+    c.bench_function("fig3_deadlock_formation_and_detection", |b| {
+        b.iter(|| {
+            let mut net = mesh_bench_net(Box::new(FavorsMinimal), 1, 0.5, None);
+            black_box(net.run_until_deadlock(3_000, 50))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_dragonfly");
+    g.sample_size(10);
+    g.bench_function("ugal_dally_3vc", |b| {
+        b.iter(|| {
+            let mut net = dragonfly_bench_net(Box::new(Ugal::dally_baseline()), 3, 0.1, None);
+            net.run(1_000);
+            black_box(net.stats().packets_delivered)
+        })
+    });
+    g.bench_function("ugal_spin_3vc", |b| {
+        b.iter(|| {
+            let mut net = dragonfly_bench_net(
+                Box::new(Ugal::with_spin()),
+                3,
+                0.1,
+                Some(SpinConfig::default()),
+            );
+            net.run(1_000);
+            black_box(net.stats().packets_delivered)
+        })
+    });
+    g.bench_function("favors_nmin_1vc", |b| {
+        b.iter(|| {
+            let mut net = dragonfly_bench_net(
+                Box::new(FavorsNonMinimal),
+                1,
+                0.1,
+                Some(SpinConfig::default()),
+            );
+            net.run(1_000);
+            black_box(net.stats().packets_delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_mesh");
+    g.sample_size(10);
+    g.bench_function("westfirst_3vc", |b| {
+        b.iter(|| {
+            let mut net = mesh_bench_net(Box::new(WestFirst), 3, 0.15, None);
+            net.run(1_000);
+            black_box(net.stats().packets_delivered)
+        })
+    });
+    g.bench_function("escapevc_3vc", |b| {
+        b.iter(|| {
+            let mut net = mesh_bench_net(Box::new(EscapeVc), 3, 0.15, None);
+            net.run(1_000);
+            black_box(net.stats().packets_delivered)
+        })
+    });
+    g.bench_function("favors_min_1vc_spin", |b| {
+        b.iter(|| {
+            let mut net =
+                mesh_bench_net(Box::new(FavorsMinimal), 1, 0.15, Some(SpinConfig::default()));
+            net.run(1_000);
+            black_box(net.stats().packets_delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    // Fig. 8a: application traffic + EDP computation.
+    c.bench_function("fig8a_app_traffic_edp", |b| {
+        b.iter(|| {
+            let topo = Topology::mesh(4, 4);
+            let traffic = AppTraffic::new(PARSEC_PRESETS[7], topo.num_nodes(), 3);
+            let mut net = NetworkBuilder::new(topo)
+                .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+                .routing(FavorsMinimal)
+                .traffic(traffic)
+                .spin(SpinConfig::default())
+                .build();
+            net.run(3_000);
+            let s = net.stats();
+            let m = PowerModel::nangate15();
+            black_box(m.network_edp(
+                &RouterParams::mesh_router(2),
+                16,
+                s.cycles,
+                s.link_use.flit,
+                s.avg_total_latency(),
+            ))
+        })
+    });
+    // Fig. 8b: link-utilisation accounting at medium load.
+    c.bench_function("fig8b_link_utilisation", |b| {
+        b.iter(|| {
+            let mut net =
+                mesh_bench_net(Box::new(FavorsMinimal), 3, 0.2, Some(SpinConfig::default()));
+            net.run(1_000);
+            black_box(net.stats().link_use)
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // Fig. 9: probe classification against ground truth at a congested
+    // operating point.
+    c.bench_function("fig9_probe_classification", |b| {
+        b.iter(|| {
+            let topo = Topology::mesh(4, 4);
+            let traffic = SyntheticTraffic::new(
+                SyntheticConfig::new(Pattern::UniformRandom, 0.4),
+                &topo,
+                7,
+            );
+            let mut net = NetworkBuilder::new(topo)
+                .config(SimConfig {
+                    vcs_per_vnet: 1,
+                    classify_probes: true,
+                    ..SimConfig::default()
+                })
+                .routing(FavorsMinimal)
+                .traffic(traffic)
+                .spin(SpinConfig { t_dd: 32, ..SpinConfig::default() })
+                .build();
+            net.run(2_000);
+            black_box((net.stats().probes_sent, net.stats().false_positive_spins))
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    // Fig. 10: the analytical model itself.
+    c.bench_function("fig10_area_power_model", |b| {
+        let m = PowerModel::nangate15();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for vcs in 1..=3u32 {
+                let mesh = RouterParams::mesh_router(vcs);
+                let dfly = RouterParams::dragonfly_router(vcs);
+                acc += m.router_area(&mesh) + m.router_power(&dfly, 0.3);
+                acc += m.area_vs_turn_model(&mesh, Scheme::Spin { num_routers: 64 });
+                acc += m.area_vs_turn_model(&mesh, Scheme::EscapeVc);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    // Each iteration simulates thousands of router-cycles; ten samples keep
+    // `cargo bench` within minutes while still flagging regressions.
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1,
+    bench_fig3,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10
+}
+criterion_main!(figures);

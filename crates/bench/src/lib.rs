@@ -1,0 +1,49 @@
+//! Shared helpers for the criterion benches (`benches/figures.rs` runs a
+//! scaled-down version of every paper table/figure; `benches/ablations.rs`
+//! toggles the design choices DESIGN.md calls out).
+
+#![forbid(unsafe_code)]
+
+use spin_core::SpinConfig;
+use spin_routing::Routing;
+use spin_sim::{Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+
+/// Builds a small mesh network for benching.
+pub fn mesh_bench_net(
+    routing: Box<dyn Routing>,
+    vcs: u8,
+    rate: f64,
+    spin: Option<SpinConfig>,
+) -> Network {
+    let topo = Topology::mesh(4, 4);
+    let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    let mut b = NetworkBuilder::new(topo)
+        .config(SimConfig { vcs_per_vnet: vcs, ..SimConfig::default() })
+        .routing_box(routing)
+        .traffic(traffic);
+    if let Some(s) = spin {
+        b = b.spin(s);
+    }
+    b.build()
+}
+
+/// Builds a small dragonfly network for benching.
+pub fn dragonfly_bench_net(
+    routing: Box<dyn Routing>,
+    vcs: u8,
+    rate: f64,
+    spin: Option<SpinConfig>,
+) -> Network {
+    let topo = Topology::dragonfly(2, 4, 2, 8);
+    let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    let mut b = NetworkBuilder::new(topo)
+        .config(SimConfig { vcs_per_vnet: vcs, ..SimConfig::default() })
+        .routing_box(routing)
+        .traffic(traffic);
+    if let Some(s) = spin {
+        b = b.spin(s);
+    }
+    b.build()
+}

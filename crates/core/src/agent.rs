@@ -1,0 +1,820 @@
+//! The per-router SPIN finite state machine (Fig. 4a of the paper).
+//!
+//! One [`SpinAgent`] lives in every router. The host (simulator) must, every
+//! cycle and in this order:
+//!
+//! 1. deliver arriving special messages via [`SpinAgent::on_sm`];
+//! 2. tick the agent via [`SpinAgent::on_cycle`];
+//! 3. apply the returned [`Action`]s: put SMs on links (bufferless, one hop
+//!    per link latency, pre-empting flits), mark VCs frozen (switch
+//!    allocation disabled) and, on [`Action::StartSpin`], stream every
+//!    frozen packet out of its frozen outport one flit per cycle;
+//! 4. call [`SpinAgent::notify_spin_complete`] once all frozen packets have
+//!    fully streamed out.
+
+use crate::priority::RotatingPriority;
+use crate::sm::{LoopPath, Sm, SmKind};
+use crate::view::{SpinRouterView, VcStatus};
+use crate::SpinConfig;
+use smallvec::SmallVec;
+use spin_types::{Cycle, PacketId, PortId, RouterId, VcId, Vnet};
+
+/// Extra cycles added to the spin offset so the kill window (one loop
+/// traversal starting one cycle after the move timeout) always closes before
+/// the spin fires.
+const SPIN_SLACK: Cycle = 4;
+
+/// Protocol actions the host must apply. See module docs for the contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit `sm` out of `out_port` this cycle (higher priority than
+    /// flits; on SM-vs-SM contention the host keeps the winner per
+    /// [`SmKind::priority_class`] then rotating priority, dropping losers).
+    SendSm {
+        /// The output port to use.
+        out_port: PortId,
+        /// The message.
+        sm: Sm,
+    },
+    /// Disable switch allocation for this VC and earmark it as the landing
+    /// buffer for the spin packet arriving on `in_port`.
+    Freeze {
+        /// Input port of the frozen VC.
+        in_port: PortId,
+        /// Vnet of the frozen VC.
+        vnet: Vnet,
+        /// The frozen VC.
+        vc: VcId,
+        /// The outport its head packet will spin through.
+        out_port: PortId,
+    },
+    /// Re-enable switch allocation for all frozen VCs of this router.
+    UnfreezeAll,
+    /// Begin streaming every frozen packet out of its frozen outport, one
+    /// flit per cycle, starting this cycle.
+    StartSpin,
+}
+
+/// A VC frozen for an upcoming spin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrozenVc {
+    /// Input port.
+    pub in_port: PortId,
+    /// Vnet.
+    pub vnet: Vnet,
+    /// VC index.
+    pub vc: VcId,
+    /// Outport the head packet will be pushed through.
+    pub out_port: PortId,
+}
+
+/// The seven FSM states of Fig. 4a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmState {
+    /// All VCs idle; nothing to watch.
+    Off,
+    /// Watching one VC for a `t_DD` timeout (`S_DD`).
+    DeadlockDetection,
+    /// Initiator: probe returned, move sent, waiting for it to come back
+    /// (`S_Move`).
+    Move,
+    /// Non-initiator: packet(s) frozen, counting down to the spin cycle
+    /// (`S_Frozen`).
+    Frozen,
+    /// Initiator after a completed spin: scheduling / awaiting a
+    /// `probe_move` (`S_Probe_Move`).
+    ProbeMove,
+    /// Initiator: move returned, own packet frozen, counting down to the
+    /// spin cycle (`S_Forward_Progress`).
+    ForwardProgress,
+    /// Initiator: move/probe_move was lost, `kill_move` circulating
+    /// (`S_kill_move`).
+    KillMove,
+}
+
+/// Counters exposed for the paper's Fig. 9 and link-utilisation accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpinStats {
+    /// Probes launched on detection timeouts.
+    pub probes_sent: u64,
+    /// Probes that returned and confirmed a loop (recoveries started).
+    pub loops_confirmed: u64,
+    /// Moves sent.
+    pub moves_sent: u64,
+    /// Probe_moves sent.
+    pub probe_moves_sent: u64,
+    /// Kill_moves sent.
+    pub kills_sent: u64,
+    /// Spins this router participated in.
+    pub spins: u64,
+    /// Spins this router initiated.
+    pub spins_initiated: u64,
+    /// Probes dropped: TTL exhausted.
+    pub drop_ttl: u64,
+    /// Probes dropped: this router outranks the sender (Sec. IV-C1).
+    pub drop_priority: u64,
+    /// Probes dropped: duplicate signature.
+    pub drop_dup: u64,
+    /// Probes dropped: a free VC at the probed port (congestion, not
+    /// deadlock).
+    pub drop_free_vc: u64,
+    /// Probes dropped: occupants all ejecting/unrouted.
+    pub drop_no_dependence: u64,
+    /// Own probe returned but acceptance failed (dependence changed).
+    pub accept_failed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Watch {
+    port: PortId,
+    vnet: Vnet,
+    vc: VcId,
+    packet: PacketId,
+}
+
+/// The per-router SPIN protocol engine. See module docs for the host
+/// contract and the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct SpinAgent {
+    id: RouterId,
+    cfg: SpinConfig,
+    state: FsmState,
+    deadline: Cycle,
+    watch: Option<Watch>,
+    /// Outport the outstanding probe/move left through at this router.
+    origin_out: Option<PortId>,
+    /// Vnet of the active recovery.
+    origin_vnet: Vnet,
+    loop_buffer: Option<LoopPath>,
+    loop_latency: Cycle,
+    is_deadlock: bool,
+    source_id: Option<RouterId>,
+    spin_cycle: Cycle,
+    frozen: Vec<FrozenVc>,
+    spinning: bool,
+    /// ProbeMove phase 1 = still to send; phase 2 = awaiting return.
+    probe_move_pending_send: bool,
+    priority: RotatingPriority,
+    /// Signatures (sender, launch cycle, in-port) of probes recently
+    /// forwarded, to drop duplicates. A forked probe circulating a
+    /// dependence loop re-crosses the same (router, in-port) every lap;
+    /// without this filter such ghosts saturate the links and starve every
+    /// other router's probes (the paper's rotating-priority epoch bounds
+    /// their lifetime but not their bandwidth). A genuine loop probe
+    /// crosses each (router, in-port) once, and figure-8 paths cross a
+    /// router twice through *different* in-ports, so the filter never drops
+    /// a legitimate probe.
+    recent_probes: Vec<(RouterId, Cycle, PortId)>,
+    /// Probes this router launched and has not yet seen return: (launch
+    /// cycle, watched in-port, vnet, vc, outport probed). Launch cycles are
+    /// unique, so they identify the probe instance.
+    outstanding_probes: Vec<(Cycle, PortId, Vnet, VcId, PortId)>,
+    stats: SpinStats,
+}
+
+type Actions = SmallVec<[Action; 4]>;
+
+impl SpinAgent {
+    /// Creates the agent for router `id`.
+    pub fn new(id: RouterId, cfg: SpinConfig) -> Self {
+        SpinAgent {
+            id,
+            cfg,
+            state: FsmState::Off,
+            deadline: 0,
+            watch: None,
+            origin_out: None,
+            origin_vnet: Vnet(0),
+            loop_buffer: None,
+            loop_latency: 0,
+            is_deadlock: false,
+            source_id: None,
+            spin_cycle: 0,
+            frozen: Vec::new(),
+            spinning: false,
+            probe_move_pending_send: false,
+            priority: RotatingPriority::new(&cfg),
+            recent_probes: Vec::new(),
+            outstanding_probes: Vec::new(),
+            stats: SpinStats::default(),
+        }
+    }
+
+    /// This router's rotating dynamic priority at `now` (Sec. IV-C1).
+    pub fn dynamic_priority(&self, now: Cycle) -> u32 {
+        self.priority.priority(self.id, now)
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// The `is_deadlock` architectural bit.
+    pub fn is_deadlock(&self) -> bool {
+        self.is_deadlock
+    }
+
+    /// VCs currently frozen at this router.
+    pub fn frozen(&self) -> &[FrozenVc] {
+        &self.frozen
+    }
+
+    /// Protocol event counters.
+    pub fn stats(&self) -> &SpinStats {
+        &self.stats
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &SpinConfig {
+        &self.cfg
+    }
+
+    /// True while frozen packets are streaming out.
+    pub fn is_spinning(&self) -> bool {
+        self.spinning
+    }
+
+    // ------------------------------------------------------------------
+    // SM arrival
+    // ------------------------------------------------------------------
+
+    /// Processes a special message arriving on `in_port`. Must be called
+    /// before [`SpinAgent::on_cycle`] within a cycle.
+    pub fn on_sm(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        in_port: PortId,
+        sm: Sm,
+    ) -> Vec<Action> {
+        let mut out = Actions::new();
+        match sm.kind {
+            SmKind::Probe => self.on_probe(now, view, in_port, sm, &mut out),
+            SmKind::Move | SmKind::ProbeMove => self.on_move(now, view, in_port, sm, &mut out),
+            SmKind::KillMove => self.on_kill(now, view, in_port, sm, &mut out),
+        }
+        out.into_vec()
+    }
+
+    fn on_probe(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        in_port: PortId,
+        sm: Sm,
+        out: &mut Actions,
+    ) {
+        if sm.sender == self.id {
+            #[allow(clippy::match_like_matches_macro, clippy::single_match)]
+            match self.state {
+                FsmState::DeadlockDetection => {
+                    let hit = self
+                        .outstanding_probes
+                        .iter()
+                        .position(|&(l, port, vnet, _, _)| {
+                            l == sm.launch_cycle && port == in_port && vnet == sm.vnet
+                        });
+                    if let Some(i) = hit {
+                        // Returned through the probed port: loop confirmed
+                        // (if the dependence still holds).
+                        let (_, port, vnet, vc, out_port) = self.outstanding_probes.remove(i);
+                        self.accept_probe(now, view, sm, port, vnet, vc, out_port, out);
+                        return;
+                    }
+                    // Fig. 5(b) case II: our own probe crossing through us
+                    // mid-loop is forwarded like any other probe.
+                    self.forward_probe(now, view, in_port, sm, out);
+                }
+                // A second copy of our own probe while a recovery is in
+                // flight is dropped (Sec. IV-C2, last question).
+                _ => {}
+            }
+            return;
+        }
+        self.forward_probe(now, view, in_port, sm, out);
+    }
+
+    /// Probe returned to its sender: latch the loop, send the move.
+    #[allow(clippy::too_many_arguments)]
+    fn accept_probe(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        sm: Sm,
+        port: PortId,
+        vnet: Vnet,
+        vc: VcId,
+        probed_out: PortId,
+        out: &mut Actions,
+    ) {
+        let status = view.vc_status(port, vnet, vc);
+        if status.waiting_on() != Some(probed_out) {
+            // The probed dependence vanished or re-routed while the probe
+            // was in flight; stay in detection.
+            self.stats.accept_failed += 1;
+            return;
+        }
+        let out_port = probed_out;
+        // Re-point the watch at the confirmed VC so the move-return freeze
+        // finds the right packet.
+        if let Some(packet) = view.vc_packet(port, vnet, vc) {
+            self.watch = Some(Watch { port, vnet, vc, packet });
+        } else {
+            self.stats.accept_failed += 1;
+            return;
+        }
+        let loop_latency = (now - sm.launch_cycle).max(1);
+        self.loop_buffer = Some(sm.path.clone());
+        self.loop_latency = loop_latency;
+        self.origin_out = Some(out_port);
+        self.origin_vnet = sm.vnet;
+        self.spin_cycle = now + self.cfg.spin_offset as Cycle * loop_latency + SPIN_SLACK;
+        self.state = FsmState::Move;
+        self.deadline = now + loop_latency + 1;
+        self.stats.loops_confirmed += 1;
+        self.stats.moves_sent += 1;
+        out.push(Action::SendSm {
+            out_port,
+            sm: Sm {
+                kind: SmKind::Move,
+                sender: self.id,
+                vnet: sm.vnet,
+                path: sm.path,
+                spin_cycle: Some(self.spin_cycle),
+                launch_cycle: now,
+                ttl: self.cfg.ttl(),
+            },
+        });
+    }
+
+    /// Standard probe processing at a non-accepting router: drop or fork.
+    fn forward_probe(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        in_port: PortId,
+        sm: Sm,
+        out: &mut Actions,
+    ) {
+        if sm.ttl <= 1 {
+            self.stats.drop_ttl += 1;
+            return; // TTL exhausted: a forked ghost walking in circles.
+        }
+        if self.cfg.priority_probe_drop
+            && self.priority.priority(self.id, now) > self.priority.priority(sm.sender, now)
+        {
+            // Sec. IV-C1: a probe is dropped at any router whose dynamic
+            // priority exceeds the sender's. Exactly one router per loop -
+            // the current loop maximum - can complete its probe, which both
+            // serialises initiators and stops probes looping forever.
+            self.stats.drop_priority += 1;
+            return;
+        }
+        // Duplicate-suppression (see `recent_probes`).
+        let sig = (sm.sender, sm.launch_cycle, in_port);
+        let window = 4 * self.cfg.t_dd.max(1);
+        self.recent_probes.retain(|&(_, l, _)| l + window >= now);
+        if self.recent_probes.contains(&sig) {
+            self.stats.drop_dup += 1;
+            return;
+        }
+        self.recent_probes.push(sig);
+        let vnet = sm.vnet;
+        let nvcs = view.num_vcs(in_port, vnet);
+        if nvcs == 0 {
+            return;
+        }
+        let mut outports: SmallVec<[PortId; 8]> = SmallVec::new();
+        for vc in 0..nvcs {
+            match view.vc_status(in_port, vnet, VcId(vc)) {
+                // Any free VC at the probe's port means no hard dependence
+                // through this port: drop.
+                VcStatus::Empty => {
+                    self.stats.drop_free_vc += 1;
+                    return;
+                }
+                VcStatus::Ejecting | VcStatus::Routing => {}
+                VcStatus::Waiting(p) => {
+                    if !outports.contains(&p) {
+                        outports.push(p);
+                    }
+                }
+            }
+        }
+        if outports.is_empty() {
+            // All occupants are ejecting or unrouted: cannot be part of an
+            // in-network cycle (walkthrough step 4a).
+            self.stats.drop_no_dependence += 1;
+            return;
+        }
+        if !self.cfg.probe_forking && outports.len() > 1 {
+            // Ablation mode: no forking; multi-dependence ports drop.
+            return;
+        }
+        for port in outports {
+            out.push(Action::SendSm {
+                out_port: port,
+                sm: Sm { path: sm.path.appended(port), ttl: sm.ttl - 1, ..sm.clone() },
+            });
+        }
+    }
+
+    fn on_move(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        in_port: PortId,
+        sm: Sm,
+        out: &mut Actions,
+    ) {
+        if sm.sender == self.id && sm.path.is_empty() {
+            self.on_own_move_returned(now, view, sm, out);
+            return;
+        }
+        // Intermediate processing (including our own move crossing through
+        // us mid-loop in a figure-8, Fig. 5(b)).
+        if self.is_deadlock && self.source_id != Some(sm.sender) {
+            // Competing recovery already owns this router: drop; the other
+            // sender recovers via kill_move timeout (Fig. 5(a) case II).
+            return;
+        }
+        if sm.sender != self.id {
+            match self.state {
+                // A router mid-recovery as an initiator must not be hijacked
+                // by a foreign move, or its own loop would stay frozen with
+                // nobody left to kill it.
+                FsmState::Off | FsmState::DeadlockDetection | FsmState::Frozen => {}
+                _ => return,
+            }
+        }
+        let Some(first) = sm.path.first() else { return };
+        let Some(vc) = self.find_freezable(view, in_port, sm.vnet, first) else {
+            // Dependence no longer present: drop the move; the sender's
+            // counter will expire and a kill_move will release the loop.
+            return;
+        };
+        let spin_cycle = sm.spin_cycle.unwrap_or(now);
+        self.freeze(in_port, sm.vnet, vc, first, out);
+        self.is_deadlock = true;
+        self.source_id = Some(sm.sender);
+        self.spin_cycle = spin_cycle;
+        if sm.sender != self.id {
+            self.state = FsmState::Frozen;
+            self.deadline = spin_cycle;
+        }
+        out.push(Action::SendSm {
+            out_port: first,
+            sm: Sm { path: sm.path.stripped(), ..sm },
+        });
+    }
+
+    /// The initiator received its own move / probe_move back with an empty
+    /// path: the whole loop accepted the spin.
+    fn on_own_move_returned(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        sm: Sm,
+        out: &mut Actions,
+    ) {
+        let expected = match (sm.kind, self.state) {
+            (SmKind::Move, FsmState::Move) => true,
+            (SmKind::ProbeMove, FsmState::ProbeMove) => !self.probe_move_pending_send,
+            _ => false,
+        };
+        if !expected {
+            return;
+        }
+        // Freeze our own packet if its dependence still holds; otherwise
+        // the loop must be released again.
+        let own = self.find_own_freezable(view);
+        match own {
+            Some((port, vnet, vc, out_port)) => {
+                self.freeze(port, vnet, vc, out_port, out);
+                self.is_deadlock = true;
+                self.source_id = Some(self.id);
+                self.spin_cycle = sm.spin_cycle.unwrap_or(self.spin_cycle);
+                self.state = FsmState::ForwardProgress;
+                self.deadline = self.spin_cycle;
+            }
+            None => self.start_kill(now, out),
+        }
+    }
+
+    /// Locates the initiator's own deadlocked VC: the watched VC for the
+    /// first spin, or any VC on the origin port still waiting on the origin
+    /// outport for later spins.
+    fn find_own_freezable(
+        &self,
+        view: &impl SpinRouterView,
+    ) -> Option<(PortId, Vnet, VcId, PortId)> {
+        let origin_out = self.origin_out?;
+        if let Some(w) = self.watch {
+            if w.vnet == self.origin_vnet
+                && view.vc_status(w.port, w.vnet, w.vc) == VcStatus::Waiting(origin_out)
+            {
+                return Some((w.port, w.vnet, w.vc, origin_out));
+            }
+            // The watched VC moved on; check siblings at the same port.
+            let vc = self.find_freezable(view, w.port, self.origin_vnet, origin_out)?;
+            return Some((w.port, self.origin_vnet, vc, origin_out));
+        }
+        None
+    }
+
+    /// Finds a not-yet-frozen VC at (port, vnet) whose head waits on
+    /// `out_port`.
+    fn find_freezable(
+        &self,
+        view: &impl SpinRouterView,
+        port: PortId,
+        vnet: Vnet,
+        out_port: PortId,
+    ) -> Option<VcId> {
+        (0..view.num_vcs(port, vnet)).map(VcId).find(|&vc| {
+            view.vc_status(port, vnet, vc) == VcStatus::Waiting(out_port)
+                && !self.frozen.contains(&FrozenVc {
+                    in_port: port,
+                    vnet,
+                    vc,
+                    out_port,
+                })
+        })
+    }
+
+    fn freeze(&mut self, in_port: PortId, vnet: Vnet, vc: VcId, out_port: PortId, out: &mut Actions) {
+        self.frozen.push(FrozenVc { in_port, vnet, vc, out_port });
+        out.push(Action::Freeze { in_port, vnet, vc, out_port });
+    }
+
+    fn on_kill(
+        &mut self,
+        now: Cycle,
+        view: &impl SpinRouterView,
+        in_port: PortId,
+        sm: Sm,
+        out: &mut Actions,
+    ) {
+        let _ = in_port;
+        if sm.sender == self.id && sm.path.is_empty() {
+            if self.state == FsmState::KillMove {
+                self.full_reset(now, view, out);
+            }
+            return;
+        }
+        if self.is_deadlock && self.source_id != Some(sm.sender) {
+            return; // source-id mismatch: drop (Fig. 5(a) case II).
+        }
+        let Some(first) = sm.path.first() else { return };
+        if sm.sender != self.id && self.is_deadlock {
+            // Release this router and resume normal operation.
+            self.unfreeze_all(out);
+            self.is_deadlock = false;
+            self.source_id = None;
+            if matches!(self.state, FsmState::Frozen) {
+                self.rearm(now, view);
+            }
+        }
+        out.push(Action::SendSm {
+            out_port: first,
+            sm: Sm { path: sm.path.stripped(), ..sm },
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Per-cycle tick
+    // ------------------------------------------------------------------
+
+    /// Advances the FSM by one cycle. Must be called after SM deliveries.
+    pub fn on_cycle(&mut self, now: Cycle, view: &impl SpinRouterView) -> Vec<Action> {
+        let mut out = Actions::new();
+        match self.state {
+            FsmState::Off => {
+                self.rearm(now, view);
+            }
+            FsmState::DeadlockDetection => {
+                self.tick_detection(now, view, &mut out);
+            }
+            FsmState::Move => {
+                if now >= self.deadline {
+                    self.start_kill(now, &mut out);
+                }
+            }
+            FsmState::KillMove => {
+                if now >= self.deadline {
+                    // The kill itself was lost; release locally and retry
+                    // detection from scratch.
+                    self.full_reset(now, view, &mut out);
+                }
+            }
+            FsmState::Frozen | FsmState::ForwardProgress => {
+                if !self.spinning && now >= self.deadline {
+                    self.spinning = true;
+                    self.stats.spins += 1;
+                    if self.state == FsmState::ForwardProgress {
+                        self.stats.spins_initiated += 1;
+                    }
+                    out.push(Action::StartSpin);
+                }
+            }
+            FsmState::ProbeMove => {
+                if now >= self.deadline {
+                    if self.probe_move_pending_send {
+                        self.send_probe_move(now, &mut out);
+                    } else {
+                        self.start_kill(now, &mut out);
+                    }
+                }
+            }
+        }
+        out.into_vec()
+    }
+
+    fn tick_detection(&mut self, now: Cycle, view: &impl SpinRouterView, out: &mut Actions) {
+        // Re-point the counter whenever the watched packet departed.
+        let stale = match self.watch {
+            None => true,
+            Some(w) => {
+                let status = view.vc_status(w.port, w.vnet, w.vc);
+                !status.is_occupied()
+                    || status == VcStatus::Ejecting
+                    || view.vc_packet(w.port, w.vnet, w.vc) != Some(w.packet)
+            }
+        };
+        if stale {
+            self.rearm(now, view);
+            if self.state != FsmState::DeadlockDetection {
+                return;
+            }
+        }
+        if now >= self.deadline {
+            let w = self.watch.expect("detection state always has a watch");
+            if let VcStatus::Waiting(port) = view.vc_status(w.port, w.vnet, w.vc) {
+                self.stats.probes_sent += 1;
+                let window = 4 * self.cfg.t_dd.max(1);
+                self.outstanding_probes.retain(|&(l, ..)| l + window >= now);
+                self.outstanding_probes.push((now, w.port, w.vnet, w.vc, port));
+                out.push(Action::SendSm {
+                    out_port: port,
+                    sm: Sm::probe(self.id, w.vnet, now, self.cfg.ttl()),
+                });
+            }
+            // Rotate the watch to the next blocked VC. A probe whose
+            // dependence chain merely feeds INTO a cycle circulates and
+            // never returns; the router must eventually probe each of its
+            // blocked VCs so that every cycle is probed by a VC that lies
+            // ON it. (Keeping the counter glued to one stuck VC, read
+            // literally from the paper's FSM, leaves cycles containing only
+            // tail-watching routers undetectable forever.)
+            self.rearm(now, view);
+        }
+    }
+
+    /// Points the counter at the next occupied, non-ejecting VC on a
+    /// network port (round-robin after the current watch), or turns Off.
+    fn rearm(&mut self, now: Cycle, view: &impl SpinRouterView) {
+        let candidates = self.watch_candidates(view);
+        if candidates.is_empty() {
+            self.state = FsmState::Off;
+            self.watch = None;
+            return;
+        }
+        let next = match self.watch {
+            None => candidates[0],
+            Some(w) => {
+                let key = (w.port, w.vnet, w.vc);
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|c| (c.port, c.vnet, c.vc) > key)
+                    .unwrap_or(candidates[0])
+            }
+        };
+        self.watch = Some(next);
+        self.state = FsmState::DeadlockDetection;
+        self.deadline = now + self.cfg.t_dd;
+    }
+
+    fn watch_candidates(&self, view: &impl SpinRouterView) -> SmallVec<[Watch; 8]> {
+        let mut v = SmallVec::new();
+        for port in 0..view.num_ports() {
+            let port = PortId(port);
+            if !view.is_network_port(port) {
+                continue;
+            }
+            for vnet in 0..view.num_vnets() {
+                let vnet = Vnet(vnet);
+                for vc in 0..view.num_vcs(port, vnet) {
+                    let vc = VcId(vc);
+                    let status = view.vc_status(port, vnet, vc);
+                    if status.is_occupied() && status != VcStatus::Ejecting {
+                        if let Some(packet) = view.vc_packet(port, vnet, vc) {
+                            v.push(Watch { port, vnet, vc, packet });
+                        }
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    fn start_kill(&mut self, now: Cycle, out: &mut Actions) {
+        let (Some(path), Some(origin)) = (self.loop_buffer.clone(), self.origin_out) else {
+            // Nothing to kill; just reset locally at the next tick.
+            self.state = FsmState::KillMove;
+            self.deadline = now;
+            return;
+        };
+        self.stats.kills_sent += 1;
+        self.state = FsmState::KillMove;
+        self.deadline = now + self.loop_latency + 1;
+        // Our own pending freezes (if any) are stale now.
+        self.unfreeze_all(out);
+        self.is_deadlock = false;
+        self.source_id = None;
+        out.push(Action::SendSm {
+            out_port: origin,
+            sm: Sm {
+                kind: SmKind::KillMove,
+                sender: self.id,
+                vnet: self.origin_vnet,
+                path,
+                spin_cycle: None,
+                launch_cycle: now,
+                ttl: self.cfg.ttl(),
+            },
+        });
+    }
+
+    fn send_probe_move(&mut self, now: Cycle, out: &mut Actions) {
+        let (Some(path), Some(origin)) = (self.loop_buffer.clone(), self.origin_out) else {
+            self.state = FsmState::Off;
+            return;
+        };
+        self.probe_move_pending_send = false;
+        self.spin_cycle = now + self.cfg.spin_offset as Cycle * self.loop_latency + SPIN_SLACK;
+        self.deadline = now + self.loop_latency + 1;
+        self.stats.probe_moves_sent += 1;
+        out.push(Action::SendSm {
+            out_port: origin,
+            sm: Sm {
+                kind: SmKind::ProbeMove,
+                sender: self.id,
+                vnet: self.origin_vnet,
+                path,
+                spin_cycle: Some(self.spin_cycle),
+                launch_cycle: now,
+                ttl: self.cfg.ttl(),
+            },
+        });
+    }
+
+    /// Host callback: every frozen packet of this router has fully streamed
+    /// out. Completes the spin and either schedules a `probe_move`
+    /// (initiator, optimisation on) or resumes normal operation.
+    pub fn notify_spin_complete(&mut self, now: Cycle, view: &impl SpinRouterView) -> Vec<Action> {
+        let mut out = Actions::new();
+        self.spinning = false;
+        self.unfreeze_all(&mut out);
+        self.is_deadlock = false;
+        self.source_id = None;
+        match self.state {
+            FsmState::ForwardProgress if self.cfg.probe_move_opt => {
+                self.state = FsmState::ProbeMove;
+                self.probe_move_pending_send = true;
+                // Give the slowest packet in the loop time to finish its
+                // stream, land downstream and recompute its route before
+                // re-probing, or the probe_move would race the very
+                // dependence it checks.
+                self.deadline = now + 2 * self.cfg.max_packet_len as Cycle + 8;
+            }
+            _ => {
+                self.loop_buffer = None;
+                self.origin_out = None;
+                self.watch = None;
+                self.rearm(now, view);
+            }
+        }
+        out.into_vec()
+    }
+
+    fn unfreeze_all(&mut self, out: &mut Actions) {
+        if !self.frozen.is_empty() {
+            self.frozen.clear();
+            out.push(Action::UnfreezeAll);
+        }
+    }
+
+    fn full_reset(&mut self, now: Cycle, view: &impl SpinRouterView, out: &mut Actions) {
+        self.unfreeze_all(out);
+        self.is_deadlock = false;
+        self.source_id = None;
+        self.loop_buffer = None;
+        self.origin_out = None;
+        self.spinning = false;
+        self.probe_move_pending_send = false;
+        self.watch = None;
+        self.rearm(now, view);
+    }
+}

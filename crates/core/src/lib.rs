@@ -1,0 +1,144 @@
+//! The SPIN deadlock-recovery protocol (the paper's contribution).
+//!
+//! SPIN (*Synchronized Progress in Interconnection Networks*, ISCA 2018)
+//! treats a routing deadlock not as a lack of buffers but as a lack of
+//! coordination: if every router in a deadlocked ring forwards its blocked
+//! packet *at exactly the same cycle*, all packets move one hop — a *spin* —
+//! without any free buffer existing beforehand. For minimal routing at most
+//! `m - 1` spins resolve a deadlocked ring of length `m`; for non-minimal
+//! routing with misroute bound `p`, at most `m·p + (m-1)` spins.
+//!
+//! This crate implements the paper's distributed realisation (Sec. IV) as a
+//! pure per-router state machine, [`SpinAgent`]:
+//!
+//! * a seven-state counter FSM (Fig. 4a) with a configurable deadlock
+//!   detection threshold `t_DD`;
+//! * four special messages ([`Sm`]): `probe` (trace and confirm the
+//!   dependence loop, forking at multi-dependence ports), `move` (announce
+//!   the spin cycle and freeze the loop), `probe_move` (re-probe + freeze
+//!   for subsequent spins) and `kill_move` (cancel a spin whose loop
+//!   dissolved);
+//! * the spin-cycle arithmetic: `spin = move-send cycle + 2 × loop latency`,
+//!   reserving a kill window equal to one loop traversal;
+//! * rotating router priorities for special-message contention.
+//!
+//! The agent is driven by a host (the simulator): the host delivers special
+//! messages and cycle ticks, exposes router buffer state through
+//! [`SpinRouterView`], and applies the returned [`Action`]s (send an SM,
+//! freeze a VC, start streaming frozen packets). This keeps the protocol
+//! fully unit-testable without a network.
+//!
+//! # Examples
+//!
+//! Drive a single agent far enough to emit a probe:
+//!
+//! ```
+//! use spin_core::{SpinAgent, SpinConfig, Action, SmKind, TableRouter, VcStatus};
+//! use spin_types::{PortId, RouterId, VcId, Vnet};
+//!
+//! let cfg = SpinConfig { t_dd: 16, ..SpinConfig::default() };
+//! let mut agent = SpinAgent::new(RouterId(0), cfg);
+//! // One network input port (p1) whose only VC holds a packet stuck on p2.
+//! let mut router = TableRouter::new(3, 1, 1);
+//! router.set_network_ports(&[PortId(1), PortId(2)]);
+//! router.set_status(PortId(1), Vnet(0), VcId(0), VcStatus::Waiting(PortId(2)));
+//! router.set_packet(PortId(1), Vnet(0), VcId(0), Some(spin_types::PacketId(7)));
+//!
+//! let mut probe_sent = false;
+//! for now in 0..64 {
+//!     for action in agent.on_cycle(now, &router) {
+//!         if let Action::SendSm { sm, .. } = action {
+//!             assert_eq!(sm.kind, SmKind::Probe);
+//!             probe_sent = true;
+//!         }
+//!     }
+//! }
+//! assert!(probe_sent);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod priority;
+mod sm;
+mod view;
+
+pub use agent::{Action, FrozenVc, FsmState, SpinAgent, SpinStats};
+pub use priority::RotatingPriority;
+pub use sm::{LoopPath, Sm, SmKind};
+pub use view::{SpinRouterView, TableRouter, VcStatus};
+
+use spin_types::Cycle;
+
+/// Configuration of the SPIN protocol, shared by every router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpinConfig {
+    /// Deadlock-detection timeout `t_DD` in cycles (paper default 128): how
+    /// long the watched packet may sit still before a probe is launched.
+    pub t_dd: Cycle,
+    /// Number of routers in the network (for rotating priority and the
+    /// probe TTL).
+    pub num_routers: u32,
+    /// Rotating-priority epoch length multiplier: epoch = `epoch_factor ×
+    /// t_dd` (paper uses 4).
+    pub epoch_factor: u32,
+    /// Spin-cycle offset multiplier: spin cycle = send + `spin_offset ×
+    /// loop latency` (paper uses 2 to leave a kill_move window; the ablation
+    /// bench compares 1).
+    pub spin_offset: u32,
+    /// Probe time-to-live in hops; forked ghost probes are dropped after
+    /// this many hops. Defaults to `4 × num_routers` when 0.
+    pub probe_ttl: u32,
+    /// Whether probes fork at ports whose VCs wait on several distinct
+    /// outports (paper: yes; ablation: no — drop instead).
+    pub probe_forking: bool,
+    /// Whether a router drops incoming probes whose sender has a lower
+    /// rotating dynamic priority than itself (Sec. IV-C1). This is what
+    /// guarantees a single initiator per dependence loop; disabling it
+    /// (ablation) leaves only the TTL to stop ghost probes.
+    pub priority_probe_drop: bool,
+    /// Whether the multi-spin `probe_move` optimisation is enabled
+    /// (Sec. IV-B4).
+    pub probe_move_opt: bool,
+    /// Longest packet in flits; used to schedule the post-spin `probe_move`
+    /// after every frozen packet has fully streamed out.
+    pub max_packet_len: u16,
+}
+
+impl SpinConfig {
+    /// The paper's defaults for a network of `num_routers` routers.
+    pub fn for_network(num_routers: u32) -> Self {
+        SpinConfig { num_routers, ..Self::default() }
+    }
+
+    /// Effective probe TTL.
+    pub fn ttl(&self) -> u32 {
+        if self.probe_ttl == 0 {
+            4 * self.num_routers.max(1)
+        } else {
+            self.probe_ttl
+        }
+    }
+
+    /// Rotating-priority epoch length in cycles.
+    pub fn epoch_len(&self) -> Cycle {
+        (self.epoch_factor as Cycle).max(1) * self.t_dd.max(1)
+    }
+}
+
+impl Default for SpinConfig {
+    fn default() -> Self {
+        SpinConfig {
+            t_dd: 128,
+            num_routers: 64,
+            epoch_factor: 4,
+            spin_offset: 2,
+            probe_ttl: 0,
+            probe_forking: true,
+            priority_probe_drop: true,
+            probe_move_opt: true,
+            max_packet_len: 5,
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The "principle of rotating priority among routers" (Sec. IV-C1).
+//!
+//! For a network with `N` routers, the system starts with router `N-1`
+//! having the highest priority down to router `0`; after every epoch the
+//! assignment rotates round-robin so that every router eventually holds the
+//! highest priority for a full epoch. The epoch is `4 × t_DD` by default —
+//! long enough for the top-priority router to detect a deadlock, send a
+//! probe and receive it back without losing a contention.
+
+use crate::SpinConfig;
+use spin_types::{Cycle, RouterId};
+
+/// Computes dynamic router priorities for special-message contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotatingPriority {
+    num_routers: u32,
+    epoch_len: Cycle,
+}
+
+impl RotatingPriority {
+    /// Builds the priority schedule from the protocol configuration.
+    pub fn new(cfg: &SpinConfig) -> Self {
+        RotatingPriority {
+            num_routers: cfg.num_routers.max(1),
+            epoch_len: cfg.epoch_len(),
+        }
+    }
+
+    /// Builds a schedule directly from a router count and epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_routers == 0` or `epoch_len == 0`.
+    pub fn with_epoch(num_routers: u32, epoch_len: Cycle) -> Self {
+        assert!(num_routers > 0, "need at least one router");
+        assert!(epoch_len > 0, "epoch length must be positive");
+        RotatingPriority { num_routers, epoch_len }
+    }
+
+    /// Dynamic priority of `router` at cycle `now`; higher wins contention.
+    /// Within any single cycle all priorities are distinct.
+    pub fn priority(&self, router: RouterId, now: Cycle) -> u32 {
+        let epoch = (now / self.epoch_len) % self.num_routers as Cycle;
+        ((router.0 as Cycle + epoch) % self.num_routers as Cycle) as u32
+    }
+
+    /// The epoch length in cycles.
+    pub fn epoch_len(&self) -> Cycle {
+        self.epoch_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_are_distinct_within_a_cycle() {
+        let rp = RotatingPriority::with_epoch(8, 16);
+        for now in [0u64, 15, 16, 160, 1000] {
+            let mut seen: Vec<u32> = (0..8).map(|r| rp.priority(RouterId(r), now)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..8).collect::<Vec<_>>(), "cycle {now}");
+        }
+    }
+
+    #[test]
+    fn every_router_eventually_holds_top_priority() {
+        let rp = RotatingPriority::with_epoch(5, 10);
+        let mut held = [false; 5];
+        for epoch in 0..5u64 {
+            let now = epoch * 10;
+            for r in 0..5u32 {
+                if rp.priority(RouterId(r), now) == 4 {
+                    held[r as usize] = true;
+                }
+            }
+        }
+        assert!(held.iter().all(|&h| h), "rotation missed a router: {held:?}");
+    }
+
+    #[test]
+    fn priority_stable_within_epoch() {
+        let rp = RotatingPriority::with_epoch(6, 32);
+        for r in 0..6u32 {
+            let base = rp.priority(RouterId(r), 64);
+            for now in 64..96 {
+                assert_eq!(rp.priority(RouterId(r), now), base);
+            }
+        }
+    }
+
+    #[test]
+    fn from_config() {
+        let cfg = SpinConfig { t_dd: 100, epoch_factor: 4, num_routers: 10, ..Default::default() };
+        let rp = RotatingPriority::new(&cfg);
+        assert_eq!(rp.epoch_len(), 400);
+    }
+}

@@ -1,0 +1,177 @@
+//! Special messages (SMs): the bufferless control messages SPIN rides over
+//! regular links.
+
+use spin_types::{Cycle, PortId, RouterId, Vnet};
+use std::fmt;
+
+/// The four special message classes of Sec. IV, ordered by link-contention
+/// priority: `ProbeMove > Move = KillMove > Probe` (all SMs outrank data
+/// flits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmKind {
+    /// Traces a suspected dependence loop; forked at multi-dependence ports.
+    Probe,
+    /// Announces the spin cycle and freezes the loop's packets.
+    Move,
+    /// Joint probe + move used for the second and later spins of the same
+    /// loop (Sec. IV-B4).
+    ProbeMove,
+    /// Cancels a pending spin whose dependence chain dissolved.
+    KillMove,
+}
+
+impl SmKind {
+    /// Link-contention priority class (higher wins the link).
+    pub fn priority_class(self) -> u8 {
+        match self {
+            SmKind::ProbeMove => 3,
+            SmKind::Move | SmKind::KillMove => 2,
+            SmKind::Probe => 1,
+        }
+    }
+}
+
+impl fmt::Display for SmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SmKind::Probe => "probe",
+            SmKind::Move => "move",
+            SmKind::ProbeMove => "probe_move",
+            SmKind::KillMove => "kill_move",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The sequence of output-port ids describing a dependence loop, excluding
+/// the initiator's own first hop: element `i` is the outport the SM must
+/// leave from at the `i`-th router after the initiator. A probe grows this
+/// path hop by hop; move/probe_move/kill_move consume it front-first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct LoopPath(pub Vec<PortId>);
+
+impl LoopPath {
+    /// An empty path.
+    pub fn new() -> Self {
+        LoopPath(Vec::new())
+    }
+
+    /// Number of recorded hops.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no hops are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a copy with `port` appended (probe forking keeps the
+    /// original intact).
+    pub fn appended(&self, port: PortId) -> LoopPath {
+        let mut v = self.0.clone();
+        v.push(port);
+        LoopPath(v)
+    }
+
+    /// The next outport, if any.
+    pub fn first(&self) -> Option<PortId> {
+        self.0.first().copied()
+    }
+
+    /// Returns a copy with the first hop stripped (move-style forwarding).
+    pub fn stripped(&self) -> LoopPath {
+        LoopPath(self.0.iter().skip(1).copied().collect())
+    }
+}
+
+impl fmt::Display for LoopPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A special message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sm {
+    /// Message class.
+    pub kind: SmKind,
+    /// The initiating router (recovery owner).
+    pub sender: RouterId,
+    /// The vnet whose buffer dependence this recovery concerns. Routing
+    /// deadlocks are per message class; SMs never mix vnets.
+    pub vnet: Vnet,
+    /// Loop path: grown by probes, consumed by the others.
+    pub path: LoopPath,
+    /// The agreed spin cycle (move / probe_move only).
+    pub spin_cycle: Option<Cycle>,
+    /// Cycle the originating probe was launched, to measure loop latency.
+    pub launch_cycle: Cycle,
+    /// Remaining hops before a forked probe is discarded.
+    pub ttl: u32,
+}
+
+impl Sm {
+    /// Builds a fresh probe.
+    pub fn probe(sender: RouterId, vnet: Vnet, launch_cycle: Cycle, ttl: u32) -> Self {
+        Sm {
+            kind: SmKind::Probe,
+            sender,
+            vnet,
+            path: LoopPath::new(),
+            spin_cycle: None,
+            launch_cycle,
+            ttl,
+        }
+    }
+}
+
+impl fmt::Display for Sm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{} {} {}>", self.kind, self.sender, self.vnet, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_classes_match_paper_order() {
+        assert!(SmKind::ProbeMove.priority_class() > SmKind::Move.priority_class());
+        assert_eq!(
+            SmKind::Move.priority_class(),
+            SmKind::KillMove.priority_class()
+        );
+        assert!(SmKind::Move.priority_class() > SmKind::Probe.priority_class());
+    }
+
+    #[test]
+    fn loop_path_append_strip_roundtrip() {
+        let p = LoopPath::new()
+            .appended(PortId(2))
+            .appended(PortId(4))
+            .appended(PortId(1));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.first(), Some(PortId(2)));
+        let s = p.stripped();
+        assert_eq!(s.first(), Some(PortId(4)));
+        assert_eq!(s.stripped().stripped(), LoopPath::new());
+        assert!(s.stripped().stripped().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let sm = Sm::probe(RouterId(5), Vnet(0), 100, 16);
+        assert_eq!(sm.to_string(), "probe<r5 vn0 []>");
+        let p = LoopPath::new().appended(PortId(1)).appended(PortId(3));
+        assert_eq!(p.to_string(), "[p1,p3]");
+    }
+}

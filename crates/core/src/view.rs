@@ -1,0 +1,164 @@
+//! The read-only view of router buffer state the SPIN agent consults, plus a
+//! table-driven implementation for tests and examples.
+
+use spin_types::{PacketId, PortId, VcId, Vnet};
+
+/// What a virtual channel at some input port is currently doing, as seen by
+/// the SPIN agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcStatus {
+    /// No packet buffered.
+    Empty,
+    /// Head packet is waiting to leave through a local (ejection) port.
+    /// Ejecting packets can never be part of an in-network dependence loop
+    /// (the paper drops probes at such ports).
+    Ejecting,
+    /// Head packet is buffered but its route has not been computed yet
+    /// (transient, typically one cycle).
+    Routing,
+    /// Head packet wants the given network output port and is blocked.
+    Waiting(PortId),
+}
+
+impl VcStatus {
+    /// True if a packet occupies the VC.
+    pub fn is_occupied(self) -> bool {
+        !matches!(self, VcStatus::Empty)
+    }
+
+    /// The network outport the head packet waits on, if known.
+    pub fn waiting_on(self) -> Option<PortId> {
+        match self {
+            VcStatus::Waiting(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Read-only router state exposed to [`SpinAgent`](crate::SpinAgent).
+///
+/// The simulator implements this on its router structure; tests use
+/// [`TableRouter`].
+pub trait SpinRouterView {
+    /// Total number of ports (local + network).
+    fn num_ports(&self) -> u8;
+    /// Number of virtual networks.
+    fn num_vnets(&self) -> u8;
+    /// Number of VCs per (input port, vnet).
+    fn num_vcs(&self, port: PortId, vnet: Vnet) -> u8;
+    /// True if `port` is a connected network port (only network input ports
+    /// can hold deadlocked packets; the detection counter ignores local
+    /// ports, per Sec. IV-B).
+    fn is_network_port(&self, port: PortId) -> bool;
+    /// Status of one VC.
+    fn vc_status(&self, port: PortId, vnet: Vnet, vc: VcId) -> VcStatus;
+    /// Id of the head packet in the VC, used by the detection counter to
+    /// notice that the watched packet moved.
+    fn vc_packet(&self, port: PortId, vnet: Vnet, vc: VcId) -> Option<PacketId>;
+}
+
+/// A simple table-backed [`SpinRouterView`] for unit tests, documentation
+/// examples and protocol-level experiments.
+#[derive(Debug, Clone)]
+pub struct TableRouter {
+    ports: u8,
+    vnets: u8,
+    vcs: u8,
+    network: Vec<bool>,
+    status: Vec<VcStatus>,
+    packet: Vec<Option<PacketId>>,
+}
+
+impl TableRouter {
+    /// Creates a router with `ports` ports, `vnets` vnets and `vcs` VCs per
+    /// (port, vnet), all VCs empty and all ports local.
+    pub fn new(ports: u8, vnets: u8, vcs: u8) -> Self {
+        let n = ports as usize * vnets as usize * vcs as usize;
+        TableRouter {
+            ports,
+            vnets,
+            vcs,
+            network: vec![false; ports as usize],
+            status: vec![VcStatus::Empty; n],
+            packet: vec![None; n],
+        }
+    }
+
+    fn idx(&self, port: PortId, vnet: Vnet, vc: VcId) -> usize {
+        (port.index() * self.vnets as usize + vnet.index()) * self.vcs as usize + vc.index()
+    }
+
+    /// Marks the given ports as network ports.
+    pub fn set_network_ports(&mut self, ports: &[PortId]) {
+        for p in ports {
+            self.network[p.index()] = true;
+        }
+    }
+
+    /// Sets the status of one VC.
+    pub fn set_status(&mut self, port: PortId, vnet: Vnet, vc: VcId, s: VcStatus) {
+        let i = self.idx(port, vnet, vc);
+        self.status[i] = s;
+    }
+
+    /// Sets the head packet of one VC.
+    pub fn set_packet(&mut self, port: PortId, vnet: Vnet, vc: VcId, p: Option<PacketId>) {
+        let i = self.idx(port, vnet, vc);
+        self.packet[i] = p;
+    }
+}
+
+impl SpinRouterView for TableRouter {
+    fn num_ports(&self) -> u8 {
+        self.ports
+    }
+    fn num_vnets(&self) -> u8 {
+        self.vnets
+    }
+    fn num_vcs(&self, _port: PortId, _vnet: Vnet) -> u8 {
+        self.vcs
+    }
+    fn is_network_port(&self, port: PortId) -> bool {
+        self.network[port.index()]
+    }
+    fn vc_status(&self, port: PortId, vnet: Vnet, vc: VcId) -> VcStatus {
+        self.status[self.idx(port, vnet, vc)]
+    }
+    fn vc_packet(&self, port: PortId, vnet: Vnet, vc: VcId) -> Option<PacketId> {
+        self.packet[self.idx(port, vnet, vc)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_predicates() {
+        assert!(!VcStatus::Empty.is_occupied());
+        assert!(VcStatus::Ejecting.is_occupied());
+        assert!(VcStatus::Routing.is_occupied());
+        assert!(VcStatus::Waiting(PortId(2)).is_occupied());
+        assert_eq!(VcStatus::Waiting(PortId(2)).waiting_on(), Some(PortId(2)));
+        assert_eq!(VcStatus::Ejecting.waiting_on(), None);
+    }
+
+    #[test]
+    fn table_router_roundtrip() {
+        let mut r = TableRouter::new(5, 3, 2);
+        r.set_network_ports(&[PortId(1), PortId(2)]);
+        r.set_status(PortId(1), Vnet(2), VcId(1), VcStatus::Waiting(PortId(3)));
+        r.set_packet(PortId(1), Vnet(2), VcId(1), Some(PacketId(9)));
+        assert!(r.is_network_port(PortId(1)));
+        assert!(!r.is_network_port(PortId(0)));
+        assert_eq!(
+            r.vc_status(PortId(1), Vnet(2), VcId(1)),
+            VcStatus::Waiting(PortId(3))
+        );
+        assert_eq!(r.vc_packet(PortId(1), Vnet(2), VcId(1)), Some(PacketId(9)));
+        assert_eq!(r.vc_status(PortId(1), Vnet(2), VcId(0)), VcStatus::Empty);
+        assert_eq!(r.num_ports(), 5);
+        assert_eq!(r.num_vnets(), 3);
+        assert_eq!(r.num_vcs(PortId(0), Vnet(0)), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Focused unit tests of SpinAgent edge cases: probe drop rules (TTL,
+//! forking toggle, duplicates, priority), move/kill handling with stale or
+//! competing state, and the kill-on-vanished-dependence path.
+
+use spin_core::{
+    Action, FsmState, LoopPath, Sm, SmKind, SpinAgent, SpinConfig, TableRouter, VcStatus,
+};
+use spin_types::{Cycle, PacketId, PortId, RouterId, VcId, Vnet};
+
+const VN: Vnet = Vnet(0);
+
+fn cfg() -> SpinConfig {
+    SpinConfig { t_dd: 16, num_routers: 8, ..SpinConfig::default() }
+}
+
+/// A 4-port router (p0 local; p1..p3 network) whose p1 VC waits on p2.
+fn waiting_router() -> TableRouter {
+    let mut r = TableRouter::new(4, 1, 2);
+    r.set_network_ports(&[PortId(1), PortId(2), PortId(3)]);
+    r.set_status(PortId(1), VN, VcId(0), VcStatus::Waiting(PortId(2)));
+    r.set_packet(PortId(1), VN, VcId(0), Some(PacketId(1)));
+    r.set_status(PortId(1), VN, VcId(1), VcStatus::Waiting(PortId(3)));
+    r.set_packet(PortId(1), VN, VcId(1), Some(PacketId(2)));
+    r
+}
+
+fn probe_from(sender: u32, launch: Cycle, ttl: u32) -> Sm {
+    Sm::probe(RouterId(sender), VN, launch, ttl)
+}
+
+fn sends(actions: &[Action]) -> Vec<&Sm> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::SendSm { sm, .. } => Some(sm),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn probe_forks_across_distinct_outports() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    // Sender r7 has top rotating priority at cycle 0 (priority = id), so
+    // the probe is not priority-dropped at r0.
+    let actions = agent.on_sm(1, &router, PortId(1), probe_from(7, 0, 32));
+    let sms = sends(&actions);
+    assert_eq!(sms.len(), 2, "expected a fork to both waited-on outports");
+    let ports: Vec<_> = actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::SendSm { out_port, .. } => Some(*out_port),
+            _ => None,
+        })
+        .collect();
+    assert!(ports.contains(&PortId(2)) && ports.contains(&PortId(3)));
+    // Paths grew by the chosen outport and TTL decremented.
+    for sm in sms {
+        assert_eq!(sm.path.len(), 1);
+        assert_eq!(sm.ttl, 31);
+    }
+}
+
+#[test]
+fn probe_dropped_when_forking_disabled() {
+    let mut agent =
+        SpinAgent::new(RouterId(0), SpinConfig { probe_forking: false, ..cfg() });
+    let router = waiting_router();
+    let actions = agent.on_sm(1, &router, PortId(1), probe_from(7, 0, 32));
+    assert!(sends(&actions).is_empty(), "no forking allowed in ablation mode");
+    assert_eq!(agent.stats().drop_no_dependence + agent.stats().drop_free_vc, 0);
+}
+
+#[test]
+fn probe_dropped_on_ttl() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let actions = agent.on_sm(1, &router, PortId(1), probe_from(7, 0, 1));
+    assert!(sends(&actions).is_empty());
+    assert_eq!(agent.stats().drop_ttl, 1);
+}
+
+#[test]
+fn probe_dropped_on_free_vc() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let mut router = waiting_router();
+    router.set_status(PortId(1), VN, VcId(1), VcStatus::Empty);
+    router.set_packet(PortId(1), VN, VcId(1), None);
+    let actions = agent.on_sm(1, &router, PortId(1), probe_from(7, 0, 32));
+    assert!(sends(&actions).is_empty());
+    assert_eq!(agent.stats().drop_free_vc, 1);
+}
+
+#[test]
+fn probe_dropped_on_priority() {
+    // At cycle 0 priorities equal router ids: r5 outranks sender r2.
+    let mut agent = SpinAgent::new(RouterId(5), cfg());
+    let router = waiting_router();
+    let actions = agent.on_sm(1, &router, PortId(1), probe_from(2, 0, 32));
+    assert!(sends(&actions).is_empty());
+    assert_eq!(agent.stats().drop_priority, 1);
+}
+
+#[test]
+fn priority_drop_can_be_disabled() {
+    let mut agent = SpinAgent::new(
+        RouterId(5),
+        SpinConfig { priority_probe_drop: false, ..cfg() },
+    );
+    let router = waiting_router();
+    let actions = agent.on_sm(1, &router, PortId(1), probe_from(2, 0, 32));
+    assert_eq!(sends(&actions).len(), 2);
+    assert_eq!(agent.stats().drop_priority, 0);
+}
+
+#[test]
+fn duplicate_probe_dropped_on_same_inport() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let first = agent.on_sm(1, &router, PortId(1), probe_from(7, 0, 32));
+    assert!(!sends(&first).is_empty());
+    // The identical signature circulating back through the same in-port.
+    let second = agent.on_sm(5, &router, PortId(1), probe_from(7, 0, 28));
+    assert!(sends(&second).is_empty());
+    assert_eq!(agent.stats().drop_dup, 1);
+    // ... but a different in-port (figure-8 crossing) is forwarded.
+    let mut r2 = waiting_router();
+    r2.set_status(PortId(2), VN, VcId(0), VcStatus::Waiting(PortId(3)));
+    r2.set_packet(PortId(2), VN, VcId(0), Some(PacketId(9)));
+    r2.set_status(PortId(2), VN, VcId(1), VcStatus::Waiting(PortId(3)));
+    r2.set_packet(PortId(2), VN, VcId(1), Some(PacketId(10)));
+    let third = agent.on_sm(6, &r2, PortId(2), probe_from(7, 0, 27));
+    assert!(!sends(&third).is_empty(), "figure-8 crossing must be forwarded");
+}
+
+#[test]
+fn move_freezes_and_forwards() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let mv = Sm {
+        kind: SmKind::Move,
+        sender: RouterId(3),
+        vnet: VN,
+        path: LoopPath(vec![PortId(2), PortId(1)]),
+        spin_cycle: Some(100),
+        launch_cycle: 10,
+        ttl: 32,
+    };
+    let actions = agent.on_sm(11, &router, PortId(1), mv);
+    assert!(matches!(agent.state(), FsmState::Frozen));
+    assert!(agent.is_deadlock());
+    assert_eq!(agent.frozen().len(), 1);
+    assert_eq!(agent.frozen()[0].out_port, PortId(2));
+    let sms = sends(&actions);
+    assert_eq!(sms.len(), 1);
+    assert_eq!(sms[0].path, LoopPath(vec![PortId(1)]));
+}
+
+#[test]
+fn move_with_no_matching_dependence_dies() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    // Path asks for p3-wanting VC at in-port 2, where nothing waits.
+    let mv = Sm {
+        kind: SmKind::Move,
+        sender: RouterId(3),
+        vnet: VN,
+        path: LoopPath(vec![PortId(3)]),
+        spin_cycle: Some(100),
+        launch_cycle: 10,
+        ttl: 32,
+    };
+    let actions = agent.on_sm(11, &router, PortId(2), mv);
+    assert!(sends(&actions).is_empty());
+    assert!(!agent.is_deadlock());
+    assert!(agent.frozen().is_empty());
+}
+
+#[test]
+fn competing_move_dropped_on_source_mismatch() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let mk = |sender: u32, port: PortId| Sm {
+        kind: SmKind::Move,
+        sender: RouterId(sender),
+        vnet: VN,
+        path: LoopPath(vec![port]),
+        spin_cycle: Some(100),
+        launch_cycle: 10,
+        ttl: 32,
+    };
+    let first = agent.on_sm(11, &router, PortId(1), mk(3, PortId(2)));
+    assert_eq!(sends(&first).len(), 1);
+    // A different initiator's move arriving while frozen: dropped.
+    let second = agent.on_sm(12, &router, PortId(1), mk(5, PortId(3)));
+    assert!(sends(&second).is_empty());
+    // The same initiator's move visiting again (figure-8): accepted.
+    let third = agent.on_sm(13, &router, PortId(1), mk(3, PortId(3)));
+    assert_eq!(sends(&third).len(), 1);
+    assert_eq!(agent.frozen().len(), 2);
+}
+
+#[test]
+fn kill_unfreezes_and_forwards() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let mv = Sm {
+        kind: SmKind::Move,
+        sender: RouterId(3),
+        vnet: VN,
+        path: LoopPath(vec![PortId(2)]),
+        spin_cycle: Some(100),
+        launch_cycle: 10,
+        ttl: 32,
+    };
+    agent.on_sm(11, &router, PortId(1), mv);
+    assert!(agent.is_deadlock());
+    let kill = Sm {
+        kind: SmKind::KillMove,
+        sender: RouterId(3),
+        vnet: VN,
+        path: LoopPath(vec![PortId(2)]),
+        spin_cycle: None,
+        launch_cycle: 20,
+        ttl: 32,
+    };
+    let actions = agent.on_sm(21, &router, PortId(1), kill);
+    assert!(!agent.is_deadlock());
+    assert!(agent.frozen().is_empty());
+    assert!(actions.iter().any(|a| matches!(a, Action::UnfreezeAll)));
+    assert_eq!(sends(&actions).len(), 1, "kill must continue around the loop");
+    assert!(matches!(agent.state(), FsmState::DeadlockDetection | FsmState::Off));
+}
+
+#[test]
+fn kill_with_mismatched_source_dropped() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let mv = Sm {
+        kind: SmKind::Move,
+        sender: RouterId(3),
+        vnet: VN,
+        path: LoopPath(vec![PortId(2)]),
+        spin_cycle: Some(100),
+        launch_cycle: 10,
+        ttl: 32,
+    };
+    agent.on_sm(11, &router, PortId(1), mv);
+    let kill = Sm {
+        kind: SmKind::KillMove,
+        sender: RouterId(6), // not the owner
+        vnet: VN,
+        path: LoopPath(vec![PortId(2)]),
+        spin_cycle: None,
+        launch_cycle: 20,
+        ttl: 32,
+    };
+    let actions = agent.on_sm(21, &router, PortId(1), kill);
+    assert!(agent.is_deadlock(), "foreign kill must not release the freeze");
+    assert!(sends(&actions).is_empty());
+}
+
+#[test]
+fn frozen_router_spins_at_the_agreed_cycle() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let router = waiting_router();
+    let mv = Sm {
+        kind: SmKind::Move,
+        sender: RouterId(3),
+        vnet: VN,
+        path: LoopPath(vec![PortId(2)]),
+        spin_cycle: Some(50),
+        launch_cycle: 10,
+        ttl: 32,
+    };
+    agent.on_sm(11, &router, PortId(1), mv);
+    for now in 12..50 {
+        let actions = agent.on_cycle(now, &router);
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::StartSpin)),
+            "spun early at {now}"
+        );
+    }
+    let actions = agent.on_cycle(50, &router);
+    assert!(actions.iter().any(|a| matches!(a, Action::StartSpin)));
+    assert!(agent.is_spinning());
+    // Completion returns the router to detection.
+    let done = agent.notify_spin_complete(55, &router);
+    assert!(done.iter().any(|a| matches!(a, Action::UnfreezeAll)));
+    assert!(!agent.is_spinning());
+    assert!(matches!(agent.state(), FsmState::DeadlockDetection | FsmState::Off));
+}
+
+#[test]
+fn detection_needs_occupied_network_vc() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let empty = TableRouter::new(4, 1, 2);
+    for now in 0..40 {
+        let actions = agent.on_cycle(now, &empty);
+        assert!(actions.is_empty());
+    }
+    assert_eq!(agent.state(), FsmState::Off);
+}
+
+#[test]
+fn ejecting_only_router_stays_off() {
+    let mut agent = SpinAgent::new(RouterId(0), cfg());
+    let mut router = TableRouter::new(4, 1, 1);
+    router.set_network_ports(&[PortId(1)]);
+    router.set_status(PortId(1), VN, VcId(0), VcStatus::Ejecting);
+    router.set_packet(PortId(1), VN, VcId(0), Some(PacketId(1)));
+    for now in 0..64 {
+        assert!(agent.on_cycle(now, &router).is_empty());
+    }
+    assert_eq!(agent.state(), FsmState::Off);
+    assert_eq!(agent.stats().probes_sent, 0);
+}

@@ -1,0 +1,339 @@
+//! Protocol-level tests of the SPIN agent on a ring of table-driven
+//! routers, exercising the paper's walkthrough (Sec. IV-B) end to end
+//! without the cycle-accurate network simulator: deadlock detection, probe
+//! traversal, move/freeze, the synchronized spin, the probe_move
+//! optimisation, and kill_move cancellation.
+
+use spin_core::{Action, FsmState, SpinAgent, SpinConfig, TableRouter, VcStatus};
+use spin_types::{Cycle, PacketId, PortId, RouterId, VcId, Vnet};
+
+const CW: PortId = PortId(1); // towards router (i + 1) % n
+const CCW: PortId = PortId(2); // towards router (i - 1) % n
+const VN: Vnet = Vnet(0);
+const VC: VcId = VcId(0);
+
+/// A ring of routers with 1-cycle links, bufferless SM transport, and
+/// hand-managed VC state. Packet movement is emulated, not simulated: when
+/// every router starts its spin, the harness rotates the buffered packets
+/// one hop clockwise.
+struct RingNet {
+    agents: Vec<SpinAgent>,
+    routers: Vec<TableRouter>,
+    in_flight: Vec<(Cycle, usize, PortId, spin_core::Sm)>,
+    spin_started_at: Vec<Option<Cycle>>,
+    spins_completed: usize,
+    frozen_count: Vec<usize>,
+    now: Cycle,
+}
+
+impl RingNet {
+    fn new(n: usize, t_dd: Cycle) -> Self {
+        let cfg = SpinConfig {
+            t_dd,
+            num_routers: n as u32,
+            max_packet_len: 1,
+            ..SpinConfig::default()
+        };
+        let mut routers = Vec::new();
+        let mut agents = Vec::new();
+        for i in 0..n {
+            let mut r = TableRouter::new(3, 1, 1);
+            r.set_network_ports(&[CW, CCW]);
+            routers.push(r);
+            agents.push(SpinAgent::new(RouterId(i as u32), cfg));
+        }
+        RingNet {
+            agents,
+            routers,
+            in_flight: Vec::new(),
+            spin_started_at: vec![None; n],
+            spins_completed: 0,
+            frozen_count: vec![0; n],
+            now: 0,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Puts a clockwise-blocked packet in every router's CCW input VC: the
+    /// canonical ring deadlock.
+    fn install_ring_deadlock(&mut self) {
+        for i in 0..self.n() {
+            self.routers[i].set_status(CCW, VN, VC, VcStatus::Waiting(CW));
+            self.routers[i].set_packet(CCW, VN, VC, Some(PacketId(i as u64)));
+        }
+    }
+
+    fn apply(&mut self, i: usize, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::SendSm { out_port, sm } => {
+                    // Ring wiring: CW port of i feeds CCW port of i+1.
+                    let (peer, in_port) = if out_port == CW {
+                        ((i + 1) % self.n(), CCW)
+                    } else if out_port == CCW {
+                        ((i + self.n() - 1) % self.n(), CW)
+                    } else {
+                        panic!("SM sent out of a local port");
+                    };
+                    self.in_flight.push((self.now + 1, peer, in_port, sm));
+                }
+                Action::Freeze { .. } => self.frozen_count[i] += 1,
+                Action::UnfreezeAll => self.frozen_count[i] = 0,
+                Action::StartSpin => {
+                    assert!(
+                        self.spin_started_at[i].is_none(),
+                        "router {i} started a second spin before finishing"
+                    );
+                    self.spin_started_at[i] = Some(self.now);
+                }
+            }
+        }
+    }
+
+    /// One network cycle: deliver due SMs, tick agents, emulate spins.
+    fn step(&mut self) {
+        self.now += 1;
+        let due: Vec<_> = {
+            let now = self.now;
+            let (d, rest): (Vec<_>, Vec<_>) =
+                self.in_flight.drain(..).partition(|(t, ..)| *t <= now);
+            self.in_flight = rest;
+            d
+        };
+        for (_, i, in_port, sm) in due {
+            let actions = self.agents[i].on_sm(self.now, &self.routers[i], in_port, sm);
+            self.apply(i, actions);
+        }
+        for i in 0..self.n() {
+            let actions = self.agents[i].on_cycle(self.now, &self.routers[i]);
+            self.apply(i, actions);
+        }
+        // Emulate the spin: once every router that froze a packet has
+        // started, rotate packets one hop and report completion (packets
+        // are 1 flit, so a spin takes one cycle).
+        let started: Vec<usize> = (0..self.n())
+            .filter(|&i| self.spin_started_at[i] == Some(self.now))
+            .collect();
+        if !started.is_empty() {
+            // All participants must start in the same cycle - the paper's
+            // core synchronization property.
+            for i in 0..self.n() {
+                if self.frozen_count[i] > 0 {
+                    assert_eq!(
+                        self.spin_started_at[i],
+                        Some(self.now),
+                        "router {i} frozen but not spinning at {}",
+                        self.now
+                    );
+                }
+            }
+            // Rotate the deadlocked packets one hop clockwise.
+            let ids: Vec<Option<PacketId>> = (0..self.n())
+                .map(|i| self.routers[i].vc_packet_snapshot())
+                .collect();
+            for i in 0..self.n() {
+                let from = (i + self.n() - 1) % self.n();
+                self.routers[i].set_packet(CCW, VN, VC, ids[from]);
+            }
+            for i in started {
+                self.spin_started_at[i] = None;
+                self.spins_completed += 1;
+                let actions = self.agents[i].notify_spin_complete(self.now, &self.routers[i]);
+                self.apply(i, actions);
+            }
+        }
+    }
+
+    fn run(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn total_frozen(&self) -> usize {
+        self.frozen_count.iter().sum()
+    }
+}
+
+/// Helper so the harness can read a packet back out of the table router.
+trait PacketSnapshot {
+    fn vc_packet_snapshot(&self) -> Option<PacketId>;
+}
+impl PacketSnapshot for TableRouter {
+    fn vc_packet_snapshot(&self) -> Option<PacketId> {
+        use spin_core::SpinRouterView;
+        self.vc_packet(CCW, VN, VC)
+    }
+}
+
+#[test]
+fn ring_deadlock_detected_and_spun() {
+    let mut net = RingNet::new(6, 32);
+    net.install_ring_deadlock();
+    net.run(400);
+    assert!(net.spins_completed >= 6, "expected a full-ring spin, got {}", net.spins_completed);
+    // Packets rotated at least one hop: router 0's buffer no longer holds
+    // packet 0.
+    let total_spins: u64 = net.agents.iter().map(|a| a.stats().spins).sum();
+    assert!(total_spins >= 6);
+    let initiators: u64 = net.agents.iter().map(|a| a.stats().spins_initiated).sum();
+    assert!(initiators >= 1);
+    // Probes were sent and at least one loop confirmed.
+    let confirmed: u64 = net.agents.iter().map(|a| a.stats().loops_confirmed).sum();
+    assert!(confirmed >= 1);
+}
+
+#[test]
+fn spin_is_synchronized_across_the_ring() {
+    // The harness itself asserts simultaneity inside step(); this test just
+    // makes sure a spin actually happens on a minimal 3-ring.
+    let mut net = RingNet::new(3, 16);
+    net.install_ring_deadlock();
+    net.run(300);
+    assert!(net.spins_completed >= 3);
+}
+
+#[test]
+fn deadlock_resolution_after_dependence_exits() {
+    let mut net = RingNet::new(4, 16);
+    net.install_ring_deadlock();
+    // Run until the first spin completes.
+    let mut guard = 0;
+    while net.spins_completed < 4 && guard < 1000 {
+        net.step();
+        guard += 1;
+    }
+    assert!(guard < 1000, "no spin within 1000 cycles");
+    // After the spin, pretend packet at router 2 now wants to eject: the
+    // ring is broken.
+    net.routers[2].set_status(CCW, VN, VC, VcStatus::Ejecting);
+    net.run(400);
+    // All agents must eventually return to a quiescent, unfrozen state.
+    assert_eq!(net.total_frozen(), 0, "stale frozen VCs after resolution");
+    for (i, a) in net.agents.iter().enumerate() {
+        assert!(
+            matches!(a.state(), FsmState::DeadlockDetection | FsmState::Off),
+            "agent {i} stuck in {:?}",
+            a.state()
+        );
+        assert!(!a.is_deadlock(), "agent {i} has stale is_deadlock");
+    }
+}
+
+#[test]
+fn vanished_dependence_triggers_kill_move() {
+    let mut net = RingNet::new(5, 16);
+    net.install_ring_deadlock();
+    // Run until a move has frozen at least one router, then dissolve the
+    // dependence at a router the move has not reached yet.
+    let mut guard = 0;
+    while net.total_frozen() == 0 && guard < 600 {
+        net.step();
+        guard += 1;
+    }
+    assert!(guard < 600, "no freeze observed");
+    // Break the chain everywhere downstream: empty a VC.
+    // Find a router that is not frozen yet and empty it.
+    let victim = (0..5)
+        .find(|&i| net.frozen_count[i] == 0)
+        .expect("some router not yet frozen");
+    net.routers[victim].set_status(CCW, VN, VC, VcStatus::Empty);
+    net.routers[victim].set_packet(CCW, VN, VC, None);
+    net.run(500);
+    // The move must have died at `victim`, the initiator must have sent a
+    // kill_move, and everything must be released.
+    let kills: u64 = net.agents.iter().map(|a| a.stats().kills_sent).sum();
+    assert!(kills >= 1, "no kill_move sent");
+    assert_eq!(net.total_frozen(), 0, "kill_move failed to release the loop");
+    for a in &net.agents {
+        assert!(!a.is_deadlock());
+    }
+}
+
+#[test]
+fn no_false_recovery_without_deadlock() {
+    // Buffers occupied but all ejecting: probes must never confirm a loop.
+    let mut net = RingNet::new(4, 8);
+    for i in 0..4 {
+        net.routers[i].set_status(CCW, VN, VC, VcStatus::Ejecting);
+        net.routers[i].set_packet(CCW, VN, VC, Some(PacketId(i as u64)));
+    }
+    net.run(200);
+    let confirmed: u64 = net.agents.iter().map(|a| a.stats().loops_confirmed).sum();
+    assert_eq!(confirmed, 0);
+    assert_eq!(net.spins_completed, 0);
+    // Ejecting packets are not watchable: agents sit in Off.
+    for a in &net.agents {
+        assert_eq!(a.state(), FsmState::Off);
+    }
+}
+
+#[test]
+fn congestion_probe_dropped_at_free_vc() {
+    // One router has an empty VC: the "deadlock" is only congestion, and
+    // the probe must be dropped there (no recovery).
+    let mut net = RingNet::new(4, 8);
+    net.install_ring_deadlock();
+    net.routers[2].set_status(CCW, VN, VC, VcStatus::Empty);
+    net.routers[2].set_packet(CCW, VN, VC, None);
+    net.run(200);
+    let probes: u64 = net.agents.iter().map(|a| a.stats().probes_sent).sum();
+    let confirmed: u64 = net.agents.iter().map(|a| a.stats().loops_confirmed).sum();
+    assert!(probes > 0, "detection never fired");
+    assert_eq!(confirmed, 0, "a broken ring must not confirm");
+    assert_eq!(net.spins_completed, 0);
+}
+
+#[test]
+fn competing_initiators_resolve_one_recovery() {
+    // All agents share the same t_DD so several detect simultaneously; the
+    // protocol must still converge to a consistent, single recovery at a
+    // time (Fig. 5(a)).
+    let mut net = RingNet::new(8, 16);
+    net.install_ring_deadlock();
+    net.run(600);
+    assert!(net.spins_completed >= 8, "deadlocked ring never spun");
+    // No router may end up with more than one pending freeze per VC.
+    for (i, &f) in net.frozen_count.iter().enumerate() {
+        assert!(f <= 2, "router {i} accumulated {f} freezes");
+    }
+}
+
+#[test]
+fn probe_move_repeats_spin_while_deadlock_persists() {
+    let mut net = RingNet::new(4, 16);
+    net.install_ring_deadlock();
+    net.run(800);
+    // The ring harness keeps the dependence alive forever (packets rotate
+    // but always block), so probe_move must drive repeated spins: far more
+    // spins than full detect-probe-move cycles alone would produce.
+    let probe_moves: u64 = net.agents.iter().map(|a| a.stats().probe_moves_sent).sum();
+    assert!(probe_moves >= 1, "probe_move optimisation never used");
+    assert!(net.spins_completed >= 8, "expected repeated spins, got {}", net.spins_completed);
+}
+
+#[test]
+fn spin_offset_leaves_kill_window() {
+    // White-box check of the spin-cycle arithmetic: with spin_offset = 2
+    // the spin fires strictly after a kill_move issued at the move timeout
+    // could traverse the loop.
+    let cfg = SpinConfig { t_dd: 10, num_routers: 4, ..SpinConfig::default() };
+    assert_eq!(cfg.spin_offset, 2);
+    assert_eq!(cfg.epoch_len(), 40);
+    assert_eq!(cfg.ttl(), 16);
+}
+
+#[test]
+fn agent_stats_accumulate() {
+    let mut net = RingNet::new(4, 16);
+    net.install_ring_deadlock();
+    net.run(300);
+    let s: Vec<_> = net.agents.iter().map(|a| *a.stats()).collect();
+    let probes: u64 = s.iter().map(|x| x.probes_sent).sum();
+    let moves: u64 = s.iter().map(|x| x.moves_sent).sum();
+    assert!(probes >= 1);
+    assert!(moves >= 1);
+}

@@ -1,0 +1,46 @@
+//! Ground-truth deadlock detection and channel-dependency-graph analysis.
+//!
+//! Two independent tools used to *validate* the SPIN reproduction (they are
+//! not part of the protocol, which is fully distributed):
+//!
+//! * [`WaitGraph`] — an AND-OR wait-for graph over buffer state, reduced to
+//!   the exact set of deadlocked packets. A blocked packet waits on a set of
+//!   *alternative* input ports (adaptive routing may choose any of them); an
+//!   alternative is satisfiable if the port has a free VC now or some
+//!   occupant of that port can itself eventually move. The irreducible
+//!   remainder is deadlocked. This drives Fig. 3 (minimum injection rate at
+//!   which a topology deadlocks) and the false-positive classification of
+//!   Fig. 9.
+//! * [`Cdg`] — Dally's channel dependency graph with a cycle test, used to
+//!   verify that the avoidance baselines (West-first, escape VC, UGAL's VC
+//!   ordering) are in fact deadlock-free by construction (Table I).
+//!
+//! # Examples
+//!
+//! A two-packet buffer cycle is deadlocked; giving either packet a free
+//! alternative dissolves it:
+//!
+//! ```
+//! use spin_deadlock::{BufferId, WaitGraph};
+//! use spin_types::{PacketId, PortId, RouterId, VcId, Vnet};
+//!
+//! let b = |r: u32| BufferId {
+//!     router: RouterId(r), port: PortId(1), vnet: Vnet(0), vc: VcId(0),
+//! };
+//! let mut g = WaitGraph::new();
+//! g.add_packet(PacketId(0), b(0), vec![(RouterId(1), PortId(1), Vnet(0))]);
+//! g.add_packet(PacketId(1), b(1), vec![(RouterId(0), PortId(1), Vnet(0))]);
+//! assert_eq!(g.deadlocked().len(), 2);
+//!
+//! g.add_free_vcs(RouterId(1), PortId(1), Vnet(0), 1);
+//! assert!(g.deadlocked().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdg;
+mod wait_graph;
+
+pub use cdg::Cdg;
+pub use wait_graph::{BufferId, WaitGraph};

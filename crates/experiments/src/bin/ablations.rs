@@ -1,0 +1,80 @@
+//! Ablation study of the SPIN implementation's design choices (quality
+//! metrics; the timing counterpart lives in `crates/bench/benches/
+//! ablations.rs`). Each row runs the same past-saturation 1-VC mesh
+//! workload with one knob toggled and reports accepted throughput, spins,
+//! kills and probe-drop behaviour.
+//!
+//! Usage: `ablations [--quick]`
+
+use spin_core::SpinConfig;
+use spin_experiments::quick_mode;
+use spin_routing::FavorsMinimal;
+use spin_sim::{NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_types::Cycle;
+
+fn run(name: &str, spin: SpinConfig, cycles: Cycle) {
+    let topo = Topology::mesh(8, 8);
+    let tc = SyntheticConfig::new(Pattern::UniformRandom, 0.25);
+    let traffic = SyntheticTraffic::new(tc, &topo, 7);
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig { vnets: 3, vcs_per_vnet: 1, ..SimConfig::default() })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(spin)
+        .build();
+    net.run(cycles);
+    let s = net.stats();
+    let a = net.spin_stats();
+    println!(
+        "{name:<28} {:>7.3} {:>7} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        s.throughput(64),
+        a.loops_confirmed,
+        a.spins_initiated,
+        a.kills_sent,
+        a.drop_priority,
+        a.drop_dup,
+        a.probes_sent
+    );
+}
+
+fn main() {
+    let cycles: Cycle = if quick_mode() { 5_000 } else { 30_000 };
+    println!(
+        "# SPIN ablations: 8x8 mesh, FAvORS-Min, 1 VC, uniform 0.25 flits/node/cycle, {cycles} cycles\n"
+    );
+    println!(
+        "{:<28} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        "config", "thr", "conf", "spins", "kills", "drop_prio", "drop_dup", "probes"
+    );
+    run("paper_defaults", SpinConfig::default(), cycles);
+    run(
+        "no_probe_forking",
+        SpinConfig { probe_forking: false, ..SpinConfig::default() },
+        cycles,
+    );
+    run(
+        "no_priority_drop",
+        SpinConfig { priority_probe_drop: false, ..SpinConfig::default() },
+        cycles,
+    );
+    run(
+        "no_probe_move_opt",
+        SpinConfig { probe_move_opt: false, ..SpinConfig::default() },
+        cycles,
+    );
+    run(
+        "spin_offset_1x",
+        SpinConfig { spin_offset: 1, ..SpinConfig::default() },
+        cycles,
+    );
+    run("t_dd_32", SpinConfig { t_dd: 32, ..SpinConfig::default() }, cycles);
+    run("t_dd_512", SpinConfig { t_dd: 512, ..SpinConfig::default() }, cycles);
+    println!(
+        "\n# Reading guide: `conf` = confirmed loops (recoveries), `kills` =\n\
+         # cancelled recoveries. Lower t_dd detects faster but probes more;\n\
+         # disabling the priority drop multiplies confirmations but also\n\
+         # collisions (kills); spin_offset 1x shrinks the kill window."
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 7 — 8x8 mesh: latency vs injection rate for the paper's six mesh
+//! designs over five synthetic patterns.
+//!
+//! Usage: `fig7 [--quick]`
+
+use spin_experiments::{print_sweep, quick_mode, rate_grid, sweep, Design, RunParams};
+use spin_routing::{EscapeVc, FavorsMinimal, ReservedVcAdaptive, WestFirst};
+use spin_topology::Topology;
+use spin_traffic::Pattern;
+
+fn designs() -> Vec<Design> {
+    vec![
+        Design::new("westfirst_3vc", 3, false, || Box::new(WestFirst)),
+        Design::new("escapevc_3vc", 3, false, || Box::new(EscapeVc)),
+        Design::new("staticbubble_3vc", 3, false, || Box::new(ReservedVcAdaptive::new(3)))
+            .with_static_bubble(),
+        Design::new("minadaptive_3vc_spin", 3, true, || Box::new(FavorsMinimal)),
+        Design::new("favors_min_1vc", 1, true, || Box::new(FavorsMinimal)),
+        Design::new("westfirst_1vc", 1, false, || Box::new(WestFirst)),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let topo = Topology::mesh(8, 8);
+    let params = if quick {
+        RunParams { warmup: 500, measure: 2_000, ..RunParams::default() }
+    } else {
+        RunParams::default()
+    };
+    let rates = rate_grid(quick);
+    let patterns = [
+        Pattern::UniformRandom,
+        Pattern::Transpose,
+        Pattern::BitReverse,
+        Pattern::BitRotation,
+        Pattern::Tornado,
+    ];
+    println!("# Fig. 7: 8x8 mesh latency vs injection rate\n");
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    for pattern in patterns {
+        for d in designs() {
+            let (points, sat) = sweep(&topo, &d, pattern, &rates, params);
+            print_sweep(d.name, pattern, &points, sat);
+            summary.push((format!("{pattern}/{}", d.name), sat));
+        }
+    }
+    println!("# Saturation throughput summary (flits/node/cycle)");
+    for (k, v) in summary {
+        println!("{k:<45} {v:.3}");
+    }
+}

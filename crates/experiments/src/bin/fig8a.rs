@@ -1,0 +1,82 @@
+//! Fig. 8(a) — network energy-delay product on application traffic,
+//! MinAdaptive 2VC + SPIN normalised to EscapeVC 3VC.
+//!
+//! PARSEC full-system traces are substituted with the request/reply
+//! application model of `spin_traffic::apps` (see DESIGN.md substitution
+//! #2). EDP = analytical network energy (buffer+crossbar activity from
+//! measured flit-hops, leakage from the VC-dependent router area) x average
+//! packet latency.
+//!
+//! Usage: `fig8a [--quick]`
+
+use spin_core::SpinConfig;
+use spin_experiments::quick_mode;
+use spin_power::{PowerModel, RouterParams};
+use spin_routing::{EscapeVc, FavorsMinimal, Routing};
+use spin_sim::{NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{AppTraffic, PARSEC_PRESETS};
+use spin_types::Cycle;
+
+struct EdpResult {
+    latency: f64,
+    edp: f64,
+}
+
+fn run_design(
+    topo: &Topology,
+    routing: Box<dyn Routing>,
+    vcs: u8,
+    spin: bool,
+    preset: usize,
+    cycles: Cycle,
+) -> EdpResult {
+    let traffic = AppTraffic::new(PARSEC_PRESETS[preset], topo.num_nodes(), 11);
+    let mut builder = NetworkBuilder::new(topo.clone())
+        .config(SimConfig { vnets: 3, vcs_per_vnet: vcs, ..SimConfig::default() })
+        .routing_box(routing)
+        .traffic(traffic);
+    if spin {
+        builder = builder.spin(SpinConfig::default());
+    }
+    let mut net = builder.build();
+    net.run(cycles);
+    let s = net.stats();
+    let model = PowerModel::nangate15();
+    let params = RouterParams::mesh_router(vcs as u32);
+    let energy = model.network_energy(
+        &params,
+        topo.num_routers(),
+        s.cycles,
+        s.link_use.flit,
+    );
+    let latency = s.avg_total_latency().max(1.0);
+    EdpResult { latency, edp: energy * latency }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cycles: Cycle = if quick { 20_000 } else { 100_000 };
+    let topo = Topology::mesh(8, 8);
+    println!("# Fig. 8a: network EDP on application traffic, normalised to EscapeVC 3VC\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "workload", "lat(esc)", "lat(spin)", "edp(esc)", "edp(spin)", "norm EDP"
+    );
+    let mut geo = 0.0f64;
+    let mut n = 0;
+    for (i, preset) in PARSEC_PRESETS.iter().enumerate() {
+        let esc = run_design(&topo, Box::new(EscapeVc), 3, false, i, cycles);
+        let spin = run_design(&topo, Box::new(FavorsMinimal), 2, true, i, cycles);
+        let norm = spin.edp / esc.edp;
+        geo += norm.ln();
+        n += 1;
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>12.3e} {:>12.3e} {:>10.3}",
+            preset.name, esc.latency, spin.latency, esc.edp, spin.edp, norm
+        );
+    }
+    let gmean = (geo / n as f64).exp();
+    println!("\ngeometric-mean normalised EDP (SPIN 2VC / EscapeVC 3VC): {gmean:.3}");
+    println!("# Paper reports ~0.82 (18% lower EDP on average).");
+}

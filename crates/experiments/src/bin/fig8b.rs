@@ -1,0 +1,50 @@
+//! Fig. 8(b) — network-link utilisation split into data flits, probe SMs,
+//! other SMs and idle, for uniform random traffic on the 8x8 mesh with
+//! 3 VCs (minimal adaptive + SPIN) at low / medium / high load.
+//!
+//! Usage: `fig8b [--quick]`
+
+use spin_core::SpinConfig;
+use spin_experiments::quick_mode;
+use spin_routing::FavorsMinimal;
+use spin_sim::{NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+
+fn main() {
+    let quick = quick_mode();
+    let cycles = if quick { 10_000 } else { 50_000 };
+    let topo = Topology::mesh(8, 8);
+    println!("# Fig. 8b: link utilisation, mesh 8x8, 3 VCs, minimal adaptive + SPIN\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "rate", "flit%", "probe%", "otherSM%", "idle%", "spins"
+    );
+    for rate in [0.01, 0.2, 0.5] {
+        let tc = SyntheticConfig::new(Pattern::UniformRandom, rate);
+        let traffic = SyntheticTraffic::new(tc, &topo, 5);
+        let mut net = NetworkBuilder::new(topo.clone())
+            .config(SimConfig { vnets: 3, vcs_per_vnet: 3, ..SimConfig::default() })
+            .routing(FavorsMinimal)
+            .traffic(traffic)
+            .spin(SpinConfig::default())
+            .build();
+        net.run(cycles);
+        let s = net.stats();
+        let u = s.link_use;
+        println!(
+            "{:>8.2} {:>10.2} {:>10.3} {:>10.3} {:>10.2} {:>8}",
+            rate,
+            100.0 * u.flit_fraction(),
+            100.0 * u.probe_fraction(),
+            100.0 * u.other_sm_fraction(),
+            100.0 * u.idle_fraction(),
+            s.spins
+        );
+    }
+    println!(
+        "\n# Shape to check against the paper: SM utilisation stays under ~5%\n\
+         # at every load; flit utilisation peaks at medium load and falls at\n\
+         # high load as deadlocks become frequent; links are otherwise idle."
+    );
+}

@@ -1,0 +1,138 @@
+//! Generic sweep utility: pick a topology, routing algorithm, deadlock
+//! scheme and traffic pattern from the command line and print a
+//! latency/throughput curve. The figure binaries wrap fixed configurations
+//! of this same machinery; `sweep` exposes it for ad-hoc exploration.
+//!
+//! Usage:
+//!   sweep [topo] [routing] [pattern] [vcs] [spin|nospin|bubble] [rates...]
+//!
+//!   topo    = mesh8x8 | mesh4x4 | torus4x4 | ring8 | dfly64 | dfly1024 | random24
+//!   routing = xy | westfirst | escape | favors | favors_nmin | ugal |
+//!             ugal_spin | updown | static_bubble
+//!   pattern = uniform | bitcomp | transpose | tornado | neighbor |
+//!             bitrev | bitrot | shuffle
+//!
+//! Example: `sweep mesh8x8 favors transpose 1 spin 0.05 0.1 0.2 0.3`
+//!
+//! Append `--json` to also emit the measured points as a JSON array on the
+//! last line (for plotting scripts).
+
+use spin_core::SpinConfig;
+use spin_routing::{
+    EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal, UpDown,
+    WestFirst, XyRouting,
+};
+use spin_sim::{NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+
+fn topology(name: &str) -> Topology {
+    match name {
+        "mesh8x8" => Topology::mesh(8, 8),
+        "mesh4x4" => Topology::mesh(4, 4),
+        "torus4x4" => Topology::torus(4, 4),
+        "ring8" => Topology::ring(8),
+        "dfly64" => Topology::dragonfly(2, 4, 2, 8),
+        "dfly1024" => Topology::dragonfly(4, 8, 4, 32),
+        "random24" => Topology::random_connected(24, 16, 1, 42).expect("valid"),
+        other => panic!("unknown topology `{other}` (see --help text in the source)"),
+    }
+}
+
+fn routing(name: &str, topo: &Topology, vcs: u8) -> Box<dyn Routing> {
+    match name {
+        "xy" => Box::new(XyRouting),
+        "westfirst" => Box::new(WestFirst),
+        "escape" => Box::new(EscapeVc),
+        "favors" => Box::new(FavorsMinimal),
+        "favors_nmin" => Box::new(FavorsNonMinimal),
+        "ugal" => Box::new(Ugal::dally_baseline()),
+        "ugal_spin" => Box::new(Ugal::with_spin()),
+        "updown" => Box::new(UpDown::new(topo)),
+        "static_bubble" => Box::new(ReservedVcAdaptive::new(vcs)),
+        other => panic!("unknown routing `{other}`"),
+    }
+}
+
+fn pattern(name: &str) -> Pattern {
+    match name {
+        "uniform" => Pattern::UniformRandom,
+        "bitcomp" => Pattern::BitComplement,
+        "transpose" => Pattern::Transpose,
+        "tornado" => Pattern::Tornado,
+        "neighbor" => Pattern::Neighbor,
+        "bitrev" => Pattern::BitReverse,
+        "bitrot" => Pattern::BitRotation,
+        "shuffle" => Pattern::Shuffle,
+        other => panic!("unknown pattern `{other}`"),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let topo_name = args.first().map(String::as_str).unwrap_or("mesh8x8");
+    let routing_name = args.get(1).map(String::as_str).unwrap_or("favors");
+    let pattern_name = args.get(2).map(String::as_str).unwrap_or("uniform");
+    let vcs: u8 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scheme = args.get(4).map(String::as_str).unwrap_or("spin");
+    let rates: Vec<f64> = if args.len() > 5 {
+        args[5..].iter().map(|s| s.parse().expect("rate")).collect()
+    } else {
+        vec![0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.30, 0.40]
+    };
+
+    let topo = topology(topo_name);
+    println!(
+        "# sweep: {} / {} / {} / {}VC / {}",
+        topo, routing_name, pattern_name, vcs, scheme
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "offered", "latency", "throughput", "spins", "probes", "kills"
+    );
+    let mut measured: Vec<serde_json::Value> = Vec::new();
+    for &rate in &rates {
+        let tc = SyntheticConfig::new(pattern(pattern_name), rate);
+        let traffic = SyntheticTraffic::new(tc, &topo, 1);
+        let mut b = NetworkBuilder::new(topo.clone())
+            .config(SimConfig {
+                vnets: 3,
+                vcs_per_vnet: vcs,
+                static_bubble: scheme == "static_bubble" || routing_name == "static_bubble",
+                bubble_flow_control: scheme == "bubble",
+                ..SimConfig::default()
+            })
+            .routing_box(routing(routing_name, &topo, vcs))
+            .traffic(traffic);
+        if scheme == "spin" {
+            b = b.spin(SpinConfig::default());
+        }
+        let mut net = b.build();
+        net.run(2_000);
+        net.reset_measurement();
+        net.run(8_000);
+        let s = net.stats();
+        println!(
+            "{:>8.3} {:>10.1} {:>12.3} {:>8} {:>8} {:>8}",
+            rate,
+            s.avg_total_latency(),
+            s.throughput(net.topology().num_nodes()),
+            s.spins,
+            s.probes_sent,
+            s.kills_sent
+        );
+        measured.push(serde_json::json!({
+            "offered": rate,
+            "latency": s.avg_total_latency(),
+            "throughput": s.throughput(net.topology().num_nodes()),
+            "spins": s.spins,
+            "probes": s.probes_sent,
+            "kills": s.kills_sent,
+        }));
+    }
+    if json {
+        println!("{}", serde_json::Value::Array(measured));
+    }
+}

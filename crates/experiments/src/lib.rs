@@ -1,0 +1,242 @@
+//! Shared harness for the paper-reproduction experiment binaries.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`:
+//!
+//! | Binary   | Paper artefact                                             |
+//! |----------|------------------------------------------------------------|
+//! | `table1` | Table I — qualitative comparison of deadlock theories      |
+//! | `fig3`   | Fig. 3 — minimum injection rate at which topologies deadlock |
+//! | `fig6`   | Fig. 6 — dragonfly latency vs injection rate               |
+//! | `fig7`   | Fig. 7 — 8x8 mesh latency vs injection rate                |
+//! | `fig8a`  | Fig. 8a — network EDP on application traffic               |
+//! | `fig8b`  | Fig. 8b — link utilisation split (flit / SMs / idle)       |
+//! | `fig9`   | Fig. 9 — false positives and spins vs injection rate       |
+//! | `fig10`  | Fig. 10 — area overhead vs the West-first baseline         |
+//!
+//! Every binary accepts `--quick` (reduced cycles/points for smoke runs)
+//! and prints a plain-text table whose rows mirror the series the paper
+//! plots. `EXPERIMENTS.md` records the paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use spin_core::SpinConfig;
+use spin_routing::Routing;
+use spin_sim::{NetStats, Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic, TrafficSource};
+use spin_types::Cycle;
+
+/// One measured operating point of a latency/throughput sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Offered load in flits/node/cycle.
+    pub offered: f64,
+    /// Average end-to-end packet latency (cycles) in the window.
+    pub latency: f64,
+    /// Accepted throughput in flits/node/cycle.
+    pub throughput: f64,
+    /// Spins executed during the measurement window run.
+    pub spins: u64,
+    /// Probes sent.
+    pub probes: u64,
+    /// False-positive probes (if classification was on).
+    pub false_positives: u64,
+    /// Whether the point is saturated (latency blew past the cap or
+    /// accepted throughput collapsed below offered).
+    pub saturated: bool,
+}
+
+/// A named design configuration (one curve of Fig. 6/7).
+pub struct Design {
+    /// Label used in tables (matches the paper's, e.g. "westfirst_3vc").
+    pub name: &'static str,
+    /// Routing algorithm factory (fresh instance per run).
+    pub routing: Box<dyn Fn() -> Box<dyn Routing>>,
+    /// VCs per vnet.
+    pub vcs: u8,
+    /// SPIN on?
+    pub spin: bool,
+    /// Static Bubble recovery on?
+    pub static_bubble: bool,
+}
+
+impl Design {
+    /// Convenience constructor.
+    pub fn new(
+        name: &'static str,
+        vcs: u8,
+        spin: bool,
+        routing: impl Fn() -> Box<dyn Routing> + 'static,
+    ) -> Self {
+        Design { name, routing: Box::new(routing), vcs, spin, static_bubble: false }
+    }
+
+    /// Marks the design as using Static Bubble recovery.
+    pub fn with_static_bubble(mut self) -> Self {
+        self.static_bubble = true;
+        self
+    }
+}
+
+/// Sweep/runtime parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunParams {
+    /// Warmup cycles before the measurement window.
+    pub warmup: Cycle,
+    /// Measured cycles.
+    pub measure: Cycle,
+    /// Latency cap: a point whose average latency exceeds this is reported
+    /// as saturated (the paper's curves go vertical there).
+    pub latency_cap: f64,
+    /// Vnets.
+    pub vnets: u8,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Classify probes against ground truth (Fig. 9).
+    pub classify: bool,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            warmup: 2_000,
+            measure: 10_000,
+            latency_cap: 500.0,
+            vnets: 3,
+            seed: 1,
+            classify: false,
+        }
+    }
+}
+
+/// Builds the network for one design/pattern/rate and measures one point.
+pub fn measure_point(
+    topo: &Topology,
+    design: &Design,
+    pattern: Pattern,
+    rate: f64,
+    params: RunParams,
+) -> Point {
+    let mut tc = SyntheticConfig::new(pattern, rate);
+    tc.vnets = params.vnets;
+    if params.vnets == 1 {
+        tc.data_fraction = 0.0;
+    }
+    let traffic = SyntheticTraffic::new(tc, topo, params.seed);
+    measure_with_traffic(topo, design, traffic, rate, params)
+}
+
+/// Like [`measure_point`] with an arbitrary traffic source.
+pub fn measure_with_traffic(
+    topo: &Topology,
+    design: &Design,
+    traffic: impl TrafficSource + 'static,
+    offered: f64,
+    params: RunParams,
+) -> Point {
+    let mut builder = NetworkBuilder::new(topo.clone())
+        .config(SimConfig {
+            vnets: params.vnets,
+            vcs_per_vnet: design.vcs,
+            static_bubble: design.static_bubble,
+            seed: params.seed,
+            classify_probes: params.classify,
+            ..SimConfig::default()
+        })
+        .routing_box((design.routing)())
+        .traffic(traffic);
+    if design.spin {
+        builder = builder.spin(SpinConfig::default());
+    }
+    let mut net = builder.build();
+    net.run(params.warmup);
+    net.reset_measurement();
+    net.run(params.measure);
+    point_from(&net, offered, params)
+}
+
+fn point_from(net: &Network, offered: f64, params: RunParams) -> Point {
+    let s: NetStats = net.stats();
+    let latency = s.avg_total_latency();
+    let throughput = s.throughput(net.topology().num_nodes());
+    let saturated = latency > params.latency_cap
+        || (offered > 0.0 && throughput < offered * 0.85)
+        || s.window_packets_delivered == 0;
+    Point {
+        offered,
+        latency,
+        throughput,
+        spins: s.spins,
+        probes: s.probes_sent,
+        false_positives: s.false_positive_probes,
+        saturated,
+    }
+}
+
+/// Sweeps injection rates until saturation; returns measured points and the
+/// saturation throughput (max accepted throughput observed).
+pub fn sweep(
+    topo: &Topology,
+    design: &Design,
+    pattern: Pattern,
+    rates: &[f64],
+    params: RunParams,
+) -> (Vec<Point>, f64) {
+    let mut points = Vec::new();
+    let mut sat = 0.0f64;
+    for &rate in rates {
+        let p = measure_point(topo, design, pattern, rate, params);
+        sat = sat.max(p.throughput);
+        let stop = p.saturated;
+        points.push(p);
+        if stop {
+            break;
+        }
+    }
+    (points, sat)
+}
+
+/// Prints one sweep as an aligned table.
+pub fn print_sweep(design: &str, pattern: Pattern, points: &[Point], sat: f64) {
+    println!("## {design} / {pattern} (saturation throughput {sat:.3} flits/node/cycle)");
+    println!("{:>8} {:>10} {:>12} {:>8} {:>8} {:>6}", "offered", "latency", "throughput", "spins", "probes", "sat");
+    for p in points {
+        println!(
+            "{:>8.3} {:>10.1} {:>12.3} {:>8} {:>8} {:>6}",
+            p.offered,
+            p.latency,
+            p.throughput,
+            p.spins,
+            p.probes,
+            if p.saturated { "yes" } else { "" }
+        );
+    }
+    println!();
+}
+
+/// True when `--quick` was passed (smoke-test scale).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// True when `--full` was passed (paper-scale cycles/networks).
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// The standard injection-rate grid for sweeps.
+pub fn rate_grid(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.02, 0.08, 0.14, 0.20, 0.30, 0.40]
+    } else {
+        // Fine steps below ~0.25: one-VC designs saturate there, and the
+        // accepted throughput collapses (rather than plateauing) past the
+        // knee, so the knee must be sampled directly.
+        vec![
+            0.02, 0.06, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20, 0.24, 0.28, 0.32, 0.36, 0.40,
+            0.44, 0.48,
+        ]
+    }
+}

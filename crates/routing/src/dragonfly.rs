@@ -1,0 +1,209 @@
+//! Dragonfly routing: UGAL with the paper's Dally-style VC ordering
+//! baseline, or with free VC use when SPIN provides deadlock freedom.
+
+use crate::{
+    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use smallvec::smallvec;
+use spin_types::{NodeId, Packet, PortId, RouterId, VcId};
+
+/// How UGAL packets may use VCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UgalVcDiscipline {
+    /// Dally-theory baseline: the VC index equals the number of global
+    /// links already crossed, so the extended CDG is acyclic. Needs 3 VCs
+    /// for non-minimal (2 global hops) routing (Table I).
+    DallyOrdered,
+    /// SPIN configuration: any VC, recovery handles the rare deadlock.
+    Free,
+}
+
+/// UGAL-L for dragonflies: at the source, choose between the minimal path
+/// and a Valiant detour through a random remote group by comparing
+/// queue-length x hop-count products estimated from local credits.
+#[derive(Debug, Clone, Copy)]
+pub struct Ugal {
+    /// VC usage rule.
+    pub discipline: UgalVcDiscipline,
+}
+
+impl Ugal {
+    /// The paper's 3-VC deadlock-avoidance baseline.
+    pub fn dally_baseline() -> Self {
+        Ugal { discipline: UgalVcDiscipline::DallyOrdered }
+    }
+
+    /// UGAL on top of SPIN: no VC-use restriction.
+    pub fn with_spin() -> Self {
+        Ugal { discipline: UgalVcDiscipline::Free }
+    }
+
+    fn vc_mask(&self, pkt: &Packet) -> VcMask {
+        match self.discipline {
+            UgalVcDiscipline::DallyOrdered => VcMask::only(VcId(pkt.global_hops.min(31) as u8)),
+            UgalVcDiscipline::Free => VcMask::all(),
+        }
+    }
+}
+
+impl Routing for Ugal {
+    fn name(&self) -> &'static str {
+        match self.discipline {
+            UgalVcDiscipline::DallyOrdered => "ugal_dally",
+            UgalVcDiscipline::Free => "ugal_spin",
+        }
+    }
+
+    fn at_injection(&self, view: &dyn NetworkView, pkt: &mut Packet, rng: &mut StdRng) {
+        let topo = view.topology();
+        let src_r = topo.node_router(pkt.src);
+        let dst_r = topo.node_router(pkt.dst);
+        if src_r == dst_r {
+            return;
+        }
+        // Candidate Valiant intermediate: a random node elsewhere.
+        let n = topo.num_nodes() as u32;
+        let inter = NodeId(rng.random_range(0..n));
+        if inter == pkt.src || inter == pkt.dst {
+            return;
+        }
+        let inter_r = topo.node_router(inter);
+        let h_min = topo.dist(src_r, dst_r) as usize;
+        let h_nonmin = (topo.dist(src_r, inter_r) + topo.dist(inter_r, dst_r)) as usize;
+        let q = |target: RouterId| -> usize {
+            topo.minimal_ports(src_r, target)
+                .iter()
+                .map(|&p| view.downstream_occupancy(src_r, p, pkt.vnet))
+                .min()
+                .unwrap_or(0)
+        };
+        let q_min = q(dst_r);
+        let q_nonmin = q(inter_r);
+        // Classic UGAL-L: detour when the minimal queue estimate scaled by
+        // its hop count exceeds the non-minimal one.
+        if q_min * h_min > q_nonmin * h_nonmin {
+            pkt.intermediate = Some(inter);
+            pkt.misroutes = 1;
+        }
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(mut eject) = ejection_choice(topo, at, pkt) {
+            eject.vc_mask = VcMask::all();
+            return smallvec![eject];
+        }
+        let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
+        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
+            .expect("non-ejecting packet has a minimal port");
+        smallvec![RouteChoice { out_port: port, vc_mask: self.vc_mask(pkt) }]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let mask = self.vc_mask(pkt);
+        topo.minimal_ports(at, topo.node_router(pkt.current_target()))
+            .iter()
+            .map(|&p| RouteChoice { out_port: p, vc_mask: mask })
+            .collect()
+    }
+
+    fn misroute_bound(&self) -> u32 {
+        1
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        match self.discipline {
+            UgalVcDiscipline::DallyOrdered => 3,
+            UgalVcDiscipline::Free => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticView;
+    use rand::SeedableRng;
+    use spin_topology::Topology;
+    use spin_types::PacketBuilder;
+
+    fn dfly() -> Topology {
+        Topology::dragonfly(2, 4, 2, 9)
+    }
+
+    #[test]
+    fn minimal_when_uncongested() {
+        let topo = dfly();
+        let view = StaticView::new(&topo, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = PacketBuilder::new(NodeId(0), NodeId(70)).build(0);
+        Ugal::dally_baseline().at_injection(&view, &mut p, &mut rng);
+        assert_eq!(p.intermediate, None);
+    }
+
+    #[test]
+    fn dally_discipline_tracks_global_hops() {
+        let u = Ugal::dally_baseline();
+        let mut p = PacketBuilder::new(NodeId(0), NodeId(70)).build(0);
+        assert_eq!(u.vc_mask(&p), VcMask::only(VcId(0)));
+        p.global_hops = 1;
+        assert_eq!(u.vc_mask(&p), VcMask::only(VcId(1)));
+        p.global_hops = 2;
+        assert_eq!(u.vc_mask(&p), VcMask::only(VcId(2)));
+    }
+
+    #[test]
+    fn spin_discipline_frees_vcs() {
+        let u = Ugal::with_spin();
+        let mut p = PacketBuilder::new(NodeId(0), NodeId(70)).build(0);
+        p.global_hops = 2;
+        assert_eq!(u.vc_mask(&p), VcMask::all());
+        assert_eq!(u.min_vcs_required(), 1);
+        assert_eq!(Ugal::dally_baseline().min_vcs_required(), 3);
+    }
+
+    #[test]
+    fn routes_reach_destination_minimally() {
+        let topo = dfly();
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = Ugal::dally_baseline();
+        for (s, d) in [(0u32, 71u32), (3, 40), (17, 55)] {
+            let p = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+            let mut at = topo.node_router(NodeId(s));
+            let dst_r = topo.node_router(NodeId(d));
+            let mut hops = 0;
+            while at != dst_r {
+                let c = u.route(&view, at, PortId(0), &p, &mut rng);
+                at = topo.neighbor(at, c[0].out_port).unwrap().router;
+                hops += 1;
+                assert!(hops <= 3, "dragonfly minimal exceeds 3 hops");
+            }
+        }
+    }
+
+    #[test]
+    fn names_distinguish_disciplines() {
+        assert_eq!(Ugal::dally_baseline().name(), "ugal_dally");
+        assert_eq!(Ugal::with_spin().name(), "ugal_spin");
+    }
+}

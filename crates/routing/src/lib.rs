@@ -1,0 +1,254 @@
+//! Routing algorithms for the SPIN reproduction.
+//!
+//! Every algorithm the paper evaluates is here:
+//!
+//! | Design (Table III)    | Type in this crate                           |
+//! |-----------------------|----------------------------------------------|
+//! | XY / DOR              | [`XyRouting`]                                |
+//! | West-first (Dally)    | [`WestFirst`]                                |
+//! | Escape VC (Duato)     | [`EscapeVc`]                                 |
+//! | Minimal adaptive      | [`FavorsMinimal`] (same selection policy)    |
+//! | Static Bubble routing | [`ReservedVcAdaptive`]                       |
+//! | Dragonfly minimal     | [`FavorsMinimal`] (topology-agnostic)        |
+//! | UGAL (Dally VCs)      | [`Ugal`]                                     |
+//! | **FAvORS** min / nmin | [`FavorsMinimal`] / [`FavorsNonMinimal`]     |
+//!
+//! Algorithms are *stateless* policy objects: the simulator calls
+//! [`Routing::route`] every cycle a head packet waits, passing a
+//! [`NetworkView`] that exposes the congestion state an on-chip router can
+//! legitimately observe (free VCs downstream via credits, VC busy time,
+//! downstream occupancy). Adaptive algorithms therefore re-evaluate their
+//! choice as congestion shifts, exactly as hardware would.
+//!
+//! # Examples
+//!
+//! Route a packet across a mesh with XY routing using a static view:
+//!
+//! ```
+//! use spin_routing::{Routing, StaticView, XyRouting};
+//! use spin_topology::Topology;
+//! use spin_types::{NodeId, PacketBuilder, PortId};
+//! use rand::SeedableRng;
+//!
+//! let topo = Topology::mesh(4, 4);
+//! let view = StaticView::new(&topo, 1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let pkt = PacketBuilder::new(NodeId(0), NodeId(3)).build(0);
+//! let xy = XyRouting;
+//! // From router 0 an XY route to node 3 heads East (port 2).
+//! let choice = xy.route(&view, spin_types::RouterId(0), PortId(0), &pkt, &mut rng);
+//! assert_eq!(choice[0].out_port, PortId(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dragonfly;
+mod favors;
+mod mesh;
+mod updown;
+mod view;
+
+pub use dragonfly::{Ugal, UgalVcDiscipline};
+pub use favors::{FavorsMinimal, FavorsNonMinimal};
+pub use mesh::{EscapeVc, ReservedVcAdaptive, WestFirst, XyRouting};
+pub use updown::UpDown;
+pub use view::{NetworkView, StaticView};
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use smallvec::SmallVec;
+use spin_topology::Topology;
+use spin_types::{Packet, PortId, RouterId, VcId, Vnet};
+use std::fmt;
+
+/// A bitmask over the VC indices (within one vnet) a packet may acquire at
+/// the downstream input port — the deadlock-avoidance discipline of the
+/// routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcMask(u32);
+
+impl VcMask {
+    /// Every VC allowed (SPIN's "no VC-use restriction").
+    pub fn all() -> Self {
+        VcMask(u32::MAX)
+    }
+
+    /// Only VC `vc` allowed.
+    pub fn only(vc: VcId) -> Self {
+        VcMask(1 << vc.0)
+    }
+
+    /// All VCs except `vc`.
+    pub fn except(vc: VcId) -> Self {
+        VcMask(!(1 << vc.0))
+    }
+
+    /// All VCs with index >= `vc` (Dally-style ordering disciplines).
+    pub fn at_least(vc: VcId) -> Self {
+        VcMask(u32::MAX << vc.0)
+    }
+
+    /// Whether `vc` is allowed.
+    pub fn contains(self, vc: VcId) -> bool {
+        self.0 & (1 << vc.0) != 0
+    }
+
+    /// Intersection of two masks.
+    pub fn and(self, other: VcMask) -> VcMask {
+        VcMask(self.0 & other.0)
+    }
+
+    /// True if no VC is allowed.
+    pub fn is_empty_for(self, num_vcs: u8) -> bool {
+        self.0 & ((1u32 << num_vcs.min(31)) - 1) == 0
+    }
+}
+
+/// One routing option: an output port plus the VCs the packet may take at
+/// the next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteChoice {
+    /// The output port.
+    pub out_port: PortId,
+    /// Allowed downstream VCs.
+    pub vc_mask: VcMask,
+}
+
+impl RouteChoice {
+    /// A choice allowing every VC.
+    pub fn any_vc(out_port: PortId) -> Self {
+        RouteChoice { out_port, vc_mask: VcMask::all() }
+    }
+}
+
+/// Candidate route choices in strict preference order: VC allocation tries
+/// them front to back each cycle and takes the first with a free allowed VC.
+pub type RouteChoices = SmallVec<[RouteChoice; 4]>;
+
+/// A routing algorithm (policy object, stateless; per-packet state lives in
+/// [`Packet`]).
+pub trait Routing: fmt::Debug + Send + Sync {
+    /// Short name for reports (e.g. `"favors_min"`).
+    fn name(&self) -> &'static str;
+
+    /// Source-side decision at injection time (e.g. UGAL / FAvORS-NMin
+    /// choosing a Valiant intermediate node). Default: nothing.
+    fn at_injection(&self, _view: &dyn NetworkView, _pkt: &mut Packet, _rng: &mut StdRng) {}
+
+    /// Computes the candidate outputs for the head packet of a VC at router
+    /// `at` that arrived through `in_port`. Called every cycle the packet
+    /// waits; adaptive algorithms may return different choices as congestion
+    /// evolves. When the packet's current target node attaches to `at`, the
+    /// single choice must be the ejection (local) port.
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices;
+
+    /// The *full* set of legal route choices (not the adaptive selection) —
+    /// every outport/VC combination the algorithm could ever pick for this
+    /// packet from this router. The ground-truth deadlock detector uses
+    /// this OR-set: a packet is only truly deadlocked if every alternative
+    /// is blocked.
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices;
+
+    /// The livelock misroute bound `p` (0 for minimal algorithms); the SPIN
+    /// theory's spin bound is `m*p + (m-1)` for a loop of length `m`.
+    fn misroute_bound(&self) -> u32 {
+        0
+    }
+
+    /// Minimum VCs per vnet this algorithm's deadlock discipline requires
+    /// when used *without* SPIN (Table I); 1 when the algorithm relies on
+    /// SPIN entirely.
+    fn min_vcs_required(&self) -> u8;
+}
+
+/// Ejection choice for a packet whose current target attaches to `at`.
+/// Returns `None` if the target is elsewhere.
+pub fn ejection_choice(topo: &Topology, at: RouterId, pkt: &Packet) -> Option<RouteChoice> {
+    let target = pkt.current_target();
+    if topo.node_router(target) == at {
+        Some(RouteChoice::any_vc(topo.node_attach(target).port))
+    } else {
+        None
+    }
+}
+
+/// The shared adaptive selection policy of FAvORS (Sec. V): among candidate
+/// ports, pick randomly among those with a free downstream VC; if none has a
+/// free VC, pick the port whose downstream VCs have been active (busy) the
+/// shortest time — a cheap congestion proxy available from credits.
+pub fn select_adaptive(
+    view: &dyn NetworkView,
+    at: RouterId,
+    ports: &[PortId],
+    vnet: Vnet,
+    rng: &mut StdRng,
+) -> Option<PortId> {
+    if ports.is_empty() {
+        return None;
+    }
+    let free: SmallVec<[PortId; 8]> = ports
+        .iter()
+        .copied()
+        .filter(|&p| view.free_vcs_downstream(at, p, vnet) > 0)
+        .collect();
+    if !free.is_empty() {
+        return free.choose(rng).copied();
+    }
+    // No free VC anywhere: pick the least-recently-busy port, breaking ties
+    // randomly (a deterministic tie-break would herd every congested packet
+    // towards the same port and create artificial hotspots).
+    let min = ports
+        .iter()
+        .map(|&p| view.min_vc_active_time(at, p, vnet))
+        .min()?;
+    let argmin: SmallVec<[PortId; 8]> = ports
+        .iter()
+        .copied()
+        .filter(|&p| view.min_vc_active_time(at, p, vnet) == min)
+        .collect();
+    argmin.choose(rng).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc_mask_operations() {
+        let all = VcMask::all();
+        assert!(all.contains(VcId(0)) && all.contains(VcId(7)));
+        let only1 = VcMask::only(VcId(1));
+        assert!(only1.contains(VcId(1)));
+        assert!(!only1.contains(VcId(0)));
+        let no0 = VcMask::except(VcId(0));
+        assert!(!no0.contains(VcId(0)));
+        assert!(no0.contains(VcId(2)));
+        let ge2 = VcMask::at_least(VcId(2));
+        assert!(!ge2.contains(VcId(1)));
+        assert!(ge2.contains(VcId(2)));
+        assert!(only1.and(no0).contains(VcId(1)));
+        assert!(VcMask::only(VcId(3)).is_empty_for(2));
+        assert!(!VcMask::only(VcId(1)).is_empty_for(2));
+    }
+
+    #[test]
+    fn route_choice_any_vc() {
+        let c = RouteChoice::any_vc(PortId(2));
+        assert_eq!(c.out_port, PortId(2));
+        assert_eq!(c.vc_mask, VcMask::all());
+    }
+}

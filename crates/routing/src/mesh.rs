@@ -1,0 +1,478 @@
+//! Mesh routing algorithms: DOR-XY, the West-first turn model (Dally
+//! avoidance), Duato escape-VC, and the Static-Bubble-style reserved-VC
+//! adaptive routing.
+
+use crate::{
+    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+};
+use rand::rngs::StdRng;
+use smallvec::{smallvec, SmallVec};
+use spin_topology::Topology;
+use spin_types::{Direction, Packet, PortId, RouterId, VcId};
+
+/// Minimal directions from `at` towards the router attached to the packet's
+/// current target. On tori the wrap-around path is considered; when both
+/// directions of a dimension are equidistant, both are minimal.
+fn minimal_dirs(topo: &Topology, at: RouterId, pkt: &Packet) -> SmallVec<[Direction; 2]> {
+    let to = topo.node_router(pkt.current_target());
+    let (x, y) = topo.coords(at);
+    let (tx, ty) = topo.coords(to);
+    let (width, height, wrap) = match *topo.kind() {
+        spin_topology::TopologyKind::Mesh { width, height } => (width, height, false),
+        spin_topology::TopologyKind::Torus { width, height } => (width, height, true),
+        _ => panic!("mesh routing requires a mesh or torus topology"),
+    };
+    let mut dirs = SmallVec::new();
+    let axis = |cur: u32, target: u32, size: u32, pos: Direction, neg: Direction,
+                dirs: &mut SmallVec<[Direction; 2]>| {
+        if cur == target {
+            return;
+        }
+        if !wrap {
+            dirs.push(if target > cur { pos } else { neg });
+            return;
+        }
+        let fwd = (target + size - cur) % size;
+        let bwd = (cur + size - target) % size;
+        if fwd < bwd {
+            dirs.push(pos);
+        } else if bwd < fwd {
+            dirs.push(neg);
+        } else {
+            dirs.push(pos);
+            dirs.push(neg);
+        }
+    };
+    axis(x, tx, width, Direction::East, Direction::West, &mut dirs);
+    axis(y, ty, height, Direction::North, Direction::South, &mut dirs);
+    dirs
+}
+
+/// Deterministic dimension-ordered XY routing: exhaust the x dimension, then
+/// y. Its CDG is acyclic, so it is deadlock-free with a single VC
+/// (Table I, "minimal deterministic").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XyRouting;
+
+impl Routing for XyRouting {
+    fn name(&self) -> &'static str {
+        "xy"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        _rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let dirs = minimal_dirs(topo, at, pkt);
+        // X first: East/West wins if present.
+        let dir = dirs
+            .iter()
+            .copied()
+            .find(|d| matches!(d, Direction::East | Direction::West))
+            .or_else(|| dirs.first().copied())
+            .expect("non-ejecting packet has a minimal direction");
+        smallvec![RouteChoice::any_vc(topo.dir_port(dir))]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        // XY is deterministic: the single route is the full set.
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        self.route(view, at, in_port, pkt, &mut rng)
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        1
+    }
+}
+
+/// The West-first turn model (Glass & Ni): turns into West are forbidden, so
+/// a packet with westward distance must route entirely West first; afterwards
+/// it routes adaptively among {North, South, East}. Deadlock-free by an
+/// acyclic CDG in every VC — the paper's Dally-theory mesh baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WestFirst;
+
+impl WestFirst {
+    /// The directions West-first permits from `at` for `pkt` (used both for
+    /// routing and for CDG construction in tests).
+    pub fn allowed_dirs(
+        topo: &Topology,
+        at: RouterId,
+        pkt: &Packet,
+    ) -> SmallVec<[Direction; 2]> {
+        let dirs = minimal_dirs(topo, at, pkt);
+        if dirs.contains(&Direction::West) {
+            smallvec![Direction::West]
+        } else {
+            dirs
+        }
+    }
+}
+
+impl Routing for WestFirst {
+    fn name(&self) -> &'static str {
+        "west_first"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let dirs = Self::allowed_dirs(topo, at, pkt);
+        let ports: SmallVec<[PortId; 4]> = dirs.iter().map(|&d| topo.dir_port(d)).collect();
+        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
+            .expect("non-ejecting packet has an allowed direction");
+        smallvec![RouteChoice::any_vc(port)]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        Self::allowed_dirs(topo, at, pkt)
+            .iter()
+            .map(|&d| RouteChoice::any_vc(topo.dir_port(d)))
+            .collect()
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        1
+    }
+}
+
+/// Duato-style escape VC: fully adaptive minimal routing in the regular VCs
+/// (1..n), with VC 0 as the escape channel routed West-first. A blocked
+/// packet can always fall back to the escape network, whose CDG is acyclic,
+/// so the configuration is deadlock-free with >= 2 VCs — the paper's
+/// Duato-theory baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EscapeVc;
+
+impl EscapeVc {
+    /// The escape VC index.
+    pub const ESCAPE: VcId = VcId(0);
+}
+
+impl Routing for EscapeVc {
+    fn name(&self) -> &'static str {
+        "escape_vc"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let mut out = RouteChoices::new();
+        // Preferred: adaptive minimal through regular VCs.
+        let dirs = minimal_dirs(topo, at, pkt);
+        let ports: SmallVec<[PortId; 4]> = dirs.iter().map(|&d| topo.dir_port(d)).collect();
+        if let Some(port) = select_adaptive(view, at, &ports, pkt.vnet, rng) {
+            out.push(RouteChoice { out_port: port, vc_mask: VcMask::except(Self::ESCAPE) });
+        }
+        // Fallback: the escape VC along the West-first route.
+        let escape_dirs = WestFirst::allowed_dirs(topo, at, pkt);
+        if let Some(&d) = escape_dirs.first() {
+            out.push(RouteChoice {
+                out_port: topo.dir_port(d),
+                vc_mask: VcMask::only(Self::ESCAPE),
+            });
+        }
+        out
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let mut out: RouteChoices = minimal_dirs(topo, at, pkt)
+            .iter()
+            .map(|&d| RouteChoice {
+                out_port: topo.dir_port(d),
+                vc_mask: VcMask::except(Self::ESCAPE),
+            })
+            .collect();
+        for d in WestFirst::allowed_dirs(topo, at, pkt) {
+            out.push(RouteChoice {
+                out_port: topo.dir_port(d),
+                vc_mask: VcMask::only(Self::ESCAPE),
+            });
+        }
+        out
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        2
+    }
+}
+
+/// Static-Bubble-style routing: fully adaptive minimal routing that keeps
+/// the highest VC *reserved* for deadlock recovery — packets may only
+/// acquire it once the simulator's recovery logic enables it at a router
+/// whose turn-off timeout fired. Models the paper's Static Bubble baseline
+/// property that one VC is unusable in normal operation.
+#[derive(Debug, Clone, Copy)]
+pub struct ReservedVcAdaptive {
+    /// The reserved (recovery-only) VC.
+    pub reserved: VcId,
+}
+
+impl ReservedVcAdaptive {
+    /// Reserves the last of `num_vcs` VCs.
+    pub fn new(num_vcs: u8) -> Self {
+        assert!(num_vcs >= 2, "static bubble needs a normal VC plus the reserved one");
+        ReservedVcAdaptive { reserved: VcId(num_vcs - 1) }
+    }
+}
+
+impl Routing for ReservedVcAdaptive {
+    fn name(&self) -> &'static str {
+        "static_bubble"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
+        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
+            .expect("non-ejecting packet has a minimal port");
+        smallvec![RouteChoice { out_port: port, vc_mask: VcMask::except(self.reserved) }]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        topo.minimal_ports(at, topo.node_router(pkt.current_target()))
+            .iter()
+            .map(|&p| RouteChoice { out_port: p, vc_mask: VcMask::except(self.reserved) })
+            .collect()
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticView;
+    use rand::SeedableRng;
+    use spin_types::{NodeId, PacketBuilder};
+
+    fn setup() -> (Topology, StdRng) {
+        (Topology::mesh(4, 4), StdRng::seed_from_u64(1))
+    }
+
+    fn pkt(src: u32, dst: u32) -> Packet {
+        PacketBuilder::new(NodeId(src), NodeId(dst)).build(0)
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let (topo, mut rng) = setup();
+        let view = StaticView::new(&topo, 1);
+        // From r0 (0,0) to node 15 at (3,3): East first.
+        let c = XyRouting.route(&view, RouterId(0), PortId(0), &pkt(0, 15), &mut rng);
+        assert_eq!(c[0].out_port, topo.dir_port(Direction::East));
+        // From r3 (3,0) to node 15: x done, go North.
+        let c = XyRouting.route(&view, RouterId(3), PortId(0), &pkt(0, 15), &mut rng);
+        assert_eq!(c[0].out_port, topo.dir_port(Direction::North));
+    }
+
+    #[test]
+    fn xy_ejects_at_destination() {
+        let (topo, mut rng) = setup();
+        let view = StaticView::new(&topo, 1);
+        let c = XyRouting.route(&view, RouterId(5), PortId(0), &pkt(0, 5), &mut rng);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].out_port, PortId(0)); // local port
+    }
+
+    #[test]
+    fn west_first_never_turns_into_west() {
+        let (topo, mut rng) = setup();
+        let view = StaticView::new(&topo, 1);
+        // Destination to the south-west: the only legal start is West.
+        // From r15 (3,3) to node 0 at (0,0).
+        for _ in 0..20 {
+            let c = WestFirst.route(&view, RouterId(15), PortId(0), &pkt(15, 0), &mut rng);
+            assert_eq!(c[0].out_port, topo.dir_port(Direction::West));
+        }
+        // Once x is aligned, adaptivity among remaining dirs (here South).
+        let c = WestFirst.route(&view, RouterId(12), PortId(0), &pkt(15, 0), &mut rng);
+        assert_eq!(c[0].out_port, topo.dir_port(Direction::South));
+    }
+
+    #[test]
+    fn west_first_adaptive_when_east_bound() {
+        let (topo, mut rng) = setup();
+        let view = StaticView::new(&topo, 1);
+        // r0 -> node 15: both East and North legal; over many draws both appear.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let c = WestFirst.route(&view, RouterId(0), PortId(0), &pkt(0, 15), &mut rng);
+            seen.insert(c[0].out_port);
+        }
+        assert!(seen.contains(&topo.dir_port(Direction::East)));
+        assert!(seen.contains(&topo.dir_port(Direction::North)));
+    }
+
+    #[test]
+    fn escape_vc_offers_adaptive_then_escape() {
+        let (topo, mut rng) = setup();
+        let view = StaticView::new(&topo, 1);
+        let c = EscapeVc.route(&view, RouterId(0), PortId(0), &pkt(0, 15), &mut rng);
+        assert_eq!(c.len(), 2);
+        assert!(!c[0].vc_mask.contains(EscapeVc::ESCAPE));
+        assert_eq!(c[1].vc_mask, VcMask::only(EscapeVc::ESCAPE));
+        // Escape route obeys West-first.
+        let c = EscapeVc.route(&view, RouterId(15), PortId(0), &pkt(15, 0), &mut rng);
+        assert_eq!(c[1].out_port, topo.dir_port(Direction::West));
+    }
+
+    #[test]
+    fn reserved_vc_excluded() {
+        let (topo, mut rng) = setup();
+        let view = StaticView::new(&topo, 1);
+        let r = ReservedVcAdaptive::new(3);
+        let c = r.route(&view, RouterId(0), PortId(0), &pkt(0, 15), &mut rng);
+        assert!(!c[0].vc_mask.contains(VcId(2)));
+        assert!(c[0].vc_mask.contains(VcId(0)));
+        assert_eq!(r.min_vcs_required(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "static bubble needs")]
+    fn reserved_vc_requires_two() {
+        let _ = ReservedVcAdaptive::new(1);
+    }
+
+    /// West-first's CDG over a mesh is acyclic (Dally's condition) — the
+    /// formal reason the baseline avoids deadlock.
+    /// Builds the CDG of a turn rule over a mesh. Channels are identified
+    /// as (router the link enters, direction of travel); `allowed(din,
+    /// dout)` says whether a packet travelling `din` may continue `dout`.
+    fn mesh_cdg(
+        topo: &Topology,
+        allowed: impl Fn(Direction, Direction) -> bool,
+    ) -> spin_deadlock::Cdg<(RouterId, Direction)> {
+        let mut cdg = spin_deadlock::Cdg::new();
+        for r in 0..topo.num_routers() {
+            let r = RouterId(r as u32);
+            for din in Direction::ALL {
+                // A link entering r heading `din` arrives on r's port facing
+                // din.opposite(); it exists iff that port is connected.
+                if topo.neighbor(r, topo.dir_port(din.opposite())).is_none() {
+                    continue;
+                }
+                for dout in Direction::ALL {
+                    if dout == din.opposite() {
+                        continue; // u-turns never occur in minimal routing
+                    }
+                    if !allowed(din, dout) {
+                        continue;
+                    }
+                    if let Some(peer) = topo.neighbor(r, topo.dir_port(dout)) {
+                        cdg.add_dependency((r, din), (peer.router, dout));
+                    }
+                }
+            }
+        }
+        cdg
+    }
+
+    /// West-first's CDG over a mesh is acyclic (Dally's condition) — the
+    /// formal reason the baseline avoids deadlock.
+    #[test]
+    fn west_first_cdg_is_acyclic() {
+        let topo = Topology::mesh(4, 4);
+        // West-first forbids every turn into West.
+        let cdg = mesh_cdg(&topo, |din, dout| {
+            !(dout == Direction::West && din != Direction::West)
+        });
+        assert!(cdg.is_acyclic(), "west-first CDG has a cycle: {:?}", cdg.find_cycle());
+        assert!(cdg.num_dependencies() > 0);
+    }
+
+    /// XY's CDG is acyclic too: y-to-x turns are forbidden.
+    #[test]
+    fn xy_cdg_is_acyclic() {
+        let topo = Topology::mesh(4, 4);
+        let cdg = mesh_cdg(&topo, |din, dout| {
+            let din_y = matches!(din, Direction::North | Direction::South);
+            let dout_x = matches!(dout, Direction::East | Direction::West);
+            !(din_y && dout_x)
+        });
+        assert!(cdg.is_acyclic());
+    }
+
+    /// Fully adaptive minimal routing's CDG on the same mesh IS cyclic —
+    /// the reason it deadlocks without SPIN.
+    #[test]
+    fn unrestricted_cdg_is_cyclic() {
+        let topo = Topology::mesh(4, 4);
+        let cdg = mesh_cdg(&topo, |_, _| true);
+        assert!(!cdg.is_acyclic());
+    }
+}

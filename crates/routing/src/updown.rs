@@ -1,0 +1,325 @@
+//! Up*/down* routing: the classic deadlock-free routing for irregular
+//! topologies (Autonet), used here as the avoidance baseline that SPIN's
+//! topology-agnostic recovery replaces.
+//!
+//! A BFS spanning tree roots the network; every link direction is labelled
+//! *up* (towards the root: lower level, ties broken by router id) or
+//! *down*. A legal path is zero or more up hops followed by zero or more
+//! down hops — the down→up turn is forbidden, which makes the CDG acyclic
+//! and the routing deadlock-free with a single VC, at the cost of
+//! concentrating traffic near the root.
+
+use crate::{ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing};
+use rand::rngs::StdRng;
+use smallvec::{smallvec, SmallVec};
+use spin_topology::Topology;
+use spin_types::{Packet, PortId, RouterId};
+
+/// Phase of an up*/down* walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Still allowed to climb (no down hop taken yet at this point).
+    Up,
+    /// Committed to descending.
+    Down,
+}
+
+/// Up*/down* routing over a precomputed spanning-tree labelling.
+///
+/// Construct once per topology with [`UpDown::new`]; distances for both
+/// phases are precomputed so routing decisions are table lookups.
+#[derive(Debug, Clone)]
+pub struct UpDown {
+    levels: Vec<u32>,
+    /// `dist[phase][router][dst]`: minimal remaining hops from (router,
+    /// phase) to dst under the up*/down* rule; `u32::MAX` if unreachable.
+    dist: [Vec<u32>; 2],
+    n: usize,
+}
+
+impl UpDown {
+    /// Computes the spanning-tree labelling and phase-distance tables for
+    /// `topo` (root = router 0).
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_routers();
+        // BFS levels from the root.
+        let mut levels = vec![u32::MAX; n];
+        levels[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(r) = queue.pop_front() {
+            for p in topo.network_ports(RouterId(r as u32)) {
+                let peer = topo.neighbor(RouterId(r as u32), p).expect("network port");
+                let pr = peer.router.index();
+                if levels[pr] == u32::MAX {
+                    levels[pr] = levels[r] + 1;
+                    queue.push_back(pr);
+                }
+            }
+        }
+        let up = |from: usize, to: usize| {
+            levels[to] < levels[from] || (levels[to] == levels[from] && to < from)
+        };
+        // Backward BFS per destination over the phase graph:
+        // (r, Up) -> (s, Up) via up edge r->s; (r, Up) -> (s, Down) via
+        // down edge; (r, Down) -> (s, Down) via down edge.
+        let mut dist = [vec![u32::MAX; n * n], vec![u32::MAX; n * n]];
+        for dst in 0..n {
+            // dist from any phase at dst itself is 0.
+            dist[0][dst * n + dst] = 0;
+            dist[1][dst * n + dst] = 0;
+            // BFS over predecessors: state (r, phase); predecessor states
+            // are (q, phase') that can step to (r, phase).
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back((dst, Phase::Up));
+            queue.push_back((dst, Phase::Down));
+            while let Some((r, phase)) = queue.pop_front() {
+                let d = dist[phase as usize][dst * n + r];
+                for p in topo.network_ports(RouterId(r as u32)) {
+                    let q = topo
+                        .neighbor(RouterId(r as u32), p)
+                        .expect("network port")
+                        .router
+                        .index();
+                    // Edge q -> r exists (links are bidirectional). Which
+                    // predecessor states can use it to reach (r, phase)?
+                    let q_to_r_up = up(q, r);
+                    let preds: SmallVec<[Phase; 2]> = match (q_to_r_up, phase) {
+                        // Climbing keeps phase Up; only Up can climb.
+                        (true, Phase::Up) => smallvec![Phase::Up],
+                        // A down edge into phase Down can come from Up
+                        // (first descent) or Down (continuing).
+                        (false, Phase::Down) => smallvec![Phase::Up, Phase::Down],
+                        _ => smallvec![],
+                    };
+                    for pred in preds {
+                        let slot = &mut dist[pred as usize][dst * n + q];
+                        if *slot > d + 1 {
+                            *slot = d + 1;
+                            queue.push_back((q, pred));
+                        }
+                    }
+                }
+            }
+        }
+        UpDown { levels, dist, n }
+    }
+
+    fn phase_of_arrival(&self, topo: &Topology, at: RouterId, in_port: PortId) -> Phase {
+        match topo.neighbor(at, in_port) {
+            // Injected locally: free to climb.
+            None => Phase::Up,
+            Some(peer) => {
+                let from = peer.router.index();
+                let to = at.index();
+                let moved_up = self.levels[to] < self.levels[from]
+                    || (self.levels[to] == self.levels[from] && to < from);
+                if moved_up {
+                    Phase::Up
+                } else {
+                    Phase::Down
+                }
+            }
+        }
+    }
+
+    fn remaining(&self, phase: Phase, r: usize, dst: usize) -> u32 {
+        self.dist[phase as usize][dst * self.n + r]
+    }
+}
+
+impl Routing for UpDown {
+    fn name(&self) -> &'static str {
+        "up_down"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let mut c = self.alternatives(view, at, in_port, pkt);
+        if c.len() > 1 {
+            let ports: SmallVec<[PortId; 8]> = c.iter().map(|x| x.out_port).collect();
+            if let Some(port) = select_adaptive(view, at, &ports, pkt.vnet, rng) {
+                c.retain(|x| x.out_port == port);
+            }
+        }
+        c
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let dst = topo.node_router(pkt.current_target()).index();
+        let phase = self.phase_of_arrival(topo, at, in_port);
+        let here = self.remaining(phase, at.index(), dst);
+        debug_assert_ne!(here, u32::MAX, "up*/down* cannot reach the destination");
+        let mut out = RouteChoices::new();
+        for p in topo.network_ports(at) {
+            let peer = topo.neighbor(at, p).expect("network port");
+            let to = peer.router.index();
+            let up_hop = self.levels[to] < self.levels[at.index()]
+                || (self.levels[to] == self.levels[at.index()] && to < at.index());
+            // Phase transition: Up stays Up on up hops, becomes Down on
+            // down hops; Down may only take down hops.
+            let next_phase = match (phase, up_hop) {
+                (Phase::Up, true) => Phase::Up,
+                (_, false) => Phase::Down,
+                (Phase::Down, true) => continue, // forbidden down->up turn
+            };
+            let rem = self.remaining(next_phase, to, dst);
+            if rem != u32::MAX && rem + 1 == here {
+                out.push(RouteChoice::any_vc(p));
+            }
+        }
+        debug_assert!(!out.is_empty(), "no legal up*/down* hop despite finite distance");
+        out
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticView;
+    use rand::SeedableRng;
+    use spin_types::{NodeId, PacketBuilder};
+
+    fn walk_to(topo: &Topology, ud: &UpDown, src: u32, dst: u32) -> u32 {
+        let view = StaticView::new(topo, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkt = PacketBuilder::new(NodeId(src), NodeId(dst)).build(0);
+        let mut at = topo.node_attach(NodeId(src));
+        let mut in_port = at.port;
+        let mut hops = 0;
+        while at.router != topo.node_router(NodeId(dst)) {
+            let c = ud.route(&view, at.router, in_port, &pkt, &mut rng);
+            let peer = topo.neighbor(at.router, c[0].out_port).expect("network hop");
+            in_port = peer.port;
+            at = peer;
+            hops += 1;
+            assert!(hops <= 4 * topo.num_routers() as u32, "walk diverged");
+        }
+        hops
+    }
+
+    #[test]
+    fn reaches_every_destination_on_irregular_graphs() {
+        for seed in [1u64, 7, 42] {
+            let topo = Topology::random_connected(14, 8, 1, seed).unwrap();
+            let ud = UpDown::new(&topo);
+            for s in 0..14u32 {
+                for d in 0..14u32 {
+                    if s != d {
+                        walk_to(&topo, &ud, s, d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_never_turn_down_then_up() {
+        let topo = Topology::random_connected(12, 6, 1, 5).unwrap();
+        let ud = UpDown::new(&topo);
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                if s == d {
+                    continue;
+                }
+                let pkt = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+                let mut at = topo.node_attach(NodeId(s));
+                let mut in_port = at.port;
+                let mut descended = false;
+                loop {
+                    if at.router == topo.node_router(NodeId(d)) {
+                        break;
+                    }
+                    let c = ud.route(&view, at.router, in_port, &pkt, &mut rng);
+                    let peer = topo.neighbor(at.router, c[0].out_port).unwrap();
+                    let went_up = ud.levels[peer.router.index()]
+                        < ud.levels[at.router.index()]
+                        || (ud.levels[peer.router.index()] == ud.levels[at.router.index()]
+                            && peer.router.index() < at.router.index());
+                    if went_up {
+                        assert!(!descended, "down->up turn from {} to {}", at.router, peer.router);
+                    } else {
+                        descended = true;
+                    }
+                    in_port = peer.port;
+                    at = peer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updown_cdg_is_acyclic() {
+        // The formal property: channels (directed links) with dependencies
+        // allowed by the up*/down* turn rule form an acyclic graph.
+        let topo = Topology::random_connected(16, 10, 1, 11).unwrap();
+        let ud = UpDown::new(&topo);
+        let mut cdg = spin_deadlock::Cdg::new();
+        let up = |from: usize, to: usize| {
+            ud.levels[to] < ud.levels[from]
+                || (ud.levels[to] == ud.levels[from] && to < from)
+        };
+        for (a, b) in topo.links() {
+            // Channel a->b; next channel b->c legal unless (a->b is down)
+            // and (b->c is up).
+            for p in topo.network_ports(b.router) {
+                let c = topo.neighbor(b.router, p).unwrap();
+                if c.router == a.router {
+                    continue; // u-turn
+                }
+                let first_down = !up(a.router.index(), b.router.index());
+                let second_up = up(b.router.index(), c.router.index());
+                if first_down && second_up {
+                    continue;
+                }
+                cdg.add_dependency(
+                    (a.router, b.router),
+                    (b.router, c.router),
+                );
+            }
+        }
+        assert!(cdg.is_acyclic(), "up*/down* CDG has a cycle");
+    }
+
+    #[test]
+    fn works_on_regular_topologies_too() {
+        let topo = Topology::mesh(4, 4);
+        let ud = UpDown::new(&topo);
+        for (s, d) in [(0u32, 15u32), (15, 0), (3, 12)] {
+            let hops = walk_to(&topo, &ud, s, d);
+            // Up*/down* may be non-minimal but must stay bounded.
+            assert!(hops >= topo.dist(topo.node_router(NodeId(s)), topo.node_router(NodeId(d))));
+        }
+    }
+
+    #[test]
+    fn requires_single_vc_only() {
+        let topo = Topology::ring(5);
+        let ud = UpDown::new(&topo);
+        assert_eq!(ud.min_vcs_required(), 1);
+        assert_eq!(ud.misroute_bound(), 0);
+        assert_eq!(ud.name(), "up_down");
+    }
+}
+

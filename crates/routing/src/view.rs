@@ -1,0 +1,76 @@
+//! The congestion view routing algorithms consult at decision time.
+
+use spin_topology::Topology;
+use spin_types::{Cycle, PortId, RouterId, Vnet};
+
+/// Runtime network state visible to a router making an adaptive routing
+/// decision. All quantities are *local knowledge*: what a real router learns
+/// from its credit counters about the immediate downstream hop.
+pub trait NetworkView {
+    /// The network topology.
+    fn topology(&self) -> &Topology;
+
+    /// Current cycle.
+    fn now(&self) -> Cycle;
+
+    /// Free VCs at the downstream input port reached through `out_port` of
+    /// `at`, for `vnet` (from credits). 0 for unconnected ports.
+    fn free_vcs_downstream(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize;
+
+    /// The minimum "active time" (cycles since allocation) over the
+    /// downstream VCs for `vnet`; 0 if any VC is free. FAvORS uses this as
+    /// its contention proxy (Sec. V).
+    fn min_vc_active_time(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> u64;
+
+    /// Total flits buffered at the downstream input port for `vnet` — the
+    /// queue-length estimate UGAL-L uses.
+    fn downstream_occupancy(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize;
+}
+
+/// A [`NetworkView`] with uniform static congestion, for unit tests and for
+/// exercising routing functions outside the simulator (e.g. CDG
+/// construction).
+#[derive(Debug, Clone)]
+pub struct StaticView<'a> {
+    topo: &'a Topology,
+    free_vcs: usize,
+    now: Cycle,
+}
+
+impl<'a> StaticView<'a> {
+    /// A view reporting `free_vcs` free VCs everywhere.
+    pub fn new(topo: &'a Topology, free_vcs: usize) -> Self {
+        StaticView { topo, free_vcs, now: 0 }
+    }
+
+    /// Same, with a specific current cycle.
+    pub fn at_cycle(topo: &'a Topology, free_vcs: usize, now: Cycle) -> Self {
+        StaticView { topo, free_vcs, now }
+    }
+}
+
+impl NetworkView for StaticView<'_> {
+    fn topology(&self) -> &Topology {
+        self.topo
+    }
+    fn now(&self) -> Cycle {
+        self.now
+    }
+    fn free_vcs_downstream(&self, at: RouterId, out_port: PortId, _vnet: Vnet) -> usize {
+        if self.topo.neighbor(at, out_port).is_some() {
+            self.free_vcs
+        } else {
+            0
+        }
+    }
+    fn min_vc_active_time(&self, _at: RouterId, _out_port: PortId, _vnet: Vnet) -> u64 {
+        if self.free_vcs > 0 {
+            0
+        } else {
+            1
+        }
+    }
+    fn downstream_occupancy(&self, _at: RouterId, _out_port: PortId, _vnet: Vnet) -> usize {
+        0
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulation configuration and the network builder.
+
+use crate::network::Network;
+use spin_core::SpinConfig;
+use spin_routing::Routing;
+use spin_topology::Topology;
+use spin_traffic::TrafficSource;
+use spin_types::Cycle;
+
+/// Switching discipline of the routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Switching {
+    /// Virtual cut-through: a VC is allocated only when it can hold the
+    /// whole packet (the paper's implementation; required for SPIN, whose
+    /// spins stream entire packets between frozen VCs).
+    #[default]
+    VirtualCutThrough,
+    /// Wormhole: VCs may be shallower than a packet; flits advance on
+    /// per-flit buffer space. The paper notes a wormhole SPIN "is also
+    /// possible with some additional complexity" — deadlocked wormhole
+    /// packets span several routers, so spinning them needs multi-router
+    /// flit coordination we do not implement; SPIN therefore requires
+    /// virtual cut-through here, and wormhole serves the avoidance
+    /// baselines.
+    Wormhole,
+}
+
+/// Static parameters of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Virtual networks (message classes). The paper runs a directory
+    /// protocol with 3.
+    pub vnets: u8,
+    /// VCs per input port per vnet.
+    pub vcs_per_vnet: u8,
+    /// VC buffer depth in flits; must hold a whole packet under virtual
+    /// cut-through.
+    pub vc_depth: u16,
+    /// Switching discipline.
+    pub switching: Switching,
+    /// Longest packet the traffic will inject, in flits.
+    pub max_packet_len: u16,
+    /// Enable the Static-Bubble-style recovery baseline: the highest VC is
+    /// reserved and granted to a head packet blocked longer than
+    /// `bubble_timeout`; packets inside the reserved VC drain over a
+    /// deterministic acyclic escape route.
+    pub static_bubble: bool,
+    /// Blocked time before a Static Bubble grant.
+    pub bubble_timeout: Cycle,
+    /// Localized bubble flow control (the paper's "flow control" theory
+    /// row): injection, and any hop that changes dimension on a mesh/torus,
+    /// may only allocate a downstream VC if at least one *other* VC at that
+    /// (port, vnet) stays free — the "bubble" that keeps each ring live.
+    /// Requires `vcs_per_vnet >= 2` to be useful.
+    pub bubble_flow_control: bool,
+    /// A blocked head packet re-evaluates its adaptive route every cycle
+    /// until it has been blocked this long; after that the choice freezes
+    /// so SPIN's probes trace a stable dependence. Must be well below
+    /// `t_dd`.
+    pub route_stick_after: Cycle,
+    /// Master seed for all simulator randomness.
+    pub seed: u64,
+    /// Classify every originated probe against the ground-truth deadlock
+    /// detector (Fig. 9 false positives). Costs one wait-graph construction
+    /// per probe-launch cycle.
+    pub classify_probes: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            vc_depth: 5,
+            switching: Switching::default(),
+            max_packet_len: 5,
+            static_bubble: false,
+            bubble_timeout: 128,
+            bubble_flow_control: false,
+            route_stick_after: 32,
+            seed: 1,
+            classify_probes: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `vc_depth < max_packet_len`
+    /// (virtual cut-through requires a packet to fit in one VC).
+    pub fn validate(&self) {
+        assert!(self.vnets >= 1, "need at least one vnet");
+        assert!(self.vcs_per_vnet >= 1, "need at least one VC per vnet");
+        match self.switching {
+            Switching::VirtualCutThrough => assert!(
+                self.vc_depth >= self.max_packet_len,
+                "virtual cut-through requires vc_depth ({}) >= max_packet_len ({})",
+                self.vc_depth,
+                self.max_packet_len
+            ),
+            Switching::Wormhole => assert!(self.vc_depth >= 1, "need at least one flit slot"),
+        }
+        if self.static_bubble {
+            assert!(
+                self.vcs_per_vnet >= 2,
+                "static bubble reserves one VC and needs another for normal traffic"
+            );
+        }
+    }
+}
+
+/// Builder assembling a [`Network`] from topology, routing, traffic and
+/// optional SPIN / recovery configuration ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+pub struct NetworkBuilder {
+    pub(crate) topo: Topology,
+    pub(crate) cfg: SimConfig,
+    pub(crate) routing: Option<Box<dyn Routing>>,
+    pub(crate) traffic: Option<Box<dyn TrafficSource>>,
+    pub(crate) spin: Option<SpinConfig>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder over `topo` with default configuration.
+    pub fn new(topo: Topology) -> Self {
+        NetworkBuilder { topo, cfg: SimConfig::default(), routing: None, traffic: None, spin: None }
+    }
+
+    /// Sets the simulation parameters.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the routing algorithm.
+    pub fn routing(mut self, routing: impl Routing + 'static) -> Self {
+        self.routing = Some(Box::new(routing));
+        self
+    }
+
+    /// Sets the routing algorithm from a boxed trait object (useful when
+    /// the algorithm is chosen at runtime).
+    pub fn routing_box(mut self, routing: Box<dyn Routing>) -> Self {
+        self.routing = Some(routing);
+        self
+    }
+
+    /// Sets the traffic source.
+    pub fn traffic(mut self, traffic: impl TrafficSource + 'static) -> Self {
+        self.traffic = Some(Box::new(traffic));
+        self
+    }
+
+    /// Enables SPIN recovery with the given protocol configuration (the
+    /// `num_routers` field is overwritten with the topology's).
+    pub fn spin(mut self, spin: SpinConfig) -> Self {
+        self.spin = Some(spin);
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if routing or traffic were not provided, or the configuration
+    /// is inconsistent (see [`SimConfig::validate`]).
+    pub fn build(self) -> Network {
+        Network::from_builder(self)
+    }
+}
+
+impl std::fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("topology", &self.topo.name())
+            .field("cfg", &self.cfg)
+            .field("routing", &self.routing.as_ref().map(|r| r.name()))
+            .field("spin", &self.spin.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,57 @@
+//! Pipelined links carrying flits and special messages.
+
+use spin_core::Sm;
+use spin_types::{Cycle, Flit, VcId};
+use std::collections::VecDeque;
+
+/// What travels on a link in one cycle (one phit per cycle per link).
+#[derive(Debug, Clone)]
+pub(crate) enum Phit {
+    /// A data flit heading for `vc` at the downstream input port. `spin`
+    /// marks flits pushed by a synchronized spin (they land in the
+    /// receiver's earmarked frozen VC rather than the carried index).
+    Flit {
+        /// The flit.
+        flit: Flit,
+        /// Target downstream VC chosen by upstream VC allocation.
+        vc: VcId,
+        /// Pushed by a spin (bypassed allocation).
+        spin: bool,
+    },
+    /// A bufferless special message.
+    Sm(Sm),
+}
+
+/// A directed link: a delay line of (arrival cycle, phit).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Link {
+    pub latency: u32,
+    q: VecDeque<(Cycle, Phit)>,
+}
+
+impl Link {
+    pub(crate) fn new(latency: u32) -> Self {
+        Link { latency: latency.max(1), q: VecDeque::new() }
+    }
+
+    /// Puts a phit on the wire at cycle `now`.
+    pub(crate) fn send(&mut self, now: Cycle, phit: Phit) {
+        self.q.push_back((now + self.latency as Cycle, phit));
+    }
+
+    /// Pops every phit that has arrived by `now` (arrivals are in FIFO
+    /// order because latency is constant).
+    pub(crate) fn deliver(&mut self, now: Cycle, out: &mut Vec<Phit>) {
+        while let Some(&(t, _)) = self.q.front() {
+            if t > now {
+                break;
+            }
+            out.push(self.q.pop_front().expect("peeked").1);
+        }
+    }
+
+    /// Number of phits in flight.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.q.len()
+    }
+}

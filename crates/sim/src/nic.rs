@@ -1,0 +1,55 @@
+//! Network interface controllers: unbounded injection queues, one
+//! flit/cycle injection bandwidth, stall-free ejection.
+
+use spin_types::{NodeId, Packet, VcId};
+use std::collections::VecDeque;
+
+/// A packet currently streaming from the NIC into its router's local input
+/// port.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveInjection {
+    pub packet: Packet,
+    pub flits_sent: u16,
+    pub vc: VcId,
+}
+
+#[derive(Debug)]
+pub(crate) struct Nic {
+    /// The attached terminal (kept for debugging dumps).
+    #[allow(dead_code)]
+    pub node: NodeId,
+    /// Per-vnet unbounded injection queues.
+    pub queues: Vec<VecDeque<Packet>>,
+    /// Round-robin pointer over vnets.
+    pub rr: usize,
+    pub active: Option<ActiveInjection>,
+}
+
+impl Nic {
+    pub(crate) fn new(node: NodeId, vnets: u8) -> Self {
+        Nic {
+            node,
+            queues: (0..vnets).map(|_| VecDeque::new()).collect(),
+            rr: 0,
+            active: None,
+        }
+    }
+
+    /// Total queued packets across vnets.
+    pub(crate) fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Picks the next non-empty vnet queue round-robin.
+    pub(crate) fn next_vnet(&mut self) -> Option<usize> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let vn = (self.rr + i) % n;
+            if !self.queues[vn].is_empty() {
+                self.rr = (vn + 1) % n;
+                return Some(vn);
+            }
+        }
+        None
+    }
+}

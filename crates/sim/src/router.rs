@@ -1,0 +1,131 @@
+//! Router state: input VC arrays, switch-allocation round-robin pointers,
+//! SPIN spin-landing overrides, and the adapter exposing buffer state to the
+//! SPIN agent.
+
+use crate::vc::Vc;
+use spin_core::{SpinRouterView, VcStatus};
+use spin_topology::Topology;
+use spin_types::{PacketId, PortId, RouterId, VcId, Vnet};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+pub(crate) struct Router {
+    pub id: RouterId,
+    /// `in_vcs[port][vnet][vc]`.
+    pub in_vcs: Vec<Vec<Vec<Vc>>>,
+    /// Round-robin switch-allocation pointer per output port.
+    pub sa_rr: Vec<usize>,
+    /// Landing VC for spin-pushed packets, per (input port, vnet). Written
+    /// on freeze, consumed until the pushed packet's tail arrives.
+    pub spin_rx: HashMap<(PortId, Vnet), VcId>,
+    /// Number of VCs currently holding at least one packet (maintained by
+    /// the network on packet arrival/departure; lets idle routers skip all
+    /// per-cycle work).
+    pub occupied_vcs: usize,
+}
+
+impl Router {
+    pub(crate) fn new(id: RouterId, radix: usize, vnets: u8, vcs: u8) -> Self {
+        let in_vcs = (0..radix)
+            .map(|_| {
+                (0..vnets)
+                    .map(|_| (0..vcs).map(|_| Vc::default()).collect())
+                    .collect()
+            })
+            .collect();
+        Router { id, in_vcs, sa_rr: vec![0; radix], spin_rx: HashMap::new(), occupied_vcs: 0 }
+    }
+
+    pub(crate) fn vc(&self, port: PortId, vnet: Vnet, vc: VcId) -> &Vc {
+        &self.in_vcs[port.index()][vnet.index()][vc.index()]
+    }
+
+    pub(crate) fn vc_mut(&mut self, port: PortId, vnet: Vnet, vc: VcId) -> &mut Vc {
+        &mut self.in_vcs[port.index()][vnet.index()][vc.index()]
+    }
+
+    /// Coordinates of VCs currently holding at least one packet. The hot
+    /// loops (route compute, VC allocation, switch traversal) iterate this
+    /// instead of every VC slot: a large idle network costs nothing.
+    pub(crate) fn active_coords(&self) -> Vec<(PortId, Vnet, VcId)> {
+        let mut v = Vec::new();
+        for (p, vns) in self.in_vcs.iter().enumerate() {
+            for (vn, vcs) in vns.iter().enumerate() {
+                for (i, vc) in vcs.iter().enumerate() {
+                    if !vc.q.is_empty() {
+                        v.push((PortId(p as u8), Vnet(vn as u8), VcId(i as u8)));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Iterates (port, vnet, vc) coordinates.
+    pub(crate) fn vc_coords(&self) -> impl Iterator<Item = (PortId, Vnet, VcId)> + '_ {
+        self.in_vcs.iter().enumerate().flat_map(|(p, vns)| {
+            vns.iter().enumerate().flat_map(move |(vn, vcs)| {
+                (0..vcs.len()).map(move |v| (PortId(p as u8), Vnet(vn as u8), VcId(v as u8)))
+            })
+        })
+    }
+
+    /// True while any VC is streaming a spin.
+    pub(crate) fn any_spinning(&self) -> bool {
+        self.in_vcs
+            .iter()
+            .flatten()
+            .flatten()
+            .any(|vc| vc.spinning)
+    }
+}
+
+/// Read-only adapter giving the SPIN agent the paper's router-visible
+/// state.
+pub(crate) struct SpinView<'a> {
+    pub router: &'a Router,
+    pub topo: &'a Topology,
+}
+
+impl SpinRouterView for SpinView<'_> {
+    fn num_ports(&self) -> u8 {
+        self.router.in_vcs.len() as u8
+    }
+
+    fn num_vnets(&self) -> u8 {
+        self.router.in_vcs.first().map(|v| v.len() as u8).unwrap_or(0)
+    }
+
+    fn num_vcs(&self, port: PortId, vnet: Vnet) -> u8 {
+        self.router.in_vcs[port.index()][vnet.index()].len() as u8
+    }
+
+    fn is_network_port(&self, port: PortId) -> bool {
+        self.topo.port(self.router.id, port).is_network()
+    }
+
+    fn vc_status(&self, port: PortId, vnet: Vnet, vc: VcId) -> VcStatus {
+        let vcb = self.router.vc(port, vnet, vc);
+        let Some(pb) = vcb.head() else {
+            return VcStatus::Empty;
+        };
+        if let Some(out) = vcb.frozen_out.filter(|_| vcb.frozen) {
+            return VcStatus::Waiting(out);
+        }
+        if pb.out.is_some() {
+            // Allocated: the packet is draining, not a dependence.
+            return VcStatus::Routing;
+        }
+        match pb.choices.first() {
+            None => VcStatus::Routing,
+            Some(c) if self.topo.port(self.router.id, c.out_port).is_local() => {
+                VcStatus::Ejecting
+            }
+            Some(c) => VcStatus::Waiting(c.out_port),
+        }
+    }
+
+    fn vc_packet(&self, port: PortId, vnet: Vnet, vc: VcId) -> Option<PacketId> {
+        self.router.vc(port, vnet, vc).head().map(|pb| pb.packet.id)
+    }
+}

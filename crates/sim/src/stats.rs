@@ -1,0 +1,182 @@
+//! Simulation statistics: latency, throughput, link utilisation, SPIN
+//! protocol activity.
+
+use serde::Serialize;
+use spin_types::Cycle;
+
+/// Network-link usage accounting (Fig. 8b): every directed network link
+/// contributes one slot per cycle, used by a flit, a special message, or
+/// idle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct LinkUse {
+    /// Link-cycles carrying data flits.
+    pub flit: u64,
+    /// Link-cycles carrying probe SMs.
+    pub probe: u64,
+    /// Link-cycles carrying move / probe_move / kill_move SMs.
+    pub other_sm: u64,
+    /// Total link-cycles observed (links x cycles).
+    pub total: u64,
+}
+
+impl LinkUse {
+    /// Fraction of link-cycles carrying flits.
+    pub fn flit_fraction(&self) -> f64 {
+        ratio(self.flit, self.total)
+    }
+    /// Fraction carrying probes.
+    pub fn probe_fraction(&self) -> f64 {
+        ratio(self.probe, self.total)
+    }
+    /// Fraction carrying other SMs.
+    pub fn other_sm_fraction(&self) -> f64 {
+        ratio(self.other_sm, self.total)
+    }
+    /// Idle fraction.
+    pub fn idle_fraction(&self) -> f64 {
+        (1.0 - self.flit_fraction() - self.probe_fraction() - self.other_sm_fraction()).max(0.0)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Aggregate statistics of one simulation.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct NetStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Packets created by the traffic source.
+    pub packets_created: u64,
+    /// Packets whose head entered the network.
+    pub packets_injected: u64,
+    /// Packets fully ejected.
+    pub packets_delivered: u64,
+    /// Flits ejected.
+    pub flits_delivered: u64,
+    /// Flits injected.
+    pub flits_injected: u64,
+    /// Sum over delivered packets of (eject - inject) cycles.
+    pub network_latency_sum: u64,
+    /// Sum over delivered packets of (eject - create) cycles, including
+    /// source queueing.
+    pub total_latency_sum: u64,
+    /// Largest observed packet latency.
+    pub max_latency: u64,
+    /// Link usage accounting.
+    pub link_use: LinkUse,
+    /// Probes launched.
+    pub probes_sent: u64,
+    /// Probes classified (against the ground-truth detector) as launched
+    /// with no real deadlock present. Only counted when probe
+    /// classification is enabled.
+    pub false_positive_probes: u64,
+    /// Recoveries (confirmed loops) started while the ground-truth detector
+    /// saw no deadlock at the initiator — the paper's Fig. 9 "false
+    /// positives". Only counted when probe classification is enabled.
+    pub false_positive_spins: u64,
+    /// Spins executed (counted once per initiating router).
+    pub spins: u64,
+    /// Loops confirmed (moves sent).
+    pub loops_confirmed: u64,
+    /// Kill_moves sent.
+    pub kills_sent: u64,
+    /// Probe_moves sent.
+    pub probe_moves_sent: u64,
+    /// Spin flits that arrived without a landing override (expected 0).
+    pub spin_orphans: u64,
+    /// VC occupancy observed above configured depth (expected 0).
+    pub overflow_events: u64,
+    /// Static Bubble recovery grants issued.
+    pub bubble_grants: u64,
+    /// Measurement-window bookkeeping.
+    pub window_start: Cycle,
+    /// Flits delivered since the window started.
+    pub window_flits_delivered: u64,
+    /// Packets delivered since the window started.
+    pub window_packets_delivered: u64,
+    /// Network-latency sum within the window.
+    pub window_network_latency_sum: u64,
+    /// Total-latency sum within the window.
+    pub window_total_latency_sum: u64,
+}
+
+impl NetStats {
+    /// Average end-to-end packet latency (create to eject) in cycles, over
+    /// the measurement window.
+    pub fn avg_total_latency(&self) -> f64 {
+        ratio(self.window_total_latency_sum, self.window_packets_delivered)
+    }
+
+    /// Average in-network packet latency (inject to eject) in cycles, over
+    /// the measurement window.
+    pub fn avg_network_latency(&self) -> f64 {
+        ratio(self.window_network_latency_sum, self.window_packets_delivered)
+    }
+
+    /// Accepted throughput in flits/node/cycle over the measurement window.
+    pub fn throughput(&self, num_nodes: usize) -> f64 {
+        let window = self.cycles.saturating_sub(self.window_start);
+        if window == 0 || num_nodes == 0 {
+            return 0.0;
+        }
+        self.window_flits_delivered as f64 / (window as f64 * num_nodes as f64)
+    }
+
+    /// Starts a fresh measurement window at `now` (call after warmup).
+    pub fn reset_window(&mut self, now: Cycle) {
+        self.window_start = now;
+        self.window_flits_delivered = 0;
+        self.window_packets_delivered = 0;
+        self.window_network_latency_sum = 0;
+        self.window_total_latency_sum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_use_fractions_sum_to_one() {
+        let u = LinkUse { flit: 30, probe: 5, other_sm: 5, total: 100 };
+        let sum = u.flit_fraction() + u.probe_fraction() + u.other_sm_fraction()
+            + u.idle_fraction();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((u.flit_fraction() - 0.3).abs() < 1e-9);
+        assert!((u.idle_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let s = NetStats::default();
+        assert_eq!(s.avg_total_latency(), 0.0);
+        assert_eq!(s.avg_network_latency(), 0.0);
+        assert_eq!(s.throughput(64), 0.0);
+        assert_eq!(LinkUse::default().idle_fraction(), 1.0);
+    }
+
+    #[test]
+    fn window_reset_clears_counters() {
+        let mut s = NetStats {
+            cycles: 100,
+            window_flits_delivered: 50,
+            window_packets_delivered: 10,
+            window_network_latency_sum: 400,
+            window_total_latency_sum: 500,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_total_latency(), 50.0);
+        s.reset_window(100);
+        assert_eq!(s.window_start, 100);
+        assert_eq!(s.window_flits_delivered, 0);
+        s.cycles = 200;
+        s.window_flits_delivered = 64;
+        assert!((s.throughput(64) - 0.01).abs() < 1e-12);
+    }
+}

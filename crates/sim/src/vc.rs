@@ -1,0 +1,78 @@
+//! Virtual-channel buffers: packet-granular queues with flit-accurate
+//! arrival/departure timing.
+
+use spin_routing::RouteChoices;
+use spin_types::{Cycle, Packet, PortId, VcId};
+use std::collections::VecDeque;
+
+/// A packet resident (possibly partially) in a VC buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct PacketBuf {
+    /// Authoritative header (hops/intermediate updated on arrival).
+    pub packet: Packet,
+    /// Flits that have physically arrived.
+    pub received: u16,
+    /// Flits already forwarded onward.
+    pub sent: u16,
+    /// Current routing candidates (recomputed every waiting cycle).
+    pub choices: RouteChoices,
+    /// Allocated output (port, downstream VC) once VC allocation succeeds.
+    pub out: Option<(PortId, VcId)>,
+    /// Cycle this packet reached the head of its VC with a computed route
+    /// (for Static Bubble timeouts).
+    pub head_since: Option<Cycle>,
+}
+
+impl PacketBuf {
+    pub(crate) fn new(packet: Packet) -> Self {
+        PacketBuf {
+            packet,
+            received: 0,
+            sent: 0,
+            choices: RouteChoices::new(),
+            out: None,
+            head_since: None,
+        }
+    }
+
+    /// True once every flit has been forwarded.
+    pub(crate) fn fully_sent(&self) -> bool {
+        self.sent >= self.packet.len
+    }
+
+    /// True if a flit is available to forward this cycle.
+    pub(crate) fn flit_available(&self) -> bool {
+        self.sent < self.received
+    }
+}
+
+/// One VC buffer at an input port.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Vc {
+    /// Resident packets in arrival order (normally at most one under VCT;
+    /// spins may briefly overlap an arriving packet with a departing one).
+    pub q: VecDeque<PacketBuf>,
+    /// Switch allocation disabled by SPIN.
+    pub frozen: bool,
+    /// The frozen outport while frozen.
+    pub frozen_out: Option<PortId>,
+    /// Streaming its head packet as part of a spin.
+    pub spinning: bool,
+}
+
+impl Vc {
+    /// Total flits buffered.
+    pub(crate) fn occupancy(&self) -> usize {
+        self.q.iter().map(|p| (p.received - p.sent) as usize).sum()
+    }
+
+    /// The head packet, if any.
+    pub(crate) fn head(&self) -> Option<&PacketBuf> {
+        self.q.front()
+    }
+
+    /// The head packet, mutable.
+    pub(crate) fn head_mut(&mut self) -> Option<&mut PacketBuf> {
+        self.q.front_mut()
+    }
+}

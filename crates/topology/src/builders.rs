@@ -1,0 +1,448 @@
+//! Constructors for the supported topology families.
+
+use crate::{Port, Topology, TopologyError, TopologyKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use spin_types::{NodeId, PortConn, PortId, RouterId};
+
+fn local_port(node: NodeId) -> Port {
+    Port { conn: None, node: Some(node), latency: 1 }
+}
+
+fn net_port(peer: PortConn, latency: u32) -> Port {
+    Port { conn: Some(peer), node: None, latency }
+}
+
+impl Topology {
+    /// Builds a `width x height` 2-D mesh with one terminal per router,
+    /// 1-cycle links, port layout `[local, N, E, S, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2` or `height < 2`.
+    pub fn mesh(width: u32, height: u32) -> Topology {
+        Self::grid(width, height, false).expect("mesh dimensions must be >= 2")
+    }
+
+    /// Builds a `width x height` 2-D torus (wrap-around links), otherwise
+    /// identical to [`Topology::mesh`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2` or `height < 2`.
+    pub fn torus(width: u32, height: u32) -> Topology {
+        Self::grid(width, height, true).expect("torus dimensions must be >= 2")
+    }
+
+    fn grid(width: u32, height: u32, wrap: bool) -> Result<Topology, TopologyError> {
+        if width < 2 || height < 2 {
+            return Err(TopologyError::BadParameter(format!(
+                "grid dimensions must be >= 2, got {width}x{height}"
+            )));
+        }
+        let n = (width * height) as usize;
+        let mut ports = vec![vec![Port::unconnected(); 5]; n];
+        let mut node_attach = Vec::with_capacity(n);
+        let at = |x: u32, y: u32| RouterId(y * width + x);
+        for y in 0..height {
+            for x in 0..width {
+                let r = at(x, y);
+                ports[r.index()][0] = local_port(NodeId(r.0));
+                node_attach.push(PortConn { router: r, port: PortId(0) });
+                // N=1 E=2 S=3 W=4; connect to the neighbour's opposite port.
+                let neighbours: [(u8, Option<RouterId>); 4] = [
+                    (1, step(y, height, 1, wrap).map(|ny| at(x, ny))),
+                    (2, step(x, width, 1, wrap).map(|nx| at(nx, y))),
+                    (3, step(y, height, -1, wrap).map(|ny| at(x, ny))),
+                    (4, step(x, width, -1, wrap).map(|nx| at(nx, y))),
+                ];
+                for (p, peer) in neighbours {
+                    if let Some(pr) = peer {
+                        let opposite = match p {
+                            1 => 3,
+                            2 => 4,
+                            3 => 1,
+                            _ => 2,
+                        };
+                        ports[r.index()][p as usize] =
+                            net_port(PortConn { router: pr, port: PortId(opposite) }, 1);
+                    }
+                }
+            }
+        }
+        let kind = if wrap {
+            TopologyKind::Torus { width, height }
+        } else {
+            TopologyKind::Mesh { width, height }
+        };
+        let name = format!("{}{}x{}", if wrap { "torus" } else { "mesh" }, width, height);
+        Topology::from_parts(name, kind, ports, node_attach)
+    }
+
+    /// Builds a bidirectional ring of `n >= 2` routers, one terminal each.
+    /// Port layout `[local, clockwise, counter-clockwise]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring(n: u32) -> Topology {
+        assert!(n >= 2, "ring needs at least 2 routers");
+        let mut ports = vec![vec![Port::unconnected(); 3]; n as usize];
+        let mut node_attach = Vec::with_capacity(n as usize);
+        for r in 0..n {
+            ports[r as usize][0] = local_port(NodeId(r));
+            node_attach.push(PortConn { router: RouterId(r), port: PortId(0) });
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            ports[r as usize][1] =
+                net_port(PortConn { router: RouterId(next), port: PortId(2) }, 1);
+            ports[r as usize][2] =
+                net_port(PortConn { router: RouterId(prev), port: PortId(1) }, 1);
+        }
+        Topology::from_parts(format!("ring{n}"), TopologyKind::Ring { n }, ports, node_attach)
+            .expect("ring construction is infallible")
+    }
+
+    /// Builds a dragonfly with `p` terminals/router, `a` routers/group, `h`
+    /// global links/router and `g` groups, with 1-cycle intra-group and
+    /// 3-cycle inter-group links (the paper's configuration). The paper's
+    /// 1024-node network is `dragonfly(4, 8, 4, 32)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters cannot be wired (see
+    /// [`Topology::try_dragonfly`]).
+    pub fn dragonfly(p: u32, a: u32, h: u32, g: u32) -> Topology {
+        Self::try_dragonfly(p, a, h, g, 1, 3).expect("invalid dragonfly parameters")
+    }
+
+    /// Fallible dragonfly constructor with explicit link latencies.
+    ///
+    /// Global channels per group total `a*h`; every pair of groups receives
+    /// `floor(a*h / (g-1))` channels and, when `a*h` is not a multiple of
+    /// `g-1`, the remaining channels connect diametrically opposite groups
+    /// (`G` and `G + g/2`), which requires `g` to be even.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadParameter`] if any parameter is zero,
+    /// `g < 2`, `a*h < g-1` (not enough channels for full group
+    /// connectivity), or the remainder channels cannot be paired.
+    pub fn try_dragonfly(
+        p: u32,
+        a: u32,
+        h: u32,
+        g: u32,
+        local_latency: u32,
+        global_latency: u32,
+    ) -> Result<Topology, TopologyError> {
+        if p == 0 || a == 0 || h == 0 || g < 2 {
+            return Err(TopologyError::BadParameter(format!(
+                "dragonfly parameters must be positive with g >= 2, got p={p} a={a} h={h} g={g}"
+            )));
+        }
+        let channels = a * h;
+        if channels < g - 1 {
+            return Err(TopologyError::BadParameter(format!(
+                "a*h = {channels} global channels cannot connect {g} groups pairwise"
+            )));
+        }
+        let base = channels / (g - 1);
+        let rem = channels % (g - 1);
+        if rem > 0 && !g.is_multiple_of(2) {
+            return Err(TopologyError::BadParameter(format!(
+                "remainder channels ({rem}) need an even group count, got g={g}"
+            )));
+        }
+
+        let num_routers = (a * g) as usize;
+        let radix = (p + (a - 1) + h) as usize;
+        let mut ports = vec![vec![Port::unconnected(); radix]; num_routers];
+        let mut node_attach = Vec::with_capacity((p * a * g) as usize);
+
+        // Local ports and intra-group all-to-all links.
+        for grp in 0..g {
+            for i in 0..a {
+                let r = RouterId(grp * a + i);
+                for t in 0..p {
+                    let node = NodeId(r.0 * p + t);
+                    ports[r.index()][t as usize] = local_port(node);
+                    node_attach.push(PortConn { router: r, port: PortId(t as u8) });
+                }
+                for j in 0..a {
+                    if j == i {
+                        continue;
+                    }
+                    let my_port = p + if j < i { j } else { j - 1 };
+                    let peer_port = p + if i < j { i } else { i - 1 };
+                    let peer = RouterId(grp * a + j);
+                    ports[r.index()][my_port as usize] = net_port(
+                        PortConn { router: peer, port: PortId(peer_port as u8) },
+                        local_latency,
+                    );
+                }
+            }
+        }
+
+        // Global wiring: enumerate each group's channel endpoints in a
+        // canonical order (peer offset k = 1..g, then copy index); matching
+        // copy indices of a pair are connected to each other.
+        // cnt(G, D) = base (+rem if D is diametrically opposite).
+        let pair_count = |from: u32, to: u32| -> u32 {
+            let diametric = g.is_multiple_of(2) && (to + g / 2) % g == from;
+            base + if diametric { rem } else { 0 }
+        };
+        // endpoint_index(G, D, c): position of copy c of pair (G,D) in G's
+        // endpoint enumeration.
+        let endpoint_index = |from: u32, to: u32, copy: u32| -> u32 {
+            let mut idx = 0;
+            for k in 1..g {
+                let peer = (from + k) % g;
+                if peer == to {
+                    return idx + copy;
+                }
+                idx += pair_count(from, peer);
+            }
+            unreachable!("peer group not found");
+        };
+        let endpoint_router_port = |grp: u32, e: u32| -> PortConn {
+            let r = RouterId(grp * a + e / h);
+            let port = PortId((p + (a - 1) + e % h) as u8);
+            PortConn { router: r, port }
+        };
+        for grp in 0..g {
+            for k in 1..g {
+                let peer = (grp + k) % g;
+                if peer < grp {
+                    continue; // wire each unordered pair once
+                }
+                for c in 0..pair_count(grp, peer) {
+                    let e1 = endpoint_index(grp, peer, c);
+                    let e2 = endpoint_index(peer, grp, c);
+                    let end1 = endpoint_router_port(grp, e1);
+                    let end2 = endpoint_router_port(peer, e2);
+                    ports[end1.router.index()][end1.port.index()] =
+                        net_port(end2, global_latency);
+                    ports[end2.router.index()][end2.port.index()] =
+                        net_port(end1, global_latency);
+                }
+            }
+        }
+
+        Topology::from_parts(
+            format!("dragonfly_p{p}a{a}h{h}g{g}"),
+            TopologyKind::Dragonfly { p, a, h, g },
+            ports,
+            node_attach,
+        )
+    }
+
+    /// Builds an irregular topology from an undirected edge list, with
+    /// `nodes_per_router` terminals at each router and 1-cycle links.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate/self edges, out-of-range endpoints, or
+    /// a disconnected graph.
+    pub fn irregular(
+        num_routers: u32,
+        edges: &[(u32, u32)],
+        nodes_per_router: u32,
+    ) -> Result<Topology, TopologyError> {
+        if num_routers == 0 {
+            return Err(TopologyError::BadParameter("need at least one router".into()));
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_routers as usize];
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in edges {
+            if u >= num_routers || v >= num_routers {
+                return Err(TopologyError::BadParameter(format!(
+                    "edge ({u},{v}) out of range for {num_routers} routers"
+                )));
+            }
+            if u == v {
+                return Err(TopologyError::BadParameter(format!("self edge at {u}")));
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(TopologyError::BadParameter(format!("duplicate edge ({u},{v})")));
+            }
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for nb in &mut adj {
+            nb.sort_unstable();
+        }
+        let npr = nodes_per_router as usize;
+        let mut ports = Vec::with_capacity(num_routers as usize);
+        let mut node_attach = Vec::new();
+        for r in 0..num_routers {
+            let mut table = Vec::with_capacity(npr + adj[r as usize].len());
+            for t in 0..nodes_per_router {
+                let node = NodeId(r * nodes_per_router + t);
+                table.push(local_port(node));
+                node_attach.push(PortConn {
+                    router: RouterId(r),
+                    port: PortId(t as u8),
+                });
+            }
+            for &peer in &adj[r as usize] {
+                // The peer's port index for us: nodes + position of r in the
+                // peer's sorted adjacency.
+                let pos = adj[peer as usize]
+                    .iter()
+                    .position(|&x| x == r)
+                    .expect("adjacency is symmetric");
+                table.push(net_port(
+                    PortConn {
+                        router: RouterId(peer),
+                        port: PortId((npr + pos) as u8),
+                    },
+                    1,
+                ));
+            }
+            ports.push(table);
+        }
+        Topology::from_parts(
+            format!("irregular{num_routers}"),
+            TopologyKind::Irregular,
+            ports,
+            node_attach,
+        )
+    }
+
+    /// Generates a random connected irregular topology: a random spanning
+    /// tree plus `extra_edges` additional random edges. Deterministic for a
+    /// given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_routers == 0`.
+    pub fn random_connected(
+        num_routers: u32,
+        extra_edges: u32,
+        nodes_per_router: u32,
+        seed: u64,
+    ) -> Result<Topology, TopologyError> {
+        if num_routers == 0 {
+            return Err(TopologyError::BadParameter("need at least one router".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..num_routers).collect();
+        order.shuffle(&mut rng);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..num_routers as usize {
+            let parent = order[rng.random_range(0..i)];
+            let child = order[i];
+            edges.push((parent, child));
+            seen.insert((parent.min(child), parent.max(child)));
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra_edges && attempts < extra_edges * 50 + 100 {
+            attempts += 1;
+            let u = rng.random_range(0..num_routers);
+            let v = rng.random_range(0..num_routers);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                edges.push((u, v));
+                added += 1;
+            }
+        }
+        Self::irregular(num_routers, &edges, nodes_per_router)
+    }
+}
+
+/// Steps a coordinate by `delta` within `0..size`, wrapping if `wrap`.
+fn step(v: u32, size: u32, delta: i32, wrap: bool) -> Option<u32> {
+    let next = v as i64 + delta as i64;
+    if next < 0 || next >= size as i64 {
+        if wrap {
+            Some(((next + size as i64) % size as i64) as u32)
+        } else {
+            None
+        }
+    } else {
+        Some(next as u32)
+    }
+}
+
+impl Topology {
+    /// Builds a concentrated `width x height` mesh with `c` terminals per
+    /// router (port layout: `0..c` local, then N/E/S/W shifted by `c-1`).
+    /// Concentration is the standard way to scale NoCs without exploding
+    /// router count; SPIN is unaffected because it never inspects local
+    /// ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `width < 2`, `height < 2` or `c == 0`.
+    pub fn cmesh(width: u32, height: u32, c: u32) -> Result<Topology, TopologyError> {
+        if width < 2 || height < 2 {
+            return Err(TopologyError::BadParameter(format!(
+                "cmesh dimensions must be >= 2, got {width}x{height}"
+            )));
+        }
+        if c == 0 {
+            return Err(TopologyError::BadParameter("need at least one terminal".into()));
+        }
+        // Build edges as an irregular graph but preserve mesh adjacency.
+        let n = width * height;
+        let mut edges = Vec::new();
+        for y in 0..height {
+            for x in 0..width {
+                let r = y * width + x;
+                if x + 1 < width {
+                    edges.push((r, r + 1));
+                }
+                if y + 1 < height {
+                    edges.push((r, r + width));
+                }
+            }
+        }
+        let mut topo = Self::irregular(n, &edges, c)?;
+        topo.name = format!("cmesh{width}x{height}c{c}");
+        Ok(topo)
+    }
+
+    /// Returns a copy of this topology with the given bidirectional links
+    /// removed — modelling faulty or power-gated network links, one of the
+    /// paper's motivating use cases for topology-agnostic deadlock freedom.
+    /// Each entry names one endpoint of the link; the reverse direction is
+    /// removed too.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a named port is not a connected network port, or
+    /// if the removals disconnect the network.
+    pub fn with_failed_links(
+        &self,
+        failures: &[(RouterId, PortId)],
+    ) -> Result<Topology, TopologyError> {
+        let mut ports = self.ports.clone();
+        for &(r, p) in failures {
+            let Some(peer) = ports
+                .get(r.index())
+                .and_then(|ps| ps.get(p.index()))
+                .and_then(|port| port.conn)
+            else {
+                return Err(TopologyError::BadParameter(format!(
+                    "({r}, {p}) is not a connected network port"
+                )));
+            };
+            ports[r.index()][p.index()] = Port::unconnected();
+            ports[peer.router.index()][peer.port.index()] = Port::unconnected();
+        }
+        Topology::from_parts(
+            format!("{}_degraded{}", self.name, failures.len()),
+            TopologyKind::Irregular,
+            ports,
+            self.node_attach.clone(),
+        )
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for topology construction.
+
+use spin_types::{NodeId, PortConn, PortId, RouterId};
+use std::fmt;
+
+/// Errors raised while constructing or validating a [`Topology`].
+///
+/// [`Topology`]: crate::Topology
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A port was declared both a local (NIC) port and a network port.
+    PortConflict {
+        /// The router owning the conflicting port.
+        router: RouterId,
+        /// The conflicting port.
+        port: PortId,
+    },
+    /// A link's reverse direction does not point back at it.
+    AsymmetricLink {
+        /// The forward endpoint.
+        from: PortConn,
+        /// The claimed peer.
+        to: PortConn,
+    },
+    /// A node's attachment record does not match the router port table.
+    BadNodeAttachment {
+        /// The misattached node.
+        node: NodeId,
+    },
+    /// The network graph is not connected.
+    Disconnected,
+    /// A constructor parameter was invalid (e.g. zero-sized mesh).
+    BadParameter(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::PortConflict { router, port } => {
+                write!(f, "port {port} of {router} is both local and network")
+            }
+            TopologyError::AsymmetricLink { from, to } => {
+                write!(f, "link {from} -> {to} has no matching reverse link")
+            }
+            TopologyError::BadNodeAttachment { node } => {
+                write!(f, "node {node} attachment does not match port table")
+            }
+            TopologyError::Disconnected => write!(f, "network graph is not connected"),
+            TopologyError::BadParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

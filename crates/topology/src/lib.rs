@@ -1,0 +1,438 @@
+//! Network topologies for the SPIN reproduction.
+//!
+//! A [`Topology`] is a concrete, data-driven description of a network: a set
+//! of routers, the directed links between their ports, the terminals (NICs)
+//! attached through local ports, per-link latencies, and precomputed
+//! all-pairs hop distances. Constructors are provided for the topologies the
+//! paper evaluates — the 8x8 2-D mesh and the 1024-node dragonfly — plus
+//! rings, tori and arbitrary irregular graphs (SPIN's headline capability is
+//! being topology-agnostic, so irregular graphs get first-class support).
+//!
+//! Port numbering convention: for a router with `l` local (NIC) ports and
+//! `k` network ports, ports `0..l` attach terminals and ports `l..l+k` are
+//! network ports. Mesh/torus routers map ports `1..=4` to
+//! North/East/South/West in that order; unconnected edge ports exist but
+//! have no peer.
+//!
+//! # Examples
+//!
+//! ```
+//! use spin_topology::Topology;
+//! use spin_types::{NodeId, RouterId};
+//!
+//! let mesh = Topology::mesh(8, 8);
+//! assert_eq!(mesh.num_routers(), 64);
+//! assert_eq!(mesh.num_nodes(), 64);
+//! // Manhattan distance between opposite corners:
+//! assert_eq!(mesh.dist(RouterId(0), RouterId(63)), 14);
+//!
+//! let dfly = Topology::dragonfly(4, 8, 4, 32);
+//! assert_eq!(dfly.num_nodes(), 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builders;
+mod error;
+
+pub use error::TopologyError;
+
+use smallvec::SmallVec;
+use spin_types::{Direction, NodeId, PortConn, PortId, RouterId};
+use std::fmt;
+
+/// A single port of a router: either attached to a terminal node, connected
+/// to a peer router port, or unconnected (mesh edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// The peer network port, if this is a connected network port.
+    pub conn: Option<PortConn>,
+    /// The attached terminal, if this is a local port.
+    pub node: Option<NodeId>,
+    /// Link traversal latency in cycles (>= 1 for network ports).
+    pub latency: u32,
+}
+
+impl Port {
+    fn unconnected() -> Self {
+        Port { conn: None, node: None, latency: 1 }
+    }
+
+    /// True if this port attaches a terminal node.
+    #[inline]
+    pub fn is_local(&self) -> bool {
+        self.node.is_some()
+    }
+
+    /// True if this port connects to another router.
+    #[inline]
+    pub fn is_network(&self) -> bool {
+        self.conn.is_some()
+    }
+}
+
+/// Which topology family a [`Topology`] instance belongs to, with
+/// family-specific parameters for routing algorithms that need them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// `width x height` 2-D mesh.
+    Mesh {
+        /// Routers along x.
+        width: u32,
+        /// Routers along y.
+        height: u32,
+    },
+    /// `width x height` 2-D torus (wrap-around links).
+    Torus {
+        /// Routers along x.
+        width: u32,
+        /// Routers along y.
+        height: u32,
+    },
+    /// Unidirectional-pair ring of `n` routers (bidirectional links).
+    Ring {
+        /// Number of routers.
+        n: u32,
+    },
+    /// Dragonfly with `p` terminals/router, `a` routers/group, `h` global
+    /// links/router, `g` groups.
+    Dragonfly {
+        /// Terminals per router.
+        p: u32,
+        /// Routers per group.
+        a: u32,
+        /// Global links per router.
+        h: u32,
+        /// Number of groups.
+        g: u32,
+    },
+    /// Arbitrary graph.
+    Irregular,
+}
+
+/// A concrete network topology (see crate docs for conventions).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    kind: TopologyKind,
+    /// ports[r] = port table of router r.
+    ports: Vec<Vec<Port>>,
+    /// node_attach[n] = (router, local port) of terminal n.
+    node_attach: Vec<PortConn>,
+    /// dist[r1][r2] = network hop distance.
+    dist: Vec<Vec<u32>>,
+}
+
+/// Candidate output ports, small enough to stay on the stack.
+pub type PortVec = SmallVec<[PortId; 8]>;
+
+impl Topology {
+    pub(crate) fn from_parts(
+        name: String,
+        kind: TopologyKind,
+        ports: Vec<Vec<Port>>,
+        node_attach: Vec<PortConn>,
+    ) -> Result<Self, TopologyError> {
+        let mut topo = Topology { name, kind, ports, node_attach, dist: Vec::new() };
+        topo.validate()?;
+        topo.dist = topo.all_pairs_bfs();
+        // Reachability check: every router must reach every other.
+        for row in &topo.dist {
+            if row.contains(&u32::MAX) {
+                return Err(TopologyError::Disconnected);
+            }
+        }
+        Ok(topo)
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        for (r, ps) in self.ports.iter().enumerate() {
+            for (p, port) in ps.iter().enumerate() {
+                if port.conn.is_some() && port.node.is_some() {
+                    return Err(TopologyError::PortConflict {
+                        router: RouterId(r as u32),
+                        port: PortId(p as u8),
+                    });
+                }
+                if let Some(peer) = port.conn {
+                    let back = self
+                        .ports
+                        .get(peer.router.index())
+                        .and_then(|ps| ps.get(peer.port.index()))
+                        .and_then(|p| p.conn);
+                    let me = PortConn { router: RouterId(r as u32), port: PortId(p as u8) };
+                    if back != Some(me) {
+                        return Err(TopologyError::AsymmetricLink { from: me, to: peer });
+                    }
+                }
+            }
+        }
+        for (n, at) in self.node_attach.iter().enumerate() {
+            let port = &self.ports[at.router.index()][at.port.index()];
+            if port.node != Some(NodeId(n as u32)) {
+                return Err(TopologyError::BadNodeAttachment { node: NodeId(n as u32) });
+            }
+        }
+        Ok(())
+    }
+
+    fn all_pairs_bfs(&self) -> Vec<Vec<u32>> {
+        let n = self.ports.len();
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in 0..n {
+            let row = &mut dist[src];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(r) = queue.pop_front() {
+                let d = row[r];
+                for port in &self.ports[r] {
+                    if let Some(peer) = port.conn {
+                        let pr = peer.router.index();
+                        if row[pr] == u32::MAX {
+                            row[pr] = d + 1;
+                            queue.push_back(pr);
+                        }
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Human-readable topology name, e.g. `"mesh8x8"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The topology family and parameters.
+    pub fn kind(&self) -> &TopologyKind {
+        &self.kind
+    }
+
+    /// Number of routers.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of terminal nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_attach.len()
+    }
+
+    /// Number of ports (local + network + unconnected) at router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn radix(&self, r: RouterId) -> usize {
+        self.ports[r.index()].len()
+    }
+
+    /// The port table of router `r`.
+    #[inline]
+    pub fn ports(&self, r: RouterId) -> &[Port] {
+        &self.ports[r.index()]
+    }
+
+    /// The port `p` of router `r`.
+    #[inline]
+    pub fn port(&self, r: RouterId, p: PortId) -> &Port {
+        &self.ports[r.index()][p.index()]
+    }
+
+    /// The peer endpoint of network port `p` of router `r`, if connected.
+    #[inline]
+    pub fn neighbor(&self, r: RouterId, p: PortId) -> Option<PortConn> {
+        self.port(r, p).conn
+    }
+
+    /// Link latency of port `p` at router `r` in cycles.
+    #[inline]
+    pub fn link_latency(&self, r: RouterId, p: PortId) -> u32 {
+        self.port(r, p).latency
+    }
+
+    /// The router and local port that terminal `n` attaches to.
+    #[inline]
+    pub fn node_attach(&self, n: NodeId) -> PortConn {
+        self.node_attach[n.index()]
+    }
+
+    /// The router that terminal `n` attaches to.
+    #[inline]
+    pub fn node_router(&self, n: NodeId) -> RouterId {
+        self.node_attach[n.index()].router
+    }
+
+    /// Network hop distance between two routers.
+    #[inline]
+    pub fn dist(&self, a: RouterId, b: RouterId) -> u32 {
+        self.dist[a.index()][b.index()]
+    }
+
+    /// Minimal network hops from router `at` to terminal `to` (not counting
+    /// the ejection hop).
+    #[inline]
+    pub fn dist_to_node(&self, at: RouterId, to: NodeId) -> u32 {
+        self.dist(at, self.node_router(to))
+    }
+
+    /// Network output ports at `at` that lie on a minimal path to router
+    /// `to`. Empty iff `at == to`.
+    pub fn minimal_ports(&self, at: RouterId, to: RouterId) -> PortVec {
+        let mut out = PortVec::new();
+        if at == to {
+            return out;
+        }
+        let d = self.dist(at, to);
+        for (i, port) in self.ports[at.index()].iter().enumerate() {
+            if let Some(peer) = port.conn {
+                if self.dist(peer.router, to) + 1 == d {
+                    out.push(PortId(i as u8));
+                }
+            }
+        }
+        out
+    }
+
+    /// All connected network output ports at `at` (any direction, minimal or
+    /// not), excluding local ports.
+    pub fn network_ports(&self, at: RouterId) -> PortVec {
+        self.ports[at.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_network())
+            .map(|(i, _)| PortId(i as u8))
+            .collect()
+    }
+
+    /// Local (NIC) ports at router `at`.
+    pub fn local_ports(&self, at: RouterId) -> PortVec {
+        self.ports[at.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_local())
+            .map(|(i, _)| PortId(i as u8))
+            .collect()
+    }
+
+    /// Iterates over every directed network link as `(from, to)` endpoints.
+    pub fn links(&self) -> impl Iterator<Item = (PortConn, PortConn)> + '_ {
+        self.ports.iter().enumerate().flat_map(|(r, ps)| {
+            ps.iter().enumerate().filter_map(move |(p, port)| {
+                port.conn.map(|peer| {
+                    (PortConn { router: RouterId(r as u32), port: PortId(p as u8) }, peer)
+                })
+            })
+        })
+    }
+
+    /// The network diameter in hops.
+    pub fn diameter(&self) -> u32 {
+        self.dist
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ---- mesh / torus helpers -------------------------------------------
+
+    /// `(x, y)` coordinates of a mesh/torus router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a mesh or torus.
+    pub fn coords(&self, r: RouterId) -> (u32, u32) {
+        match self.kind {
+            TopologyKind::Mesh { width, .. } | TopologyKind::Torus { width, .. } => {
+                (r.0 % width, r.0 / width)
+            }
+            _ => panic!("coords() requires a mesh or torus topology"),
+        }
+    }
+
+    /// The mesh/torus router at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a mesh or torus or `(x, y)` is out of
+    /// range.
+    pub fn router_at(&self, x: u32, y: u32) -> RouterId {
+        match self.kind {
+            TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
+                assert!(x < width && y < height, "coordinates out of range");
+                RouterId(y * width + x)
+            }
+            _ => panic!("router_at() requires a mesh or torus topology"),
+        }
+    }
+
+    /// Port index of a mesh/torus direction (`N=1, E=2, S=3, W=4`).
+    pub fn dir_port(&self, d: Direction) -> PortId {
+        match d {
+            Direction::North => PortId(1),
+            Direction::East => PortId(2),
+            Direction::South => PortId(3),
+            Direction::West => PortId(4),
+        }
+    }
+
+    /// Direction of a mesh/torus network port, if it is one.
+    pub fn port_dir(&self, p: PortId) -> Option<Direction> {
+        match p.0 {
+            1 => Some(Direction::North),
+            2 => Some(Direction::East),
+            3 => Some(Direction::South),
+            4 => Some(Direction::West),
+            _ => None,
+        }
+    }
+
+    // ---- dragonfly helpers ----------------------------------------------
+
+    /// The dragonfly group of router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a dragonfly.
+    pub fn group_of(&self, r: RouterId) -> u32 {
+        match self.kind {
+            TopologyKind::Dragonfly { a, .. } => r.0 / a,
+            _ => panic!("group_of() requires a dragonfly topology"),
+        }
+    }
+
+    /// True if `p` is a global (inter-group) port of dragonfly router `r`.
+    pub fn is_global_port(&self, r: RouterId, p: PortId) -> bool {
+        match self.kind {
+            TopologyKind::Dragonfly { .. } => self
+                .neighbor(r, p)
+                .map(|peer| self.group_of(peer.router) != self.group_of(r))
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} routers, {} nodes, diameter {})",
+            self.name,
+            self.num_routers(),
+            self.num_nodes(),
+            self.diameter()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests;

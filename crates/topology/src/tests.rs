@@ -1,0 +1,315 @@
+use crate::{Topology, TopologyError, TopologyKind};
+use proptest::prelude::*;
+use spin_types::{Direction, NodeId, PortId, RouterId};
+
+#[test]
+fn mesh_basic_shape() {
+    let t = Topology::mesh(8, 8);
+    assert_eq!(t.num_routers(), 64);
+    assert_eq!(t.num_nodes(), 64);
+    assert_eq!(t.radix(RouterId(0)), 5);
+    assert_eq!(t.diameter(), 14);
+    assert_eq!(t.name(), "mesh8x8");
+    assert_eq!(*t.kind(), TopologyKind::Mesh { width: 8, height: 8 });
+}
+
+#[test]
+fn mesh_corner_connectivity() {
+    let t = Topology::mesh(4, 4);
+    // Router 0 is at (0,0): connected N and E only.
+    let r0 = RouterId(0);
+    assert!(t.neighbor(r0, t.dir_port(Direction::North)).is_some());
+    assert!(t.neighbor(r0, t.dir_port(Direction::East)).is_some());
+    assert!(t.neighbor(r0, t.dir_port(Direction::South)).is_none());
+    assert!(t.neighbor(r0, t.dir_port(Direction::West)).is_none());
+    // North neighbour of (0,0) is (0,1) = router 4.
+    let n = t.neighbor(r0, t.dir_port(Direction::North)).unwrap();
+    assert_eq!(n.router, RouterId(4));
+    assert_eq!(t.port_dir(n.port), Some(Direction::South));
+}
+
+#[test]
+fn mesh_distance_is_manhattan() {
+    let t = Topology::mesh(8, 8);
+    for a in 0..64u32 {
+        for b in 0..64u32 {
+            let (ax, ay) = t.coords(RouterId(a));
+            let (bx, by) = t.coords(RouterId(b));
+            let manhattan = ax.abs_diff(bx) + ay.abs_diff(by);
+            assert_eq!(t.dist(RouterId(a), RouterId(b)), manhattan);
+        }
+    }
+}
+
+#[test]
+fn torus_wraps() {
+    let t = Topology::torus(4, 4);
+    assert_eq!(t.diameter(), 4);
+    // (0,0) west neighbour is (3,0).
+    let w = t.neighbor(RouterId(0), t.dir_port(Direction::West)).unwrap();
+    assert_eq!(w.router, RouterId(3));
+}
+
+#[test]
+fn ring_structure() {
+    let t = Topology::ring(6);
+    assert_eq!(t.num_routers(), 6);
+    assert_eq!(t.diameter(), 3);
+    let next = t.neighbor(RouterId(5), PortId(1)).unwrap();
+    assert_eq!(next.router, RouterId(0));
+    let prev = t.neighbor(RouterId(0), PortId(2)).unwrap();
+    assert_eq!(prev.router, RouterId(5));
+}
+
+#[test]
+fn dragonfly_paper_config() {
+    // The paper's 1024-node dragonfly: group size 8.
+    let t = Topology::dragonfly(4, 8, 4, 32);
+    assert_eq!(t.num_nodes(), 1024);
+    assert_eq!(t.num_routers(), 256);
+    // p local + (a-1) intra + h global ports.
+    assert_eq!(t.radix(RouterId(0)), 4 + 7 + 4);
+    // Minimal inter-group path: local-global-local => diameter 3.
+    assert_eq!(t.diameter(), 3);
+}
+
+#[test]
+fn dragonfly_canonical_config() {
+    // Canonical balanced dragonfly g = a*h + 1.
+    let t = Topology::dragonfly(2, 4, 2, 9);
+    assert_eq!(t.num_routers(), 36);
+    assert_eq!(t.num_nodes(), 72);
+    assert_eq!(t.diameter(), 3);
+}
+
+#[test]
+fn dragonfly_every_group_pair_directly_linked() {
+    let t = Topology::dragonfly(4, 8, 4, 32);
+    let g = 32u32;
+    let mut direct = vec![vec![false; g as usize]; g as usize];
+    for (from, to) in t.links() {
+        let g1 = t.group_of(from.router);
+        let g2 = t.group_of(to.router);
+        if g1 != g2 {
+            direct[g1 as usize][g2 as usize] = true;
+            // Global links must carry the configured 3-cycle latency.
+            assert_eq!(t.link_latency(from.router, from.port), 3);
+            assert!(t.is_global_port(from.router, from.port));
+        } else {
+            assert_eq!(t.link_latency(from.router, from.port), 1);
+        }
+    }
+    for (a, row) in direct.iter().enumerate() {
+        for (b, &linked) in row.iter().enumerate() {
+            if a != b {
+                assert!(linked, "groups {a} and {b} lack a direct channel");
+            }
+        }
+    }
+}
+
+#[test]
+fn dragonfly_global_channel_budget() {
+    let t = Topology::dragonfly(4, 8, 4, 32);
+    // Each of the 256 routers has exactly h=4 global ports, all connected.
+    for r in 0..256u32 {
+        let globals = t
+            .network_ports(RouterId(r))
+            .iter()
+            .filter(|&&p| t.is_global_port(RouterId(r), p))
+            .count();
+        assert_eq!(globals, 4, "router {r} global port count");
+    }
+}
+
+#[test]
+fn dragonfly_bad_parameters_rejected() {
+    // Not enough channels: a*h = 2 < g-1 = 4.
+    assert!(matches!(
+        Topology::try_dragonfly(1, 2, 1, 5, 1, 3),
+        Err(TopologyError::BadParameter(_))
+    ));
+    // Remainder channels (a*h = 5, g-1 = 2, rem = 1) with odd group count.
+    assert!(matches!(
+        Topology::try_dragonfly(1, 5, 1, 3, 1, 3),
+        Err(TopologyError::BadParameter(_))
+    ));
+    assert!(matches!(
+        Topology::try_dragonfly(0, 2, 2, 3, 1, 3),
+        Err(TopologyError::BadParameter(_))
+    ));
+}
+
+#[test]
+fn irregular_rejects_bad_edges() {
+    assert!(Topology::irregular(3, &[(0, 0)], 1).is_err());
+    assert!(Topology::irregular(3, &[(0, 5)], 1).is_err());
+    assert!(Topology::irregular(3, &[(0, 1), (1, 0)], 1).is_err());
+    // Disconnected: 0-1 only, router 2 isolated.
+    assert!(matches!(
+        Topology::irregular(3, &[(0, 1)], 1),
+        Err(TopologyError::Disconnected)
+    ));
+}
+
+#[test]
+fn irregular_line_graph() {
+    let t = Topology::irregular(3, &[(0, 1), (1, 2)], 2).unwrap();
+    assert_eq!(t.num_nodes(), 6);
+    assert_eq!(t.dist(RouterId(0), RouterId(2)), 2);
+    assert_eq!(t.node_router(NodeId(5)), RouterId(2));
+}
+
+#[test]
+fn random_connected_is_connected_and_deterministic() {
+    let a = Topology::random_connected(24, 10, 1, 7).unwrap();
+    let b = Topology::random_connected(24, 10, 1, 7).unwrap();
+    assert_eq!(a.num_routers(), 24);
+    assert!(a.diameter() < u32::MAX);
+    // Determinism: identical seeds produce identical link sets.
+    let links_a: Vec<_> = a.links().collect();
+    let links_b: Vec<_> = b.links().collect();
+    assert_eq!(links_a, links_b);
+    let c = Topology::random_connected(24, 10, 1, 8).unwrap();
+    let links_c: Vec<_> = c.links().collect();
+    assert_ne!(links_a, links_c);
+}
+
+#[test]
+fn minimal_ports_empty_at_destination() {
+    let t = Topology::mesh(4, 4);
+    assert!(t.minimal_ports(RouterId(5), RouterId(5)).is_empty());
+}
+
+#[test]
+fn local_and_network_ports_partition() {
+    let t = Topology::dragonfly(2, 4, 2, 9);
+    for r in 0..t.num_routers() {
+        let r = RouterId(r as u32);
+        let locals = t.local_ports(r);
+        let nets = t.network_ports(r);
+        assert_eq!(locals.len(), 2);
+        assert_eq!(nets.len(), 3 + 2);
+        for p in locals {
+            assert!(t.port(r, p).is_local());
+            assert!(!t.port(r, p).is_network());
+        }
+    }
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2u32..6, 2u32..6).prop_map(|(w, h)| Topology::mesh(w, h)),
+        (2u32..5, 2u32..5).prop_map(|(w, h)| Topology::torus(w, h)),
+        (2u32..12).prop_map(Topology::ring),
+        (4u32..20, 0u32..12, any::<u64>())
+            .prop_map(|(n, e, s)| Topology::random_connected(n, e, 1, s).unwrap()),
+        Just(Topology::dragonfly(2, 4, 2, 9)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every link has a symmetric reverse link (checked by the constructor,
+    /// re-verified here through the public API).
+    #[test]
+    fn prop_links_symmetric(t in arb_topology()) {
+        for (from, to) in t.links() {
+            let back = t.neighbor(to.router, to.port).unwrap();
+            prop_assert_eq!(back, from);
+            prop_assert_eq!(
+                t.link_latency(from.router, from.port),
+                t.link_latency(to.router, to.port)
+            );
+        }
+    }
+
+    /// Following any minimal port decreases distance by exactly one, and at
+    /// least one minimal port exists whenever distance > 0.
+    #[test]
+    fn prop_minimal_ports_decrease_distance(t in arb_topology()) {
+        let n = t.num_routers();
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (RouterId(a as u32), RouterId(b as u32));
+                let d = t.dist(a, b);
+                let ports = t.minimal_ports(a, b);
+                if d == 0 {
+                    prop_assert!(ports.is_empty());
+                } else {
+                    prop_assert!(!ports.is_empty());
+                    for p in ports {
+                        let peer = t.neighbor(a, p).unwrap();
+                        prop_assert_eq!(t.dist(peer.router, b), d - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Distance satisfies the triangle inequality and symmetry (links are
+    /// bidirectional).
+    #[test]
+    fn prop_distance_metric(t in arb_topology()) {
+        let n = t.num_routers().min(12);
+        for a in 0..n {
+            for b in 0..n {
+                let (ra, rb) = (RouterId(a as u32), RouterId(b as u32));
+                prop_assert_eq!(t.dist(ra, rb), t.dist(rb, ra));
+                for c in 0..n {
+                    let rc = RouterId(c as u32);
+                    prop_assert!(t.dist(ra, rb) <= t.dist(ra, rc) + t.dist(rc, rb));
+                }
+            }
+        }
+    }
+
+    /// Node attachments round-trip: the port a node attaches to names it.
+    #[test]
+    fn prop_node_attachment_roundtrip(t in arb_topology()) {
+        for n in 0..t.num_nodes() {
+            let node = NodeId(n as u32);
+            let at = t.node_attach(node);
+            prop_assert_eq!(t.port(at.router, at.port).node, Some(node));
+            prop_assert_eq!(t.node_router(node), at.router);
+        }
+    }
+}
+
+#[test]
+fn cmesh_structure() {
+    let t = Topology::cmesh(3, 3, 4).unwrap();
+    assert_eq!(t.num_routers(), 9);
+    assert_eq!(t.num_nodes(), 36);
+    assert_eq!(t.local_ports(RouterId(0)).len(), 4);
+    // Center router has 4 network neighbours.
+    assert_eq!(t.network_ports(RouterId(4)).len(), 4);
+    assert!(Topology::cmesh(1, 3, 1).is_err());
+    assert!(Topology::cmesh(3, 3, 0).is_err());
+}
+
+#[test]
+fn failed_links_remove_both_directions() {
+    let t = Topology::mesh(4, 4);
+    // Kill the link from r0 going North (to r4).
+    let d = t.with_failed_links(&[(RouterId(0), PortId(1))]).unwrap();
+    assert!(d.neighbor(RouterId(0), PortId(1)).is_none());
+    assert!(d.neighbor(RouterId(4), PortId(3)).is_none());
+    // Distances re-computed: r0 -> r4 now takes a detour.
+    assert_eq!(t.dist(RouterId(0), RouterId(4)), 1);
+    assert_eq!(d.dist(RouterId(0), RouterId(4)), 3);
+    // Failing a local port is rejected.
+    assert!(t.with_failed_links(&[(RouterId(0), PortId(0))]).is_err());
+}
+
+#[test]
+fn failed_links_disconnecting_rejected() {
+    let t = Topology::mesh(2, 2);
+    // Cut both links of r0: disconnects it.
+    let cut = [(RouterId(0), PortId(1)), (RouterId(0), PortId(2))];
+    assert!(matches!(
+        t.with_failed_links(&cut),
+        Err(TopologyError::Disconnected)
+    ));
+}

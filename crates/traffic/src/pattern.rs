@@ -1,0 +1,289 @@
+//! Synthetic destination patterns (Garnet-compatible definitions).
+
+use rand::Rng;
+use spin_topology::{Topology, TopologyKind};
+use spin_types::NodeId;
+use std::fmt;
+
+/// A synthetic traffic pattern: maps each source node to a destination.
+///
+/// Permutation patterns (`BitComplement`, `BitReverse`, `BitRotation`,
+/// `Shuffle`, `Transpose`) operate on the binary representation of the node
+/// id within `log2(N)` bits, as in Garnet; they require a power-of-two node
+/// count (the paper's 64-node mesh and 1024-node dragonfly both qualify).
+/// `Tornado` and `Transpose` are mesh-aware on mesh/torus topologies
+/// (operating on router coordinates) and fall back to the flat-id formula on
+/// other topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniformly random destination (excluding the source).
+    UniformRandom,
+    /// `dst = ~src` within `log2(N)` bits.
+    BitComplement,
+    /// Swap the upper and lower halves of the id bits; on a square mesh this
+    /// is the matrix transpose `(x, y) -> (y, x)`.
+    Transpose,
+    /// Send halfway around the x dimension: `dst_x = (x + w/2 - 1) mod w`
+    /// on meshes/tori; `(i + N/2 - 1) mod N` elsewhere.
+    Tornado,
+    /// `dst = (src + 1) mod N`.
+    Neighbor,
+    /// Reverse the id bits.
+    BitReverse,
+    /// Rotate the id bits right by one.
+    BitRotation,
+    /// Rotate the id bits left by one (perfect shuffle).
+    Shuffle,
+    /// All nodes send to node 0 with the given probability, else uniform.
+    /// Probability is in percent (0-100).
+    Hotspot(u8),
+}
+
+impl Pattern {
+    /// Every pattern used in the paper's sweeps, for iteration.
+    pub const PAPER_PATTERNS: [Pattern; 7] = [
+        Pattern::UniformRandom,
+        Pattern::BitComplement,
+        Pattern::Transpose,
+        Pattern::Tornado,
+        Pattern::Neighbor,
+        Pattern::BitReverse,
+        Pattern::BitRotation,
+    ];
+
+    /// Computes the destination for `src`. Deterministic patterns ignore
+    /// `rng`. Returns `None` when the pattern maps `src` to itself (the
+    /// caller should skip injection, as Garnet does).
+    pub fn destination<R: Rng + ?Sized>(
+        self,
+        src: NodeId,
+        topo: &Topology,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let n = topo.num_nodes() as u32;
+        let bits = n.trailing_zeros();
+        let id = src.0;
+        let dst = match self {
+            Pattern::UniformRandom => {
+                if n < 2 {
+                    return None;
+                }
+                // Draw from N-1 candidates to exclude the source.
+                let d = rng.random_range(0..n - 1);
+                if d >= id {
+                    d + 1
+                } else {
+                    d
+                }
+            }
+            Pattern::BitComplement => {
+                assert_power_of_two(n, self);
+                (!id) & (n - 1)
+            }
+            Pattern::Transpose => match *topo.kind() {
+                TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => {
+                    let r = topo.node_router(src);
+                    let (x, y) = topo.coords(r);
+                    topo.port(topo.router_at(y, x), spin_types::PortId(0))
+                        .node
+                        .expect("mesh router port 0 is local")
+                        .0
+                }
+                _ => {
+                    assert_power_of_two(n, self);
+                    let half = bits / 2;
+                    let lo = id & ((1 << half) - 1);
+                    let hi = id >> half;
+                    (lo << (bits - half)) | hi
+                }
+            },
+            Pattern::Tornado => match *topo.kind() {
+                TopologyKind::Mesh { width, .. } | TopologyKind::Torus { width, .. } => {
+                    let r = topo.node_router(src);
+                    let (x, y) = topo.coords(r);
+                    let nx = (x + width / 2 + width - 1) % width;
+                    topo.port(topo.router_at(nx, y), spin_types::PortId(0))
+                        .node
+                        .expect("mesh router port 0 is local")
+                        .0
+                }
+                _ => (id + n / 2 - 1) % n,
+            },
+            Pattern::Neighbor => (id + 1) % n,
+            Pattern::BitReverse => {
+                assert_power_of_two(n, self);
+                let mut v = 0;
+                for b in 0..bits {
+                    if id & (1 << b) != 0 {
+                        v |= 1 << (bits - 1 - b);
+                    }
+                }
+                v
+            }
+            Pattern::BitRotation => {
+                assert_power_of_two(n, self);
+                (id >> 1) | ((id & 1) << (bits - 1))
+            }
+            Pattern::Shuffle => {
+                assert_power_of_two(n, self);
+                ((id << 1) & (n - 1)) | (id >> (bits - 1))
+            }
+            Pattern::Hotspot(pct) => {
+                if rng.random_range(0..100u8) < pct && id != 0 {
+                    0
+                } else {
+                    let d = rng.random_range(0..n - 1);
+                    if d >= id {
+                        d + 1
+                    } else {
+                        d
+                    }
+                }
+            }
+        };
+        if dst == id {
+            None
+        } else {
+            Some(NodeId(dst))
+        }
+    }
+}
+
+fn assert_power_of_two(n: u32, pattern: Pattern) {
+    assert!(
+        n.is_power_of_two(),
+        "{pattern} requires a power-of-two node count, got {n}"
+    );
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pattern::UniformRandom => "uniform_random",
+            Pattern::BitComplement => "bit_complement",
+            Pattern::Transpose => "transpose",
+            Pattern::Tornado => "tornado",
+            Pattern::Neighbor => "neighbor",
+            Pattern::BitReverse => "bit_reverse",
+            Pattern::BitRotation => "bit_rotation",
+            Pattern::Shuffle => "shuffle",
+            Pattern::Hotspot(p) => return write!(f, "hotspot{p}"),
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh8() -> Topology {
+        Topology::mesh(8, 8)
+    }
+
+    #[test]
+    fn bit_complement_is_involution() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..64 {
+            let d = Pattern::BitComplement
+                .destination(NodeId(i), &t, &mut rng)
+                .unwrap();
+            let back = Pattern::BitComplement.destination(d, &t, &mut rng).unwrap();
+            assert_eq!(back, NodeId(i));
+            assert_eq!(d.0, 63 - i);
+        }
+    }
+
+    #[test]
+    fn transpose_on_mesh_swaps_coords() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Node 1 is at (1,0) -> destination (0,1) = node 8.
+        let d = Pattern::Transpose.destination(NodeId(1), &t, &mut rng).unwrap();
+        assert_eq!(d, NodeId(8));
+        // Diagonal nodes map to themselves -> None.
+        assert!(Pattern::Transpose.destination(NodeId(9), &t, &mut rng).is_none());
+    }
+
+    #[test]
+    fn tornado_on_mesh_goes_halfway_across_x() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(0);
+        // (0,0) -> ((0+4-1)%8, 0) = (3,0) = node 3.
+        let d = Pattern::Tornado.destination(NodeId(0), &t, &mut rng).unwrap();
+        assert_eq!(d, NodeId(3));
+    }
+
+    #[test]
+    fn tornado_flat_formula_on_dragonfly() {
+        let t = Topology::dragonfly(2, 4, 2, 9); // 72 nodes, not power of two
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Pattern::Tornado.destination(NodeId(0), &t, &mut rng).unwrap();
+        assert_eq!(d, NodeId(72 / 2 - 1));
+    }
+
+    #[test]
+    fn neighbor_wraps() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            Pattern::Neighbor.destination(NodeId(63), &t, &mut rng),
+            Some(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn bit_reverse_and_rotation() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(0);
+        // 64 nodes = 6 bits. 0b000001 reversed = 0b100000 = 32.
+        assert_eq!(
+            Pattern::BitReverse.destination(NodeId(1), &t, &mut rng),
+            Some(NodeId(32))
+        );
+        // 0b000011 rotated right = 0b100001 = 33.
+        assert_eq!(
+            Pattern::BitRotation.destination(NodeId(3), &t, &mut rng),
+            Some(NodeId(33))
+        );
+        // Shuffle is the inverse of rotation.
+        assert_eq!(
+            Pattern::Shuffle.destination(NodeId(33), &t, &mut rng),
+            Some(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn uniform_random_never_self() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = Pattern::UniformRandom
+                .destination(NodeId(17), &t, &mut rng)
+                .unwrap();
+            assert_ne!(d, NodeId(17));
+            assert!(d.0 < 64);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let t = mesh8();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..1000)
+            .filter(|_| {
+                Pattern::Hotspot(80).destination(NodeId(5), &t, &mut rng) == Some(NodeId(0))
+            })
+            .count();
+        assert!(hits > 700, "expected ~800 hotspot hits, got {hits}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Pattern::UniformRandom.to_string(), "uniform_random");
+        assert_eq!(Pattern::Hotspot(20).to_string(), "hotspot20");
+    }
+}

@@ -1,0 +1,205 @@
+//! Bernoulli synthetic traffic with the paper's control/data packet mix.
+
+use crate::{PacketSpec, Pattern, TrafficSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spin_topology::Topology;
+use spin_types::{Cycle, NodeId, Vnet};
+
+/// Configuration for [`SyntheticTraffic`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Destination pattern.
+    pub pattern: Pattern,
+    /// Offered load in flits/node/cycle.
+    pub rate: f64,
+    /// Fraction of packets that are long data packets (the paper injects "a
+    /// mix of 1-flit (control) and 5-flit (data) packets").
+    pub data_fraction: f64,
+    /// Length of a data packet in flits.
+    pub data_len: u16,
+    /// Length of a control packet in flits.
+    pub ctrl_len: u16,
+    /// Number of virtual networks to spread packets over. Control packets
+    /// rotate over vnets `0..vnets-1`; data packets use the last vnet
+    /// (response class), mimicking a directory protocol.
+    pub vnets: u8,
+}
+
+impl SyntheticConfig {
+    /// The paper's default synthetic setup: given pattern and rate, 50% data
+    /// packets of 5 flits, 3 vnets.
+    pub fn new(pattern: Pattern, rate: f64) -> Self {
+        SyntheticConfig {
+            pattern,
+            rate,
+            data_fraction: 0.5,
+            data_len: 5,
+            ctrl_len: 1,
+            vnets: 3,
+        }
+    }
+
+    /// Fig. 3's setup: 1-flit packets only.
+    pub fn single_flit(pattern: Pattern, rate: f64) -> Self {
+        SyntheticConfig { data_fraction: 0.0, ..Self::new(pattern, rate) }
+    }
+
+    /// Expected packet length in flits.
+    pub fn mean_len(&self) -> f64 {
+        self.data_fraction * self.data_len as f64
+            + (1.0 - self.data_fraction) * self.ctrl_len as f64
+    }
+
+    /// Per-cycle packet injection probability that achieves `rate`
+    /// flits/node/cycle.
+    pub fn packet_probability(&self) -> f64 {
+        (self.rate / self.mean_len()).min(1.0)
+    }
+}
+
+/// Bernoulli injection of pattern-directed packets.
+#[derive(Debug, Clone)]
+pub struct SyntheticTraffic {
+    cfg: SyntheticConfig,
+    topo_nodes: usize,
+    rng: StdRng,
+    ctrl_vnet_rr: u8,
+    topo: Topology,
+}
+
+impl SyntheticTraffic {
+    /// Creates a source over `topo` with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or the config's vnet count is zero.
+    pub fn new(cfg: SyntheticConfig, topo: &Topology, seed: u64) -> Self {
+        assert!(cfg.rate >= 0.0, "injection rate must be non-negative");
+        assert!(cfg.vnets >= 1, "need at least one vnet");
+        SyntheticTraffic {
+            cfg,
+            topo_nodes: topo.num_nodes(),
+            rng: StdRng::seed_from_u64(seed),
+            ctrl_vnet_rr: 0,
+            topo: topo.clone(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.cfg
+    }
+}
+
+impl TrafficSource for SyntheticTraffic {
+    fn generate(&mut self, node: NodeId, _now: Cycle) -> Option<PacketSpec> {
+        debug_assert!(node.index() < self.topo_nodes);
+        if !self.rng.random_bool(self.cfg.packet_probability()) {
+            return None;
+        }
+        let dst = self.cfg.pattern.destination(node, &self.topo, &mut self.rng)?;
+        let is_data = self.cfg.data_fraction > 0.0
+            && self.rng.random_bool(self.cfg.data_fraction.clamp(0.0, 1.0));
+        let (len, vnet) = if is_data {
+            (self.cfg.data_len, Vnet(self.cfg.vnets - 1))
+        } else {
+            let ctrl_vnets = (self.cfg.vnets - 1).max(1);
+            let v = self.ctrl_vnet_rr % ctrl_vnets;
+            self.ctrl_vnet_rr = self.ctrl_vnet_rr.wrapping_add(1);
+            (self.cfg.ctrl_len, Vnet(v))
+        };
+        Some(PacketSpec { dst, len, vnet })
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.cfg.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected_in_flits() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = SyntheticConfig::new(Pattern::UniformRandom, 0.3);
+        let mut t = SyntheticTraffic::new(cfg, &topo, 7);
+        let cycles = 20_000u64;
+        let mut flits = 0u64;
+        for c in 0..cycles {
+            for n in 0..16 {
+                if let Some(spec) = t.generate(NodeId(n), c) {
+                    flits += spec.len as u64;
+                }
+            }
+        }
+        let measured = flits as f64 / (cycles as f64 * 16.0);
+        assert!(
+            (measured - 0.3).abs() < 0.02,
+            "measured rate {measured} too far from 0.3"
+        );
+    }
+
+    #[test]
+    fn single_flit_config_only_emits_one_flit_packets() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = SyntheticConfig::single_flit(Pattern::BitComplement, 0.5);
+        let mut t = SyntheticTraffic::new(cfg, &topo, 3);
+        for c in 0..1000 {
+            for n in 0..16 {
+                if let Some(spec) = t.generate(NodeId(n), c) {
+                    assert_eq!(spec.len, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_packets_use_last_vnet() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = SyntheticConfig::new(Pattern::UniformRandom, 0.9);
+        let mut t = SyntheticTraffic::new(cfg, &topo, 9);
+        let (mut data, mut ctrl) = (0, 0);
+        for c in 0..5000 {
+            for n in 0..16 {
+                if let Some(spec) = t.generate(NodeId(n), c) {
+                    if spec.len == 5 {
+                        assert_eq!(spec.vnet, Vnet(2));
+                        data += 1;
+                    } else {
+                        assert!(spec.vnet.0 < 2);
+                        ctrl += 1;
+                    }
+                }
+            }
+        }
+        assert!(data > 0 && ctrl > 0);
+    }
+
+    #[test]
+    fn zero_rate_emits_nothing() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = SyntheticConfig::new(Pattern::UniformRandom, 0.0);
+        let mut t = SyntheticTraffic::new(cfg, &topo, 1);
+        for c in 0..100 {
+            for n in 0..16 {
+                assert!(t.generate(NodeId(n), c).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = SyntheticConfig::new(Pattern::UniformRandom, 0.4);
+        let mut a = SyntheticTraffic::new(cfg, &topo, 11);
+        let mut b = SyntheticTraffic::new(cfg, &topo, 11);
+        for c in 0..500 {
+            for n in 0..16 {
+                assert_eq!(a.generate(NodeId(n), c), b.generate(NodeId(n), c));
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Core identifier and message types shared by every crate in the SPIN
+//! reproduction workspace.
+//!
+//! The simulator models an interconnection network as a set of *routers*
+//! connected by directed *links*; *nodes* (terminals / network-interface
+//! controllers) attach to routers through *local ports*. Packets are split
+//! into *flits* which occupy *virtual channels* (VCs) grouped into *virtual
+//! networks* (vnets, message classes).
+//!
+//! All types here are plain data: they carry no behaviour beyond conversions
+//! and formatting, so every other crate can depend on them without pulling in
+//! simulation machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use spin_types::{NodeId, PacketBuilder, Vnet, FlitKind};
+//!
+//! let pkt = PacketBuilder::new(NodeId(0), NodeId(5))
+//!     .vnet(Vnet(1))
+//!     .len(5)
+//!     .injected_at(100)
+//!     .build(42);
+//! let flits = pkt.into_flits();
+//! assert_eq!(flits.len(), 5);
+//! assert_eq!(flits[0].kind, FlitKind::Head);
+//! assert_eq!(flits[4].kind, FlitKind::Tail);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulation time, measured in router clock cycles.
+pub type Cycle = u64;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $short:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index as a `usize`, for table lookups.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as $inner)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a router (switch) in the topology.
+    RouterId, u32, "r"
+);
+id_newtype!(
+    /// Identifier of a terminal node (NIC) attached to some router.
+    NodeId, u32, "n"
+);
+id_newtype!(
+    /// Index of a port local to one router. Port numbering is
+    /// topology-defined; port ids below [`spin_types`](crate) convention keep
+    /// local (NIC) ports first, then network ports.
+    PortId, u8, "p"
+);
+id_newtype!(
+    /// Index of a virtual channel within one input port and vnet.
+    VcId, u8, "vc"
+);
+id_newtype!(
+    /// Virtual network (message class) index. Coherence protocols use
+    /// several vnets (e.g. request / forward / response) to avoid protocol
+    /// deadlock; routing deadlock freedom is handled per-vnet.
+    Vnet, u8, "vn"
+);
+id_newtype!(
+    /// Globally unique packet identifier.
+    PacketId, u64, "pkt"
+);
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit of a multi-flit packet; releases resources downstream.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail` flits.
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail` flits.
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A packet in flight: the unit of routing.
+///
+/// Packets carry their (possibly non-minimal) routing state: FAvORS and UGAL
+/// may pick a random intermediate node at the source; `intermediate` is
+/// cleared once reached.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source terminal.
+    pub src: NodeId,
+    /// Destination terminal.
+    pub dst: NodeId,
+    /// Message class.
+    pub vnet: Vnet,
+    /// Length in flits (>= 1).
+    pub len: u16,
+    /// Cycle the packet was created at the source NIC.
+    pub created_at: Cycle,
+    /// Cycle the head flit entered the network (left the NIC queue).
+    pub injected_at: Cycle,
+    /// Valiant-style intermediate node for non-minimal routing, if any.
+    pub intermediate: Option<NodeId>,
+    /// Number of hops taken so far.
+    pub hops: u32,
+    /// Number of misroutes (non-minimal hops) taken so far; bounded by the
+    /// routing algorithm's livelock limit `p`.
+    pub misroutes: u32,
+    /// Number of global (inter-group) links crossed so far; drives the VC
+    /// ordering discipline of Dally-style dragonfly routing.
+    pub global_hops: u32,
+}
+
+impl Packet {
+    /// Splits the packet into its flit sequence.
+    pub fn into_flits(self) -> Vec<Flit> {
+        let len = self.len.max(1);
+        (0..len)
+            .map(|seq| {
+                let kind = match (seq, len) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (s, l) if s + 1 == l => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit {
+                    packet: self.clone(),
+                    kind,
+                    seq,
+                }
+            })
+            .collect()
+    }
+
+    /// The routing target the packet is currently heading to: the
+    /// intermediate node while one is pending, else the final destination.
+    #[inline]
+    pub fn current_target(&self) -> NodeId {
+        self.intermediate.unwrap_or(self.dst)
+    }
+}
+
+/// Builder for [`Packet`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src: NodeId,
+    dst: NodeId,
+    vnet: Vnet,
+    len: u16,
+    created_at: Cycle,
+    intermediate: Option<NodeId>,
+}
+
+impl PacketBuilder {
+    /// Starts a builder for a packet from `src` to `dst` (1 flit, vnet 0).
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        PacketBuilder {
+            src,
+            dst,
+            vnet: Vnet(0),
+            len: 1,
+            created_at: 0,
+            intermediate: None,
+        }
+    }
+
+    /// Sets the virtual network.
+    pub fn vnet(mut self, vnet: Vnet) -> Self {
+        self.vnet = vnet;
+        self
+    }
+
+    /// Sets the length in flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn len(mut self, len: u16) -> Self {
+        assert!(len > 0, "packet length must be at least one flit");
+        self.len = len;
+        self
+    }
+
+    /// Sets the creation cycle.
+    pub fn injected_at(mut self, cycle: Cycle) -> Self {
+        self.created_at = cycle;
+        self
+    }
+
+    /// Sets a Valiant intermediate node.
+    pub fn intermediate(mut self, node: NodeId) -> Self {
+        self.intermediate = Some(node);
+        self
+    }
+
+    /// Builds the packet with the given id.
+    pub fn build(self, id: u64) -> Packet {
+        Packet {
+            id: PacketId(id),
+            src: self.src,
+            dst: self.dst,
+            vnet: self.vnet,
+            len: self.len,
+            created_at: self.created_at,
+            injected_at: self.created_at,
+            intermediate: self.intermediate,
+            hops: 0,
+            misroutes: 0,
+            global_hops: 0,
+        }
+    }
+}
+
+/// A flit: the unit of link bandwidth and buffering.
+///
+/// For simplicity every flit carries a clone of its packet header; the
+/// simulator only inspects the header of head flits, so this costs memory,
+/// not fidelity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// The owning packet's header.
+    pub packet: Packet,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Sequence number within the packet (0 = head).
+    pub seq: u16,
+}
+
+impl Flit {
+    /// Shorthand for the owning packet id.
+    #[inline]
+    pub fn packet_id(&self) -> PacketId {
+        self.packet.id
+    }
+}
+
+/// A (router, port) endpoint, used to describe link connectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortConn {
+    /// The router owning the port.
+    pub router: RouterId,
+    /// The port index at that router.
+    pub port: PortId,
+}
+
+impl fmt::Display for PortConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.router, self.port)
+    }
+}
+
+/// Cardinal directions on mesh/torus topologies. Mapped to port indices by
+/// the topology; routing algorithms for meshes reason in directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Increasing y.
+    North,
+    /// Increasing x.
+    East,
+    /// Decreasing y.
+    South,
+    /// Decreasing x.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in port-numbering order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(RouterId(3).to_string(), "r3");
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(PortId(1).to_string(), "p1");
+        assert_eq!(VcId(0).to_string(), "vc0");
+        assert_eq!(Vnet(2).to_string(), "vn2");
+        assert_eq!(PacketId(9).to_string(), "pkt9");
+        assert_eq!(RouterId(5).index(), 5);
+        assert_eq!(RouterId::from(5usize), RouterId(5));
+    }
+
+    #[test]
+    fn flit_kind_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(FlitKind::HeadTail.is_head());
+        assert!(!FlitKind::Body.is_head());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Head.is_tail());
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let pkt = PacketBuilder::new(NodeId(0), NodeId(1)).build(0);
+        let flits = pkt.into_flits();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+    }
+
+    #[test]
+    fn multi_flit_packet_structure() {
+        let pkt = PacketBuilder::new(NodeId(0), NodeId(1)).len(5).build(0);
+        let flits = pkt.into_flits();
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        for f in &flits[1..4] {
+            assert_eq!(f.kind, FlitKind::Body);
+        }
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq as usize, i);
+            assert_eq!(f.packet_id(), PacketId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_rejected() {
+        let _ = PacketBuilder::new(NodeId(0), NodeId(1)).len(0);
+    }
+
+    #[test]
+    fn current_target_prefers_intermediate() {
+        let pkt = PacketBuilder::new(NodeId(0), NodeId(9))
+            .intermediate(NodeId(4))
+            .build(1);
+        assert_eq!(pkt.current_target(), NodeId(4));
+        let mut pkt2 = pkt;
+        pkt2.intermediate = None;
+        assert_eq!(pkt2.current_target(), NodeId(9));
+    }
+
+    #[test]
+    fn direction_opposite_is_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn port_conn_display() {
+        let c = PortConn {
+            router: RouterId(2),
+            port: PortId(3),
+        };
+        assert_eq!(c.to_string(), "r2:p3");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// into_flits always yields exactly `len` flits with coherent kinds
+        /// and sequence numbers, for any packet shape.
+        #[test]
+        fn prop_flit_decomposition(
+            src in 0u32..1024,
+            dst in 0u32..1024,
+            len in 1u16..32,
+            vnet in 0u8..4,
+            cycle in 0u64..1_000_000,
+        ) {
+            let pkt = PacketBuilder::new(NodeId(src), NodeId(dst))
+                .len(len)
+                .vnet(Vnet(vnet))
+                .injected_at(cycle)
+                .build(7);
+            let flits = pkt.clone().into_flits();
+            prop_assert_eq!(flits.len(), len as usize);
+            prop_assert!(flits[0].kind.is_head());
+            prop_assert!(flits[len as usize - 1].kind.is_tail());
+            let heads = flits.iter().filter(|f| f.kind.is_head()).count();
+            let tails = flits.iter().filter(|f| f.kind.is_tail()).count();
+            prop_assert_eq!(heads, 1);
+            prop_assert_eq!(tails, 1);
+            for (i, f) in flits.iter().enumerate() {
+                prop_assert_eq!(f.seq as usize, i);
+                prop_assert_eq!(&f.packet, &pkt);
+            }
+        }
+    }
+}

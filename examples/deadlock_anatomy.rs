@@ -1,0 +1,83 @@
+//! Anatomy of a deadlock and its SPIN recovery.
+//!
+//! Drives a small ring network into a guaranteed deadlock with adversarial
+//! neighbour-to-neighbour traffic on one VC, watches the ground-truth
+//! detector flag it, and then follows the SPIN protocol counters as the
+//! deadlock is detected (probe), confirmed (move), and resolved by
+//! synchronized spins — printing a timeline.
+//!
+//! Run with: `cargo run --release --example deadlock_anatomy`
+
+use spin_repro::prelude::*;
+
+/// Adversarial ring traffic: every node sends to the node 3 hops clockwise,
+/// keeping all packets inside the ring's clockwise buffers.
+#[derive(Debug)]
+struct RingPressure {
+    n: u32,
+    rate_num: u64,
+    counter: u64,
+}
+
+impl TrafficSource for RingPressure {
+    fn generate(
+        &mut self,
+        node: NodeId,
+        _now: Cycle,
+    ) -> Option<spin_repro::traffic::PacketSpec> {
+        self.counter = self.counter.wrapping_add(1);
+        if self.counter % 10 < self.rate_num {
+            Some(spin_repro::traffic::PacketSpec {
+                dst: NodeId((node.0 + 3) % self.n),
+                len: 1,
+                vnet: Vnet(0),
+            })
+        } else {
+            None
+        }
+    }
+    fn offered_load(&self) -> f64 {
+        self.rate_num as f64 / 10.0
+    }
+}
+
+fn main() {
+    let n = 8;
+    let topo = Topology::ring(n);
+    println!("topology: {topo}");
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(RingPressure { n, rate_num: 8, counter: 0 })
+        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .build();
+
+    println!("\n{:>6} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6}",
+        "cycle", "dead", "probes", "confirmed", "spins", "kills", "delivered");
+    let mut last_spins = 0;
+    for _ in 0..40 {
+        net.run(100);
+        let s = net.stats();
+        let dead = net.wait_graph().deadlocked().len();
+        println!(
+            "{:>6} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6}",
+            net.now(), dead, s.probes_sent, s.loops_confirmed, s.spins, s.kills_sent,
+            s.packets_delivered
+        );
+        if s.spins > last_spins {
+            println!("       ^-- synchronized spin: every packet in the ring moved one hop");
+            last_spins = s.spins;
+        }
+    }
+
+    let s = net.stats();
+    println!("\nsummary after {} cycles:", net.now());
+    println!("  deadlocks recovered : {}", s.spins);
+    println!("  packets delivered   : {}", s.packets_delivered);
+    println!("  max packet latency  : {} cycles", s.max_latency);
+    assert!(s.packets_delivered > 0, "the ring never delivered anything");
+}

@@ -1,0 +1,77 @@
+//! SPIN's headline capability: deadlock-free fully adaptive routing on an
+//! *arbitrary* topology with one VC — no channel dependency graph analysis,
+//! no escape paths, no turn restrictions.
+//!
+//! The paper motivates SPIN for irregular networks (Jellyfish-style random
+//! datacenter graphs, NoCs with faulty/power-gated links, accelerator
+//! fabrics). This example generates a random connected graph, checks that
+//! its unrestricted CDG is cyclic (so every avoidance theory would need
+//! topology-specific work), and then runs it safely with SPIN.
+//!
+//! Run with: `cargo run --release --example irregular_topology`
+
+use spin_repro::prelude::*;
+use spin_types::PortId;
+
+fn main() {
+    // A random "Jellyfish-like" graph: 24 routers, a spanning tree plus 20
+    // random extra edges, one terminal each.
+    let topo = Topology::random_connected(24, 20, 1, 2024).expect("valid parameters");
+    println!("topology: {topo}");
+
+    // Show that unrestricted minimal-adaptive routing over this graph has a
+    // cyclic channel dependency graph: Dally's condition fails, so without
+    // SPIN (or topology-specific escape-path engineering) it can deadlock.
+    let mut cdg = Cdg::new();
+    for r in 0..topo.num_routers() as u32 {
+        let r = RouterId(r);
+        for pin in 0..topo.radix(r) as u8 {
+            let pin = PortId(pin);
+            if topo.neighbor(r, pin).is_none() {
+                continue;
+            }
+            for pout in 0..topo.radix(r) as u8 {
+                let pout = PortId(pout);
+                if pout == pin {
+                    continue;
+                }
+                if let Some(peer) = topo.neighbor(r, pout) {
+                    cdg.add_dependency((r, pin), (peer.router, peer.port));
+                }
+            }
+        }
+    }
+    println!(
+        "unrestricted CDG: {} channels, {} dependencies, acyclic = {}",
+        cdg.num_channels(),
+        cdg.num_dependencies(),
+        cdg.is_acyclic()
+    );
+    assert!(!cdg.is_acyclic(), "a graph this dense should have CDG cycles");
+
+    // Run it anyway - fully adaptive, one VC - with SPIN as the only
+    // deadlock defence.
+    let mut tc = SyntheticConfig::single_flit(Pattern::UniformRandom, 0.08);
+    tc.vnets = 1; // match the 1-vnet SimConfig below
+    let traffic = SyntheticTraffic::new(tc, &topo, 7);
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .build();
+
+    net.run(2_000);
+    net.reset_measurement();
+    net.run(20_000);
+
+    let s = net.stats();
+    println!("packets delivered : {}", s.packets_delivered);
+    println!("avg latency       : {:.1} cycles", s.avg_total_latency());
+    println!("throughput        : {:.3} flits/node/cycle", s.throughput(24));
+    println!("spins             : {}", s.spins);
+    assert!(
+        s.window_packets_delivered > 0,
+        "network wedged: SPIN failed on the irregular graph"
+    );
+}

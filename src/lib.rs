@@ -1,0 +1,70 @@
+//! # spin-repro — SPIN (ISCA 2018) reproduction
+//!
+//! A from-scratch Rust reproduction of *"Synchronized Progress in
+//! Interconnection Networks (SPIN): A New Theory for Deadlock Freedom"*
+//! (Ramrakhyani, Gratz, Krishna — ISCA 2018): the SPIN deadlock-recovery
+//! protocol, the FAvORS one-VC fully adaptive routing algorithm, every
+//! baseline the paper compares against, and the cycle-accurate NoC
+//! simulator substrate they run on.
+//!
+//! This facade crate re-exports the workspace so applications can depend on
+//! a single crate:
+//!
+//! * [`types`] — ids, packets, flits;
+//! * [`topology`] — mesh / torus / ring / dragonfly / irregular graphs;
+//! * [`traffic`] — synthetic patterns and application traces;
+//! * [`routing`] — XY, West-first, escape-VC, UGAL, FAvORS;
+//! * [`core`] — the SPIN protocol state machine;
+//! * [`deadlock`] — ground-truth wait-graph detection and CDG analysis;
+//! * [`sim`] — the cycle-accurate simulator;
+//! * [`power`] — the analytical area/power/EDP model.
+//!
+//! # Quick start
+//!
+//! ```
+//! use spin_repro::prelude::*;
+//!
+//! let topo = Topology::mesh(4, 4);
+//! let traffic = SyntheticTraffic::new(
+//!     SyntheticConfig::new(Pattern::UniformRandom, 0.1), &topo, 42);
+//! let mut net = NetworkBuilder::new(topo)
+//!     .config(SimConfig { vcs_per_vnet: 1, ..SimConfig::default() })
+//!     .routing(FavorsMinimal)
+//!     .traffic(traffic)
+//!     .spin(SpinConfig::default())
+//!     .build();
+//! net.run(5_000);
+//! assert!(net.stats().packets_delivered > 0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/experiments` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spin_core as core;
+pub use spin_deadlock as deadlock;
+pub use spin_power as power;
+pub use spin_routing as routing;
+pub use spin_sim as sim;
+pub use spin_topology as topology;
+pub use spin_traffic as traffic;
+pub use spin_types as types;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use spin_core::{SpinAgent, SpinConfig};
+    pub use spin_deadlock::{Cdg, WaitGraph};
+    pub use spin_power::{PowerModel, RouterParams, Scheme};
+    pub use spin_routing::{
+        EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal,
+        WestFirst, XyRouting,
+    };
+    pub use spin_sim::{NetStats, Network, NetworkBuilder, SimConfig};
+    pub use spin_topology::Topology;
+    pub use spin_traffic::{
+        AppTraffic, Pattern, SyntheticConfig, SyntheticTraffic, TrafficSource, PARSEC_PRESETS,
+    };
+    pub use spin_types::{Cycle, NodeId, Packet, PacketId, PortId, RouterId, VcId, Vnet};
+}

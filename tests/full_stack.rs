@@ -1,0 +1,201 @@
+//! Cross-crate integration: every design configuration of the paper's
+//! evaluation (Table III) runs end to end on its target topology, delivers
+//! traffic, respects its deadlock discipline, and reports consistent
+//! statistics.
+
+use spin_repro::prelude::*;
+
+struct Case {
+    name: &'static str,
+    routing: Box<dyn Routing>,
+    vcs: u8,
+    spin: bool,
+    static_bubble: bool,
+    dragonfly: bool,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case { name: "westfirst_3vc", routing: Box::new(WestFirst), vcs: 3, spin: false, static_bubble: false, dragonfly: false },
+        Case { name: "escapevc_3vc", routing: Box::new(EscapeVc), vcs: 3, spin: false, static_bubble: false, dragonfly: false },
+        Case { name: "staticbubble_3vc", routing: Box::new(ReservedVcAdaptive::new(3)), vcs: 3, spin: false, static_bubble: true, dragonfly: false },
+        Case { name: "minadaptive_3vc_spin", routing: Box::new(FavorsMinimal), vcs: 3, spin: true, static_bubble: false, dragonfly: false },
+        Case { name: "favors_min_1vc", routing: Box::new(FavorsMinimal), vcs: 1, spin: true, static_bubble: false, dragonfly: false },
+        Case { name: "xy_1vc", routing: Box::new(XyRouting), vcs: 1, spin: false, static_bubble: false, dragonfly: false },
+        Case { name: "ugal_dally_3vc", routing: Box::new(Ugal::dally_baseline()), vcs: 3, spin: false, static_bubble: false, dragonfly: true },
+        Case { name: "ugal_spin_3vc", routing: Box::new(Ugal::with_spin()), vcs: 3, spin: true, static_bubble: false, dragonfly: true },
+        Case { name: "favors_nmin_1vc", routing: Box::new(FavorsNonMinimal), vcs: 1, spin: true, static_bubble: false, dragonfly: true },
+    ]
+}
+
+#[test]
+fn every_paper_design_runs_and_delivers() {
+    for case in cases() {
+        let topo = if case.dragonfly {
+            Topology::dragonfly(2, 4, 2, 8)
+        } else {
+            Topology::mesh(4, 4)
+        };
+        let traffic = SyntheticTraffic::new(
+            SyntheticConfig::new(Pattern::UniformRandom, 0.08),
+            &topo,
+            11,
+        );
+        let mut b = NetworkBuilder::new(topo.clone())
+            .config(SimConfig {
+                vnets: 3,
+                vcs_per_vnet: case.vcs,
+                static_bubble: case.static_bubble,
+                ..SimConfig::default()
+            })
+            .routing_box(case.routing)
+            .traffic(traffic);
+        if case.spin {
+            b = b.spin(SpinConfig::default());
+        }
+        let mut net = b.build();
+        net.run(6_000);
+        let s = net.stats();
+        assert!(
+            s.packets_delivered > 200,
+            "{}: starved ({} delivered)",
+            case.name,
+            s.packets_delivered
+        );
+        assert!(
+            s.packets_delivered <= s.packets_injected
+                && s.packets_injected <= s.packets_created,
+            "{}: packet accounting broken",
+            case.name
+        );
+        assert_eq!(s.spin_orphans, 0, "{}: orphaned spin flits", case.name);
+        assert_eq!(s.overflow_events, 0, "{}: buffer overflow", case.name);
+        assert!(
+            s.avg_total_latency() >= 4.0,
+            "{}: impossible latency {}",
+            case.name,
+            s.avg_total_latency()
+        );
+    }
+}
+
+#[test]
+fn stats_snapshot_is_consistent() {
+    let topo = Topology::mesh(4, 4);
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::Transpose, 0.2), &topo, 5);
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build();
+    net.run(4_000);
+    let s = net.stats();
+    assert_eq!(s.cycles, net.now());
+    assert!(s.flits_delivered >= s.packets_delivered);
+    let u = s.link_use;
+    assert!(u.flit + u.probe + u.other_sm <= u.total);
+    // Window accounting never exceeds lifetime totals.
+    assert!(s.window_packets_delivered <= s.packets_delivered);
+    assert!(s.window_flits_delivered <= s.flits_delivered);
+}
+
+#[test]
+fn power_model_composes_with_simulation() {
+    // Fig. 8a pipeline in miniature: simulate, then feed measured activity
+    // into the power model.
+    let topo = Topology::mesh(4, 4);
+    let traffic = SyntheticTraffic::new(
+        SyntheticConfig::new(Pattern::UniformRandom, 0.1),
+        &topo,
+        9,
+    );
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build();
+    net.run(5_000);
+    let s = net.stats();
+    let model = PowerModel::nangate15();
+    let p2 = RouterParams::mesh_router(2);
+    let p3 = RouterParams::mesh_router(3);
+    let edp2 = model.network_edp(&p2, 16, s.cycles, s.link_use.flit, s.avg_total_latency());
+    let edp3 = model.network_edp(&p3, 16, s.cycles, s.link_use.flit, s.avg_total_latency());
+    assert!(edp2 > 0.0);
+    assert!(edp2 < edp3, "fewer VCs must mean lower EDP at equal activity");
+}
+
+#[test]
+fn application_traffic_runs_full_stack() {
+    let topo = Topology::mesh(4, 4);
+    let traffic = AppTraffic::new(PARSEC_PRESETS[7], topo.num_nodes(), 21);
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build();
+    net.run(30_000);
+    let s = net.stats();
+    // Requests flow and replies come back: both 1-flit and 5-flit packets
+    // delivered.
+    assert!(s.packets_delivered > 50, "app traffic starved");
+    assert!(
+        s.flits_delivered > s.packets_delivered,
+        "no data replies were delivered"
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade's prelude covers the whole quickstart surface.
+    let topo = Topology::mesh(2, 2);
+    assert_eq!(topo.num_nodes(), 4);
+    let _ = SpinConfig::default();
+    let _ = PowerModel::nangate15();
+    let _: Vec<Pattern> = Pattern::PAPER_PATTERNS.to_vec();
+    let g = WaitGraph::new();
+    assert!(!g.has_deadlock());
+    let c: Cdg<u8> = Cdg::new();
+    assert!(c.is_acyclic());
+}
+
+#[test]
+fn trace_traffic_replays_through_the_network() {
+    use spin_repro::traffic::{TraceRecord, TraceTraffic};
+    let topo = Topology::mesh(4, 4);
+    let mut records = Vec::new();
+    // A deterministic all-to-one burst followed by scattered singles.
+    for n in 1..16u32 {
+        records.push(TraceRecord {
+            cycle: 10,
+            src: NodeId(n),
+            dst: NodeId(0),
+            len: 5,
+            vnet: Vnet(2),
+        });
+        records.push(TraceRecord {
+            cycle: 200 + n as u64,
+            src: NodeId(n),
+            dst: NodeId((n + 1) % 16),
+            len: 1,
+            vnet: Vnet(0),
+        });
+    }
+    let total = records.len() as u64;
+    let traffic = TraceTraffic::new(topo.num_nodes(), records);
+    let mut net = NetworkBuilder::new(topo)
+        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build();
+    net.run(300); // cover the whole trace schedule before draining
+    assert!(net.drain(20_000), "trace run failed to drain");
+    let s = net.stats();
+    assert_eq!(s.packets_created, total);
+    assert_eq!(s.packets_delivered, total);
+}
