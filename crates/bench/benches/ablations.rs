@@ -1,49 +1,92 @@
 //! Ablation benches for the design choices DESIGN.md calls out: probe
 //! forking, the rotating-priority probe drop, the spin-cycle offset, the
 //! probe_move multi-spin optimisation, and `t_DD` sensitivity. Each bench
-//! runs the same adversarial workload under one toggled knob; the measured
-//! wall time reflects how much protocol work the configuration generates
-//! (recovery-heavy configs simulate slower).
+//! measures the same adversarial operating point — expressed as a
+//! `spin_experiments::Design`, exactly like the `ablations` binary — under
+//! one toggled knob; the measured wall time reflects how much protocol
+//! work the configuration generates (recovery-heavy configs simulate
+//! slower).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spin_bench::mesh_bench_net;
 use spin_core::SpinConfig;
+use spin_experiments::{measure_point, Design, RunParams};
 use spin_routing::FavorsMinimal;
+use spin_topology::Topology;
+use spin_traffic::Pattern;
 use std::hint::black_box;
 
-fn run_with(cfg: SpinConfig) -> u64 {
-    // Past-saturation 1-VC mesh: recovery machinery fully exercised.
-    let mut net = mesh_bench_net(Box::new(FavorsMinimal), 1, 0.45, Some(cfg));
-    net.run(2_000);
-    let s = net.stats();
-    black_box(s.packets_delivered + s.spins)
+fn ablation(name: &str, cfg: SpinConfig) -> Design {
+    Design::new(name, 1, true, || Box::new(FavorsMinimal)).with_spin_cfg(cfg)
 }
 
 fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-
-    g.bench_function("baseline_paper_defaults", |b| {
-        b.iter(|| run_with(SpinConfig::default()))
-    });
-    g.bench_function("no_probe_forking", |b| {
-        b.iter(|| run_with(SpinConfig { probe_forking: false, ..SpinConfig::default() }))
-    });
-    g.bench_function("no_priority_probe_drop", |b| {
-        b.iter(|| run_with(SpinConfig { priority_probe_drop: false, ..SpinConfig::default() }))
-    });
-    g.bench_function("no_probe_move_optimisation", |b| {
-        b.iter(|| run_with(SpinConfig { probe_move_opt: false, ..SpinConfig::default() }))
-    });
-    g.bench_function("spin_offset_1x_loop_latency", |b| {
-        b.iter(|| run_with(SpinConfig { spin_offset: 1, ..SpinConfig::default() }))
-    });
-    g.bench_function("t_dd_32", |b| {
-        b.iter(|| run_with(SpinConfig { t_dd: 32, ..SpinConfig::default() }))
-    });
-    g.bench_function("t_dd_512", |b| {
-        b.iter(|| run_with(SpinConfig { t_dd: 512, ..SpinConfig::default() }))
-    });
+    // Past-saturation 1-VC mesh: recovery machinery fully exercised.
+    let topo = Topology::mesh(4, 4);
+    let params = RunParams {
+        warmup: 200,
+        measure: 1_800,
+        ..RunParams::default()
+    };
+    let designs = [
+        ablation("baseline_paper_defaults", SpinConfig::default()),
+        ablation(
+            "no_probe_forking",
+            SpinConfig {
+                probe_forking: false,
+                ..SpinConfig::default()
+            },
+        ),
+        ablation(
+            "no_priority_probe_drop",
+            SpinConfig {
+                priority_probe_drop: false,
+                ..SpinConfig::default()
+            },
+        ),
+        ablation(
+            "no_probe_move_optimisation",
+            SpinConfig {
+                probe_move_opt: false,
+                ..SpinConfig::default()
+            },
+        ),
+        ablation(
+            "spin_offset_1x_loop_latency",
+            SpinConfig {
+                spin_offset: 1,
+                ..SpinConfig::default()
+            },
+        ),
+        ablation(
+            "t_dd_32",
+            SpinConfig {
+                t_dd: 32,
+                ..SpinConfig::default()
+            },
+        ),
+        ablation(
+            "t_dd_512",
+            SpinConfig {
+                t_dd: 512,
+                ..SpinConfig::default()
+            },
+        ),
+    ];
+    for d in &designs {
+        g.bench_function(&d.name, |b| {
+            b.iter(|| {
+                black_box(measure_point(
+                    &topo,
+                    d,
+                    Pattern::UniformRandom,
+                    0.45,
+                    params,
+                ))
+            })
+        });
+    }
     g.finish();
 }
 

@@ -4,14 +4,26 @@
 //! numbers; the *paper's* numbers come from the experiment binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spin_bench::{dragonfly_bench_net, mesh_bench_net};
+use spin_bench::mesh_bench_net;
 use spin_core::SpinConfig;
+use spin_experiments::{measure_point, Design, RunParams};
 use spin_power::{PowerModel, RouterParams, Scheme};
 use spin_routing::{EscapeVc, FavorsMinimal, FavorsNonMinimal, Ugal, WestFirst};
 use spin_sim::{NetworkBuilder, SimConfig};
 use spin_topology::Topology;
-use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic, AppTraffic, PARSEC_PRESETS};
+use spin_traffic::{AppTraffic, Pattern, SyntheticConfig, SyntheticTraffic, PARSEC_PRESETS};
 use std::hint::black_box;
+
+/// Scaled-down window for per-design curve points (the real experiments
+/// use `RunParams::default`; benches only need enough cycles to exercise
+/// the same code paths).
+fn bench_params() -> RunParams {
+    RunParams {
+        warmup: 200,
+        measure: 800,
+        ..RunParams::default()
+    }
+}
 
 fn bench_table1(c: &mut Criterion) {
     // Table I: CDG construction + acyclicity check over a mesh.
@@ -23,10 +35,7 @@ fn bench_table1(c: &mut Criterion) {
                 for p in topo.network_ports(to.router) {
                     if let Some(peer) = topo.neighbor(to.router, p) {
                         if peer.router != from.router {
-                            cdg.add_dependency(
-                                (from.router, from.port),
-                                (to.router, p),
-                            );
+                            cdg.add_dependency((from.router, from.port), (to.router, p));
                             let _ = peer;
                         }
                     }
@@ -49,67 +58,57 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 fn bench_fig6(c: &mut Criterion) {
+    // The same `Design` definitions the fig6 binary sweeps, one point each.
     let mut g = c.benchmark_group("fig6_dragonfly");
     g.sample_size(10);
-    g.bench_function("ugal_dally_3vc", |b| {
-        b.iter(|| {
-            let mut net = dragonfly_bench_net(Box::new(Ugal::dally_baseline()), 3, 0.1, None);
-            net.run(1_000);
-            black_box(net.stats().packets_delivered)
-        })
-    });
-    g.bench_function("ugal_spin_3vc", |b| {
-        b.iter(|| {
-            let mut net = dragonfly_bench_net(
-                Box::new(Ugal::with_spin()),
-                3,
-                0.1,
-                Some(SpinConfig::default()),
-            );
-            net.run(1_000);
-            black_box(net.stats().packets_delivered)
-        })
-    });
-    g.bench_function("favors_nmin_1vc", |b| {
-        b.iter(|| {
-            let mut net = dragonfly_bench_net(
-                Box::new(FavorsNonMinimal),
-                1,
-                0.1,
-                Some(SpinConfig::default()),
-            );
-            net.run(1_000);
-            black_box(net.stats().packets_delivered)
-        })
-    });
+    let topo = Topology::dragonfly(2, 4, 2, 8);
+    let designs = [
+        Design::new("ugal_dally_3vc", 3, false, || {
+            Box::new(Ugal::dally_baseline())
+        }),
+        Design::new("ugal_spin_3vc", 3, true, || Box::new(Ugal::with_spin())),
+        Design::new("favors_nmin_1vc", 1, true, || Box::new(FavorsNonMinimal)),
+    ];
+    for d in &designs {
+        g.bench_function(&d.name, |b| {
+            b.iter(|| {
+                black_box(measure_point(
+                    &topo,
+                    d,
+                    Pattern::UniformRandom,
+                    0.1,
+                    bench_params(),
+                ))
+            })
+        });
+    }
     g.finish();
 }
 
 fn bench_fig7(c: &mut Criterion) {
+    // The same `Design` definitions the fig7 binary sweeps, one point each
+    // on the bench-sized 4x4 mesh.
     let mut g = c.benchmark_group("fig7_mesh");
     g.sample_size(10);
-    g.bench_function("westfirst_3vc", |b| {
-        b.iter(|| {
-            let mut net = mesh_bench_net(Box::new(WestFirst), 3, 0.15, None);
-            net.run(1_000);
-            black_box(net.stats().packets_delivered)
-        })
-    });
-    g.bench_function("escapevc_3vc", |b| {
-        b.iter(|| {
-            let mut net = mesh_bench_net(Box::new(EscapeVc), 3, 0.15, None);
-            net.run(1_000);
-            black_box(net.stats().packets_delivered)
-        })
-    });
-    g.bench_function("favors_min_1vc_spin", |b| {
-        b.iter(|| {
-            let mut net =
-                mesh_bench_net(Box::new(FavorsMinimal), 1, 0.15, Some(SpinConfig::default()));
-            net.run(1_000);
-            black_box(net.stats().packets_delivered)
-        })
-    });
+    let topo = Topology::mesh(4, 4);
+    let designs = [
+        Design::new("westfirst_3vc", 3, false, || Box::new(WestFirst)),
+        Design::new("escapevc_3vc", 3, false, || Box::new(EscapeVc)),
+        Design::new("favors_min_1vc_spin", 1, true, || Box::new(FavorsMinimal)),
+    ];
+    for d in &designs {
+        g.bench_function(&d.name, |b| {
+            b.iter(|| {
+                black_box(measure_point(
+                    &topo,
+                    d,
+                    Pattern::UniformRandom,
+                    0.15,
+                    bench_params(),
+                ))
+            })
+        });
+    }
     g.finish();
 }
 
@@ -120,7 +119,10 @@ fn bench_fig8(c: &mut Criterion) {
             let topo = Topology::mesh(4, 4);
             let traffic = AppTraffic::new(PARSEC_PRESETS[7], topo.num_nodes(), 3);
             let mut net = NetworkBuilder::new(topo)
-                .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+                .config(SimConfig {
+                    vcs_per_vnet: 2,
+                    ..SimConfig::default()
+                })
                 .routing(FavorsMinimal)
                 .traffic(traffic)
                 .spin(SpinConfig::default())
@@ -154,11 +156,8 @@ fn bench_fig9(c: &mut Criterion) {
     c.bench_function("fig9_probe_classification", |b| {
         b.iter(|| {
             let topo = Topology::mesh(4, 4);
-            let traffic = SyntheticTraffic::new(
-                SyntheticConfig::new(Pattern::UniformRandom, 0.4),
-                &topo,
-                7,
-            );
+            let traffic =
+                SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, 0.4), &topo, 7);
             let mut net = NetworkBuilder::new(topo)
                 .config(SimConfig {
                     vcs_per_vnet: 1,
@@ -167,7 +166,10 @@ fn bench_fig9(c: &mut Criterion) {
                 })
                 .routing(FavorsMinimal)
                 .traffic(traffic)
-                .spin(SpinConfig { t_dd: 32, ..SpinConfig::default() })
+                .spin(SpinConfig {
+                    t_dd: 32,
+                    ..SpinConfig::default()
+                })
                 .build();
             net.run(2_000);
             black_box((net.stats().probes_sent, net.stats().false_positive_spins))

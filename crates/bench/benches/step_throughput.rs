@@ -1,0 +1,57 @@
+//! Raw cycle-kernel throughput: how fast `Network::step` runs on an 8x8
+//! mesh at a low (quiet network, little SPIN activity) and a saturated
+//! (full buffers, heavy recovery machinery) operating point. This is the
+//! guard bench for the pipeline-stage split of `spin-sim`: regressions in
+//! any stage show up here directly. Measured numbers are recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spin_core::SpinConfig;
+use spin_routing::FavorsMinimal;
+use spin_sim::{Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use std::hint::black_box;
+
+fn mesh8x8(rate: f64) -> Network {
+    let topo = Topology::mesh(8, 8);
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build()
+}
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_throughput");
+    // Warm each network into steady state, then time individual steps so
+    // the number reported is cycles-per-second of the simulated regime,
+    // not of an empty warming network.
+    g.bench_function("mesh8x8_low_load_0.05", |b| {
+        let mut net = mesh8x8(0.05);
+        net.run(2_000);
+        b.iter(|| {
+            net.step();
+            black_box(net.now())
+        })
+    });
+    g.bench_function("mesh8x8_saturated_0.45", |b| {
+        let mut net = mesh8x8(0.45);
+        net.run(2_000);
+        b.iter(|| {
+            net.step();
+            black_box(net.now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(step_throughput, bench_step_throughput);
+criterion_main!(step_throughput);

@@ -18,9 +18,13 @@ pub fn mesh_bench_net(
     spin: Option<SpinConfig>,
 ) -> Network {
     let topo = Topology::mesh(4, 4);
-    let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
     let mut b = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: vcs, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: vcs,
+            ..SimConfig::default()
+        })
         .routing_box(routing)
         .traffic(traffic);
     if let Some(s) = spin {
@@ -37,9 +41,13 @@ pub fn dragonfly_bench_net(
     spin: Option<SpinConfig>,
 ) -> Network {
     let topo = Topology::dragonfly(2, 4, 2, 8);
-    let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
     let mut b = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: vcs, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: vcs,
+            ..SimConfig::default()
+        })
         .routing_box(routing)
         .traffic(traffic);
     if let Some(s) = spin {

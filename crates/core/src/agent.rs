@@ -319,7 +319,12 @@ impl SpinAgent {
         // Re-point the watch at the confirmed VC so the move-return freeze
         // finds the right packet.
         if let Some(packet) = view.vc_packet(port, vnet, vc) {
-            self.watch = Some(Watch { port, vnet, vc, packet });
+            self.watch = Some(Watch {
+                port,
+                vnet,
+                vc,
+                packet,
+            });
         } else {
             self.stats.accept_failed += 1;
             return;
@@ -415,7 +420,11 @@ impl SpinAgent {
         for port in outports {
             out.push(Action::SendSm {
                 out_port: port,
-                sm: Sm { path: sm.path.appended(port), ttl: sm.ttl - 1, ..sm.clone() },
+                sm: Sm {
+                    path: sm.path.appended(port),
+                    ttl: sm.ttl - 1,
+                    ..sm.clone()
+                },
             });
         }
     }
@@ -465,7 +474,10 @@ impl SpinAgent {
         }
         out.push(Action::SendSm {
             out_port: first,
-            sm: Sm { path: sm.path.stripped(), ..sm },
+            sm: Sm {
+                path: sm.path.stripped(),
+                ..sm
+            },
         });
     }
 
@@ -543,9 +555,26 @@ impl SpinAgent {
         })
     }
 
-    fn freeze(&mut self, in_port: PortId, vnet: Vnet, vc: VcId, out_port: PortId, out: &mut Actions) {
-        self.frozen.push(FrozenVc { in_port, vnet, vc, out_port });
-        out.push(Action::Freeze { in_port, vnet, vc, out_port });
+    fn freeze(
+        &mut self,
+        in_port: PortId,
+        vnet: Vnet,
+        vc: VcId,
+        out_port: PortId,
+        out: &mut Actions,
+    ) {
+        self.frozen.push(FrozenVc {
+            in_port,
+            vnet,
+            vc,
+            out_port,
+        });
+        out.push(Action::Freeze {
+            in_port,
+            vnet,
+            vc,
+            out_port,
+        });
     }
 
     fn on_kill(
@@ -578,7 +607,10 @@ impl SpinAgent {
         }
         out.push(Action::SendSm {
             out_port: first,
-            sm: Sm { path: sm.path.stripped(), ..sm },
+            sm: Sm {
+                path: sm.path.stripped(),
+                ..sm
+            },
         });
     }
 
@@ -654,7 +686,8 @@ impl SpinAgent {
                 self.stats.probes_sent += 1;
                 let window = 4 * self.cfg.t_dd.max(1);
                 self.outstanding_probes.retain(|&(l, ..)| l + window >= now);
-                self.outstanding_probes.push((now, w.port, w.vnet, w.vc, port));
+                self.outstanding_probes
+                    .push((now, w.port, w.vnet, w.vc, port));
                 out.push(Action::SendSm {
                     out_port: port,
                     sm: Sm::probe(self.id, w.vnet, now, self.cfg.ttl()),
@@ -710,7 +743,12 @@ impl SpinAgent {
                     let status = view.vc_status(port, vnet, vc);
                     if status.is_occupied() && status != VcStatus::Ejecting {
                         if let Some(packet) = view.vc_packet(port, vnet, vc) {
-                            v.push(Watch { port, vnet, vc, packet });
+                            v.push(Watch {
+                                port,
+                                vnet,
+                                vc,
+                                packet,
+                            });
                         }
                     }
                 }

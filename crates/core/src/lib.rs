@@ -109,7 +109,10 @@ pub struct SpinConfig {
 impl SpinConfig {
     /// The paper's defaults for a network of `num_routers` routers.
     pub fn for_network(num_routers: u32) -> Self {
-        SpinConfig { num_routers, ..Self::default() }
+        SpinConfig {
+            num_routers,
+            ..Self::default()
+        }
     }
 
     /// Effective probe TTL.

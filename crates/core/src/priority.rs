@@ -34,7 +34,10 @@ impl RotatingPriority {
     pub fn with_epoch(num_routers: u32, epoch_len: Cycle) -> Self {
         assert!(num_routers > 0, "need at least one router");
         assert!(epoch_len > 0, "epoch length must be positive");
-        RotatingPriority { num_routers, epoch_len }
+        RotatingPriority {
+            num_routers,
+            epoch_len,
+        }
     }
 
     /// Dynamic priority of `router` at cycle `now`; higher wins contention.
@@ -76,7 +79,10 @@ mod tests {
                 }
             }
         }
-        assert!(held.iter().all(|&h| h), "rotation missed a router: {held:?}");
+        assert!(
+            held.iter().all(|&h| h),
+            "rotation missed a router: {held:?}"
+        );
     }
 
     #[test]
@@ -92,7 +98,12 @@ mod tests {
 
     #[test]
     fn from_config() {
-        let cfg = SpinConfig { t_dd: 100, epoch_factor: 4, num_routers: 10, ..Default::default() };
+        let cfg = SpinConfig {
+            t_dd: 100,
+            epoch_factor: 4,
+            num_routers: 10,
+            ..Default::default()
+        };
         let rp = RotatingPriority::new(&cfg);
         assert_eq!(rp.epoch_len(), 400);
     }

@@ -135,7 +135,11 @@ impl Sm {
 
 impl fmt::Display for Sm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}<{} {} {}>", self.kind, self.sender, self.vnet, self.path)
+        write!(
+            f,
+            "{}<{} {} {}>",
+            self.kind, self.sender, self.vnet, self.path
+        )
     }
 }
 

@@ -10,7 +10,11 @@ use spin_types::{Cycle, PacketId, PortId, RouterId, VcId, Vnet};
 const VN: Vnet = Vnet(0);
 
 fn cfg() -> SpinConfig {
-    SpinConfig { t_dd: 16, num_routers: 8, ..SpinConfig::default() }
+    SpinConfig {
+        t_dd: 16,
+        num_routers: 8,
+        ..SpinConfig::default()
+    }
 }
 
 /// A 4-port router (p0 local; p1..p3 network) whose p1 VC waits on p2.
@@ -64,12 +68,23 @@ fn probe_forks_across_distinct_outports() {
 
 #[test]
 fn probe_dropped_when_forking_disabled() {
-    let mut agent =
-        SpinAgent::new(RouterId(0), SpinConfig { probe_forking: false, ..cfg() });
+    let mut agent = SpinAgent::new(
+        RouterId(0),
+        SpinConfig {
+            probe_forking: false,
+            ..cfg()
+        },
+    );
     let router = waiting_router();
     let actions = agent.on_sm(1, &router, PortId(1), probe_from(7, 0, 32));
-    assert!(sends(&actions).is_empty(), "no forking allowed in ablation mode");
-    assert_eq!(agent.stats().drop_no_dependence + agent.stats().drop_free_vc, 0);
+    assert!(
+        sends(&actions).is_empty(),
+        "no forking allowed in ablation mode"
+    );
+    assert_eq!(
+        agent.stats().drop_no_dependence + agent.stats().drop_free_vc,
+        0
+    );
 }
 
 #[test]
@@ -106,7 +121,10 @@ fn probe_dropped_on_priority() {
 fn priority_drop_can_be_disabled() {
     let mut agent = SpinAgent::new(
         RouterId(5),
-        SpinConfig { priority_probe_drop: false, ..cfg() },
+        SpinConfig {
+            priority_probe_drop: false,
+            ..cfg()
+        },
     );
     let router = waiting_router();
     let actions = agent.on_sm(1, &router, PortId(1), probe_from(2, 0, 32));
@@ -131,7 +149,10 @@ fn duplicate_probe_dropped_on_same_inport() {
     r2.set_status(PortId(2), VN, VcId(1), VcStatus::Waiting(PortId(3)));
     r2.set_packet(PortId(2), VN, VcId(1), Some(PacketId(10)));
     let third = agent.on_sm(6, &r2, PortId(2), probe_from(7, 0, 27));
-    assert!(!sends(&third).is_empty(), "figure-8 crossing must be forwarded");
+    assert!(
+        !sends(&third).is_empty(),
+        "figure-8 crossing must be forwarded"
+    );
 }
 
 #[test]
@@ -229,8 +250,15 @@ fn kill_unfreezes_and_forwards() {
     assert!(!agent.is_deadlock());
     assert!(agent.frozen().is_empty());
     assert!(actions.iter().any(|a| matches!(a, Action::UnfreezeAll)));
-    assert_eq!(sends(&actions).len(), 1, "kill must continue around the loop");
-    assert!(matches!(agent.state(), FsmState::DeadlockDetection | FsmState::Off));
+    assert_eq!(
+        sends(&actions).len(),
+        1,
+        "kill must continue around the loop"
+    );
+    assert!(matches!(
+        agent.state(),
+        FsmState::DeadlockDetection | FsmState::Off
+    ));
 }
 
 #[test]
@@ -257,7 +285,10 @@ fn kill_with_mismatched_source_dropped() {
         ttl: 32,
     };
     let actions = agent.on_sm(21, &router, PortId(1), kill);
-    assert!(agent.is_deadlock(), "foreign kill must not release the freeze");
+    assert!(
+        agent.is_deadlock(),
+        "foreign kill must not release the freeze"
+    );
     assert!(sends(&actions).is_empty());
 }
 
@@ -289,7 +320,10 @@ fn frozen_router_spins_at_the_agreed_cycle() {
     let done = agent.notify_spin_complete(55, &router);
     assert!(done.iter().any(|a| matches!(a, Action::UnfreezeAll)));
     assert!(!agent.is_spinning());
-    assert!(matches!(agent.state(), FsmState::DeadlockDetection | FsmState::Off));
+    assert!(matches!(
+        agent.state(),
+        FsmState::DeadlockDetection | FsmState::Off
+    ));
 }
 
 #[test]

@@ -174,7 +174,11 @@ fn ring_deadlock_detected_and_spun() {
     let mut net = RingNet::new(6, 32);
     net.install_ring_deadlock();
     net.run(400);
-    assert!(net.spins_completed >= 6, "expected a full-ring spin, got {}", net.spins_completed);
+    assert!(
+        net.spins_completed >= 6,
+        "expected a full-ring spin, got {}",
+        net.spins_completed
+    );
     // Packets rotated at least one hop: router 0's buffer no longer holds
     // packet 0.
     let total_spins: u64 = net.agents.iter().map(|a| a.stats().spins).sum();
@@ -247,7 +251,11 @@ fn vanished_dependence_triggers_kill_move() {
     // kill_move, and everything must be released.
     let kills: u64 = net.agents.iter().map(|a| a.stats().kills_sent).sum();
     assert!(kills >= 1, "no kill_move sent");
-    assert_eq!(net.total_frozen(), 0, "kill_move failed to release the loop");
+    assert_eq!(
+        net.total_frozen(),
+        0,
+        "kill_move failed to release the loop"
+    );
     for a in &net.agents {
         assert!(!a.is_deadlock());
     }
@@ -312,7 +320,11 @@ fn probe_move_repeats_spin_while_deadlock_persists() {
     // spins than full detect-probe-move cycles alone would produce.
     let probe_moves: u64 = net.agents.iter().map(|a| a.stats().probe_moves_sent).sum();
     assert!(probe_moves >= 1, "probe_move optimisation never used");
-    assert!(net.spins_completed >= 8, "expected repeated spins, got {}", net.spins_completed);
+    assert!(
+        net.spins_completed >= 8,
+        "expected repeated spins, got {}",
+        net.spins_completed
+    );
 }
 
 #[test]
@@ -320,7 +332,11 @@ fn spin_offset_leaves_kill_window() {
     // White-box check of the spin-cycle arithmetic: with spin_offset = 2
     // the spin fires strictly after a kill_move issued at the move timeout
     // could traverse the loop.
-    let cfg = SpinConfig { t_dd: 10, num_routers: 4, ..SpinConfig::default() };
+    let cfg = SpinConfig {
+        t_dd: 10,
+        num_routers: 4,
+        ..SpinConfig::default()
+    };
     assert_eq!(cfg.spin_offset, 2);
     assert_eq!(cfg.epoch_len(), 40);
     assert_eq!(cfg.ttl(), 16);

@@ -25,7 +25,11 @@ impl<C: Eq + Hash + Clone> Default for Cdg<C> {
 impl<C: Eq + Hash + Clone> Cdg<C> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Cdg { index: HashMap::new(), channels: Vec::new(), edges: Vec::new() }
+        Cdg {
+            index: HashMap::new(),
+            channels: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     fn intern(&mut self, c: C) -> usize {

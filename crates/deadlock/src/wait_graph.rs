@@ -151,7 +151,12 @@ mod tests {
     use super::*;
 
     fn buf(r: u32, p: u8) -> BufferId {
-        BufferId { router: RouterId(r), port: PortId(p), vnet: Vnet(0), vc: VcId(0) }
+        BufferId {
+            router: RouterId(r),
+            port: PortId(p),
+            vnet: Vnet(0),
+            vc: VcId(0),
+        }
     }
     fn key(r: u32, p: u8) -> PortKey {
         (RouterId(r), PortId(p), Vnet(0))
@@ -185,7 +190,10 @@ mod tests {
         for i in 0..4 {
             let mut g = ring(4);
             g.add_free_vcs(RouterId(i), PortId(1), Vnet(0), 1);
-            assert!(g.deadlocked().is_empty(), "free VC at r{i} should break the ring");
+            assert!(
+                g.deadlocked().is_empty(),
+                "free VC at r{i} should break the ring"
+            );
         }
     }
 
@@ -204,11 +212,7 @@ mod tests {
     fn adaptive_alternative_escapes() {
         // A ring, but one packet has a second alternative with free space.
         let mut g = ring(3);
-        g.add_packet(
-            PacketId(10),
-            buf(10, 1),
-            vec![key(0, 1), key(99, 1)],
-        );
+        g.add_packet(PacketId(10), buf(10, 1), vec![key(0, 1), key(99, 1)]);
         g.add_free_vcs(RouterId(99), PortId(1), Vnet(0), 2);
         let dead = g.deadlocked();
         // Packet 10 escapes through r99. But the pure ring 0-1-2 stays
@@ -273,12 +277,22 @@ mod tests {
         g.add_free_vcs(RouterId(1), PortId(1), Vnet(0), 3);
         g.add_packet(
             PacketId(0),
-            BufferId { router: RouterId(0), port: PortId(1), vnet: Vnet(1), vc: VcId(0) },
+            BufferId {
+                router: RouterId(0),
+                port: PortId(1),
+                vnet: Vnet(1),
+                vc: VcId(0),
+            },
             vec![(RouterId(1), PortId(1), Vnet(1))],
         );
         g.add_packet(
             PacketId(1),
-            BufferId { router: RouterId(1), port: PortId(1), vnet: Vnet(1), vc: VcId(0) },
+            BufferId {
+                router: RouterId(1),
+                port: PortId(1),
+                vnet: Vnet(1),
+                vc: VcId(0),
+            },
             vec![(RouterId(0), PortId(1), Vnet(1))],
         );
         assert_eq!(g.deadlocked().len(), 2);
@@ -294,7 +308,12 @@ mod proptests {
         (RouterId(r), PortId(1), Vnet(0))
     }
     fn buf(r: u32) -> BufferId {
-        BufferId { router: RouterId(r), port: PortId(1), vnet: Vnet(0), vc: VcId(0) }
+        BufferId {
+            router: RouterId(r),
+            port: PortId(1),
+            vnet: Vnet(0),
+            vc: VcId(0),
+        }
     }
 
     /// Brute force over subsets: the deadlocked set is the union of all

@@ -7,40 +7,78 @@
 //! Usage: `ablations [--quick]`
 
 use spin_core::SpinConfig;
-use spin_experiments::quick_mode;
+use spin_experiments::{json, quick_mode, run_spec, spec_json, Design, ExperimentSpec, RunParams};
 use spin_routing::FavorsMinimal;
-use spin_sim::{NetworkBuilder, SimConfig};
 use spin_topology::Topology;
-use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_traffic::Pattern;
 use spin_types::Cycle;
 
-fn run(name: &str, spin: SpinConfig, cycles: Cycle) {
-    let topo = Topology::mesh(8, 8);
-    let tc = SyntheticConfig::new(Pattern::UniformRandom, 0.25);
-    let traffic = SyntheticTraffic::new(tc, &topo, 7);
-    let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 3, vcs_per_vnet: 1, ..SimConfig::default() })
-        .routing(FavorsMinimal)
-        .traffic(traffic)
-        .spin(spin)
-        .build();
-    net.run(cycles);
-    let s = net.stats();
-    let a = net.spin_stats();
-    println!(
-        "{name:<28} {:>7.3} {:>7} {:>7} {:>7} {:>9} {:>9} {:>8}",
-        s.throughput(64),
-        a.loops_confirmed,
-        a.spins_initiated,
-        a.kills_sent,
-        a.drop_priority,
-        a.drop_dup,
-        a.probes_sent
-    );
+fn ablation(name: &str, cfg: SpinConfig) -> Design {
+    Design::new(name, 1, true, || Box::new(FavorsMinimal)).with_spin_cfg(cfg)
 }
 
 fn main() {
     let cycles: Cycle = if quick_mode() { 5_000 } else { 30_000 };
+    let spec = ExperimentSpec {
+        name: "ablations".into(),
+        topo: Topology::mesh(8, 8),
+        designs: vec![
+            ablation("paper_defaults", SpinConfig::default()),
+            ablation(
+                "no_probe_forking",
+                SpinConfig {
+                    probe_forking: false,
+                    ..SpinConfig::default()
+                },
+            ),
+            ablation(
+                "no_priority_drop",
+                SpinConfig {
+                    priority_probe_drop: false,
+                    ..SpinConfig::default()
+                },
+            ),
+            ablation(
+                "no_probe_move_opt",
+                SpinConfig {
+                    probe_move_opt: false,
+                    ..SpinConfig::default()
+                },
+            ),
+            ablation(
+                "spin_offset_1x",
+                SpinConfig {
+                    spin_offset: 1,
+                    ..SpinConfig::default()
+                },
+            ),
+            ablation(
+                "t_dd_32",
+                SpinConfig {
+                    t_dd: 32,
+                    ..SpinConfig::default()
+                },
+            ),
+            ablation(
+                "t_dd_512",
+                SpinConfig {
+                    t_dd: 512,
+                    ..SpinConfig::default()
+                },
+            ),
+        ],
+        patterns: vec![Pattern::UniformRandom],
+        // A single past-saturation operating point: recovery machinery
+        // fully exercised, so the curve must not be cut at saturation.
+        rates: vec![0.25],
+        params: RunParams {
+            warmup: cycles / 5,
+            measure: cycles,
+            seed: 7,
+            ..RunParams::default()
+        },
+        stop_at_saturation: false,
+    };
     println!(
         "# SPIN ablations: 8x8 mesh, FAvORS-Min, 1 VC, uniform 0.25 flits/node/cycle, {cycles} cycles\n"
     );
@@ -48,29 +86,25 @@ fn main() {
         "{:<28} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>8}",
         "config", "thr", "conf", "spins", "kills", "drop_prio", "drop_dup", "probes"
     );
-    run("paper_defaults", SpinConfig::default(), cycles);
-    run(
-        "no_probe_forking",
-        SpinConfig { probe_forking: false, ..SpinConfig::default() },
-        cycles,
-    );
-    run(
-        "no_priority_drop",
-        SpinConfig { priority_probe_drop: false, ..SpinConfig::default() },
-        cycles,
-    );
-    run(
-        "no_probe_move_opt",
-        SpinConfig { probe_move_opt: false, ..SpinConfig::default() },
-        cycles,
-    );
-    run(
-        "spin_offset_1x",
-        SpinConfig { spin_offset: 1, ..SpinConfig::default() },
-        cycles,
-    );
-    run("t_dd_32", SpinConfig { t_dd: 32, ..SpinConfig::default() }, cycles);
-    run("t_dd_512", SpinConfig { t_dd: 512, ..SpinConfig::default() }, cycles);
+    let curves = run_spec(&spec);
+    for c in &curves {
+        let p = &c.points[0];
+        println!(
+            "{:<28} {:>7.3} {:>7} {:>7} {:>7} {:>9} {:>9} {:>8}",
+            c.design,
+            p.throughput,
+            p.loops_confirmed,
+            p.spins,
+            p.kills,
+            p.drop_priority,
+            p.drop_dup,
+            p.probes
+        );
+    }
+    match json::write_results(&spec.name, &spec_json(&spec, &curves)) {
+        Ok(path) => println!("\n# wrote {}", path.display()),
+        Err(e) => eprintln!("\n# could not write results/{}.json: {e}", spec.name),
+    }
     println!(
         "\n# Reading guide: `conf` = confirmed loops (recoveries), `kills` =\n\
          # cancelled recoveries. Lower t_dd detects faster but probes more;\n\

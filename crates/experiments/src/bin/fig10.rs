@@ -5,15 +5,21 @@
 //!
 //! Usage: `fig10`
 
+use spin_experiments::{json, json::Json};
 use spin_power::{PowerModel, RouterParams, Scheme};
 
 fn main() {
     let m = PowerModel::nangate15();
     println!("# Fig. 10: router area normalised to West-first\n");
+    let mut area_rows = Vec::new();
     for (label, p, n) in [
         ("mesh 8x8 (1 VC base)", RouterParams::mesh_router(1), 64u32),
         ("mesh 8x8 (2 VC base)", RouterParams::mesh_router(2), 64),
-        ("dragonfly 1024 (1 VC base)", RouterParams::dragonfly_router(1), 256),
+        (
+            "dragonfly 1024 (1 VC base)",
+            RouterParams::dragonfly_router(1),
+            256,
+        ),
     ] {
         println!("## {label}");
         println!("{:<16} {:>12} {:>12}", "scheme", "area(norm)", "overhead");
@@ -25,15 +31,23 @@ fn main() {
         ] {
             let norm = m.area_vs_turn_model(&p, scheme);
             println!("{name:<16} {norm:>12.3} {:>11.1}%", (norm - 1.0) * 100.0);
+            area_rows.push(json::obj(vec![
+                ("router", label.into()),
+                ("scheme", name.into()),
+                ("area_normalised", Json::Num(norm)),
+            ]));
         }
         println!();
     }
 
-    println!("# Sec. VI area/power savings of VC reduction (paper: mesh 52%/50%, dragonfly 53%/55%)\n");
+    println!(
+        "# Sec. VI area/power savings of VC reduction (paper: mesh 52%/50%, dragonfly 53%/55%)\n"
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>12}",
         "router", "area 1v3", "power 1v3", "area 2v3", "power 2v3"
     );
+    let mut savings_rows = Vec::new();
     for (label, mk) in [
         ("mesh", RouterParams::mesh_router as fn(u32) -> RouterParams),
         ("dragonfly", RouterParams::dragonfly_router),
@@ -47,6 +61,22 @@ fn main() {
             100.0 * (1.0 - a(2) / a(3)),
             100.0 * (1.0 - p(2) / p(3)),
         );
+        savings_rows.push(json::obj(vec![
+            ("router", label.into()),
+            ("area_saving_1vc_vs_3vc", Json::Num(1.0 - a(1) / a(3))),
+            ("power_saving_1vc_vs_3vc", Json::Num(1.0 - p(1) / p(3))),
+            ("area_saving_2vc_vs_3vc", Json::Num(1.0 - a(2) / a(3))),
+            ("power_saving_2vc_vs_3vc", Json::Num(1.0 - p(2) / p(3))),
+        ]));
+    }
+    let doc = json::obj(vec![
+        ("experiment", "fig10".into()),
+        ("area_normalised_to_west_first", Json::Arr(area_rows)),
+        ("vc_reduction_savings", Json::Arr(savings_rows)),
+    ]);
+    match json::write_results("fig10", &doc) {
+        Ok(path) => println!("\n# wrote {}", path.display()),
+        Err(e) => eprintln!("\n# could not write results/fig10.json: {e}"),
     }
     println!(
         "\n# Shape to check: SPIN within a few percent of West-first; Static\n\

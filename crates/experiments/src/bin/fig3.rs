@@ -3,13 +3,14 @@
 //! at least once, per synthetic pattern, with 3 VCs/port and 1-flit packets.
 //!
 //! The rate is found by a coarse geometric scan followed by bisection; the
-//! ground-truth AND-OR wait-graph detector decides "deadlocked".
+//! ground-truth AND-OR wait-graph detector decides "deadlocked". Each
+//! (topology, pattern) search is independent, so they fan out over the
+//! shared worker pool.
 //!
 //! Usage: `fig3 [--quick] [--full]`
 //! `--full` = the paper's 100K-cycle horizon and 1024-node dragonfly.
 
-use spin_core::SpinConfig;
-use spin_experiments::{full_mode, quick_mode};
+use spin_experiments::{full_mode, json, json::Json, parallel_map, quick_mode};
 use spin_routing::{FavorsMinimal, Routing, Ugal};
 use spin_sim::{NetworkBuilder, SimConfig};
 use spin_topology::Topology;
@@ -18,7 +19,7 @@ use spin_types::Cycle;
 
 fn deadlocks_at(
     topo: &Topology,
-    routing: &dyn Fn() -> Box<dyn Routing>,
+    routing: fn() -> Box<dyn Routing>,
     pattern: Pattern,
     rate: f64,
     horizon: Cycle,
@@ -26,12 +27,15 @@ fn deadlocks_at(
     let tc = SyntheticConfig::single_flit(pattern, rate);
     let traffic = SyntheticTraffic::new(tc, topo, 7);
     let mut net = NetworkBuilder::new(topo.clone())
-        .config(SimConfig { vnets: 3, vcs_per_vnet: 3, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 3,
+            ..SimConfig::default()
+        })
         .routing_box(routing())
         .traffic(traffic)
         .build();
     // SPIN off: we are measuring when deadlocks *form*.
-    let _ = SpinConfig::default();
     net.run_until_deadlock(horizon, 100).is_some()
 }
 
@@ -39,7 +43,7 @@ fn deadlocks_at(
 /// never deadlocks within the horizon.
 fn min_deadlock_rate(
     topo: &Topology,
-    routing: &dyn Fn() -> Box<dyn Routing>,
+    routing: fn() -> Box<dyn Routing>,
     pattern: Pattern,
     horizon: Cycle,
 ) -> Option<f64> {
@@ -64,6 +68,17 @@ fn min_deadlock_rate(
         }
     }
     Some(hi)
+}
+
+/// A deadlock search needs a fresh routing instance per bisection probe.
+type RoutingFactory = fn() -> Box<dyn Routing>;
+
+fn mk_mesh() -> Box<dyn Routing> {
+    Box::new(FavorsMinimal)
+}
+
+fn mk_dfly() -> Box<dyn Routing> {
+    Box::new(Ugal::with_spin())
 }
 
 fn main() {
@@ -94,17 +109,37 @@ fn main() {
     println!("# Fig. 3: minimum injection rate that deadlocks within {horizon} cycles");
     println!("# (3 VCs/port, 1-flit packets, detection by ground-truth wait graph)\n");
     println!("{:<16} {:>16} {:>18}", "pattern", "mesh8x8", dfly.name());
-    let mesh_routing: Box<dyn Fn() -> Box<dyn Routing>> = Box::new(|| Box::new(FavorsMinimal));
-    let dfly_routing: Box<dyn Fn() -> Box<dyn Routing>> =
-        Box::new(|| Box::new(Ugal::with_spin()));
-    for pattern in patterns {
-        let m = min_deadlock_rate(&mesh, &mesh_routing, pattern, horizon);
-        let d = min_deadlock_rate(&dfly, &dfly_routing, pattern, horizon);
-        let fmt = |x: Option<f64>| match x {
-            Some(r) => format!("{r:.3}"),
-            None => "no deadlock".to_string(),
-        };
+    // One search per (topology, pattern); all independent.
+    let searches: Vec<(&Topology, RoutingFactory, Pattern)> = patterns
+        .iter()
+        .flat_map(|&p| [(&mesh, mk_mesh as RoutingFactory, p), (&dfly, mk_dfly, p)])
+        .collect();
+    let found = parallel_map(&searches, |&(topo, mk, pattern)| {
+        min_deadlock_rate(topo, mk, pattern, horizon)
+    });
+    let fmt = |x: Option<f64>| match x {
+        Some(r) => format!("{r:.3}"),
+        None => "no deadlock".to_string(),
+    };
+    let mut rows = Vec::new();
+    for (i, pattern) in patterns.iter().enumerate() {
+        let (m, d) = (found[2 * i], found[2 * i + 1]);
         println!("{:<16} {:>16} {:>18}", pattern.to_string(), fmt(m), fmt(d));
+        let rate = |x: Option<f64>| x.map(Json::Num).unwrap_or(Json::Null);
+        rows.push(json::obj(vec![
+            ("pattern", Json::Str(pattern.to_string())),
+            ("mesh8x8", rate(m)),
+            (dfly.name(), rate(d)),
+        ]));
+    }
+    let doc = json::obj(vec![
+        ("experiment", "fig3".into()),
+        ("horizon_cycles", Json::UInt(horizon)),
+        ("min_deadlock_rate", Json::Arr(rows)),
+    ]);
+    match json::write_results("fig3", &doc) {
+        Ok(path) => println!("\n# wrote {}", path.display()),
+        Err(e) => eprintln!("\n# could not write results/fig3.json: {e}"),
     }
     println!(
         "\n# Paper's observation to check: these rates are >= 10x real-application\n\

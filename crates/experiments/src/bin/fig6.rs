@@ -8,14 +8,16 @@
 //! shortened windows; `--quick` switches to a 72-node dragonfly;
 //! `--full` uses paper-length windows.
 
-use spin_experiments::{print_sweep, quick_mode, full_mode, sweep, Design, RunParams};
+use spin_experiments::{full_mode, quick_mode, run_and_report, Design, ExperimentSpec, RunParams};
 use spin_routing::{FavorsMinimal, FavorsNonMinimal, Ugal};
 use spin_topology::Topology;
 use spin_traffic::Pattern;
 
 fn designs() -> Vec<Design> {
     vec![
-        Design::new("ugal_3vc_dally", 3, false, || Box::new(Ugal::dally_baseline())),
+        Design::new("ugal_3vc_dally", 3, false, || {
+            Box::new(Ugal::dally_baseline())
+        }),
         Design::new("ugal_3vc_spin", 3, true, || Box::new(Ugal::with_spin())),
         Design::new("minimal_1vc_spin", 1, true, || Box::new(FavorsMinimal)),
         Design::new("favors_nmin_1vc", 1, true, || Box::new(FavorsNonMinimal)),
@@ -31,35 +33,58 @@ fn main() {
         Topology::dragonfly(4, 8, 4, 32) // the paper's 1024-node network
     };
     let params = if full {
-        RunParams { warmup: 5_000, measure: 20_000, latency_cap: 800.0, ..RunParams::default() }
+        RunParams {
+            warmup: 5_000,
+            measure: 20_000,
+            latency_cap: 800.0,
+            ..RunParams::default()
+        }
     } else if quick {
-        RunParams { warmup: 500, measure: 2_000, ..RunParams::default() }
+        RunParams {
+            warmup: 500,
+            measure: 2_000,
+            ..RunParams::default()
+        }
     } else {
-        RunParams { warmup: 1_000, measure: 4_000, ..RunParams::default() }
+        RunParams {
+            warmup: 1_000,
+            measure: 4_000,
+            ..RunParams::default()
+        }
     };
     let rates: Vec<f64> = if quick {
         vec![0.02, 0.10, 0.20, 0.30, 0.40]
     } else {
-        vec![0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50]
+        vec![
+            0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+        ]
     };
-    let patterns = [
-        Pattern::UniformRandom,
-        Pattern::BitComplement,
-        Pattern::Transpose,
-        Pattern::Tornado,
-        Pattern::Neighbor,
-    ];
-    println!("# Fig. 6: dragonfly ({}) latency vs injection rate\n", topo.name());
-    let mut summary: Vec<(String, f64)> = Vec::new();
-    for pattern in patterns {
-        for d in designs() {
-            let (points, sat) = sweep(&topo, &d, pattern, &rates, params);
-            print_sweep(d.name, pattern, &points, sat);
-            summary.push((format!("{pattern}/{}", d.name), sat));
-        }
-    }
+    println!(
+        "# Fig. 6: dragonfly ({}) latency vs injection rate\n",
+        topo.name()
+    );
+    let spec = ExperimentSpec {
+        name: "fig6".into(),
+        topo,
+        designs: designs(),
+        patterns: vec![
+            Pattern::UniformRandom,
+            Pattern::BitComplement,
+            Pattern::Transpose,
+            Pattern::Tornado,
+            Pattern::Neighbor,
+        ],
+        rates,
+        params,
+        stop_at_saturation: true,
+    };
+    let curves = run_and_report(&spec);
     println!("# Saturation throughput summary (flits/node/cycle)");
-    for (k, v) in summary {
-        println!("{k:<45} {v:.3}");
+    for c in &curves {
+        println!(
+            "{:<45} {:.3}",
+            format!("{}/{}", c.pattern, c.design),
+            c.saturation
+        );
     }
 }

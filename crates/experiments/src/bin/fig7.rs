@@ -3,7 +3,7 @@
 //!
 //! Usage: `fig7 [--quick]`
 
-use spin_experiments::{print_sweep, quick_mode, rate_grid, sweep, Design, RunParams};
+use spin_experiments::{quick_mode, rate_grid, run_and_report, Design, ExperimentSpec, RunParams};
 use spin_routing::{EscapeVc, FavorsMinimal, ReservedVcAdaptive, WestFirst};
 use spin_topology::Topology;
 use spin_traffic::Pattern;
@@ -12,8 +12,10 @@ fn designs() -> Vec<Design> {
     vec![
         Design::new("westfirst_3vc", 3, false, || Box::new(WestFirst)),
         Design::new("escapevc_3vc", 3, false, || Box::new(EscapeVc)),
-        Design::new("staticbubble_3vc", 3, false, || Box::new(ReservedVcAdaptive::new(3)))
-            .with_static_bubble(),
+        Design::new("staticbubble_3vc", 3, false, || {
+            Box::new(ReservedVcAdaptive::new(3))
+        })
+        .with_static_bubble(),
         Design::new("minadaptive_3vc_spin", 3, true, || Box::new(FavorsMinimal)),
         Design::new("favors_min_1vc", 1, true, || Box::new(FavorsMinimal)),
         Design::new("westfirst_1vc", 1, false, || Box::new(WestFirst)),
@@ -22,31 +24,38 @@ fn designs() -> Vec<Design> {
 
 fn main() {
     let quick = quick_mode();
-    let topo = Topology::mesh(8, 8);
     let params = if quick {
-        RunParams { warmup: 500, measure: 2_000, ..RunParams::default() }
+        RunParams {
+            warmup: 500,
+            measure: 2_000,
+            ..RunParams::default()
+        }
     } else {
         RunParams::default()
     };
-    let rates = rate_grid(quick);
-    let patterns = [
-        Pattern::UniformRandom,
-        Pattern::Transpose,
-        Pattern::BitReverse,
-        Pattern::BitRotation,
-        Pattern::Tornado,
-    ];
+    let spec = ExperimentSpec {
+        name: "fig7".into(),
+        topo: Topology::mesh(8, 8),
+        designs: designs(),
+        patterns: vec![
+            Pattern::UniformRandom,
+            Pattern::Transpose,
+            Pattern::BitReverse,
+            Pattern::BitRotation,
+            Pattern::Tornado,
+        ],
+        rates: rate_grid(quick),
+        params,
+        stop_at_saturation: true,
+    };
     println!("# Fig. 7: 8x8 mesh latency vs injection rate\n");
-    let mut summary: Vec<(String, f64)> = Vec::new();
-    for pattern in patterns {
-        for d in designs() {
-            let (points, sat) = sweep(&topo, &d, pattern, &rates, params);
-            print_sweep(d.name, pattern, &points, sat);
-            summary.push((format!("{pattern}/{}", d.name), sat));
-        }
-    }
+    let curves = run_and_report(&spec);
     println!("# Saturation throughput summary (flits/node/cycle)");
-    for (k, v) in summary {
-        println!("{k:<45} {v:.3}");
+    for c in &curves {
+        println!(
+            "{:<45} {:.3}",
+            format!("{}/{}", c.pattern, c.design),
+            c.saturation
+        );
     }
 }

@@ -5,12 +5,13 @@
 //! application model of `spin_traffic::apps` (see DESIGN.md substitution
 //! #2). EDP = analytical network energy (buffer+crossbar activity from
 //! measured flit-hops, leakage from the VC-dependent router area) x average
-//! packet latency.
+//! packet latency. The per-workload comparisons are independent, so they
+//! fan out over the shared worker pool.
 //!
 //! Usage: `fig8a [--quick]`
 
 use spin_core::SpinConfig;
-use spin_experiments::quick_mode;
+use spin_experiments::{json, json::Json, parallel_map, quick_mode};
 use spin_power::{PowerModel, RouterParams};
 use spin_routing::{EscapeVc, FavorsMinimal, Routing};
 use spin_sim::{NetworkBuilder, SimConfig};
@@ -33,7 +34,11 @@ fn run_design(
 ) -> EdpResult {
     let traffic = AppTraffic::new(PARSEC_PRESETS[preset], topo.num_nodes(), 11);
     let mut builder = NetworkBuilder::new(topo.clone())
-        .config(SimConfig { vnets: 3, vcs_per_vnet: vcs, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: vcs,
+            ..SimConfig::default()
+        })
         .routing_box(routing)
         .traffic(traffic);
     if spin {
@@ -44,14 +49,12 @@ fn run_design(
     let s = net.stats();
     let model = PowerModel::nangate15();
     let params = RouterParams::mesh_router(vcs as u32);
-    let energy = model.network_energy(
-        &params,
-        topo.num_routers(),
-        s.cycles,
-        s.link_use.flit,
-    );
+    let energy = model.network_energy(&params, topo.num_routers(), s.cycles, s.link_use.flit);
     let latency = s.avg_total_latency().max(1.0);
-    EdpResult { latency, edp: energy * latency }
+    EdpResult {
+        latency,
+        edp: energy * latency,
+    }
 }
 
 fn main() {
@@ -63,20 +66,42 @@ fn main() {
         "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "workload", "lat(esc)", "lat(spin)", "edp(esc)", "edp(spin)", "norm EDP"
     );
-    let mut geo = 0.0f64;
-    let mut n = 0;
-    for (i, preset) in PARSEC_PRESETS.iter().enumerate() {
+    let presets: Vec<usize> = (0..PARSEC_PRESETS.len()).collect();
+    let results = parallel_map(&presets, |&i| {
         let esc = run_design(&topo, Box::new(EscapeVc), 3, false, i, cycles);
         let spin = run_design(&topo, Box::new(FavorsMinimal), 2, true, i, cycles);
+        (esc, spin)
+    });
+    let mut geo = 0.0f64;
+    let mut rows = Vec::new();
+    for (i, (esc, spin)) in results.iter().enumerate() {
         let norm = spin.edp / esc.edp;
         geo += norm.ln();
-        n += 1;
+        let name = PARSEC_PRESETS[i].name;
         println!(
             "{:<14} {:>10.1} {:>10.1} {:>12.3e} {:>12.3e} {:>10.3}",
-            preset.name, esc.latency, spin.latency, esc.edp, spin.edp, norm
+            name, esc.latency, spin.latency, esc.edp, spin.edp, norm
         );
+        rows.push(json::obj(vec![
+            ("workload", name.into()),
+            ("latency_escapevc", Json::Num(esc.latency)),
+            ("latency_spin", Json::Num(spin.latency)),
+            ("edp_escapevc", Json::Num(esc.edp)),
+            ("edp_spin", Json::Num(spin.edp)),
+            ("normalised_edp", Json::Num(norm)),
+        ]));
     }
-    let gmean = (geo / n as f64).exp();
+    let gmean = (geo / results.len() as f64).exp();
     println!("\ngeometric-mean normalised EDP (SPIN 2VC / EscapeVC 3VC): {gmean:.3}");
     println!("# Paper reports ~0.82 (18% lower EDP on average).");
+    let doc = json::obj(vec![
+        ("experiment", "fig8a".into()),
+        ("cycles", Json::UInt(cycles)),
+        ("workloads", Json::Arr(rows)),
+        ("geomean_normalised_edp", Json::Num(gmean)),
+    ]);
+    match json::write_results("fig8a", &doc) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write results/fig8a.json: {e}"),
+    }
 }

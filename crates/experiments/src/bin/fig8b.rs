@@ -4,43 +4,52 @@
 //!
 //! Usage: `fig8b [--quick]`
 
-use spin_core::SpinConfig;
-use spin_experiments::quick_mode;
+use spin_experiments::{json, quick_mode, run_spec, spec_json, Design, ExperimentSpec, RunParams};
 use spin_routing::FavorsMinimal;
-use spin_sim::{NetworkBuilder, SimConfig};
 use spin_topology::Topology;
-use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_traffic::Pattern;
 
 fn main() {
     let quick = quick_mode();
     let cycles = if quick { 10_000 } else { 50_000 };
-    let topo = Topology::mesh(8, 8);
+    let spec = ExperimentSpec {
+        name: "fig8b".into(),
+        topo: Topology::mesh(8, 8),
+        designs: vec![Design::new("minadaptive_3vc_spin", 3, true, || {
+            Box::new(FavorsMinimal)
+        })],
+        patterns: vec![Pattern::UniformRandom],
+        // Low / medium / high load; the high point is deliberately past
+        // saturation, so the curve must not be cut there.
+        rates: vec![0.01, 0.2, 0.5],
+        params: RunParams {
+            warmup: cycles / 5,
+            measure: cycles,
+            seed: 5,
+            ..RunParams::default()
+        },
+        stop_at_saturation: false,
+    };
     println!("# Fig. 8b: link utilisation, mesh 8x8, 3 VCs, minimal adaptive + SPIN\n");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
         "rate", "flit%", "probe%", "otherSM%", "idle%", "spins"
     );
-    for rate in [0.01, 0.2, 0.5] {
-        let tc = SyntheticConfig::new(Pattern::UniformRandom, rate);
-        let traffic = SyntheticTraffic::new(tc, &topo, 5);
-        let mut net = NetworkBuilder::new(topo.clone())
-            .config(SimConfig { vnets: 3, vcs_per_vnet: 3, ..SimConfig::default() })
-            .routing(FavorsMinimal)
-            .traffic(traffic)
-            .spin(SpinConfig::default())
-            .build();
-        net.run(cycles);
-        let s = net.stats();
-        let u = s.link_use;
+    let curves = run_spec(&spec);
+    for p in &curves[0].points {
         println!(
             "{:>8.2} {:>10.2} {:>10.3} {:>10.3} {:>10.2} {:>8}",
-            rate,
-            100.0 * u.flit_fraction(),
-            100.0 * u.probe_fraction(),
-            100.0 * u.other_sm_fraction(),
-            100.0 * u.idle_fraction(),
-            s.spins
+            p.offered,
+            100.0 * p.flit_util,
+            100.0 * p.probe_util,
+            100.0 * p.other_sm_util,
+            100.0 * p.idle_util,
+            p.spins
         );
+    }
+    match json::write_results(&spec.name, &spec_json(&spec, &curves)) {
+        Ok(path) => println!("\n# wrote {}", path.display()),
+        Err(e) => eprintln!("\n# could not write results/{}.json: {e}", spec.name),
     }
     println!(
         "\n# Shape to check against the paper: SM utilisation stays under ~5%\n\

@@ -5,40 +5,13 @@
 //!
 //! Usage: `fig9 [--quick] [--full]`
 
-use spin_core::SpinConfig;
-use spin_experiments::{full_mode, quick_mode};
-use spin_routing::{FavorsMinimal, Routing, Ugal};
-use spin_sim::{NetworkBuilder, SimConfig};
+use spin_experiments::{
+    full_mode, json, quick_mode, run_spec, spec_json, Design, ExperimentSpec, RunParams,
+};
+use spin_routing::{FavorsMinimal, Ugal};
 use spin_topology::Topology;
-use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_traffic::Pattern;
 use spin_types::Cycle;
-
-fn run(
-    topo: &Topology,
-    routing: Box<dyn Routing>,
-    vcs: u8,
-    pattern: Pattern,
-    rate: f64,
-    cycles: Cycle,
-) -> (u64, u64, u64) {
-    let mut tc = SyntheticConfig::new(pattern, rate);
-    tc.vnets = 3;
-    let traffic = SyntheticTraffic::new(tc, topo, 13);
-    let mut net = NetworkBuilder::new(topo.clone())
-        .config(SimConfig {
-            vnets: 3,
-            vcs_per_vnet: vcs,
-            classify_probes: true,
-            ..SimConfig::default()
-        })
-        .routing_box(routing)
-        .traffic(traffic)
-        .spin(SpinConfig::default())
-        .build();
-    net.run(cycles);
-    let s = net.stats();
-    (s.probes_sent, s.false_positive_spins, s.spins)
-}
 
 fn main() {
     let quick = quick_mode();
@@ -55,35 +28,67 @@ fn main() {
     } else {
         vec![0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
     };
-    let mesh = Topology::mesh(8, 8);
+    let params = RunParams {
+        warmup: cycles / 5,
+        measure: cycles,
+        classify: true,
+        seed: 13,
+        ..RunParams::default()
+    };
     let dfly = if full {
         Topology::dragonfly(4, 8, 4, 32)
     } else {
         Topology::dragonfly(2, 4, 2, 8)
     };
-
-    fn mk_mesh() -> Box<dyn Routing> {
-        Box::new(FavorsMinimal)
-    }
-    fn mk_dfly() -> Box<dyn Routing> {
-        Box::new(Ugal::with_spin())
-    }
-    type Mk = fn() -> Box<dyn Routing>;
-    let cases: [(&str, &Topology, Pattern, Mk); 2] = [
-        ("mesh/uniform", &mesh, Pattern::UniformRandom, mk_mesh),
-        ("dragonfly/bit_complement", &dfly, Pattern::BitComplement, mk_dfly),
+    // Both configurations sample all rates, including past saturation: the
+    // interesting false positives appear exactly there.
+    let specs = [
+        ExperimentSpec {
+            name: "fig9_mesh".into(),
+            topo: Topology::mesh(8, 8),
+            designs: vec![
+                Design::new("favors_min_1vc", 1, true, || Box::new(FavorsMinimal)),
+                Design::new("favors_min_3vc", 3, true, || Box::new(FavorsMinimal)),
+            ],
+            patterns: vec![Pattern::UniformRandom],
+            rates: rates.clone(),
+            params,
+            stop_at_saturation: false,
+        },
+        ExperimentSpec {
+            name: "fig9_dragonfly".into(),
+            topo: dfly,
+            designs: vec![
+                Design::new("ugal_spin_1vc", 1, true, || Box::new(Ugal::with_spin())),
+                Design::new("ugal_spin_3vc", 3, true, || Box::new(Ugal::with_spin())),
+            ],
+            patterns: vec![Pattern::BitComplement],
+            rates,
+            params,
+            stop_at_saturation: false,
+        },
     ];
 
     println!("# Fig. 9: false positives and spins vs injection rate ({cycles} cycles)\n");
-    for (label, topo, pattern, mk) in cases {
-        for vcs in [1u8, 3u8] {
-            println!("## {label} {vcs}VC");
-            println!("{:>8} {:>10} {:>14} {:>8}", "rate", "probes", "false_spins", "spins");
-            for &rate in &rates {
-                let (probes, fps, spins) = run(topo, mk(), vcs, pattern, rate, cycles);
-                println!("{rate:>8.2} {probes:>10} {fps:>14} {spins:>8}");
+    for spec in &specs {
+        let curves = run_spec(spec);
+        for c in &curves {
+            println!("## {} / {} / {}", spec.topo.name(), c.pattern, c.design);
+            println!(
+                "{:>8} {:>10} {:>14} {:>8}",
+                "rate", "probes", "false_spins", "spins"
+            );
+            for p in &c.points {
+                println!(
+                    "{:>8.2} {:>10} {:>14} {:>8}",
+                    p.offered, p.probes, p.false_positive_spins, p.spins
+                );
             }
             println!();
+        }
+        match json::write_results(&spec.name, &spec_json(spec, &curves)) {
+            Ok(path) => println!("# wrote {}", path.display()),
+            Err(e) => eprintln!("# could not write results/{}.json: {e}", spec.name),
         }
     }
     println!(

@@ -1,7 +1,8 @@
 //! Generic sweep utility: pick a topology, routing algorithm, deadlock
 //! scheme and traffic pattern from the command line and print a
-//! latency/throughput curve. The figure binaries wrap fixed configurations
-//! of this same machinery; `sweep` exposes it for ad-hoc exploration.
+//! latency/throughput curve. The figure binaries build fixed
+//! [`ExperimentSpec`]s over this same machinery; `sweep` assembles one from
+//! the command line for ad-hoc exploration.
 //!
 //! Usage:
 //!   sweep [topo] [routing] [pattern] [vcs] [spin|nospin|bubble] [rates...]
@@ -14,17 +15,16 @@
 //!
 //! Example: `sweep mesh8x8 favors transpose 1 spin 0.05 0.1 0.2 0.3`
 //!
-//! Append `--json` to also emit the measured points as a JSON array on the
-//! last line (for plotting scripts).
+//! Results always land in `results/sweep.json`; append `--json` to also
+//! echo the JSON document on stdout (for plotting scripts).
 
-use spin_core::SpinConfig;
+use spin_experiments::{run_and_report, spec_json, Design, ExperimentSpec, RunParams};
 use spin_routing::{
     EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal, UpDown,
     WestFirst, XyRouting,
 };
-use spin_sim::{NetworkBuilder, SimConfig};
 use spin_topology::Topology;
-use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_traffic::Pattern;
 
 fn topology(name: &str) -> Topology {
     match name {
@@ -39,8 +39,9 @@ fn topology(name: &str) -> Topology {
     }
 }
 
-fn routing(name: &str, topo: &Topology, vcs: u8) -> Box<dyn Routing> {
-    match name {
+fn routing_factory(name: String, topo: &Topology, vcs: u8) -> impl Fn() -> Box<dyn Routing> {
+    let topo = topo.clone();
+    move || match name.as_str() {
         "xy" => Box::new(XyRouting),
         "westfirst" => Box::new(WestFirst),
         "escape" => Box::new(EscapeVc),
@@ -48,7 +49,7 @@ fn routing(name: &str, topo: &Topology, vcs: u8) -> Box<dyn Routing> {
         "favors_nmin" => Box::new(FavorsNonMinimal),
         "ugal" => Box::new(Ugal::dally_baseline()),
         "ugal_spin" => Box::new(Ugal::with_spin()),
-        "updown" => Box::new(UpDown::new(topo)),
+        "updown" => Box::new(UpDown::new(&topo)),
         "static_bubble" => Box::new(ReservedVcAdaptive::new(vcs)),
         other => panic!("unknown routing `{other}`"),
     }
@@ -70,13 +71,13 @@ fn pattern(name: &str) -> Pattern {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
+    let json_stdout = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     let topo_name = args.first().map(String::as_str).unwrap_or("mesh8x8");
-    let routing_name = args.get(1).map(String::as_str).unwrap_or("favors");
+    let routing_name = args.get(1).cloned().unwrap_or_else(|| "favors".to_string());
     let pattern_name = args.get(2).map(String::as_str).unwrap_or("uniform");
     let vcs: u8 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let scheme = args.get(4).map(String::as_str).unwrap_or("spin");
+    let scheme = args.get(4).cloned().unwrap_or_else(|| "spin".to_string());
     let rates: Vec<f64> = if args.len() > 5 {
         args[5..].iter().map(|s| s.parse().expect("rate")).collect()
     } else {
@@ -84,55 +85,38 @@ fn main() {
     };
 
     let topo = topology(topo_name);
+    let mut design = Design::new(
+        format!("{routing_name}_{vcs}vc_{scheme}"),
+        vcs,
+        scheme == "spin",
+        routing_factory(routing_name.clone(), &topo, vcs),
+    );
+    if scheme == "static_bubble" || routing_name == "static_bubble" {
+        design = design.with_static_bubble();
+    }
+    if scheme == "bubble" {
+        design = design.with_bubble_flow_control();
+    }
     println!(
         "# sweep: {} / {} / {} / {}VC / {}",
         topo, routing_name, pattern_name, vcs, scheme
     );
-    println!(
-        "{:>8} {:>10} {:>12} {:>8} {:>8} {:>8}",
-        "offered", "latency", "throughput", "spins", "probes", "kills"
-    );
-    let mut measured: Vec<serde_json::Value> = Vec::new();
-    for &rate in &rates {
-        let tc = SyntheticConfig::new(pattern(pattern_name), rate);
-        let traffic = SyntheticTraffic::new(tc, &topo, 1);
-        let mut b = NetworkBuilder::new(topo.clone())
-            .config(SimConfig {
-                vnets: 3,
-                vcs_per_vnet: vcs,
-                static_bubble: scheme == "static_bubble" || routing_name == "static_bubble",
-                bubble_flow_control: scheme == "bubble",
-                ..SimConfig::default()
-            })
-            .routing_box(routing(routing_name, &topo, vcs))
-            .traffic(traffic);
-        if scheme == "spin" {
-            b = b.spin(SpinConfig::default());
-        }
-        let mut net = b.build();
-        net.run(2_000);
-        net.reset_measurement();
-        net.run(8_000);
-        let s = net.stats();
-        println!(
-            "{:>8.3} {:>10.1} {:>12.3} {:>8} {:>8} {:>8}",
-            rate,
-            s.avg_total_latency(),
-            s.throughput(net.topology().num_nodes()),
-            s.spins,
-            s.probes_sent,
-            s.kills_sent
-        );
-        measured.push(serde_json::json!({
-            "offered": rate,
-            "latency": s.avg_total_latency(),
-            "throughput": s.throughput(net.topology().num_nodes()),
-            "spins": s.spins,
-            "probes": s.probes_sent,
-            "kills": s.kills_sent,
-        }));
-    }
-    if json {
-        println!("{}", serde_json::Value::Array(measured));
+    let spec = ExperimentSpec {
+        name: "sweep".into(),
+        topo,
+        designs: vec![design],
+        patterns: vec![pattern(pattern_name)],
+        rates,
+        params: RunParams {
+            warmup: 2_000,
+            measure: 8_000,
+            ..RunParams::default()
+        },
+        // Ad-hoc exploration: measure every requested rate.
+        stop_at_saturation: false,
+    };
+    let curves = run_and_report(&spec);
+    if json_stdout {
+        println!("{}", spec_json(&spec, &curves));
     }
 }

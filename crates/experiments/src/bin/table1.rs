@@ -6,6 +6,7 @@
 //! Usage: `table1`
 
 use spin_deadlock::Cdg;
+use spin_experiments::{json, json::Json};
 use spin_routing::{
     EscapeVc, FavorsMinimal, FavorsNonMinimal, Routing, Ugal, WestFirst, XyRouting,
 };
@@ -39,21 +40,48 @@ fn mesh_cdg(
 
 fn main() {
     let topo = Topology::mesh(8, 8);
-    let west_first_acyclic =
-        mesh_cdg(&topo, |din, dout| !(dout == Direction::West && din != Direction::West))
-            .is_acyclic();
+    let west_first_acyclic = mesh_cdg(&topo, |din, dout| {
+        !(dout == Direction::West && din != Direction::West)
+    })
+    .is_acyclic();
     let unrestricted_acyclic = mesh_cdg(&topo, |_, _| true).is_acyclic();
 
     println!("# Table I: comparison of deadlock-freedom theories\n");
     println!(
         "{:<16} {:<22} {:<12} {:<12} {:<22} {:<10}",
-        "theory", "inj/sched restrictions", "acyclic CDG", "topo dep.", "VC cost (det/adaptive)", "livelock"
+        "theory",
+        "inj/sched restrictions",
+        "acyclic CDG",
+        "topo dep.",
+        "VC cost (det/adaptive)",
+        "livelock"
     );
     let rows = [
         ("Dally", "no", "yes", "yes", "mesh 1/6, dfly 2/3", "none"),
-        ("Duato", "no", "sub-graph", "yes", "mesh 1/2, dfly 2/3", "none"),
-        ("FlowControl", "yes", "no", "yes", "mesh 2/2, dfly 2/2", "none"),
-        ("Deflection", "yes", "no", "no", "0 (no minimal rt.)", "high"),
+        (
+            "Duato",
+            "no",
+            "sub-graph",
+            "yes",
+            "mesh 1/2, dfly 2/3",
+            "none",
+        ),
+        (
+            "FlowControl",
+            "yes",
+            "no",
+            "yes",
+            "mesh 2/2, dfly 2/2",
+            "none",
+        ),
+        (
+            "Deflection",
+            "yes",
+            "no",
+            "no",
+            "0 (no minimal rt.)",
+            "high",
+        ),
         ("SPIN", "no", "no", "no", "mesh 1/1, dfly 1/1", "none"),
     ];
     for (t, r, c, d, v, l) in rows {
@@ -77,6 +105,7 @@ fn main() {
         Box::new(FavorsMinimal),
         Box::new(FavorsNonMinimal),
     ];
+    let mut algo_rows = Vec::new();
     for a in &algos {
         println!(
             "{:<14} min VCs (without SPIN): {}, misroute bound p = {}",
@@ -84,6 +113,44 @@ fn main() {
             a.min_vcs_required(),
             a.misroute_bound()
         );
+        algo_rows.push(json::obj(vec![
+            ("routing", a.name().into()),
+            (
+                "min_vcs_without_spin",
+                Json::UInt(a.min_vcs_required() as u64),
+            ),
+            ("misroute_bound", Json::UInt(a.misroute_bound() as u64)),
+        ]));
     }
-    assert!(west_first_acyclic && !unrestricted_acyclic, "CDG validation failed");
+    let doc = json::obj(vec![
+        ("experiment", "table1".into()),
+        (
+            "theories",
+            Json::Arr(
+                rows.iter()
+                    .map(|&(t, r, c, d, v, l)| {
+                        json::obj(vec![
+                            ("theory", t.into()),
+                            ("restrictions", r.into()),
+                            ("acyclic_cdg", c.into()),
+                            ("topology_dependent", d.into()),
+                            ("vc_cost", v.into()),
+                            ("livelock", l.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("west_first_cdg_acyclic", west_first_acyclic.into()),
+        ("unrestricted_cdg_acyclic", unrestricted_acyclic.into()),
+        ("routing_vc_requirements", Json::Arr(algo_rows)),
+    ]);
+    match json::write_results("table1", &doc) {
+        Ok(path) => println!("\n# wrote {}", path.display()),
+        Err(e) => eprintln!("\n# could not write results/table1.json: {e}"),
+    }
+    assert!(
+        west_first_acyclic && !unrestricted_acyclic,
+        "CDG validation failed"
+    );
 }

@@ -1,0 +1,205 @@
+//! Minimal JSON emitter for machine-readable experiment results.
+//!
+//! The canonical build environment has no network access, so serde is not
+//! available (see `vendor/README.md`); the result files the experiment
+//! binaries write to `results/` are produced by this hand-rolled emitter
+//! instead. Only emission is supported — the simulator never needs to
+//! *parse* JSON.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value. Build with the variants or the [`obj`]/[`arr`] helpers and
+/// serialise with `Display` (compact) or [`Json::pretty`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float. Non-finite values serialise as `null` (JSON has no NaN).
+    Num(f64),
+    /// An unsigned integer (kept separate from `Num` so large counters
+    /// round-trip exactly).
+    UInt(u64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Builds a [`Json::Obj`] from `(key, value)` pairs.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Builds a [`Json::Arr`].
+pub fn arr(items: Vec<Json>) -> Json {
+    Json::Arr(items)
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::UInt(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl Json {
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: Option<usize>) -> fmt::Result {
+        let (nl, pad, pad_in) = match indent {
+            Some(n) => ("\n", "  ".repeat(n), "  ".repeat(n + 1)),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::UInt(x) => write!(f, "{x}"),
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return f.write_str("[]");
+                }
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{nl}{pad_in}")?;
+                    item.write(f, indent.map(|n| n + 1))?;
+                }
+                write!(f, "{nl}{pad}]")
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{nl}{pad_in}")?;
+                    escape(k, f)?;
+                    f.write_str(if indent.is_some() { ": " } else { ":" })?;
+                    v.write(f, indent.map(|n| n + 1))?;
+                }
+                write!(f, "{nl}{pad}}}")
+            }
+        }
+    }
+
+    /// Pretty-printed (2-space indented) serialisation.
+    pub fn pretty(&self) -> String {
+        struct Pretty<'a>(&'a Json);
+        impl fmt::Display for Pretty<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.write(f, Some(0))
+            }
+        }
+        Pretty(self).to_string()
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, None)
+    }
+}
+
+/// Writes `json` (pretty-printed) to `results/<name>.json`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_results(name: &str, json: &Json) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", json.pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let v = obj(vec![
+            ("name", "fig7".into()),
+            ("rate", Json::Num(0.25)),
+            ("count", Json::UInt(u64::MAX)),
+            ("sat", true.into()),
+            ("pts", arr(vec![Json::Null, Json::Num(f64::NAN)])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"fig7","rate":0.25,"count":18446744073709551615,"sat":true,"pts":[null,null]}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_is_indented_and_reparses_shapes() {
+        let v = obj(vec![
+            ("xs", arr(vec![Json::UInt(1), Json::UInt(2)])),
+            ("e", Json::Obj(vec![])),
+        ]);
+        let p = v.pretty();
+        assert!(p.contains("\n  \"xs\": [\n    1,\n    2\n  ]"));
+        assert!(p.ends_with('}'));
+    }
+}

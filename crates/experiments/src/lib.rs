@@ -13,23 +13,38 @@
 //! | `fig9`   | Fig. 9 — false positives and spins vs injection rate       |
 //! | `fig10`  | Fig. 10 — area overhead vs the West-first baseline         |
 //!
-//! Every binary accepts `--quick` (reduced cycles/points for smoke runs)
-//! and prints a plain-text table whose rows mirror the series the paper
-//! plots. `EXPERIMENTS.md` records the paper-vs-measured comparison.
+//! Every binary accepts `--quick` (reduced cycles/points for smoke runs),
+//! prints a plain-text table whose rows mirror the series the paper plots,
+//! and writes the same data as JSON to `results/<name>.json` (see
+//! [`json`]). `EXPERIMENTS.md` records the paper-vs-measured comparison.
+//!
+//! Sweep-shaped experiments are described declaratively by an
+//! [`ExperimentSpec`] — topology, design list, pattern list, rate grid and
+//! window parameters — and executed by [`run_spec`], which fans the
+//! independent (design, pattern, rate) points out over a thread pool while
+//! reproducing the serial [`sweep`] semantics exactly (each curve is cut at
+//! its first saturated rate). Thread count comes from `RAYON_NUM_THREADS`
+//! or `SPIN_THREADS`, else all available cores; results are identical at
+//! any thread count because every point simulates an independent network
+//! with a deterministic seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod json;
+
+use json::Json;
 use spin_core::SpinConfig;
 use spin_routing::Routing;
 use spin_sim::{NetStats, Network, NetworkBuilder, SimConfig};
 use spin_topology::Topology;
 use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic, TrafficSource};
 use spin_types::Cycle;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One measured operating point of a latency/throughput sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// Offered load in flits/node/cycle.
     pub offered: f64,
@@ -43,6 +58,25 @@ pub struct Point {
     pub probes: u64,
     /// False-positive probes (if classification was on).
     pub false_positives: u64,
+    /// False-positive recoveries (if classification was on): spins started
+    /// while the ground-truth detector saw no deadlock (Fig. 9).
+    pub false_positive_spins: u64,
+    /// Confirmed dependence loops (recoveries started).
+    pub loops_confirmed: u64,
+    /// Kill_moves sent (cancelled recoveries).
+    pub kills: u64,
+    /// Probes dropped by the rotating-priority rule.
+    pub drop_priority: u64,
+    /// Duplicate probes dropped.
+    pub drop_dup: u64,
+    /// Fraction of link-cycles carrying data flits (Fig. 8b).
+    pub flit_util: f64,
+    /// Fraction of link-cycles carrying probe SMs.
+    pub probe_util: f64,
+    /// Fraction of link-cycles carrying other SMs (moves / kills).
+    pub other_sm_util: f64,
+    /// Idle fraction of link-cycles.
+    pub idle_util: f64,
     /// Whether the point is saturated (latency blew past the cap or
     /// accepted throughput collapsed below offered).
     pub saturated: bool,
@@ -51,31 +85,58 @@ pub struct Point {
 /// A named design configuration (one curve of Fig. 6/7).
 pub struct Design {
     /// Label used in tables (matches the paper's, e.g. "westfirst_3vc").
-    pub name: &'static str,
-    /// Routing algorithm factory (fresh instance per run).
-    pub routing: Box<dyn Fn() -> Box<dyn Routing>>,
+    pub name: String,
+    /// Routing algorithm factory (fresh instance per run; `Send + Sync` so
+    /// the parallel runner can build networks on worker threads).
+    pub routing: Box<dyn Fn() -> Box<dyn Routing> + Send + Sync>,
     /// VCs per vnet.
     pub vcs: u8,
     /// SPIN on?
     pub spin: bool,
+    /// SPIN protocol knobs used when `spin` is set (the ablation binary
+    /// varies these; everything else uses the paper defaults).
+    pub spin_cfg: SpinConfig,
     /// Static Bubble recovery on?
     pub static_bubble: bool,
+    /// Bubble flow control on?
+    pub bubble_flow_control: bool,
 }
 
 impl Design {
     /// Convenience constructor.
     pub fn new(
-        name: &'static str,
+        name: impl Into<String>,
         vcs: u8,
         spin: bool,
-        routing: impl Fn() -> Box<dyn Routing> + 'static,
+        routing: impl Fn() -> Box<dyn Routing> + Send + Sync + 'static,
     ) -> Self {
-        Design { name, routing: Box::new(routing), vcs, spin, static_bubble: false }
+        Design {
+            name: name.into(),
+            routing: Box::new(routing),
+            vcs,
+            spin,
+            spin_cfg: SpinConfig::default(),
+            static_bubble: false,
+            bubble_flow_control: false,
+        }
     }
 
     /// Marks the design as using Static Bubble recovery.
     pub fn with_static_bubble(mut self) -> Self {
         self.static_bubble = true;
+        self
+    }
+
+    /// Marks the design as using bubble flow control.
+    pub fn with_bubble_flow_control(mut self) -> Self {
+        self.bubble_flow_control = true;
+        self
+    }
+
+    /// Overrides the SPIN protocol configuration (implies `spin`).
+    pub fn with_spin_cfg(mut self, cfg: SpinConfig) -> Self {
+        self.spin = true;
+        self.spin_cfg = cfg;
         self
     }
 }
@@ -141,6 +202,7 @@ pub fn measure_with_traffic(
             vnets: params.vnets,
             vcs_per_vnet: design.vcs,
             static_bubble: design.static_bubble,
+            bubble_flow_control: design.bubble_flow_control,
             seed: params.seed,
             classify_probes: params.classify,
             ..SimConfig::default()
@@ -148,7 +210,7 @@ pub fn measure_with_traffic(
         .routing_box((design.routing)())
         .traffic(traffic);
     if design.spin {
-        builder = builder.spin(SpinConfig::default());
+        builder = builder.spin(design.spin_cfg);
     }
     let mut net = builder.build();
     net.run(params.warmup);
@@ -159,6 +221,7 @@ pub fn measure_with_traffic(
 
 fn point_from(net: &Network, offered: f64, params: RunParams) -> Point {
     let s: NetStats = net.stats();
+    let a = net.spin_stats();
     let latency = s.avg_total_latency();
     let throughput = s.throughput(net.topology().num_nodes());
     let saturated = latency > params.latency_cap
@@ -171,12 +234,25 @@ fn point_from(net: &Network, offered: f64, params: RunParams) -> Point {
         spins: s.spins,
         probes: s.probes_sent,
         false_positives: s.false_positive_probes,
+        false_positive_spins: s.false_positive_spins,
+        loops_confirmed: s.loops_confirmed,
+        kills: s.kills_sent,
+        drop_priority: a.drop_priority,
+        drop_dup: a.drop_dup,
+        flit_util: s.link_use.flit_fraction(),
+        probe_util: s.link_use.probe_fraction(),
+        other_sm_util: s.link_use.other_sm_fraction(),
+        idle_util: s.link_use.idle_fraction(),
         saturated,
     }
 }
 
 /// Sweeps injection rates until saturation; returns measured points and the
 /// saturation throughput (max accepted throughput observed).
+///
+/// This is the serial reference implementation of the semantics
+/// [`run_spec`] parallelises: the two produce identical curves for the same
+/// inputs at any thread count.
 pub fn sweep(
     topo: &Topology,
     design: &Design,
@@ -198,10 +274,263 @@ pub fn sweep(
     (points, sat)
 }
 
+/// A declarative description of one sweep-shaped experiment: every
+/// (design, pattern) pair becomes a curve, measured over `rates`.
+pub struct ExperimentSpec {
+    /// Experiment name; the JSON result lands in `results/<name>.json`.
+    pub name: String,
+    /// Topology under test.
+    pub topo: Topology,
+    /// Designs (one curve per design per pattern).
+    pub designs: Vec<Design>,
+    /// Traffic patterns.
+    pub patterns: Vec<Pattern>,
+    /// Injection-rate grid, ascending.
+    pub rates: Vec<f64>,
+    /// Warmup/measurement window parameters.
+    pub params: RunParams,
+    /// Cut each curve at its first saturated rate (the [`sweep`]
+    /// semantics). Disable for experiments that deliberately sample past
+    /// saturation (Fig. 8b, Fig. 9, ablations).
+    pub stop_at_saturation: bool,
+}
+
+/// One measured curve of an [`ExperimentSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    /// Design label.
+    pub design: String,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Measured points, ascending by rate, cut at the first saturated one
+    /// when the spec asked for that.
+    pub points: Vec<Point>,
+    /// Saturation throughput: max accepted throughput over the points.
+    pub saturation: f64,
+}
+
+/// Number of worker threads the parallel runner uses:
+/// `RAYON_NUM_THREADS`, else `SPIN_THREADS`, else all available cores.
+pub fn num_threads() -> usize {
+    for var in ["RAYON_NUM_THREADS", "SPIN_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of [`num_threads`] threads,
+/// preserving input order in the result.
+pub fn parallel_map<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    parallel_map_with_threads(items, num_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit thread count.
+pub fn parallel_map_with_threads<T, R>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(item) = items.get(i) else { break };
+        let r = f(item);
+        *slots[i].lock().unwrap() = Some(r);
+    };
+    if threads == 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(worker);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs an [`ExperimentSpec`] on the default thread pool.
+pub fn run_spec(spec: &ExperimentSpec) -> Vec<Curve> {
+    run_spec_with_threads(spec, num_threads())
+}
+
+/// Runs an [`ExperimentSpec`] on `threads` worker threads.
+///
+/// Sweep points are independent simulations, so they fan out freely; the
+/// serial early-stop (don't measure rates past a curve's first saturated
+/// point) is preserved with a per-curve atomic cutoff. A racing worker may
+/// measure a point above the cutoff before it is published, but such points
+/// are discarded during reassembly, so the output is identical to the
+/// serial [`sweep`] at any thread count.
+pub fn run_spec_with_threads(spec: &ExperimentSpec, threads: usize) -> Vec<Curve> {
+    let ndesigns = spec.designs.len();
+    let ncurves = spec.patterns.len() * ndesigns;
+    let nrates = spec.rates.len();
+    let sat_cutoff: Vec<AtomicUsize> = (0..ncurves).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    // Rate-major order: every curve's low rates run first, so saturation
+    // cutoffs are published before the high rates they would skip.
+    let items: Vec<(usize, usize)> = (0..nrates)
+        .flat_map(|k| (0..ncurves).map(move |c| (c, k)))
+        .collect();
+    let measured = parallel_map_with_threads(&items, threads, |&(c, k)| {
+        if spec.stop_at_saturation && sat_cutoff[c].load(Ordering::SeqCst) < k {
+            return None;
+        }
+        let (pattern, design) = (spec.patterns[c / ndesigns], &spec.designs[c % ndesigns]);
+        let p = measure_point(&spec.topo, design, pattern, spec.rates[k], spec.params);
+        if spec.stop_at_saturation && p.saturated {
+            sat_cutoff[c].fetch_min(k, Ordering::SeqCst);
+        }
+        Some(p)
+    });
+    let mut per_curve: Vec<Vec<Option<Point>>> = vec![Vec::new(); ncurves];
+    for v in &mut per_curve {
+        v.resize_with(nrates, || None);
+    }
+    for (&(c, k), p) in items.iter().zip(measured) {
+        per_curve[c][k] = p;
+    }
+    per_curve
+        .into_iter()
+        .enumerate()
+        .map(|(c, slots)| {
+            let mut points = Vec::new();
+            for p in slots {
+                // A `None` slot means the rate was (correctly) skipped past
+                // the curve's first saturated point.
+                let Some(p) = p else { break };
+                let stop = spec.stop_at_saturation && p.saturated;
+                points.push(p);
+                if stop {
+                    break;
+                }
+            }
+            let saturation = points.iter().fold(0.0f64, |m, p| m.max(p.throughput));
+            Curve {
+                design: spec.designs[c % ndesigns].name.clone(),
+                pattern: spec.patterns[c / ndesigns],
+                points,
+                saturation,
+            }
+        })
+        .collect()
+}
+
+/// JSON representation of one measured point (all fields).
+pub fn point_json(p: &Point) -> Json {
+    json::obj(vec![
+        ("offered", Json::Num(p.offered)),
+        ("latency", Json::Num(p.latency)),
+        ("throughput", Json::Num(p.throughput)),
+        ("spins", Json::UInt(p.spins)),
+        ("probes", Json::UInt(p.probes)),
+        ("false_positive_probes", Json::UInt(p.false_positives)),
+        ("false_positive_spins", Json::UInt(p.false_positive_spins)),
+        ("loops_confirmed", Json::UInt(p.loops_confirmed)),
+        ("kills", Json::UInt(p.kills)),
+        ("drop_priority", Json::UInt(p.drop_priority)),
+        ("drop_dup", Json::UInt(p.drop_dup)),
+        (
+            "link_utilisation",
+            json::obj(vec![
+                ("flit", Json::Num(p.flit_util)),
+                ("probe", Json::Num(p.probe_util)),
+                ("other_sm", Json::Num(p.other_sm_util)),
+                ("idle", Json::Num(p.idle_util)),
+            ]),
+        ),
+        ("saturated", Json::Bool(p.saturated)),
+    ])
+}
+
+/// JSON document for a completed spec run: experiment metadata, window
+/// parameters and every curve with its points.
+pub fn spec_json(spec: &ExperimentSpec, curves: &[Curve]) -> Json {
+    json::obj(vec![
+        ("experiment", Json::Str(spec.name.clone())),
+        ("topology", Json::Str(spec.topo.name().to_string())),
+        (
+            "params",
+            json::obj(vec![
+                ("warmup", Json::UInt(spec.params.warmup)),
+                ("measure", Json::UInt(spec.params.measure)),
+                ("latency_cap", Json::Num(spec.params.latency_cap)),
+                ("vnets", Json::UInt(spec.params.vnets as u64)),
+                ("seed", Json::UInt(spec.params.seed)),
+                ("classify", Json::Bool(spec.params.classify)),
+            ]),
+        ),
+        (
+            "curves",
+            Json::Arr(
+                curves
+                    .iter()
+                    .map(|c| {
+                        json::obj(vec![
+                            ("design", Json::Str(c.design.clone())),
+                            ("pattern", Json::Str(c.pattern.to_string())),
+                            ("saturation", Json::Num(c.saturation)),
+                            (
+                                "points",
+                                Json::Arr(c.points.iter().map(point_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Runs a spec on the default pool, prints every curve as a table, writes
+/// `results/<name>.json`, and prints timing. Returns the curves for any
+/// binary-specific summary.
+pub fn run_and_report(spec: &ExperimentSpec) -> Vec<Curve> {
+    let threads = num_threads();
+    let t0 = std::time::Instant::now();
+    let curves = run_spec_with_threads(spec, threads);
+    let elapsed = t0.elapsed().as_secs_f64();
+    for c in &curves {
+        print_sweep(&c.design, c.pattern, &c.points, c.saturation);
+    }
+    let npoints: usize = curves.iter().map(|c| c.points.len()).sum();
+    println!("# measured {npoints} points on {threads} thread(s) in {elapsed:.2}s");
+    match json::write_results(&spec.name, &spec_json(spec, &curves)) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write results/{}.json: {e}", spec.name),
+    }
+    curves
+}
+
 /// Prints one sweep as an aligned table.
 pub fn print_sweep(design: &str, pattern: Pattern, points: &[Point], sat: f64) {
     println!("## {design} / {pattern} (saturation throughput {sat:.3} flits/node/cycle)");
-    println!("{:>8} {:>10} {:>12} {:>8} {:>8} {:>6}", "offered", "latency", "throughput", "spins", "probes", "sat");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8} {:>8} {:>6}",
+        "offered", "latency", "throughput", "spins", "probes", "sat"
+    );
     for p in points {
         println!(
             "{:>8.3} {:>10.1} {:>12.3} {:>8} {:>8} {:>6}",
@@ -235,8 +564,74 @@ pub fn rate_grid(quick: bool) -> Vec<f64> {
         // accepted throughput collapses (rather than plateauing) past the
         // knee, so the knee must be sampled directly.
         vec![
-            0.02, 0.06, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20, 0.24, 0.28, 0.32, 0.36, 0.40,
-            0.44, 0.48,
+            0.02, 0.06, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20, 0.24, 0.28, 0.32, 0.36, 0.40, 0.44,
+            0.48,
         ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spin_routing::FavorsMinimal;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = parallel_map_with_threads(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let out1 = parallel_map_with_threads(&items, 1, |&x| x * 2);
+        assert_eq!(out, out1);
+    }
+
+    fn tiny_spec(stop: bool) -> ExperimentSpec {
+        ExperimentSpec {
+            name: "test".into(),
+            topo: Topology::mesh(4, 4),
+            designs: vec![Design::new("favors_min_1vc", 1, true, || {
+                Box::new(FavorsMinimal)
+            })],
+            patterns: vec![Pattern::UniformRandom],
+            rates: vec![0.05, 0.45],
+            params: RunParams {
+                warmup: 100,
+                measure: 400,
+                ..RunParams::default()
+            },
+            stop_at_saturation: stop,
+        }
+    }
+
+    #[test]
+    fn runner_matches_serial_sweep() {
+        let spec = tiny_spec(true);
+        let curves = run_spec_with_threads(&spec, 2);
+        assert_eq!(curves.len(), 1);
+        let (points, sat) = sweep(
+            &spec.topo,
+            &spec.designs[0],
+            spec.patterns[0],
+            &spec.rates,
+            spec.params,
+        );
+        assert_eq!(curves[0].points, points);
+        assert_eq!(curves[0].saturation, sat);
+    }
+
+    #[test]
+    fn no_early_stop_measures_every_rate() {
+        let spec = tiny_spec(false);
+        let curves = run_spec_with_threads(&spec, 2);
+        assert_eq!(curves[0].points.len(), spec.rates.len());
+    }
+
+    #[test]
+    fn spec_json_has_curves_and_points() {
+        let spec = tiny_spec(false);
+        let curves = run_spec_with_threads(&spec, 1);
+        let doc = spec_json(&spec, &curves).to_string();
+        assert!(doc.contains("\"experiment\":\"test\""));
+        assert!(doc.contains("\"design\":\"favors_min_1vc\""));
+        assert!(doc.contains("\"offered\":0.05"));
     }
 }

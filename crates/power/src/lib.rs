@@ -36,10 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
-
 /// Static parameters of one router for the area/power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterParams {
     /// Total ports (local + network).
     pub radix: u32,
@@ -57,25 +55,36 @@ impl RouterParams {
     /// The paper's mesh router: radix 5, 3 vnets, 5-flit-deep VCs, 128-bit
     /// flits.
     pub fn mesh_router(vcs_per_vnet: u32) -> Self {
-        RouterParams { radix: 5, vnets: 3, vcs_per_vnet, buffer_depth: 5, flit_bits: 128 }
+        RouterParams {
+            radix: 5,
+            vnets: 3,
+            vcs_per_vnet,
+            buffer_depth: 5,
+            flit_bits: 128,
+        }
     }
 
     /// The paper's dragonfly router: radix 15 (4 local + 7 intra + 4
     /// global), deeper buffers covering the 3-cycle global-link credit
     /// turnaround.
     pub fn dragonfly_router(vcs_per_vnet: u32) -> Self {
-        RouterParams { radix: 15, vnets: 3, vcs_per_vnet, buffer_depth: 16, flit_bits: 128 }
+        RouterParams {
+            radix: 15,
+            vnets: 3,
+            vcs_per_vnet,
+            buffer_depth: 16,
+            flit_bits: 128,
+        }
     }
 
     fn buffer_bits(&self) -> f64 {
-        (self.radix * self.vnets * self.vcs_per_vnet * self.buffer_depth * self.flit_bits)
-            as f64
+        (self.radix * self.vnets * self.vcs_per_vnet * self.buffer_depth * self.flit_bits) as f64
     }
 }
 
 /// Deadlock-freedom scheme, for the Fig. 10 overhead comparison. All
 /// overheads are measured on top of a plain router with the given VC count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// Turn-model avoidance (West-first): pure routing restriction, no
     /// hardware beyond the base router.
@@ -94,7 +103,7 @@ pub enum Scheme {
 
 /// Area/power coefficients (arbitrary units), calibrated to the paper's
 /// Nangate-15nm ratios.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Area per buffer bit.
     pub a_buf_per_bit: f64,
@@ -131,8 +140,7 @@ impl PowerModel {
     pub fn router_area(&self, p: &RouterParams) -> f64 {
         let buffers = self.a_buf_per_bit * p.buffer_bits();
         let xbar = self.a_xbar_per_bit * (p.radix * p.radix * p.flit_bits) as f64;
-        let alloc =
-            self.a_alloc_per_input * (p.radix * p.vnets * p.vcs_per_vnet) as f64;
+        let alloc = self.a_alloc_per_input * (p.radix * p.vnets * p.vcs_per_vnet) as f64;
         buffers + xbar + alloc
     }
 
@@ -143,8 +151,7 @@ impl PowerModel {
             Scheme::Spin { num_routers } => {
                 // Loop buffer: log2(radix) x N bits on the control path
                 // (Table II), plus FSM + probe/move managers.
-                let loop_buffer_bits =
-                    (p.radix as f64).log2().ceil() * num_routers as f64;
+                let loop_buffer_bits = (p.radix as f64).log2().ceil() * num_routers as f64;
                 let managers = self.a_alloc_per_input * (2 * p.radix) as f64;
                 let fsm = self.a_alloc_per_input * 16.0;
                 self.a_buf_per_bit * loop_buffer_bits + managers + fsm
@@ -157,7 +164,10 @@ impl PowerModel {
             }
             Scheme::EscapeVc => {
                 // A whole extra VC per port per vnet on the datapath.
-                let extra = RouterParams { vcs_per_vnet: 1, ..*p };
+                let extra = RouterParams {
+                    vcs_per_vnet: 1,
+                    ..*p
+                };
                 self.a_buf_per_bit * extra.buffer_bits()
                     + self.a_alloc_per_input * (p.radix * p.vnets) as f64
             }
@@ -243,7 +253,10 @@ mod tests {
         let saving = 1.0 - a2 / a3;
         // Paper: 1-VC is 52% (36%) smaller than 3-VC (2-VC) => 2-VC is
         // ~25% smaller than 3-VC.
-        assert!((0.18..0.33).contains(&saving), "2VC vs 3VC saving {saving:.3}");
+        assert!(
+            (0.18..0.33).contains(&saving),
+            "2VC vs 3VC saving {saving:.3}"
+        );
     }
 
     #[test]
@@ -285,10 +298,21 @@ mod tests {
         let escape = m.area_vs_turn_model(&p, Scheme::EscapeVc);
         assert_eq!(wf, 1.0);
         // Paper: SPIN ~ +4%, Static Bubble ~ +10%, EscapeVC ~ +100%.
-        assert!(spin > 1.0 && spin < bubble, "spin {spin:.3} bubble {bubble:.3}");
+        assert!(
+            spin > 1.0 && spin < bubble,
+            "spin {spin:.3} bubble {bubble:.3}"
+        );
         assert!(bubble < escape, "bubble {bubble:.3} escape {escape:.3}");
-        assert!(spin - 1.0 < 0.10, "SPIN overhead {:.3} too large", spin - 1.0);
-        assert!(escape - 1.0 > 0.3, "escape overhead {:.3} too small", escape - 1.0);
+        assert!(
+            spin - 1.0 < 0.10,
+            "SPIN overhead {:.3} too large",
+            spin - 1.0
+        );
+        assert!(
+            escape - 1.0 > 0.3,
+            "escape overhead {:.3} too small",
+            escape - 1.0
+        );
     }
 
     #[test]

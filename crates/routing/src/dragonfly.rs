@@ -32,12 +32,16 @@ pub struct Ugal {
 impl Ugal {
     /// The paper's 3-VC deadlock-avoidance baseline.
     pub fn dally_baseline() -> Self {
-        Ugal { discipline: UgalVcDiscipline::DallyOrdered }
+        Ugal {
+            discipline: UgalVcDiscipline::DallyOrdered,
+        }
     }
 
     /// UGAL on top of SPIN: no VC-use restriction.
     pub fn with_spin() -> Self {
-        Ugal { discipline: UgalVcDiscipline::Free }
+        Ugal {
+            discipline: UgalVcDiscipline::Free,
+        }
     }
 
     fn vc_mask(&self, pkt: &Packet) -> VcMask {
@@ -105,7 +109,10 @@ impl Routing for Ugal {
         let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
         let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
             .expect("non-ejecting packet has a minimal port");
-        smallvec![RouteChoice { out_port: port, vc_mask: self.vc_mask(pkt) }]
+        smallvec![RouteChoice {
+            out_port: port,
+            vc_mask: self.vc_mask(pkt)
+        }]
     }
 
     fn alternatives(
@@ -122,7 +129,10 @@ impl Routing for Ugal {
         let mask = self.vc_mask(pkt);
         topo.minimal_ports(at, topo.node_router(pkt.current_target()))
             .iter()
-            .map(|&p| RouteChoice { out_port: p, vc_mask: mask })
+            .map(|&p| RouteChoice {
+                out_port: p,
+                vc_mask: mask,
+            })
             .collect()
     }
 

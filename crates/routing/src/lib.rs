@@ -118,7 +118,10 @@ pub struct RouteChoice {
 impl RouteChoice {
     /// A choice allowing every VC.
     pub fn any_vc(out_port: PortId) -> Self {
-        RouteChoice { out_port, vc_mask: VcMask::all() }
+        RouteChoice {
+            out_port,
+            vc_mask: VcMask::all(),
+        }
     }
 }
 

@@ -23,7 +23,11 @@ fn minimal_dirs(topo: &Topology, at: RouterId, pkt: &Packet) -> SmallVec<[Direct
         _ => panic!("mesh routing requires a mesh or torus topology"),
     };
     let mut dirs = SmallVec::new();
-    let axis = |cur: u32, target: u32, size: u32, pos: Direction, neg: Direction,
+    let axis = |cur: u32,
+                target: u32,
+                size: u32,
+                pos: Direction,
+                neg: Direction,
                 dirs: &mut SmallVec<[Direction; 2]>| {
         if cur == target {
             return;
@@ -109,11 +113,7 @@ pub struct WestFirst;
 impl WestFirst {
     /// The directions West-first permits from `at` for `pkt` (used both for
     /// routing and for CDG construction in tests).
-    pub fn allowed_dirs(
-        topo: &Topology,
-        at: RouterId,
-        pkt: &Packet,
-    ) -> SmallVec<[Direction; 2]> {
+    pub fn allowed_dirs(topo: &Topology, at: RouterId, pkt: &Packet) -> SmallVec<[Direction; 2]> {
         let dirs = minimal_dirs(topo, at, pkt);
         if dirs.contains(&Direction::West) {
             smallvec![Direction::West]
@@ -204,7 +204,10 @@ impl Routing for EscapeVc {
         let dirs = minimal_dirs(topo, at, pkt);
         let ports: SmallVec<[PortId; 4]> = dirs.iter().map(|&d| topo.dir_port(d)).collect();
         if let Some(port) = select_adaptive(view, at, &ports, pkt.vnet, rng) {
-            out.push(RouteChoice { out_port: port, vc_mask: VcMask::except(Self::ESCAPE) });
+            out.push(RouteChoice {
+                out_port: port,
+                vc_mask: VcMask::except(Self::ESCAPE),
+            });
         }
         // Fallback: the escape VC along the West-first route.
         let escape_dirs = WestFirst::allowed_dirs(topo, at, pkt);
@@ -263,8 +266,13 @@ pub struct ReservedVcAdaptive {
 impl ReservedVcAdaptive {
     /// Reserves the last of `num_vcs` VCs.
     pub fn new(num_vcs: u8) -> Self {
-        assert!(num_vcs >= 2, "static bubble needs a normal VC plus the reserved one");
-        ReservedVcAdaptive { reserved: VcId(num_vcs - 1) }
+        assert!(
+            num_vcs >= 2,
+            "static bubble needs a normal VC plus the reserved one"
+        );
+        ReservedVcAdaptive {
+            reserved: VcId(num_vcs - 1),
+        }
     }
 }
 
@@ -288,7 +296,10 @@ impl Routing for ReservedVcAdaptive {
         let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
         let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
             .expect("non-ejecting packet has a minimal port");
-        smallvec![RouteChoice { out_port: port, vc_mask: VcMask::except(self.reserved) }]
+        smallvec![RouteChoice {
+            out_port: port,
+            vc_mask: VcMask::except(self.reserved)
+        }]
     }
 
     fn alternatives(
@@ -304,7 +315,10 @@ impl Routing for ReservedVcAdaptive {
         }
         topo.minimal_ports(at, topo.node_router(pkt.current_target()))
             .iter()
-            .map(|&p| RouteChoice { out_port: p, vc_mask: VcMask::except(self.reserved) })
+            .map(|&p| RouteChoice {
+                out_port: p,
+                vc_mask: VcMask::except(self.reserved),
+            })
             .collect()
     }
 
@@ -451,7 +465,11 @@ mod tests {
         let cdg = mesh_cdg(&topo, |din, dout| {
             !(dout == Direction::West && din != Direction::West)
         });
-        assert!(cdg.is_acyclic(), "west-first CDG has a cycle: {:?}", cdg.find_cycle());
+        assert!(
+            cdg.is_acyclic(),
+            "west-first CDG has a cycle: {:?}",
+            cdg.find_cycle()
+        );
         assert!(cdg.num_dependencies() > 0);
     }
 

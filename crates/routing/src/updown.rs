@@ -183,7 +183,10 @@ impl Routing for UpDown {
                 out.push(RouteChoice::any_vc(p));
             }
         }
-        debug_assert!(!out.is_empty(), "no legal up*/down* hop despite finite distance");
+        debug_assert!(
+            !out.is_empty(),
+            "no legal up*/down* hop despite finite distance"
+        );
         out
     }
 
@@ -208,7 +211,9 @@ mod tests {
         let mut hops = 0;
         while at.router != topo.node_router(NodeId(dst)) {
             let c = ud.route(&view, at.router, in_port, &pkt, &mut rng);
-            let peer = topo.neighbor(at.router, c[0].out_port).expect("network hop");
+            let peer = topo
+                .neighbor(at.router, c[0].out_port)
+                .expect("network hop");
             in_port = peer.port;
             at = peer;
             hops += 1;
@@ -253,12 +258,15 @@ mod tests {
                     }
                     let c = ud.route(&view, at.router, in_port, &pkt, &mut rng);
                     let peer = topo.neighbor(at.router, c[0].out_port).unwrap();
-                    let went_up = ud.levels[peer.router.index()]
-                        < ud.levels[at.router.index()]
+                    let went_up = ud.levels[peer.router.index()] < ud.levels[at.router.index()]
                         || (ud.levels[peer.router.index()] == ud.levels[at.router.index()]
                             && peer.router.index() < at.router.index());
                     if went_up {
-                        assert!(!descended, "down->up turn from {} to {}", at.router, peer.router);
+                        assert!(
+                            !descended,
+                            "down->up turn from {} to {}",
+                            at.router, peer.router
+                        );
                     } else {
                         descended = true;
                     }
@@ -277,8 +285,7 @@ mod tests {
         let ud = UpDown::new(&topo);
         let mut cdg = spin_deadlock::Cdg::new();
         let up = |from: usize, to: usize| {
-            ud.levels[to] < ud.levels[from]
-                || (ud.levels[to] == ud.levels[from] && to < from)
+            ud.levels[to] < ud.levels[from] || (ud.levels[to] == ud.levels[from] && to < from)
         };
         for (a, b) in topo.links() {
             // Channel a->b; next channel b->c legal unless (a->b is down)
@@ -293,10 +300,7 @@ mod tests {
                 if first_down && second_up {
                     continue;
                 }
-                cdg.add_dependency(
-                    (a.router, b.router),
-                    (b.router, c.router),
-                );
+                cdg.add_dependency((a.router, b.router), (b.router, c.router));
             }
         }
         assert!(cdg.is_acyclic(), "up*/down* CDG has a cycle");
@@ -322,4 +326,3 @@ mod tests {
         assert_eq!(ud.name(), "up_down");
     }
 }
-

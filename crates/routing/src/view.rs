@@ -40,12 +40,20 @@ pub struct StaticView<'a> {
 impl<'a> StaticView<'a> {
     /// A view reporting `free_vcs` free VCs everywhere.
     pub fn new(topo: &'a Topology, free_vcs: usize) -> Self {
-        StaticView { topo, free_vcs, now: 0 }
+        StaticView {
+            topo,
+            free_vcs,
+            now: 0,
+        }
     }
 
     /// Same, with a specific current cycle.
     pub fn at_cycle(topo: &'a Topology, free_vcs: usize, now: Cycle) -> Self {
-        StaticView { topo, free_vcs, now }
+        StaticView {
+            topo,
+            free_vcs,
+            now,
+        }
     }
 }
 

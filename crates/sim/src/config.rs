@@ -64,6 +64,15 @@ pub struct SimConfig {
     /// detector (Fig. 9 false positives). Costs one wait-graph construction
     /// per probe-launch cycle.
     pub classify_probes: bool,
+    /// Print debug reports ([`Network::dump_blocked`],
+    /// [`Network::trace_committed_cycle`]) to stdout. Off by default so
+    /// library users — and the parallel sweep runner, whose workers share
+    /// stdout — never get interleaved diagnostic output; the reports are
+    /// always *returned* as strings regardless.
+    ///
+    /// [`Network::dump_blocked`]: crate::Network::dump_blocked
+    /// [`Network::trace_committed_cycle`]: crate::Network::trace_committed_cycle
+    pub verbose: bool,
 }
 
 impl Default for SimConfig {
@@ -80,6 +89,7 @@ impl Default for SimConfig {
             route_stick_after: 32,
             seed: 1,
             classify_probes: false,
+            verbose: false,
         }
     }
 }
@@ -127,7 +137,13 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder over `topo` with default configuration.
     pub fn new(topo: Topology) -> Self {
-        NetworkBuilder { topo, cfg: SimConfig::default(), routing: None, traffic: None, spin: None }
+        NetworkBuilder {
+            topo,
+            cfg: SimConfig::default(),
+            routing: None,
+            traffic: None,
+            spin: None,
+        }
     }
 
     /// Sets the simulation parameters.

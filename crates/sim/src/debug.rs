@@ -1,0 +1,275 @@
+//! Ground-truth deadlock export and debug reports.
+//!
+//! [`Network::wait_graph`] builds the AND-OR wait-for graph the ground-truth
+//! detector and probe classifier consume. The report helpers return their
+//! output as strings and only print when [`SimConfig::verbose`] is set, so
+//! library users and the parallel sweep runner (whose workers share stdout)
+//! never get interleaved diagnostics.
+//!
+//! [`SimConfig::verbose`]: crate::SimConfig::verbose
+
+use crate::network::Network;
+use spin_deadlock::{BufferId, WaitGraph};
+use spin_routing::NetworkView;
+use spin_types::{PortId, RouterId, VcId, Vnet};
+use std::fmt::Write as _;
+
+impl Network {
+    /// Builds the AND-OR wait-for graph of the current buffer state (see
+    /// [`spin_deadlock::WaitGraph`]).
+    pub fn wait_graph(&self) -> WaitGraph {
+        let mut g = WaitGraph::new();
+        let mut synthetic: u64 = 0;
+        // Free capacity at every network input port.
+        for r in 0..self.routers.len() {
+            let rid = RouterId(r as u32);
+            for p in 0..self.topo.radix(rid) {
+                let port = PortId(p as u8);
+                if !self.topo.port(rid, port).is_network() {
+                    continue;
+                }
+                for vn in 0..self.cfg.vnets {
+                    let vnet = Vnet(vn);
+                    let mut free = 0;
+                    for v in 0..self.cfg.vcs_per_vnet {
+                        let vc = VcId(v);
+                        if self.meta.allocatable(rid, port, vnet, vc) {
+                            free += 1;
+                            continue;
+                        }
+                        // A VC reserved by an in-flight upstream allocation
+                        // holds no packet yet, but the allocated packet is
+                        // guaranteed to arrive, drain and free it: model it
+                        // as a live occupant so waiters on this port are
+                        // not misclassified as deadlocked.
+                        let m = self.meta.get(rid, port, vnet, vc);
+                        if m.occupancy == 0 && (m.reserved || m.inflight > 0) {
+                            synthetic += 1;
+                            g.add_packet(
+                                spin_types::PacketId(u64::MAX - synthetic),
+                                BufferId {
+                                    router: rid,
+                                    port,
+                                    vnet,
+                                    vc,
+                                },
+                                Vec::new(),
+                            );
+                        }
+                    }
+                    if free > 0 {
+                        g.add_free_vcs(rid, port, vnet, free);
+                    }
+                }
+            }
+        }
+        // Blocked packets and their alternative sets.
+        let view = self.view();
+        for r in 0..self.routers.len() {
+            let rid = RouterId(r as u32);
+            for (p, vn, v) in self.routers[r].vc_coords() {
+                let vcb = self.routers[r].vc(p, vn, v);
+                let Some(pb) = vcb.head() else { continue };
+                let at = BufferId {
+                    router: rid,
+                    port: p,
+                    vnet: vn,
+                    vc: v,
+                };
+                if pb.out.is_some() {
+                    // Allocated: guaranteed to drain (VCT). Record it as a
+                    // live occupant so packets waiting on this buffer see
+                    // it will free up.
+                    g.add_packet(pb.packet.id, at, Vec::new());
+                    continue;
+                }
+                // Non-head residents (transient spin overlap) will drain
+                // once the head does; record them as live occupants too.
+                for extra in vcb.q.iter().skip(1) {
+                    g.add_packet(extra.packet.id, at, Vec::new());
+                }
+                let stuck = pb
+                    .head_since
+                    .map(|t| self.now.saturating_sub(t) >= self.cfg.route_stick_after)
+                    .unwrap_or(false);
+                let alts = if stuck && !pb.choices.is_empty() {
+                    // The committed (frozen) choice is the packet's real
+                    // dependence once it sticks.
+                    pb.choices.clone()
+                } else {
+                    self.routing.alternatives(&view, rid, p, &pb.packet)
+                };
+                let mut wants = Vec::new();
+                let mut ejecting = false;
+                for c in alts {
+                    let port = self.topo.port(rid, c.out_port);
+                    if port.is_local() {
+                        ejecting = true;
+                        break;
+                    }
+                    if let Some(peer) = port.conn {
+                        wants.push((peer.router, peer.port, vn));
+                    }
+                }
+                if ejecting {
+                    g.add_packet(pb.packet.id, at, Vec::new());
+                } else {
+                    g.add_packet(pb.packet.id, at, wants);
+                }
+            }
+        }
+        g
+    }
+
+    /// Debug report: counts blocked head packets by (has-route, allocated,
+    /// free-VCs-at-first-choice) with up to `limit` sample lines. Returns
+    /// the report; prints it only when [`SimConfig::verbose`] is set.
+    ///
+    /// [`SimConfig::verbose`]: crate::SimConfig::verbose
+    pub fn dump_blocked(&self, limit: usize) -> String {
+        let view = self.view();
+        let mut out = String::new();
+        let mut printed = 0;
+        let (mut no_route, mut allocated, mut blocked_free, mut blocked_full) = (0, 0, 0, 0);
+        for r in 0..self.routers.len() {
+            let rid = RouterId(r as u32);
+            for (p, vn, v) in self.routers[r].vc_coords() {
+                let vcb = self.routers[r].vc(p, vn, v);
+                let Some(pb) = vcb.head() else { continue };
+                if pb.out.is_some() {
+                    allocated += 1;
+                    continue;
+                }
+                let Some(c) = pb.choices.first() else {
+                    no_route += 1;
+                    continue;
+                };
+                let free = view.free_vcs_downstream(rid, c.out_port, vn);
+                if free > 0 {
+                    blocked_free += 1;
+                    if printed < limit {
+                        printed += 1;
+                        let _ = writeln!(
+                            out,
+                            "  BLOCKED-WITH-FREE r{r} p{} vn{} vc{} pkt{} -> port {} free={} frozen={} spinning={} recv={}/{} sent={}",
+                            p.0, vn.0, v.0, pb.packet.id.0, c.out_port.0, free,
+                            vcb.frozen, vcb.spinning, pb.received, pb.packet.len, pb.sent
+                        );
+                    }
+                } else {
+                    blocked_full += 1;
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  blocked summary: no_route={no_route} allocated={allocated} blocked_with_free={blocked_free} blocked_full={blocked_full}"
+        );
+        if self.cfg.verbose {
+            print!("{out}");
+        }
+        out
+    }
+
+    /// Debug report: follows committed dependences from the first blocked
+    /// network VC until the walk closes a cycle or breaks. Returns the
+    /// report; prints it only when [`SimConfig::verbose`] is set.
+    ///
+    /// [`SimConfig::verbose`]: crate::SimConfig::verbose
+    pub fn trace_committed_cycle(&self) -> String {
+        let mut out = String::new();
+        let report = |out: String, cfg_verbose: bool| {
+            if cfg_verbose {
+                print!("{out}");
+            }
+            out
+        };
+        // find a blocked network-VC head
+        let mut start = None;
+        'find: for r in 0..self.routers.len() {
+            let rid = RouterId(r as u32);
+            for (p, vn, v) in self.routers[r].vc_coords() {
+                if !self.topo.port(rid, p).is_network() {
+                    continue;
+                }
+                let vcb = self.routers[r].vc(p, vn, v);
+                if let Some(pb) = vcb.head() {
+                    if pb.out.is_none() && !pb.choices.is_empty() {
+                        start = Some((rid, p, vn, v));
+                        break 'find;
+                    }
+                }
+            }
+        }
+        let Some(mut cur) = start else {
+            let _ = writeln!(out, "  no blocked VC found");
+            return report(out, self.cfg.verbose);
+        };
+        let mut seen = std::collections::HashSet::new();
+        for step in 0..200 {
+            let (rid, p, vn, v) = cur;
+            if !seen.insert(cur) {
+                let _ = writeln!(
+                    out,
+                    "  step {step}: cycle closes at r{} p{} vn{} vc{}",
+                    rid.0, p.0, vn.0, v.0
+                );
+                return report(out, self.cfg.verbose);
+            }
+            let vcb = self.routers[rid.index()].vc(p, vn, v);
+            let Some(pb) = vcb.head() else {
+                let _ = writeln!(
+                    out,
+                    "  step {step}: r{} p{} vn{} vc{}: EMPTY, chain breaks",
+                    rid.0, p.0, vn.0, v.0
+                );
+                return report(out, self.cfg.verbose);
+            };
+            let Some(c) = pb.choices.first() else {
+                let _ = writeln!(out, "  step {step}: unrouted head, chain breaks");
+                return report(out, self.cfg.verbose);
+            };
+            if pb.out.is_some() {
+                let _ = writeln!(out, "  step {step}: allocated head, chain flows");
+                return report(out, self.cfg.verbose);
+            }
+            if self.topo.port(rid, c.out_port).is_local() {
+                let _ = writeln!(out, "  step {step}: ejecting head, chain flows");
+                return report(out, self.cfg.verbose);
+            }
+            let peer = self.topo.neighbor(rid, c.out_port).unwrap();
+            let _ = writeln!(
+                out,
+                "  step {step}: r{} p{} vn{} vc{} pkt{} len{} -> out p{} prio {}",
+                rid.0,
+                p.0,
+                vn.0,
+                v.0,
+                pb.packet.id.0,
+                pb.packet.len,
+                c.out_port.0,
+                self.agents[rid.index()].dynamic_priority(self.now)
+            );
+            // which VC downstream? with 1 vc per vnet it's vc0; in general
+            // follow the first occupied blocked VC.
+            let nvcs = self.cfg.vcs_per_vnet;
+            let mut next = None;
+            for tv in 0..nvcs {
+                let nvcb = self.routers[peer.router.index()].vc(peer.port, vn, VcId(tv));
+                if nvcb.head().is_some() {
+                    next = Some((peer.router, peer.port, vn, VcId(tv)));
+                    break;
+                }
+            }
+            match next {
+                Some(n) => cur = n,
+                None => {
+                    let _ = writeln!(out, "  downstream VCs empty: chain flows");
+                    return report(out, self.cfg.verbose);
+                }
+            }
+        }
+        let _ = writeln!(out, "  walk exceeded 200 steps");
+        report(out, self.cfg.verbose)
+    }
+}

@@ -57,9 +57,11 @@
 #![warn(missing_docs)]
 
 mod config;
+mod debug;
 mod link;
 mod network;
 mod nic;
+mod pipeline;
 mod router;
 mod stats;
 mod vc;

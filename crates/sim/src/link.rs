@@ -31,7 +31,10 @@ pub(crate) struct Link {
 
 impl Link {
     pub(crate) fn new(latency: u32) -> Self {
-        Link { latency: latency.max(1), q: VecDeque::new() }
+        Link {
+            latency: latency.max(1),
+            q: VecDeque::new(),
+        }
     }
 
     /// Puts a phit on the wire at cycle `now`.

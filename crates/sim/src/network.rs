@@ -1,241 +1,65 @@
-//! The cycle engine: per-cycle pipeline over all routers, links and NICs.
+//! The cycle engine: the [`Network`] state, its public API, and the
+//! per-cycle orchestrator. The pipeline stages themselves live in
+//! [`crate::pipeline`] (one module per stage) and the debug/ground-truth
+//! exports in [`crate::debug`].
 
 use crate::config::{NetworkBuilder, SimConfig, Switching};
 use crate::link::{Link, Phit};
-use crate::nic::{ActiveInjection, Nic};
-use crate::router::{Router, SpinView};
+use crate::nic::Nic;
+use crate::pipeline::meta::{MetaTable, NetView};
+use crate::router::Router;
 use crate::stats::NetStats;
-use crate::vc::PacketBuf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spin_core::{
-    Action, FsmState, RotatingPriority, Sm, SmKind, SpinAgent, SpinConfig, SpinStats,
-};
-use spin_deadlock::{BufferId, WaitGraph};
-use spin_routing::{NetworkView, RouteChoice, Routing, VcMask, XyRouting};
+use spin_core::{RotatingPriority, Sm, SpinAgent, SpinConfig, SpinStats};
+use spin_routing::{Routing, XyRouting};
 use spin_topology::Topology;
-use spin_traffic::{PacketSpec, TrafficSource};
-use spin_types::{
-    Cycle, Flit, FlitKind, NodeId, Packet, PacketBuilder, PortId, RouterId, VcId, Vnet,
-};
+use spin_traffic::TrafficSource;
+use spin_types::{Cycle, Flit, FlitKind, NodeId, Packet, PortId, RouterId, VcId};
 use std::collections::HashSet;
-
-/// Per-VC allocation mirror. Each (input port, vnet, VC) buffer has exactly
-/// one upstream, so this zero-delay mirror is race-free (see crate docs).
-#[derive(Debug, Clone, Copy, Default)]
-struct VcMeta {
-    /// Reserved by an upstream allocation whose tail has not been sent yet.
-    reserved: bool,
-    /// Flits physically buffered.
-    occupancy: u16,
-    /// Flits on the wire heading here (normal sends).
-    inflight: u16,
-    /// Cycle the VC last became busy.
-    busy_since: Cycle,
-    busy: bool,
-}
-
-impl VcMeta {
-    fn allocatable(&self) -> bool {
-        !self.reserved && self.occupancy == 0 && self.inflight == 0
-    }
-}
-
-/// Flat table of [`VcMeta`] plus per-(port,vnet) spin-flit in-flight
-/// counters.
-#[derive(Debug)]
-struct MetaTable {
-    data: Vec<VcMeta>,
-    /// spin flits in flight towards (router, port, vnet).
-    spin_inflight: Vec<u16>,
-    /// data offset per router.
-    offsets: Vec<usize>,
-    /// spin_inflight offset per router.
-    port_offsets: Vec<usize>,
-    vnets: usize,
-    vcs: usize,
-}
-
-impl MetaTable {
-    fn new(topo: &Topology, vnets: u8, vcs: u8) -> Self {
-        let mut offsets = Vec::with_capacity(topo.num_routers());
-        let mut port_offsets = Vec::with_capacity(topo.num_routers());
-        let (mut off, mut poff) = (0usize, 0usize);
-        for r in 0..topo.num_routers() {
-            offsets.push(off);
-            port_offsets.push(poff);
-            let radix = topo.radix(RouterId(r as u32));
-            off += radix * vnets as usize * vcs as usize;
-            poff += radix * vnets as usize;
-        }
-        MetaTable {
-            data: vec![VcMeta::default(); off],
-            spin_inflight: vec![0; poff],
-            offsets,
-            port_offsets,
-            vnets: vnets as usize,
-            vcs: vcs as usize,
-        }
-    }
-
-    #[inline]
-    fn idx(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> usize {
-        self.offsets[r.index()] + (p.index() * self.vnets + vn.index()) * self.vcs + vc.index()
-    }
-
-    #[inline]
-    fn pidx(&self, r: RouterId, p: PortId, vn: Vnet) -> usize {
-        self.port_offsets[r.index()] + p.index() * self.vnets + vn.index()
-    }
-
-    #[inline]
-    fn get(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> &VcMeta {
-        &self.data[self.idx(r, p, vn, vc)]
-    }
-
-    fn allocatable(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> bool {
-        self.get(r, p, vn, vc).allocatable() && self.spin_inflight[self.pidx(r, p, vn)] == 0
-    }
-
-    fn touch(&mut self, now: Cycle, i: usize) {
-        let m = &mut self.data[i];
-        let busy_now = m.reserved || m.occupancy > 0 || m.inflight > 0;
-        if busy_now && !m.busy {
-            m.busy = true;
-            m.busy_since = now;
-        } else if !busy_now {
-            m.busy = false;
-        }
-    }
-
-    fn reserve(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
-        let i = self.idx(r, p, vn, vc);
-        self.data[i].reserved = true;
-        self.touch(now, i);
-    }
-
-    fn release(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
-        let i = self.idx(r, p, vn, vc);
-        self.data[i].reserved = false;
-        self.touch(now, i);
-    }
-
-    fn occ_add(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId, d: i32) {
-        let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.occupancy = (m.occupancy as i32 + d).max(0) as u16;
-        self.touch(now, i);
-    }
-
-    fn inflight_add(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId, d: i32) {
-        let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.inflight = (m.inflight as i32 + d).max(0) as u16;
-        self.touch(now, i);
-    }
-
-    /// Free flit slots in a VC buffer (for wormhole per-flit flow control).
-    fn space(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId, depth: u16) -> u16 {
-        let m = self.get(r, p, vn, vc);
-        depth.saturating_sub(m.occupancy + m.inflight)
-    }
-
-    fn spin_inflight_add(&mut self, r: RouterId, p: PortId, vn: Vnet, d: i32) {
-        let i = self.pidx(r, p, vn);
-        self.spin_inflight[i] = (self.spin_inflight[i] as i32 + d).max(0) as u16;
-    }
-}
-
-/// The routing-visible congestion view (local credit knowledge).
-struct NetView<'a> {
-    topo: &'a Topology,
-    meta: &'a MetaTable,
-    now: Cycle,
-    vcs: u8,
-    /// Static Bubble: the reserved VC is invisible to routing decisions.
-    hidden_vc: Option<VcId>,
-}
-
-impl NetworkView for NetView<'_> {
-    fn topology(&self) -> &Topology {
-        self.topo
-    }
-    fn now(&self) -> Cycle {
-        self.now
-    }
-    fn free_vcs_downstream(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize {
-        let Some(peer) = self.topo.neighbor(at, out_port) else { return 0 };
-        (0..self.vcs)
-            .filter(|&v| Some(VcId(v)) != self.hidden_vc)
-            .filter(|&v| self.meta.allocatable(peer.router, peer.port, vnet, VcId(v)))
-            .count()
-    }
-    fn min_vc_active_time(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> u64 {
-        let Some(peer) = self.topo.neighbor(at, out_port) else { return u64::MAX / 2 };
-        let mut min = u64::MAX / 2;
-        for v in 0..self.vcs {
-            if Some(VcId(v)) == self.hidden_vc {
-                continue;
-            }
-            if self.meta.allocatable(peer.router, peer.port, vnet, VcId(v)) {
-                return 0;
-            }
-            let m = self.meta.get(peer.router, peer.port, vnet, VcId(v));
-            min = min.min(self.now.saturating_sub(m.busy_since));
-        }
-        min
-    }
-    fn downstream_occupancy(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize {
-        let Some(peer) = self.topo.neighbor(at, out_port) else { return usize::MAX / 2 };
-        (0..self.vcs)
-            .map(|v| {
-                let m = self.meta.get(peer.router, peer.port, vnet, VcId(v));
-                m.occupancy as usize + m.inflight as usize
-            })
-            .sum()
-    }
-}
 
 /// The simulated network. Build with [`NetworkBuilder`]; drive with
 /// [`Network::run`] / [`Network::step`]; inspect with [`Network::stats`].
 pub struct Network {
-    topo: Topology,
-    cfg: SimConfig,
-    routing: Box<dyn Routing>,
-    traffic: Box<dyn TrafficSource>,
-    routers: Vec<Router>,
-    agents: Vec<SpinAgent>,
-    spin_enabled: bool,
-    meta: MetaTable,
+    pub(crate) topo: Topology,
+    pub(crate) cfg: SimConfig,
+    pub(crate) routing: Box<dyn Routing>,
+    pub(crate) traffic: Box<dyn TrafficSource>,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) agents: Vec<SpinAgent>,
+    pub(crate) spin_enabled: bool,
+    pub(crate) meta: MetaTable,
     /// Router output links: `out_links[router][port]` (local ports hold the
     /// ejection link to the attached NIC).
-    out_links: Vec<Vec<Link>>,
+    pub(crate) out_links: Vec<Vec<Link>>,
     /// Injection links: NIC -> router local port.
-    inj_links: Vec<Link>,
-    nics: Vec<Nic>,
-    rng: StdRng,
-    now: Cycle,
-    next_packet_id: u64,
-    stats: NetStats,
-    priority: RotatingPriority,
-    escape: XyRouting,
-    num_network_links: u64,
+    pub(crate) inj_links: Vec<Link>,
+    pub(crate) nics: Vec<Nic>,
+    pub(crate) rng: StdRng,
+    pub(crate) now: Cycle,
+    pub(crate) next_packet_id: u64,
+    pub(crate) stats: NetStats,
+    pub(crate) priority: RotatingPriority,
+    pub(crate) escape: XyRouting,
+    pub(crate) num_network_links: u64,
     /// SM inbox per router, refilled each delivery phase.
-    inbox: Vec<Vec<(PortId, Sm)>>,
+    pub(crate) inbox: Vec<Vec<(PortId, Sm)>>,
     /// SMs emitted this cycle awaiting link contention resolution.
-    pending_sms: Vec<(RouterId, PortId, Sm)>,
+    pub(crate) pending_sms: Vec<(RouterId, PortId, Sm)>,
     /// Ports occupied by an SM this cycle (blocked for flits).
-    sm_busy: HashSet<(u32, u8)>,
+    pub(crate) sm_busy: HashSet<(u32, u8)>,
     /// Ground-truth deadlock classification cache (cycle, routers).
-    classify_cache: Option<(Cycle, Vec<RouterId>)>,
-    scratch_phits: Vec<Phit>,
+    pub(crate) classify_cache: Option<(Cycle, Vec<RouterId>)>,
+    pub(crate) scratch_phits: Vec<Phit>,
 }
 
 impl Network {
     pub(crate) fn from_builder(b: NetworkBuilder) -> Network {
         b.cfg.validate();
         let topo = b.topo;
-        let routing = b.routing.expect("NetworkBuilder requires a routing algorithm");
+        let routing = b
+            .routing
+            .expect("NetworkBuilder requires a routing algorithm");
         let traffic = b.traffic.expect("NetworkBuilder requires a traffic source");
         let spin_cfg = b.spin.map(|mut s| {
             s.num_routers = topo.num_routers() as u32;
@@ -389,993 +213,36 @@ impl Network {
         None
     }
 
-    /// Advances the network by one cycle.
+    /// Advances the network by one cycle: the seven-stage pipeline of
+    /// DESIGN.md, in order. Each stage lives in its [`crate::pipeline`]
+    /// module.
     pub fn step(&mut self) {
         self.now += 1;
         self.classify_cache = None;
         self.sm_busy.clear();
         self.pending_sms.clear();
-        self.deliver_phits();
-        self.process_sms();
-        self.agents_tick();
-        self.resolve_sms();
-        self.inject();
-        self.route_compute();
-        self.vc_allocate();
-        self.switch_traverse();
-        self.spin_completions();
+        self.deliver_phits(); // pipeline::delivery
+        self.process_sms(); // pipeline::spin_engine
+        self.agents_tick(); // pipeline::spin_engine
+        self.resolve_sms(); // pipeline::spin_engine
+        self.inject(); // pipeline::injection
+        self.route_compute(); // pipeline::route
+        self.vc_allocate(); // pipeline::vc_alloc
+        self.switch_traverse(); // pipeline::sw_alloc (sends via traversal)
+        self.spin_completions(); // pipeline::spin_engine
         self.stats.cycles = self.now;
         self.stats.link_use.total += self.num_network_links;
     }
 
-    // ------------------------------------------------------------------
-    // Stage 1: link delivery
-    // ------------------------------------------------------------------
-
-    fn deliver_phits(&mut self) {
-        let now = self.now;
-        let mut phits = std::mem::take(&mut self.scratch_phits);
-        for r in 0..self.routers.len() {
-            for p in 0..self.out_links[r].len() {
-                phits.clear();
-                self.out_links[r][p].deliver(now, &mut phits);
-                if phits.is_empty() {
-                    continue;
-                }
-                let rid = RouterId(r as u32);
-                let port = self.topo.port(rid, PortId(p as u8));
-                if let Some(node) = port.node {
-                    for phit in phits.drain(..) {
-                        if let Phit::Flit { flit, .. } = phit {
-                            self.eject_flit(node, flit);
-                        }
-                    }
-                } else if let Some(peer) = port.conn {
-                    for phit in phits.drain(..) {
-                        match phit {
-                            Phit::Flit { flit, vc, spin } => {
-                                self.arrive_flit(peer.router, peer.port, flit, vc, spin, true);
-                            }
-                            Phit::Sm(sm) => {
-                                self.inbox[peer.router.index()].push((peer.port, sm));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        for n in 0..self.inj_links.len() {
-            phits.clear();
-            self.inj_links[n].deliver(now, &mut phits);
-            let at = self.topo.node_attach(NodeId(n as u32));
-            for phit in phits.drain(..) {
-                if let Phit::Flit { flit, vc, spin } = phit {
-                    self.arrive_flit(at.router, at.port, flit, vc, spin, false);
-                }
-            }
-        }
-        self.scratch_phits = phits;
-    }
-
-    fn arrive_flit(
-        &mut self,
-        r: RouterId,
-        p: PortId,
-        flit: Flit,
-        vc: VcId,
-        spin: bool,
-        network_hop: bool,
-    ) {
-        let now = self.now;
-        let vnet = flit.packet.vnet;
-        let tvc = if spin {
-            match self.routers[r.index()].spin_rx.get(&(p, vnet)) {
-                Some(&v) => v,
-                None => {
-                    self.stats.spin_orphans += 1;
-                    vc
-                }
-            }
-        } else {
-            vc
-        };
-        if flit.kind.is_head() {
-            let mut packet = flit.packet.clone();
-            if network_hop {
-                packet.hops += 1;
-                if self.topo.is_global_port(r, p) {
-                    packet.global_hops += 1;
-                }
-            }
-            if let Some(i) = packet.intermediate {
-                if self.topo.node_router(i) == r {
-                    packet.intermediate = None;
-                }
-            }
-            let mut pb = PacketBuf::new(packet);
-            pb.received = 1;
-            let router = &mut self.routers[r.index()];
-            if router.vc(p, vnet, tvc).q.is_empty() {
-                router.occupied_vcs += 1;
-            }
-            router.vc_mut(p, vnet, tvc).q.push_back(pb);
-        } else {
-            let vcb = self.routers[r.index()].vc_mut(p, vnet, tvc);
-            if let Some(pb) = vcb
-                .q
-                .iter_mut()
-                .rev()
-                .find(|pb| pb.received < pb.packet.len)
-            {
-                pb.received += 1;
-            } else {
-                // A body flit with no waiting header can only come from a
-                // mis-steered spin push.
-                self.stats.spin_orphans += 1;
-            }
-        }
-        self.meta.occ_add(now, r, p, vnet, tvc, 1);
-        if spin {
-            self.meta.spin_inflight_add(r, p, vnet, -1);
-            if flit.kind.is_tail() {
-                self.routers[r.index()].spin_rx.remove(&(p, vnet));
-            }
-        } else {
-            self.meta.inflight_add(now, r, p, vnet, tvc, -1);
-        }
-        let occ = self.routers[r.index()].vc(p, vnet, tvc).occupancy();
-        if occ > self.cfg.vc_depth as usize {
-            self.stats.overflow_events += 1;
-        }
-    }
-
-    fn eject_flit(&mut self, node: NodeId, flit: Flit) {
-        if !flit.kind.is_tail() {
-            return;
-        }
-        let pkt = &flit.packet;
-        let now = self.now;
-        self.stats.packets_delivered += 1;
-        self.stats.flits_delivered += pkt.len as u64;
-        let net_lat = now.saturating_sub(pkt.injected_at);
-        let tot_lat = now.saturating_sub(pkt.created_at);
-        self.stats.network_latency_sum += net_lat;
-        self.stats.total_latency_sum += tot_lat;
-        self.stats.max_latency = self.stats.max_latency.max(tot_lat);
-        self.stats.window_flits_delivered += pkt.len as u64;
-        self.stats.window_packets_delivered += 1;
-        self.stats.window_network_latency_sum += net_lat;
-        self.stats.window_total_latency_sum += tot_lat;
-        let spec = PacketSpec { dst: node, len: pkt.len, vnet: pkt.vnet };
-        self.traffic.delivered(&spec, pkt.src, now);
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 2/3: SPIN protocol
-    // ------------------------------------------------------------------
-
-    fn process_sms(&mut self) {
-        if !self.spin_enabled {
-            for ib in &mut self.inbox {
-                ib.clear();
-            }
-            return;
-        }
-        let now = self.now;
-        for i in 0..self.routers.len() {
-            if self.inbox[i].is_empty() {
-                continue;
-            }
-            let mut msgs = std::mem::take(&mut self.inbox[i]);
-            msgs.sort_by(|a, b| {
-                let ka = (a.1.kind.priority_class(), self.priority.priority(a.1.sender, now));
-                let kb = (b.1.kind.priority_class(), self.priority.priority(b.1.sender, now));
-                kb.cmp(&ka)
-            });
-            for (port, sm) in msgs {
-                let actions = {
-                    let view = SpinView { router: &self.routers[i], topo: &self.topo };
-                    self.agents[i].on_sm(now, &view, port, sm)
-                };
-                self.apply_actions(i, actions);
-            }
-        }
-    }
-
-    fn agents_tick(&mut self) {
-        if !self.spin_enabled {
-            return;
-        }
-        let now = self.now;
-        for i in 0..self.routers.len() {
-            // An idle router with an Off FSM has nothing to do; skipping it
-            // keeps large lightly-loaded networks cheap.
-            if self.routers[i].occupied_vcs == 0
-                && self.agents[i].state() == FsmState::Off
-            {
-                continue;
-            }
-            let actions = {
-                let view = SpinView { router: &self.routers[i], topo: &self.topo };
-                self.agents[i].on_cycle(now, &view)
-            };
-            self.apply_actions(i, actions);
-        }
-    }
-
-    fn apply_actions(&mut self, i: usize, actions: Vec<Action>) {
-        let rid = RouterId(i as u32);
-        for a in actions {
-            match a {
-                Action::SendSm { out_port, sm } => {
-                    if !self.topo.port(rid, out_port).is_network() {
-                        continue; // SMs never leave through NIC ports.
-                    }
-                    if sm.sender == rid {
-                        if sm.kind == SmKind::Probe && sm.path.is_empty() {
-                            self.classify(rid, false);
-                        } else if sm.kind == SmKind::Move {
-                            self.classify(rid, true);
-                        }
-                    }
-                    self.pending_sms.push((rid, out_port, sm));
-                }
-                Action::Freeze { in_port, vnet, vc, out_port } => {
-                    let router = &mut self.routers[i];
-                    let vcb = router.vc_mut(in_port, vnet, vc);
-                    vcb.frozen = true;
-                    vcb.frozen_out = Some(out_port);
-                    router.spin_rx.insert((in_port, vnet), vc);
-                }
-                Action::UnfreezeAll => {
-                    for (p, vn, v) in self.routers[i].vc_coords().collect::<Vec<_>>() {
-                        let vcb = self.routers[i].vc_mut(p, vn, v);
-                        vcb.frozen = false;
-                        vcb.frozen_out = None;
-                    }
-                }
-                Action::StartSpin => {
-                    let frozen: Vec<_> = self.agents[i].frozen().to_vec();
-                    if self.agents[i].state() == FsmState::ForwardProgress {
-                        // Counted once per recovery, at the initiator.
-                    }
-                    for f in frozen {
-                        let vcb = self.routers[i].vc_mut(f.in_port, f.vnet, f.vc);
-                        if vcb.head().is_some() {
-                            vcb.spinning = true;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Classifies an originated probe or confirmed recovery against ground
-    /// truth (Fig. 9). `confirmed` distinguishes a move launch (a recovery
-    /// that will spin) from a mere probe launch.
-    fn classify(&mut self, r: RouterId, confirmed: bool) {
-        if !self.cfg.classify_probes {
-            return;
-        }
-        let routers = match &self.classify_cache {
-            Some((c, v)) if *c == self.now => v.clone(),
-            _ => {
-                let v = self.wait_graph().deadlocked_routers();
-                self.classify_cache = Some((self.now, v.clone()));
-                v
-            }
-        };
-        if routers.binary_search(&r).is_err() {
-            if confirmed {
-                self.stats.false_positive_spins += 1;
-            } else {
-                self.stats.false_positive_probes += 1;
-            }
-        }
-    }
-
-    fn resolve_sms(&mut self) {
-        if self.pending_sms.is_empty() {
-            return;
-        }
-        let now = self.now;
-        let mut pending = std::mem::take(&mut self.pending_sms);
-        // Highest (class, sender priority, sender id) wins each (router,
-        // port); the rest are dropped — bufferless SM transport.
-        pending.sort_by(|a, b| {
-            let ka = (
-                a.0,
-                a.1,
-                a.2.kind.priority_class(),
-                self.priority.priority(a.2.sender, now),
-                a.2.sender.0,
-            );
-            let kb = (
-                b.0,
-                b.1,
-                b.2.kind.priority_class(),
-                self.priority.priority(b.2.sender, now),
-                b.2.sender.0,
-            );
-            ka.cmp(&kb)
-        });
-        let mut idx = 0;
-        while idx < pending.len() {
-            let (r, p, _) = (pending[idx].0, pending[idx].1, ());
-            // Find the end of this (router, port) group; the last element
-            // has the highest priority.
-            let mut end = idx;
-            while end + 1 < pending.len() && pending[end + 1].0 == r && pending[end + 1].1 == p {
-                end += 1;
-            }
-            let (_, _, sm) = pending[end].clone();
-            match sm.kind {
-                SmKind::Probe => self.stats.link_use.probe += 1,
-                _ => self.stats.link_use.other_sm += 1,
-            }
-            self.sm_busy.insert((r.0, p.0));
-            self.out_links[r.index()][p.index()].send(now, Phit::Sm(sm));
-            idx = end + 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 4: injection
-    // ------------------------------------------------------------------
-
-    fn inject(&mut self) {
-        let now = self.now;
-        for n in 0..self.nics.len() {
-            let node = NodeId(n as u32);
-            if let Some(spec) = self.traffic.generate(node, now) {
-                assert!(
-                    spec.vnet.0 < self.cfg.vnets,
-                    "traffic source emitted vnet {} but the network has {} vnets                      (configure the source and SimConfig consistently)",
-                    spec.vnet.0,
-                    self.cfg.vnets
-                );
-                assert!(
-                    spec.len <= self.cfg.max_packet_len,
-                    "traffic source emitted a {}-flit packet but max_packet_len is {}",
-                    spec.len,
-                    self.cfg.max_packet_len
-                );
-                let mut pkt = PacketBuilder::new(node, spec.dst)
-                    .vnet(spec.vnet)
-                    .len(spec.len)
-                    .injected_at(now)
-                    .build(self.next_packet_id);
-                self.next_packet_id += 1;
-                {
-                    let view = NetView {
-                        topo: &self.topo,
-                        meta: &self.meta,
-                        now,
-                        vcs: self.cfg.vcs_per_vnet,
-                        hidden_vc: hidden_vc(&self.cfg),
-                    };
-                    self.routing.at_injection(&view, &mut pkt, &mut self.rng);
-                }
-                self.stats.packets_created += 1;
-                self.nics[n].queues[spec.vnet.index()].push_back(pkt);
-            }
-            // Start streaming a new packet if idle.
-            if self.nics[n].active.is_none() {
-                if let Some(vn) = self.nics[n].next_vnet() {
-                    let at = self.topo.node_attach(node);
-                    let vnet = Vnet(vn as u8);
-                    let vc = (0..self.cfg.vcs_per_vnet)
-                        .map(VcId)
-                        .filter(|&v| {
-                            !(self.cfg.static_bubble && v.0 == self.cfg.vcs_per_vnet - 1)
-                        })
-                        .find(|&v| self.meta.allocatable(at.router, at.port, vnet, v));
-                    if let Some(vc) = vc {
-                        let mut pkt = self.nics[n].queues[vn]
-                            .pop_front()
-                            .expect("next_vnet returned a non-empty queue");
-                        pkt.injected_at = now;
-                        self.meta.reserve(now, at.router, at.port, vnet, vc);
-                        self.stats.packets_injected += 1;
-                        self.nics[n].active =
-                            Some(ActiveInjection { packet: pkt, flits_sent: 0, vc });
-                    }
-                }
-            }
-            // Stream one flit of the active packet.
-            if let Some(mut act) = self.nics[n].active.take() {
-                let at = self.topo.node_attach(node);
-                if self.cfg.switching == Switching::Wormhole
-                    && self
-                        .meta
-                        .space(at.router, at.port, act.packet.vnet, act.vc, self.cfg.vc_depth)
-                        == 0
-                {
-                    self.nics[n].active = Some(act);
-                    continue;
-                }
-                let flit = make_flit(&act.packet, act.flits_sent);
-                let is_tail = flit.kind.is_tail();
-                self.inj_links[n].send(
-                    now,
-                    Phit::Flit { flit, vc: act.vc, spin: false },
-                );
-                self.meta
-                    .inflight_add(now, at.router, at.port, act.packet.vnet, act.vc, 1);
-                self.stats.flits_injected += 1;
-                act.flits_sent += 1;
-                if is_tail {
-                    self.meta.release(now, at.router, at.port, act.packet.vnet, act.vc);
-                } else {
-                    self.nics[n].active = Some(act);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 5: route compute
-    // ------------------------------------------------------------------
-
-    fn view(&self) -> NetView<'_> {
+    /// The routing-visible congestion view at the current cycle.
+    pub(crate) fn view(&self) -> NetView<'_> {
         NetView {
             topo: &self.topo,
             meta: &self.meta,
             now: self.now,
             vcs: self.cfg.vcs_per_vnet,
-            hidden_vc: if self.cfg.static_bubble {
-                Some(VcId(self.cfg.vcs_per_vnet - 1))
-            } else {
-                None
-            },
+            hidden_vc: hidden_vc(&self.cfg),
         }
-    }
-
-    fn route_compute(&mut self) {
-        let now = self.now;
-        let reserved = VcId(self.cfg.vcs_per_vnet - 1);
-        for i in 0..self.routers.len() {
-            if self.routers[i].occupied_vcs == 0 {
-                continue;
-            }
-            let rid = RouterId(i as u32);
-            let coords = self.routers[i].active_coords();
-            for (p, vn, v) in coords {
-                let vcb = self.routers[i].vc(p, vn, v);
-                let Some(pb) = vcb.head() else { continue };
-                if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.received == 0 {
-                    continue;
-                }
-                // Adaptive re-selection while freshly blocked; the choice
-                // freezes after `route_stick_after` cycles so SPIN's probes
-                // trace a stable dependence (and genuinely deadlocked
-                // packets, which never move again, always end up stable).
-                if !pb.choices.is_empty() {
-                    let stuck = pb
-                        .head_since
-                        .map(|t| now.saturating_sub(t) >= self.cfg.route_stick_after)
-                        .unwrap_or(false);
-                    if stuck {
-                        continue;
-                    }
-                }
-                let pkt = pb.packet.clone();
-                let view = NetView {
-                    topo: &self.topo,
-                    meta: &self.meta,
-                    now,
-                    vcs: self.cfg.vcs_per_vnet,
-                    hidden_vc: if self.cfg.static_bubble && v != reserved {
-                        Some(reserved)
-                    } else {
-                        None
-                    },
-                };
-                let choices = if self.cfg.static_bubble && v == reserved {
-                    // Recovery packets drain over the acyclic XY escape
-                    // route, staying in the reserved VC layer.
-                    let mut c = self.escape.route(&view, rid, p, &pkt, &mut self.rng);
-                    for choice in &mut c {
-                        if self.topo.port(rid, choice.out_port).is_network() {
-                            choice.vc_mask = VcMask::only(reserved);
-                        }
-                    }
-                    c
-                } else {
-                    self.routing.route(&view, rid, p, &pkt, &mut self.rng)
-                };
-                let pb = self.routers[i]
-                    .vc_mut(p, vn, v)
-                    .head_mut()
-                    .expect("head still present");
-                pb.choices = choices;
-                if pb.head_since.is_none() {
-                    pb.head_since = Some(now);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 6: VC allocation (virtual cut-through)
-    // ------------------------------------------------------------------
-
-    fn vc_allocate(&mut self) {
-        let now = self.now;
-        let reserved = VcId(self.cfg.vcs_per_vnet - 1);
-        for i in 0..self.routers.len() {
-            if self.routers[i].occupied_vcs == 0 {
-                continue;
-            }
-            let rid = RouterId(i as u32);
-            let coords = self.routers[i].active_coords();
-            for (p, vn, v) in coords {
-                let vcb = self.routers[i].vc(p, vn, v);
-                let Some(pb) = vcb.head() else { continue };
-                if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.choices.is_empty() {
-                    continue;
-                }
-                let mut candidates: spin_routing::RouteChoices = pb.choices.clone();
-                // Static Bubble: a long-blocked head may use the reserved
-                // VC (the recovery grant).
-                let mut grant_used = false;
-                if self.cfg.static_bubble {
-                    if let Some(since) = pb.head_since {
-                        if now.saturating_sub(since) >= self.cfg.bubble_timeout {
-                            for c in pb.choices.clone() {
-                                candidates.push(RouteChoice {
-                                    out_port: c.out_port,
-                                    vc_mask: VcMask::only(reserved),
-                                });
-                            }
-                            grant_used = true;
-                        }
-                    }
-                }
-                let mut alloc: Option<(PortId, VcId)> = None;
-                'outer: for c in &candidates {
-                    let port = self.topo.port(rid, c.out_port);
-                    if port.is_local() {
-                        alloc = Some((c.out_port, VcId(0)));
-                        break;
-                    }
-                    let Some(peer) = port.conn else { continue };
-                    // Bubble flow control: injections and turns must leave
-                    // one VC free at the target port (the bubble).
-                    let needs_bubble =
-                        self.cfg.bubble_flow_control && self.hop_needs_bubble(rid, p, c.out_port);
-                    if needs_bubble {
-                        let free = (0..self.cfg.vcs_per_vnet)
-                            .filter(|&v| {
-                                self.meta.allocatable(peer.router, peer.port, vn, VcId(v))
-                            })
-                            .count();
-                        if free < 2 {
-                            continue;
-                        }
-                    }
-                    for tv in 0..self.cfg.vcs_per_vnet {
-                        let tv = VcId(tv);
-                        if !c.vc_mask.contains(tv) {
-                            continue;
-                        }
-                        if self.meta.allocatable(peer.router, peer.port, vn, tv) {
-                            self.meta.reserve(now, peer.router, peer.port, vn, tv);
-                            alloc = Some((c.out_port, tv));
-                            if grant_used && tv == reserved {
-                                self.stats.bubble_grants += 1;
-                            }
-                            break 'outer;
-                        }
-                    }
-                }
-                if let Some(out) = alloc {
-                    self.routers[i]
-                        .vc_mut(p, vn, v)
-                        .head_mut()
-                        .expect("head still present")
-                        .out = Some(out);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 7: switch allocation + traversal
-    // ------------------------------------------------------------------
-
-    fn switch_traverse(&mut self) {
-        for i in 0..self.routers.len() {
-            if self.routers[i].occupied_vcs == 0 {
-                continue;
-            }
-            let rid = RouterId(i as u32);
-            let coords = self.routers[i].active_coords();
-            // Ejection: stall-free, unbounded bandwidth (paper Sec. II-F).
-            for &(p, vn, v) in &coords {
-                let vcb = self.routers[i].vc(p, vn, v);
-                let Some(pb) = vcb.head() else { continue };
-                let Some((op, _)) = pb.out else { continue };
-                if self.topo.port(rid, op).is_local() && pb.flit_available() {
-                    self.send_flit(i, p, vn, v, op, VcId(0), false);
-                }
-            }
-            // Network ports: spins pre-empt, then round-robin SA.
-            for op_idx in 0..self.out_links[i].len() {
-                let op = PortId(op_idx as u8);
-                if !self.topo.port(rid, op).is_network() {
-                    continue;
-                }
-                if self.sm_busy.contains(&(rid.0, op.0)) {
-                    continue;
-                }
-                // Spin streaming gets the link.
-                let spin_vc = coords.iter().copied().find(|&(p, vn, v)| {
-                    let vcb = self.routers[i].vc(p, vn, v);
-                    vcb.spinning
-                        && vcb.frozen_out == Some(op)
-                        && vcb.head().map(|pb| pb.flit_available()).unwrap_or(false)
-                });
-                if let Some((p, vn, v)) = spin_vc {
-                    self.send_flit(i, p, vn, v, op, VcId(0), true);
-                    continue;
-                }
-                // Round-robin switch allocation.
-                let n = coords.len();
-                if n == 0 {
-                    continue;
-                }
-                let start = self.routers[i].sa_rr[op_idx] % n;
-                let mut winner = None;
-                for k in 0..n {
-                    let (p, vn, v) = coords[(start + k) % n];
-                    let vcb = self.routers[i].vc(p, vn, v);
-                    if vcb.frozen || vcb.spinning {
-                        continue;
-                    }
-                    let Some(pb) = vcb.head() else { continue };
-                    let Some((pout, tvc)) = pb.out else { continue };
-                    if pout != op || !pb.flit_available() {
-                        continue;
-                    }
-                    // Wormhole: per-flit backpressure (VCT pre-reserves a
-                    // whole packet's space at allocation, so no check).
-                    if self.cfg.switching == Switching::Wormhole {
-                        if let Some(peer) = self.topo.port(rid, op).conn {
-                            if self.meta.space(peer.router, peer.port, vn, tvc, self.cfg.vc_depth)
-                                == 0
-                            {
-                                continue;
-                            }
-                        }
-                    }
-                    winner = Some(((p, vn, v), tvc, (start + k) % n));
-                    break;
-                }
-                if let Some(((p, vn, v), tvc, pos)) = winner {
-                    self.routers[i].sa_rr[op_idx] = (pos + 1) % n;
-                    self.send_flit(i, p, vn, v, op, tvc, false);
-                }
-            }
-        }
-    }
-
-    /// Emits one flit from (router i, in-port p, vnet vn, vc v) through
-    /// `out_port` towards downstream VC `tvc` (ignored for spin pushes,
-    /// which land in the receiver's earmarked VC).
-    #[allow(clippy::too_many_arguments)]
-    fn send_flit(
-        &mut self,
-        i: usize,
-        p: PortId,
-        vn: Vnet,
-        v: VcId,
-        out_port: PortId,
-        tvc: VcId,
-        spin: bool,
-    ) {
-        let now = self.now;
-        let rid = RouterId(i as u32);
-        let (flit, is_tail, fully_sent) = {
-            let pb = self.routers[i]
-                .vc_mut(p, vn, v)
-                .head_mut()
-                .expect("send_flit requires a head packet");
-            let flit = make_flit(&pb.packet, pb.sent);
-            pb.sent += 1;
-            (flit.clone(), flit.kind.is_tail(), pb.fully_sent())
-        };
-        let port = self.topo.port(rid, out_port);
-        if let Some(peer) = port.conn {
-            self.stats.link_use.flit += 1;
-            if spin {
-                self.meta.spin_inflight_add(peer.router, peer.port, vn, 1);
-            } else {
-                self.meta.inflight_add(now, peer.router, peer.port, vn, tvc, 1);
-                if is_tail {
-                    self.meta.release(now, peer.router, peer.port, vn, tvc);
-                }
-            }
-        }
-        self.out_links[i][out_port.index()].send(now, Phit::Flit { flit, vc: tvc, spin });
-        self.meta.occ_add(now, rid, p, vn, v, -1);
-        if fully_sent {
-            let router = &mut self.routers[i];
-            let vcb = router.vc_mut(p, vn, v);
-            vcb.q.pop_front();
-            if spin {
-                vcb.spinning = false;
-                vcb.frozen = false;
-                vcb.frozen_out = None;
-            }
-            if let Some(next) = vcb.head_mut() {
-                next.head_since = None;
-            }
-            if router.vc(p, vn, v).q.is_empty() {
-                router.occupied_vcs -= 1;
-            }
-        }
-    }
-
-    /// Bubble flow control: does a hop from `in_port` to `out_port` at
-    /// router `r` need to preserve a bubble? Injections and dimension /
-    /// direction changes do; continuing straight along a ring does not
-    /// (the in-flight packet only rotates its ring's occupancy).
-    fn hop_needs_bubble(&self, r: RouterId, in_port: PortId, out_port: PortId) -> bool {
-        if self.topo.port(r, in_port).is_local() {
-            return true; // injection into the ring
-        }
-        use spin_topology::TopologyKind;
-        match self.topo.kind() {
-            TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => {
-                match (self.topo.port_dir(in_port), self.topo.port_dir(out_port)) {
-                    // Straight = leaving through the port opposite the one
-                    // we entered (same dimension, same direction).
-                    (Some(din), Some(dout)) => dout != din.opposite(),
-                    _ => true,
-                }
-            }
-            TopologyKind::Ring { .. } => {
-                // Ports 1 (cw) and 2 (ccw): straight-through pairs.
-                !(in_port.0 == 1 && out_port.0 == 2 || in_port.0 == 2 && out_port.0 == 1)
-            }
-            _ => true, // conservative on arbitrary graphs
-        }
-    }
-
-    fn spin_completions(&mut self) {
-        if !self.spin_enabled {
-            return;
-        }
-        let now = self.now;
-        for i in 0..self.routers.len() {
-            if self.agents[i].is_spinning() && !self.routers[i].any_spinning() {
-                if self.agents[i].state() == FsmState::ForwardProgress {
-                    self.stats.spins += 1;
-                }
-                let actions = {
-                    let view = SpinView { router: &self.routers[i], topo: &self.topo };
-                    self.agents[i].notify_spin_complete(now, &view)
-                };
-                self.apply_actions(i, actions);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Ground truth
-    // ------------------------------------------------------------------
-
-    /// Builds the AND-OR wait-for graph of the current buffer state (see
-    /// [`spin_deadlock::WaitGraph`]).
-    pub fn wait_graph(&self) -> WaitGraph {
-        let mut g = WaitGraph::new();
-        let mut synthetic: u64 = 0;
-        // Free capacity at every network input port.
-        for r in 0..self.routers.len() {
-            let rid = RouterId(r as u32);
-            for p in 0..self.topo.radix(rid) {
-                let port = PortId(p as u8);
-                if !self.topo.port(rid, port).is_network() {
-                    continue;
-                }
-                for vn in 0..self.cfg.vnets {
-                    let vnet = Vnet(vn);
-                    let mut free = 0;
-                    for v in 0..self.cfg.vcs_per_vnet {
-                        let vc = VcId(v);
-                        if self.meta.allocatable(rid, port, vnet, vc) {
-                            free += 1;
-                            continue;
-                        }
-                        // A VC reserved by an in-flight upstream allocation
-                        // holds no packet yet, but the allocated packet is
-                        // guaranteed to arrive, drain and free it: model it
-                        // as a live occupant so waiters on this port are
-                        // not misclassified as deadlocked.
-                        let m = self.meta.get(rid, port, vnet, vc);
-                        if m.occupancy == 0 && (m.reserved || m.inflight > 0) {
-                            synthetic += 1;
-                            g.add_packet(
-                                spin_types::PacketId(u64::MAX - synthetic),
-                                BufferId { router: rid, port, vnet, vc },
-                                Vec::new(),
-                            );
-                        }
-                    }
-                    if free > 0 {
-                        g.add_free_vcs(rid, port, vnet, free);
-                    }
-                }
-            }
-        }
-        // Blocked packets and their alternative sets.
-        let view = self.view();
-        for r in 0..self.routers.len() {
-            let rid = RouterId(r as u32);
-            for (p, vn, v) in self.routers[r].vc_coords() {
-                let vcb = self.routers[r].vc(p, vn, v);
-                let Some(pb) = vcb.head() else { continue };
-                let at = BufferId { router: rid, port: p, vnet: vn, vc: v };
-                if pb.out.is_some() {
-                    // Allocated: guaranteed to drain (VCT). Record it as a
-                    // live occupant so packets waiting on this buffer see
-                    // it will free up.
-                    g.add_packet(pb.packet.id, at, Vec::new());
-                    continue;
-                }
-                // Non-head residents (transient spin overlap) will drain
-                // once the head does; record them as live occupants too.
-                for extra in vcb.q.iter().skip(1) {
-                    g.add_packet(extra.packet.id, at, Vec::new());
-                }
-                let stuck = pb
-                    .head_since
-                    .map(|t| self.now.saturating_sub(t) >= self.cfg.route_stick_after)
-                    .unwrap_or(false);
-                let alts = if stuck && !pb.choices.is_empty() {
-                    // The committed (frozen) choice is the packet's real
-                    // dependence once it sticks.
-                    pb.choices.clone()
-                } else {
-                    self.routing.alternatives(&view, rid, p, &pb.packet)
-                };
-                let mut wants = Vec::new();
-                let mut ejecting = false;
-                for c in alts {
-                    let port = self.topo.port(rid, c.out_port);
-                    if port.is_local() {
-                        ejecting = true;
-                        break;
-                    }
-                    if let Some(peer) = port.conn {
-                        wants.push((peer.router, peer.port, vn));
-                    }
-                }
-                if ejecting {
-                    g.add_packet(pb.packet.id, at, Vec::new());
-                } else {
-                    g.add_packet(pb.packet.id, at, wants);
-                }
-            }
-        }
-        g
-    }
-
-    /// Debug dump: counts blocked head packets by (has-route, allocated,
-    /// free-VCs-at-first-choice) and prints a sample.
-    pub fn dump_blocked(&self, limit: usize) {
-        let view = self.view();
-        let mut printed = 0;
-        let (mut no_route, mut allocated, mut blocked_free, mut blocked_full) = (0, 0, 0, 0);
-        for r in 0..self.routers.len() {
-            let rid = RouterId(r as u32);
-            for (p, vn, v) in self.routers[r].vc_coords() {
-                let vcb = self.routers[r].vc(p, vn, v);
-                let Some(pb) = vcb.head() else { continue };
-                if pb.out.is_some() {
-                    allocated += 1;
-                    continue;
-                }
-                let Some(c) = pb.choices.first() else {
-                    no_route += 1;
-                    continue;
-                };
-                let free = view.free_vcs_downstream(rid, c.out_port, vn);
-                if free > 0 {
-                    blocked_free += 1;
-                    if printed < limit {
-                        printed += 1;
-                        println!(
-                            "  BLOCKED-WITH-FREE r{r} p{} vn{} vc{} pkt{} -> port {} free={} frozen={} spinning={} recv={}/{} sent={}",
-                            p.0, vn.0, v.0, pb.packet.id.0, c.out_port.0, free,
-                            vcb.frozen, vcb.spinning, pb.received, pb.packet.len, pb.sent
-                        );
-                    }
-                } else {
-                    blocked_full += 1;
-                }
-            }
-        }
-        println!(
-            "  blocked summary: no_route={no_route} allocated={allocated} blocked_with_free={blocked_free} blocked_full={blocked_full}"
-        );
-    }
-
-    /// Debug: follows committed dependences from the first blocked network
-    /// VC and prints the walk until it closes a cycle or breaks.
-    pub fn trace_committed_cycle(&self) {
-        // find a blocked network-VC head
-        let mut start = None;
-        'find: for r in 0..self.routers.len() {
-            let rid = RouterId(r as u32);
-            for (p, vn, v) in self.routers[r].vc_coords() {
-                if !self.topo.port(rid, p).is_network() {
-                    continue;
-                }
-                let vcb = self.routers[r].vc(p, vn, v);
-                if let Some(pb) = vcb.head() {
-                    if pb.out.is_none() && !pb.choices.is_empty() {
-                        start = Some((rid, p, vn, v));
-                        break 'find;
-                    }
-                }
-            }
-        }
-        let Some(mut cur) = start else {
-            println!("  no blocked VC found");
-            return;
-        };
-        let mut seen = std::collections::HashSet::new();
-        for step in 0..200 {
-            let (rid, p, vn, v) = cur;
-            if !seen.insert(cur) {
-                println!("  step {step}: cycle closes at r{} p{} vn{} vc{}", rid.0, p.0, vn.0, v.0);
-                return;
-            }
-            let vcb = self.routers[rid.index()].vc(p, vn, v);
-            let Some(pb) = vcb.head() else {
-                println!("  step {step}: r{} p{} vn{} vc{}: EMPTY, chain breaks", rid.0, p.0, vn.0, v.0);
-                return;
-            };
-            let Some(c) = pb.choices.first() else {
-                println!("  step {step}: unrouted head, chain breaks");
-                return;
-            };
-            if pb.out.is_some() {
-                println!("  step {step}: allocated head, chain flows");
-                return;
-            }
-            if self.topo.port(rid, c.out_port).is_local() {
-                println!("  step {step}: ejecting head, chain flows");
-                return;
-            }
-            let peer = self.topo.neighbor(rid, c.out_port).unwrap();
-            println!(
-                "  step {step}: r{} p{} vn{} vc{} pkt{} len{} -> out p{} prio {}",
-                rid.0, p.0, vn.0, v.0, pb.packet.id.0, pb.packet.len, c.out_port.0,
-                self.agents[rid.index()].dynamic_priority(self.now)
-            );
-            // which VC downstream? with 1 vc per vnet it's vc0; in general
-            // follow the first occupied blocked VC.
-            let nvcs = self.cfg.vcs_per_vnet;
-            let mut next = None;
-            for tv in 0..nvcs {
-                let nvcb = self.routers[peer.router.index()].vc(peer.port, vn, VcId(tv));
-                if nvcb.head().is_some() {
-                    next = Some((peer.router, peer.port, vn, VcId(tv)));
-                    break;
-                }
-            }
-            match next {
-                Some(n) => cur = n,
-                None => {
-                    println!("  downstream VCs empty: chain flows");
-                    return;
-                }
-            }
-        }
-        println!("  walk exceeded 200 steps");
     }
 
     /// Total packets currently buffered in the network (not NIC queues).
@@ -1438,7 +305,7 @@ impl std::fmt::Debug for Network {
     }
 }
 
-fn hidden_vc(cfg: &SimConfig) -> Option<VcId> {
+pub(crate) fn hidden_vc(cfg: &SimConfig) -> Option<VcId> {
     if cfg.static_bubble {
         Some(VcId(cfg.vcs_per_vnet - 1))
     } else {
@@ -1446,12 +313,16 @@ fn hidden_vc(cfg: &SimConfig) -> Option<VcId> {
     }
 }
 
-fn make_flit(pkt: &Packet, seq: u16) -> Flit {
+pub(crate) fn make_flit(pkt: &Packet, seq: u16) -> Flit {
     let kind = match (seq, pkt.len) {
         (0, 1) => FlitKind::HeadTail,
         (0, _) => FlitKind::Head,
         (s, l) if s + 1 == l => FlitKind::Tail,
         _ => FlitKind::Body,
     };
-    Flit { packet: pkt.clone(), kind, seq }
+    Flit {
+        packet: pkt.clone(),
+        kind,
+        seq,
+    }
 }

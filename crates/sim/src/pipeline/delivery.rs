@@ -1,0 +1,153 @@
+//! Stage 1 — link delivery: phits whose delay elapsed this cycle arrive at
+//! router input VCs (or eject into their destination NIC), and SMs land in
+//! the per-router inbox for [`spin_engine`](super::spin_engine).
+
+use crate::link::Phit;
+use crate::network::Network;
+use crate::vc::PacketBuf;
+use spin_traffic::PacketSpec;
+use spin_types::{Flit, NodeId, PortId, RouterId, VcId};
+
+impl Network {
+    pub(crate) fn deliver_phits(&mut self) {
+        let now = self.now;
+        let mut phits = std::mem::take(&mut self.scratch_phits);
+        for r in 0..self.routers.len() {
+            for p in 0..self.out_links[r].len() {
+                phits.clear();
+                self.out_links[r][p].deliver(now, &mut phits);
+                if phits.is_empty() {
+                    continue;
+                }
+                let rid = RouterId(r as u32);
+                let port = self.topo.port(rid, PortId(p as u8));
+                if let Some(node) = port.node {
+                    for phit in phits.drain(..) {
+                        if let Phit::Flit { flit, .. } = phit {
+                            self.eject_flit(node, flit);
+                        }
+                    }
+                } else if let Some(peer) = port.conn {
+                    for phit in phits.drain(..) {
+                        match phit {
+                            Phit::Flit { flit, vc, spin } => {
+                                self.arrive_flit(peer.router, peer.port, flit, vc, spin, true);
+                            }
+                            Phit::Sm(sm) => {
+                                self.inbox[peer.router.index()].push((peer.port, sm));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for n in 0..self.inj_links.len() {
+            phits.clear();
+            self.inj_links[n].deliver(now, &mut phits);
+            let at = self.topo.node_attach(NodeId(n as u32));
+            for phit in phits.drain(..) {
+                if let Phit::Flit { flit, vc, spin } = phit {
+                    self.arrive_flit(at.router, at.port, flit, vc, spin, false);
+                }
+            }
+        }
+        self.scratch_phits = phits;
+    }
+
+    fn arrive_flit(
+        &mut self,
+        r: RouterId,
+        p: PortId,
+        flit: Flit,
+        vc: VcId,
+        spin: bool,
+        network_hop: bool,
+    ) {
+        let now = self.now;
+        let vnet = flit.packet.vnet;
+        let tvc = if spin {
+            match self.routers[r.index()].spin_rx.get(&(p, vnet)) {
+                Some(&v) => v,
+                None => {
+                    self.stats.spin_orphans += 1;
+                    vc
+                }
+            }
+        } else {
+            vc
+        };
+        if flit.kind.is_head() {
+            let mut packet = flit.packet.clone();
+            if network_hop {
+                packet.hops += 1;
+                if self.topo.is_global_port(r, p) {
+                    packet.global_hops += 1;
+                }
+            }
+            if let Some(i) = packet.intermediate {
+                if self.topo.node_router(i) == r {
+                    packet.intermediate = None;
+                }
+            }
+            let mut pb = PacketBuf::new(packet);
+            pb.received = 1;
+            let router = &mut self.routers[r.index()];
+            if router.vc(p, vnet, tvc).q.is_empty() {
+                router.occupied_vcs += 1;
+            }
+            router.vc_mut(p, vnet, tvc).q.push_back(pb);
+        } else {
+            let vcb = self.routers[r.index()].vc_mut(p, vnet, tvc);
+            if let Some(pb) = vcb
+                .q
+                .iter_mut()
+                .rev()
+                .find(|pb| pb.received < pb.packet.len)
+            {
+                pb.received += 1;
+            } else {
+                // A body flit with no waiting header can only come from a
+                // mis-steered spin push.
+                self.stats.spin_orphans += 1;
+            }
+        }
+        self.meta.occ_add(now, r, p, vnet, tvc, 1);
+        if spin {
+            self.meta.spin_inflight_add(r, p, vnet, -1);
+            if flit.kind.is_tail() {
+                self.routers[r.index()].spin_rx.remove(&(p, vnet));
+            }
+        } else {
+            self.meta.inflight_add(now, r, p, vnet, tvc, -1);
+        }
+        let occ = self.routers[r.index()].vc(p, vnet, tvc).occupancy();
+        if occ > self.cfg.vc_depth as usize {
+            self.stats.overflow_events += 1;
+        }
+    }
+
+    fn eject_flit(&mut self, node: NodeId, flit: Flit) {
+        if !flit.kind.is_tail() {
+            return;
+        }
+        let pkt = &flit.packet;
+        let now = self.now;
+        self.stats.packets_delivered += 1;
+        self.stats.flits_delivered += pkt.len as u64;
+        let net_lat = now.saturating_sub(pkt.injected_at);
+        let tot_lat = now.saturating_sub(pkt.created_at);
+        self.stats.network_latency_sum += net_lat;
+        self.stats.total_latency_sum += tot_lat;
+        self.stats.max_latency = self.stats.max_latency.max(tot_lat);
+        self.stats.window_flits_delivered += pkt.len as u64;
+        self.stats.window_packets_delivered += 1;
+        self.stats.window_network_latency_sum += net_lat;
+        self.stats.window_total_latency_sum += tot_lat;
+        let spec = PacketSpec {
+            dst: node,
+            len: pkt.len,
+            vnet: pkt.vnet,
+        };
+        self.traffic.delivered(&spec, pkt.src, now);
+    }
+}

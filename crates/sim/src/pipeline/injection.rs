@@ -1,0 +1,111 @@
+//! Stage 4 — injection: NICs pull fresh packets from the traffic source,
+//! claim a downstream VC at their attach port, and stream one flit per
+//! cycle over the injection link.
+
+use crate::config::Switching;
+use crate::link::Phit;
+use crate::network::{hidden_vc, make_flit, Network};
+use crate::nic::ActiveInjection;
+use crate::pipeline::meta::NetView;
+use spin_types::{NodeId, PacketBuilder, VcId, Vnet};
+
+impl Network {
+    pub(crate) fn inject(&mut self) {
+        let now = self.now;
+        for n in 0..self.nics.len() {
+            let node = NodeId(n as u32);
+            if let Some(spec) = self.traffic.generate(node, now) {
+                assert!(
+                    spec.vnet.0 < self.cfg.vnets,
+                    "traffic source emitted vnet {} but the network has {} vnets                      (configure the source and SimConfig consistently)",
+                    spec.vnet.0,
+                    self.cfg.vnets
+                );
+                assert!(
+                    spec.len <= self.cfg.max_packet_len,
+                    "traffic source emitted a {}-flit packet but max_packet_len is {}",
+                    spec.len,
+                    self.cfg.max_packet_len
+                );
+                let mut pkt = PacketBuilder::new(node, spec.dst)
+                    .vnet(spec.vnet)
+                    .len(spec.len)
+                    .injected_at(now)
+                    .build(self.next_packet_id);
+                self.next_packet_id += 1;
+                {
+                    let view = NetView {
+                        topo: &self.topo,
+                        meta: &self.meta,
+                        now,
+                        vcs: self.cfg.vcs_per_vnet,
+                        hidden_vc: hidden_vc(&self.cfg),
+                    };
+                    self.routing.at_injection(&view, &mut pkt, &mut self.rng);
+                }
+                self.stats.packets_created += 1;
+                self.nics[n].queues[spec.vnet.index()].push_back(pkt);
+            }
+            // Start streaming a new packet if idle.
+            if self.nics[n].active.is_none() {
+                if let Some(vn) = self.nics[n].next_vnet() {
+                    let at = self.topo.node_attach(node);
+                    let vnet = Vnet(vn as u8);
+                    let vc = (0..self.cfg.vcs_per_vnet)
+                        .map(VcId)
+                        .filter(|&v| !(self.cfg.static_bubble && v.0 == self.cfg.vcs_per_vnet - 1))
+                        .find(|&v| self.meta.allocatable(at.router, at.port, vnet, v));
+                    if let Some(vc) = vc {
+                        let mut pkt = self.nics[n].queues[vn]
+                            .pop_front()
+                            .expect("next_vnet returned a non-empty queue");
+                        pkt.injected_at = now;
+                        self.meta.reserve(now, at.router, at.port, vnet, vc);
+                        self.stats.packets_injected += 1;
+                        self.nics[n].active = Some(ActiveInjection {
+                            packet: pkt,
+                            flits_sent: 0,
+                            vc,
+                        });
+                    }
+                }
+            }
+            // Stream one flit of the active packet.
+            if let Some(mut act) = self.nics[n].active.take() {
+                let at = self.topo.node_attach(node);
+                if self.cfg.switching == Switching::Wormhole
+                    && self.meta.space(
+                        at.router,
+                        at.port,
+                        act.packet.vnet,
+                        act.vc,
+                        self.cfg.vc_depth,
+                    ) == 0
+                {
+                    self.nics[n].active = Some(act);
+                    continue;
+                }
+                let flit = make_flit(&act.packet, act.flits_sent);
+                let is_tail = flit.kind.is_tail();
+                self.inj_links[n].send(
+                    now,
+                    Phit::Flit {
+                        flit,
+                        vc: act.vc,
+                        spin: false,
+                    },
+                );
+                self.meta
+                    .inflight_add(now, at.router, at.port, act.packet.vnet, act.vc, 1);
+                self.stats.flits_injected += 1;
+                act.flits_sent += 1;
+                if is_tail {
+                    self.meta
+                        .release(now, at.router, at.port, act.packet.vnet, act.vc);
+                } else {
+                    self.nics[n].active = Some(act);
+                }
+            }
+        }
+    }
+}

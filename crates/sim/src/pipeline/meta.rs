@@ -1,0 +1,204 @@
+//! The zero-delay credit mirror shared by every pipeline stage, and the
+//! routing-visible congestion view built on top of it.
+
+use spin_routing::NetworkView;
+use spin_topology::Topology;
+use spin_types::{Cycle, PortId, RouterId, VcId, Vnet};
+
+/// Per-VC allocation mirror. Each (input port, vnet, VC) buffer has exactly
+/// one upstream, so this zero-delay mirror is race-free (see crate docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct VcMeta {
+    /// Reserved by an upstream allocation whose tail has not been sent yet.
+    pub(crate) reserved: bool,
+    /// Flits physically buffered.
+    pub(crate) occupancy: u16,
+    /// Flits on the wire heading here (normal sends).
+    pub(crate) inflight: u16,
+    /// Cycle the VC last became busy.
+    pub(crate) busy_since: Cycle,
+    pub(crate) busy: bool,
+}
+
+impl VcMeta {
+    pub(crate) fn allocatable(&self) -> bool {
+        !self.reserved && self.occupancy == 0 && self.inflight == 0
+    }
+}
+
+/// Flat table of [`VcMeta`] plus per-(port,vnet) spin-flit in-flight
+/// counters.
+#[derive(Debug)]
+pub(crate) struct MetaTable {
+    data: Vec<VcMeta>,
+    /// spin flits in flight towards (router, port, vnet).
+    spin_inflight: Vec<u16>,
+    /// data offset per router.
+    offsets: Vec<usize>,
+    /// spin_inflight offset per router.
+    port_offsets: Vec<usize>,
+    vnets: usize,
+    vcs: usize,
+}
+
+impl MetaTable {
+    pub(crate) fn new(topo: &Topology, vnets: u8, vcs: u8) -> Self {
+        let mut offsets = Vec::with_capacity(topo.num_routers());
+        let mut port_offsets = Vec::with_capacity(topo.num_routers());
+        let (mut off, mut poff) = (0usize, 0usize);
+        for r in 0..topo.num_routers() {
+            offsets.push(off);
+            port_offsets.push(poff);
+            let radix = topo.radix(RouterId(r as u32));
+            off += radix * vnets as usize * vcs as usize;
+            poff += radix * vnets as usize;
+        }
+        MetaTable {
+            data: vec![VcMeta::default(); off],
+            spin_inflight: vec![0; poff],
+            offsets,
+            port_offsets,
+            vnets: vnets as usize,
+            vcs: vcs as usize,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> usize {
+        self.offsets[r.index()] + (p.index() * self.vnets + vn.index()) * self.vcs + vc.index()
+    }
+
+    #[inline]
+    fn pidx(&self, r: RouterId, p: PortId, vn: Vnet) -> usize {
+        self.port_offsets[r.index()] + p.index() * self.vnets + vn.index()
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> &VcMeta {
+        &self.data[self.idx(r, p, vn, vc)]
+    }
+
+    pub(crate) fn allocatable(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> bool {
+        self.get(r, p, vn, vc).allocatable() && self.spin_inflight[self.pidx(r, p, vn)] == 0
+    }
+
+    fn touch(&mut self, now: Cycle, i: usize) {
+        let m = &mut self.data[i];
+        let busy_now = m.reserved || m.occupancy > 0 || m.inflight > 0;
+        if busy_now && !m.busy {
+            m.busy = true;
+            m.busy_since = now;
+        } else if !busy_now {
+            m.busy = false;
+        }
+    }
+
+    pub(crate) fn reserve(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
+        let i = self.idx(r, p, vn, vc);
+        self.data[i].reserved = true;
+        self.touch(now, i);
+    }
+
+    pub(crate) fn release(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
+        let i = self.idx(r, p, vn, vc);
+        self.data[i].reserved = false;
+        self.touch(now, i);
+    }
+
+    pub(crate) fn occ_add(
+        &mut self,
+        now: Cycle,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        d: i32,
+    ) {
+        let i = self.idx(r, p, vn, vc);
+        let m = &mut self.data[i];
+        m.occupancy = (m.occupancy as i32 + d).max(0) as u16;
+        self.touch(now, i);
+    }
+
+    pub(crate) fn inflight_add(
+        &mut self,
+        now: Cycle,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        d: i32,
+    ) {
+        let i = self.idx(r, p, vn, vc);
+        let m = &mut self.data[i];
+        m.inflight = (m.inflight as i32 + d).max(0) as u16;
+        self.touch(now, i);
+    }
+
+    /// Free flit slots in a VC buffer (for wormhole per-flit flow control).
+    pub(crate) fn space(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId, depth: u16) -> u16 {
+        let m = self.get(r, p, vn, vc);
+        depth.saturating_sub(m.occupancy + m.inflight)
+    }
+
+    pub(crate) fn spin_inflight_add(&mut self, r: RouterId, p: PortId, vn: Vnet, d: i32) {
+        let i = self.pidx(r, p, vn);
+        self.spin_inflight[i] = (self.spin_inflight[i] as i32 + d).max(0) as u16;
+    }
+}
+
+/// The routing-visible congestion view (local credit knowledge).
+pub(crate) struct NetView<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) meta: &'a MetaTable,
+    pub(crate) now: Cycle,
+    pub(crate) vcs: u8,
+    /// Static Bubble: the reserved VC is invisible to routing decisions.
+    pub(crate) hidden_vc: Option<VcId>,
+}
+
+impl NetworkView for NetView<'_> {
+    fn topology(&self) -> &Topology {
+        self.topo
+    }
+    fn now(&self) -> Cycle {
+        self.now
+    }
+    fn free_vcs_downstream(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize {
+        let Some(peer) = self.topo.neighbor(at, out_port) else {
+            return 0;
+        };
+        (0..self.vcs)
+            .filter(|&v| Some(VcId(v)) != self.hidden_vc)
+            .filter(|&v| self.meta.allocatable(peer.router, peer.port, vnet, VcId(v)))
+            .count()
+    }
+    fn min_vc_active_time(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> u64 {
+        let Some(peer) = self.topo.neighbor(at, out_port) else {
+            return u64::MAX / 2;
+        };
+        let mut min = u64::MAX / 2;
+        for v in 0..self.vcs {
+            if Some(VcId(v)) == self.hidden_vc {
+                continue;
+            }
+            if self.meta.allocatable(peer.router, peer.port, vnet, VcId(v)) {
+                return 0;
+            }
+            let m = self.meta.get(peer.router, peer.port, vnet, VcId(v));
+            min = min.min(self.now.saturating_sub(m.busy_since));
+        }
+        min
+    }
+    fn downstream_occupancy(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize {
+        let Some(peer) = self.topo.neighbor(at, out_port) else {
+            return usize::MAX / 2;
+        };
+        (0..self.vcs)
+            .map(|v| {
+                let m = self.meta.get(peer.router, peer.port, vnet, VcId(v));
+                m.occupancy as usize + m.inflight as usize
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,28 @@
+//! The per-cycle router pipeline, one stage per module.
+//!
+//! [`Network::step`](crate::Network::step) orchestrates the stages in
+//! DESIGN.md's documented order; each module contributes its stage as an
+//! `impl Network` block so state stays on the one [`crate::Network`] struct
+//! while the logic lives beside its documentation:
+//!
+//! | Module        | Stage                                                    |
+//! |---------------|----------------------------------------------------------|
+//! | [`delivery`]  | link delivery: phits arrive into VCs / eject to NICs     |
+//! | [`spin_engine`]| SPIN protocol: SM processing, agent ticks, SM link arbitration, spin completion |
+//! | [`injection`] | NIC packet generation and flit streaming into routers    |
+//! | [`route`]     | route compute for blocked head packets                   |
+//! | [`vc_alloc`]  | downstream VC allocation (virtual cut-through)           |
+//! | [`sw_alloc`]  | switch allocation: spins pre-empt, then round-robin      |
+//! | [`traversal`] | switch/link traversal: the single flit-send path         |
+//!
+//! [`meta`] holds the zero-delay credit mirror ([`meta::MetaTable`]) and the
+//! routing-visible congestion view ([`meta::NetView`]) the stages share.
+
+pub(crate) mod delivery;
+pub(crate) mod injection;
+pub(crate) mod meta;
+pub(crate) mod route;
+pub(crate) mod spin_engine;
+pub(crate) mod sw_alloc;
+pub(crate) mod traversal;
+pub(crate) mod vc_alloc;

@@ -1,0 +1,76 @@
+//! Stage 5 — route compute: every blocked head packet (re-)evaluates its
+//! candidate outputs. Adaptive algorithms re-select while freshly blocked;
+//! the choice freezes after `route_stick_after` cycles so SPIN's probes
+//! trace a stable dependence.
+
+use crate::network::Network;
+use crate::pipeline::meta::NetView;
+use spin_routing::{Routing, VcMask};
+use spin_types::{RouterId, VcId};
+
+impl Network {
+    pub(crate) fn route_compute(&mut self) {
+        let now = self.now;
+        let reserved = VcId(self.cfg.vcs_per_vnet - 1);
+        for i in 0..self.routers.len() {
+            if self.routers[i].occupied_vcs == 0 {
+                continue;
+            }
+            let rid = RouterId(i as u32);
+            let coords = self.routers[i].active_coords();
+            for (p, vn, v) in coords {
+                let vcb = self.routers[i].vc(p, vn, v);
+                let Some(pb) = vcb.head() else { continue };
+                if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.received == 0 {
+                    continue;
+                }
+                // Adaptive re-selection while freshly blocked; the choice
+                // freezes after `route_stick_after` cycles so SPIN's probes
+                // trace a stable dependence (and genuinely deadlocked
+                // packets, which never move again, always end up stable).
+                if !pb.choices.is_empty() {
+                    let stuck = pb
+                        .head_since
+                        .map(|t| now.saturating_sub(t) >= self.cfg.route_stick_after)
+                        .unwrap_or(false);
+                    if stuck {
+                        continue;
+                    }
+                }
+                let pkt = pb.packet.clone();
+                let view = NetView {
+                    topo: &self.topo,
+                    meta: &self.meta,
+                    now,
+                    vcs: self.cfg.vcs_per_vnet,
+                    hidden_vc: if self.cfg.static_bubble && v != reserved {
+                        Some(reserved)
+                    } else {
+                        None
+                    },
+                };
+                let choices = if self.cfg.static_bubble && v == reserved {
+                    // Recovery packets drain over the acyclic XY escape
+                    // route, staying in the reserved VC layer.
+                    let mut c = self.escape.route(&view, rid, p, &pkt, &mut self.rng);
+                    for choice in &mut c {
+                        if self.topo.port(rid, choice.out_port).is_network() {
+                            choice.vc_mask = VcMask::only(reserved);
+                        }
+                    }
+                    c
+                } else {
+                    self.routing.route(&view, rid, p, &pkt, &mut self.rng)
+                };
+                let pb = self.routers[i]
+                    .vc_mut(p, vn, v)
+                    .head_mut()
+                    .expect("head still present");
+                pb.choices = choices;
+                if pb.head_since.is_none() {
+                    pb.head_since = Some(now);
+                }
+            }
+        }
+    }
+}

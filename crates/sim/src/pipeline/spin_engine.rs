@@ -1,0 +1,214 @@
+//! Stages 2/3 and 9 — the SPIN protocol engine: delivering special messages
+//! (SMs) to agents, ticking the per-router FSMs, arbitrating SM link access
+//! (bufferless, priority-based), and completing spins once every frozen VC
+//! has streamed its packet.
+
+use crate::link::Phit;
+use crate::network::Network;
+use crate::router::SpinView;
+use spin_core::{Action, FsmState, SmKind};
+use spin_types::RouterId;
+
+impl Network {
+    pub(crate) fn process_sms(&mut self) {
+        if !self.spin_enabled {
+            for ib in &mut self.inbox {
+                ib.clear();
+            }
+            return;
+        }
+        let now = self.now;
+        for i in 0..self.routers.len() {
+            if self.inbox[i].is_empty() {
+                continue;
+            }
+            let mut msgs = std::mem::take(&mut self.inbox[i]);
+            msgs.sort_by(|a, b| {
+                let ka = (
+                    a.1.kind.priority_class(),
+                    self.priority.priority(a.1.sender, now),
+                );
+                let kb = (
+                    b.1.kind.priority_class(),
+                    self.priority.priority(b.1.sender, now),
+                );
+                kb.cmp(&ka)
+            });
+            for (port, sm) in msgs {
+                let actions = {
+                    let view = SpinView {
+                        router: &self.routers[i],
+                        topo: &self.topo,
+                    };
+                    self.agents[i].on_sm(now, &view, port, sm)
+                };
+                self.apply_actions(i, actions);
+            }
+        }
+    }
+
+    pub(crate) fn agents_tick(&mut self) {
+        if !self.spin_enabled {
+            return;
+        }
+        let now = self.now;
+        for i in 0..self.routers.len() {
+            // An idle router with an Off FSM has nothing to do; skipping it
+            // keeps large lightly-loaded networks cheap.
+            if self.routers[i].occupied_vcs == 0 && self.agents[i].state() == FsmState::Off {
+                continue;
+            }
+            let actions = {
+                let view = SpinView {
+                    router: &self.routers[i],
+                    topo: &self.topo,
+                };
+                self.agents[i].on_cycle(now, &view)
+            };
+            self.apply_actions(i, actions);
+        }
+    }
+
+    pub(crate) fn apply_actions(&mut self, i: usize, actions: Vec<Action>) {
+        let rid = RouterId(i as u32);
+        for a in actions {
+            match a {
+                Action::SendSm { out_port, sm } => {
+                    if !self.topo.port(rid, out_port).is_network() {
+                        continue; // SMs never leave through NIC ports.
+                    }
+                    if sm.sender == rid {
+                        if sm.kind == SmKind::Probe && sm.path.is_empty() {
+                            self.classify(rid, false);
+                        } else if sm.kind == SmKind::Move {
+                            self.classify(rid, true);
+                        }
+                    }
+                    self.pending_sms.push((rid, out_port, sm));
+                }
+                Action::Freeze {
+                    in_port,
+                    vnet,
+                    vc,
+                    out_port,
+                } => {
+                    let router = &mut self.routers[i];
+                    let vcb = router.vc_mut(in_port, vnet, vc);
+                    vcb.frozen = true;
+                    vcb.frozen_out = Some(out_port);
+                    router.spin_rx.insert((in_port, vnet), vc);
+                }
+                Action::UnfreezeAll => {
+                    for (p, vn, v) in self.routers[i].vc_coords().collect::<Vec<_>>() {
+                        let vcb = self.routers[i].vc_mut(p, vn, v);
+                        vcb.frozen = false;
+                        vcb.frozen_out = None;
+                    }
+                }
+                Action::StartSpin => {
+                    let frozen: Vec<_> = self.agents[i].frozen().to_vec();
+                    if self.agents[i].state() == FsmState::ForwardProgress {
+                        // Counted once per recovery, at the initiator.
+                    }
+                    for f in frozen {
+                        let vcb = self.routers[i].vc_mut(f.in_port, f.vnet, f.vc);
+                        if vcb.head().is_some() {
+                            vcb.spinning = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies an originated probe or confirmed recovery against ground
+    /// truth (Fig. 9). `confirmed` distinguishes a move launch (a recovery
+    /// that will spin) from a mere probe launch.
+    fn classify(&mut self, r: RouterId, confirmed: bool) {
+        if !self.cfg.classify_probes {
+            return;
+        }
+        let routers = match &self.classify_cache {
+            Some((c, v)) if *c == self.now => v.clone(),
+            _ => {
+                let v = self.wait_graph().deadlocked_routers();
+                self.classify_cache = Some((self.now, v.clone()));
+                v
+            }
+        };
+        if routers.binary_search(&r).is_err() {
+            if confirmed {
+                self.stats.false_positive_spins += 1;
+            } else {
+                self.stats.false_positive_probes += 1;
+            }
+        }
+    }
+
+    pub(crate) fn resolve_sms(&mut self) {
+        if self.pending_sms.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut pending = std::mem::take(&mut self.pending_sms);
+        // Highest (class, sender priority, sender id) wins each (router,
+        // port); the rest are dropped — bufferless SM transport.
+        pending.sort_by(|a, b| {
+            let ka = (
+                a.0,
+                a.1,
+                a.2.kind.priority_class(),
+                self.priority.priority(a.2.sender, now),
+                a.2.sender.0,
+            );
+            let kb = (
+                b.0,
+                b.1,
+                b.2.kind.priority_class(),
+                self.priority.priority(b.2.sender, now),
+                b.2.sender.0,
+            );
+            ka.cmp(&kb)
+        });
+        let mut idx = 0;
+        while idx < pending.len() {
+            let (r, p, _) = (pending[idx].0, pending[idx].1, ());
+            // Find the end of this (router, port) group; the last element
+            // has the highest priority.
+            let mut end = idx;
+            while end + 1 < pending.len() && pending[end + 1].0 == r && pending[end + 1].1 == p {
+                end += 1;
+            }
+            let (_, _, sm) = pending[end].clone();
+            match sm.kind {
+                SmKind::Probe => self.stats.link_use.probe += 1,
+                _ => self.stats.link_use.other_sm += 1,
+            }
+            self.sm_busy.insert((r.0, p.0));
+            self.out_links[r.index()][p.index()].send(now, Phit::Sm(sm));
+            idx = end + 1;
+        }
+    }
+
+    pub(crate) fn spin_completions(&mut self) {
+        if !self.spin_enabled {
+            return;
+        }
+        let now = self.now;
+        for i in 0..self.routers.len() {
+            if self.agents[i].is_spinning() && !self.routers[i].any_spinning() {
+                if self.agents[i].state() == FsmState::ForwardProgress {
+                    self.stats.spins += 1;
+                }
+                let actions = {
+                    let view = SpinView {
+                        router: &self.routers[i],
+                        topo: &self.topo,
+                    };
+                    self.agents[i].notify_spin_complete(now, &view)
+                };
+                self.apply_actions(i, actions);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Stages 7/8 — switch allocation: ejection is stall-free; on network
+//! ports spin streaming pre-empts the crossbar, then round-robin
+//! arbitration picks one input VC per output port. Winners traverse via
+//! [`traversal`](super::traversal).
+
+use crate::config::Switching;
+use crate::network::Network;
+use spin_types::{PortId, RouterId, VcId};
+
+impl Network {
+    pub(crate) fn switch_traverse(&mut self) {
+        for i in 0..self.routers.len() {
+            if self.routers[i].occupied_vcs == 0 {
+                continue;
+            }
+            let rid = RouterId(i as u32);
+            let coords = self.routers[i].active_coords();
+            // Ejection: stall-free, unbounded bandwidth (paper Sec. II-F).
+            for &(p, vn, v) in &coords {
+                let vcb = self.routers[i].vc(p, vn, v);
+                let Some(pb) = vcb.head() else { continue };
+                let Some((op, _)) = pb.out else { continue };
+                if self.topo.port(rid, op).is_local() && pb.flit_available() {
+                    self.send_flit(i, p, vn, v, op, VcId(0), false);
+                }
+            }
+            // Network ports: spins pre-empt, then round-robin SA.
+            for op_idx in 0..self.out_links[i].len() {
+                let op = PortId(op_idx as u8);
+                if !self.topo.port(rid, op).is_network() {
+                    continue;
+                }
+                if self.sm_busy.contains(&(rid.0, op.0)) {
+                    continue;
+                }
+                // Spin streaming gets the link.
+                let spin_vc = coords.iter().copied().find(|&(p, vn, v)| {
+                    let vcb = self.routers[i].vc(p, vn, v);
+                    vcb.spinning
+                        && vcb.frozen_out == Some(op)
+                        && vcb.head().map(|pb| pb.flit_available()).unwrap_or(false)
+                });
+                if let Some((p, vn, v)) = spin_vc {
+                    self.send_flit(i, p, vn, v, op, VcId(0), true);
+                    continue;
+                }
+                // Round-robin switch allocation.
+                let n = coords.len();
+                if n == 0 {
+                    continue;
+                }
+                let start = self.routers[i].sa_rr[op_idx] % n;
+                let mut winner = None;
+                for k in 0..n {
+                    let (p, vn, v) = coords[(start + k) % n];
+                    let vcb = self.routers[i].vc(p, vn, v);
+                    if vcb.frozen || vcb.spinning {
+                        continue;
+                    }
+                    let Some(pb) = vcb.head() else { continue };
+                    let Some((pout, tvc)) = pb.out else { continue };
+                    if pout != op || !pb.flit_available() {
+                        continue;
+                    }
+                    // Wormhole: per-flit backpressure (VCT pre-reserves a
+                    // whole packet's space at allocation, so no check).
+                    if self.cfg.switching == Switching::Wormhole {
+                        if let Some(peer) = self.topo.port(rid, op).conn {
+                            if self
+                                .meta
+                                .space(peer.router, peer.port, vn, tvc, self.cfg.vc_depth)
+                                == 0
+                            {
+                                continue;
+                            }
+                        }
+                    }
+                    winner = Some(((p, vn, v), tvc, (start + k) % n));
+                    break;
+                }
+                if let Some(((p, vn, v), tvc, pos)) = winner {
+                    self.routers[i].sa_rr[op_idx] = (pos + 1) % n;
+                    self.send_flit(i, p, vn, v, op, tvc, false);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Switch/link traversal: the single path every flit send takes — normal
+//! sends, ejections and spin pushes — keeping the credit mirror, link-use
+//! stats and buffer bookkeeping consistent in one place.
+
+use crate::link::Phit;
+use crate::network::{make_flit, Network};
+use spin_types::{PortId, RouterId, VcId, Vnet};
+
+impl Network {
+    /// Emits one flit from (router i, in-port p, vnet vn, vc v) through
+    /// `out_port` towards downstream VC `tvc` (ignored for spin pushes,
+    /// which land in the receiver's earmarked VC).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_flit(
+        &mut self,
+        i: usize,
+        p: PortId,
+        vn: Vnet,
+        v: VcId,
+        out_port: PortId,
+        tvc: VcId,
+        spin: bool,
+    ) {
+        let now = self.now;
+        let rid = RouterId(i as u32);
+        let (flit, is_tail, fully_sent) = {
+            let pb = self.routers[i]
+                .vc_mut(p, vn, v)
+                .head_mut()
+                .expect("send_flit requires a head packet");
+            let flit = make_flit(&pb.packet, pb.sent);
+            pb.sent += 1;
+            (flit.clone(), flit.kind.is_tail(), pb.fully_sent())
+        };
+        let port = self.topo.port(rid, out_port);
+        if let Some(peer) = port.conn {
+            self.stats.link_use.flit += 1;
+            if spin {
+                self.meta.spin_inflight_add(peer.router, peer.port, vn, 1);
+            } else {
+                self.meta
+                    .inflight_add(now, peer.router, peer.port, vn, tvc, 1);
+                if is_tail {
+                    self.meta.release(now, peer.router, peer.port, vn, tvc);
+                }
+            }
+        }
+        self.out_links[i][out_port.index()].send(
+            now,
+            Phit::Flit {
+                flit,
+                vc: tvc,
+                spin,
+            },
+        );
+        self.meta.occ_add(now, rid, p, vn, v, -1);
+        if fully_sent {
+            let router = &mut self.routers[i];
+            let vcb = router.vc_mut(p, vn, v);
+            vcb.q.pop_front();
+            if spin {
+                vcb.spinning = false;
+                vcb.frozen = false;
+                vcb.frozen_out = None;
+            }
+            if let Some(next) = vcb.head_mut() {
+                next.head_since = None;
+            }
+            if router.vc(p, vn, v).q.is_empty() {
+                router.occupied_vcs -= 1;
+            }
+        }
+    }
+}

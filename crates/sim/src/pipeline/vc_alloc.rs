@@ -1,0 +1,113 @@
+//! Stage 6 — VC allocation (virtual cut-through): a routed head packet
+//! claims a whole downstream VC, honouring the routing algorithm's VC mask,
+//! Static Bubble recovery grants and bubble flow control.
+
+use crate::network::Network;
+use spin_routing::{RouteChoice, VcMask};
+use spin_types::{PortId, RouterId, VcId};
+
+impl Network {
+    pub(crate) fn vc_allocate(&mut self) {
+        let now = self.now;
+        let reserved = VcId(self.cfg.vcs_per_vnet - 1);
+        for i in 0..self.routers.len() {
+            if self.routers[i].occupied_vcs == 0 {
+                continue;
+            }
+            let rid = RouterId(i as u32);
+            let coords = self.routers[i].active_coords();
+            for (p, vn, v) in coords {
+                let vcb = self.routers[i].vc(p, vn, v);
+                let Some(pb) = vcb.head() else { continue };
+                if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.choices.is_empty() {
+                    continue;
+                }
+                let mut candidates: spin_routing::RouteChoices = pb.choices.clone();
+                // Static Bubble: a long-blocked head may use the reserved
+                // VC (the recovery grant).
+                let mut grant_used = false;
+                if self.cfg.static_bubble {
+                    if let Some(since) = pb.head_since {
+                        if now.saturating_sub(since) >= self.cfg.bubble_timeout {
+                            for c in pb.choices.clone() {
+                                candidates.push(RouteChoice {
+                                    out_port: c.out_port,
+                                    vc_mask: VcMask::only(reserved),
+                                });
+                            }
+                            grant_used = true;
+                        }
+                    }
+                }
+                let mut alloc: Option<(PortId, VcId)> = None;
+                'outer: for c in &candidates {
+                    let port = self.topo.port(rid, c.out_port);
+                    if port.is_local() {
+                        alloc = Some((c.out_port, VcId(0)));
+                        break;
+                    }
+                    let Some(peer) = port.conn else { continue };
+                    // Bubble flow control: injections and turns must leave
+                    // one VC free at the target port (the bubble).
+                    let needs_bubble =
+                        self.cfg.bubble_flow_control && self.hop_needs_bubble(rid, p, c.out_port);
+                    if needs_bubble {
+                        let free = (0..self.cfg.vcs_per_vnet)
+                            .filter(|&v| self.meta.allocatable(peer.router, peer.port, vn, VcId(v)))
+                            .count();
+                        if free < 2 {
+                            continue;
+                        }
+                    }
+                    for tv in 0..self.cfg.vcs_per_vnet {
+                        let tv = VcId(tv);
+                        if !c.vc_mask.contains(tv) {
+                            continue;
+                        }
+                        if self.meta.allocatable(peer.router, peer.port, vn, tv) {
+                            self.meta.reserve(now, peer.router, peer.port, vn, tv);
+                            alloc = Some((c.out_port, tv));
+                            if grant_used && tv == reserved {
+                                self.stats.bubble_grants += 1;
+                            }
+                            break 'outer;
+                        }
+                    }
+                }
+                if let Some(out) = alloc {
+                    self.routers[i]
+                        .vc_mut(p, vn, v)
+                        .head_mut()
+                        .expect("head still present")
+                        .out = Some(out);
+                }
+            }
+        }
+    }
+
+    /// Bubble flow control: does a hop from `in_port` to `out_port` at
+    /// router `r` need to preserve a bubble? Injections and dimension /
+    /// direction changes do; continuing straight along a ring does not
+    /// (the in-flight packet only rotates its ring's occupancy).
+    pub(crate) fn hop_needs_bubble(&self, r: RouterId, in_port: PortId, out_port: PortId) -> bool {
+        if self.topo.port(r, in_port).is_local() {
+            return true; // injection into the ring
+        }
+        use spin_topology::TopologyKind;
+        match self.topo.kind() {
+            TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => {
+                match (self.topo.port_dir(in_port), self.topo.port_dir(out_port)) {
+                    // Straight = leaving through the port opposite the one
+                    // we entered (same dimension, same direction).
+                    (Some(din), Some(dout)) => dout != din.opposite(),
+                    _ => true,
+                }
+            }
+            TopologyKind::Ring { .. } => {
+                // Ports 1 (cw) and 2 (ccw): straight-through pairs.
+                !(in_port.0 == 1 && out_port.0 == 2 || in_port.0 == 2 && out_port.0 == 1)
+            }
+            _ => true, // conservative on arbitrary graphs
+        }
+    }
+}

@@ -33,7 +33,13 @@ impl Router {
                     .collect()
             })
             .collect();
-        Router { id, in_vcs, sa_rr: vec![0; radix], spin_rx: HashMap::new(), occupied_vcs: 0 }
+        Router {
+            id,
+            in_vcs,
+            sa_rr: vec![0; radix],
+            spin_rx: HashMap::new(),
+            occupied_vcs: 0,
+        }
     }
 
     pub(crate) fn vc(&self, port: PortId, vnet: Vnet, vc: VcId) -> &Vc {
@@ -72,11 +78,7 @@ impl Router {
 
     /// True while any VC is streaming a spin.
     pub(crate) fn any_spinning(&self) -> bool {
-        self.in_vcs
-            .iter()
-            .flatten()
-            .flatten()
-            .any(|vc| vc.spinning)
+        self.in_vcs.iter().flatten().flatten().any(|vc| vc.spinning)
     }
 }
 
@@ -93,7 +95,11 @@ impl SpinRouterView for SpinView<'_> {
     }
 
     fn num_vnets(&self) -> u8 {
-        self.router.in_vcs.first().map(|v| v.len() as u8).unwrap_or(0)
+        self.router
+            .in_vcs
+            .first()
+            .map(|v| v.len() as u8)
+            .unwrap_or(0)
     }
 
     fn num_vcs(&self, port: PortId, vnet: Vnet) -> u8 {
@@ -118,9 +124,7 @@ impl SpinRouterView for SpinView<'_> {
         }
         match pb.choices.first() {
             None => VcStatus::Routing,
-            Some(c) if self.topo.port(self.router.id, c.out_port).is_local() => {
-                VcStatus::Ejecting
-            }
+            Some(c) if self.topo.port(self.router.id, c.out_port).is_local() => VcStatus::Ejecting,
             Some(c) => VcStatus::Waiting(c.out_port),
         }
     }

@@ -1,13 +1,12 @@
 //! Simulation statistics: latency, throughput, link utilisation, SPIN
 //! protocol activity.
 
-use serde::Serialize;
 use spin_types::Cycle;
 
 /// Network-link usage accounting (Fig. 8b): every directed network link
 /// contributes one slot per cycle, used by a flit, a special message, or
 /// idle.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkUse {
     /// Link-cycles carrying data flits.
     pub flit: u64,
@@ -47,7 +46,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Aggregate statistics of one simulation.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Cycles simulated.
     pub cycles: Cycle,
@@ -116,7 +115,10 @@ impl NetStats {
     /// Average in-network packet latency (inject to eject) in cycles, over
     /// the measurement window.
     pub fn avg_network_latency(&self) -> f64 {
-        ratio(self.window_network_latency_sum, self.window_packets_delivered)
+        ratio(
+            self.window_network_latency_sum,
+            self.window_packets_delivered,
+        )
     }
 
     /// Accepted throughput in flits/node/cycle over the measurement window.
@@ -144,9 +146,14 @@ mod tests {
 
     #[test]
     fn link_use_fractions_sum_to_one() {
-        let u = LinkUse { flit: 30, probe: 5, other_sm: 5, total: 100 };
-        let sum = u.flit_fraction() + u.probe_fraction() + u.other_sm_fraction()
-            + u.idle_fraction();
+        let u = LinkUse {
+            flit: 30,
+            probe: 5,
+            other_sm: 5,
+            total: 100,
+        };
+        let sum =
+            u.flit_fraction() + u.probe_fraction() + u.other_sm_fraction() + u.idle_fraction();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!((u.flit_fraction() - 0.3).abs() < 1e-9);
         assert!((u.idle_fraction() - 0.6).abs() < 1e-9);

@@ -21,7 +21,11 @@ impl TrafficSource for OneShot {
     fn generate(&mut self, node: NodeId, now: Cycle) -> Option<PacketSpec> {
         if !self.fired && node == self.src && now >= 1 {
             self.fired = true;
-            Some(PacketSpec { dst: self.dst, len: self.len, vnet: Vnet(0) })
+            Some(PacketSpec {
+                dst: self.dst,
+                len: self.len,
+                vnet: Vnet(0),
+            })
         } else {
             None
         }
@@ -55,14 +59,7 @@ impl<T: TrafficSource> TrafficSource for Cutoff<T> {
     }
 }
 
-fn mesh_net(
-    vcs: u8,
-    vnets: u8,
-    rate: f64,
-    pattern: Pattern,
-    spin: bool,
-    seed: u64,
-) -> Network {
+fn mesh_net(vcs: u8, vnets: u8, rate: f64, pattern: Pattern, spin: bool, seed: u64) -> Network {
     let topo = Topology::mesh(4, 4);
     let mut tc = SyntheticConfig::new(pattern, rate);
     tc.vnets = vnets;
@@ -80,7 +77,10 @@ fn mesh_net(
         .routing(FavorsMinimal)
         .traffic(traffic);
     if spin {
-        b = b.spin(SpinConfig { t_dd: 64, ..SpinConfig::default() });
+        b = b.spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        });
     }
     b.build()
 }
@@ -89,9 +89,18 @@ fn mesh_net(
 fn one_packet_crosses_the_mesh() {
     let topo = Topology::mesh(4, 4);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(XyRouting)
-        .traffic(OneShot { src: NodeId(0), dst: NodeId(15), len: 5, fired: false })
+        .traffic(OneShot {
+            src: NodeId(0),
+            dst: NodeId(15),
+            len: 5,
+            fired: false,
+        })
         .build();
     net.run(100);
     let s = net.stats();
@@ -115,7 +124,10 @@ fn light_load_everything_delivered() {
         cutoff: 3000,
     };
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: 2,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
@@ -139,7 +151,12 @@ fn deterministic_given_seed() {
         let mut net = mesh_net(1, 1, 0.2, Pattern::UniformRandom, true, 42);
         net.run(2000);
         let s = net.stats();
-        (s.packets_delivered, s.flits_delivered, s.window_network_latency_sum, s.spins)
+        (
+            s.packets_delivered,
+            s.flits_delivered,
+            s.window_network_latency_sum,
+            s.spins,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -172,7 +189,10 @@ fn spin_recovers_and_keeps_delivering() {
     let mut net = mesh_net(1, 1, 0.6, Pattern::UniformRandom, true, seed);
     net.run((dead_at * 4).max(4000));
     let s = net.stats();
-    assert!(s.spins > 0, "no spins despite operation past the deadlock point");
+    assert!(
+        s.spins > 0,
+        "no spins despite operation past the deadlock point"
+    );
     assert_eq!(s.spin_orphans, 0, "spin flits lost their landing VC");
     assert_eq!(s.overflow_events, 0, "buffer overflow during spins");
     // Delivery must continue in the latter half of the run.
@@ -216,11 +236,18 @@ fn west_first_never_deadlocks() {
     tc.data_fraction = 0.0;
     let traffic = SyntheticTraffic::new(tc, &topo, 5);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(WestFirst)
         .traffic(traffic)
         .build();
-    assert!(net.run_until_deadlock(15_000, 100).is_none(), "Dally baseline deadlocked");
+    assert!(
+        net.run_until_deadlock(15_000, 100).is_none(),
+        "Dally baseline deadlocked"
+    );
     assert!(net.stats().packets_delivered > 1000);
 }
 
@@ -232,11 +259,18 @@ fn escape_vc_never_deadlocks() {
     tc.data_fraction = 0.0;
     let traffic = SyntheticTraffic::new(tc, &topo, 5);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 2, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 2,
+            ..SimConfig::default()
+        })
         .routing(EscapeVc)
         .traffic(traffic)
         .build();
-    assert!(net.run_until_deadlock(15_000, 100).is_none(), "Duato baseline deadlocked");
+    assert!(
+        net.run_until_deadlock(15_000, 100).is_none(),
+        "Duato baseline deadlocked"
+    );
     assert!(net.stats().packets_delivered > 500);
 }
 
@@ -261,7 +295,10 @@ fn static_bubble_recovers_via_reserved_vc() {
     net.run(15_000);
     let s = net.stats();
     assert!(s.packets_delivered > 1000, "static bubble starved");
-    assert!(s.bubble_grants > 0, "recovery path never exercised at high load");
+    assert!(
+        s.bubble_grants > 0,
+        "recovery path never exercised at high load"
+    );
     // Long-run progress check.
     let before = s.packets_delivered;
     net.run(3000);
@@ -275,14 +312,21 @@ fn ugal_dragonfly_delivers() {
     tc.vnets = 3;
     let traffic = SyntheticTraffic::new(tc, &topo, 13);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 3, vcs_per_vnet: 3, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 3,
+            ..SimConfig::default()
+        })
         .routing(Ugal::dally_baseline())
         .traffic(traffic)
         .build();
     net.run(5000);
     let s = net.stats();
     assert!(s.packets_delivered > 500, "dragonfly UGAL starved");
-    assert!(net.run_until_deadlock(5000, 200).is_none(), "UGAL Dally baseline deadlocked");
+    assert!(
+        net.run_until_deadlock(5000, 200).is_none(),
+        "UGAL Dally baseline deadlocked"
+    );
 }
 
 #[test]
@@ -295,17 +339,27 @@ fn spin_works_on_irregular_topology() {
     tc.data_fraction = 0.0;
     let traffic = SyntheticTraffic::new(tc, &topo, 17);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
-        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        })
         .build();
     net.run(20_000);
     let s = net.stats();
     assert!(s.packets_delivered > 1000, "irregular network starved");
     let before = s.packets_delivered;
     net.run(2000);
-    assert!(net.stats().packets_delivered > before, "irregular network wedged");
+    assert!(
+        net.stats().packets_delivered > before,
+        "irregular network wedged"
+    );
 }
 
 #[test]
@@ -317,8 +371,7 @@ fn link_utilization_accounting_consistent() {
     assert!(u.total > 0);
     assert!(u.flit + u.probe + u.other_sm <= u.total);
     assert!(u.flit_fraction() > 0.0);
-    let sum =
-        u.flit_fraction() + u.probe_fraction() + u.other_sm_fraction() + u.idle_fraction();
+    let sum = u.flit_fraction() + u.probe_fraction() + u.other_sm_fraction() + u.idle_fraction();
     assert!((sum - 1.0).abs() < 1e-9);
 }
 
@@ -371,11 +424,17 @@ fn probe_classification_counts_false_positives() {
         })
         .routing(FavorsMinimal)
         .traffic(traffic)
-        .spin(SpinConfig { t_dd: 16, ..SpinConfig::default() })
+        .spin(SpinConfig {
+            t_dd: 16,
+            ..SpinConfig::default()
+        })
         .build();
     net.run(10_000);
     let s = net.stats();
-    assert!(s.probes_sent > 0, "no probes at a congested operating point");
+    assert!(
+        s.probes_sent > 0,
+        "no probes at a congested operating point"
+    );
     assert!(
         s.false_positive_probes <= s.probes_sent,
         "false positives exceed probes"
@@ -390,7 +449,10 @@ fn multi_vnet_traffic_isolated() {
     net.run(8000);
     let s = net.stats();
     assert!(s.packets_delivered > 500);
-    assert!(s.flits_delivered > s.packets_delivered, "no data packets seen");
+    assert!(
+        s.flits_delivered > s.packets_delivered,
+        "no data packets seen"
+    );
 }
 
 #[test]
@@ -404,7 +466,11 @@ fn torus_dor_one_vc_deadlocks_without_bubble() {
         tc.vnets = 1;
         let traffic = SyntheticTraffic::new(tc, &topo, seed);
         let mut net = NetworkBuilder::new(topo)
-            .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+            .config(SimConfig {
+                vnets: 1,
+                vcs_per_vnet: 1,
+                ..SimConfig::default()
+            })
             .routing(XyRouting)
             .traffic(traffic)
             .build();
@@ -436,7 +502,10 @@ fn bubble_flow_control_keeps_torus_deadlock_free() {
         net.run_until_deadlock(15_000, 100).is_none(),
         "bubble flow control failed to keep the torus deadlock-free"
     );
-    assert!(net.stats().packets_delivered > 1_000, "bubble FC starved the torus");
+    assert!(
+        net.stats().packets_delivered > 1_000,
+        "bubble FC starved the torus"
+    );
 }
 
 #[test]
@@ -448,7 +517,11 @@ fn up_down_routing_is_deadlock_free_on_irregular_graph() {
     tc.vnets = 1;
     let traffic = SyntheticTraffic::new(tc, &topo, 5);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(ud)
         .traffic(traffic)
         .build();
@@ -466,16 +539,26 @@ fn spin_survives_link_failures() {
     let mesh = Topology::mesh(4, 4);
     use spin_types::PortId;
     let degraded = mesh
-        .with_failed_links(&[(spin_types::RouterId(5), PortId(1)), (spin_types::RouterId(10), PortId(2))])
+        .with_failed_links(&[
+            (spin_types::RouterId(5), PortId(1)),
+            (spin_types::RouterId(10), PortId(2)),
+        ])
         .expect("degraded mesh stays connected");
     let mut tc = SyntheticConfig::single_flit(Pattern::UniformRandom, 0.2);
     tc.vnets = 1;
     let traffic = SyntheticTraffic::new(tc, &degraded, 9);
     let mut net = NetworkBuilder::new(degraded)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
-        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        })
         .build();
     let mut last = 0;
     for _ in 0..5 {
@@ -495,7 +578,10 @@ fn concentrated_mesh_runs() {
     tc.vnets = 3;
     let traffic = SyntheticTraffic::new(tc, &topo, 1);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
@@ -509,7 +595,10 @@ fn wormhole_switching_delivers_with_shallow_buffers() {
     use crate::Switching;
     let topo = Topology::mesh(4, 4);
     let tc = SyntheticConfig::new(Pattern::UniformRandom, 0.1);
-    let traffic = Cutoff { inner: SyntheticTraffic::new(tc, &topo, 5), cutoff: 4000 };
+    let traffic = Cutoff {
+        inner: SyntheticTraffic::new(tc, &topo, 5),
+        cutoff: 4000,
+    };
     let mut net = NetworkBuilder::new(topo)
         .config(SimConfig {
             vcs_per_vnet: 2,
@@ -523,7 +612,10 @@ fn wormhole_switching_delivers_with_shallow_buffers() {
     net.run(4_000);
     assert!(net.drain(8_000), "wormhole network failed to drain");
     let s = net.stats();
-    assert_eq!(s.packets_created, s.packets_delivered, "wormhole lost packets");
+    assert_eq!(
+        s.packets_created, s.packets_delivered,
+        "wormhole lost packets"
+    );
     assert!(s.packets_delivered > 300);
     // Shallow buffers must never overflow despite 5-flit packets.
     assert_eq!(s.overflow_events, 0);
@@ -564,7 +656,12 @@ fn wormhole_latency_reflects_serialization() {
                 ..SimConfig::default()
             })
             .routing(XyRouting)
-            .traffic(OneShot { src: NodeId(0), dst: NodeId(15), len: 5, fired: false })
+            .traffic(OneShot {
+                src: NodeId(0),
+                dst: NodeId(15),
+                len: 5,
+                fired: false,
+            })
             .build();
         net.run(200);
         assert_eq!(net.stats().packets_delivered, 1);

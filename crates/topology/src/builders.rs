@@ -7,11 +7,19 @@ use rand::{Rng, SeedableRng};
 use spin_types::{NodeId, PortConn, PortId, RouterId};
 
 fn local_port(node: NodeId) -> Port {
-    Port { conn: None, node: Some(node), latency: 1 }
+    Port {
+        conn: None,
+        node: Some(node),
+        latency: 1,
+    }
 }
 
 fn net_port(peer: PortConn, latency: u32) -> Port {
-    Port { conn: Some(peer), node: None, latency }
+    Port {
+        conn: Some(peer),
+        node: None,
+        latency,
+    }
 }
 
 impl Topology {
@@ -49,7 +57,10 @@ impl Topology {
             for x in 0..width {
                 let r = at(x, y);
                 ports[r.index()][0] = local_port(NodeId(r.0));
-                node_attach.push(PortConn { router: r, port: PortId(0) });
+                node_attach.push(PortConn {
+                    router: r,
+                    port: PortId(0),
+                });
                 // N=1 E=2 S=3 W=4; connect to the neighbour's opposite port.
                 let neighbours: [(u8, Option<RouterId>); 4] = [
                     (1, step(y, height, 1, wrap).map(|ny| at(x, ny))),
@@ -65,8 +76,13 @@ impl Topology {
                             3 => 1,
                             _ => 2,
                         };
-                        ports[r.index()][p as usize] =
-                            net_port(PortConn { router: pr, port: PortId(opposite) }, 1);
+                        ports[r.index()][p as usize] = net_port(
+                            PortConn {
+                                router: pr,
+                                port: PortId(opposite),
+                            },
+                            1,
+                        );
                     }
                 }
             }
@@ -76,7 +92,12 @@ impl Topology {
         } else {
             TopologyKind::Mesh { width, height }
         };
-        let name = format!("{}{}x{}", if wrap { "torus" } else { "mesh" }, width, height);
+        let name = format!(
+            "{}{}x{}",
+            if wrap { "torus" } else { "mesh" },
+            width,
+            height
+        );
         Topology::from_parts(name, kind, ports, node_attach)
     }
 
@@ -92,16 +113,34 @@ impl Topology {
         let mut node_attach = Vec::with_capacity(n as usize);
         for r in 0..n {
             ports[r as usize][0] = local_port(NodeId(r));
-            node_attach.push(PortConn { router: RouterId(r), port: PortId(0) });
+            node_attach.push(PortConn {
+                router: RouterId(r),
+                port: PortId(0),
+            });
             let next = (r + 1) % n;
             let prev = (r + n - 1) % n;
-            ports[r as usize][1] =
-                net_port(PortConn { router: RouterId(next), port: PortId(2) }, 1);
-            ports[r as usize][2] =
-                net_port(PortConn { router: RouterId(prev), port: PortId(1) }, 1);
+            ports[r as usize][1] = net_port(
+                PortConn {
+                    router: RouterId(next),
+                    port: PortId(2),
+                },
+                1,
+            );
+            ports[r as usize][2] = net_port(
+                PortConn {
+                    router: RouterId(prev),
+                    port: PortId(1),
+                },
+                1,
+            );
         }
-        Topology::from_parts(format!("ring{n}"), TopologyKind::Ring { n }, ports, node_attach)
-            .expect("ring construction is infallible")
+        Topology::from_parts(
+            format!("ring{n}"),
+            TopologyKind::Ring { n },
+            ports,
+            node_attach,
+        )
+        .expect("ring construction is infallible")
     }
 
     /// Builds a dragonfly with `p` terminals/router, `a` routers/group, `h`
@@ -168,7 +207,10 @@ impl Topology {
                 for t in 0..p {
                     let node = NodeId(r.0 * p + t);
                     ports[r.index()][t as usize] = local_port(node);
-                    node_attach.push(PortConn { router: r, port: PortId(t as u8) });
+                    node_attach.push(PortConn {
+                        router: r,
+                        port: PortId(t as u8),
+                    });
                 }
                 for j in 0..a {
                     if j == i {
@@ -178,7 +220,10 @@ impl Topology {
                     let peer_port = p + if i < j { i } else { i - 1 };
                     let peer = RouterId(grp * a + j);
                     ports[r.index()][my_port as usize] = net_port(
-                        PortConn { router: peer, port: PortId(peer_port as u8) },
+                        PortConn {
+                            router: peer,
+                            port: PortId(peer_port as u8),
+                        },
                         local_latency,
                     );
                 }
@@ -222,10 +267,8 @@ impl Topology {
                     let e2 = endpoint_index(peer, grp, c);
                     let end1 = endpoint_router_port(grp, e1);
                     let end2 = endpoint_router_port(peer, e2);
-                    ports[end1.router.index()][end1.port.index()] =
-                        net_port(end2, global_latency);
-                    ports[end2.router.index()][end2.port.index()] =
-                        net_port(end1, global_latency);
+                    ports[end1.router.index()][end1.port.index()] = net_port(end2, global_latency);
+                    ports[end2.router.index()][end2.port.index()] = net_port(end1, global_latency);
                 }
             }
         }
@@ -251,7 +294,9 @@ impl Topology {
         nodes_per_router: u32,
     ) -> Result<Topology, TopologyError> {
         if num_routers == 0 {
-            return Err(TopologyError::BadParameter("need at least one router".into()));
+            return Err(TopologyError::BadParameter(
+                "need at least one router".into(),
+            ));
         }
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_routers as usize];
         let mut seen = std::collections::HashSet::new();
@@ -266,7 +311,9 @@ impl Topology {
             }
             let key = (u.min(v), u.max(v));
             if !seen.insert(key) {
-                return Err(TopologyError::BadParameter(format!("duplicate edge ({u},{v})")));
+                return Err(TopologyError::BadParameter(format!(
+                    "duplicate edge ({u},{v})"
+                )));
             }
             adj[u as usize].push(v);
             adj[v as usize].push(u);
@@ -326,7 +373,9 @@ impl Topology {
         seed: u64,
     ) -> Result<Topology, TopologyError> {
         if num_routers == 0 {
-            return Err(TopologyError::BadParameter("need at least one router".into()));
+            return Err(TopologyError::BadParameter(
+                "need at least one router".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut order: Vec<u32> = (0..num_routers).collect();
@@ -389,7 +438,9 @@ impl Topology {
             )));
         }
         if c == 0 {
-            return Err(TopologyError::BadParameter("need at least one terminal".into()));
+            return Err(TopologyError::BadParameter(
+                "need at least one terminal".into(),
+            ));
         }
         // Build edges as an irregular graph but preserve mesh adjacency.
         let n = width * height;

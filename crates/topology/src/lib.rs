@@ -56,7 +56,11 @@ pub struct Port {
 
 impl Port {
     fn unconnected() -> Self {
-        Port { conn: None, node: None, latency: 1 }
+        Port {
+            conn: None,
+            node: None,
+            latency: 1,
+        }
     }
 
     /// True if this port attaches a terminal node.
@@ -134,7 +138,13 @@ impl Topology {
         ports: Vec<Vec<Port>>,
         node_attach: Vec<PortConn>,
     ) -> Result<Self, TopologyError> {
-        let mut topo = Topology { name, kind, ports, node_attach, dist: Vec::new() };
+        let mut topo = Topology {
+            name,
+            kind,
+            ports,
+            node_attach,
+            dist: Vec::new(),
+        };
         topo.validate()?;
         topo.dist = topo.all_pairs_bfs();
         // Reachability check: every router must reach every other.
@@ -161,7 +171,10 @@ impl Topology {
                         .get(peer.router.index())
                         .and_then(|ps| ps.get(peer.port.index()))
                         .and_then(|p| p.conn);
-                    let me = PortConn { router: RouterId(r as u32), port: PortId(p as u8) };
+                    let me = PortConn {
+                        router: RouterId(r as u32),
+                        port: PortId(p as u8),
+                    };
                     if back != Some(me) {
                         return Err(TopologyError::AsymmetricLink { from: me, to: peer });
                     }
@@ -171,7 +184,9 @@ impl Topology {
         for (n, at) in self.node_attach.iter().enumerate() {
             let port = &self.ports[at.router.index()][at.port.index()];
             if port.node != Some(NodeId(n as u32)) {
-                return Err(TopologyError::BadNodeAttachment { node: NodeId(n as u32) });
+                return Err(TopologyError::BadNodeAttachment {
+                    node: NodeId(n as u32),
+                });
             }
         }
         Ok(())
@@ -327,7 +342,13 @@ impl Topology {
         self.ports.iter().enumerate().flat_map(|(r, ps)| {
             ps.iter().enumerate().filter_map(move |(p, port)| {
                 port.conn.map(|peer| {
-                    (PortConn { router: RouterId(r as u32), port: PortId(p as u8) }, peer)
+                    (
+                        PortConn {
+                            router: RouterId(r as u32),
+                            port: PortId(p as u8),
+                        },
+                        peer,
+                    )
                 })
             })
         })

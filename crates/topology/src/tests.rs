@@ -10,7 +10,13 @@ fn mesh_basic_shape() {
     assert_eq!(t.radix(RouterId(0)), 5);
     assert_eq!(t.diameter(), 14);
     assert_eq!(t.name(), "mesh8x8");
-    assert_eq!(*t.kind(), TopologyKind::Mesh { width: 8, height: 8 });
+    assert_eq!(
+        *t.kind(),
+        TopologyKind::Mesh {
+            width: 8,
+            height: 8
+        }
+    );
 }
 
 #[test]
@@ -46,7 +52,9 @@ fn torus_wraps() {
     let t = Topology::torus(4, 4);
     assert_eq!(t.diameter(), 4);
     // (0,0) west neighbour is (3,0).
-    let w = t.neighbor(RouterId(0), t.dir_port(Direction::West)).unwrap();
+    let w = t
+        .neighbor(RouterId(0), t.dir_port(Direction::West))
+        .unwrap();
     assert_eq!(w.router, RouterId(3));
 }
 

@@ -17,8 +17,8 @@ use crate::{PacketSpec, TrafficSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spin_types::{Cycle, NodeId, Vnet};
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Parameters of one application workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,14 +52,70 @@ impl AppTrafficConfig {
 /// paper reports real applications occupy (well under 0.05
 /// flits/node/cycle).
 pub const PARSEC_PRESETS: [AppTrafficConfig; 8] = [
-    AppTrafficConfig { name: "blackscholes", request_rate: 0.002, burst_on: 0.02, burst_off: 0.02, service_delay: 40, forward_fraction: 0.1 },
-    AppTrafficConfig { name: "swaptions", request_rate: 0.003, burst_on: 0.02, burst_off: 0.03, service_delay: 40, forward_fraction: 0.1 },
-    AppTrafficConfig { name: "fluidanimate", request_rate: 0.005, burst_on: 0.03, burst_off: 0.03, service_delay: 40, forward_fraction: 0.2 },
-    AppTrafficConfig { name: "bodytrack", request_rate: 0.006, burst_on: 0.04, burst_off: 0.04, service_delay: 40, forward_fraction: 0.2 },
-    AppTrafficConfig { name: "vips", request_rate: 0.008, burst_on: 0.04, burst_off: 0.03, service_delay: 40, forward_fraction: 0.2 },
-    AppTrafficConfig { name: "x264", request_rate: 0.010, burst_on: 0.05, burst_off: 0.04, service_delay: 40, forward_fraction: 0.3 },
-    AppTrafficConfig { name: "dedup", request_rate: 0.012, burst_on: 0.05, burst_off: 0.03, service_delay: 40, forward_fraction: 0.3 },
-    AppTrafficConfig { name: "canneal", request_rate: 0.016, burst_on: 0.06, burst_off: 0.03, service_delay: 40, forward_fraction: 0.4 },
+    AppTrafficConfig {
+        name: "blackscholes",
+        request_rate: 0.002,
+        burst_on: 0.02,
+        burst_off: 0.02,
+        service_delay: 40,
+        forward_fraction: 0.1,
+    },
+    AppTrafficConfig {
+        name: "swaptions",
+        request_rate: 0.003,
+        burst_on: 0.02,
+        burst_off: 0.03,
+        service_delay: 40,
+        forward_fraction: 0.1,
+    },
+    AppTrafficConfig {
+        name: "fluidanimate",
+        request_rate: 0.005,
+        burst_on: 0.03,
+        burst_off: 0.03,
+        service_delay: 40,
+        forward_fraction: 0.2,
+    },
+    AppTrafficConfig {
+        name: "bodytrack",
+        request_rate: 0.006,
+        burst_on: 0.04,
+        burst_off: 0.04,
+        service_delay: 40,
+        forward_fraction: 0.2,
+    },
+    AppTrafficConfig {
+        name: "vips",
+        request_rate: 0.008,
+        burst_on: 0.04,
+        burst_off: 0.03,
+        service_delay: 40,
+        forward_fraction: 0.2,
+    },
+    AppTrafficConfig {
+        name: "x264",
+        request_rate: 0.010,
+        burst_on: 0.05,
+        burst_off: 0.04,
+        service_delay: 40,
+        forward_fraction: 0.3,
+    },
+    AppTrafficConfig {
+        name: "dedup",
+        request_rate: 0.012,
+        burst_on: 0.05,
+        burst_off: 0.03,
+        service_delay: 40,
+        forward_fraction: 0.3,
+    },
+    AppTrafficConfig {
+        name: "canneal",
+        request_rate: 0.016,
+        burst_on: 0.06,
+        burst_off: 0.03,
+        service_delay: 40,
+        forward_fraction: 0.4,
+    },
 ];
 
 /// Request/reply application traffic over three vnets.
@@ -84,7 +140,10 @@ impl AppTraffic {
     ///
     /// Panics if `num_nodes < 2`.
     pub fn new(cfg: AppTrafficConfig, num_nodes: usize, seed: u64) -> Self {
-        assert!(num_nodes >= 2, "application traffic needs at least two nodes");
+        assert!(
+            num_nodes >= 2,
+            "application traffic needs at least two nodes"
+        );
         AppTraffic {
             cfg,
             num_nodes,
@@ -126,7 +185,11 @@ impl TrafficSource for AppTraffic {
             if let Some(req) = queue.pop() {
                 self.outstanding = self.outstanding.saturating_sub(1);
                 self.completed += 1;
-                return Some(PacketSpec { dst: NodeId(req), len: 5, vnet: Vnet(2) });
+                return Some(PacketSpec {
+                    dst: NodeId(req),
+                    len: 5,
+                    vnet: Vnet(2),
+                });
             }
         }
         // ON/OFF modulation.
@@ -147,13 +210,20 @@ impl TrafficSource for AppTraffic {
         // Issue a request to a random home node; occasionally a forward.
         let d = self.rng.random_range(0..self.num_nodes as u32 - 1);
         let dst = if d >= node.0 { d + 1 } else { d };
-        let vnet = if self.rng.random_bool(self.cfg.forward_fraction.clamp(0.0, 1.0)) {
+        let vnet = if self
+            .rng
+            .random_bool(self.cfg.forward_fraction.clamp(0.0, 1.0))
+        {
             Vnet(1)
         } else {
             Vnet(0)
         };
         self.outstanding += 1;
-        Some(PacketSpec { dst: NodeId(dst), len: 1, vnet })
+        Some(PacketSpec {
+            dst: NodeId(dst),
+            len: 1,
+            vnet,
+        })
     }
 
     fn delivered(&mut self, spec: &PacketSpec, src: NodeId, now: Cycle) {

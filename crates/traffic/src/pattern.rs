@@ -202,10 +202,14 @@ mod tests {
         let t = mesh8();
         let mut rng = StdRng::seed_from_u64(0);
         // Node 1 is at (1,0) -> destination (0,1) = node 8.
-        let d = Pattern::Transpose.destination(NodeId(1), &t, &mut rng).unwrap();
+        let d = Pattern::Transpose
+            .destination(NodeId(1), &t, &mut rng)
+            .unwrap();
         assert_eq!(d, NodeId(8));
         // Diagonal nodes map to themselves -> None.
-        assert!(Pattern::Transpose.destination(NodeId(9), &t, &mut rng).is_none());
+        assert!(Pattern::Transpose
+            .destination(NodeId(9), &t, &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -213,7 +217,9 @@ mod tests {
         let t = mesh8();
         let mut rng = StdRng::seed_from_u64(0);
         // (0,0) -> ((0+4-1)%8, 0) = (3,0) = node 3.
-        let d = Pattern::Tornado.destination(NodeId(0), &t, &mut rng).unwrap();
+        let d = Pattern::Tornado
+            .destination(NodeId(0), &t, &mut rng)
+            .unwrap();
         assert_eq!(d, NodeId(3));
     }
 
@@ -221,7 +227,9 @@ mod tests {
     fn tornado_flat_formula_on_dragonfly() {
         let t = Topology::dragonfly(2, 4, 2, 9); // 72 nodes, not power of two
         let mut rng = StdRng::seed_from_u64(0);
-        let d = Pattern::Tornado.destination(NodeId(0), &t, &mut rng).unwrap();
+        let d = Pattern::Tornado
+            .destination(NodeId(0), &t, &mut rng)
+            .unwrap();
         assert_eq!(d, NodeId(72 / 2 - 1));
     }
 

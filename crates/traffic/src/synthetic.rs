@@ -42,7 +42,10 @@ impl SyntheticConfig {
 
     /// Fig. 3's setup: 1-flit packets only.
     pub fn single_flit(pattern: Pattern, rate: f64) -> Self {
-        SyntheticConfig { data_fraction: 0.0, ..Self::new(pattern, rate) }
+        SyntheticConfig {
+            data_fraction: 0.0,
+            ..Self::new(pattern, rate)
+        }
     }
 
     /// Expected packet length in flits.
@@ -98,7 +101,10 @@ impl TrafficSource for SyntheticTraffic {
         if !self.rng.random_bool(self.cfg.packet_probability()) {
             return None;
         }
-        let dst = self.cfg.pattern.destination(node, &self.topo, &mut self.rng)?;
+        let dst = self
+            .cfg
+            .pattern
+            .destination(node, &self.topo, &mut self.rng)?;
         let is_data = self.cfg.data_fraction > 0.0
             && self.rng.random_bool(self.cfg.data_fraction.clamp(0.0, 1.0));
         let (len, vnet) = if is_data {

@@ -3,14 +3,13 @@
 //! gem5 ecosystem uses).
 
 use crate::{PacketSpec, TrafficSource};
-use serde::{Deserialize, Serialize};
 use spin_types::{Cycle, NodeId, Vnet};
 use std::collections::VecDeque;
 use std::fmt;
 use std::num::ParseIntError;
 
 /// One packet injection event in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Earliest cycle the packet may inject.
     pub cycle: Cycle,
@@ -62,12 +61,24 @@ impl TraceTraffic {
         let mut queues = vec![VecDeque::new(); num_nodes];
         let total = records.len();
         for r in records {
-            assert!(r.src.index() < num_nodes, "trace src {} out of range", r.src);
-            assert!(r.dst.index() < num_nodes, "trace dst {} out of range", r.dst);
+            assert!(
+                r.src.index() < num_nodes,
+                "trace src {} out of range",
+                r.src
+            );
+            assert!(
+                r.dst.index() < num_nodes,
+                "trace dst {} out of range",
+                r.dst
+            );
             assert!(r.len > 0, "trace packet must have at least one flit");
             queues[r.src.index()].push_back(r);
         }
-        TraceTraffic { queues, total, emitted: 0 }
+        TraceTraffic {
+            queues,
+            total,
+            emitted: 0,
+        }
     }
 
     /// Parses a CSV trace (`cycle,src,dst,len,vnet` per line; `#` comments
@@ -91,10 +102,11 @@ impl TraceTraffic {
                 });
             }
             let parse = |s: &str, what: &str| -> Result<u64, ParseTraceError> {
-                s.parse::<u64>().map_err(|e: ParseIntError| ParseTraceError {
-                    line: i + 1,
-                    reason: format!("bad {what} `{s}`: {e}"),
-                })
+                s.parse::<u64>()
+                    .map_err(|e: ParseIntError| ParseTraceError {
+                        line: i + 1,
+                        reason: format!("bad {what} `{s}`: {e}"),
+                    })
             };
             records.push(TraceRecord {
                 cycle: parse(fields[0], "cycle")?,
@@ -134,7 +146,11 @@ impl TrafficSource for TraceTraffic {
         if q.front().map(|r| r.cycle <= now).unwrap_or(false) {
             let r = q.pop_front().expect("checked non-empty");
             self.emitted += 1;
-            Some(PacketSpec { dst: r.dst, len: r.len, vnet: r.vnet })
+            Some(PacketSpec {
+                dst: r.dst,
+                len: r.len,
+                vnet: r.vnet,
+            })
         } else {
             None
         }
@@ -150,7 +166,13 @@ mod tests {
     use super::*;
 
     fn rec(cycle: Cycle, src: u32, dst: u32) -> TraceRecord {
-        TraceRecord { cycle, src: NodeId(src), dst: NodeId(dst), len: 1, vnet: Vnet(0) }
+        TraceRecord {
+            cycle,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            len: 1,
+            vnet: Vnet(0),
+        }
     }
 
     #[test]

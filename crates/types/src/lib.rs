@@ -30,7 +30,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Simulation time, measured in router clock cycles.
@@ -41,7 +40,6 @@ macro_rules! id_newtype {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub $inner);
 
@@ -103,7 +101,7 @@ id_newtype!(
 );
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
     /// First flit of a multi-flit packet; carries routing information.
     Head,
@@ -134,7 +132,7 @@ impl FlitKind {
 /// Packets carry their (possibly non-minimal) routing state: FAvORS and UGAL
 /// may pick a random intermediate node at the source; `intermediate` is
 /// cleared once reached.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Unique id.
     pub id: PacketId,
@@ -269,7 +267,7 @@ impl PacketBuilder {
 /// For simplicity every flit carries a clone of its packet header; the
 /// simulator only inspects the header of head flits, so this costs memory,
 /// not fidelity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Flit {
     /// The owning packet's header.
     pub packet: Packet,
@@ -288,7 +286,7 @@ impl Flit {
 }
 
 /// A (router, port) endpoint, used to describe link connectivity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortConn {
     /// The router owning the port.
     pub router: RouterId,
@@ -304,7 +302,7 @@ impl fmt::Display for PortConn {
 
 /// Cardinal directions on mesh/torus topologies. Mapped to port indices by
 /// the topology; routing algorithms for meshes reason in directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Increasing y.
     North,

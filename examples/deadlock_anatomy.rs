@@ -20,11 +20,7 @@ struct RingPressure {
 }
 
 impl TrafficSource for RingPressure {
-    fn generate(
-        &mut self,
-        node: NodeId,
-        _now: Cycle,
-    ) -> Option<spin_repro::traffic::PacketSpec> {
+    fn generate(&mut self, node: NodeId, _now: Cycle) -> Option<spin_repro::traffic::PacketSpec> {
         self.counter = self.counter.wrapping_add(1);
         if self.counter % 10 < self.rate_num {
             Some(spin_repro::traffic::PacketSpec {
@@ -52,12 +48,21 @@ fn main() {
             ..SimConfig::default()
         })
         .routing(FavorsMinimal)
-        .traffic(RingPressure { n, rate_num: 8, counter: 0 })
-        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .traffic(RingPressure {
+            n,
+            rate_num: 8,
+            counter: 0,
+        })
+        .spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        })
         .build();
 
-    println!("\n{:>6} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6}",
-        "cycle", "dead", "probes", "confirmed", "spins", "kills", "delivered");
+    println!(
+        "\n{:>6} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6}",
+        "cycle", "dead", "probes", "confirmed", "spins", "kills", "delivered"
+    );
     let mut last_spins = 0;
     for _ in 0..40 {
         net.run(100);
@@ -65,7 +70,12 @@ fn main() {
         let dead = net.wait_graph().deadlocked().len();
         println!(
             "{:>6} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6}",
-            net.now(), dead, s.probes_sent, s.loops_confirmed, s.spins, s.kills_sent,
+            net.now(),
+            dead,
+            s.probes_sent,
+            s.loops_confirmed,
+            s.spins,
+            s.kills_sent,
             s.packets_delivered
         );
         if s.spins > last_spins {

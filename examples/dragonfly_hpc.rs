@@ -8,13 +8,13 @@
 use spin_repro::prelude::*;
 
 fn run(name: &str, topo: &Topology, vcs: u8, spin: bool, routing: Box<dyn Routing>) {
-    let traffic = SyntheticTraffic::new(
-        SyntheticConfig::new(Pattern::Tornado, 0.15),
-        topo,
-        9,
-    );
+    let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::Tornado, 0.15), topo, 9);
     let mut b = NetworkBuilder::new(topo.clone())
-        .config(SimConfig { vnets: 3, vcs_per_vnet: vcs, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: vcs,
+            ..SimConfig::default()
+        })
         .routing_box(routing)
         .traffic(traffic);
     if spin {
@@ -41,9 +41,27 @@ fn main() {
         Topology::dragonfly(4, 8, 4, 32) // the paper's 1024-node system
     };
     println!("topology: {topo}\npattern: tornado @ 0.15 flits/node/cycle\n");
-    run("ugal 3VC (Dally ordering)", &topo, 3, false, Box::new(Ugal::dally_baseline()));
-    run("ugal 3VC + SPIN (free VCs)", &topo, 3, true, Box::new(Ugal::with_spin()));
-    run("favors-nmin 1VC + SPIN", &topo, 1, true, Box::new(FavorsNonMinimal));
+    run(
+        "ugal 3VC (Dally ordering)",
+        &topo,
+        3,
+        false,
+        Box::new(Ugal::dally_baseline()),
+    );
+    run(
+        "ugal 3VC + SPIN (free VCs)",
+        &topo,
+        3,
+        true,
+        Box::new(Ugal::with_spin()),
+    );
+    run(
+        "favors-nmin 1VC + SPIN",
+        &topo,
+        1,
+        true,
+        Box::new(FavorsNonMinimal),
+    );
     println!(
         "\nThe 1-VC router is ~53% smaller and ~55% lower power than the 3-VC\n\
          router (see `cargo run -p spin-experiments --bin fig10`), which is\n\

@@ -47,7 +47,10 @@ fn main() {
         cdg.num_dependencies(),
         cdg.is_acyclic()
     );
-    assert!(!cdg.is_acyclic(), "a graph this dense should have CDG cycles");
+    assert!(
+        !cdg.is_acyclic(),
+        "a graph this dense should have CDG cycles"
+    );
 
     // Run it anyway - fully adaptive, one VC - with SPIN as the only
     // deadlock defence.
@@ -55,10 +58,17 @@ fn main() {
     tc.vnets = 1; // match the 1-vnet SimConfig below
     let traffic = SyntheticTraffic::new(tc, &topo, 7);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
-        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        })
         .build();
 
     net.run(2_000);
@@ -68,7 +78,10 @@ fn main() {
     let s = net.stats();
     println!("packets delivered : {}", s.packets_delivered);
     println!("avg latency       : {:.1} cycles", s.avg_total_latency());
-    println!("throughput        : {:.3} flits/node/cycle", s.throughput(24));
+    println!(
+        "throughput        : {:.3} flits/node/cycle",
+        s.throughput(24)
+    );
     println!("spins             : {}", s.spins);
     assert!(
         s.window_packets_delivered > 0,

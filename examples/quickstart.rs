@@ -18,7 +18,7 @@ fn main() {
 
     let mut net = NetworkBuilder::new(topo)
         .config(SimConfig {
-            vnets: 3,       // directory-protocol message classes
+            vnets: 3,        // directory-protocol message classes
             vcs_per_vnet: 1, // one VC: SPIN is the only deadlock defence
             ..SimConfig::default()
         })
@@ -35,7 +35,10 @@ fn main() {
     let s = net.stats();
     println!("cycles simulated      : {}", s.cycles);
     println!("packets delivered     : {}", s.packets_delivered);
-    println!("avg packet latency    : {:.1} cycles", s.avg_total_latency());
+    println!(
+        "avg packet latency    : {:.1} cycles",
+        s.avg_total_latency()
+    );
     println!(
         "accepted throughput   : {:.3} flits/node/cycle",
         s.throughput(64)

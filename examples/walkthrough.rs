@@ -21,9 +21,13 @@ fn main() {
     // Routers r0..r5 form a clockwise dependence ring; r2 additionally has
     // a second VC whose packet Z wants the side port to r6; r6's packets
     // only want ejection (the walkthrough's node 3).
-    let cfg = SpinConfig { t_dd: 16, num_routers: 7, max_packet_len: 1, ..Default::default() };
-    let mut agents: Vec<SpinAgent> =
-        (0..7).map(|i| SpinAgent::new(RouterId(i), cfg)).collect();
+    let cfg = SpinConfig {
+        t_dd: 16,
+        num_routers: 7,
+        max_packet_len: 1,
+        ..Default::default()
+    };
+    let mut agents: Vec<SpinAgent> = (0..7).map(|i| SpinAgent::new(RouterId(i), cfg)).collect();
     let mut routers: Vec<TableRouter> = (0..7)
         .map(|_| {
             let mut r = TableRouter::new(4, 1, 2);
@@ -35,7 +39,14 @@ fn main() {
     // The deadlocked ring, packets in pairs as in Fig. 4(b): both VCs of
     // each CCW input port are active (a probe is dropped wherever any VC
     // is free, so the walkthrough keeps every port on the chain full).
-    let names = [("A", "B"), ("C", "Z"), ("E", "F"), ("G", "H"), ("I", "J"), ("K", "L")];
+    let names = [
+        ("A", "B"),
+        ("C", "Z"),
+        ("E", "F"),
+        ("G", "H"),
+        ("I", "J"),
+        ("K", "L"),
+    ];
     for i in 0..6 {
         routers[i].set_status(CCW, VN, VcId(0), VcStatus::Waiting(CW));
         routers[i].set_packet(CCW, VN, VcId(0), Some(PacketId(i as u64)));
@@ -73,8 +84,7 @@ fn main() {
     for now in 1..200u64 {
         // Deliver due SMs.
         let due: Vec<_> = {
-            let (d, rest): (Vec<_>, Vec<_>) =
-                in_flight.drain(..).partition(|(t, ..)| *t <= now);
+            let (d, rest): (Vec<_>, Vec<_>) = in_flight.drain(..).partition(|(t, ..)| *t <= now);
             in_flight = rest;
             d
         };
@@ -119,8 +129,9 @@ fn main() {
             );
             assert_eq!(spinning.len(), 6, "the whole ring must spin together");
             // Rotate the ring packets one hop clockwise.
-            let ids: Vec<_> =
-                (0..6).map(|i| routers[i].vc_packet_dbg(CCW, VN, VcId(0))).collect();
+            let ids: Vec<_> = (0..6)
+                .map(|i| routers[i].vc_packet_dbg(CCW, VN, VcId(0)))
+                .collect();
             for i in 0..6 {
                 routers[i].set_packet(CCW, VN, VcId(0), ids[(i + 5) % 6]);
             }
@@ -159,7 +170,12 @@ fn describe(now: u64, i: usize, a: &Action) {
             "[{now:>3}] r{i}: sends {} out of p{} (path {})",
             sm.kind, out_port.0, sm.path
         ),
-        Action::Freeze { in_port, vc, out_port, .. } => println!(
+        Action::Freeze {
+            in_port,
+            vc,
+            out_port,
+            ..
+        } => println!(
             "[{now:>3}] r{i}: freezes vc{} at p{} for the spin through p{}",
             vc.0, in_port.0, out_port.0
         ),

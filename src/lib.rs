@@ -58,8 +58,8 @@ pub mod prelude {
     pub use spin_deadlock::{Cdg, WaitGraph};
     pub use spin_power::{PowerModel, RouterParams, Scheme};
     pub use spin_routing::{
-        EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal,
-        WestFirst, XyRouting,
+        EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal, WestFirst,
+        XyRouting,
     };
     pub use spin_sim::{NetStats, Network, NetworkBuilder, SimConfig};
     pub use spin_topology::Topology;

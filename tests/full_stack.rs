@@ -16,15 +16,78 @@ struct Case {
 
 fn cases() -> Vec<Case> {
     vec![
-        Case { name: "westfirst_3vc", routing: Box::new(WestFirst), vcs: 3, spin: false, static_bubble: false, dragonfly: false },
-        Case { name: "escapevc_3vc", routing: Box::new(EscapeVc), vcs: 3, spin: false, static_bubble: false, dragonfly: false },
-        Case { name: "staticbubble_3vc", routing: Box::new(ReservedVcAdaptive::new(3)), vcs: 3, spin: false, static_bubble: true, dragonfly: false },
-        Case { name: "minadaptive_3vc_spin", routing: Box::new(FavorsMinimal), vcs: 3, spin: true, static_bubble: false, dragonfly: false },
-        Case { name: "favors_min_1vc", routing: Box::new(FavorsMinimal), vcs: 1, spin: true, static_bubble: false, dragonfly: false },
-        Case { name: "xy_1vc", routing: Box::new(XyRouting), vcs: 1, spin: false, static_bubble: false, dragonfly: false },
-        Case { name: "ugal_dally_3vc", routing: Box::new(Ugal::dally_baseline()), vcs: 3, spin: false, static_bubble: false, dragonfly: true },
-        Case { name: "ugal_spin_3vc", routing: Box::new(Ugal::with_spin()), vcs: 3, spin: true, static_bubble: false, dragonfly: true },
-        Case { name: "favors_nmin_1vc", routing: Box::new(FavorsNonMinimal), vcs: 1, spin: true, static_bubble: false, dragonfly: true },
+        Case {
+            name: "westfirst_3vc",
+            routing: Box::new(WestFirst),
+            vcs: 3,
+            spin: false,
+            static_bubble: false,
+            dragonfly: false,
+        },
+        Case {
+            name: "escapevc_3vc",
+            routing: Box::new(EscapeVc),
+            vcs: 3,
+            spin: false,
+            static_bubble: false,
+            dragonfly: false,
+        },
+        Case {
+            name: "staticbubble_3vc",
+            routing: Box::new(ReservedVcAdaptive::new(3)),
+            vcs: 3,
+            spin: false,
+            static_bubble: true,
+            dragonfly: false,
+        },
+        Case {
+            name: "minadaptive_3vc_spin",
+            routing: Box::new(FavorsMinimal),
+            vcs: 3,
+            spin: true,
+            static_bubble: false,
+            dragonfly: false,
+        },
+        Case {
+            name: "favors_min_1vc",
+            routing: Box::new(FavorsMinimal),
+            vcs: 1,
+            spin: true,
+            static_bubble: false,
+            dragonfly: false,
+        },
+        Case {
+            name: "xy_1vc",
+            routing: Box::new(XyRouting),
+            vcs: 1,
+            spin: false,
+            static_bubble: false,
+            dragonfly: false,
+        },
+        Case {
+            name: "ugal_dally_3vc",
+            routing: Box::new(Ugal::dally_baseline()),
+            vcs: 3,
+            spin: false,
+            static_bubble: false,
+            dragonfly: true,
+        },
+        Case {
+            name: "ugal_spin_3vc",
+            routing: Box::new(Ugal::with_spin()),
+            vcs: 3,
+            spin: true,
+            static_bubble: false,
+            dragonfly: true,
+        },
+        Case {
+            name: "favors_nmin_1vc",
+            routing: Box::new(FavorsNonMinimal),
+            vcs: 1,
+            spin: true,
+            static_bubble: false,
+            dragonfly: true,
+        },
     ]
 }
 
@@ -63,8 +126,7 @@ fn every_paper_design_runs_and_delivers() {
             s.packets_delivered
         );
         assert!(
-            s.packets_delivered <= s.packets_injected
-                && s.packets_injected <= s.packets_created,
+            s.packets_delivered <= s.packets_injected && s.packets_injected <= s.packets_created,
             "{}: packet accounting broken",
             case.name
         );
@@ -82,10 +144,12 @@ fn every_paper_design_runs_and_delivers() {
 #[test]
 fn stats_snapshot_is_consistent() {
     let topo = Topology::mesh(4, 4);
-    let traffic =
-        SyntheticTraffic::new(SyntheticConfig::new(Pattern::Transpose, 0.2), &topo, 5);
+    let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::Transpose, 0.2), &topo, 5);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: 2,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
@@ -106,13 +170,13 @@ fn power_model_composes_with_simulation() {
     // Fig. 8a pipeline in miniature: simulate, then feed measured activity
     // into the power model.
     let topo = Topology::mesh(4, 4);
-    let traffic = SyntheticTraffic::new(
-        SyntheticConfig::new(Pattern::UniformRandom, 0.1),
-        &topo,
-        9,
-    );
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, 0.1), &topo, 9);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: 2,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
@@ -125,7 +189,10 @@ fn power_model_composes_with_simulation() {
     let edp2 = model.network_edp(&p2, 16, s.cycles, s.link_use.flit, s.avg_total_latency());
     let edp3 = model.network_edp(&p3, 16, s.cycles, s.link_use.flit, s.avg_total_latency());
     assert!(edp2 > 0.0);
-    assert!(edp2 < edp3, "fewer VCs must mean lower EDP at equal activity");
+    assert!(
+        edp2 < edp3,
+        "fewer VCs must mean lower EDP at equal activity"
+    );
 }
 
 #[test]
@@ -133,7 +200,10 @@ fn application_traffic_runs_full_stack() {
     let topo = Topology::mesh(4, 4);
     let traffic = AppTraffic::new(PARSEC_PRESETS[7], topo.num_nodes(), 21);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: 2,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
@@ -188,7 +258,10 @@ fn trace_traffic_replays_through_the_network() {
     let total = records.len() as u64;
     let traffic = TraceTraffic::new(topo.num_nodes(), records);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vcs_per_vnet: 2, ..SimConfig::default() })
+        .config(SimConfig {
+            vcs_per_vnet: 2,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())

@@ -44,9 +44,7 @@ impl Topo {
             Topo::Mesh(w, h) => Topology::mesh(w, h),
             Topo::Torus(w, h) => Topology::torus(w, h),
             Topo::Ring(n) => Topology::ring(n),
-            Topo::Irregular(seed) => {
-                Topology::random_connected(10, 6, 1, seed).expect("valid")
-            }
+            Topo::Irregular(seed) => Topology::random_connected(10, 6, 1, seed).expect("valid"),
         }
     }
 }
@@ -64,23 +62,37 @@ fn run_case(topo: Topology, rate: f64, vcs: u8, spin: bool, seed: u64) -> (NetSt
     let mut tc = SyntheticConfig::new(Pattern::UniformRandom, rate);
     tc.vnets = 2;
     let diameter = topo.diameter();
-    let traffic = Cutoff { inner: SyntheticTraffic::new(tc, &topo, seed), cutoff: 1_500 };
+    let traffic = Cutoff {
+        inner: SyntheticTraffic::new(tc, &topo, seed),
+        cutoff: 1_500,
+    };
     let mut b = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 2, vcs_per_vnet: vcs, seed, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 2,
+            vcs_per_vnet: vcs,
+            seed,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic);
     if spin {
-        b = b.spin(SpinConfig { t_dd: 48, ..SpinConfig::default() });
+        b = b.spin(SpinConfig {
+            t_dd: 48,
+            ..SpinConfig::default()
+        });
     }
     let mut net = b.build();
     net.run(1_500);
     let drained = net.drain(30_000);
-    assert!(drained, "network failed to drain (possible unrecovered deadlock)");
+    assert!(
+        drained,
+        "network failed to drain (possible unrecovered deadlock)"
+    );
     (net.stats(), diameter)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Conservation: after the source stops and the network drains, every
     /// created packet was delivered exactly once; no flits were lost or

@@ -20,7 +20,11 @@ impl TrafficSource for ClockwisePressure {
     fn generate(&mut self, node: NodeId, _now: Cycle) -> Option<PacketSpec> {
         self.tick = self.tick.wrapping_add(1);
         if self.tick.is_multiple_of(self.period) {
-            Some(PacketSpec { dst: NodeId((node.0 + self.hop) % self.n), len: 1, vnet: Vnet(0) })
+            Some(PacketSpec {
+                dst: NodeId((node.0 + self.hop) % self.n),
+                len: 1,
+                vnet: Vnet(0),
+            })
         } else {
             None
         }
@@ -32,11 +36,23 @@ impl TrafficSource for ClockwisePressure {
 
 fn ring_net(n: u32, spin: bool, t_dd: Cycle) -> Network {
     let mut b = NetworkBuilder::new(Topology::ring(n))
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
-        .traffic(ClockwisePressure { n, hop: (n / 2).saturating_sub(1).clamp(2, n - 1), period: 2, tick: 0 });
+        .traffic(ClockwisePressure {
+            n,
+            hop: (n / 2).saturating_sub(1).clamp(2, n - 1),
+            period: 2,
+            tick: 0,
+        });
     if spin {
-        b = b.spin(SpinConfig { t_dd, ..SpinConfig::default() });
+        b = b.spin(SpinConfig {
+            t_dd,
+            ..SpinConfig::default()
+        });
     }
     b.build()
 }
@@ -113,7 +129,10 @@ fn deadlocked_packets_are_eventually_delivered() {
             break;
         }
     }
-    assert!(!victims.is_empty(), "no deadlock formed on the pressured ring");
+    assert!(
+        !victims.is_empty(),
+        "no deadlock formed on the pressured ring"
+    );
     // Every victim must eventually leave the network: since stats do not
     // track ids, verify via the wait graph — the victim set must not
     // persist.
@@ -139,10 +158,17 @@ fn torus_with_spin_survives_bubble_scenario() {
     tc.vnets = 1;
     let traffic = SyntheticTraffic::new(tc, &topo, 3);
     let mut net = NetworkBuilder::new(topo)
-        .config(SimConfig { vnets: 1, vcs_per_vnet: 1, ..SimConfig::default() })
+        .config(SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
         .routing(FavorsMinimal)
         .traffic(traffic)
-        .spin(SpinConfig { t_dd: 64, ..SpinConfig::default() })
+        .spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        })
         .build();
     let mut last = 0;
     for _ in 0..10 {

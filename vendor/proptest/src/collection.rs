@@ -1,0 +1,60 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Generates a `Vec` whose length is drawn from `len` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.random_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = vec(0u32..5, 1..4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = vec((0u32..8, vec(0u32..8, 0..3)), 0..8);
+        let v = s.generate(&mut rng);
+        assert!(v.len() < 8);
+    }
+}

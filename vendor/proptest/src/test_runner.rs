@@ -1,0 +1,78 @@
+//! Test execution plumbing (`proptest::test_runner`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Configuration for a `proptest!` block, mirroring the fields the
+/// workspace uses from `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives the cases of one property: owns the RNG.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded deterministically from the
+    /// property name (XORed with `PROPTEST_SEED` if that env var is set, so
+    /// CI can explore different regions of the input space).
+    pub fn new(_config: &ProptestConfig, name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        let mut seed = h.finish();
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                seed ^= extra;
+            }
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The RNG for drawing case inputs.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,70 @@
+//! Sequence-related random operations (`rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// In-place slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Uniform element selection, mirroring `rand::seq::IndexedRandom`.
+pub trait IndexedRandom {
+    /// The element type.
+    type Output;
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = [10u32, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline, in-tree replacement for the `smallvec` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the `SmallVec<[T; N]>` API surface the workspace uses, backed by a plain
+//! `Vec<T>`. The inline-storage optimisation is intentionally absent — the
+//! type exists for API compatibility; profiling never showed these small
+//! vectors on a hot allocation path at current scales. If that changes, this
+//! is the one file to optimise.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Marker trait tying `SmallVec<A>` to its element type, mirroring
+/// `smallvec::Array`.
+pub trait Array {
+    /// The element type.
+    type Item;
+    /// The (nominal) inline capacity.
+    fn size() -> usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    fn size() -> usize {
+        N
+    }
+}
+
+/// A `Vec`-backed stand-in for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Creates an empty vector with at least `cap` capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Clears the vector.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Retains only elements matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&mut A::Item) -> bool) {
+        let mut f = f;
+        let mut i = 0;
+        while i < self.inner.len() {
+            if f(&mut self.inner[i]) {
+                i += 1;
+            } else {
+                self.inner.remove(i);
+            }
+        }
+    }
+
+    /// Consumes `self`, returning the backing `Vec`.
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(inner: Vec<A::Item>) -> Self {
+        SmallVec { inner }
+    }
+}
+
+/// Constructs a [`SmallVec`] from a list of elements, mirroring
+/// `smallvec::smallvec!`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($elem:expr; $n:expr) => {
+        $crate::SmallVec::from(::std::vec![$elem; $n])
+    };
+    ($($x:expr),+ $(,)?) => {
+        $crate::SmallVec::from(::std::vec![$($x),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_deref_iterate() {
+        let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.first(), Some(&1));
+        assert_eq!(v.iter().sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn macro_and_collect() {
+        let v: SmallVec<[u32; 2]> = smallvec![5, 6, 7];
+        assert_eq!(&v[..], &[5, 6, 7]);
+        let c: SmallVec<[u32; 2]> = (0..3).collect();
+        assert_eq!(&c[..], &[0, 1, 2]);
+        let r: SmallVec<[u32; 2]> = smallvec![9; 4];
+        assert_eq!(&r[..], &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let a: SmallVec<[u8; 4]> = smallvec![1, 2];
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "[1, 2]");
+    }
+}
