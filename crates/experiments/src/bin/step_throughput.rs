@@ -1,0 +1,100 @@
+//! Cycle-kernel throughput probe: wall-clock speed of `Network::step` on an
+//! 8x8 mesh at a quiet and a saturated operating point, written as
+//! machine-readable JSON to `results/step_throughput.json` so the perf
+//! trajectory is tracked across PRs (see EXPERIMENTS.md).
+//!
+//! The two operating points mirror the criterion guard bench in
+//! `crates/bench/benches/step_throughput.rs`; this binary trades
+//! criterion's statistics for a fast, scriptable single number (median of
+//! `REPS` timed batches).
+//!
+//! Usage: `step_throughput [--quick]`
+
+use spin_core::SpinConfig;
+use spin_experiments::json::{arr, obj, write_results, Json};
+use spin_experiments::quick_mode;
+use spin_routing::FavorsMinimal;
+use spin_sim::{Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn mesh8x8(rate: f64) -> Network {
+    let topo = Topology::mesh(8, 8);
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build()
+}
+
+/// Times `batch` steps `reps` times on a warmed network; returns the
+/// per-batch nanosecond medians' midpoint (median of reps).
+fn time_config(rate: f64, warmup: u64, batch: u64, reps: usize) -> (f64, Vec<f64>) {
+    let mut net = mesh8x8(rate);
+    net.run(warmup);
+    let mut samples: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        net.run(batch);
+        black_box(net.now());
+        let dt = t0.elapsed();
+        samples.push(dt.as_nanos() as f64 / batch as f64);
+    }
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (sorted[reps / 2], samples)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (warmup, batch, reps) = if quick {
+        (2_000, 2_000, 5)
+    } else {
+        (2_000, 10_000, 9)
+    };
+    let configs = [
+        ("mesh8x8_low_load_0.05", 0.05),
+        ("mesh8x8_saturated_0.45", 0.45),
+    ];
+    println!(
+        "# step_throughput: ns per Network::step (median of {reps} x {batch}-cycle batches)\n"
+    );
+    let mut points = Vec::new();
+    for (name, rate) in configs {
+        let (median, samples) = time_config(rate, warmup, batch, reps);
+        println!(
+            "{name:<28} {median:10.1} ns/step  ({:.2} Msteps/s)",
+            1e3 / median
+        );
+        points.push(obj(vec![
+            ("config", (*name).into()),
+            ("rate", Json::Num(rate)),
+            ("ns_per_step_median", Json::Num(median)),
+            ("msteps_per_sec", Json::Num(1e3 / median)),
+            (
+                "samples_ns_per_step",
+                arr(samples.into_iter().map(Json::Num).collect()),
+            ),
+        ]));
+    }
+    let doc = obj(vec![
+        ("name", "step_throughput".into()),
+        ("warmup_cycles", Json::UInt(warmup)),
+        ("batch_cycles", Json::UInt(batch)),
+        ("reps", Json::UInt(reps as u64)),
+        ("points", arr(points)),
+    ]);
+    match write_results("step_throughput", &doc) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("failed to write results: {e}"),
+    }
+}

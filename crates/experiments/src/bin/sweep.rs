@@ -5,7 +5,7 @@
 //! the command line for ad-hoc exploration.
 //!
 //! Usage:
-//!   sweep [topo] [routing] [pattern] [vcs] [spin|nospin|bubble] [rates...]
+//!   `sweep <topo> <routing> <pattern> <vcs> <spin|nospin|bubble> <rates...>`
 //!
 //!   topo    = mesh8x8 | mesh4x4 | torus4x4 | ring8 | dfly64 | dfly1024 | random24
 //!   routing = xy | westfirst | escape | favors | favors_nmin | ugal |

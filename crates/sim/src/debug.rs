@@ -80,13 +80,13 @@ impl Network {
                     // Allocated: guaranteed to drain (VCT). Record it as a
                     // live occupant so packets waiting on this buffer see
                     // it will free up.
-                    g.add_packet(pb.packet.id, at, Vec::new());
+                    g.add_packet(self.store.get(pb.handle).id, at, Vec::new());
                     continue;
                 }
                 // Non-head residents (transient spin overlap) will drain
                 // once the head does; record them as live occupants too.
                 for extra in vcb.q.iter().skip(1) {
-                    g.add_packet(extra.packet.id, at, Vec::new());
+                    g.add_packet(self.store.get(extra.handle).id, at, Vec::new());
                 }
                 let stuck = pb
                     .head_since
@@ -97,7 +97,8 @@ impl Network {
                     // dependence once it sticks.
                     pb.choices.clone()
                 } else {
-                    self.routing.alternatives(&view, rid, p, &pb.packet)
+                    self.routing
+                        .alternatives(&view, rid, p, self.store.get(pb.handle))
                 };
                 let mut wants = Vec::new();
                 let mut ejecting = false;
@@ -111,10 +112,11 @@ impl Network {
                         wants.push((peer.router, peer.port, vn));
                     }
                 }
+                let id = self.store.get(pb.handle).id;
                 if ejecting {
-                    g.add_packet(pb.packet.id, at, Vec::new());
+                    g.add_packet(id, at, Vec::new());
                 } else {
-                    g.add_packet(pb.packet.id, at, wants);
+                    g.add_packet(id, at, wants);
                 }
             }
         }
@@ -152,8 +154,8 @@ impl Network {
                         let _ = writeln!(
                             out,
                             "  BLOCKED-WITH-FREE r{r} p{} vn{} vc{} pkt{} -> port {} free={} frozen={} spinning={} recv={}/{} sent={}",
-                            p.0, vn.0, v.0, pb.packet.id.0, c.out_port.0, free,
-                            vcb.frozen, vcb.spinning, pb.received, pb.packet.len, pb.sent
+                            p.0, vn.0, v.0, self.store.get(pb.handle).id.0, c.out_port.0, free,
+                            vcb.frozen, vcb.spinning, pb.received, pb.len, pb.sent
                         );
                     }
                 } else {
@@ -245,8 +247,8 @@ impl Network {
                 p.0,
                 vn.0,
                 v.0,
-                pb.packet.id.0,
-                pb.packet.len,
+                self.store.get(pb.handle).id.0,
+                pb.len,
                 c.out_port.0,
                 self.agents[rid.index()].dynamic_priority(self.now)
             );

@@ -22,6 +22,20 @@
 //!   flit/SM/idle (Fig. 8b), spins and probe counts (Fig. 9), plus hooks to
 //!   the ground-truth deadlock detector (Fig. 3, false positives).
 //!
+//! # Packet storage
+//!
+//! In-flight packet headers live in a slab/arena packet store (one flat
+//! vector with free-list slot recycling, like the metadata table's flat
+//! credit mirrors). A header is inserted once at NIC injection, and from
+//! then on every flit, NIC queue entry, VC buffer slot and link phit
+//! carries only a 16-byte `Copy` handle ([`spin_types::Flit`] wraps a
+//! [`spin_types::PacketHandle`]). Routing state (`hops`, `global_hops`,
+//! intermediate-destination clearing) mutates exactly once per hop on the
+//! single authoritative header when the head flit arrives at the next
+//! router; the slot is freed — and recycled under a bumped generation — at
+//! tail ejection, after final stats accounting. Stale handles are
+//! use-after-free bugs and fail fast.
+//!
 //! One deliberate simplification, documented in DESIGN.md: VC state mirrors
 //! ("credits") are read with zero delay instead of via explicit credit
 //! phits. Each (input port, vnet, VC) buffer has exactly one upstream
@@ -64,6 +78,7 @@ mod nic;
 mod pipeline;
 mod router;
 mod stats;
+mod store;
 mod vc;
 
 pub use config::{NetworkBuilder, SimConfig, Switching};

@@ -18,8 +18,10 @@ pub(crate) enum Phit {
         /// Pushed by a spin (bypassed allocation).
         spin: bool,
     },
-    /// A bufferless special message.
-    Sm(Sm),
+    /// A bufferless special message. Boxed: SMs are rare (a handful per
+    /// recovery) while flits are the common case, and the inline [`Sm`]
+    /// payload would otherwise triple the size of every link-queue element.
+    Sm(Box<Sm>),
 }
 
 /// A directed link: a delay line of (arrival cycle, phit).

@@ -9,14 +9,14 @@ use crate::nic::Nic;
 use crate::pipeline::meta::{MetaTable, NetView};
 use crate::router::Router;
 use crate::stats::NetStats;
+use crate::store::PacketStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spin_core::{RotatingPriority, Sm, SpinAgent, SpinConfig, SpinStats};
 use spin_routing::{Routing, XyRouting};
 use spin_topology::Topology;
 use spin_traffic::TrafficSource;
-use spin_types::{Cycle, Flit, FlitKind, NodeId, Packet, PortId, RouterId, VcId};
-use std::collections::HashSet;
+use spin_types::{Cycle, NodeId, PortId, RouterId, VcId, Vnet};
 
 /// The simulated network. Build with [`NetworkBuilder`]; drive with
 /// [`Network::run`] / [`Network::step`]; inspect with [`Network::stats`].
@@ -29,6 +29,9 @@ pub struct Network {
     pub(crate) agents: Vec<SpinAgent>,
     pub(crate) spin_enabled: bool,
     pub(crate) meta: MetaTable,
+    /// Arena of in-flight packet headers; flits and buffers carry handles
+    /// into it (see [`crate::store`] for the ownership model).
+    pub(crate) store: PacketStore,
     /// Router output links: `out_links[router][port]` (local ports hold the
     /// ejection link to the attached NIC).
     pub(crate) out_links: Vec<Vec<Link>>,
@@ -46,11 +49,18 @@ pub struct Network {
     pub(crate) inbox: Vec<Vec<(PortId, Sm)>>,
     /// SMs emitted this cycle awaiting link contention resolution.
     pub(crate) pending_sms: Vec<(RouterId, PortId, Sm)>,
-    /// Ports occupied by an SM this cycle (blocked for flits).
-    pub(crate) sm_busy: HashSet<(u32, u8)>,
+    /// Ports occupied by an SM this cycle (blocked for flits). A tiny
+    /// linear-scanned set: cleared every cycle and almost always empty, so
+    /// membership checks on the per-port switch-allocation path cost one
+    /// length test instead of a hash.
+    pub(crate) sm_busy: Vec<(u32, u8)>,
     /// Ground-truth deadlock classification cache (cycle, routers).
     pub(crate) classify_cache: Option<(Cycle, Vec<RouterId>)>,
     pub(crate) scratch_phits: Vec<Phit>,
+    /// Reused buffer for [`crate::router::Router::active_coords_into`]: the
+    /// three per-cycle stages that walk occupied VCs fill this instead of
+    /// allocating a fresh coordinate list per router per stage.
+    pub(crate) scratch_coords: Vec<(PortId, Vnet, VcId)>,
 }
 
 impl Network {
@@ -118,6 +128,7 @@ impl Network {
             agents,
             spin_enabled,
             meta,
+            store: PacketStore::new(),
             out_links,
             inj_links,
             nics,
@@ -128,9 +139,10 @@ impl Network {
             num_network_links,
             inbox,
             pending_sms: Vec::new(),
-            sm_busy: HashSet::new(),
+            sm_busy: Vec::new(),
             classify_cache: None,
             scratch_phits: Vec::new(),
+            scratch_coords: Vec::new(),
             cfg: b.cfg,
             routing,
             traffic,
@@ -214,7 +226,7 @@ impl Network {
     }
 
     /// Advances the network by one cycle: the seven-stage pipeline of
-    /// DESIGN.md, in order. Each stage lives in its [`crate::pipeline`]
+    /// DESIGN.md, in order. Each stage lives in its own `crate::pipeline`
     /// module.
     pub fn step(&mut self) {
         self.now += 1;
@@ -310,19 +322,5 @@ pub(crate) fn hidden_vc(cfg: &SimConfig) -> Option<VcId> {
         Some(VcId(cfg.vcs_per_vnet - 1))
     } else {
         None
-    }
-}
-
-pub(crate) fn make_flit(pkt: &Packet, seq: u16) -> Flit {
-    let kind = match (seq, pkt.len) {
-        (0, 1) => FlitKind::HeadTail,
-        (0, _) => FlitKind::Head,
-        (s, l) if s + 1 == l => FlitKind::Tail,
-        _ => FlitKind::Body,
-    };
-    Flit {
-        packet: pkt.clone(),
-        kind,
-        seq,
     }
 }

@@ -1,14 +1,18 @@
 //! Network interface controllers: unbounded injection queues, one
 //! flit/cycle injection bandwidth, stall-free ejection.
 
-use spin_types::{NodeId, Packet, VcId};
+use spin_types::{NodeId, PacketHandle, VcId, Vnet};
 use std::collections::VecDeque;
 
 /// A packet currently streaming from the NIC into its router's local input
-/// port.
-#[derive(Debug, Clone)]
+/// port. Holds the store handle plus the immutable header fields the
+/// per-cycle streaming loop needs (`len`, `vnet`), so streaming never
+/// touches the store.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct ActiveInjection {
-    pub packet: Packet,
+    pub handle: PacketHandle,
+    pub len: u16,
+    pub vnet: Vnet,
     pub flits_sent: u16,
     pub vc: VcId,
 }
@@ -18,8 +22,9 @@ pub(crate) struct Nic {
     /// The attached terminal (kept for debugging dumps).
     #[allow(dead_code)]
     pub node: NodeId,
-    /// Per-vnet unbounded injection queues.
-    pub queues: Vec<VecDeque<Packet>>,
+    /// Per-vnet unbounded injection queues of packet-store handles (the
+    /// headers live in the [`crate::store::PacketStore`]).
+    pub queues: Vec<VecDeque<PacketHandle>>,
     /// Round-robin pointer over vnets.
     pub rr: usize,
     pub active: Option<ActiveInjection>,

@@ -34,7 +34,7 @@ impl Network {
                                 self.arrive_flit(peer.router, peer.port, flit, vc, spin, true);
                             }
                             Phit::Sm(sm) => {
-                                self.inbox[peer.router.index()].push((peer.port, sm));
+                                self.inbox[peer.router.index()].push((peer.port, *sm));
                             }
                         }
                     }
@@ -64,10 +64,10 @@ impl Network {
         network_hop: bool,
     ) {
         let now = self.now;
-        let vnet = flit.packet.vnet;
+        let vnet = self.store.get(flit.packet).vnet;
         let tvc = if spin {
-            match self.routers[r.index()].spin_rx.get(&(p, vnet)) {
-                Some(&v) => v,
+            match self.routers[r.index()].spin_rx(p, vnet) {
+                Some(v) => v,
                 None => {
                     self.stats.spin_orphans += 1;
                     vc
@@ -77,19 +77,28 @@ impl Network {
             vc
         };
         if flit.kind.is_head() {
-            let mut packet = flit.packet.clone();
+            // The one per-hop header mutation: routing state advances on
+            // the single authoritative header in the store, not on flit
+            // copies.
+            let is_global = network_hop && self.topo.is_global_port(r, p);
+            let intermediate_here = {
+                let pkt = self.store.get(flit.packet);
+                pkt.intermediate
+                    .map(|i| self.topo.node_router(i) == r)
+                    .unwrap_or(false)
+            };
+            let pkt = self.store.get_mut(flit.packet);
             if network_hop {
-                packet.hops += 1;
-                if self.topo.is_global_port(r, p) {
-                    packet.global_hops += 1;
+                pkt.hops += 1;
+                if is_global {
+                    pkt.global_hops += 1;
                 }
             }
-            if let Some(i) = packet.intermediate {
-                if self.topo.node_router(i) == r {
-                    packet.intermediate = None;
-                }
+            if intermediate_here {
+                pkt.intermediate = None;
             }
-            let mut pb = PacketBuf::new(packet);
+            let len = pkt.len;
+            let mut pb = PacketBuf::new(flit.packet, len);
             pb.received = 1;
             let router = &mut self.routers[r.index()];
             if router.vc(p, vnet, tvc).q.is_empty() {
@@ -98,12 +107,7 @@ impl Network {
             router.vc_mut(p, vnet, tvc).q.push_back(pb);
         } else {
             let vcb = self.routers[r.index()].vc_mut(p, vnet, tvc);
-            if let Some(pb) = vcb
-                .q
-                .iter_mut()
-                .rev()
-                .find(|pb| pb.received < pb.packet.len)
-            {
+            if let Some(pb) = vcb.q.iter_mut().rev().find(|pb| pb.received < pb.len) {
                 pb.received += 1;
             } else {
                 // A body flit with no waiting header can only come from a
@@ -115,7 +119,7 @@ impl Network {
         if spin {
             self.meta.spin_inflight_add(r, p, vnet, -1);
             if flit.kind.is_tail() {
-                self.routers[r.index()].spin_rx.remove(&(p, vnet));
+                self.routers[r.index()].clear_spin_rx(p, vnet);
             }
         } else {
             self.meta.inflight_add(now, r, p, vnet, tvc, -1);
@@ -130,7 +134,9 @@ impl Network {
         if !flit.kind.is_tail() {
             return;
         }
-        let pkt = &flit.packet;
+        // Tail ejection: the packet is done — read the header out whole for
+        // final stats accounting and free its store slot for recycling.
+        let pkt = self.store.remove(flit.packet);
         let now = self.now;
         self.stats.packets_delivered += 1;
         self.stats.flits_delivered += pkt.len as u64;

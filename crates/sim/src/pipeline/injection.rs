@@ -4,10 +4,10 @@
 
 use crate::config::Switching;
 use crate::link::Phit;
-use crate::network::{hidden_vc, make_flit, Network};
+use crate::network::{hidden_vc, Network};
 use crate::nic::ActiveInjection;
 use crate::pipeline::meta::NetView;
-use spin_types::{NodeId, PacketBuilder, VcId, Vnet};
+use spin_types::{Flit, NodeId, PacketBuilder, VcId, Vnet};
 
 impl Network {
     pub(crate) fn inject(&mut self) {
@@ -44,7 +44,11 @@ impl Network {
                     self.routing.at_injection(&view, &mut pkt, &mut self.rng);
                 }
                 self.stats.packets_created += 1;
-                self.nics[n].queues[spec.vnet.index()].push_back(pkt);
+                // The header enters the store here (NIC creation): the one
+                // place a whole Packet is moved. Everything downstream
+                // carries the handle.
+                let handle = self.store.insert(pkt);
+                self.nics[n].queues[spec.vnet.index()].push_back(handle);
             }
             // Start streaming a new packet if idle.
             if self.nics[n].active.is_none() {
@@ -56,14 +60,18 @@ impl Network {
                         .filter(|&v| !(self.cfg.static_bubble && v.0 == self.cfg.vcs_per_vnet - 1))
                         .find(|&v| self.meta.allocatable(at.router, at.port, vnet, v));
                     if let Some(vc) = vc {
-                        let mut pkt = self.nics[n].queues[vn]
+                        let handle = self.nics[n].queues[vn]
                             .pop_front()
                             .expect("next_vnet returned a non-empty queue");
+                        let pkt = self.store.get_mut(handle);
                         pkt.injected_at = now;
+                        let len = pkt.len;
                         self.meta.reserve(now, at.router, at.port, vnet, vc);
                         self.stats.packets_injected += 1;
                         self.nics[n].active = Some(ActiveInjection {
-                            packet: pkt,
+                            handle,
+                            len,
+                            vnet,
                             flits_sent: 0,
                             vc,
                         });
@@ -74,18 +82,15 @@ impl Network {
             if let Some(mut act) = self.nics[n].active.take() {
                 let at = self.topo.node_attach(node);
                 if self.cfg.switching == Switching::Wormhole
-                    && self.meta.space(
-                        at.router,
-                        at.port,
-                        act.packet.vnet,
-                        act.vc,
-                        self.cfg.vc_depth,
-                    ) == 0
+                    && self
+                        .meta
+                        .space(at.router, at.port, act.vnet, act.vc, self.cfg.vc_depth)
+                        == 0
                 {
                     self.nics[n].active = Some(act);
                     continue;
                 }
-                let flit = make_flit(&act.packet, act.flits_sent);
+                let flit = Flit::new(act.handle, act.flits_sent, act.len);
                 let is_tail = flit.kind.is_tail();
                 self.inj_links[n].send(
                     now,
@@ -96,12 +101,11 @@ impl Network {
                     },
                 );
                 self.meta
-                    .inflight_add(now, at.router, at.port, act.packet.vnet, act.vc, 1);
+                    .inflight_add(now, at.router, at.port, act.vnet, act.vc, 1);
                 self.stats.flits_injected += 1;
                 act.flits_sent += 1;
                 if is_tail {
-                    self.meta
-                        .release(now, at.router, at.port, act.packet.vnet, act.vc);
+                    self.meta.release(now, at.router, at.port, act.vnet, act.vc);
                 } else {
                     self.nics[n].active = Some(act);
                 }

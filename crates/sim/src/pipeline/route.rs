@@ -12,13 +12,14 @@ impl Network {
     pub(crate) fn route_compute(&mut self) {
         let now = self.now;
         let reserved = VcId(self.cfg.vcs_per_vnet - 1);
+        let mut coords = std::mem::take(&mut self.scratch_coords);
         for i in 0..self.routers.len() {
             if self.routers[i].occupied_vcs == 0 {
                 continue;
             }
             let rid = RouterId(i as u32);
-            let coords = self.routers[i].active_coords();
-            for (p, vn, v) in coords {
+            self.routers[i].active_coords_into(&mut coords);
+            for &(p, vn, v) in &coords {
                 let vcb = self.routers[i].vc(p, vn, v);
                 let Some(pb) = vcb.head() else { continue };
                 if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.received == 0 {
@@ -37,7 +38,10 @@ impl Network {
                         continue;
                     }
                 }
-                let pkt = pb.packet.clone();
+                // Copy the handle out (ends the router borrow) and read the
+                // header through the store: no per-cycle Packet clone.
+                let handle = pb.handle;
+                let pkt = self.store.get(handle);
                 let view = NetView {
                     topo: &self.topo,
                     meta: &self.meta,
@@ -52,7 +56,7 @@ impl Network {
                 let choices = if self.cfg.static_bubble && v == reserved {
                     // Recovery packets drain over the acyclic XY escape
                     // route, staying in the reserved VC layer.
-                    let mut c = self.escape.route(&view, rid, p, &pkt, &mut self.rng);
+                    let mut c = self.escape.route(&view, rid, p, pkt, &mut self.rng);
                     for choice in &mut c {
                         if self.topo.port(rid, choice.out_port).is_network() {
                             choice.vc_mask = VcMask::only(reserved);
@@ -60,7 +64,7 @@ impl Network {
                     }
                     c
                 } else {
-                    self.routing.route(&view, rid, p, &pkt, &mut self.rng)
+                    self.routing.route(&view, rid, p, pkt, &mut self.rng)
                 };
                 let pb = self.routers[i]
                     .vc_mut(p, vn, v)
@@ -72,5 +76,6 @@ impl Network {
                 }
             }
         }
+        self.scratch_coords = coords;
     }
 }

@@ -39,6 +39,7 @@ impl Network {
                     let view = SpinView {
                         router: &self.routers[i],
                         topo: &self.topo,
+                        store: &self.store,
                     };
                     self.agents[i].on_sm(now, &view, port, sm)
                 };
@@ -62,6 +63,7 @@ impl Network {
                 let view = SpinView {
                     router: &self.routers[i],
                     topo: &self.topo,
+                    store: &self.store,
                 };
                 self.agents[i].on_cycle(now, &view)
             };
@@ -96,7 +98,7 @@ impl Network {
                     let vcb = router.vc_mut(in_port, vnet, vc);
                     vcb.frozen = true;
                     vcb.frozen_out = Some(out_port);
-                    router.spin_rx.insert((in_port, vnet), vc);
+                    router.set_spin_rx(in_port, vnet, vc);
                 }
                 Action::UnfreezeAll => {
                     for (p, vn, v) in self.routers[i].vc_coords().collect::<Vec<_>>() {
@@ -184,8 +186,8 @@ impl Network {
                 SmKind::Probe => self.stats.link_use.probe += 1,
                 _ => self.stats.link_use.other_sm += 1,
             }
-            self.sm_busy.insert((r.0, p.0));
-            self.out_links[r.index()][p.index()].send(now, Phit::Sm(sm));
+            self.sm_busy.push((r.0, p.0));
+            self.out_links[r.index()][p.index()].send(now, Phit::Sm(Box::new(sm)));
             idx = end + 1;
         }
     }
@@ -204,6 +206,7 @@ impl Network {
                     let view = SpinView {
                         router: &self.routers[i],
                         topo: &self.topo,
+                        store: &self.store,
                     };
                     self.agents[i].notify_spin_complete(now, &view)
                 };

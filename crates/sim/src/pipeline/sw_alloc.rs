@@ -9,12 +9,13 @@ use spin_types::{PortId, RouterId, VcId};
 
 impl Network {
     pub(crate) fn switch_traverse(&mut self) {
+        let mut coords = std::mem::take(&mut self.scratch_coords);
         for i in 0..self.routers.len() {
             if self.routers[i].occupied_vcs == 0 {
                 continue;
             }
             let rid = RouterId(i as u32);
-            let coords = self.routers[i].active_coords();
+            self.routers[i].active_coords_into(&mut coords);
             // Ejection: stall-free, unbounded bandwidth (paper Sec. II-F).
             for &(p, vn, v) in &coords {
                 let vcb = self.routers[i].vc(p, vn, v);
@@ -84,5 +85,6 @@ impl Network {
                 }
             }
         }
+        self.scratch_coords = coords;
     }
 }

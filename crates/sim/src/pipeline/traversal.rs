@@ -3,8 +3,8 @@
 //! stats and buffer bookkeeping consistent in one place.
 
 use crate::link::Phit;
-use crate::network::{make_flit, Network};
-use spin_types::{PortId, RouterId, VcId, Vnet};
+use crate::network::Network;
+use spin_types::{Flit, PortId, RouterId, VcId, Vnet};
 
 impl Network {
     /// Emits one flit from (router i, in-port p, vnet vn, vc v) through
@@ -28,9 +28,11 @@ impl Network {
                 .vc_mut(p, vn, v)
                 .head_mut()
                 .expect("send_flit requires a head packet");
-            let flit = make_flit(&pb.packet, pb.sent);
+            // A flit is a 16-byte Copy handle: no header clone on the
+            // per-flit send path.
+            let flit = Flit::new(pb.handle, pb.sent, pb.len);
             pb.sent += 1;
-            (flit.clone(), flit.kind.is_tail(), pb.fully_sent())
+            (flit, flit.kind.is_tail(), pb.fully_sent())
         };
         let port = self.topo.port(rid, out_port);
         if let Some(peer) = port.conn {

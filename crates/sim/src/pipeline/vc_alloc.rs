@@ -3,74 +3,76 @@
 //! Static Bubble recovery grants and bubble flow control.
 
 use crate::network::Network;
-use spin_routing::{RouteChoice, VcMask};
+use spin_routing::VcMask;
 use spin_types::{PortId, RouterId, VcId};
 
 impl Network {
     pub(crate) fn vc_allocate(&mut self) {
         let now = self.now;
         let reserved = VcId(self.cfg.vcs_per_vnet - 1);
+        let mut coords = std::mem::take(&mut self.scratch_coords);
         for i in 0..self.routers.len() {
             if self.routers[i].occupied_vcs == 0 {
                 continue;
             }
             let rid = RouterId(i as u32);
-            let coords = self.routers[i].active_coords();
-            for (p, vn, v) in coords {
+            self.routers[i].active_coords_into(&mut coords);
+            for &(p, vn, v) in &coords {
                 let vcb = self.routers[i].vc(p, vn, v);
                 let Some(pb) = vcb.head() else { continue };
                 if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.choices.is_empty() {
                     continue;
                 }
-                let mut candidates: spin_routing::RouteChoices = pb.choices.clone();
-                // Static Bubble: a long-blocked head may use the reserved
-                // VC (the recovery grant).
-                let mut grant_used = false;
-                if self.cfg.static_bubble {
-                    if let Some(since) = pb.head_since {
-                        if now.saturating_sub(since) >= self.cfg.bubble_timeout {
-                            for c in pb.choices.clone() {
-                                candidates.push(RouteChoice {
-                                    out_port: c.out_port,
-                                    vc_mask: VcMask::only(reserved),
-                                });
-                            }
-                            grant_used = true;
-                        }
-                    }
-                }
+                // Static Bubble: a long-blocked head may also use the
+                // reserved VC (the recovery grant). Walked as a second pass
+                // over the same choices with the mask narrowed to the
+                // reserved VC — no candidate-list clone on the hot path.
+                let grant = self.cfg.static_bubble
+                    && pb
+                        .head_since
+                        .map(|since| now.saturating_sub(since) >= self.cfg.bubble_timeout)
+                        .unwrap_or(false);
                 let mut alloc: Option<(PortId, VcId)> = None;
-                'outer: for c in &candidates {
-                    let port = self.topo.port(rid, c.out_port);
-                    if port.is_local() {
-                        alloc = Some((c.out_port, VcId(0)));
-                        break;
-                    }
-                    let Some(peer) = port.conn else { continue };
-                    // Bubble flow control: injections and turns must leave
-                    // one VC free at the target port (the bubble).
-                    let needs_bubble =
-                        self.cfg.bubble_flow_control && self.hop_needs_bubble(rid, p, c.out_port);
-                    if needs_bubble {
-                        let free = (0..self.cfg.vcs_per_vnet)
-                            .filter(|&v| self.meta.allocatable(peer.router, peer.port, vn, VcId(v)))
-                            .count();
-                        if free < 2 {
-                            continue;
-                        }
-                    }
-                    for tv in 0..self.cfg.vcs_per_vnet {
-                        let tv = VcId(tv);
-                        if !c.vc_mask.contains(tv) {
-                            continue;
-                        }
-                        if self.meta.allocatable(peer.router, peer.port, vn, tv) {
-                            self.meta.reserve(now, peer.router, peer.port, vn, tv);
-                            alloc = Some((c.out_port, tv));
-                            if grant_used && tv == reserved {
-                                self.stats.bubble_grants += 1;
-                            }
+                'outer: for pass in 0..=(grant as usize) {
+                    for c in &pb.choices {
+                        let mask = if pass == 0 {
+                            c.vc_mask
+                        } else {
+                            VcMask::only(reserved)
+                        };
+                        let port = self.topo.port(rid, c.out_port);
+                        if port.is_local() {
+                            alloc = Some((c.out_port, VcId(0)));
                             break 'outer;
+                        }
+                        let Some(peer) = port.conn else { continue };
+                        // Bubble flow control: injections and turns must
+                        // leave one VC free at the target port (the bubble).
+                        let needs_bubble = self.cfg.bubble_flow_control
+                            && self.hop_needs_bubble(rid, p, c.out_port);
+                        if needs_bubble {
+                            let free = (0..self.cfg.vcs_per_vnet)
+                                .filter(|&v| {
+                                    self.meta.allocatable(peer.router, peer.port, vn, VcId(v))
+                                })
+                                .count();
+                            if free < 2 {
+                                continue;
+                            }
+                        }
+                        for tv in 0..self.cfg.vcs_per_vnet {
+                            let tv = VcId(tv);
+                            if !mask.contains(tv) {
+                                continue;
+                            }
+                            if self.meta.allocatable(peer.router, peer.port, vn, tv) {
+                                self.meta.reserve(now, peer.router, peer.port, vn, tv);
+                                alloc = Some((c.out_port, tv));
+                                if grant && tv == reserved {
+                                    self.stats.bubble_grants += 1;
+                                }
+                                break 'outer;
+                            }
                         }
                     }
                 }
@@ -83,6 +85,7 @@ impl Network {
                 }
             }
         }
+        self.scratch_coords = coords;
     }
 
     /// Bubble flow control: does a hop from `in_port` to `out_port` at

@@ -2,11 +2,11 @@
 //! SPIN spin-landing overrides, and the adapter exposing buffer state to the
 //! SPIN agent.
 
+use crate::store::PacketStore;
 use crate::vc::Vc;
 use spin_core::{SpinRouterView, VcStatus};
 use spin_topology::Topology;
 use spin_types::{PacketId, PortId, RouterId, VcId, Vnet};
-use std::collections::HashMap;
 
 #[derive(Debug)]
 pub(crate) struct Router {
@@ -15,9 +15,13 @@ pub(crate) struct Router {
     pub in_vcs: Vec<Vec<Vec<Vc>>>,
     /// Round-robin switch-allocation pointer per output port.
     pub sa_rr: Vec<usize>,
-    /// Landing VC for spin-pushed packets, per (input port, vnet). Written
-    /// on freeze, consumed until the pushed packet's tail arrives.
-    pub spin_rx: HashMap<(PortId, Vnet), VcId>,
+    /// Landing VC for spin-pushed packets, flat-indexed by
+    /// `port * vnets + vnet` (like [`crate::pipeline::meta::MetaTable`]:
+    /// no hashing on the per-flit SPIN receive path). Written on freeze,
+    /// consumed until the pushed packet's tail arrives.
+    spin_rx: Vec<Option<VcId>>,
+    /// Vnet count, for `spin_rx` indexing.
+    vnets: usize,
     /// Number of VCs currently holding at least one packet (maintained by
     /// the network on packet arrival/departure; lets idle routers skip all
     /// per-cycle work).
@@ -37,7 +41,8 @@ impl Router {
             id,
             in_vcs,
             sa_rr: vec![0; radix],
-            spin_rx: HashMap::new(),
+            spin_rx: vec![None; radix * vnets as usize],
+            vnets: vnets as usize,
             occupied_vcs: 0,
         }
     }
@@ -50,21 +55,37 @@ impl Router {
         &mut self.in_vcs[port.index()][vnet.index()][vc.index()]
     }
 
-    /// Coordinates of VCs currently holding at least one packet. The hot
-    /// loops (route compute, VC allocation, switch traversal) iterate this
-    /// instead of every VC slot: a large idle network costs nothing.
-    pub(crate) fn active_coords(&self) -> Vec<(PortId, Vnet, VcId)> {
-        let mut v = Vec::new();
+    /// The earmarked landing VC for spin pushes arriving at (port, vnet).
+    pub(crate) fn spin_rx(&self, port: PortId, vnet: Vnet) -> Option<VcId> {
+        self.spin_rx[port.index() * self.vnets + vnet.index()]
+    }
+
+    /// Earmarks `vc` as the landing VC for spin pushes at (port, vnet).
+    pub(crate) fn set_spin_rx(&mut self, port: PortId, vnet: Vnet, vc: VcId) {
+        self.spin_rx[port.index() * self.vnets + vnet.index()] = Some(vc);
+    }
+
+    /// Clears the earmark (the pushed packet's tail arrived).
+    pub(crate) fn clear_spin_rx(&mut self, port: PortId, vnet: Vnet) {
+        self.spin_rx[port.index() * self.vnets + vnet.index()] = None;
+    }
+
+    /// Fills `out` with the coordinates of VCs currently holding at least
+    /// one packet. The hot loops (route compute, VC allocation, switch
+    /// traversal) iterate this instead of every VC slot — a large idle
+    /// network costs nothing — and pass in the network's scratch buffer so
+    /// no stage allocates a fresh coordinate list per router per cycle.
+    pub(crate) fn active_coords_into(&self, out: &mut Vec<(PortId, Vnet, VcId)>) {
+        out.clear();
         for (p, vns) in self.in_vcs.iter().enumerate() {
             for (vn, vcs) in vns.iter().enumerate() {
                 for (i, vc) in vcs.iter().enumerate() {
                     if !vc.q.is_empty() {
-                        v.push((PortId(p as u8), Vnet(vn as u8), VcId(i as u8)));
+                        out.push((PortId(p as u8), Vnet(vn as u8), VcId(i as u8)));
                     }
                 }
             }
         }
-        v
     }
 
     /// Iterates (port, vnet, vc) coordinates.
@@ -83,10 +104,12 @@ impl Router {
 }
 
 /// Read-only adapter giving the SPIN agent the paper's router-visible
-/// state.
+/// state. Packet identity is resolved through the packet store (the agent
+/// sees [`PacketId`]s, never headers).
 pub(crate) struct SpinView<'a> {
     pub router: &'a Router,
     pub topo: &'a Topology,
+    pub store: &'a PacketStore,
 }
 
 impl SpinRouterView for SpinView<'_> {
@@ -130,6 +153,9 @@ impl SpinRouterView for SpinView<'_> {
     }
 
     fn vc_packet(&self, port: PortId, vnet: Vnet, vc: VcId) -> Option<PacketId> {
-        self.router.vc(port, vnet, vc).head().map(|pb| pb.packet.id)
+        self.router
+            .vc(port, vnet, vc)
+            .head()
+            .map(|pb| self.store.get(pb.handle).id)
     }
 }

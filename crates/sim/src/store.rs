@@ -1,0 +1,300 @@
+//! The arena-backed packet store: the single authoritative home of every
+//! in-flight packet header.
+//!
+//! # Ownership model
+//!
+//! * **Allocation** — the NIC injection stage ([`crate::pipeline::injection`])
+//!   inserts the header the moment the traffic source emits a packet; the
+//!   returned [`PacketHandle`] is what NIC queues, VC buffers
+//!   ([`crate::vc::PacketBuf`]), link phits and flits carry from then on.
+//! * **Mutation** — routing state (`hops`, `global_hops`, `intermediate`)
+//!   is updated exactly once per hop, by the link-delivery stage when a
+//!   head flit arrives at the next router ([`crate::pipeline::delivery`]).
+//!   `injected_at` is stamped once, when the NIC starts streaming.
+//!   `misroutes` is written only by `Routing::at_injection`, before the
+//!   header enters the store. Nothing else writes headers.
+//! * **Free** — the slot is released on tail-flit ejection at the
+//!   destination NIC, after final stats accounting (the only point a header
+//!   is read out whole). Freed slots go on a free list and are recycled for
+//!   later packets with a bumped generation, so a stale handle can never
+//!   silently alias a newer packet: [`PacketStore::get`] panics and
+//!   [`PacketStore::try_get`] returns `None` for handles from a previous
+//!   generation.
+//!
+//! Like [`crate::pipeline::meta::MetaTable`], the store is a flat
+//! vector — handle lookups are one bounds-checked index, no hashing.
+
+use spin_types::{Packet, PacketHandle};
+
+#[derive(Debug)]
+struct Slot {
+    /// Incremented on every free; a handle is valid only while its
+    /// generation matches.
+    generation: u32,
+    packet: Option<Packet>,
+}
+
+/// Slab/arena of in-flight packet headers with free-list slot recycling.
+#[derive(Debug, Default)]
+pub(crate) struct PacketStore {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketStore {
+    pub(crate) fn new() -> Self {
+        PacketStore::default()
+    }
+
+    /// Inserts a header, returning the handle that names it. Reuses a freed
+    /// slot when one is available.
+    pub(crate) fn insert(&mut self, packet: Packet) -> PacketHandle {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.packet.is_none(), "free list pointed at a live slot");
+            s.packet = Some(packet);
+            PacketHandle::new(slot, s.generation)
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                packet: Some(packet),
+            });
+            PacketHandle::new(slot, 0)
+        }
+    }
+
+    /// The header for `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (its packet was freed, and possibly
+    /// its slot recycled) — a use-after-free bug in the caller.
+    #[inline]
+    pub(crate) fn get(&self, h: PacketHandle) -> &Packet {
+        let s = &self.slots[h.slot() as usize];
+        assert!(
+            s.generation == h.generation(),
+            "stale packet handle {h}: slot is at generation {}",
+            s.generation
+        );
+        s.packet.as_ref().expect("live generation but empty slot")
+    }
+
+    /// The header for `h`, mutable. Same panic contract as [`Self::get`].
+    #[inline]
+    pub(crate) fn get_mut(&mut self, h: PacketHandle) -> &mut Packet {
+        let s = &mut self.slots[h.slot() as usize];
+        assert!(
+            s.generation == h.generation(),
+            "stale packet handle {h}: slot is at generation {}",
+            s.generation
+        );
+        s.packet.as_mut().expect("live generation but empty slot")
+    }
+
+    /// The header for `h`, or `None` if the handle is stale (test-only:
+    /// the simulator proper treats a stale handle as a hard bug).
+    #[cfg(test)]
+    pub(crate) fn try_get(&self, h: PacketHandle) -> Option<&Packet> {
+        let s = self.slots.get(h.slot() as usize)?;
+        if s.generation != h.generation() {
+            return None;
+        }
+        s.packet.as_ref()
+    }
+
+    /// Frees the slot for `h` and returns the header (tail ejection). The
+    /// slot's generation is bumped so outstanding handles turn stale.
+    pub(crate) fn remove(&mut self, h: PacketHandle) -> Packet {
+        let s = &mut self.slots[h.slot() as usize];
+        assert!(
+            s.generation == h.generation(),
+            "stale packet handle {h}: slot is at generation {}",
+            s.generation
+        );
+        let pkt = s.packet.take().expect("live generation but empty slot");
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(h.slot());
+        self.live -= 1;
+        pkt
+    }
+
+    /// Number of live packets.
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (live + recyclable). Peak concurrent
+    /// packets over the store's lifetime.
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spin_types::{FlitKind, NodeId, PacketBuilder, PacketId};
+
+    fn pkt(id: u64, len: u16) -> Packet {
+        PacketBuilder::new(NodeId(0), NodeId(1)).len(len).build(id)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut store = PacketStore::new();
+        let h = store.insert(pkt(7, 3));
+        assert_eq!(store.get(h).id, PacketId(7));
+        assert_eq!(store.live(), 1);
+        store.get_mut(h).hops = 2;
+        assert_eq!(store.get(h).hops, 2);
+        let out = store.remove(h);
+        assert_eq!(out.id, PacketId(7));
+        assert_eq!(out.hops, 2);
+        assert_eq!(store.live(), 0);
+    }
+
+    #[test]
+    fn recycled_slot_invalidates_old_handle() {
+        let mut store = PacketStore::new();
+        let h1 = store.insert(pkt(1, 1));
+        store.remove(h1);
+        let h2 = store.insert(pkt(2, 1));
+        // Slot reused, generation bumped: h1 must not alias packet 2.
+        assert_eq!(h1.slot(), h2.slot());
+        assert_ne!(h1.generation(), h2.generation());
+        assert!(store.try_get(h1).is_none());
+        assert_eq!(store.get(h2).id, PacketId(2));
+        assert_eq!(store.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn get_after_free_panics() {
+        let mut store = PacketStore::new();
+        let h = store.insert(pkt(1, 1));
+        store.remove(h);
+        let _ = store.get(h);
+    }
+
+    #[test]
+    fn flit_decomposition_references_store() {
+        let mut store = PacketStore::new();
+        let h = store.insert(pkt(9, 4));
+        let flits: Vec<_> = store.get(h).flits(h).collect();
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert!(flits.iter().all(|f| f.packet == h));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use spin_types::{Flit, NodeId, PacketBuilder, PacketId, Vnet};
+    use std::collections::VecDeque;
+
+    /// A miniature per-VC FIFO receiver: reassembles flit streams back into
+    /// (id, len) packets, checking head/body/tail structure on the way.
+    fn reassemble(store: &PacketStore, stream: &[Flit]) -> Vec<(PacketId, u16)> {
+        let mut done = Vec::new();
+        let mut current: Option<(PacketId, u16, u16)> = None; // (id, len, seen)
+        for f in stream {
+            let hdr = store
+                .try_get(f.packet)
+                .expect("flit handle read after free");
+            match current.as_mut() {
+                None => {
+                    assert!(f.kind.is_head(), "stream must start with a head flit");
+                    assert_eq!(f.seq, 0);
+                    current = Some((hdr.id, hdr.len, 1));
+                }
+                Some((id, len, seen)) => {
+                    assert_eq!(*id, hdr.id, "flits of different packets interleaved");
+                    assert_eq!(f.seq, *seen, "out-of-order flit");
+                    *seen += 1;
+                    let _ = len;
+                }
+            }
+            if f.kind.is_tail() {
+                let (id, len, seen) = current.take().expect("tail without head");
+                assert_eq!(seen, len, "tail arrived before all flits");
+                done.push((id, len));
+            }
+        }
+        assert!(current.is_none(), "stream ended mid-packet");
+        done
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Packets round-trip through the store: per-VC FIFO flit streams
+        /// reassemble in order with intact head/body/tail structure, stale
+        /// handles are never readable, and recycled slots never alias a
+        /// live packet's stats (the recycled packet's mutated hops never
+        /// leak into a newer occupant).
+        #[test]
+        fn prop_store_roundtrip_fifo(
+            lens in proptest::collection::vec(1u16..8, 1..20),
+            hop_bumps in proptest::collection::vec(0u32..5, 1..20),
+        ) {
+            let mut store = PacketStore::new();
+            let mut stream: VecDeque<Flit> = VecDeque::new();
+            let mut handles = Vec::new();
+            // Inject every packet's flits into one VC-like FIFO stream.
+            for (i, &len) in lens.iter().enumerate() {
+                let pkt = PacketBuilder::new(NodeId(0), NodeId(1))
+                    .len(len)
+                    .vnet(Vnet(0))
+                    .build(i as u64);
+                let h = store.insert(pkt);
+                // Simulate per-hop routing-state mutation on the single
+                // authoritative header.
+                store.get_mut(h).hops = hop_bumps[i % hop_bumps.len()];
+                handles.push(h);
+                for f in store.get(h).flits(h) {
+                    stream.push_back(f);
+                }
+            }
+            let stream: Vec<Flit> = stream.into();
+            let out = reassemble(&store, &stream);
+            prop_assert_eq!(out.len(), lens.len());
+            for (i, (id, len)) in out.iter().enumerate() {
+                prop_assert_eq!(*id, PacketId(i as u64));
+                prop_assert_eq!(*len, lens[i]);
+            }
+            // Eject everything; handles must turn stale.
+            for &h in &handles {
+                let hdr = store.remove(h);
+                prop_assert!(hdr.hops < 5);
+                prop_assert!(store.try_get(h).is_none(), "handle readable after free");
+            }
+            prop_assert_eq!(store.live(), 0);
+            // Re-inject: recycled slots must never alias the old packets'
+            // stats (fresh headers start at hops = 0, new generation).
+            let mut fresh = Vec::new();
+            for (i, &len) in lens.iter().enumerate() {
+                let pkt = PacketBuilder::new(NodeId(2), NodeId(3))
+                    .len(len)
+                    .build(1000 + i as u64);
+                fresh.push(store.insert(pkt));
+            }
+            prop_assert!(store.capacity() <= lens.len());
+            for (i, &h) in fresh.iter().enumerate() {
+                prop_assert_eq!(store.get(h).id, PacketId(1000 + i as u64));
+                prop_assert_eq!(store.get(h).hops, 0);
+            }
+            for &old in &handles {
+                prop_assert!(store.try_get(old).is_none(), "old handle aliases recycled slot");
+            }
+        }
+    }
+}

@@ -2,14 +2,22 @@
 //! arrival/departure timing.
 
 use spin_routing::RouteChoices;
-use spin_types::{Cycle, Packet, PortId, VcId};
+use spin_types::{Cycle, PacketHandle, PortId, VcId};
 use std::collections::VecDeque;
 
 /// A packet resident (possibly partially) in a VC buffer.
+///
+/// The buffer holds only the packet's store handle plus per-buffer flow
+/// state; the authoritative header lives in the
+/// [`PacketStore`](crate::store::PacketStore) (hops/intermediate updated
+/// there once per hop, on head-flit arrival). `len` is cached because it is
+/// immutable and on the per-flit hot path (`fully_sent`/`flit_available`).
 #[derive(Debug, Clone)]
 pub(crate) struct PacketBuf {
-    /// Authoritative header (hops/intermediate updated on arrival).
-    pub packet: Packet,
+    /// Handle of the resident packet in the packet store.
+    pub handle: PacketHandle,
+    /// Packet length in flits (immutable; cached from the header).
+    pub len: u16,
     /// Flits that have physically arrived.
     pub received: u16,
     /// Flits already forwarded onward.
@@ -24,9 +32,10 @@ pub(crate) struct PacketBuf {
 }
 
 impl PacketBuf {
-    pub(crate) fn new(packet: Packet) -> Self {
+    pub(crate) fn new(handle: PacketHandle, len: u16) -> Self {
         PacketBuf {
-            packet,
+            handle,
+            len,
             received: 0,
             sent: 0,
             choices: RouteChoices::new(),
@@ -37,7 +46,7 @@ impl PacketBuf {
 
     /// True once every flit has been forwarded.
     pub(crate) fn fully_sent(&self) -> bool {
-        self.sent >= self.packet.len
+        self.sent >= self.len
     }
 
     /// True if a flit is available to forward this cycle.

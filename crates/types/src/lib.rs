@@ -14,14 +14,17 @@
 //! # Examples
 //!
 //! ```
-//! use spin_types::{NodeId, PacketBuilder, Vnet, FlitKind};
+//! use spin_types::{NodeId, PacketBuilder, PacketHandle, Vnet, FlitKind};
 //!
 //! let pkt = PacketBuilder::new(NodeId(0), NodeId(5))
 //!     .vnet(Vnet(1))
 //!     .len(5)
 //!     .injected_at(100)
 //!     .build(42);
-//! let flits = pkt.into_flits();
+//! // Flits are 16-byte handles into a packet store; the store hands out
+//! // the handle, the packet header stays in one place.
+//! let handle = PacketHandle::new(0, 0);
+//! let flits: Vec<_> = pkt.flits(handle).collect();
 //! assert_eq!(flits.len(), 5);
 //! assert_eq!(flits[0].kind, FlitKind::Head);
 //! assert_eq!(flits[4].kind, FlitKind::Tail);
@@ -161,24 +164,12 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Splits the packet into its flit sequence.
-    pub fn into_flits(self) -> Vec<Flit> {
+    /// The flit sequence of this packet, as handles referencing `handle`
+    /// (the packet's slot in its owning store). No header is copied: each
+    /// flit is a 16-byte `Copy` value.
+    pub fn flits(&self, handle: PacketHandle) -> impl Iterator<Item = Flit> {
         let len = self.len.max(1);
-        (0..len)
-            .map(|seq| {
-                let kind = match (seq, len) {
-                    (0, 1) => FlitKind::HeadTail,
-                    (0, _) => FlitKind::Head,
-                    (s, l) if s + 1 == l => FlitKind::Tail,
-                    _ => FlitKind::Body,
-                };
-                Flit {
-                    packet: self.clone(),
-                    kind,
-                    seq,
-                }
-            })
-            .collect()
+        (0..len).map(move |seq| Flit::new(handle, seq, len))
     }
 
     /// The routing target the packet is currently heading to: the
@@ -262,15 +253,57 @@ impl PacketBuilder {
     }
 }
 
+/// Handle to a packet header held in an arena/slab packet store.
+///
+/// A handle names a store *slot* plus a *generation*: the store bumps a
+/// slot's generation every time the slot is recycled, so a handle held past
+/// its packet's ejection can never silently alias a newer packet — a
+/// stale-handle lookup is a detectable error, not wrong data.
+///
+/// The store itself lives with the simulator (it owns packet lifetimes);
+/// this crate only defines the identifier so [`Flit`] can stay plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketHandle {
+    slot: u32,
+    generation: u32,
+}
+
+impl PacketHandle {
+    /// Creates a handle for `slot` at `generation` (store-internal use).
+    #[inline]
+    pub const fn new(slot: u32, generation: u32) -> Self {
+        PacketHandle { slot, generation }
+    }
+
+    /// The store slot index.
+    #[inline]
+    pub const fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The slot generation this handle was issued at.
+    #[inline]
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Display for PacketHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}g{}", self.slot, self.generation)
+    }
+}
+
 /// A flit: the unit of link bandwidth and buffering.
 ///
-/// For simplicity every flit carries a clone of its packet header; the
-/// simulator only inspects the header of head flits, so this costs memory,
-/// not fidelity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A flit is a 16-byte `Copy` handle: it names its packet's store slot
+/// ([`PacketHandle`]) plus its position in the packet. The single
+/// authoritative packet header lives in the simulator's packet store;
+/// buffering, link traversal and spin streaming move only these handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
-    /// The owning packet's header.
-    pub packet: Packet,
+    /// Handle of the owning packet in the packet store.
+    pub packet: PacketHandle,
     /// Position within the packet.
     pub kind: FlitKind,
     /// Sequence number within the packet (0 = head).
@@ -278,12 +311,32 @@ pub struct Flit {
 }
 
 impl Flit {
-    /// Shorthand for the owning packet id.
+    /// Builds the `seq`-th flit of a `len`-flit packet referenced by
+    /// `handle`, deriving the [`FlitKind`] from the position.
     #[inline]
-    pub fn packet_id(&self) -> PacketId {
-        self.packet.id
+    pub fn new(handle: PacketHandle, seq: u16, len: u16) -> Flit {
+        let kind = match (seq, len.max(1)) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (s, l) if s + 1 == l => FlitKind::Tail,
+            _ => FlitKind::Body,
+        };
+        Flit {
+            packet: handle,
+            kind,
+            seq,
+        }
     }
 }
+
+// The whole point of the handle representation: flits must stay small and
+// trivially copyable. A compile error here means a header crept back in.
+const _: () = assert!(std::mem::size_of::<Flit>() <= 16);
+const _: () = {
+    const fn require_copy<T: Copy>() {}
+    require_copy::<Flit>();
+    require_copy::<PacketHandle>();
+};
 
 /// A (router, port) endpoint, used to describe link connectivity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -376,7 +429,7 @@ mod tests {
     #[test]
     fn single_flit_packet_is_head_tail() {
         let pkt = PacketBuilder::new(NodeId(0), NodeId(1)).build(0);
-        let flits = pkt.into_flits();
+        let flits: Vec<_> = pkt.flits(PacketHandle::new(0, 0)).collect();
         assert_eq!(flits.len(), 1);
         assert_eq!(flits[0].kind, FlitKind::HeadTail);
     }
@@ -384,7 +437,8 @@ mod tests {
     #[test]
     fn multi_flit_packet_structure() {
         let pkt = PacketBuilder::new(NodeId(0), NodeId(1)).len(5).build(0);
-        let flits = pkt.into_flits();
+        let h = PacketHandle::new(3, 1);
+        let flits: Vec<_> = pkt.flits(h).collect();
         assert_eq!(flits.len(), 5);
         assert_eq!(flits[0].kind, FlitKind::Head);
         for f in &flits[1..4] {
@@ -393,8 +447,28 @@ mod tests {
         assert_eq!(flits[4].kind, FlitKind::Tail);
         for (i, f) in flits.iter().enumerate() {
             assert_eq!(f.seq as usize, i);
-            assert_eq!(f.packet_id(), PacketId(0));
+            assert_eq!(f.packet, h);
         }
+    }
+
+    #[test]
+    fn flit_stays_a_small_copy_handle() {
+        // Belt-and-braces runtime mirror of the compile-time assertions:
+        // the flit must never regrow an embedded header.
+        assert!(std::mem::size_of::<Flit>() <= 16);
+        assert_eq!(std::mem::size_of::<PacketHandle>(), 8);
+        let f = Flit::new(PacketHandle::new(7, 2), 0, 1);
+        let g = f; // Copy, not move
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn packet_handle_accessors_roundtrip() {
+        let h = PacketHandle::new(41, 3);
+        assert_eq!(h.slot(), 41);
+        assert_eq!(h.generation(), 3);
+        assert_eq!(h.to_string(), "h41g3");
+        assert_ne!(h, PacketHandle::new(41, 4));
     }
 
     #[test]
@@ -438,8 +512,9 @@ mod proptests {
     use proptest::prelude::*;
 
     proptest! {
-        /// into_flits always yields exactly `len` flits with coherent kinds
-        /// and sequence numbers, for any packet shape.
+        /// The flit decomposition always yields exactly `len` flits with
+        /// coherent kinds and sequence numbers, for any packet shape, and
+        /// every flit references the owning handle.
         #[test]
         fn prop_flit_decomposition(
             src in 0u32..1024,
@@ -447,13 +522,16 @@ mod proptests {
             len in 1u16..32,
             vnet in 0u8..4,
             cycle in 0u64..1_000_000,
+            slot in 0u32..4096,
+            generation in 0u32..16,
         ) {
             let pkt = PacketBuilder::new(NodeId(src), NodeId(dst))
                 .len(len)
                 .vnet(Vnet(vnet))
                 .injected_at(cycle)
                 .build(7);
-            let flits = pkt.clone().into_flits();
+            let h = PacketHandle::new(slot, generation);
+            let flits: Vec<_> = pkt.flits(h).collect();
             prop_assert_eq!(flits.len(), len as usize);
             prop_assert!(flits[0].kind.is_head());
             prop_assert!(flits[len as usize - 1].kind.is_tail());
@@ -463,7 +541,7 @@ mod proptests {
             prop_assert_eq!(tails, 1);
             for (i, f) in flits.iter().enumerate() {
                 prop_assert_eq!(f.seq as usize, i);
-                prop_assert_eq!(&f.packet, &pkt);
+                prop_assert_eq!(f.packet, h);
             }
         }
     }
