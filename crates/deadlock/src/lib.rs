@@ -15,6 +15,16 @@
 //!   verify that the avoidance baselines (West-first, escape VC, UGAL's VC
 //!   ordering) are in fact deadlock-free by construction (Table I).
 //!
+//! In the trace stream (the `spin-trace` crate) this crate is the referee:
+//! the simulator classifies every probe launch and confirmed recovery
+//! against [`WaitGraph::deadlocked_routers`], emitting a `false_positive`
+//! event when the protocol fired on a router that ground truth says is not
+//! deadlocked, and `Network::run_until_deadlock` emits
+//! `ground_truth_deadlock` the cycle this detector first finds one. The
+//! protocol-side story — how SPIN itself detects and recovers, and which
+//! trace event marks each step — is `docs/PROTOCOL.md` at the repository
+//! root.
+//!
 //! # Examples
 //!
 //! A two-packet buffer cycle is deadlocked; giving either packet a free

@@ -1,0 +1,138 @@
+//! Observability demo — replays the documented deadlock scenario
+//! ([`spin_experiments::trace_scenario_builder`]: a 4x4 mesh, adaptive
+//! minimal routing, 1 VC/vnet, saturating uniform-random traffic, SPIN with
+//! `t_dd = 64`) with full event tracing and time-series metrics on, then
+//! exports:
+//!
+//! * `results/trace.jsonl` — the structured event stream, one JSON object
+//!   per line (byte-identical across runs and thread counts; the
+//!   golden-trace regression test pins this stream);
+//! * `results/trace.chrome.json` — the same narrative as a Chrome
+//!   `trace_event` timeline: load it in `about:tracing` or
+//!   <https://ui.perfetto.dev> to browse packets and per-router SPIN
+//!   protocol activity on a cycle axis;
+//! * `results/trace_metrics.json` — the epoch ring (injection/ejection
+//!   rates, log2 latency histogram, per-link flit counts, per-VC occupancy
+//!   snapshots) for plotting transients.
+//!
+//! The run is deterministic: the scenario is seeded, tracing observes
+//! without perturbing, and the event order is simulation order.
+//!
+//! Usage: `trace [--quick]` (`--quick` truncates the exports, not the run).
+
+use spin_experiments::{json, json::Json, quick_mode, run_trace_scenario, TRACE_SCENARIO_CYCLES};
+use spin_sim::LATENCY_BUCKETS;
+use spin_trace::{chrome, jsonl, TraceRecord, VecSink};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn write_text(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(contents.as_bytes())?;
+    Ok(path)
+}
+
+fn event_counts(events: &[TraceRecord]) -> Vec<(&'static str, u64)> {
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    for rec in events {
+        let name = rec.event.name();
+        match counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((name, 1)),
+        }
+    }
+    counts
+}
+
+fn main() {
+    let quick = quick_mode();
+    println!("# trace: deadlock scenario with full observability ({TRACE_SCENARIO_CYCLES} cycles)");
+    let net = run_trace_scenario(Box::new(VecSink::new()));
+    let events = net
+        .trace_events()
+        .expect("VecSink retains the recording")
+        .to_vec();
+    let stats = net.stats();
+
+    // Narrative summary: the protocol story the trace tells.
+    println!("\n## event counts");
+    for (name, count) in event_counts(&events) {
+        println!("{name:<24} {count:>8}");
+    }
+    let first = |name: &str| events.iter().find(|r| r.event.name() == name);
+    for name in ["probe_launch", "deadlock_detected", "spin_start"] {
+        match first(name) {
+            Some(r) => println!("first {name:<20} cycle {}", r.cycle),
+            None => println!("first {name:<20} (never)"),
+        }
+    }
+    println!(
+        "\n{} packets delivered, {} spins, {} probes over {} cycles",
+        stats.packets_delivered, stats.spins, stats.probes_sent, stats.cycles
+    );
+
+    // Exports. --quick keeps the run identical but truncates the files.
+    let keep = if quick {
+        2_000.min(events.len())
+    } else {
+        events.len()
+    };
+    match write_text("trace.jsonl", &jsonl::to_string(&events[..keep])) {
+        Ok(p) => println!("# wrote {} ({keep} events)", p.display()),
+        Err(e) => eprintln!("# could not write trace.jsonl: {e}"),
+    }
+    match write_text("trace.chrome.json", &chrome::to_string(&events[..keep])) {
+        Ok(p) => println!("# wrote {} (load in about:tracing)", p.display()),
+        Err(e) => eprintln!("# could not write trace.chrome.json: {e}"),
+    }
+
+    // Epoch time-series → trace_metrics.json.
+    let metrics = net.metrics().expect("scenario enables the epoch ring");
+    let epochs: Vec<Json> = metrics
+        .epochs()
+        .iter()
+        .map(|e| {
+            json::obj(vec![
+                ("start", Json::UInt(e.start)),
+                ("end", Json::UInt(e.end)),
+                ("flits_injected", Json::UInt(e.flits_injected)),
+                ("flits_delivered", Json::UInt(e.flits_delivered)),
+                ("packets_injected", Json::UInt(e.packets_injected)),
+                ("packets_delivered", Json::UInt(e.packets_delivered)),
+                ("sm_link_cycles", Json::UInt(e.sm_link_cycles)),
+                (
+                    "latency_hist",
+                    Json::Arr(e.latency_hist.iter().map(|&c| Json::UInt(c)).collect()),
+                ),
+                (
+                    "link_flits",
+                    Json::Arr(e.link_flits.iter().map(|&c| Json::UInt(c as u64)).collect()),
+                ),
+                (
+                    "vc_occupancy",
+                    Json::Arr(
+                        e.vc_occupancy
+                            .iter()
+                            .map(|&c| Json::UInt(c as u64))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = json::obj(vec![
+        ("experiment", Json::Str("trace".into())),
+        ("cycles", Json::UInt(TRACE_SCENARIO_CYCLES)),
+        ("epoch_len", Json::UInt(metrics.config().epoch_len)),
+        ("latency_buckets", Json::UInt(LATENCY_BUCKETS as u64)),
+        ("epochs_evicted", Json::UInt(metrics.evicted())),
+        ("epochs", Json::Arr(epochs)),
+    ]);
+    match json::write_results("trace_metrics", &doc) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("# could not write trace_metrics.json: {e}"),
+    }
+}

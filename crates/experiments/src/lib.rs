@@ -12,6 +12,9 @@
 //! | `fig8b`  | Fig. 8b — link utilisation split (flit / SMs / idle)       |
 //! | `fig9`   | Fig. 9 — false positives and spins vs injection rate       |
 //! | `fig10`  | Fig. 10 — area overhead vs the West-first baseline         |
+//! | `trace`  | Observability demo — replays the deadlock scenario of      |
+//! |          | [`trace_scenario_builder`] and exports JSONL + Chrome      |
+//! |          | `trace_event` timelines plus epoch time-series metrics     |
 //!
 //! Every binary accepts `--quick` (reduced cycles/points for smoke runs),
 //! prints a plain-text table whose rows mirror the series the paper plots,
@@ -35,9 +38,10 @@ pub mod json;
 
 use json::Json;
 use spin_core::SpinConfig;
-use spin_routing::Routing;
-use spin_sim::{NetStats, Network, NetworkBuilder, SimConfig};
+use spin_routing::{FavorsMinimal, Routing};
+use spin_sim::{EpochConfig, NetStats, Network, NetworkBuilder, SimConfig};
 use spin_topology::Topology;
+use spin_trace::TraceSink;
 use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic, TrafficSource};
 use spin_types::Cycle;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -543,6 +547,54 @@ pub fn print_sweep(design: &str, pattern: Pattern, points: &[Point], sat: f64) {
         );
     }
     println!();
+}
+
+/// Cycles the documented deadlock-trace scenario runs for: long enough to
+/// deterministically form a deadlock, detect it, and spin it away several
+/// times.
+pub const TRACE_SCENARIO_CYCLES: Cycle = 3_000;
+
+/// The deadlock-trace scenario shared by the `trace` binary, the
+/// golden-trace regression test, and the "tracing a deadlock" walkthrough
+/// in the README: a seeded 4x4 mesh with fully adaptive minimal routing,
+/// one VC per vnet, uniform-random traffic far past saturation, and SPIN
+/// with a short detection timeout (`t_dd = 64`). Within
+/// [`TRACE_SCENARIO_CYCLES`] this configuration deterministically forms
+/// dependence cycles, launches probes, confirms loops, and spins them away.
+///
+/// The epoch ring is enabled (25-cycle epochs) so the same run also
+/// produces the time-series the `trace` binary exports. Attach a sink with
+/// [`NetworkBuilder::trace_sink`] before building.
+pub fn trace_scenario_builder() -> NetworkBuilder {
+    let topo = Topology::mesh(4, 4);
+    let tc = SyntheticConfig::new(Pattern::UniformRandom, 0.40);
+    let traffic = SyntheticTraffic::new(tc, &topo, 7);
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            seed: 7,
+            metrics: Some(EpochConfig {
+                epoch_len: 25,
+                max_epochs: 1024,
+            }),
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig {
+            t_dd: 64,
+            ..SpinConfig::default()
+        })
+}
+
+/// Runs the deadlock-trace scenario with `sink` attached and returns the
+/// finished network (read the recording back with
+/// [`Network::trace_events`], the series with [`Network::metrics`]).
+pub fn run_trace_scenario(sink: Box<dyn TraceSink>) -> Network {
+    let mut net = trace_scenario_builder().trace_sink(sink).build();
+    net.run(TRACE_SCENARIO_CYCLES);
+    net
 }
 
 /// True when `--quick` was passed (smoke-test scale).

@@ -1,0 +1,97 @@
+//! Golden-trace regression tests: the JSONL event stream of the seeded
+//! deadlock scenario must be byte-stable — across repeated runs, across
+//! thread counts of the parallel harness, and it must actually tell the
+//! SPIN story (probes → detection → freeze → spin → resolution).
+//!
+//! CI runs this suite at `SPIN_THREADS` 1/2/4/8; together with the
+//! in-process thread sweep below that pins the stream against any
+//! scheduling nondeterminism.
+
+use spin_experiments::{parallel_map_with_threads, run_trace_scenario};
+use spin_trace::{jsonl, VecSink};
+
+/// One full scenario run, exported as deterministic JSONL.
+fn scenario_jsonl() -> String {
+    let net = run_trace_scenario(Box::new(VecSink::new()));
+    jsonl::to_string(net.trace_events().expect("VecSink retains events"))
+}
+
+#[test]
+fn golden_trace_is_byte_stable_across_runs_and_threads() {
+    let reference = scenario_jsonl();
+    // Repeated runs on this thread.
+    assert_eq!(reference, scenario_jsonl(), "rerun changed the trace bytes");
+    // Concurrent runs on a 4-thread pool (each simulation is independent;
+    // the recording must not observe scheduling).
+    let lanes = [0u8; 4];
+    for (i, out) in parallel_map_with_threads(&lanes, 4, |_| scenario_jsonl())
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            reference, out,
+            "thread-pool lane {i} changed the trace bytes"
+        );
+    }
+}
+
+#[test]
+fn golden_trace_tells_the_spin_story_in_order() {
+    let trace = scenario_jsonl();
+    // The scenario is chosen to deadlock: every protocol milestone must
+    // appear, and in causal order of first occurrence.
+    let first = |needle: &str| {
+        trace
+            .find(needle)
+            .unwrap_or_else(|| panic!("trace never records {needle}"))
+    };
+    let launch = first("\"event\":\"probe_launch\"");
+    let detected = first("\"event\":\"deadlock_detected\"");
+    let frozen = first("\"event\":\"vc_frozen\"");
+    let spin = first("\"event\":\"spin_start\"");
+    let complete = first("\"event\":\"spin_complete\"");
+    let resolved = first("\"event\":\"deadlock_resolved\"");
+    assert!(launch < detected, "a probe must precede detection");
+    assert!(detected < frozen, "detection must precede freezing");
+    assert!(frozen < spin, "freezing must precede the spin");
+    assert!(spin < complete, "the spin must complete after starting");
+    assert!(
+        complete <= resolved,
+        "resolution is the initiator's completion"
+    );
+    // Packet lifecycle events are present too.
+    for needle in [
+        "\"event\":\"packet_inject\"",
+        "\"event\":\"packet_hop\"",
+        "\"event\":\"vc_allocated\"",
+        "\"event\":\"packet_eject\"",
+        "\"event\":\"sm_send\"",
+    ] {
+        first(needle);
+    }
+}
+
+#[test]
+fn golden_trace_jsonl_lines_are_wellformed() {
+    let trace = scenario_jsonl();
+    assert!(!trace.is_empty());
+    for line in trace.lines() {
+        assert!(line.starts_with("{\"cycle\":"), "bad line start: {line}");
+        assert!(line.ends_with('}'), "bad line end: {line}");
+        assert!(line.contains("\"event\":\""), "line without event: {line}");
+        // No floats anywhere: byte stability forbids them.
+        assert!(!line.contains('.'), "float crept into the stream: {line}");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // The traced scenario and the identical untraced one must produce the
+    // same statistics: observation must not change behaviour.
+    let traced = run_trace_scenario(Box::new(VecSink::new()));
+    let mut untraced = spin_experiments::trace_scenario_builder().build();
+    untraced.run(spin_experiments::TRACE_SCENARIO_CYCLES);
+    assert_eq!(traced.stats(), untraced.stats());
+    assert_eq!(traced.spin_stats(), untraced.spin_stats());
+    assert!(traced.stats().spins > 0, "scenario must actually spin");
+}

@@ -1,9 +1,11 @@
 //! Simulation configuration and the network builder.
 
 use crate::network::Network;
+use crate::stats::series::EpochConfig;
 use spin_core::SpinConfig;
 use spin_routing::Routing;
 use spin_topology::Topology;
+use spin_trace::TraceSink;
 use spin_traffic::TrafficSource;
 use spin_types::Cycle;
 
@@ -73,6 +75,11 @@ pub struct SimConfig {
     /// [`Network::dump_blocked`]: crate::Network::dump_blocked
     /// [`Network::trace_committed_cycle`]: crate::Network::trace_committed_cycle
     pub verbose: bool,
+    /// Enable the time-series metrics epoch ring (per-VC occupancy,
+    /// per-link utilisation, injection/ejection rates, latency histogram);
+    /// read it back with [`Network::metrics`](crate::Network::metrics).
+    /// `None` (the default) records nothing and costs nothing.
+    pub metrics: Option<EpochConfig>,
 }
 
 impl Default for SimConfig {
@@ -90,6 +97,7 @@ impl Default for SimConfig {
             seed: 1,
             classify_probes: false,
             verbose: false,
+            metrics: None,
         }
     }
 }
@@ -132,6 +140,7 @@ pub struct NetworkBuilder {
     pub(crate) routing: Option<Box<dyn Routing>>,
     pub(crate) traffic: Option<Box<dyn TrafficSource>>,
     pub(crate) spin: Option<SpinConfig>,
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
 }
 
 impl NetworkBuilder {
@@ -143,6 +152,7 @@ impl NetworkBuilder {
             routing: None,
             traffic: None,
             spin: None,
+            trace: None,
         }
     }
 
@@ -178,6 +188,15 @@ impl NetworkBuilder {
         self
     }
 
+    /// Installs a structured trace sink: every SPIN protocol and packet
+    /// lifecycle event is recorded into it (see `spin_trace` for sinks and
+    /// exporters). Without a sink — the default — tracing costs one branch
+    /// per potential emission site.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Builds the network.
     ///
     /// # Panics
@@ -196,6 +215,7 @@ impl std::fmt::Debug for NetworkBuilder {
             .field("cfg", &self.cfg)
             .field("routing", &self.routing.as_ref().map(|r| r.name()))
             .field("spin", &self.spin.is_some())
+            .field("trace", &self.trace.is_some())
             .finish()
     }
 }

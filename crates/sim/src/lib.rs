@@ -83,6 +83,7 @@ mod vc;
 
 pub use config::{NetworkBuilder, SimConfig, Switching};
 pub use network::Network;
+pub use stats::series::{latency_bucket, Epoch, EpochConfig, MetricsRing, LATENCY_BUCKETS};
 pub use stats::{LinkUse, NetStats};
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use crate::link::{Link, Phit};
 use crate::nic::Nic;
 use crate::pipeline::meta::{MetaTable, NetView};
 use crate::router::Router;
+use crate::stats::series::MetricsRing;
 use crate::stats::NetStats;
 use crate::store::PacketStore;
 use rand::rngs::StdRng;
@@ -15,6 +16,7 @@ use rand::SeedableRng;
 use spin_core::{RotatingPriority, Sm, SpinAgent, SpinConfig, SpinStats};
 use spin_routing::{Routing, XyRouting};
 use spin_topology::Topology;
+use spin_trace::{TraceEvent, TraceRecord, TraceSink};
 use spin_traffic::TrafficSource;
 use spin_types::{Cycle, NodeId, PortId, RouterId, VcId, Vnet};
 
@@ -56,6 +58,11 @@ pub struct Network {
     pub(crate) sm_busy: Vec<(u32, u8)>,
     /// Ground-truth deadlock classification cache (cycle, routers).
     pub(crate) classify_cache: Option<(Cycle, Vec<RouterId>)>,
+    /// Structured event sink; `None` (the default) disables tracing at the
+    /// cost of one branch per potential emission site.
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
+    /// Time-series metrics epoch ring (see `SimConfig::metrics`).
+    pub(crate) metrics: Option<MetricsRing>,
     pub(crate) scratch_phits: Vec<Phit>,
     /// Reused buffer for [`crate::router::Router::active_coords_into`]: the
     /// three per-cycle stages that walk occupied VCs fill this instead of
@@ -121,6 +128,12 @@ impl Network {
             .map(|n| Nic::new(NodeId(n as u32), b.cfg.vnets))
             .collect();
         let inbox = vec![Vec::new(); topo.num_routers()];
+        let metrics = b.cfg.metrics.map(|mc| {
+            let radixes: Vec<usize> = (0..topo.num_routers())
+                .map(|r| topo.radix(RouterId(r as u32)))
+                .collect();
+            MetricsRing::new(mc, &radixes)
+        });
         Network {
             priority: RotatingPriority::new(&agent_cfg),
             rng: StdRng::seed_from_u64(b.cfg.seed),
@@ -141,6 +154,8 @@ impl Network {
             pending_sms: Vec::new(),
             sm_busy: Vec::new(),
             classify_cache: None,
+            trace: b.trace,
+            metrics,
             scratch_phits: Vec::new(),
             scratch_coords: Vec::new(),
             cfg: b.cfg,
@@ -204,6 +219,38 @@ impl Network {
         self.stats.reset_window(self.now);
     }
 
+    /// The recorded trace, if a retaining sink was installed via
+    /// [`NetworkBuilder::trace_sink`] (`None` with tracing disabled or a
+    /// non-retaining sink). Events appear in deterministic simulation
+    /// order; see `spin_trace::jsonl` / `spin_trace::chrome` to export.
+    pub fn trace_events(&self) -> Option<&[TraceRecord]> {
+        self.trace.as_deref().and_then(|t| t.events())
+    }
+
+    /// The time-series metrics ring, if enabled via `SimConfig::metrics`.
+    pub fn metrics(&self) -> Option<&MetricsRing> {
+        self.metrics.as_ref()
+    }
+
+    /// True when a trace sink is installed. Emission sites with non-trivial
+    /// payload construction check this first so disabled tracing costs one
+    /// branch.
+    #[inline]
+    pub(crate) fn trace_on(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records `event` at the current cycle (no-op without a sink).
+    #[inline]
+    pub(crate) fn emit(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceRecord {
+                cycle: self.now,
+                event,
+            });
+        }
+    }
+
     /// Runs `cycles` simulation cycles.
     pub fn run(&mut self, cycles: Cycle) {
         for _ in 0..cycles {
@@ -218,8 +265,19 @@ impl Network {
         let check_every = check_every.max(1);
         for _ in 0..max_cycles {
             self.step();
-            if self.now.is_multiple_of(check_every) && self.wait_graph().has_deadlock() {
-                return Some(self.now);
+            if self.now.is_multiple_of(check_every) {
+                if self.trace_on() {
+                    // With tracing on, record how wide the deadlock is.
+                    let routers = self.wait_graph().deadlocked_routers();
+                    if !routers.is_empty() {
+                        self.emit(TraceEvent::GroundTruthDeadlock {
+                            routers: routers.len() as u32,
+                        });
+                        return Some(self.now);
+                    }
+                } else if self.wait_graph().has_deadlock() {
+                    return Some(self.now);
+                }
             }
         }
         None
@@ -244,6 +302,13 @@ impl Network {
         self.spin_completions(); // pipeline::spin_engine
         self.stats.cycles = self.now;
         self.stats.link_use.total += self.num_network_links;
+        if let Some(m) = &mut self.metrics {
+            if m.epoch_due(self.now) {
+                let mut snap = Vec::new();
+                self.meta.occupancy_snapshot_into(&mut snap);
+                m.rollover(self.now, snap);
+            }
+        }
     }
 
     /// The routing-visible congestion view at the current cycle.

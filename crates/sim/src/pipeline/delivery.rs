@@ -5,6 +5,7 @@
 use crate::link::Phit;
 use crate::network::Network;
 use crate::vc::PacketBuf;
+use spin_trace::TraceEvent;
 use spin_traffic::PacketSpec;
 use spin_types::{Flit, NodeId, PortId, RouterId, VcId};
 
@@ -98,6 +99,15 @@ impl Network {
                 pkt.intermediate = None;
             }
             let len = pkt.len;
+            if network_hop && self.trace_on() {
+                let packet = self.store.get(flit.packet).id;
+                self.emit(TraceEvent::PacketHop {
+                    packet,
+                    router: r,
+                    port: p,
+                    vc: tvc,
+                });
+            }
             let mut pb = PacketBuf::new(flit.packet, len);
             pb.received = 1;
             let router = &mut self.routers[r.index()];
@@ -149,6 +159,17 @@ impl Network {
         self.stats.window_packets_delivered += 1;
         self.stats.window_network_latency_sum += net_lat;
         self.stats.window_total_latency_sum += tot_lat;
+        if let Some(m) = &mut self.metrics {
+            m.on_packet_delivered(pkt.len as u64, tot_lat);
+        }
+        if self.trace_on() {
+            self.emit(TraceEvent::PacketEject {
+                packet: pkt.id,
+                node,
+                net_latency: net_lat.min(u32::MAX as u64) as u32,
+                total_latency: tot_lat.min(u32::MAX as u64) as u32,
+            });
+        }
         let spec = PacketSpec {
             dst: node,
             len: pkt.len,

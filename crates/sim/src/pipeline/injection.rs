@@ -7,6 +7,7 @@ use crate::link::Phit;
 use crate::network::{hidden_vc, Network};
 use crate::nic::ActiveInjection;
 use crate::pipeline::meta::NetView;
+use spin_trace::TraceEvent;
 use spin_types::{Flit, NodeId, PacketBuilder, VcId, Vnet};
 
 impl Network {
@@ -66,8 +67,24 @@ impl Network {
                         let pkt = self.store.get_mut(handle);
                         pkt.injected_at = now;
                         let len = pkt.len;
+                        if self.trace_on() {
+                            let (packet, src, dst) = {
+                                let p = self.store.get(handle);
+                                (p.id, p.src, p.dst)
+                            };
+                            self.emit(TraceEvent::PacketInject {
+                                packet,
+                                src,
+                                dst,
+                                vnet,
+                                len,
+                            });
+                        }
                         self.meta.reserve(now, at.router, at.port, vnet, vc);
                         self.stats.packets_injected += 1;
+                        if let Some(m) = &mut self.metrics {
+                            m.on_packet_injected();
+                        }
                         self.nics[n].active = Some(ActiveInjection {
                             handle,
                             len,
@@ -103,6 +120,9 @@ impl Network {
                 self.meta
                     .inflight_add(now, at.router, at.port, act.vnet, act.vc, 1);
                 self.stats.flits_injected += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.on_flit_injected();
+                }
                 act.flits_sent += 1;
                 if is_tail {
                     self.meta.release(now, at.router, at.port, act.vnet, act.vc);

@@ -145,6 +145,14 @@ impl MetaTable {
         let i = self.pidx(r, p, vn);
         self.spin_inflight[i] = (self.spin_inflight[i] as i32 + d).max(0) as u16;
     }
+
+    /// Copies every VC's buffered-flit occupancy into `out` (cleared
+    /// first), in flat (router, port, vnet, vc) table order — the epoch
+    /// ring's per-VC snapshot.
+    pub(crate) fn occupancy_snapshot_into(&self, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.data.iter().map(|m| m.occupancy));
+    }
 }
 
 /// The routing-visible congestion view (local credit knowledge).

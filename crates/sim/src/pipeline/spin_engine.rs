@@ -2,12 +2,66 @@
 //! (SMs) to agents, ticking the per-router FSMs, arbitrating SM link access
 //! (bufferless, priority-based), and completing spins once every frozen VC
 //! has streamed its packet.
+//!
+//! This module is also where every *protocol* trace event is emitted (the
+//! packet-lifecycle events live in the `injection`/`delivery`/`vc_alloc`
+//! stages): `probe_launch` and `probe_drop` (with the drop reason recovered
+//! by snapshot-diffing [`SpinStats`]), `deadlock_detected` on move
+//! origination, `vc_frozen`/`vc_unfrozen`, `sm_send`/`sm_contention_drop`
+//! at link arbitration, `spin_start`/`spin_complete`/`deadlock_resolved`,
+//! and `false_positive` when classification against the ground-truth
+//! wait-graph (the `spin-deadlock` crate) disagrees with the protocol. The
+//! full state-machine walkthrough — which event fires at which FSM
+//! transition, with a worked 4-ring example — is `docs/PROTOCOL.md` at the
+//! repository root.
 
 use crate::link::Phit;
 use crate::network::Network;
 use crate::router::SpinView;
-use spin_core::{Action, FsmState, SmKind};
+use spin_core::{Action, FsmState, SmKind, SpinStats};
+use spin_trace::{ProbeDropReason, SmClass, TraceEvent};
 use spin_types::RouterId;
+
+/// The trace-facing class of a special message (`spin_trace` mirrors
+/// [`SmKind`] so the trace crate stays free of protocol machinery).
+fn sm_class(kind: SmKind) -> SmClass {
+    match kind {
+        SmKind::Probe => SmClass::Probe,
+        SmKind::Move => SmClass::Move,
+        SmKind::ProbeMove => SmClass::ProbeMove,
+        SmKind::KillMove => SmClass::KillMove,
+    }
+}
+
+/// Emits one `ProbeDrop` per drop-counter increment between two
+/// [`SpinStats`] snapshots taken around a single `on_sm` call — the way the
+/// tracer learns *why* a probe died without the protocol engine knowing
+/// about tracing at all.
+fn drop_deltas(before: &SpinStats, after: &SpinStats) -> impl Iterator<Item = ProbeDropReason> {
+    let pairs = [
+        (ProbeDropReason::Ttl, after.drop_ttl - before.drop_ttl),
+        (
+            ProbeDropReason::Priority,
+            after.drop_priority - before.drop_priority,
+        ),
+        (ProbeDropReason::Duplicate, after.drop_dup - before.drop_dup),
+        (
+            ProbeDropReason::FreeVc,
+            after.drop_free_vc - before.drop_free_vc,
+        ),
+        (
+            ProbeDropReason::NoDependence,
+            after.drop_no_dependence - before.drop_no_dependence,
+        ),
+        (
+            ProbeDropReason::AcceptFailed,
+            after.accept_failed - before.accept_failed,
+        ),
+    ];
+    pairs
+        .into_iter()
+        .flat_map(|(reason, n)| std::iter::repeat_n(reason, n as usize))
+}
 
 impl Network {
     pub(crate) fn process_sms(&mut self) {
@@ -35,6 +89,7 @@ impl Network {
                 kb.cmp(&ka)
             });
             for (port, sm) in msgs {
+                let before = self.trace_on().then(|| *self.agents[i].stats());
                 let actions = {
                     let view = SpinView {
                         router: &self.routers[i],
@@ -43,6 +98,15 @@ impl Network {
                     };
                     self.agents[i].on_sm(now, &view, port, sm)
                 };
+                if let Some(before) = before {
+                    let after = *self.agents[i].stats();
+                    for reason in drop_deltas(&before, &after) {
+                        self.emit(TraceEvent::ProbeDrop {
+                            router: RouterId(i as u32),
+                            reason,
+                        });
+                    }
+                }
                 self.apply_actions(i, actions);
             }
         }
@@ -81,8 +145,19 @@ impl Network {
                     }
                     if sm.sender == rid {
                         if sm.kind == SmKind::Probe && sm.path.is_empty() {
+                            self.emit(TraceEvent::ProbeLaunch {
+                                router: rid,
+                                vnet: sm.vnet,
+                            });
                             self.classify(rid, false);
                         } else if sm.kind == SmKind::Move {
+                            // A move origination is the protocol's "deadlock
+                            // detected": the initiator's own probe returned
+                            // and it accepted the loop.
+                            self.emit(TraceEvent::DeadlockDetected {
+                                router: rid,
+                                vnet: sm.vnet,
+                            });
                             self.classify(rid, true);
                         }
                     }
@@ -99,6 +174,13 @@ impl Network {
                     vcb.frozen = true;
                     vcb.frozen_out = Some(out_port);
                     router.set_spin_rx(in_port, vnet, vc);
+                    self.emit(TraceEvent::VcFrozen {
+                        router: rid,
+                        port: in_port,
+                        vnet,
+                        vc,
+                        out_port,
+                    });
                 }
                 Action::UnfreezeAll => {
                     for (p, vn, v) in self.routers[i].vc_coords().collect::<Vec<_>>() {
@@ -106,18 +188,25 @@ impl Network {
                         vcb.frozen = false;
                         vcb.frozen_out = None;
                     }
+                    self.emit(TraceEvent::VcUnfrozen { router: rid });
                 }
                 Action::StartSpin => {
                     let frozen: Vec<_> = self.agents[i].frozen().to_vec();
                     if self.agents[i].state() == FsmState::ForwardProgress {
                         // Counted once per recovery, at the initiator.
                     }
+                    let mut spinning = 0u8;
                     for f in frozen {
                         let vcb = self.routers[i].vc_mut(f.in_port, f.vnet, f.vc);
                         if vcb.head().is_some() {
                             vcb.spinning = true;
+                            spinning = spinning.saturating_add(1);
                         }
                     }
+                    self.emit(TraceEvent::SpinStart {
+                        router: rid,
+                        frozen: spinning,
+                    });
                 }
             }
         }
@@ -144,6 +233,10 @@ impl Network {
             } else {
                 self.stats.false_positive_probes += 1;
             }
+            self.emit(TraceEvent::FalsePositive {
+                router: r,
+                confirmed,
+            });
         }
     }
 
@@ -181,10 +274,32 @@ impl Network {
             while end + 1 < pending.len() && pending[end + 1].0 == r && pending[end + 1].1 == p {
                 end += 1;
             }
+            if self.trace_on() {
+                // Losers of the bufferless SM arbitration are dropped on
+                // the floor; record each one, then the winner.
+                for lost in &pending[idx..end] {
+                    self.emit(TraceEvent::SmContentionDrop {
+                        router: r,
+                        port: p,
+                        class: sm_class(lost.2.kind),
+                        sender: lost.2.sender,
+                    });
+                }
+                let win = &pending[end].2;
+                self.emit(TraceEvent::SmSend {
+                    router: r,
+                    port: p,
+                    class: sm_class(win.kind),
+                    sender: win.sender,
+                });
+            }
             let (_, _, sm) = pending[end].clone();
             match sm.kind {
                 SmKind::Probe => self.stats.link_use.probe += 1,
                 _ => self.stats.link_use.other_sm += 1,
+            }
+            if let Some(m) = &mut self.metrics {
+                m.on_sm_link();
             }
             self.sm_busy.push((r.0, p.0));
             self.out_links[r.index()][p.index()].send(now, Phit::Sm(Box::new(sm)));
@@ -199,8 +314,20 @@ impl Network {
         let now = self.now;
         for i in 0..self.routers.len() {
             if self.agents[i].is_spinning() && !self.routers[i].any_spinning() {
-                if self.agents[i].state() == FsmState::ForwardProgress {
+                let initiator = self.agents[i].state() == FsmState::ForwardProgress;
+                if initiator {
                     self.stats.spins += 1;
+                }
+                self.emit(TraceEvent::SpinComplete {
+                    router: RouterId(i as u32),
+                    initiator,
+                });
+                if initiator {
+                    // The initiator finishing its spin means the whole loop
+                    // advanced one packet: this recovery round is over.
+                    self.emit(TraceEvent::DeadlockResolved {
+                        router: RouterId(i as u32),
+                    });
                 }
                 let actions = {
                     let view = SpinView {

@@ -37,6 +37,9 @@ impl Network {
         let port = self.topo.port(rid, out_port);
         if let Some(peer) = port.conn {
             self.stats.link_use.flit += 1;
+            if let Some(m) = &mut self.metrics {
+                m.on_link_flit(rid, out_port);
+            }
             if spin {
                 self.meta.spin_inflight_add(peer.router, peer.port, vn, 1);
             } else {

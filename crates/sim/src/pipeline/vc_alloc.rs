@@ -4,6 +4,7 @@
 
 use crate::network::Network;
 use spin_routing::VcMask;
+use spin_trace::TraceEvent;
 use spin_types::{PortId, RouterId, VcId};
 
 impl Network {
@@ -77,11 +78,23 @@ impl Network {
                     }
                 }
                 if let Some(out) = alloc {
-                    self.routers[i]
-                        .vc_mut(p, vn, v)
-                        .head_mut()
-                        .expect("head still present")
-                        .out = Some(out);
+                    let handle = {
+                        let pb = self.routers[i]
+                            .vc_mut(p, vn, v)
+                            .head_mut()
+                            .expect("head still present");
+                        pb.out = Some(out);
+                        pb.handle
+                    };
+                    if self.trace_on() {
+                        let packet = self.store.get(handle).id;
+                        self.emit(TraceEvent::VcAllocated {
+                            packet,
+                            router: rid,
+                            out_port: out.0,
+                            vc: out.1,
+                        });
+                    }
                 }
             }
         }

@@ -1,5 +1,7 @@
 //! Simulation statistics: latency, throughput, link utilisation, SPIN
-//! protocol activity.
+//! protocol activity, and the epoch-ring time-series of `series`.
+
+pub(crate) mod series;
 
 use spin_types::Cycle;
 
@@ -32,7 +34,20 @@ impl LinkUse {
         ratio(self.other_sm, self.total)
     }
     /// Idle fraction.
+    ///
+    /// Accounting invariant: every used link-cycle is also an observed one,
+    /// so `flit + probe + other_sm <= total` must hold — checked here in
+    /// debug builds. The clamp to zero remains only to absorb f64 rounding
+    /// of three subtractions, never to hide broken accounting.
     pub fn idle_fraction(&self) -> f64 {
+        debug_assert!(
+            self.flit + self.probe + self.other_sm <= self.total,
+            "LinkUse accounting violated: flit {} + probe {} + other_sm {} > total {}",
+            self.flit,
+            self.probe,
+            self.other_sm,
+            self.total
+        );
         (1.0 - self.flit_fraction() - self.probe_fraction() - self.other_sm_fraction()).max(0.0)
     }
 }
@@ -157,6 +172,32 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9);
         assert!((u.flit_fraction() - 0.3).abs() < 1e-9);
         assert!((u.idle_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_fraction_accepts_exactly_full_links() {
+        let u = LinkUse {
+            flit: 90,
+            probe: 6,
+            other_sm: 4,
+            total: 100,
+        };
+        assert!(u.idle_fraction().abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "LinkUse accounting violated")]
+    fn idle_fraction_rejects_overspent_links() {
+        // Used link-cycles exceeding observed ones is an accounting bug the
+        // clamp used to silently hide; the debug assert must expose it.
+        let u = LinkUse {
+            flit: 80,
+            probe: 20,
+            other_sm: 10,
+            total: 100,
+        };
+        let _ = u.idle_fraction();
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Time-series metrics: a bounded ring of fixed-length *epochs*, each
+//! accumulating injection/ejection rates, a log2 latency histogram, per-link
+//! flit counts and an end-of-epoch per-VC occupancy snapshot.
+//!
+//! End-of-run aggregates ([`NetStats`](crate::NetStats)) answer "how did the
+//! run go on average"; the epoch ring answers "what happened *when*" — the
+//! transient of a deadlock forming, the throughput collapse before a spin,
+//! the drain afterwards. Experiments enable it via
+//! [`SimConfig::metrics`](crate::SimConfig) and read the epochs back with
+//! [`Network::metrics`](crate::Network::metrics).
+//!
+//! The ring is bounded ([`EpochConfig::max_epochs`]): a long steady-state
+//! run keeps only the most recent window instead of growing without limit,
+//! which is what makes it safe to leave enabled on multi-million-cycle
+//! sweeps.
+
+use spin_types::{Cycle, PortId, RouterId};
+
+/// Number of log2 latency buckets: bucket `i` counts packets whose total
+/// latency `l` satisfies `floor(log2(l)) == i` (bucket 0 holds `l <= 1`,
+/// the last bucket holds everything `>= 2^(LATENCY_BUCKETS-1)`).
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// Configuration of the epoch ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Epoch length in cycles (the sampling period of every series).
+    pub epoch_len: Cycle,
+    /// Maximum retained epochs; older epochs are evicted FIFO.
+    pub max_epochs: usize,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            epoch_len: 100,
+            max_epochs: 1024,
+        }
+    }
+}
+
+/// One closed epoch of the time series: counters accumulated over
+/// `[start, end)` plus a per-VC occupancy snapshot taken at `end`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Epoch {
+    /// First cycle of the epoch.
+    pub start: Cycle,
+    /// One past the last cycle of the epoch.
+    pub end: Cycle,
+    /// Flits that left NIC queues onto injection links.
+    pub flits_injected: u64,
+    /// Flits ejected at destination NICs.
+    pub flits_delivered: u64,
+    /// Packets that started injection.
+    pub packets_injected: u64,
+    /// Packets fully ejected.
+    pub packets_delivered: u64,
+    /// log2-bucketed total-latency histogram of packets delivered this
+    /// epoch (see [`LATENCY_BUCKETS`]).
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Link-cycles used by special messages this epoch (all classes).
+    pub sm_link_cycles: u64,
+    /// Flits sent per directed link, indexed by the ring's flat
+    /// (router, port) index (see [`MetricsRing::link_index`]).
+    pub link_flits: Vec<u32>,
+    /// Per-VC buffered-flit occupancy sampled at the epoch boundary, in
+    /// the simulator's flat (router, port, vnet, vc) order.
+    pub vc_occupancy: Vec<u16>,
+}
+
+impl Epoch {
+    /// Total packets binned into the latency histogram.
+    pub fn hist_count(&self) -> u64 {
+        self.latency_hist.iter().sum()
+    }
+}
+
+/// The log2 bucket of a latency value.
+pub fn latency_bucket(latency: u64) -> usize {
+    ((u64::BITS - latency.leading_zeros()).saturating_sub(1) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The bounded epoch ring accumulating the live epoch and retaining closed
+/// ones FIFO.
+#[derive(Debug, Clone)]
+pub struct MetricsRing {
+    cfg: EpochConfig,
+    /// Flat link-index base per router (prefix sums of radixes).
+    port_base: Vec<usize>,
+    num_links: usize,
+    epochs: Vec<Epoch>,
+    cur: Epoch,
+    evicted: u64,
+}
+
+impl MetricsRing {
+    /// Creates a ring for routers with the given `radixes` (ports per
+    /// router, topology order).
+    pub fn new(cfg: EpochConfig, radixes: &[usize]) -> Self {
+        let mut port_base = Vec::with_capacity(radixes.len());
+        let mut off = 0usize;
+        for &r in radixes {
+            port_base.push(off);
+            off += r;
+        }
+        let cfg = EpochConfig {
+            epoch_len: cfg.epoch_len.max(1),
+            max_epochs: cfg.max_epochs.max(1),
+        };
+        MetricsRing {
+            cur: Epoch {
+                start: 0,
+                end: 0,
+                link_flits: vec![0; off],
+                ..Epoch::default()
+            },
+            cfg,
+            port_base,
+            num_links: off,
+            epochs: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// The ring configuration.
+    pub fn config(&self) -> EpochConfig {
+        self.cfg
+    }
+
+    /// Closed epochs, oldest first (bounded by
+    /// [`EpochConfig::max_epochs`]).
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Number of closed epochs evicted from the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Flat index of directed link (router, out-port) into
+    /// [`Epoch::link_flits`].
+    pub fn link_index(&self, r: RouterId, p: PortId) -> usize {
+        self.port_base[r.index()] + p.index()
+    }
+
+    /// True when `now` sits on an epoch boundary and the live epoch should
+    /// be closed (call [`MetricsRing::rollover`] with the occupancy
+    /// snapshot).
+    pub fn epoch_due(&self, now: Cycle) -> bool {
+        now >= self.cur.start + self.cfg.epoch_len
+    }
+
+    /// Closes the live epoch at `now`, attaching the per-VC `occupancy`
+    /// snapshot, and starts a fresh one. Evicts the oldest closed epoch
+    /// beyond `max_epochs`.
+    pub fn rollover(&mut self, now: Cycle, occupancy: Vec<u16>) {
+        let mut closed = std::mem::replace(
+            &mut self.cur,
+            Epoch {
+                start: now,
+                end: now,
+                link_flits: vec![0; self.num_links],
+                ..Epoch::default()
+            },
+        );
+        closed.end = now;
+        closed.vc_occupancy = occupancy;
+        self.epochs.push(closed);
+        if self.epochs.len() > self.cfg.max_epochs {
+            let excess = self.epochs.len() - self.cfg.max_epochs;
+            self.epochs.drain(..excess);
+            self.evicted += excess as u64;
+        }
+    }
+
+    /// Records an injected flit.
+    #[inline]
+    pub fn on_flit_injected(&mut self) {
+        self.cur.flits_injected += 1;
+    }
+
+    /// Records a packet starting injection.
+    #[inline]
+    pub fn on_packet_injected(&mut self) {
+        self.cur.packets_injected += 1;
+    }
+
+    /// Records a delivered packet (`flits` ejected, total latency
+    /// histogram-binned).
+    #[inline]
+    pub fn on_packet_delivered(&mut self, flits: u64, total_latency: u64) {
+        self.cur.packets_delivered += 1;
+        self.cur.flits_delivered += flits;
+        self.cur.latency_hist[latency_bucket(total_latency)] += 1;
+    }
+
+    /// Records a flit crossing the directed network link (router,
+    /// out-port).
+    #[inline]
+    pub fn on_link_flit(&mut self, r: RouterId, p: PortId) {
+        let i = self.link_index(r, p);
+        self.cur.link_flits[i] += 1;
+    }
+
+    /// Records a link-cycle used by a special message.
+    #[inline]
+    pub fn on_sm_link(&mut self) {
+        self.cur.sm_link_cycles += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn epochs_accumulate_and_close() {
+        let mut m = MetricsRing::new(
+            EpochConfig {
+                epoch_len: 10,
+                max_epochs: 8,
+            },
+            &[3, 3],
+        );
+        m.on_packet_injected();
+        m.on_flit_injected();
+        m.on_link_flit(RouterId(1), PortId(2));
+        m.on_packet_delivered(5, 40);
+        assert!(!m.epoch_due(9));
+        assert!(m.epoch_due(10));
+        m.rollover(10, vec![1, 0, 2]);
+        let e = &m.epochs()[0];
+        assert_eq!((e.start, e.end), (0, 10));
+        assert_eq!(e.packets_injected, 1);
+        assert_eq!(e.flits_delivered, 5);
+        assert_eq!(e.latency_hist[latency_bucket(40)], 1);
+        assert_eq!(e.hist_count(), 1);
+        assert_eq!(e.link_flits[m.link_index(RouterId(1), PortId(2))], 1);
+        assert_eq!(e.vc_occupancy, vec![1, 0, 2]);
+        // The fresh live epoch starts cleared.
+        m.on_flit_injected();
+        m.rollover(20, Vec::new());
+        assert_eq!(m.epochs()[1].flits_injected, 1);
+        assert_eq!(m.epochs()[1].packets_injected, 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_fifo() {
+        let mut m = MetricsRing::new(
+            EpochConfig {
+                epoch_len: 1,
+                max_epochs: 3,
+            },
+            &[2],
+        );
+        for t in 1..=5u64 {
+            m.rollover(t, Vec::new());
+        }
+        assert_eq!(m.epochs().len(), 3);
+        assert_eq!(m.evicted(), 2);
+        // Oldest retained epoch is [2, 3).
+        assert_eq!(m.epochs()[0].start, 2);
+        assert_eq!(m.epochs()[2].end, 5);
+    }
+}

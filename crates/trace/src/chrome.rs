@@ -1,0 +1,390 @@
+//! Chrome `trace_event` exporter: turns a recorded event stream into a
+//! JSON document loadable in `about:tracing` or
+//! [Perfetto](https://ui.perfetto.dev) as a browsable timeline.
+//!
+//! Layout of the timeline:
+//!
+//! * **pid 0 — "packets"**: one async track per traced packet (`b`/`n`/`e`
+//!   events spanning inject → hops → eject), so a packet's life is one
+//!   horizontal bar with hop instants on it.
+//! * **pid `r+1` — "router r"**: the SPIN protocol narrative of router `r`:
+//!   probe launches/drops, SM sends, freezes, deadlock detection, and a
+//!   duration span (`B`/`E`) for each spin.
+//!
+//! Timestamps (`ts`) are simulation cycles passed through as microseconds —
+//! the viewer's time axis therefore reads directly in cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use spin_trace::{chrome, TraceEvent, TraceRecord};
+//! use spin_types::{RouterId, Vnet};
+//!
+//! let rec = TraceRecord {
+//!     cycle: 12,
+//!     event: TraceEvent::ProbeLaunch { router: RouterId(1), vnet: Vnet(0) },
+//! };
+//! let json = chrome::to_string(&[rec]);
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! assert!(json.contains("\"probe_launch\""));
+//! ```
+
+use crate::{TraceEvent, TraceRecord};
+use std::fmt::Write;
+
+/// Serializes `records` as a Chrome `trace_event` JSON document (object
+/// form, `traceEvents` array plus metadata).
+pub fn to_string(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Process-name metadata: pid 0 = packets lane, pid r+1 = router r.
+    let mut router_pids: Vec<u32> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::PacketInject { .. }
+            | TraceEvent::PacketEject { .. }
+            | TraceEvent::GroundTruthDeadlock { .. } => None,
+            TraceEvent::PacketHop { router, .. }
+            | TraceEvent::VcAllocated { router, .. }
+            | TraceEvent::ProbeLaunch { router, .. }
+            | TraceEvent::ProbeDrop { router, .. }
+            | TraceEvent::SmSend { router, .. }
+            | TraceEvent::SmContentionDrop { router, .. }
+            | TraceEvent::DeadlockDetected { router, .. }
+            | TraceEvent::VcFrozen { router, .. }
+            | TraceEvent::VcUnfrozen { router }
+            | TraceEvent::SpinStart { router, .. }
+            | TraceEvent::SpinComplete { router, .. }
+            | TraceEvent::DeadlockResolved { router }
+            | TraceEvent::FalsePositive { router, .. } => Some(router.0 + 1),
+        })
+        .collect();
+    router_pids.sort_unstable();
+    router_pids.dedup();
+
+    push_event(
+        &mut out,
+        &mut first,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"packets\"}}",
+    );
+    for pid in &router_pids {
+        let mut m = String::new();
+        let _ = write!(
+            m,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"router {}\"}}}}",
+            pid,
+            pid - 1
+        );
+        push_event(&mut out, &mut first, &m);
+    }
+
+    let mut buf = String::new();
+    for rec in records {
+        buf.clear();
+        let ts = rec.cycle;
+        match rec.event {
+            // ---- packets lane: async begin / instant / end ----
+            TraceEvent::PacketInject {
+                packet,
+                src,
+                dst,
+                vnet,
+                len,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"name\":\"pkt{id}\",\"cat\":\"packet\",\"ph\":\"b\",\"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":0,\
+                     \"args\":{{\"src\":{},\"dst\":{},\"vnet\":{},\"len\":{}}}}}",
+                    src.0,
+                    dst.0,
+                    vnet.0,
+                    len,
+                    id = packet.0,
+                );
+            }
+            TraceEvent::PacketHop {
+                packet,
+                router,
+                port,
+                vc,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"name\":\"pkt{id}\",\"cat\":\"packet\",\"ph\":\"n\",\"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":0,\
+                     \"args\":{{\"hop\":\"router {}\",\"port\":{},\"vc\":{}}}}}",
+                    router.0,
+                    port.0,
+                    vc.0,
+                    id = packet.0,
+                );
+            }
+            TraceEvent::PacketEject {
+                packet,
+                node,
+                net_latency,
+                total_latency,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"name\":\"pkt{id}\",\"cat\":\"packet\",\"ph\":\"e\",\"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":0,\
+                     \"args\":{{\"node\":{},\"net_latency\":{},\"total_latency\":{}}}}}",
+                    node.0,
+                    net_latency,
+                    total_latency,
+                    id = packet.0,
+                );
+            }
+            // ---- router lanes ----
+            TraceEvent::VcAllocated {
+                packet,
+                router,
+                out_port,
+                vc,
+            } => {
+                instant(
+                    &mut buf,
+                    "vc_allocated",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[
+                        ("packet", packet.0),
+                        ("out_port", out_port.0 as u64),
+                        ("vc", vc.0 as u64),
+                    ]),
+                );
+            }
+            TraceEvent::ProbeLaunch { router, vnet } => {
+                instant(
+                    &mut buf,
+                    "probe_launch",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[("vnet", vnet.0 as u64)]),
+                );
+            }
+            TraceEvent::ProbeDrop { router, reason } => {
+                let args = format!("{{\"reason\":\"{}\"}}", reason.name());
+                instant(&mut buf, "probe_drop", ts, router.0 + 1, &args);
+            }
+            TraceEvent::SmSend {
+                router,
+                port,
+                class,
+                sender,
+            } => {
+                let args = format!(
+                    "{{\"port\":{},\"class\":\"{}\",\"sender\":{}}}",
+                    port.0,
+                    class.name(),
+                    sender.0
+                );
+                let name = format!("sm:{}", class.name());
+                instant_named(&mut buf, &name, ts, router.0 + 1, &args);
+            }
+            TraceEvent::SmContentionDrop {
+                router,
+                port,
+                class,
+                sender,
+            } => {
+                let args = format!(
+                    "{{\"port\":{},\"class\":\"{}\",\"sender\":{}}}",
+                    port.0,
+                    class.name(),
+                    sender.0
+                );
+                instant(&mut buf, "sm_contention_drop", ts, router.0 + 1, &args);
+            }
+            TraceEvent::DeadlockDetected { router, vnet } => {
+                instant(
+                    &mut buf,
+                    "deadlock_detected",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[("vnet", vnet.0 as u64)]),
+                );
+            }
+            TraceEvent::VcFrozen {
+                router,
+                port,
+                vnet,
+                vc,
+                out_port,
+            } => {
+                instant(
+                    &mut buf,
+                    "vc_frozen",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[
+                        ("port", port.0 as u64),
+                        ("vnet", vnet.0 as u64),
+                        ("vc", vc.0 as u64),
+                        ("out_port", out_port.0 as u64),
+                    ]),
+                );
+            }
+            TraceEvent::VcUnfrozen { router } => {
+                instant(&mut buf, "vc_unfrozen", ts, router.0 + 1, "{}");
+            }
+            TraceEvent::SpinStart { router, frozen } => {
+                // Spins render as duration spans, closed by SpinComplete.
+                let _ = write!(
+                    buf,
+                    "{{\"name\":\"spin\",\"cat\":\"spin\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"frozen\":{}}}}}",
+                    router.0 + 1,
+                    frozen,
+                );
+            }
+            TraceEvent::SpinComplete { router, initiator } => {
+                let _ = write!(
+                    buf,
+                    "{{\"name\":\"spin\",\"cat\":\"spin\",\"ph\":\"E\",\"ts\":{ts},\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"initiator\":{}}}}}",
+                    router.0 + 1,
+                    initiator,
+                );
+            }
+            TraceEvent::DeadlockResolved { router } => {
+                instant(&mut buf, "deadlock_resolved", ts, router.0 + 1, "{}");
+            }
+            TraceEvent::FalsePositive { router, confirmed } => {
+                let args = format!("{{\"confirmed\":{}}}", confirmed);
+                instant(&mut buf, "false_positive", ts, router.0 + 1, &args);
+            }
+            TraceEvent::GroundTruthDeadlock { routers } => {
+                instant(
+                    &mut buf,
+                    "ground_truth_deadlock",
+                    ts,
+                    0,
+                    &format_args_str(&[("routers", routers as u64)]),
+                );
+            }
+        }
+        push_event(&mut out, &mut first, &buf);
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"source\":\"spin-trace\",\"ts_unit\":\"cycles\"}}");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, event_json: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(event_json);
+}
+
+fn instant(buf: &mut String, name: &str, ts: u64, pid: u32, args: &str) {
+    instant_named(buf, name, ts, pid, args);
+}
+
+fn instant_named(buf: &mut String, name: &str, ts: u64, pid: u32, args: &str) {
+    let _ = write!(
+        buf,
+        "{{\"name\":\"{name}\",\"cat\":\"spin\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{args}}}",
+    );
+}
+
+fn format_args_str(pairs: &[(&str, u64)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{k}\":{v}");
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spin_types::{NodeId, PacketId, RouterId, Vnet};
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                cycle: 10,
+                event: TraceEvent::PacketInject {
+                    packet: PacketId(3),
+                    src: NodeId(0),
+                    dst: NodeId(5),
+                    vnet: Vnet(0),
+                    len: 5,
+                },
+            },
+            TraceRecord {
+                cycle: 20,
+                event: TraceEvent::SpinStart {
+                    router: RouterId(2),
+                    frozen: 1,
+                },
+            },
+            TraceRecord {
+                cycle: 25,
+                event: TraceEvent::SpinComplete {
+                    router: RouterId(2),
+                    initiator: true,
+                },
+            },
+            TraceRecord {
+                cycle: 30,
+                event: TraceEvent::PacketEject {
+                    packet: PacketId(3),
+                    node: NodeId(5),
+                    net_latency: 20,
+                    total_latency: 22,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn produces_wellformed_trace_document() {
+        let json = to_string(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("}"));
+        // Packet async begin/end pair share name and id.
+        assert!(json.contains("\"name\":\"pkt3\",\"cat\":\"packet\",\"ph\":\"b\",\"id\":3"));
+        assert!(json.contains("\"name\":\"pkt3\",\"cat\":\"packet\",\"ph\":\"e\",\"id\":3"));
+        // Spin duration pair on router 2's pid (3).
+        assert!(
+            json.contains("\"name\":\"spin\",\"cat\":\"spin\",\"ph\":\"B\",\"ts\":20,\"pid\":3")
+        );
+        assert!(
+            json.contains("\"name\":\"spin\",\"cat\":\"spin\",\"ph\":\"E\",\"ts\":25,\"pid\":3")
+        );
+        // Metadata names both lanes.
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"packets\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"args\":{\"name\":\"router 2\"}}"
+        ));
+    }
+
+    #[test]
+    fn balanced_braces_and_brackets() {
+        // Cheap structural well-formedness check (no string values contain
+        // braces, so counting is sound).
+        let json = to_string(&sample());
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_stream_still_loads() {
+        let json = to_string(&[]);
+        assert!(json.starts_with("{\"traceEvents\":[{\"name\":\"process_name\""));
+        assert!(json.contains("\"otherData\""));
+    }
+}

@@ -1,0 +1,265 @@
+//! Deterministic JSONL exporter: one JSON object per line, one line per
+//! [`TraceRecord`].
+//!
+//! The output is *byte-stable*: fields are emitted in a fixed order, all
+//! values are integers or static snake_case strings, and no floats ever
+//! appear — so two runs of the same seeded scenario produce identical
+//! bytes regardless of thread count, platform, or allocator. The
+//! golden-trace regression tests rely on exactly this property.
+//!
+//! Line shape: `{"cycle":<u64>,"event":"<name>",<event fields...>}`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spin_trace::{jsonl, TraceEvent, TraceRecord};
+//! use spin_types::{RouterId, Vnet};
+//!
+//! let rec = TraceRecord {
+//!     cycle: 5,
+//!     event: TraceEvent::DeadlockDetected { router: RouterId(2), vnet: Vnet(1) },
+//! };
+//! assert_eq!(
+//!     jsonl::to_string(&[rec]),
+//!     "{\"cycle\":5,\"event\":\"deadlock_detected\",\"router\":2,\"vnet\":1}\n"
+//! );
+//! ```
+
+use crate::{TraceEvent, TraceRecord};
+use std::fmt::Write;
+
+/// Serializes `records` as JSONL (one object per line, trailing newline
+/// after every line, empty string for no records).
+pub fn to_string(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 64);
+    for rec in records {
+        write_record(&mut out, rec);
+    }
+    out
+}
+
+/// Appends one record as a single JSON line (including the trailing `\n`).
+pub fn write_record(out: &mut String, rec: &TraceRecord) {
+    let _ = write!(
+        out,
+        "{{\"cycle\":{},\"event\":\"{}\"",
+        rec.cycle,
+        rec.event.name()
+    );
+    match rec.event {
+        TraceEvent::PacketInject {
+            packet,
+            src,
+            dst,
+            vnet,
+            len,
+        } => {
+            let _ = write!(
+                out,
+                ",\"packet\":{},\"src\":{},\"dst\":{},\"vnet\":{},\"len\":{}",
+                packet.0, src.0, dst.0, vnet.0, len
+            );
+        }
+        TraceEvent::PacketHop {
+            packet,
+            router,
+            port,
+            vc,
+        } => {
+            let _ = write!(
+                out,
+                ",\"packet\":{},\"router\":{},\"port\":{},\"vc\":{}",
+                packet.0, router.0, port.0, vc.0
+            );
+        }
+        TraceEvent::VcAllocated {
+            packet,
+            router,
+            out_port,
+            vc,
+        } => {
+            let _ = write!(
+                out,
+                ",\"packet\":{},\"router\":{},\"out_port\":{},\"vc\":{}",
+                packet.0, router.0, out_port.0, vc.0
+            );
+        }
+        TraceEvent::PacketEject {
+            packet,
+            node,
+            net_latency,
+            total_latency,
+        } => {
+            let _ = write!(
+                out,
+                ",\"packet\":{},\"node\":{},\"net_latency\":{},\"total_latency\":{}",
+                packet.0, node.0, net_latency, total_latency
+            );
+        }
+        TraceEvent::ProbeLaunch { router, vnet } => {
+            let _ = write!(out, ",\"router\":{},\"vnet\":{}", router.0, vnet.0);
+        }
+        TraceEvent::ProbeDrop { router, reason } => {
+            let _ = write!(
+                out,
+                ",\"router\":{},\"reason\":\"{}\"",
+                router.0,
+                reason.name()
+            );
+        }
+        TraceEvent::SmSend {
+            router,
+            port,
+            class,
+            sender,
+        }
+        | TraceEvent::SmContentionDrop {
+            router,
+            port,
+            class,
+            sender,
+        } => {
+            let _ = write!(
+                out,
+                ",\"router\":{},\"port\":{},\"class\":\"{}\",\"sender\":{}",
+                router.0,
+                port.0,
+                class.name(),
+                sender.0
+            );
+        }
+        TraceEvent::DeadlockDetected { router, vnet } => {
+            let _ = write!(out, ",\"router\":{},\"vnet\":{}", router.0, vnet.0);
+        }
+        TraceEvent::VcFrozen {
+            router,
+            port,
+            vnet,
+            vc,
+            out_port,
+        } => {
+            let _ = write!(
+                out,
+                ",\"router\":{},\"port\":{},\"vnet\":{},\"vc\":{},\"out_port\":{}",
+                router.0, port.0, vnet.0, vc.0, out_port.0
+            );
+        }
+        TraceEvent::VcUnfrozen { router } => {
+            let _ = write!(out, ",\"router\":{}", router.0);
+        }
+        TraceEvent::SpinStart { router, frozen } => {
+            let _ = write!(out, ",\"router\":{},\"frozen\":{}", router.0, frozen);
+        }
+        TraceEvent::SpinComplete { router, initiator } => {
+            let _ = write!(out, ",\"router\":{},\"initiator\":{}", router.0, initiator);
+        }
+        TraceEvent::DeadlockResolved { router } => {
+            let _ = write!(out, ",\"router\":{}", router.0);
+        }
+        TraceEvent::FalsePositive { router, confirmed } => {
+            let _ = write!(out, ",\"router\":{},\"confirmed\":{}", router.0, confirmed);
+        }
+        TraceEvent::GroundTruthDeadlock { routers } => {
+            let _ = write!(out, ",\"routers\":{}", routers);
+        }
+    }
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProbeDropReason, SmClass};
+    use spin_types::{NodeId, PacketId, PortId, RouterId, VcId, Vnet};
+
+    #[test]
+    fn every_variant_serializes_with_fixed_field_order() {
+        let records = [
+            TraceRecord {
+                cycle: 1,
+                event: TraceEvent::PacketInject {
+                    packet: PacketId(7),
+                    src: NodeId(0),
+                    dst: NodeId(15),
+                    vnet: Vnet(0),
+                    len: 5,
+                },
+            },
+            TraceRecord {
+                cycle: 2,
+                event: TraceEvent::PacketHop {
+                    packet: PacketId(7),
+                    router: RouterId(1),
+                    port: PortId(2),
+                    vc: VcId(0),
+                },
+            },
+            TraceRecord {
+                cycle: 3,
+                event: TraceEvent::ProbeDrop {
+                    router: RouterId(4),
+                    reason: ProbeDropReason::Duplicate,
+                },
+            },
+            TraceRecord {
+                cycle: 4,
+                event: TraceEvent::SmSend {
+                    router: RouterId(4),
+                    port: PortId(1),
+                    class: SmClass::Move,
+                    sender: RouterId(2),
+                },
+            },
+            TraceRecord {
+                cycle: 5,
+                event: TraceEvent::SpinComplete {
+                    router: RouterId(2),
+                    initiator: true,
+                },
+            },
+        ];
+        let out = to_string(&records);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(
+            lines[0],
+            "{\"cycle\":1,\"event\":\"packet_inject\",\"packet\":7,\"src\":0,\"dst\":15,\"vnet\":0,\"len\":5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"cycle\":2,\"event\":\"packet_hop\",\"packet\":7,\"router\":1,\"port\":2,\"vc\":0}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"cycle\":3,\"event\":\"probe_drop\",\"router\":4,\"reason\":\"duplicate\"}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"cycle\":4,\"event\":\"sm_send\",\"router\":4,\"port\":1,\"class\":\"move\",\"sender\":2}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"cycle\":5,\"event\":\"spin_complete\",\"router\":2,\"initiator\":true}"
+        );
+    }
+
+    #[test]
+    fn serialization_is_reproducible() {
+        let rec = TraceRecord {
+            cycle: 99,
+            event: TraceEvent::VcFrozen {
+                router: RouterId(3),
+                port: PortId(1),
+                vnet: Vnet(0),
+                vc: VcId(2),
+                out_port: PortId(4),
+            },
+        };
+        assert_eq!(to_string(&[rec]), to_string(&[rec]));
+    }
+
+    #[test]
+    fn empty_stream_is_empty_string() {
+        assert_eq!(to_string(&[]), "");
+    }
+}

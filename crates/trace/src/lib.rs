@@ -1,0 +1,561 @@
+//! Structured observability for the SPIN reproduction: protocol event
+//! tracing with pluggable sinks and machine-readable exporters.
+//!
+//! The simulator's correctness story is a protocol *narrative* — probes
+//! circulate, a deadlocked ring is detected, a synchronized spin fires, the
+//! ring drains — and this crate makes that narrative machine-inspectable.
+//! Every step of the narrative is a [`TraceEvent`] (a small `Copy` struct,
+//! compile-checked to stay one) stamped with its cycle into a
+//! [`TraceRecord`] and pushed into a [`TraceSink`]. Two exporters turn a
+//! recorded stream into files:
+//!
+//! * [`jsonl`] — one JSON object per line, byte-deterministic for identical
+//!   runs (the golden-trace regression tests diff these bytes);
+//! * [`chrome`] — the Chrome `trace_event` format, loadable in
+//!   `about:tracing` / [Perfetto](https://ui.perfetto.dev) as a browsable
+//!   timeline (one lane per router, one async track per sampled packet).
+//!
+//! The event vocabulary mirrors `docs/PROTOCOL.md`: each state transition
+//! of the SPIN FSM names the event it emits. Tracing is strictly opt-in —
+//! the simulator holds an `Option<Box<dyn TraceSink>>` and pays one branch
+//! per potential emission point when no sink is installed.
+//!
+//! # Examples
+//!
+//! ```
+//! use spin_trace::{TraceEvent, TraceRecord, TraceSink, VecSink, jsonl};
+//! use spin_types::{RouterId, Vnet};
+//!
+//! let mut sink = VecSink::new();
+//! sink.record(TraceRecord {
+//!     cycle: 128,
+//!     event: TraceEvent::ProbeLaunch { router: RouterId(3), vnet: Vnet(0) },
+//! });
+//! let out = jsonl::to_string(sink.events().unwrap());
+//! assert_eq!(out, "{\"cycle\":128,\"event\":\"probe_launch\",\"router\":3,\"vnet\":0}\n");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod jsonl;
+
+use spin_types::{Cycle, NodeId, PacketId, PortId, RouterId, VcId, Vnet};
+use std::fmt;
+
+/// Why an in-flight probe was discarded at a router (Sec. IV-C of the
+/// paper; the reasons mirror [`SpinStats`]'s drop counters).
+///
+/// [`SpinStats`]: https://docs.rs/spin-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeDropReason {
+    /// TTL exhausted: a forked ghost walking in circles.
+    Ttl,
+    /// This router's rotating dynamic priority outranks the sender's.
+    Priority,
+    /// Duplicate signature: the same probe instance re-crossed this
+    /// (router, in-port) — the *merge* of forked probe copies.
+    Duplicate,
+    /// A free VC at the probed port: congestion, not deadlock.
+    FreeVc,
+    /// Every occupant of the probed port is ejecting or unrouted.
+    NoDependence,
+    /// The sender's own probe returned but the probed dependence had
+    /// changed, so the loop was not accepted.
+    AcceptFailed,
+}
+
+impl ProbeDropReason {
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeDropReason::Ttl => "ttl",
+            ProbeDropReason::Priority => "priority",
+            ProbeDropReason::Duplicate => "duplicate",
+            ProbeDropReason::FreeVc => "free_vc",
+            ProbeDropReason::NoDependence => "no_dependence",
+            ProbeDropReason::AcceptFailed => "accept_failed",
+        }
+    }
+}
+
+impl fmt::Display for ProbeDropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The special-message class of an [`TraceEvent::SmSend`] /
+/// [`TraceEvent::SmContentionDrop`] event. A trace-local mirror of
+/// `spin_core::SmKind`, so this crate depends only on `spin-types`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmClass {
+    /// Dependence-loop tracing probe.
+    Probe,
+    /// Spin announcement (freezes the loop).
+    Move,
+    /// Joint probe + move for later spins of the same loop.
+    ProbeMove,
+    /// Recovery cancellation.
+    KillMove,
+}
+
+impl SmClass {
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SmClass::Probe => "probe",
+            SmClass::Move => "move",
+            SmClass::ProbeMove => "probe_move",
+            SmClass::KillMove => "kill_move",
+        }
+    }
+}
+
+impl fmt::Display for SmClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured simulator event. See `docs/PROTOCOL.md` for where each
+/// event sits in the SPIN protocol narrative.
+///
+/// Every variant is plain `Copy` data (compile-checked below): emission
+/// never allocates, and a disabled tracer costs one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet's head flit left its NIC queue and entered the network.
+    PacketInject {
+        /// The packet.
+        packet: PacketId,
+        /// Source terminal.
+        src: NodeId,
+        /// Destination terminal.
+        dst: NodeId,
+        /// Message class.
+        vnet: Vnet,
+        /// Length in flits.
+        len: u16,
+    },
+    /// A packet's head flit arrived at a router input VC.
+    PacketHop {
+        /// The packet.
+        packet: PacketId,
+        /// The router it arrived at.
+        router: RouterId,
+        /// Input port.
+        port: PortId,
+        /// Input VC it was buffered into.
+        vc: VcId,
+    },
+    /// A buffered head packet won VC allocation for a downstream VC.
+    VcAllocated {
+        /// The packet.
+        packet: PacketId,
+        /// The allocating router.
+        router: RouterId,
+        /// Chosen output port.
+        out_port: PortId,
+        /// Downstream VC claimed.
+        vc: VcId,
+    },
+    /// A packet's tail flit ejected at its destination NIC.
+    PacketEject {
+        /// The packet.
+        packet: PacketId,
+        /// Destination terminal.
+        node: NodeId,
+        /// Inject-to-eject latency in cycles.
+        net_latency: u32,
+        /// Create-to-eject latency in cycles (includes source queueing).
+        total_latency: u32,
+    },
+    /// A router's detection counter expired and it launched a probe.
+    ProbeLaunch {
+        /// The launching (suspecting) router.
+        router: RouterId,
+        /// The vnet whose buffer dependence is being probed.
+        vnet: Vnet,
+    },
+    /// A probe was discarded (dropped or merged) at a router.
+    ProbeDrop {
+        /// The discarding router.
+        router: RouterId,
+        /// Why.
+        reason: ProbeDropReason,
+    },
+    /// A special message won its output link this cycle (bufferless SM
+    /// transport: the highest-priority contender per (router, port) wins).
+    SmSend {
+        /// Router transmitting the SM.
+        router: RouterId,
+        /// Output port used.
+        port: PortId,
+        /// Message class.
+        class: SmClass,
+        /// The recovery initiator that originated the SM.
+        sender: RouterId,
+    },
+    /// A special message lost SM-vs-SM link contention and was dropped.
+    SmContentionDrop {
+        /// Router where the contention happened.
+        router: RouterId,
+        /// Contended output port.
+        port: PortId,
+        /// Message class of the loser.
+        class: SmClass,
+        /// Originator of the dropped SM.
+        sender: RouterId,
+    },
+    /// A probe returned to its initiator and confirmed a dependence loop:
+    /// the initiator latched the loop and sent the move. This is the
+    /// protocol's "deadlock detected" moment.
+    DeadlockDetected {
+        /// The initiator.
+        router: RouterId,
+        /// Vnet of the confirmed loop.
+        vnet: Vnet,
+    },
+    /// A VC was frozen (switch allocation disabled) pending a spin.
+    VcFrozen {
+        /// Router owning the VC.
+        router: RouterId,
+        /// Input port.
+        port: PortId,
+        /// Vnet.
+        vnet: Vnet,
+        /// Frozen VC.
+        vc: VcId,
+        /// The outport its head packet will spin through.
+        out_port: PortId,
+    },
+    /// All frozen VCs of a router were released.
+    VcUnfrozen {
+        /// The router.
+        router: RouterId,
+    },
+    /// The agreed spin cycle arrived: the router began streaming its frozen
+    /// packet(s), synchronized with every other router of the loop.
+    SpinStart {
+        /// The spinning router.
+        router: RouterId,
+        /// Number of frozen VCs streaming.
+        frozen: u8,
+    },
+    /// Every frozen packet of the router finished streaming.
+    SpinComplete {
+        /// The router.
+        router: RouterId,
+        /// True at the recovery initiator.
+        initiator: bool,
+    },
+    /// The initiator completed its spin: the deadlocked ring moved one hop
+    /// and the recovery (this round) is over.
+    DeadlockResolved {
+        /// The initiator.
+        router: RouterId,
+    },
+    /// Ground-truth classification (when enabled): a probe launch or a
+    /// confirmed recovery happened while the wait-graph detector saw no
+    /// deadlock at the initiator (the paper's Fig. 9 false positives).
+    FalsePositive {
+        /// The initiator.
+        router: RouterId,
+        /// True for a confirmed recovery (move), false for a mere probe.
+        confirmed: bool,
+    },
+    /// The ground-truth wait-graph detector (`spin-deadlock`) found a
+    /// deadlock spanning `routers` routers.
+    GroundTruthDeadlock {
+        /// Number of routers holding deadlocked packets.
+        routers: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case event name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::PacketInject { .. } => "packet_inject",
+            TraceEvent::PacketHop { .. } => "packet_hop",
+            TraceEvent::VcAllocated { .. } => "vc_allocated",
+            TraceEvent::PacketEject { .. } => "packet_eject",
+            TraceEvent::ProbeLaunch { .. } => "probe_launch",
+            TraceEvent::ProbeDrop { .. } => "probe_drop",
+            TraceEvent::SmSend { .. } => "sm_send",
+            TraceEvent::SmContentionDrop { .. } => "sm_contention_drop",
+            TraceEvent::DeadlockDetected { .. } => "deadlock_detected",
+            TraceEvent::VcFrozen { .. } => "vc_frozen",
+            TraceEvent::VcUnfrozen { .. } => "vc_unfrozen",
+            TraceEvent::SpinStart { .. } => "spin_start",
+            TraceEvent::SpinComplete { .. } => "spin_complete",
+            TraceEvent::DeadlockResolved { .. } => "deadlock_resolved",
+            TraceEvent::FalsePositive { .. } => "false_positive",
+            TraceEvent::GroundTruthDeadlock { .. } => "ground_truth_deadlock",
+        }
+    }
+
+    /// The packet this event is about, for packet-scoped events
+    /// (inject/hop/alloc/eject); `None` for protocol-scoped events.
+    pub fn packet(&self) -> Option<PacketId> {
+        match *self {
+            TraceEvent::PacketInject { packet, .. }
+            | TraceEvent::PacketHop { packet, .. }
+            | TraceEvent::VcAllocated { packet, .. }
+            | TraceEvent::PacketEject { packet, .. } => Some(packet),
+            _ => None,
+        }
+    }
+}
+
+/// A [`TraceEvent`] stamped with the cycle it happened at. This is the unit
+/// a [`TraceSink`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation cycle of the event.
+    pub cycle: Cycle,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+// Events ride the simulator's hot paths: they must stay small plain Copy
+// data. A compile error here means a heap-owning payload crept in.
+const _: () = assert!(std::mem::size_of::<TraceRecord>() <= 40);
+const _: () = {
+    const fn require_copy<T: Copy>() {}
+    require_copy::<TraceEvent>();
+    require_copy::<TraceRecord>();
+};
+
+/// Destination for simulator trace records.
+///
+/// The simulator owns one `Box<dyn TraceSink>` (or none: tracing disabled)
+/// and calls [`TraceSink::record`] once per event, in deterministic
+/// simulation order. `Send` so networks carrying a sink can still be built
+/// on worker threads by the parallel sweep runner.
+pub trait TraceSink: Send {
+    /// Records one event. Called in simulation order.
+    fn record(&mut self, record: TraceRecord);
+
+    /// The recorded stream, if this sink retains one (`None` for
+    /// streaming/counting sinks).
+    fn events(&self) -> Option<&[TraceRecord]> {
+        None
+    }
+}
+
+/// Full recording: retains every event in order.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    records: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Number of records retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    fn events(&self) -> Option<&[TraceRecord]> {
+        Some(&self.records)
+    }
+}
+
+/// Sampled recording: retains every *protocol* event (probes, SMs, spins,
+/// deadlock lifecycle) but only the packet-scoped events (inject / hop /
+/// alloc / eject) of packets whose id is a multiple of `stride`. Keeps
+/// long high-load traces bounded while preserving the complete protocol
+/// narrative.
+#[derive(Debug)]
+pub struct SamplingSink {
+    stride: u64,
+    records: Vec<TraceRecord>,
+}
+
+impl SamplingSink {
+    /// Samples packets whose `id % stride == 0` (`stride` 0 is treated as
+    /// 1, i.e. full packet recording).
+    pub fn new(stride: u64) -> Self {
+        SamplingSink {
+            stride: stride.max(1),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl TraceSink for SamplingSink {
+    fn record(&mut self, record: TraceRecord) {
+        match record.event.packet() {
+            Some(id) if !id.0.is_multiple_of(self.stride) => {}
+            _ => self.records.push(record),
+        }
+    }
+
+    fn events(&self) -> Option<&[TraceRecord]> {
+        Some(&self.records)
+    }
+}
+
+/// Counting sink: retains nothing, counts per-event-name totals. Useful as
+/// a near-zero-overhead smoke check that a scenario exercises the protocol.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// `(event name, count)` pairs in first-seen order.
+    counts: Vec<(&'static str, u64)>,
+}
+
+impl CountingSink {
+    /// An empty counting sink.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Total events counted under `name`.
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// All `(event name, count)` pairs, in first-seen order.
+    pub fn counts(&self) -> &[(&'static str, u64)] {
+        &self.counts
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, record: TraceRecord) {
+        let name = record.event.name();
+        match self.counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => self.counts.push((name, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: Cycle, event: TraceEvent) -> TraceRecord {
+        TraceRecord { cycle, event }
+    }
+
+    #[test]
+    fn vec_sink_retains_in_order() {
+        let mut s = VecSink::new();
+        assert!(s.is_empty());
+        s.record(ev(
+            1,
+            TraceEvent::ProbeLaunch {
+                router: RouterId(0),
+                vnet: Vnet(0),
+            },
+        ));
+        s.record(ev(
+            2,
+            TraceEvent::SpinStart {
+                router: RouterId(0),
+                frozen: 1,
+            },
+        ));
+        let evs = s.events().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].cycle, 1);
+        assert_eq!(evs[1].event.name(), "spin_start");
+    }
+
+    #[test]
+    fn sampling_sink_keeps_protocol_events_and_strided_packets() {
+        let mut s = SamplingSink::new(4);
+        for id in 0..8u64 {
+            s.record(ev(
+                id,
+                TraceEvent::PacketInject {
+                    packet: PacketId(id),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    vnet: Vnet(0),
+                    len: 5,
+                },
+            ));
+        }
+        s.record(ev(
+            9,
+            TraceEvent::DeadlockDetected {
+                router: RouterId(3),
+                vnet: Vnet(0),
+            },
+        ));
+        let evs = s.events().unwrap();
+        // Packets 0 and 4 sampled, protocol event always kept.
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].event.packet(), Some(PacketId(0)));
+        assert_eq!(evs[1].event.packet(), Some(PacketId(4)));
+        assert_eq!(evs[2].event.name(), "deadlock_detected");
+    }
+
+    #[test]
+    fn counting_sink_counts_by_name() {
+        let mut s = CountingSink::new();
+        for _ in 0..3 {
+            s.record(ev(
+                0,
+                TraceEvent::ProbeDrop {
+                    router: RouterId(1),
+                    reason: ProbeDropReason::Duplicate,
+                },
+            ));
+        }
+        assert_eq!(s.count("probe_drop"), 3);
+        assert_eq!(s.count("spin_start"), 0);
+        assert_eq!(s.counts(), &[("probe_drop", 3)]);
+    }
+
+    #[test]
+    fn record_stays_small_copy_data() {
+        assert!(std::mem::size_of::<TraceRecord>() <= 40);
+        let r = ev(
+            7,
+            TraceEvent::VcFrozen {
+                router: RouterId(1),
+                port: PortId(2),
+                vnet: Vnet(0),
+                vc: VcId(0),
+                out_port: PortId(3),
+            },
+        );
+        let r2 = r; // Copy, not move
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn names_are_stable_snake_case() {
+        assert_eq!(SmClass::ProbeMove.to_string(), "probe_move");
+        assert_eq!(ProbeDropReason::FreeVc.to_string(), "free_vc");
+        assert_eq!(
+            TraceEvent::GroundTruthDeadlock { routers: 4 }.name(),
+            "ground_truth_deadlock"
+        );
+    }
+}

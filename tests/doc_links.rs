@@ -1,0 +1,154 @@
+//! Documentation link checker: every intra-repo path the markdown docs
+//! mention must actually exist. This covers both markdown links
+//! (`[text](relative/path.md)`) and backticked path references
+//! (`` `docs/PROTOCOL.md` ``, `` `crates/sim/src/network.rs` ``), which is
+//! how this repo's docs cross-reference files. External (`http...`) links
+//! and anchors are out of scope — CI has no network.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files under check: the top-level docs plus everything in
+/// `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") {
+                files.push(p);
+            }
+        }
+    }
+    assert!(
+        files.iter().any(|p| p.ends_with("README.md")),
+        "README.md missing — doc set is wrong"
+    );
+    assert!(
+        files.iter().any(|p| p.ends_with("PROTOCOL.md")),
+        "docs/PROTOCOL.md missing — doc set is wrong"
+    );
+    files
+}
+
+/// Extracts `(target)` of every markdown link `[text](target)` in `line`.
+fn markdown_link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            if let Some(close) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + close].to_string());
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts backticked tokens that look like repo file paths: only
+/// path-safe characters, and a source/doc extension. Generated artefacts
+/// (`results/*.json` etc.) are intentionally excluded — they exist only
+/// after running the binaries.
+fn backticked_path_targets(line: &str) -> Vec<String> {
+    let path_like = |tok: &str| {
+        !tok.is_empty()
+            && tok
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._-/".contains(c))
+            && [".md", ".rs", ".toml"].iter().any(|ext| tok.ends_with(ext))
+            && !tok.starts_with("results/")
+    };
+    line.split('`')
+        .skip(1)
+        .step_by(2) // every second piece is inside backticks
+        .filter(|t| path_like(t))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn all_intra_repo_doc_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let mut in_code_block = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_block = !in_code_block;
+                continue;
+            }
+            let mut targets = backticked_path_targets(line);
+            if !in_code_block {
+                targets.extend(markdown_link_targets(line));
+            }
+            for target in targets {
+                // External links and pure anchors are out of scope.
+                if target.contains("://") || target.starts_with('#') {
+                    continue;
+                }
+                let path = target.split('#').next().unwrap_or("");
+                if path.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                if !root.join(path).exists() {
+                    broken.push(format!(
+                        "{}:{}: `{}` does not exist",
+                        file.display(),
+                        lineno + 1,
+                        path
+                    ));
+                }
+            }
+        }
+        assert!(!in_code_block, "unclosed code fence in {}", file.display());
+    }
+    assert!(
+        checked > 10,
+        "only {checked} path references found — the extractor is broken"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo doc links:\n{}",
+        broken.join("\n")
+    );
+}
+
+/// The trace-event tables in docs/PROTOCOL.md must stay in sync with the
+/// event names the `spin-trace` crate actually emits.
+#[test]
+fn protocol_doc_names_every_trace_event() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(root.join("docs/PROTOCOL.md")).expect("docs/PROTOCOL.md");
+    for name in [
+        "packet_inject",
+        "packet_hop",
+        "vc_allocated",
+        "packet_eject",
+        "probe_launch",
+        "probe_drop",
+        "sm_send",
+        "sm_contention_drop",
+        "deadlock_detected",
+        "vc_frozen",
+        "vc_unfrozen",
+        "spin_start",
+        "spin_complete",
+        "deadlock_resolved",
+        "false_positive",
+        "ground_truth_deadlock",
+    ] {
+        assert!(
+            doc.contains(name),
+            "docs/PROTOCOL.md never mentions trace event `{name}`"
+        );
+    }
+}
