@@ -1,0 +1,110 @@
+//! CI perf gate: re-times `Network::step` at the saturated operating point
+//! of the `step_throughput` probe and fails (exit 1) if throughput dropped
+//! more than 10% against the committed `results/step_throughput.json`
+//! baseline. Set `SPIN_SKIP_PERF_GATE=1` to skip (e.g. on noisy or
+//! heterogeneous runners, where a wall-clock gate is meaningless).
+//!
+//! The measurement mirrors `step_throughput --quick` exactly (same network,
+//! warmup and batch shape) so the two numbers are comparable; the baseline
+//! is refreshed by running `step_throughput` (full) and committing the
+//! result.
+
+use spin_core::SpinConfig;
+use spin_routing::FavorsMinimal;
+use spin_sim::{Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use std::hint::black_box;
+use std::time::Instant;
+
+const BASELINE: &str = "results/step_throughput.json";
+const CONFIG: &str = "mesh8x8_saturated_0.45";
+const RATE: f64 = 0.45;
+const MAX_DROP: f64 = 0.10;
+
+fn mesh8x8(rate: f64) -> Network {
+    let topo = Topology::mesh(8, 8);
+    let traffic =
+        SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .build()
+}
+
+fn measure_ns_per_step() -> f64 {
+    let (warmup, batch, reps) = (2_000u64, 2_000u64, 5usize);
+    let mut net = mesh8x8(RATE);
+    net.run(warmup);
+    let mut samples: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        net.run(batch);
+        black_box(net.now());
+        samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[reps / 2]
+}
+
+/// Extracts `ns_per_step_median` for [`CONFIG`] from the baseline document
+/// with a plain string scan (the file is produced by our own emitter with a
+/// fixed field order, so this is reliable and avoids a JSON dependency).
+fn baseline_ns_per_step(doc: &str) -> Option<f64> {
+    let at = doc.find(&format!("\"config\":\"{CONFIG}\""))?;
+    let rest = &doc[at..];
+    let key = "\"ns_per_step_median\":";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
+fn main() {
+    if std::env::var("SPIN_SKIP_PERF_GATE").is_ok_and(|v| v == "1") {
+        println!("perf gate: skipped (SPIN_SKIP_PERF_GATE=1)");
+        return;
+    }
+    let doc = match std::fs::read_to_string(BASELINE) {
+        Ok(d) => d.split_whitespace().collect::<String>(),
+        Err(e) => {
+            eprintln!("perf gate: cannot read {BASELINE}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(base_ns) = baseline_ns_per_step(&doc) else {
+        eprintln!("perf gate: no ns_per_step_median for {CONFIG} in {BASELINE}");
+        std::process::exit(1);
+    };
+    let now_ns = measure_ns_per_step();
+    // Throughput is 1/ns: a drop of MAX_DROP means ns grew by 1/(1-MAX_DROP).
+    let limit_ns = base_ns / (1.0 - MAX_DROP);
+    let drop = 1.0 - base_ns / now_ns;
+    println!(
+        "perf gate ({CONFIG}): baseline {base_ns:.1} ns/step, measured {now_ns:.1} ns/step \
+         (throughput change {:+.1}%, limit -{:.0}%)",
+        -drop * 100.0,
+        MAX_DROP * 100.0
+    );
+    if now_ns > limit_ns {
+        eprintln!(
+            "perf gate: FAIL — saturated-load throughput dropped more than {:.0}% \
+             (measured {now_ns:.1} ns/step vs limit {limit_ns:.1}); \
+             if the machine is just slower, rerun with SPIN_SKIP_PERF_GATE=1 \
+             or refresh the baseline with `cargo run --release -p spin-experiments \
+             --bin step_throughput`",
+            MAX_DROP * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate: OK");
+}

@@ -844,6 +844,20 @@ impl SpinAgent {
         }
     }
 
+    /// Host callback: a network link incident to this router just died (or
+    /// healed). Any in-progress detection or recovery may reference the
+    /// changed port — probes describe a loop through it, a move may expect
+    /// flits over it — so the only safe reaction is the one already used
+    /// when a kill SM is lost: drop all protocol state, unfreeze
+    /// everything, and re-arm detection from scratch. Routers elsewhere in
+    /// a broken loop recover the same way through their own deadline
+    /// timeouts.
+    pub fn on_link_fault(&mut self, now: Cycle, view: &impl SpinRouterView) -> Vec<Action> {
+        let mut out = Actions::new();
+        self.full_reset(now, view, &mut out);
+        out.into_vec()
+    }
+
     fn full_reset(&mut self, now: Cycle, view: &impl SpinRouterView, out: &mut Actions) {
         self.unfreeze_all(out);
         self.is_deadlock = false;

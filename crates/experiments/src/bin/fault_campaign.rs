@@ -1,0 +1,94 @@
+//! Runtime fault-injection campaign: kills links mid-run on an 8x8 mesh
+//! and a 64-node dragonfly, measures degraded-mode delivery, and *gates*
+//! on exact packet conservation — every created packet must be delivered
+//! or explicitly dropped-by-fault, and every network must drain. Any
+//! violation exits nonzero, which is what the CI smoke job checks.
+//!
+//! Usage: `fault_campaign [--quick]`; writes `results/fault_campaign.json`.
+
+use spin_experiments::fault::{campaign_json, run_campaign_with_threads, FaultPoint};
+use spin_experiments::{json, num_threads, quick_mode};
+
+fn main() {
+    let quick = quick_mode();
+    let threads = num_threads();
+    let t0 = std::time::Instant::now();
+    let points = run_campaign_with_threads(quick, threads);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    println!(
+        "## fault campaign ({})",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:>8} {:>16} {:>7} {:>5} {:>7} {:>9} {:>9} {:>8} {:>9} {:>10} {:>9} {:>7}",
+        "topo",
+        "routing",
+        "faults",
+        "seed",
+        "killed",
+        "rejected",
+        "created",
+        "dropped",
+        "rerouted",
+        "delivered",
+        "latency",
+        "spins"
+    );
+    let mut failures: Vec<&FaultPoint> = Vec::new();
+    for p in &points {
+        println!(
+            "{:>8} {:>16} {:>7} {:>5} {:>7} {:>9} {:>9} {:>8} {:>9} {:>9.4} {:>9.1} {:>7}{}",
+            p.topo,
+            p.routing,
+            p.faults_scheduled,
+            p.seed,
+            p.links_killed,
+            p.kills_rejected,
+            p.packets_created,
+            p.packets_dropped,
+            p.packets_rerouted,
+            p.delivered_fraction(),
+            p.avg_latency,
+            p.spins,
+            if p.fully_accounted() { "" } else { "  FAIL" }
+        );
+        if !p.fully_accounted() {
+            failures.push(p);
+        }
+    }
+    println!(
+        "# measured {} points on {threads} thread(s) in {elapsed:.2}s",
+        points.len()
+    );
+
+    match json::write_results("fault_campaign", &campaign_json(&points, quick)) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("# could not write results/fault_campaign.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !failures.is_empty() {
+        for p in &failures {
+            eprintln!(
+                "FAIL: {}/{} faults={} seed={}: {} (created {}, delivered {}, dropped {})",
+                p.topo,
+                p.routing,
+                p.faults_scheduled,
+                p.seed,
+                if p.drained {
+                    "packets unaccounted for"
+                } else {
+                    "network failed to drain (wedge)"
+                },
+                p.packets_created,
+                p.packets_delivered,
+                p.packets_dropped,
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("# all points conserved packets and drained");
+}

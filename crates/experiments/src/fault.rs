@@ -1,0 +1,279 @@
+//! The runtime fault-injection campaign: live link kills under load,
+//! degraded-mode rerouting, and exact packet accounting.
+//!
+//! Each campaign point runs one network (8x8 mesh with FAvORS + SPIN, or a
+//! 64-node dragonfly with UGAL + SPIN) through warmup, then a measured
+//! injection window during which a seed-driven [`FaultPlan`] kills links
+//! mid-run, then a full drain. A point passes when the network drains and
+//! every created packet is either delivered or explicitly dropped-by-fault
+//! (it was physically astride a killed link — see `docs/FAULTS.md`); any
+//! silent loss or wedge fails the point, and the `fault_campaign` binary
+//! turns that into a nonzero exit for CI.
+//!
+//! Every point is an independent, deterministically seeded simulation, so
+//! the campaign fans out over [`parallel_map_with_threads`] and its output
+//! is identical at any thread count (pinned by the determinism suite).
+
+use crate::json::{arr, obj, Json};
+use crate::parallel_map_with_threads;
+use spin_core::SpinConfig;
+use spin_routing::{FavorsMinimal, Routing, Ugal};
+use spin_sim::{FaultPlan, Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, StopAfter, SyntheticConfig, SyntheticTraffic};
+use spin_types::Cycle;
+
+/// Time structure of one campaign point.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRunParams {
+    /// Warmup cycles before the measurement window starts.
+    pub warmup: Cycle,
+    /// Injection cycles after warmup; kills land inside this window.
+    pub inject: Cycle,
+    /// Drain budget after the traffic stops. A network that cannot empty
+    /// within this many cycles counts as wedged.
+    pub drain_cap: Cycle,
+}
+
+impl FaultRunParams {
+    /// Campaign scale: paper-shaped by default, smoke-sized with `quick`.
+    pub fn new(quick: bool) -> Self {
+        if quick {
+            FaultRunParams {
+                warmup: 500,
+                inject: 1_500,
+                drain_cap: 50_000,
+            }
+        } else {
+            FaultRunParams {
+                warmup: 1_000,
+                inject: 4_000,
+                drain_cap: 200_000,
+            }
+        }
+    }
+}
+
+/// One measured campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPoint {
+    /// Topology label (`mesh8x8` / `dfly64`).
+    pub topo: String,
+    /// Routing label.
+    pub routing: String,
+    /// Link kills scheduled by the plan.
+    pub faults_scheduled: usize,
+    /// Seed of both the traffic and the fault schedule.
+    pub seed: u64,
+    /// Kills actually applied.
+    pub links_killed: u64,
+    /// Kills rejected (they would have disconnected the network).
+    pub kills_rejected: u64,
+    /// Packets created by the source.
+    pub packets_created: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Packets dropped because they were astride a killed link.
+    pub packets_dropped: u64,
+    /// Packets torn off a dead link and re-routed in place.
+    pub packets_rerouted: u64,
+    /// Average end-to-end latency (cycles) over the faulted window.
+    pub avg_latency: f64,
+    /// SPIN recoveries (spins) over the whole run.
+    pub spins: u64,
+    /// The network emptied within the drain budget.
+    pub drained: bool,
+}
+
+impl FaultPoint {
+    /// The campaign invariant: the run drained and every packet is
+    /// accounted for — delivered, or explicitly dropped by a fault.
+    pub fn fully_accounted(&self) -> bool {
+        self.drained && self.packets_created == self.packets_delivered + self.packets_dropped
+    }
+
+    /// Delivered fraction of the packets a fault did not destroy
+    /// (exactly 1.0 for a passing point).
+    pub fn delivered_fraction(&self) -> f64 {
+        let survivors = self.packets_created - self.packets_dropped;
+        if survivors == 0 {
+            1.0
+        } else {
+            self.packets_delivered as f64 / survivors as f64
+        }
+    }
+}
+
+/// One campaign case: a topology/routing pair at a fixed injection rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCase {
+    /// 8x8 mesh, FAvORS-Min fully adaptive, SPIN, uniform random.
+    Mesh8x8,
+    /// 64-node dragonfly (p=2, a=4, h=2, g=8), UGAL free-VC, SPIN.
+    Dfly64,
+}
+
+impl FaultCase {
+    fn label(self) -> (&'static str, &'static str) {
+        match self {
+            FaultCase::Mesh8x8 => ("mesh8x8", "favors_min_1vc"),
+            FaultCase::Dfly64 => ("dfly64", "ugal_3vc_spin"),
+        }
+    }
+
+    fn topology(self) -> Topology {
+        match self {
+            FaultCase::Mesh8x8 => Topology::mesh(8, 8),
+            FaultCase::Dfly64 => Topology::dragonfly(2, 4, 2, 8),
+        }
+    }
+
+    fn routing(self) -> Box<dyn Routing> {
+        match self {
+            FaultCase::Mesh8x8 => Box::new(FavorsMinimal),
+            FaultCase::Dfly64 => Box::new(Ugal::with_spin()),
+        }
+    }
+
+    fn vcs(self) -> u8 {
+        match self {
+            FaultCase::Mesh8x8 => 1,
+            FaultCase::Dfly64 => 3,
+        }
+    }
+
+    fn rate(self) -> f64 {
+        // Below each design's saturation knee: the campaign measures
+        // degraded-mode delivery after kills, and a network already past
+        // saturation cannot drain inside any reasonable budget even
+        // fault-free.
+        match self {
+            FaultCase::Mesh8x8 => 0.12,
+            FaultCase::Dfly64 => 0.10,
+        }
+    }
+}
+
+/// Builds the network of one campaign point: `faults` seed-driven kills
+/// scheduled inside the injection window, traffic silenced at its end so
+/// the drain phase can verify exact conservation.
+pub fn build_fault_net(
+    case: FaultCase,
+    faults: usize,
+    seed: u64,
+    params: FaultRunParams,
+) -> Network {
+    let topo = case.topology();
+    let stop_at = params.warmup + params.inject;
+    let plan = if faults == 0 {
+        FaultPlan::new()
+    } else {
+        // Kills spread over the first three quarters of the injection
+        // window: rerouted traffic still runs long enough to measure.
+        let lo = params.warmup + params.inject / 8;
+        let hi = params.warmup + (params.inject / 4) * 3;
+        FaultPlan::random_kills(&topo, faults, (lo, hi), None, seed ^ 0xfau64)
+    };
+    let traffic = StopAfter::new(
+        SyntheticTraffic::new(
+            SyntheticConfig::new(Pattern::UniformRandom, case.rate()),
+            &topo,
+            seed,
+        ),
+        stop_at,
+    );
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: case.vcs(),
+            seed,
+            ..SimConfig::default()
+        })
+        .routing_box(case.routing())
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .faults(plan)
+        .build()
+}
+
+/// Runs one campaign point to completion and measures it.
+pub fn run_fault_point(
+    case: FaultCase,
+    faults: usize,
+    seed: u64,
+    params: FaultRunParams,
+) -> FaultPoint {
+    let mut net = build_fault_net(case, faults, seed, params);
+    net.run(params.warmup);
+    net.reset_measurement();
+    net.run(params.inject);
+    let drained = net.drain(params.drain_cap);
+    let s = net.stats();
+    let (topo, routing) = case.label();
+    FaultPoint {
+        topo: topo.to_string(),
+        routing: routing.to_string(),
+        faults_scheduled: faults,
+        seed,
+        links_killed: s.links_killed,
+        kills_rejected: s.link_kills_rejected,
+        packets_created: s.packets_created,
+        packets_delivered: s.packets_delivered,
+        packets_dropped: s.packets_dropped_by_fault,
+        packets_rerouted: s.packets_rerouted_by_fault,
+        avg_latency: s.avg_total_latency(),
+        spins: s.spins,
+        drained,
+    }
+}
+
+/// The full campaign grid: both cases x failure counts x seeds, fanned
+/// out over `threads` workers. Output order (and content) is independent
+/// of the thread count.
+pub fn run_campaign_with_threads(quick: bool, threads: usize) -> Vec<FaultPoint> {
+    let params = FaultRunParams::new(quick);
+    let fault_counts: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 4] };
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2] };
+    let grid: Vec<(FaultCase, usize, u64)> = [FaultCase::Mesh8x8, FaultCase::Dfly64]
+        .into_iter()
+        .flat_map(|case| {
+            fault_counts
+                .iter()
+                .flat_map(move |&n| seeds.iter().map(move |&s| (case, n, s)))
+        })
+        .collect();
+    parallel_map_with_threads(&grid, threads, |&(case, n, s)| {
+        run_fault_point(case, n, s, params)
+    })
+}
+
+/// Serialises campaign points as the `results/fault_campaign.json`
+/// document (field order fixed, so the file is byte-deterministic).
+pub fn campaign_json(points: &[FaultPoint], quick: bool) -> Json {
+    let rows = points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("topo", p.topo.as_str().into()),
+                ("routing", p.routing.as_str().into()),
+                ("faults_scheduled", Json::UInt(p.faults_scheduled as u64)),
+                ("seed", Json::UInt(p.seed)),
+                ("links_killed", Json::UInt(p.links_killed)),
+                ("kills_rejected", Json::UInt(p.kills_rejected)),
+                ("packets_created", Json::UInt(p.packets_created)),
+                ("packets_delivered", Json::UInt(p.packets_delivered)),
+                ("packets_dropped_by_fault", Json::UInt(p.packets_dropped)),
+                ("packets_rerouted_by_fault", Json::UInt(p.packets_rerouted)),
+                ("delivered_fraction", Json::Num(p.delivered_fraction())),
+                ("avg_latency", Json::Num(p.avg_latency)),
+                ("spins", Json::UInt(p.spins)),
+                ("drained", Json::Bool(p.drained)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("name", "fault_campaign".into()),
+        ("quick", Json::Bool(quick)),
+        ("points", arr(rows)),
+    ])
+}

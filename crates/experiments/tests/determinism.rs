@@ -3,9 +3,10 @@
 //! sweep runner must produce identical results at any thread count.
 
 use spin_core::SpinConfig;
+use spin_experiments::fault::{campaign_json, run_campaign_with_threads};
 use spin_experiments::{run_spec_with_threads, sweep, Design, ExperimentSpec, RunParams};
 use spin_routing::FavorsMinimal;
-use spin_sim::{NetStats, Network, NetworkBuilder, SimConfig};
+use spin_sim::{FaultPlan, NetStats, Network, NetworkBuilder, SimConfig};
 use spin_topology::Topology;
 use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
 
@@ -53,6 +54,60 @@ fn identical_config_and_seed_give_identical_stats() {
     // being ignored and the equality check proves nothing).
     let (s3, _) = run(43);
     assert_ne!(s1, s3, "different seeds should produce different runs");
+}
+
+fn build_faulted_net(seed: u64) -> Network {
+    let topo = Topology::mesh(8, 8);
+    let traffic = SyntheticTraffic::new(
+        SyntheticConfig::new(Pattern::UniformRandom, 0.1),
+        &topo,
+        seed,
+    );
+    let plan = FaultPlan::random_kills(&topo, 2, (500, 2_000), None, seed);
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            seed,
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .faults(plan)
+        .build()
+}
+
+#[test]
+fn nonempty_fault_plan_runs_are_deterministic() {
+    let run = |seed: u64| -> NetStats {
+        let mut net = build_faulted_net(seed);
+        net.run(3_000);
+        net.stats()
+    };
+    let s1 = run(42);
+    let s2 = run(42);
+    assert_eq!(
+        s1, s2,
+        "faulted runs must be identical for identical config+seed"
+    );
+    // Sanity: the plan actually killed links and traffic flowed around them.
+    assert!(s1.links_killed > 0);
+    assert!(s1.packets_delivered > 0);
+    let s3 = run(43);
+    assert_ne!(
+        s1, s3,
+        "different seeds should produce different faulted runs"
+    );
+}
+
+/// The fault-campaign JSON document — the artifact CI uploads — is
+/// bit-identical at any worker thread count.
+#[test]
+fn fault_campaign_json_is_thread_count_invariant() {
+    let doc1 = campaign_json(&run_campaign_with_threads(true, 1), true).to_string();
+    let doc4 = campaign_json(&run_campaign_with_threads(true, 4), true).to_string();
+    assert_eq!(doc1, doc4);
 }
 
 fn spec() -> ExperimentSpec {

@@ -176,6 +176,14 @@ pub trait Routing: fmt::Debug + Send + Sync {
     /// when used *without* SPIN (Table I); 1 when the algorithm relies on
     /// SPIN entirely.
     fn min_vcs_required(&self) -> u8;
+
+    /// Called by the simulator after the live topology changed — a link
+    /// died or healed at runtime. Algorithms that precompute tables from
+    /// the topology (e.g. [up*/down* trees](crate::UpDown)) must rebuild
+    /// them here; algorithms that consult the topology live (FAvORS,
+    /// which re-reads `minimal_ports`/`dist` every cycle) need nothing,
+    /// which is the default.
+    fn on_topology_change(&mut self, _topo: &Topology) {}
 }
 
 /// Ejection choice for a packet whose current target attaches to `at`.

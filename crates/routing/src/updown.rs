@@ -132,6 +132,14 @@ impl Routing for UpDown {
         "up_down"
     }
 
+    fn on_topology_change(&mut self, topo: &Topology) {
+        // Levels and the per-phase distance tables are both derived from
+        // the link set, so a runtime kill/heal invalidates everything:
+        // rebuild the spanning tree from scratch. (The root stays router
+        // 0; a kill that would disconnect it is rejected upstream.)
+        *self = UpDown::new(topo);
+    }
+
     fn route(
         &self,
         view: &dyn NetworkView,

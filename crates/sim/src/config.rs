@@ -1,5 +1,6 @@
 //! Simulation configuration and the network builder.
 
+use crate::faults::FaultPlan;
 use crate::network::Network;
 use crate::stats::series::EpochConfig;
 use spin_core::SpinConfig;
@@ -141,6 +142,7 @@ pub struct NetworkBuilder {
     pub(crate) traffic: Option<Box<dyn TrafficSource>>,
     pub(crate) spin: Option<SpinConfig>,
     pub(crate) trace: Option<Box<dyn TraceSink>>,
+    pub(crate) faults: FaultPlan,
 }
 
 impl NetworkBuilder {
@@ -153,6 +155,7 @@ impl NetworkBuilder {
             traffic: None,
             spin: None,
             trace: None,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -188,6 +191,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Installs a runtime fault plan: scheduled link kill/heal events the
+    /// network applies atomically between cycles (see [`crate::faults`] and
+    /// `docs/FAULTS.md`). The default is an empty plan, which costs one
+    /// branch per cycle and leaves the simulation bit-identical to a
+    /// fault-free build.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Installs a structured trace sink: every SPIN protocol and packet
     /// lifecycle event is recorded into it (see `spin_trace` for sinks and
     /// exporters). Without a sink — the default — tracing costs one branch
@@ -216,6 +229,7 @@ impl std::fmt::Debug for NetworkBuilder {
             .field("routing", &self.routing.as_ref().map(|r| r.name()))
             .field("spin", &self.spin.is_some())
             .field("trace", &self.trace.is_some())
+            .field("faults", &self.faults.len())
             .finish()
     }
 }

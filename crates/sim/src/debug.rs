@@ -17,6 +17,15 @@ use std::fmt::Write as _;
 impl Network {
     /// Builds the AND-OR wait-for graph of the current buffer state (see
     /// [`spin_deadlock::WaitGraph`]).
+    ///
+    /// Links killed by runtime faults are invisible: a dead port is no
+    /// longer a network port, so it contributes neither free capacity nor
+    /// occupants, and a routing alternative through it (momentarily
+    /// possible the cycle a link dies) resolves to no peer and therefore
+    /// no dependence edge. The fault stage resynchronises the credit
+    /// mirror at dead inputs for the same reason — a phantom reservation
+    /// there would otherwise fabricate a synthetic occupant on a buffer
+    /// nothing can reach (see `docs/FAULTS.md`).
     pub fn wait_graph(&self) -> WaitGraph {
         let mut g = WaitGraph::new();
         let mut synthetic: u64 = 0;
@@ -239,7 +248,15 @@ impl Network {
                 let _ = writeln!(out, "  step {step}: ejecting head, chain flows");
                 return report(out, self.cfg.verbose);
             }
-            let peer = self.topo.neighbor(rid, c.out_port).unwrap();
+            let Some(peer) = self.topo.neighbor(rid, c.out_port) else {
+                // A runtime fault can leave a freshly-routed head pointing
+                // at a link that died this very cycle.
+                let _ = writeln!(
+                    out,
+                    "  step {step}: choice targets a dead link, chain breaks"
+                );
+                return report(out, self.cfg.verbose);
+            };
             let _ = writeln!(
                 out,
                 "  step {step}: r{} p{} vn{} vc{} pkt{} len{} -> out p{} prio {}",

@@ -1,0 +1,231 @@
+//! Runtime fault injection: deterministic, seed-driven schedules of link
+//! kill/heal events, consumed by the simulator's fault pipeline stage.
+//!
+//! A [`FaultPlan`] is a sorted list of [`FaultEvent`]s. Install one with
+//! [`NetworkBuilder::faults`]; at the start of each scheduled cycle —
+//! atomically, before any pipeline stage runs — the network applies every
+//! due event: the link goes down (or comes back up) between cycles, flits
+//! stranded on the dead wire are drained with full accounting, and routing
+//! state is re-derived so traffic reroutes instead of wedging. The fault
+//! model, event ordering and reroute guarantees are specified in
+//! `docs/FAULTS.md`.
+//!
+//! Plans are plain data and deliberately independent of the network's own
+//! RNG: [`FaultPlan::random_kills`] draws from its own seeded generator at
+//! construction time, so a faulted run perturbs none of the traffic or
+//! routing randomness — a run with an empty plan is bit-identical to a run
+//! without one.
+//!
+//! [`NetworkBuilder::faults`]: crate::NetworkBuilder::faults
+//!
+//! # Examples
+//!
+//! ```
+//! use spin_sim::{FaultAction, FaultPlan};
+//! use spin_topology::Topology;
+//! use spin_types::{PortId, RouterId};
+//!
+//! // Explicit schedule: kill r0's North link at cycle 100, heal at 400.
+//! let plan = FaultPlan::new()
+//!     .kill(100, RouterId(0), PortId(1))
+//!     .heal(400, RouterId(0), PortId(1));
+//! assert_eq!(plan.len(), 2);
+//!
+//! // Seed-driven schedule: 3 random kills in cycles [500, 1500).
+//! let topo = Topology::mesh(8, 8);
+//! let random = FaultPlan::random_kills(&topo, 3, (500, 1500), None, 42);
+//! assert_eq!(random.len(), 3);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use spin_topology::Topology;
+use spin_types::{Cycle, PortId, RouterId};
+
+/// What a [`FaultEvent`] does to its link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultAction {
+    /// Take the bidirectional link down. A kill that would disconnect the
+    /// network is rejected (and traced) rather than applied; a kill naming
+    /// a port that is already dead or not a network port is also rejected.
+    Kill,
+    /// Bring a previously killed link back up. A heal naming a link that
+    /// is not currently down is ignored.
+    Heal,
+}
+
+/// One scheduled link fault. The link is identified by either endpoint;
+/// both directions are affected atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle the event applies, before any pipeline stage of that cycle.
+    pub at: Cycle,
+    /// Kill or heal.
+    pub action: FaultAction,
+    /// Endpoint router.
+    pub router: RouterId,
+    /// Endpoint port.
+    pub port: PortId,
+}
+
+/// A deterministic schedule of link kill/heal events, sorted by cycle
+/// (ties broken by router, port, then action) so application order never
+/// depends on construction order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; zero per-cycle cost).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a link kill at cycle `at` (builder style).
+    pub fn kill(mut self, at: Cycle, router: RouterId, port: PortId) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::Kill,
+            router,
+            port,
+        });
+        self.normalize();
+        self
+    }
+
+    /// Schedules a link heal at cycle `at` (builder style).
+    pub fn heal(mut self, at: Cycle, router: RouterId, port: PortId) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::Heal,
+            router,
+            port,
+        });
+        self.normalize();
+        self
+    }
+
+    /// A seed-driven schedule of `n` kills of distinct links, spread
+    /// uniformly over cycles `[window.0, window.1)`. When `heal_after` is
+    /// `Some(d)`, every kill is paired with a heal `d` cycles later.
+    ///
+    /// Candidate links are the topology's bidirectional network links in
+    /// canonical (lower endpoint first) order; the schedule depends only on
+    /// `topo`'s link set, `n`, `window` and `seed` — never on the network's
+    /// own RNG, so installing the plan perturbs no other randomness.
+    /// Whether each kill is *applied* is still decided at runtime (a
+    /// disconnecting kill is rejected and traced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is empty or `n` exceeds the number of links.
+    pub fn random_kills(
+        topo: &Topology,
+        n: usize,
+        window: (Cycle, Cycle),
+        heal_after: Option<Cycle>,
+        seed: u64,
+    ) -> Self {
+        assert!(window.0 < window.1, "empty fault window");
+        // Canonical undirected link list: keep the direction whose
+        // (router, port) endpoint is lexicographically smaller.
+        let mut links: Vec<(RouterId, PortId)> = topo
+            .links()
+            .filter(|(from, to)| (from.router.0, from.port.0) < (to.router.0, to.port.0))
+            .map(|(from, _)| (from.router, from.port))
+            .collect();
+        assert!(
+            n <= links.len(),
+            "cannot kill {n} links: topology has only {}",
+            links.len()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        links.shuffle(&mut rng);
+        let mut plan = FaultPlan::new();
+        for &(router, port) in links.iter().take(n) {
+            let at = rng.random_range(window.0..window.1);
+            plan.events.push(FaultEvent {
+                at,
+                action: FaultAction::Kill,
+                router,
+                port,
+            });
+            if let Some(d) = heal_after {
+                plan.events.push(FaultEvent {
+                    at: at + d,
+                    action: FaultAction::Heal,
+                    router,
+                    port,
+                });
+            }
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// The scheduled events, sorted by application order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        self.events
+            .sort_by_key(|e| (e.at, e.router.0, e.port.0, e.action));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_by_cycle() {
+        let plan =
+            FaultPlan::new()
+                .kill(200, RouterId(1), PortId(2))
+                .kill(100, RouterId(0), PortId(1));
+        assert_eq!(plan.events()[0].at, 100);
+        assert_eq!(plan.events()[1].at, 200);
+    }
+
+    #[test]
+    fn random_kills_is_deterministic_and_distinct() {
+        let topo = Topology::mesh(4, 4);
+        let a = FaultPlan::random_kills(&topo, 4, (100, 500), Some(300), 7);
+        let b = FaultPlan::random_kills(&topo, 4, (100, 500), Some(300), 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8); // 4 kills + 4 heals
+        let mut kills: Vec<_> = a
+            .events()
+            .iter()
+            .filter(|e| e.action == FaultAction::Kill)
+            .map(|e| (e.router, e.port))
+            .collect();
+        kills.sort();
+        kills.dedup();
+        assert_eq!(kills.len(), 4, "kills must target distinct links");
+        for e in a.events() {
+            assert!(e.at >= 100 && e.at < 500 + 300);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = Topology::mesh(4, 4);
+        let a = FaultPlan::random_kills(&topo, 4, (100, 500), None, 7);
+        let b = FaultPlan::random_kills(&topo, 4, (100, 500), None, 8);
+        assert_ne!(a, b);
+    }
+}

@@ -72,6 +72,7 @@
 
 mod config;
 mod debug;
+pub mod faults;
 mod link;
 mod network;
 mod nic;
@@ -82,6 +83,7 @@ mod store;
 mod vc;
 
 pub use config::{NetworkBuilder, SimConfig, Switching};
+pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use network::Network;
 pub use stats::series::{latency_bucket, Epoch, EpochConfig, MetricsRing, LATENCY_BUCKETS};
 pub use stats::{LinkUse, NetStats};

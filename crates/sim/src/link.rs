@@ -59,4 +59,18 @@ impl Link {
     pub(crate) fn in_flight(&self) -> usize {
         self.q.len()
     }
+
+    /// Empties the wire, returning everything that was in flight — the
+    /// fault stage drains a dead link with full accounting instead of
+    /// letting [`Link::deliver`] feed phits to a port that no longer has
+    /// a peer.
+    pub(crate) fn take_all(&mut self) -> VecDeque<(Cycle, Phit)> {
+        std::mem::take(&mut self.q)
+    }
+
+    /// Keeps only in-flight phits satisfying `keep` (used by the fault
+    /// stage to strip a severed packet's flits off live wires).
+    pub(crate) fn retain_phits(&mut self, keep: impl FnMut(&(Cycle, Phit)) -> bool) {
+        self.q.retain(keep);
+    }
 }

@@ -4,6 +4,7 @@
 //! exports in [`crate::debug`].
 
 use crate::config::{NetworkBuilder, SimConfig, Switching};
+use crate::faults::FaultPlan;
 use crate::link::{Link, Phit};
 use crate::nic::Nic;
 use crate::pipeline::meta::{MetaTable, NetView};
@@ -18,7 +19,7 @@ use spin_routing::{Routing, XyRouting};
 use spin_topology::Topology;
 use spin_trace::{TraceEvent, TraceRecord, TraceSink};
 use spin_traffic::TrafficSource;
-use spin_types::{Cycle, NodeId, PortId, RouterId, VcId, Vnet};
+use spin_types::{Cycle, NodeId, PortConn, PortId, RouterId, VcId, Vnet};
 
 /// The simulated network. Build with [`NetworkBuilder`]; drive with
 /// [`Network::run`] / [`Network::step`]; inspect with [`Network::stats`].
@@ -68,6 +69,13 @@ pub struct Network {
     /// three per-cycle stages that walk occupied VCs fill this instead of
     /// allocating a fresh coordinate list per router per stage.
     pub(crate) scratch_coords: Vec<(PortId, Vnet, VcId)>,
+    /// Scheduled runtime link faults (sorted; see [`crate::faults`]).
+    pub(crate) faults: FaultPlan,
+    /// Index of the next unapplied event in `faults`.
+    pub(crate) fault_cursor: usize,
+    /// Links currently down: both endpoints plus the original latency, so
+    /// a heal can restore the link exactly as built.
+    pub(crate) dead_links: Vec<(PortConn, PortConn, u32)>,
 }
 
 impl Network {
@@ -87,6 +95,12 @@ impl Network {
         assert!(
             !(spin_enabled && b.cfg.switching == Switching::Wormhole),
             "SPIN requires virtual cut-through switching (see Switching::Wormhole docs)"
+        );
+        assert!(
+            b.faults.is_empty() || !(b.cfg.static_bubble || b.cfg.bubble_flow_control),
+            "runtime fault injection is incompatible with static_bubble and \
+             bubble_flow_control: their escape routes / bubble rings assume the \
+             full built topology and do not adapt to dead links"
         );
         let agent_cfg = spin_cfg.unwrap_or_else(|| SpinConfig {
             num_routers: topo.num_routers() as u32,
@@ -158,6 +172,9 @@ impl Network {
             metrics,
             scratch_phits: Vec::new(),
             scratch_coords: Vec::new(),
+            faults: b.faults,
+            fault_cursor: 0,
+            dead_links: Vec::new(),
             cfg: b.cfg,
             routing,
             traffic,
@@ -288,6 +305,7 @@ impl Network {
     /// module.
     pub fn step(&mut self) {
         self.now += 1;
+        self.apply_faults(); // pipeline::faults (no-op unless events are due)
         self.classify_cache = None;
         self.sm_busy.clear();
         self.pending_sms.clear();

@@ -1,0 +1,446 @@
+//! Stage 0 — runtime link faults: applies due [`FaultPlan`] events
+//! atomically at the top of the cycle, before any other pipeline stage
+//! sees the topology.
+//!
+//! A kill takes both directions of a link down at once and leaves the
+//! network in a state every later stage can treat as ordinary: wires of
+//! the dead link are drained with full accounting, packets physically
+//! astride the link (flits on the dead wire, or split across its
+//! endpoints by cut-through forwarding) are removed everywhere they have
+//! residue and reported as dropped-by-fault, packets that had merely
+//! *claimed* the link without sending a flit are torn off and re-routed,
+//! the credit mirror at the dead input ports is resynchronised, the SPIN
+//! agents at the two endpoints reset (remote members of a broken frozen
+//! loop recover through their own deadline timeouts, the same path that
+//! tolerates a lost kill SM), and routing state is re-derived. A kill
+//! that would disconnect the network is rejected and traced, never
+//! applied — delivery of every packet not astride a dead link stays
+//! guaranteed. The full fault model and event-ordering contract is
+//! `docs/FAULTS.md`.
+//!
+//! With an empty plan the stage is one integer compare per cycle and the
+//! simulation is bit-identical to a build without it.
+//!
+//! [`FaultPlan`]: crate::faults::FaultPlan
+
+use crate::faults::FaultAction;
+use crate::link::Phit;
+use crate::network::Network;
+use crate::router::SpinView;
+use spin_topology::TopologyError;
+use spin_trace::TraceEvent;
+use spin_types::{NodeId, PacketHandle, PortId, RouterId, VcId, Vnet};
+
+/// A severed packet: its store handle plus the router that owned the
+/// sending end of the dead link (the attribution reported in the
+/// `packet_dropped_by_fault` trace event).
+type Severed = Vec<(PacketHandle, RouterId)>;
+
+fn note_severed(severed: &mut Severed, h: PacketHandle, upstream: RouterId) {
+    // First attribution wins; the set is tiny (packets astride one link).
+    if !severed.iter().any(|&(x, _)| x == h) {
+        severed.push((h, upstream));
+    }
+}
+
+impl Network {
+    /// Applies every fault event scheduled at or before the current cycle.
+    /// Called first in [`Network::step`]; the fast path (no events left,
+    /// or the next one is in the future) is a bounds check and a compare.
+    pub(crate) fn apply_faults(&mut self) {
+        while self.fault_cursor < self.faults.events().len() {
+            let e = self.faults.events()[self.fault_cursor];
+            if e.at > self.now {
+                return;
+            }
+            self.fault_cursor += 1;
+            match e.action {
+                FaultAction::Kill => self.apply_kill(e.router, e.port),
+                FaultAction::Heal => self.apply_heal(e.router, e.port),
+            }
+        }
+    }
+
+    fn apply_kill(&mut self, r: RouterId, p: PortId) {
+        let now = self.now;
+        let (a, b, latency) = match self.topo.fail_link(r, p) {
+            Ok(ends) => ends,
+            Err(e) => {
+                // Disconnecting (or malformed) kill: rejected, traced, and
+                // nothing applied — the Disconnected witness says how many
+                // routers the cut would have stranded.
+                self.stats.link_kills_rejected += 1;
+                let unreachable = match &e {
+                    TopologyError::Disconnected { unreachable } => unreachable.len() as u32,
+                    _ => 0,
+                };
+                self.emit(TraceEvent::LinkKillRejected {
+                    router: r,
+                    port: p,
+                    unreachable,
+                });
+                return;
+            }
+        };
+        self.stats.links_killed += 1;
+        self.dead_links.push((a, b, latency));
+        // Two directed links left the utilisation denominator mid-step
+        // (stats.link_use.total accrues num_network_links per cycle).
+        self.num_network_links -= 2;
+
+        // ---- 1. find every packet physically astride the dead link ----
+        let mut severed: Severed = Vec::new();
+        // Flits still on the two dead wires (drained here so delivery
+        // never feeds a port without a peer); SMs die with the wire — the
+        // SPIN FSM tolerates lost SMs through its deadline timeouts.
+        for (from, _to) in [(a, b), (b, a)] {
+            for (_, phit) in self.out_links[from.router.index()][from.port.index()].take_all() {
+                match phit {
+                    Phit::Flit { flit, .. } => note_severed(&mut severed, flit.packet, from.router),
+                    Phit::Sm(_) => self.stats.sms_dropped_by_fault += 1,
+                }
+            }
+        }
+        // Partially-arrived residents at the dead input ports: their
+        // missing flits were on (or upstream of) the dead wire.
+        for (er, ep, upstream) in [(a.router, a.port, b.router), (b.router, b.port, a.router)] {
+            let router = &self.routers[er.index()];
+            for vcs in &router.in_vcs[ep.index()] {
+                for vcb in vcs {
+                    for pb in &vcb.q {
+                        if pb.received < pb.len {
+                            note_severed(&mut severed, pb.handle, upstream);
+                        }
+                    }
+                }
+            }
+        }
+        // Packets at the endpoint routers that allocated the dead output:
+        // mid-send means residue on both sides (severed); untouched means
+        // the claim is torn off and the packet re-routes in place.
+        let mut realloc: Vec<(RouterId, PortId, Vnet, VcId)> = Vec::new();
+        for (er, dead_p) in [(a.router, a.port), (b.router, b.port)] {
+            let router = &self.routers[er.index()];
+            for (pi, vns) in router.in_vcs.iter().enumerate() {
+                for (vni, vcs) in vns.iter().enumerate() {
+                    for (vi, vcb) in vcs.iter().enumerate() {
+                        for pb in &vcb.q {
+                            match pb.out {
+                                Some((op, _)) if op == dead_p && pb.sent > 0 => {
+                                    note_severed(&mut severed, pb.handle, er);
+                                }
+                                Some((op, _)) if op == dead_p => {
+                                    realloc.push((
+                                        er,
+                                        PortId(pi as u8),
+                                        Vnet(vni as u8),
+                                        VcId(vi as u8),
+                                    ));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // ---- 2. tear unsent claims off the dead output ----
+        for (er, pi, vn, vi) in realloc {
+            let handle = {
+                let pb = self.routers[er.index()]
+                    .vc_mut(pi, vn, vi)
+                    .head_mut()
+                    .expect("allocated packets are queue heads");
+                pb.out = None;
+                pb.choices.clear();
+                pb.head_since = None;
+                pb.handle
+            };
+            self.stats.packets_rerouted_by_fault += 1;
+            if self.trace_on() {
+                let packet = self.store.get(handle).id;
+                self.emit(TraceEvent::PacketRerouted { packet, router: er });
+            }
+        }
+        // ---- 3. remove every residue of each severed packet ----
+        if !severed.is_empty() {
+            self.remove_severed(&severed);
+        }
+        // ---- 4. reset SPIN state at the two endpoints ----
+        if self.spin_enabled {
+            for (er, dead_p) in [(a.router, a.port), (b.router, b.port)] {
+                self.spin_fault_reset(er, dead_p);
+            }
+        }
+        // ---- 5. resynchronise the credit mirror at the dead inputs ----
+        // Reservations and in-flight counts at the dead input ports were
+        // claims by a peer that no longer exists; occupancy resyncs to
+        // what physically remains after the removals above.
+        for (er, ep) in [(a.router, a.port), (b.router, b.port)] {
+            for vn in 0..self.cfg.vnets {
+                for vc in 0..self.cfg.vcs_per_vnet {
+                    let occ = self.routers[er.index()]
+                        .vc(ep, Vnet(vn), VcId(vc))
+                        .occupancy() as u16;
+                    self.meta.reset_vc(now, er, ep, Vnet(vn), VcId(vc), occ);
+                }
+                self.meta.spin_inflight_reset(er, ep, Vnet(vn));
+            }
+        }
+        // ---- 6. re-derive routing state ----
+        let cleared = self.clear_unallocated_choices();
+        self.routing.on_topology_change(&self.topo);
+        self.emit(TraceEvent::LinkFailed {
+            router: a.router,
+            port: a.port,
+            peer_router: b.router,
+            peer_port: b.port,
+        });
+        self.emit(TraceEvent::RerouteComputed {
+            links_down: self.dead_links.len() as u32,
+            cleared,
+        });
+    }
+
+    fn apply_heal(&mut self, r: RouterId, p: PortId) {
+        // Find the matching dead-link record by either endpoint; a heal
+        // naming a link that is not down is silently ignored (the paired
+        // kill may have been rejected).
+        let Some(idx) = self.dead_links.iter().position(|&(a, b, _)| {
+            (a.router == r && a.port == p) || (b.router == r && b.port == p)
+        }) else {
+            return;
+        };
+        let (ea, eb, latency) = self.dead_links[idx];
+        if self.topo.restore_link(ea, eb, latency).is_err() {
+            return;
+        }
+        self.dead_links.remove(idx);
+        self.num_network_links += 2;
+        self.stats.links_healed += 1;
+        // The wires were drained at the kill and the credit mirror at both
+        // input ports was reset then (and kept in sync by ordinary sends
+        // since — a dead output cannot be allocated), so the link is clean;
+        // only stale routing choices need a refresh.
+        let cleared = self.clear_unallocated_choices();
+        self.routing.on_topology_change(&self.topo);
+        self.emit(TraceEvent::LinkHealed {
+            router: ea.router,
+            port: ea.port,
+            peer_router: eb.router,
+            peer_port: eb.port,
+        });
+        self.emit(TraceEvent::RerouteComputed {
+            links_down: self.dead_links.len() as u32,
+            cleared,
+        });
+    }
+
+    /// Removes every buffer resident, wire flit, injection-link flit and
+    /// NIC stream belonging to the severed packets, with the credit mirror
+    /// and statistics kept consistent, then frees their store slots.
+    fn remove_severed(&mut self, severed: &Severed) {
+        let now = self.now;
+        let hit = |h: PacketHandle| severed.iter().any(|&(x, _)| x == h);
+        // Buffer residents, network-wide: cut-through forwarding can leave
+        // a severed packet's residue chained across several routers, so
+        // every VC is swept, in deterministic (router, port, vnet, vc)
+        // order.
+        for ri in 0..self.routers.len() {
+            let rid = RouterId(ri as u32);
+            if self.routers[ri].occupied_vcs == 0 {
+                continue;
+            }
+            let coords: Vec<_> = self.routers[ri].vc_coords().collect();
+            for (pi, vn, vi) in coords {
+                let mut removed: Vec<crate::vc::PacketBuf> = Vec::new();
+                {
+                    let vcb = self.routers[ri].vc_mut(pi, vn, vi);
+                    if vcb.q.is_empty() {
+                        continue;
+                    }
+                    let mut k = 0;
+                    while k < vcb.q.len() {
+                        if hit(vcb.q[k].handle) {
+                            if k == 0 {
+                                // The head is gone; any spin streaming it
+                                // is over.
+                                vcb.spinning = false;
+                            }
+                            removed.push(vcb.q.remove(k).expect("index in bounds"));
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    if !removed.is_empty() && vcb.q.is_empty() {
+                        self.routers[ri].occupied_vcs -= 1;
+                    }
+                }
+                for pb in removed {
+                    let buffered = (pb.received - pb.sent) as i32;
+                    self.meta.occ_add(now, rid, pi, vn, vi, -buffered);
+                    // Mid-send packets hold a reservation at their target VC
+                    // until the tail is sent; the target evaporates with the
+                    // packet. Dead outputs resolve to no peer here because
+                    // the topology was already mutated — their endpoint meta
+                    // is reset wholesale afterwards.
+                    if let Some((op, tvc)) = pb.out {
+                        if let Some(peer) = self.topo.neighbor(rid, op) {
+                            self.meta.release(now, peer.router, peer.port, vn, tvc);
+                        }
+                    }
+                }
+            }
+        }
+        // Flits of severed packets still travelling on live wires (the
+        // upstream tail of a chain). The packet's vnet comes from the
+        // store — a flit is only a handle — so this runs before removal.
+        for ri in 0..self.routers.len() {
+            let rid = RouterId(ri as u32);
+            for pi in 0..self.out_links[ri].len() {
+                let op = PortId(pi as u8);
+                let Some(peer) = self.topo.neighbor(rid, op) else {
+                    continue;
+                };
+                let mut removed: Vec<(VcId, bool, Vnet)> = Vec::new();
+                {
+                    let store = &self.store;
+                    self.out_links[ri][pi].retain_phits(|(_, phit)| match phit {
+                        Phit::Flit { flit, vc, spin } if hit(flit.packet) => {
+                            removed.push((*vc, *spin, store.get(flit.packet).vnet));
+                            false
+                        }
+                        _ => true,
+                    });
+                }
+                for (vc, spin, vnet) in removed {
+                    if spin {
+                        self.meta
+                            .spin_inflight_add(peer.router, peer.port, vnet, -1);
+                    } else {
+                        self.meta
+                            .inflight_add(now, peer.router, peer.port, vnet, vc, -1);
+                    }
+                }
+            }
+        }
+        // Injection links and NIC streams: the NIC may still be streaming
+        // a severed packet's tail (cut-through lets a head claim — and
+        // die on — a link before its tail leaves the source).
+        for n in 0..self.nics.len() {
+            let at = self.topo.node_attach(NodeId(n as u32));
+            let mut removed: Vec<(VcId, Vnet)> = Vec::new();
+            {
+                let store = &self.store;
+                self.inj_links[n].retain_phits(|(_, phit)| match phit {
+                    Phit::Flit { flit, vc, .. } if hit(flit.packet) => {
+                        removed.push((*vc, store.get(flit.packet).vnet));
+                        false
+                    }
+                    _ => true,
+                });
+            }
+            for (vc, vnet) in removed {
+                self.meta
+                    .inflight_add(now, at.router, at.port, vnet, vc, -1);
+            }
+            if let Some(act) = self.nics[n].active {
+                if hit(act.handle) {
+                    // The tail was never sent, so the injection reservation
+                    // is still held — drop it with the stream.
+                    self.meta.release(now, at.router, at.port, act.vnet, act.vc);
+                    self.nics[n].active = None;
+                }
+            }
+        }
+        // Finally: free the store slots and account the loss.
+        for &(h, upstream) in severed {
+            let pkt = self.store.remove(h);
+            self.stats.packets_dropped_by_fault += 1;
+            self.stats.flits_dropped_by_fault += pkt.len as u64;
+            self.emit(TraceEvent::PacketDroppedByFault {
+                packet: pkt.id,
+                router: upstream,
+            });
+        }
+    }
+
+    /// Resets the SPIN agent and per-VC protocol state of an endpoint
+    /// router whose link at `dead_p` just died.
+    ///
+    /// The agent takes the same full reset as on a lost kill SM
+    /// ([`spin_core::SpinAgent::on_link_fault`]); remote members of a
+    /// broken frozen loop recover through their own deadline timeouts. The
+    /// returned `UnfreezeAll` is deliberately *not* applied wholesale:
+    /// a VC mid-way through streaming a spin over a live port must keep
+    /// `spinning`/`frozen_out` until its tail goes out (the downstream
+    /// earmark is already consumed flit by flit; aborting would strand a
+    /// partial packet there forever). Such streams complete on their own —
+    /// `send_flit` clears the flags at the tail. Everything else unfreezes
+    /// here, and spins aimed at the dead port are cancelled (their packets
+    /// were either removed as severed or are intact and simply re-route).
+    fn spin_fault_reset(&mut self, er: RouterId, dead_p: PortId) {
+        let now = self.now;
+        let _ = {
+            let view = SpinView {
+                router: &self.routers[er.index()],
+                topo: &self.topo,
+                store: &self.store,
+            };
+            self.agents[er.index()].on_link_fault(now, &view)
+        };
+        let mut unfroze = false;
+        let coords: Vec<_> = self.routers[er.index()].vc_coords().collect();
+        for (pi, vn, vi) in coords {
+            let vcb = self.routers[er.index()].vc_mut(pi, vn, vi);
+            if vcb.frozen_out == Some(dead_p) {
+                // Aimed at the dead link: cancel outright.
+                unfroze |= vcb.frozen;
+                vcb.frozen = false;
+                vcb.frozen_out = None;
+                vcb.spinning = false;
+            } else if !vcb.spinning {
+                unfroze |= vcb.frozen;
+                vcb.frozen = false;
+                vcb.frozen_out = None;
+            }
+        }
+        if unfroze {
+            self.emit(TraceEvent::VcUnfrozen { router: er });
+        }
+        // Spin pushes can never arrive through a dead wire again; drop the
+        // stale landing earmarks so a later heal cannot misdirect a push.
+        for vn in 0..self.cfg.vnets {
+            self.routers[er.index()].clear_spin_rx(dead_p, Vnet(vn));
+        }
+    }
+
+    /// Clears the routing choices of every unallocated head packet in the
+    /// network, forcing a fresh route computation against the changed
+    /// topology next cycle (allocated packets keep draining — their link
+    /// still exists, or they were already handled as severed/re-routed).
+    /// Returns how many packets were cleared, for the `reroute_computed`
+    /// trace event.
+    fn clear_unallocated_choices(&mut self) -> u32 {
+        let mut cleared = 0u32;
+        for ri in 0..self.routers.len() {
+            if self.routers[ri].occupied_vcs == 0 {
+                continue;
+            }
+            for vns in self.routers[ri].in_vcs.iter_mut() {
+                for vcs in vns.iter_mut() {
+                    for vcb in vcs.iter_mut() {
+                        if let Some(pb) = vcb.q.front_mut() {
+                            if pb.out.is_none() && !pb.choices.is_empty() {
+                                pb.choices.clear();
+                                pb.head_since = None;
+                                cleared += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cleared
+    }
+}

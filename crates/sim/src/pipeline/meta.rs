@@ -146,6 +146,36 @@ impl MetaTable {
         self.spin_inflight[i] = (self.spin_inflight[i] as i32 + d).max(0) as u16;
     }
 
+    /// Runtime-fault cleanup for a VC whose input link just died: forgets
+    /// every upstream-derived claim (reservation, in-flight count) and
+    /// resyncs buffered occupancy to what physically remains after the
+    /// severed packets were removed. Without this, phantom claims would
+    /// block allocation forever and fabricate wait-graph occupants for a
+    /// link that no longer exists.
+    pub(crate) fn reset_vc(
+        &mut self,
+        now: Cycle,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        occupancy: u16,
+    ) {
+        let i = self.idx(r, p, vn, vc);
+        let m = &mut self.data[i];
+        m.reserved = false;
+        m.inflight = 0;
+        m.occupancy = occupancy;
+        self.touch(now, i);
+    }
+
+    /// Runtime-fault cleanup: clears the spin-flit in-flight counter of a
+    /// (port, vnet) whose input link just died.
+    pub(crate) fn spin_inflight_reset(&mut self, r: RouterId, p: PortId, vn: Vnet) {
+        let i = self.pidx(r, p, vn);
+        self.spin_inflight[i] = 0;
+    }
+
     /// Copies every VC's buffered-flit occupancy into `out` (cleared
     /// first), in flat (router, port, vnet, vc) table order — the epoch
     /// ring's per-VC snapshot.

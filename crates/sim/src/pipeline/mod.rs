@@ -7,6 +7,7 @@
 //!
 //! | Module        | Stage                                                    |
 //! |---------------|----------------------------------------------------------|
+//! | [`faults`]    | runtime link kill/heal: applied atomically before any other stage |
 //! | [`delivery`]  | link delivery: phits arrive into VCs / eject to NICs     |
 //! | [`spin_engine`]| SPIN protocol: SM processing, agent ticks, SM link arbitration, spin completion |
 //! | [`injection`] | NIC packet generation and flit streaming into routers    |
@@ -19,6 +20,7 @@
 //! routing-visible congestion view ([`meta::NetView`]) the stages share.
 
 pub(crate) mod delivery;
+pub(crate) mod faults;
 pub(crate) mod injection;
 pub(crate) mod meta;
 pub(crate) mod route;

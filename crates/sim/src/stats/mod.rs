@@ -108,6 +108,24 @@ pub struct NetStats {
     pub overflow_events: u64,
     /// Static Bubble recovery grants issued.
     pub bubble_grants: u64,
+    /// Runtime link kills applied (each takes down both directions).
+    pub links_killed: u64,
+    /// Runtime link heals applied.
+    pub links_healed: u64,
+    /// Scheduled kills rejected because they would disconnect the network
+    /// (or named a port that is not a live network port).
+    pub link_kills_rejected: u64,
+    /// Packets removed because they were physically astride a killed link
+    /// (flits on the dead wire or split across its endpoints).
+    pub packets_dropped_by_fault: u64,
+    /// Flits belonging to fault-dropped packets.
+    pub flits_dropped_by_fault: u64,
+    /// Packets that had claimed a killed link without sending a flit yet:
+    /// torn off and re-routed instead of dropped.
+    pub packets_rerouted_by_fault: u64,
+    /// Special messages lost on a killed link (the SPIN FSM recovers from
+    /// lost SMs through its deadline timeouts, so these are tolerated).
+    pub sms_dropped_by_fault: u64,
     /// Measurement-window bookkeeping.
     pub window_start: Cycle,
     /// Flits delivered since the window started.

@@ -28,8 +28,14 @@ pub enum TopologyError {
         /// The misattached node.
         node: NodeId,
     },
-    /// The network graph is not connected.
-    Disconnected,
+    /// The network graph is not connected. Carries the partition witness
+    /// so the caller can see (and report) exactly which routers would be
+    /// cut off — essential when a runtime link kill is rejected.
+    Disconnected {
+        /// Routers unreachable from router 0, ascending (the witness of
+        /// the partition).
+        unreachable: Vec<RouterId>,
+    },
     /// A constructor parameter was invalid (e.g. zero-sized mesh).
     BadParameter(String),
 }
@@ -46,7 +52,23 @@ impl fmt::Display for TopologyError {
             TopologyError::BadNodeAttachment { node } => {
                 write!(f, "node {node} attachment does not match port table")
             }
-            TopologyError::Disconnected => write!(f, "network graph is not connected"),
+            TopologyError::Disconnected { unreachable } => {
+                write!(
+                    f,
+                    "network graph is not connected: {} router(s) unreachable from router 0 (",
+                    unreachable.len()
+                )?;
+                for (i, r) in unreachable.iter().take(8).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                if unreachable.len() > 8 {
+                    write!(f, ", ...")?;
+                }
+                write!(f, ")")
+            }
             TopologyError::BadParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }

@@ -147,11 +147,21 @@ impl Topology {
         };
         topo.validate()?;
         topo.dist = topo.all_pairs_bfs();
-        // Reachability check: every router must reach every other.
-        for row in &topo.dist {
-            if row.contains(&u32::MAX) {
-                return Err(TopologyError::Disconnected);
-            }
+        // Reachability check: every router must reach every other. Links
+        // are symmetric (validated above), so row 0 decides connectivity
+        // and doubles as the partition witness.
+        let unreachable: Vec<RouterId> = topo
+            .dist
+            .first()
+            .map(|row| row.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == u32::MAX)
+            .map(|(r, _)| RouterId(r as u32))
+            .collect();
+        if !unreachable.is_empty() {
+            return Err(TopologyError::Disconnected { unreachable });
         }
         Ok(topo)
     }
@@ -361,6 +371,135 @@ impl Topology {
             .flat_map(|row| row.iter().copied())
             .max()
             .unwrap_or(0)
+    }
+
+    // ---- runtime link faults --------------------------------------------
+
+    /// Checks whether removing the bidirectional link at `(r, p)` would
+    /// disconnect the network, without modifying anything.
+    ///
+    /// Returns the peer endpoint on success. Fails with
+    /// [`TopologyError::BadParameter`] if `(r, p)` is not a connected
+    /// network port, or [`TopologyError::Disconnected`] — carrying the
+    /// partition witness — if the network would fall apart. This is the
+    /// same check [`Topology::with_failed_links`] applies to static
+    /// pre-failed links; the runtime fault stage reuses it so a kill that
+    /// would disconnect is rejected (and traced) instead of applied.
+    ///
+    /// [`Topology::with_failed_links`]: Topology::with_failed_links
+    pub fn check_link_removal(&self, r: RouterId, p: PortId) -> Result<PortConn, TopologyError> {
+        let Some(peer) = self
+            .ports
+            .get(r.index())
+            .and_then(|ps| ps.get(p.index()))
+            .and_then(|port| port.conn)
+        else {
+            return Err(TopologyError::BadParameter(format!(
+                "({r}, {p}) is not a connected network port"
+            )));
+        };
+        // BFS from router 0 skipping both directions of the doomed link.
+        let me = PortConn { router: r, port: p };
+        let n = self.ports.len();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        while let Some(at) = queue.pop_front() {
+            for (i, port) in self.ports[at].iter().enumerate() {
+                let from = PortConn {
+                    router: RouterId(at as u32),
+                    port: PortId(i as u8),
+                };
+                if from == me || from == peer {
+                    continue;
+                }
+                if let Some(next) = port.conn {
+                    let idx = next.router.index();
+                    if !seen[idx] {
+                        seen[idx] = true;
+                        queue.push_back(idx);
+                    }
+                }
+            }
+        }
+        let unreachable: Vec<RouterId> = seen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ok)| !ok)
+            .map(|(i, _)| RouterId(i as u32))
+            .collect();
+        if unreachable.is_empty() {
+            Ok(peer)
+        } else {
+            Err(TopologyError::Disconnected { unreachable })
+        }
+    }
+
+    /// Removes the bidirectional link at `(r, p)` in place — a runtime
+    /// link fault — and recomputes the distance tables.
+    ///
+    /// The removal is rejected with nothing modified if it would
+    /// disconnect the network (see [`Topology::check_link_removal`]).
+    /// Returns `(local endpoint, peer endpoint, latency)` so the caller
+    /// can later undo the fault with [`Topology::restore_link`].
+    ///
+    /// The topology [`kind`](Topology::kind) is deliberately left
+    /// unchanged (a degraded mesh still answers [`coords`](Topology::coords)
+    /// etc.); algorithms that rely on full regularity — e.g. dimension-order
+    /// escape routes — must not be combined with runtime faults.
+    pub fn fail_link(
+        &mut self,
+        r: RouterId,
+        p: PortId,
+    ) -> Result<(PortConn, PortConn, u32), TopologyError> {
+        let peer = self.check_link_removal(r, p)?;
+        let latency = self.ports[r.index()][p.index()].latency;
+        self.ports[r.index()][p.index()] = Port::unconnected();
+        self.ports[peer.router.index()][peer.port.index()] = Port::unconnected();
+        self.dist = self.all_pairs_bfs();
+        Ok((PortConn { router: r, port: p }, peer, latency))
+    }
+
+    /// Restores a link previously removed by [`Topology::fail_link`] (a
+    /// runtime heal) and recomputes the distance tables. Both endpoints
+    /// must currently be unconnected non-local ports.
+    pub fn restore_link(
+        &mut self,
+        a: PortConn,
+        b: PortConn,
+        latency: u32,
+    ) -> Result<(), TopologyError> {
+        for e in [a, b] {
+            let port = self
+                .ports
+                .get(e.router.index())
+                .and_then(|ps| ps.get(e.port.index()))
+                .ok_or_else(|| {
+                    TopologyError::BadParameter(format!(
+                        "({}, {}) does not exist",
+                        e.router, e.port
+                    ))
+                })?;
+            if port.conn.is_some() || port.node.is_some() {
+                return Err(TopologyError::BadParameter(format!(
+                    "({}, {}) is not an unconnected network port",
+                    e.router, e.port
+                )));
+            }
+        }
+        self.ports[a.router.index()][a.port.index()] = Port {
+            conn: Some(b),
+            node: None,
+            latency,
+        };
+        self.ports[b.router.index()][b.port.index()] = Port {
+            conn: Some(a),
+            node: None,
+            latency,
+        };
+        self.dist = self.all_pairs_bfs();
+        Ok(())
     }
 
     // ---- mesh / torus helpers -------------------------------------------

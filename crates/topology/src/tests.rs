@@ -1,6 +1,6 @@
 use crate::{Topology, TopologyError, TopologyKind};
 use proptest::prelude::*;
-use spin_types::{Direction, NodeId, PortId, RouterId};
+use spin_types::{Direction, NodeId, PortConn, PortId, RouterId};
 
 #[test]
 fn mesh_basic_shape() {
@@ -153,11 +153,13 @@ fn irregular_rejects_bad_edges() {
     assert!(Topology::irregular(3, &[(0, 0)], 1).is_err());
     assert!(Topology::irregular(3, &[(0, 5)], 1).is_err());
     assert!(Topology::irregular(3, &[(0, 1), (1, 0)], 1).is_err());
-    // Disconnected: 0-1 only, router 2 isolated.
-    assert!(matches!(
-        Topology::irregular(3, &[(0, 1)], 1),
-        Err(TopologyError::Disconnected)
-    ));
+    // Disconnected: 0-1 only, router 2 isolated — the witness names it.
+    match Topology::irregular(3, &[(0, 1)], 1) {
+        Err(TopologyError::Disconnected { unreachable }) => {
+            assert_eq!(unreachable, vec![RouterId(2)]);
+        }
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
 }
 
 #[test]
@@ -316,8 +318,81 @@ fn failed_links_disconnecting_rejected() {
     let t = Topology::mesh(2, 2);
     // Cut both links of r0: disconnects it.
     let cut = [(RouterId(0), PortId(1)), (RouterId(0), PortId(2))];
+    match t.with_failed_links(&cut) {
+        Err(TopologyError::Disconnected { unreachable }) => {
+            // 2x2 mesh: cutting both of r0's links strands it; the witness
+            // is relative to router 0, so it names everyone else.
+            assert_eq!(unreachable, vec![RouterId(1), RouterId(2), RouterId(3)]);
+        }
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+}
+
+#[test]
+fn runtime_fail_and_restore_link() {
+    let mut t = Topology::mesh(4, 4);
+    assert_eq!(t.dist(RouterId(0), RouterId(4)), 1);
+
+    // Kill r0's North link (to r4) in place.
+    let (a, b, lat) = t.fail_link(RouterId(0), PortId(1)).unwrap();
+    assert_eq!(
+        b,
+        PortConn {
+            router: RouterId(4),
+            port: PortId(3)
+        }
+    );
+    assert!(t.neighbor(RouterId(0), PortId(1)).is_none());
+    assert!(t.neighbor(RouterId(4), PortId(3)).is_none());
+    // Distances re-derived in place.
+    assert_eq!(t.dist(RouterId(0), RouterId(4)), 3);
+    // Kind survives so coordinate helpers keep working on the degraded mesh.
+    assert_eq!(t.coords(RouterId(5)), (1, 1));
+
+    // Killing the same (now dead) port again is a parameter error.
     assert!(matches!(
-        t.with_failed_links(&cut),
-        Err(TopologyError::Disconnected)
+        t.fail_link(RouterId(0), PortId(1)),
+        Err(TopologyError::BadParameter(_))
     ));
+    // Killing a local port is a parameter error.
+    assert!(matches!(
+        t.fail_link(RouterId(0), PortId(0)),
+        Err(TopologyError::BadParameter(_))
+    ));
+
+    // Heal: back to the original distances.
+    t.restore_link(a, b, lat).unwrap();
+    assert_eq!(t.dist(RouterId(0), RouterId(4)), 1);
+    assert_eq!(
+        t.neighbor(RouterId(0), PortId(1)),
+        Some(PortConn {
+            router: RouterId(4),
+            port: PortId(3)
+        })
+    );
+    // Restoring an already-connected port is rejected.
+    assert!(t.restore_link(a, b, lat).is_err());
+}
+
+#[test]
+fn runtime_fail_rejects_disconnecting_cut_with_witness() {
+    // Line 0-1-2: cutting 1-2 strands router 2; nothing is modified.
+    let mut t = Topology::irregular(3, &[(0, 1), (1, 2)], 1).unwrap();
+    let p12 = t
+        .network_ports(RouterId(1))
+        .iter()
+        .copied()
+        .find(|&p| t.neighbor(RouterId(1), p).unwrap().router == RouterId(2))
+        .unwrap();
+    match t.fail_link(RouterId(1), p12) {
+        Err(TopologyError::Disconnected { unreachable }) => {
+            assert_eq!(unreachable, vec![RouterId(2)]);
+            let msg = TopologyError::Disconnected { unreachable }.to_string();
+            assert!(msg.contains("unreachable"), "{msg}");
+        }
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+    // Untouched: the link is still up.
+    assert_eq!(t.dist(RouterId(0), RouterId(2)), 2);
+    assert!(t.neighbor(RouterId(1), p12).is_some());
 }

@@ -45,7 +45,8 @@ pub fn to_string(records: &[TraceRecord]) -> String {
         .filter_map(|r| match r.event {
             TraceEvent::PacketInject { .. }
             | TraceEvent::PacketEject { .. }
-            | TraceEvent::GroundTruthDeadlock { .. } => None,
+            | TraceEvent::GroundTruthDeadlock { .. }
+            | TraceEvent::RerouteComputed { .. } => None,
             TraceEvent::PacketHop { router, .. }
             | TraceEvent::VcAllocated { router, .. }
             | TraceEvent::ProbeLaunch { router, .. }
@@ -58,7 +59,12 @@ pub fn to_string(records: &[TraceRecord]) -> String {
             | TraceEvent::SpinStart { router, .. }
             | TraceEvent::SpinComplete { router, .. }
             | TraceEvent::DeadlockResolved { router }
-            | TraceEvent::FalsePositive { router, .. } => Some(router.0 + 1),
+            | TraceEvent::FalsePositive { router, .. }
+            | TraceEvent::LinkFailed { router, .. }
+            | TraceEvent::LinkHealed { router, .. }
+            | TraceEvent::LinkKillRejected { router, .. }
+            | TraceEvent::PacketRerouted { router, .. }
+            | TraceEvent::PacketDroppedByFault { router, .. } => Some(router.0 + 1),
         })
         .collect();
     router_pids.sort_unstable();
@@ -262,6 +268,91 @@ pub fn to_string(records: &[TraceRecord]) -> String {
                     ts,
                     0,
                     &format_args_str(&[("routers", routers as u64)]),
+                );
+            }
+            TraceEvent::LinkFailed {
+                router,
+                port,
+                peer_router,
+                peer_port,
+            } => {
+                instant(
+                    &mut buf,
+                    "link_failed",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[
+                        ("port", port.0 as u64),
+                        ("peer_router", peer_router.0 as u64),
+                        ("peer_port", peer_port.0 as u64),
+                    ]),
+                );
+            }
+            TraceEvent::LinkHealed {
+                router,
+                port,
+                peer_router,
+                peer_port,
+            } => {
+                instant(
+                    &mut buf,
+                    "link_healed",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[
+                        ("port", port.0 as u64),
+                        ("peer_router", peer_router.0 as u64),
+                        ("peer_port", peer_port.0 as u64),
+                    ]),
+                );
+            }
+            TraceEvent::LinkKillRejected {
+                router,
+                port,
+                unreachable,
+            } => {
+                instant(
+                    &mut buf,
+                    "link_kill_rejected",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[
+                        ("port", port.0 as u64),
+                        ("unreachable", unreachable as u64),
+                    ]),
+                );
+            }
+            TraceEvent::RerouteComputed {
+                links_down,
+                cleared,
+            } => {
+                instant(
+                    &mut buf,
+                    "reroute_computed",
+                    ts,
+                    0,
+                    &format_args_str(&[
+                        ("links_down", links_down as u64),
+                        ("cleared", cleared as u64),
+                    ]),
+                );
+            }
+            TraceEvent::PacketRerouted { packet, router } => {
+                instant(
+                    &mut buf,
+                    "packet_rerouted",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[("packet", packet.0)]),
+                );
+            }
+            TraceEvent::PacketDroppedByFault { packet, router } => {
+                instant(
+                    &mut buf,
+                    "packet_dropped_by_fault",
+                    ts,
+                    router.0 + 1,
+                    &format_args_str(&[("packet", packet.0)]),
                 );
             }
         }

@@ -162,6 +162,49 @@ pub fn write_record(out: &mut String, rec: &TraceRecord) {
         TraceEvent::GroundTruthDeadlock { routers } => {
             let _ = write!(out, ",\"routers\":{}", routers);
         }
+        TraceEvent::LinkFailed {
+            router,
+            port,
+            peer_router,
+            peer_port,
+        }
+        | TraceEvent::LinkHealed {
+            router,
+            port,
+            peer_router,
+            peer_port,
+        } => {
+            let _ = write!(
+                out,
+                ",\"router\":{},\"port\":{},\"peer_router\":{},\"peer_port\":{}",
+                router.0, port.0, peer_router.0, peer_port.0
+            );
+        }
+        TraceEvent::LinkKillRejected {
+            router,
+            port,
+            unreachable,
+        } => {
+            let _ = write!(
+                out,
+                ",\"router\":{},\"port\":{},\"unreachable\":{}",
+                router.0, port.0, unreachable
+            );
+        }
+        TraceEvent::RerouteComputed {
+            links_down,
+            cleared,
+        } => {
+            let _ = write!(
+                out,
+                ",\"links_down\":{},\"cleared\":{}",
+                links_down, cleared
+            );
+        }
+        TraceEvent::PacketRerouted { packet, router }
+        | TraceEvent::PacketDroppedByFault { packet, router } => {
+            let _ = write!(out, ",\"packet\":{},\"router\":{}", packet.0, router.0);
+        }
     }
     out.push_str("}\n");
 }

@@ -272,6 +272,67 @@ pub enum TraceEvent {
         /// Number of routers holding deadlocked packets.
         routers: u32,
     },
+    /// A runtime fault killed the bidirectional link between two router
+    /// ports (see `docs/FAULTS.md`); both directions went down atomically
+    /// between cycles.
+    LinkFailed {
+        /// Local endpoint router.
+        router: RouterId,
+        /// Local endpoint port.
+        port: PortId,
+        /// Peer endpoint router.
+        peer_router: RouterId,
+        /// Peer endpoint port.
+        peer_port: PortId,
+    },
+    /// A previously killed link came back up (runtime heal).
+    LinkHealed {
+        /// Local endpoint router.
+        router: RouterId,
+        /// Local endpoint port.
+        port: PortId,
+        /// Peer endpoint router.
+        peer_router: RouterId,
+        /// Peer endpoint port.
+        peer_port: PortId,
+    },
+    /// A scheduled link kill was rejected because it would disconnect the
+    /// network; the link stays up.
+    LinkKillRejected {
+        /// Router of the rejected kill.
+        router: RouterId,
+        /// Port of the rejected kill.
+        port: PortId,
+        /// Size of the partition witness (routers that would have become
+        /// unreachable); 0 when the kill targeted a port that is not a
+        /// connected network port.
+        unreachable: u32,
+    },
+    /// Routing state was re-derived after a link kill or heal: distance
+    /// tables rebuilt, stale adaptive route choices invalidated.
+    RerouteComputed {
+        /// Network links currently down (directed count / 2).
+        links_down: u32,
+        /// Buffered head packets whose stale route choice was cleared.
+        cleared: u32,
+    },
+    /// A packet that had already claimed the dead link (downstream VC
+    /// reserved, no flit sent yet) was torn off it and will re-route.
+    PacketRerouted {
+        /// The packet.
+        packet: PacketId,
+        /// Router where it was re-routed.
+        router: RouterId,
+    },
+    /// A packet physically astride the dead link (flits on the wire or
+    /// split across the endpoints) was removed from the network and
+    /// accounted as dropped-by-fault.
+    PacketDroppedByFault {
+        /// The packet.
+        packet: PacketId,
+        /// Upstream endpoint router of the dead link.
+        router: RouterId,
+    },
 }
 
 impl TraceEvent {
@@ -294,11 +355,22 @@ impl TraceEvent {
             TraceEvent::DeadlockResolved { .. } => "deadlock_resolved",
             TraceEvent::FalsePositive { .. } => "false_positive",
             TraceEvent::GroundTruthDeadlock { .. } => "ground_truth_deadlock",
+            TraceEvent::LinkFailed { .. } => "link_failed",
+            TraceEvent::LinkHealed { .. } => "link_healed",
+            TraceEvent::LinkKillRejected { .. } => "link_kill_rejected",
+            TraceEvent::RerouteComputed { .. } => "reroute_computed",
+            TraceEvent::PacketRerouted { .. } => "packet_rerouted",
+            TraceEvent::PacketDroppedByFault { .. } => "packet_dropped_by_fault",
         }
     }
 
-    /// The packet this event is about, for packet-scoped events
+    /// The packet this event is about, for packet-*lifecycle* events
     /// (inject/hop/alloc/eject); `None` for protocol-scoped events.
+    /// Fault events ([`TraceEvent::PacketRerouted`],
+    /// [`TraceEvent::PacketDroppedByFault`]) also return `None` even
+    /// though they name a packet: they are part of the fault narrative
+    /// and must survive packet sampling — the fault-accounting tests sum
+    /// them against injections.
     pub fn packet(&self) -> Option<PacketId> {
         match *self {
             TraceEvent::PacketInject { packet, .. }

@@ -81,3 +81,54 @@ pub trait TrafficSource {
     /// reporting only).
     fn offered_load(&self) -> f64;
 }
+
+/// Wraps any source and stops offering new packets at a fixed cycle —
+/// the standard shape of a drain experiment (inject for a window, then
+/// let the network empty so conservation can be checked exactly).
+///
+/// Delivery callbacks still reach the inner source (request/reply sources
+/// keep their bookkeeping), but nothing new is generated at or after
+/// `stop_at`.
+///
+/// # Examples
+///
+/// ```
+/// use spin_topology::Topology;
+/// use spin_traffic::{Pattern, StopAfter, SyntheticConfig, SyntheticTraffic, TrafficSource};
+/// use spin_types::NodeId;
+///
+/// let topo = Topology::mesh(4, 4);
+/// let inner = SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, 0.5), &topo, 1);
+/// let mut src = StopAfter::new(inner, 10);
+/// assert!(src.generate(NodeId(0), 10).is_none());
+/// ```
+#[derive(Debug)]
+pub struct StopAfter<T> {
+    inner: T,
+    stop_at: Cycle,
+}
+
+impl<T: TrafficSource> StopAfter<T> {
+    /// Wraps `inner`, silencing it from cycle `stop_at` onwards.
+    pub fn new(inner: T, stop_at: Cycle) -> Self {
+        StopAfter { inner, stop_at }
+    }
+}
+
+impl<T: TrafficSource> TrafficSource for StopAfter<T> {
+    fn generate(&mut self, node: NodeId, now: Cycle) -> Option<PacketSpec> {
+        if now >= self.stop_at {
+            None
+        } else {
+            self.inner.generate(node, now)
+        }
+    }
+
+    fn delivered(&mut self, spec: &PacketSpec, src: NodeId, now: Cycle) {
+        self.inner.delivered(spec, src, now);
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.inner.offered_load()
+    }
+}

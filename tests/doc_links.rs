@@ -145,6 +145,12 @@ fn protocol_doc_names_every_trace_event() {
         "deadlock_resolved",
         "false_positive",
         "ground_truth_deadlock",
+        "link_failed",
+        "link_healed",
+        "link_kill_rejected",
+        "reroute_computed",
+        "packet_rerouted",
+        "packet_dropped_by_fault",
     ] {
         assert!(
             doc.contains(name),
