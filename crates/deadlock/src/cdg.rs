@@ -49,13 +49,16 @@ impl<C: Eq + Hash + Clone> Cdg<C> {
     }
 
     /// Adds the dependency `from -> to` (a packet in `from` may wait for
-    /// `to`). Self-dependencies are rejected as they would trivially cycle.
+    /// `to`).
     ///
-    /// # Panics
-    ///
-    /// Panics if `from == to`.
+    /// A self-dependency (`from == to`) is *recorded* rather than rejected:
+    /// it shows up as a 1-cycle in [`Cdg::find_cycle`] and in
+    /// [`Cdg::self_cycles`], so a derived CDG fed a buggy routing function
+    /// produces a diagnosis instead of a panic. No legitimate routing
+    /// function generates one — a packet cannot re-request the directed
+    /// link it already holds — so any 1-cycle means the edge source is
+    /// wrong, not the network.
     pub fn add_dependency(&mut self, from: C, to: C) {
-        assert!(from != to, "self-dependency is a trivial cycle");
         let f = self.intern(from);
         let t = self.intern(to);
         if !self.edges[f].contains(&t) {
@@ -71,6 +74,47 @@ impl<C: Eq + Hash + Clone> Cdg<C> {
     /// Number of dependency edges.
     pub fn num_dependencies(&self) -> usize {
         self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The interned index of `c`, if it was ever added.
+    pub fn index_of(&self, c: &C) -> Option<usize> {
+        self.index.get(c).copied()
+    }
+
+    /// The channel interned at `index` (indices are dense: `0..num_channels`,
+    /// in first-insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_channels()`.
+    pub fn channel(&self, index: usize) -> &C {
+        &self.channels[index]
+    }
+
+    /// All channels in insertion order.
+    pub fn channels(&self) -> &[C] {
+        &self.channels
+    }
+
+    /// Successor indices of the channel at `index` (insertion order, no
+    /// duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_channels()`.
+    pub fn deps_of(&self, index: usize) -> &[usize] {
+        &self.edges[index]
+    }
+
+    /// Channels carrying a self-dependency — each is a reported 1-cycle
+    /// (see [`Cdg::add_dependency`]). Empty for every well-formed CDG.
+    pub fn self_cycles(&self) -> Vec<&C> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(i, succ)| succ.contains(i))
+            .map(|(i, _)| &self.channels[i])
+            .collect()
     }
 
     /// True if the graph has no cycle (Dally's sufficient condition for
@@ -178,11 +222,33 @@ mod tests {
         assert_eq!(g.num_dependencies(), 1);
     }
 
+    /// Regression test for the panic this used to be: a self-dependency is
+    /// now recorded and reported as a 1-cycle so callers deriving CDGs from
+    /// arbitrary routing functions get a diagnosis instead of an abort.
     #[test]
-    #[should_panic(expected = "self-dependency")]
-    fn self_edge_rejected() {
+    fn self_edge_reported_as_unit_cycle() {
         let mut g = Cdg::new();
         g.add_dependency(7, 7);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle(), Some(vec![7, 7]));
+        assert_eq!(g.self_cycles(), vec![&7]);
+        // A well-formed graph reports no self-cycles.
+        let mut ok = Cdg::new();
+        ok.add_dependency(1, 2);
+        assert!(ok.self_cycles().is_empty());
+    }
+
+    #[test]
+    fn accessors_expose_interned_graph() {
+        let mut g = Cdg::new();
+        g.add_dependency("a", "b");
+        g.add_dependency("b", "c");
+        assert_eq!(g.channels(), &["a", "b", "c"]);
+        assert_eq!(g.index_of(&"b"), Some(1));
+        assert_eq!(g.index_of(&"z"), None);
+        assert_eq!(g.channel(2), &"c");
+        assert_eq!(g.deps_of(0), &[1]);
+        assert_eq!(g.deps_of(2), &[] as &[usize]);
     }
 
     #[test]

@@ -48,9 +48,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod cdg;
 mod wait_graph;
 
 pub use cdg::Cdg;
-pub use wait_graph::{BufferId, WaitGraph};
+pub use wait_graph::{BufferId, PortKey, WaitGraph};

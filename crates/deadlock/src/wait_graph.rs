@@ -16,7 +16,9 @@ pub struct BufferId {
     pub vc: VcId,
 }
 
-type PortKey = (RouterId, PortId, Vnet);
+/// An input port's buffer pool within one vnet — the granularity at which
+/// free capacity is tracked and waits are expressed.
+pub type PortKey = (RouterId, PortId, Vnet);
 
 #[derive(Debug, Clone)]
 struct Waiter {
@@ -131,6 +133,23 @@ impl WaitGraph {
         self.deadlocked().binary_search(&packet).is_ok()
     }
 
+    /// The deadlocked packets with the buffer each occupies and its wait
+    /// OR-set, sorted by packet id (one entry per occupied buffer; a packet
+    /// split across buffers by a spin appears once per buffer). This is the
+    /// interface the static cross-validation hook consumes: the occupied
+    /// buffers must map onto a cycle of the statically derived CDG.
+    pub fn deadlocked_members(&self) -> Vec<(PacketId, BufferId, Vec<PortKey>)> {
+        let dead = self.deadlocked();
+        let mut members: Vec<(PacketId, BufferId, Vec<PortKey>)> = self
+            .waiters
+            .iter()
+            .filter(|w| dead.binary_search(&w.packet).is_ok())
+            .map(|w| (w.packet, w.at, w.wants.clone()))
+            .collect();
+        members.sort_unstable_by_key(|(p, at, _)| (*p, *at));
+        members
+    }
+
     /// The routers owning at least one deadlocked packet's buffer (sorted).
     pub fn deadlocked_routers(&self) -> Vec<RouterId> {
         let dead = self.deadlocked();
@@ -183,6 +202,21 @@ mod tests {
         assert_eq!(g.deadlocked().len(), 4);
         assert_eq!(g.deadlocked_routers().len(), 4);
         assert!(g.is_packet_deadlocked(PacketId(2)));
+    }
+
+    #[test]
+    fn members_report_buffers_and_wants() {
+        let g = ring(3);
+        let members = g.deadlocked_members();
+        assert_eq!(members.len(), 3);
+        // Sorted by packet id; each occupies its buffer and wants the next.
+        for (i, (pkt, at, wants)) in members.iter().enumerate() {
+            assert_eq!(*pkt, PacketId(i as u64));
+            assert_eq!(*at, buf(i as u32, 1));
+            assert_eq!(wants, &vec![key((i as u32 + 1) % 3, 1)]);
+        }
+        // Live graphs report no members.
+        assert!(WaitGraph::new().deadlocked_members().is_empty());
     }
 
     #[test]

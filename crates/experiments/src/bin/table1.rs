@@ -35,6 +35,12 @@ fn mesh_cdg(
             }
         }
     }
+    // Self-dependencies are recorded (not fatal) since the CDG learned to
+    // report them as 1-cycles; a turn-rule mesh CDG must never have any.
+    assert!(
+        cdg.self_cycles().is_empty(),
+        "mesh turn-rule CDG produced a self-dependency"
+    );
     cdg
 }
 

@@ -1,0 +1,52 @@
+//! Whole-matrix static deadlock verification — regenerates the golden
+//! `results/verify_matrix.json` CI diffs on every build.
+//!
+//! For every `(topology, routing, VC count)` configuration in
+//! `spin_verify::standard_configs()` the real routing implementation is
+//! walked over the real topology to derive its channel dependency graph,
+//! which is then classified (Dally acyclicity, Duato escape VC, or
+//! SPIN-recoverable) with elementary rings and per-ring spin bounds
+//! enumerated. The output is deterministic at any thread count.
+//!
+//! Usage: `verify`
+
+use spin_experiments::verify_matrix::{matrix_json, matrix_reports};
+use spin_experiments::{json, num_threads};
+
+fn main() {
+    let reports = matrix_reports(num_threads());
+    println!("# Static verification matrix ({} configs)\n", reports.len());
+    println!(
+        "{:<32} {:<22} {:>6} {:>8} {:>6} {:>6} {:>7}",
+        "config", "classification", "chans", "deps", "rings", "girth", "bound"
+    );
+    for r in &reports {
+        let girth = r.girth.map_or("-".to_string(), |g| g.to_string());
+        let bound = r.max_spin_bound.map_or("-".to_string(), |b| b.to_string());
+        let rings = if r.rings_truncated {
+            format!("{}+", r.rings_enumerated)
+        } else {
+            r.rings_enumerated.to_string()
+        };
+        println!(
+            "{:<32} {:<22} {:>6} {:>8} {:>6} {:>6} {:>7}",
+            r.name, r.classification, r.channels, r.dependencies, rings, girth, bound
+        );
+    }
+    let free = reports
+        .iter()
+        .filter(|r| r.classification != "recovery_required")
+        .count();
+    println!(
+        "\n# {} deadlock-free (incl. escape), {} recovery-required",
+        free,
+        reports.len() - free
+    );
+    match json::write_results("verify_matrix", &matrix_json(&reports)) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("# could not write results/verify_matrix.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //! | `trace`  | Observability demo — replays the deadlock scenario of      |
 //! |          | [`trace_scenario_builder`] and exports JSONL + Chrome      |
 //! |          | `trace_event` timelines plus epoch time-series metrics     |
+//! | `verify` | Static verification matrix — derives and classifies the    |
+//! |          | CDG of every standard `(topology, routing, VCs)` config    |
+//! |          | and regenerates the golden `results/verify_matrix.json`    |
 //!
 //! Every binary accepts `--quick` (reduced cycles/points for smoke runs),
 //! prints a plain-text table whose rows mirror the series the paper plots,
@@ -36,6 +39,7 @@
 
 pub mod fault;
 pub mod json;
+pub mod verify_matrix;
 
 use json::Json;
 use spin_core::SpinConfig;

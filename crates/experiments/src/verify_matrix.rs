@@ -1,0 +1,101 @@
+//! Emission of the static verification matrix (`spin-verify`) as the
+//! golden `results/verify_matrix.json` record CI diffs on every build.
+//!
+//! The analysis itself lives in `spin-verify`; this module owns the fan-out
+//! over the standard configurations and the JSON shape. Each configuration
+//! is analysed independently, so the matrix parallelises over the same
+//! thread pool the sweep runner uses — and because the analysis is a
+//! deterministic walk (no RNG, fixed iteration order) the emitted document
+//! is byte-identical at every thread count.
+
+use crate::json::{self, Json};
+use crate::parallel_map_with_threads;
+use spin_verify::{standard_configs, ConfigReport, DEFAULT_RING_CAP};
+
+/// Analyses every configuration of [`standard_configs`] on `threads`
+/// worker threads, preserving matrix order.
+pub fn matrix_reports(threads: usize) -> Vec<ConfigReport> {
+    let configs = standard_configs();
+    parallel_map_with_threads(&configs, threads, spin_verify::MatrixConfig::report)
+}
+
+/// The full `verify_matrix.json` document for a set of reports.
+pub fn matrix_json(reports: &[ConfigReport]) -> Json {
+    json::obj(vec![
+        ("experiment", "verify_matrix".into()),
+        ("ring_cap", Json::UInt(DEFAULT_RING_CAP as u64)),
+        (
+            "configs",
+            Json::Arr(reports.iter().map(report_json).collect()),
+        ),
+    ])
+}
+
+fn report_json(r: &ConfigReport) -> Json {
+    json::obj(vec![
+        ("name", r.name.as_str().into()),
+        ("topology", r.topology.as_str().into()),
+        ("routing", r.routing.as_str().into()),
+        ("num_vcs", Json::UInt(u64::from(r.num_vcs))),
+        ("misroute_bound", Json::UInt(u64::from(r.misroute_bound))),
+        ("classification", r.classification.as_str().into()),
+        ("channels", Json::UInt(r.channels as u64)),
+        ("dependencies", Json::UInt(r.dependencies as u64)),
+        ("rings_enumerated", Json::UInt(r.rings_enumerated as u64)),
+        ("rings_truncated", r.rings_truncated.into()),
+        (
+            "girth",
+            r.girth.map_or(Json::Null, |g| Json::UInt(g as u64)),
+        ),
+        (
+            "max_spin_bound",
+            r.max_spin_bound.map_or(Json::Null, Json::UInt),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_keeps_matrix_order_and_nulls_df_fields() {
+        let reports = vec![
+            ConfigReport {
+                name: "mesh4x4/xy/1vc".into(),
+                topology: "mesh4x4".into(),
+                routing: "xy".into(),
+                num_vcs: 1,
+                misroute_bound: 0,
+                classification: "deadlock_free".into(),
+                channels: 10,
+                dependencies: 12,
+                rings_enumerated: 0,
+                rings_truncated: false,
+                girth: None,
+                max_spin_bound: None,
+            },
+            ConfigReport {
+                name: "torus4x4/xy/1vc".into(),
+                topology: "torus4x4".into(),
+                routing: "xy".into(),
+                num_vcs: 1,
+                misroute_bound: 0,
+                classification: "recovery_required".into(),
+                channels: 20,
+                dependencies: 40,
+                rings_enumerated: 8,
+                rings_truncated: false,
+                girth: Some(4),
+                max_spin_bound: Some(3),
+            },
+        ];
+        let s = matrix_json(&reports).to_string();
+        let mesh = s.find("mesh4x4/xy/1vc").expect("first config present");
+        let torus = s.find("torus4x4/xy/1vc").expect("second config present");
+        assert!(mesh < torus, "configs must keep matrix order");
+        assert!(s.contains(r#""girth":null"#));
+        assert!(s.contains(r#""girth":4"#));
+        assert!(s.contains(r#""max_spin_bound":3"#));
+    }
+}

@@ -1,0 +1,64 @@
+//! The verification matrix must be thread-count-invariant and stay in sync
+//! with the committed golden `results/verify_matrix.json`.
+
+use spin_experiments::verify_matrix::{matrix_json, matrix_reports};
+
+#[test]
+fn matrix_json_is_identical_at_any_thread_count() {
+    let one = matrix_json(&matrix_reports(1)).pretty();
+    let four = matrix_json(&matrix_reports(4)).pretty();
+    assert_eq!(one, four, "matrix emission depends on thread count");
+}
+
+#[test]
+fn matrix_matches_the_committed_golden_file() {
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/verify_matrix.json");
+    let committed = std::fs::read_to_string(&golden)
+        .expect("results/verify_matrix.json is committed; regenerate with the `verify` binary");
+    let mut fresh = matrix_json(&matrix_reports(1)).pretty();
+    fresh.push('\n'); // write_results ends the file with a newline
+    assert_eq!(
+        committed, fresh,
+        "committed verify_matrix.json is stale; rerun `cargo run -p spin-experiments --bin verify`"
+    );
+}
+
+#[test]
+fn matrix_pins_the_acceptance_verdicts() {
+    let reports = matrix_reports(1);
+    let get = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("config {name} missing from matrix"))
+    };
+    assert_eq!(get("mesh4x4/xy/1vc").classification, "deadlock_free");
+    assert_eq!(get("mesh8x8/xy/1vc").classification, "deadlock_free");
+    assert_eq!(
+        get("mesh4x4/escape_vc/2vc").classification,
+        "deadlock_free_escape"
+    );
+    for ud in [
+        "ring8/up_down/1vc",
+        "cmesh4x4c2/up_down/1vc",
+        "irregular12/up_down/1vc",
+        "mesh8x8_degraded2/up_down/1vc",
+    ] {
+        assert_eq!(get(ud).classification, "deadlock_free", "{ud}");
+    }
+    // Single-VC torus DOR and FAvORS everywhere: recovery-required with at
+    // least one enumerated ring and a finite bound.
+    for rr in [
+        "torus4x4/xy/1vc",
+        "mesh4x4/favors_min/1vc",
+        "torus4x4/favors_min/1vc",
+        "ring8/favors_min/1vc",
+        "dragonfly_p2a4h2g9/favors_min/1vc",
+    ] {
+        let r = get(rr);
+        assert_eq!(r.classification, "recovery_required", "{rr}");
+        assert!(r.rings_enumerated >= 1, "{rr} must enumerate a ring");
+        assert!(r.max_spin_bound.is_some(), "{rr} must carry a bound");
+    }
+}

@@ -265,6 +265,11 @@ pub struct ReservedVcAdaptive {
 
 impl ReservedVcAdaptive {
     /// Reserves the last of `num_vcs` VCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs < 2`: the design needs at least one normal VC
+    /// alongside the reserved recovery VC.
     pub fn new(num_vcs: u8) -> Self {
         assert!(
             num_vcs >= 2,
@@ -453,6 +458,9 @@ mod tests {
                 }
             }
         }
+        // `add_dependency` records self-loops as 1-cycles instead of
+        // panicking; a mesh turn rule must never produce one.
+        assert!(cdg.self_cycles().is_empty());
         cdg
     }
 

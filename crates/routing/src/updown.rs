@@ -40,6 +40,11 @@ pub struct UpDown {
 impl UpDown {
     /// Computes the spanning-tree labelling and phase-distance tables for
     /// `topo` (root = router 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` is malformed: a network port must connect to a
+    /// peer (dead ports are excluded by `network_ports`).
     pub fn new(topo: &Topology) -> Self {
         let n = topo.num_routers();
         // BFS levels from the root.

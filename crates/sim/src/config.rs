@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use crate::network::Network;
+use crate::static_model::StaticModel;
 use crate::stats::series::EpochConfig;
 use spin_core::SpinConfig;
 use spin_routing::Routing;
@@ -143,6 +144,7 @@ pub struct NetworkBuilder {
     pub(crate) spin: Option<SpinConfig>,
     pub(crate) trace: Option<Box<dyn TraceSink>>,
     pub(crate) faults: FaultPlan,
+    pub(crate) static_model: Option<Box<dyn StaticModel>>,
 }
 
 impl NetworkBuilder {
@@ -156,6 +158,7 @@ impl NetworkBuilder {
             spin: None,
             trace: None,
             faults: FaultPlan::new(),
+            static_model: None,
         }
     }
 
@@ -207,6 +210,16 @@ impl NetworkBuilder {
     /// per potential emission site.
     pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Installs a static deadlock oracle for cross-validation: every
+    /// ground-truth deadlock detection is checked against it and spin
+    /// budgets are tracked per episode (see [`crate::static_model`] and
+    /// `docs/VERIFY.md`). Without one — the default — the hook costs a
+    /// single branch per periodic ground-truth check.
+    pub fn static_model(mut self, model: Box<dyn StaticModel>) -> Self {
+        self.static_model = Some(model);
         self
     }
 

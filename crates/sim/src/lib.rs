@@ -69,6 +69,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod config;
 mod debug;
@@ -78,6 +79,7 @@ mod network;
 mod nic;
 mod pipeline;
 mod router;
+pub mod static_model;
 mod stats;
 mod store;
 mod vc;
@@ -85,6 +87,7 @@ mod vc;
 pub use config::{NetworkBuilder, SimConfig, Switching};
 pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use network::Network;
+pub use static_model::{EpisodeReport, RingMember, StaticModel};
 pub use stats::series::{latency_bucket, Epoch, EpochConfig, MetricsRing, LATENCY_BUCKETS};
 pub use stats::{LinkUse, NetStats};
 

@@ -76,6 +76,12 @@ pub struct Network {
     /// Links currently down: both endpoints plus the original latency, so
     /// a heal can restore the link exactly as built.
     pub(crate) dead_links: Vec<(PortConn, PortConn, u32)>,
+    /// Static deadlock oracle for cross-validation (see
+    /// [`crate::static_model`]); `None` (the default) disables the hook at
+    /// the cost of one branch per ground-truth check.
+    pub(crate) static_model: Option<Box<dyn crate::static_model::StaticModel>>,
+    /// Episode tracking and recorded violations for the static model.
+    pub(crate) xval: crate::static_model::CrossValidation,
 }
 
 impl Network {
@@ -175,6 +181,8 @@ impl Network {
             faults: b.faults,
             fault_cursor: 0,
             dead_links: Vec::new(),
+            static_model: b.static_model,
+            xval: crate::static_model::CrossValidation::default(),
             cfg: b.cfg,
             routing,
             traffic,
@@ -283,6 +291,11 @@ impl Network {
         for _ in 0..max_cycles {
             self.step();
             if self.now.is_multiple_of(check_every) {
+                if self.static_model.is_some() {
+                    // Cross-validate the detection against the static CDG
+                    // before (possibly) returning on it.
+                    self.static_model_check();
+                }
                 if self.trace_on() {
                     // With tracing on, record how wide the deadlock is.
                     let routers = self.wait_graph().deadlocked_routers();

@@ -1,0 +1,243 @@
+//! Cross-validation between the live simulator and a static deadlock model.
+//!
+//! A [`StaticModel`] is an oracle derived *offline* from the `(Topology,
+//! Routing, VC policy)` triple — in practice the derived channel-dependency
+//! graph built by the `spin-verify` crate (see `docs/VERIFY.md`). When one
+//! is installed via [`NetworkBuilder::static_model`], the simulator checks
+//! every ground-truth wait-graph deadlock it detects against the static
+//! theory:
+//!
+//! * **ring mapping** — the deadlocked buffers reported by
+//!   [`Network::wait_graph`] must induce a cycle in the static CDG. A
+//!   runtime deadlock over channels the static analysis considers acyclic
+//!   means either the analyzer missed a dependency or the simulator built
+//!   an impossible wait — both are bugs, so the mismatch is recorded as a
+//!   violation (tests assert the violation list stays empty).
+//! * **spin bound** — across one deadlock *episode* (first nonempty
+//!   detection until the deadlocked set empties again), the SPIN spins
+//!   initiated by the affected routers must not exceed the model's bound
+//!   for a ring of the episode's size (Theorems 1–2: `m-1` minimal,
+//!   `m*p + (m-1)` non-minimal).
+//!
+//! The hook is entirely pull-based: [`Network::static_model_check`] does
+//! nothing unless a model is installed, and the per-step cost of an
+//! installed-but-unchecked model is zero (no model, one `is_some` branch
+//! inside [`Network::run_until_deadlock`]'s existing periodic check).
+//!
+//! [`NetworkBuilder::static_model`]: crate::NetworkBuilder::static_model
+
+use crate::network::Network;
+use spin_deadlock::{BufferId, PortKey};
+use spin_types::{Cycle, PacketId, RouterId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One deadlocked packet as seen by the ground-truth wait-graph detector:
+/// where it sits and the downstream ports it is waiting on.
+#[derive(Debug, Clone)]
+pub struct RingMember {
+    /// The deadlocked packet.
+    pub packet: PacketId,
+    /// The input buffer its head flit occupies.
+    pub at: BufferId,
+    /// The downstream input ports of its (blocked) routing alternatives.
+    pub wants: Vec<PortKey>,
+}
+
+/// A static deadlock oracle the simulator can be cross-validated against.
+pub trait StaticModel: fmt::Debug + Send + Sync {
+    /// Short name for violation messages (e.g. the analyzed config).
+    fn name(&self) -> &str;
+
+    /// Checks that a detected deadlock is consistent with the static
+    /// model: every member buffer maps onto a known static channel and the
+    /// member set induces a cycle in the static CDG. `Err` describes the
+    /// mismatch.
+    fn check_members(&self, members: &[RingMember]) -> Result<(), String>;
+
+    /// The static spin bound for resolving a deadlock spanning `ring_len`
+    /// channels, or `None` if the model classified the configuration
+    /// deadlock-free (in which case any observed deadlock is itself a
+    /// violation).
+    fn spin_bound(&self, ring_len: usize) -> Option<u64>;
+}
+
+/// A closed cross-validation episode: one contiguous stretch of nonempty
+/// ground-truth deadlock detections, resolved.
+#[derive(Debug, Clone)]
+pub struct EpisodeReport {
+    /// Cycle of the first nonempty detection.
+    pub opened: Cycle,
+    /// Cycle the deadlocked set was first observed empty again.
+    pub closed: Cycle,
+    /// Distinct buffers that were deadlocked at some point in the episode.
+    pub channels: usize,
+    /// Distinct packets that were deadlocked at some point in the episode.
+    pub packets: usize,
+    /// Spins initiated by the episode's member routers while it was open.
+    pub spins: u64,
+    /// The static bound those spins were checked against.
+    pub bound: u64,
+}
+
+/// An open episode being tracked.
+#[derive(Debug)]
+pub(crate) struct Episode {
+    opened: Cycle,
+    channels: BTreeSet<BufferId>,
+    packets: BTreeSet<PacketId>,
+    routers: BTreeSet<RouterId>,
+    /// Per-router `spins_initiated` snapshot at open (indexed by router).
+    spins_at_open: Vec<u64>,
+}
+
+/// Cross-validation state carried by [`Network`].
+#[derive(Debug, Default)]
+pub(crate) struct CrossValidation {
+    pub(crate) episode: Option<Episode>,
+    pub(crate) violations: Vec<String>,
+    pub(crate) episodes: Vec<EpisodeReport>,
+}
+
+impl Network {
+    fn per_router_spins(&self) -> Vec<u64> {
+        self.agents
+            .iter()
+            .map(|a| a.stats().spins_initiated)
+            .collect()
+    }
+
+    /// Runs one cross-validation check against the installed
+    /// [`StaticModel`] (no-op without one): builds the ground-truth wait
+    /// graph, maps any deadlocked set onto the static CDG, and tracks the
+    /// open episode's spin budget. Violations accumulate in
+    /// [`Network::static_model_violations`].
+    pub fn static_model_check(&mut self) {
+        if self.static_model.is_none() {
+            return;
+        }
+        let members: Vec<RingMember> = self
+            .wait_graph()
+            .deadlocked_members()
+            .into_iter()
+            // Packets stuck in an injection (NIC-side local-port) queue are
+            // victims of the deadlock, not ring members: nothing in the
+            // network routes *into* a NIC buffer, so they hold no channel
+            // of the dependency ring and the static CDG rightly has no
+            // channel for them. Only network input buffers take part in
+            // the ring mapping and the spin accounting.
+            .filter(|(_, at, _)| self.topo.port(at.router, at.port).is_network())
+            .map(|(packet, at, wants)| RingMember { packet, at, wants })
+            .collect();
+        if members.is_empty() {
+            self.close_episode();
+            return;
+        }
+        // Open or extend the episode.
+        if self.xval.episode.is_none() {
+            self.xval.episode = Some(Episode {
+                opened: self.now,
+                channels: BTreeSet::new(),
+                packets: BTreeSet::new(),
+                routers: BTreeSet::new(),
+                spins_at_open: self.per_router_spins(),
+            });
+        }
+        let mut grew = false;
+        if let Some(ep) = self.xval.episode.as_mut() {
+            for m in &members {
+                grew |= ep.channels.insert(m.at);
+                ep.packets.insert(m.packet);
+                ep.routers.insert(m.at.router);
+            }
+        }
+        if grew {
+            // Only re-check the ring mapping when the member set actually
+            // gained a buffer; repeated detections of the same stuck ring
+            // would otherwise duplicate identical violations.
+            let verdict = match self.static_model.as_deref() {
+                Some(model) => model.check_members(&members).err().map(|e| {
+                    format!(
+                        "cycle {}: deadlock does not map onto static model `{}`: {e}",
+                        self.now,
+                        model.name()
+                    )
+                }),
+                None => None,
+            };
+            if let Some(v) = verdict {
+                self.xval.violations.push(v);
+            }
+        }
+    }
+
+    /// Closes the open episode (the deadlocked set came back empty) and
+    /// checks its spin budget against the static bound.
+    fn close_episode(&mut self) {
+        let Some(ep) = self.xval.episode.take() else {
+            return;
+        };
+        let now_spins = self.per_router_spins();
+        let spins: u64 = ep
+            .routers
+            .iter()
+            .map(|r| now_spins[r.index()] - ep.spins_at_open[r.index()])
+            .sum();
+        let m = ep.channels.len();
+        let (violation, bound) = match self.static_model.as_deref() {
+            Some(model) => match model.spin_bound(m) {
+                Some(bound) if spins <= bound => (None, bound),
+                Some(bound) => (
+                    Some(format!(
+                        "episode {}..{}: {} spins initiated by {} routers exceeds \
+                         static bound {} of model `{}` (ring size {})",
+                        ep.opened,
+                        self.now,
+                        spins,
+                        ep.routers.len(),
+                        bound,
+                        model.name(),
+                        m
+                    )),
+                    bound,
+                ),
+                None => (
+                    Some(format!(
+                        "episode {}..{}: ground truth deadlocked over {} buffers \
+                         but model `{}` classifies the configuration deadlock-free",
+                        ep.opened,
+                        self.now,
+                        m,
+                        model.name()
+                    )),
+                    0,
+                ),
+            },
+            None => (None, 0),
+        };
+        if let Some(v) = violation {
+            self.xval.violations.push(v);
+        } else if self.static_model.is_some() {
+            self.xval.episodes.push(EpisodeReport {
+                opened: ep.opened,
+                closed: self.now,
+                channels: ep.channels.len(),
+                packets: ep.packets.len(),
+                spins,
+                bound,
+            });
+        }
+    }
+
+    /// Cross-validation mismatches recorded so far (empty unless either
+    /// the static model or the simulator is wrong — tests treat any entry
+    /// as a hard failure).
+    pub fn static_model_violations(&self) -> &[String] {
+        &self.xval.violations
+    }
+
+    /// Cleanly closed (bound-respecting) cross-validation episodes.
+    pub fn static_model_episodes(&self) -> &[EpisodeReport] {
+        &self.xval.episodes
+    }
+}

@@ -1,0 +1,202 @@
+//! Classification of a derived CDG: deadlock-free (with certificate) or
+//! recovery-required (with enumerated rings and spin bounds).
+
+use crate::channel::Channel;
+use crate::derive::DerivedCdg;
+use crate::rings;
+use spin_routing::Routing;
+use spin_topology::Topology;
+use spin_types::VcId;
+
+/// Default cap on enumerated elementary cycles per configuration.
+pub const DEFAULT_RING_CAP: usize = 64;
+
+/// The static deadlock-freedom verdict for one `(Topology, Routing, VCs)`
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// The full CDG is acyclic (Dally & Seitz): no deadlock can form. The
+    /// certificate is a topological order of the channels.
+    DeadlockFree,
+    /// The full CDG is cyclic but `escape_vc` satisfies Duato's criterion:
+    /// every reachable state can fall back to it and its escape sub-CDG is
+    /// acyclic, so no deadlock can persist.
+    DeadlockFreeEscape {
+        /// The certified escape VC.
+        escape_vc: VcId,
+    },
+    /// The CDG has unavoidable cycles: deadlock is reachable and a
+    /// recovery mechanism (SPIN) is required.
+    RecoveryRequired,
+}
+
+impl Classification {
+    /// Stable snake_case label used in `verify_matrix.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Classification::DeadlockFree => "deadlock_free",
+            Classification::DeadlockFreeEscape { .. } => "deadlock_free_escape",
+            Classification::RecoveryRequired => "recovery_required",
+        }
+    }
+
+    /// True for both deadlock-free variants.
+    pub fn is_deadlock_free(&self) -> bool {
+        !matches!(self, Classification::RecoveryRequired)
+    }
+}
+
+/// One enumerated dependency ring with its SPIN recovery bound.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// The ring's channels in dependency order.
+    pub channels: Vec<Channel>,
+    /// The paper's bound on spins to resolve this ring: `m-1` for minimal
+    /// routing, `m*p + (m-1)` with misroute bound `p` otherwise
+    /// (Theorems 1–2).
+    pub spin_bound: u64,
+}
+
+/// The full static analysis of one configuration.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The derived CDG and escape bookkeeping.
+    pub derived: DerivedCdg,
+    /// The verdict.
+    pub classification: Classification,
+    /// Topological order over all channels when `DeadlockFree` (the
+    /// acyclicity certificate; every dependency goes forward in it).
+    pub certificate: Option<Vec<Channel>>,
+    /// Enumerated elementary rings when `RecoveryRequired` (capped).
+    pub rings: Vec<Ring>,
+    /// True if the ring cap truncated enumeration.
+    pub rings_truncated: bool,
+    /// Length of the shortest ring (exact even under truncation).
+    pub girth: Option<usize>,
+}
+
+impl Analysis {
+    /// Largest spin bound over the enumerated rings (`None` when
+    /// deadlock-free). Under truncation this is a bound over the
+    /// *enumerated* set only — the truncation flag says so explicitly.
+    pub fn max_spin_bound(&self) -> Option<u64> {
+        self.rings.iter().map(|r| r.spin_bound).max()
+    }
+}
+
+/// The paper's per-ring spin bound for ring length `m` and misroute bound
+/// `p`: `m-1` spins when routing is minimal, `m*p + (m-1)` otherwise.
+pub fn spin_bound(ring_len: usize, misroute_bound: u32) -> u64 {
+    let m = ring_len as u64;
+    m * u64::from(misroute_bound) + m.saturating_sub(1)
+}
+
+/// Runs the whole static analysis for one configuration: derive the CDG,
+/// try Dally (acyclic), then Duato (escape VC), else enumerate rings and
+/// bound their recovery cost.
+pub fn analyze(topo: &Topology, routing: &dyn Routing, num_vcs: u8, ring_cap: usize) -> Analysis {
+    let derived = DerivedCdg::derive(topo, routing, num_vcs);
+    let adj: Vec<Vec<usize>> = (0..derived.cdg.num_channels())
+        .map(|i| derived.cdg.deps_of(i).to_vec())
+        .collect();
+    if derived.cdg.is_acyclic() {
+        let order = topological_order(&adj);
+        let certificate = order
+            .iter()
+            .map(|&i| *derived.cdg.channel(i))
+            .collect::<Vec<_>>();
+        return Analysis {
+            derived,
+            classification: Classification::DeadlockFree,
+            certificate: Some(certificate),
+            rings: Vec::new(),
+            rings_truncated: false,
+            girth: None,
+        };
+    }
+    for v in 0..num_vcs {
+        if derived.escape_candidate(VcId(v)) {
+            return Analysis {
+                derived,
+                classification: Classification::DeadlockFreeEscape { escape_vc: VcId(v) },
+                certificate: None,
+                rings: Vec::new(),
+                rings_truncated: false,
+                girth: None,
+            };
+        }
+    }
+    let enumerated = rings::elementary_cycles(&adj, ring_cap);
+    let p = derived.misroute_bound;
+    let rings = enumerated
+        .rings
+        .iter()
+        .map(|ring| Ring {
+            channels: ring.iter().map(|&i| *derived.cdg.channel(i)).collect(),
+            spin_bound: spin_bound(ring.len(), p),
+        })
+        .collect();
+    let girth = rings::girth(&adj);
+    Analysis {
+        derived,
+        classification: Classification::RecoveryRequired,
+        certificate: None,
+        rings,
+        rings_truncated: enumerated.truncated,
+        girth,
+    }
+}
+
+/// Kahn topological order; only called on graphs already known acyclic.
+fn topological_order(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut indeg = vec![0usize; n];
+    for outs in adj {
+        for &w in outs {
+            indeg[w] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in &adj[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "topological_order on a cyclic graph");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_bounds_match_the_paper() {
+        // Minimal routing, 4-ring: at most m-1 = 3 spins.
+        assert_eq!(spin_bound(4, 0), 3);
+        // Non-minimal with p = 1: m*p + (m-1) = 4 + 3.
+        assert_eq!(spin_bound(4, 1), 7);
+        assert_eq!(spin_bound(8, 0), 7);
+        assert_eq!(spin_bound(1, 0), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Classification::DeadlockFree.label(), "deadlock_free");
+        assert_eq!(
+            Classification::DeadlockFreeEscape { escape_vc: VcId(0) }.label(),
+            "deadlock_free_escape"
+        );
+        assert_eq!(
+            Classification::RecoveryRequired.label(),
+            "recovery_required"
+        );
+        assert!(Classification::DeadlockFree.is_deadlock_free());
+        assert!(!Classification::RecoveryRequired.is_deadlock_free());
+    }
+}

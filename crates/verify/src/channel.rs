@@ -1,0 +1,61 @@
+//! The channel identity used by derived CDGs.
+
+use spin_types::{PortId, RouterId, VcId};
+use std::fmt;
+
+/// One virtual channel of one router input buffer: the buffer at `router`
+/// reached through its input port `port`, virtual channel `vc`.
+///
+/// This is the natural channel granularity for Dally-style analysis of an
+/// input-buffered router: a packet *holds* the input VC its head flit sits
+/// in and *requests* input VCs one hop downstream. It equals the
+/// simulator's [`spin_deadlock::BufferId`] minus the vnet — vnets are
+/// fully disjoint buffer pools with identical structure, so one CDG
+/// describes them all.
+///
+/// Displays as `r3:p1:vc0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// The router owning the input buffer.
+    pub router: RouterId,
+    /// The input port the buffer belongs to.
+    pub port: PortId,
+    /// The virtual channel within that port (per vnet).
+    pub vc: VcId,
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.router, self.port, self.vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let c = Channel {
+            router: RouterId(3),
+            port: PortId(1),
+            vc: VcId(0),
+        };
+        assert_eq!(c.to_string(), "r3:p1:vc0");
+    }
+
+    #[test]
+    fn ordering_is_router_major() {
+        let a = Channel {
+            router: RouterId(0),
+            port: PortId(7),
+            vc: VcId(3),
+        };
+        let b = Channel {
+            router: RouterId(1),
+            port: PortId(0),
+            vc: VcId(0),
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,291 @@
+//! CDG derivation: walk every source→destination pair through the *real*
+//! routing implementation on the *real* topology and record which channels
+//! can depend on which.
+//!
+//! No hand-authored edge lists: the only inputs are [`Topology`],
+//! [`Routing::alternatives`] (the full legal OR-set the ground-truth
+//! detector also uses) and the VC count. The walk mirrors the simulator's
+//! per-hop state mutations exactly:
+//!
+//! * A packet's *state* is the input buffer its head occupies — `(router,
+//!   in_port)` — plus the set of VCs it may be holding there and the
+//!   number of global (inter-group) links crossed so far. `global_hops`
+//!   increments when the head is delivered through a port for which
+//!   [`Topology::is_global_port`] holds, exactly as the delivery stage
+//!   does, because UGAL's Dally discipline masks VCs by it.
+//! * From each state, every [`RouteChoice`] whose VC mask intersects the
+//!   configured VC range yields dependencies `held → (peer.router,
+//!   peer.port, v)` for each held VC and each allowed downstream VC `v`,
+//!   and a successor state holding exactly the allowed set.
+//! * Ejection (a local out port) is a sink: the packet leaves the network
+//!   and contributes no dependency.
+//!
+//! Misrouting (`Routing::misroute_bound() > 0`, i.e. a Valiant phase
+//! toward a chosen intermediate) is handled in two passes. Pass 1 walks
+//! toward every possible intermediate target `i` and collects the *arrival
+//! states* at `i`'s router — the simulator clears `Packet::intermediate`
+//! when the head arrives there, so those states are where the final phase
+//! begins. Pass 2 walks toward each final destination `d`, seeded with
+//! both direct injections (algorithms misroute selectively) and the
+//! arrival states of every other intermediate. This over-approximates the
+//! *pairing* of intermediates with destinations, which is safe: extra
+//! edges can only make the analysis more conservative, never certify a
+//! cyclic configuration acyclic.
+
+use crate::channel::Channel;
+use spin_deadlock::Cdg;
+use spin_routing::{Routing, StaticView, VcMask};
+use spin_topology::Topology;
+use spin_types::{NodeId, PacketBuilder, PortId, RouterId, VcId};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// `global_hops` is tracked up to this many global link crossings; beyond
+/// it further crossings no longer change the walk state. Large enough for
+/// any Valiant path in the topologies under study (max 2 global hops).
+const GLOBAL_HOPS_CAP: u8 = 7;
+
+/// One walk state: the packet's head occupies input `(router, port)`,
+/// holding some VC in `held` (a bitmask; 0 means "still in the source NIC",
+/// which holds no network channel), having crossed `ghops` global links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WalkState {
+    router: RouterId,
+    port: PortId,
+    held: u32,
+    ghops: u8,
+}
+
+/// A CDG derived from `(Topology, Routing, VC count)`, plus the escape-path
+/// bookkeeping Duato's criterion needs.
+#[derive(Debug)]
+pub struct DerivedCdg {
+    /// The full channel dependency graph.
+    pub cdg: Cdg<Channel>,
+    /// VCs per vnet the derivation assumed.
+    pub num_vcs: u8,
+    /// The routing's misroute bound `p` (0 = minimal).
+    pub misroute_bound: u32,
+    /// Per VC `v`: true if some reachable in-network state offered *no*
+    /// choice whose mask allows `v` — `v` then cannot serve as a Duato
+    /// escape VC.
+    escape_blocked: Vec<bool>,
+    /// Per VC `v`: the escape sub-CDG, i.e. dependencies between
+    /// `vc == v` channels induced by choices whose mask allows `v`.
+    escape_edges: Vec<BTreeSet<(Channel, Channel)>>,
+}
+
+impl DerivedCdg {
+    /// Derives the CDG for `routing` on `topo` with `num_vcs` VCs per vnet.
+    ///
+    /// Deterministic: walk order is fixed (nodes in index order, FIFO
+    /// frontier), so channel interning order and every edge list are
+    /// reproducible byte-for-byte.
+    pub fn derive(topo: &Topology, routing: &dyn Routing, num_vcs: u8) -> DerivedCdg {
+        let mut d = DerivedCdg {
+            cdg: Cdg::new(),
+            num_vcs,
+            misroute_bound: routing.misroute_bound(),
+            escape_blocked: vec![false; num_vcs as usize],
+            escape_edges: vec![BTreeSet::new(); num_vcs as usize],
+        };
+        let nodes: Vec<NodeId> = (0..topo.num_nodes() as u32).map(NodeId).collect();
+        if d.misroute_bound == 0 {
+            for &t in &nodes {
+                d.walk(topo, routing, t, injection_seeds(topo, t), false);
+            }
+        } else {
+            // Pass 1: arrival states per possible intermediate target.
+            let arrivals: Vec<Vec<WalkState>> = nodes
+                .iter()
+                .map(|&i| d.walk(topo, routing, i, injection_seeds(topo, i), true))
+                .collect();
+            // Pass 2: final phase toward each destination, seeded with
+            // direct injections plus every other intermediate's arrivals.
+            for &dst in &nodes {
+                let dst_router = topo.node_router(dst);
+                let mut seeds = injection_seeds(topo, dst);
+                for (i, arr) in arrivals.iter().enumerate() {
+                    if NodeId(i as u32) == dst {
+                        continue;
+                    }
+                    // An intermediate on the destination router means the
+                    // final phase starts at the destination: immediate
+                    // ejection, no further dependencies.
+                    seeds.extend(arr.iter().filter(|s| s.router != dst_router));
+                }
+                d.walk(topo, routing, dst, seeds, false);
+            }
+        }
+        d
+    }
+
+    /// Walks all states toward `target`, recording channels and
+    /// dependencies. With `collect_arrivals`, states reaching the target's
+    /// router are returned (Valiant phase boundary) instead of being routed
+    /// to ejection.
+    fn walk(
+        &mut self,
+        topo: &Topology,
+        routing: &dyn Routing,
+        target: NodeId,
+        seeds: Vec<WalkState>,
+        collect_arrivals: bool,
+    ) -> Vec<WalkState> {
+        let view = StaticView::new(topo, 1);
+        let tgt_router = topo.node_router(target);
+        let mut pkt = PacketBuilder::new(NodeId(0), target).build(0);
+        let mut seen: HashSet<WalkState> = HashSet::new();
+        let mut queue: VecDeque<WalkState> = VecDeque::new();
+        let mut arrivals = Vec::new();
+        for s in seeds {
+            if seen.insert(s) {
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            if collect_arrivals && s.router == tgt_router {
+                if s.held != 0 {
+                    arrivals.push(s);
+                }
+                continue;
+            }
+            pkt.global_hops = s.ghops as u32;
+            let choices = routing.alternatives(&view, s.router, s.port, &pkt);
+            let mut escape_union = 0u32;
+            let mut ejecting = false;
+            for c in choices {
+                let out = topo.port(s.router, c.out_port);
+                if out.is_local() {
+                    ejecting = true;
+                    continue;
+                }
+                let Some(peer) = out.conn else {
+                    continue; // unconnected or dead port: no dependence
+                };
+                let eff = mask_bits(c.vc_mask, self.num_vcs);
+                if eff == 0 {
+                    continue; // no VC this choice could ever be granted
+                }
+                escape_union |= eff;
+                for v in bits(eff) {
+                    let to = Channel {
+                        router: peer.router,
+                        port: peer.port,
+                        vc: v,
+                    };
+                    self.cdg.add_channel(to);
+                    for h in bits(s.held) {
+                        let from = Channel {
+                            router: s.router,
+                            port: s.port,
+                            vc: h,
+                        };
+                        self.cdg.add_dependency(from, to);
+                    }
+                    if s.held & (1 << v.0) != 0 {
+                        // A packet genuinely holding `v` here (the walk
+                        // tracks which VCs each buffer can be granted, so
+                        // e.g. escape channels are only reachable through
+                        // escape choices) may take this choice and request
+                        // `v` downstream: a direct escape→escape
+                        // dependency, the kind Duato's criterion counts.
+                        let from_esc = Channel {
+                            router: s.router,
+                            port: s.port,
+                            vc: v,
+                        };
+                        self.escape_edges[v.index()].insert((from_esc, to));
+                    }
+                }
+                let crossed = topo.is_global_port(peer.router, peer.port);
+                let next = WalkState {
+                    router: peer.router,
+                    port: peer.port,
+                    held: eff,
+                    ghops: (s.ghops + u8::from(crossed)).min(GLOBAL_HOPS_CAP),
+                };
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+            if s.held != 0 && !ejecting {
+                for v in 0..self.num_vcs {
+                    if escape_union & (1 << v) == 0 {
+                        self.escape_blocked[v as usize] = true;
+                    }
+                }
+            }
+        }
+        arrivals
+    }
+
+    /// Whether VC `v` satisfies Duato's criterion as an escape channel:
+    /// every reachable in-network state offers some choice allowing `v`,
+    /// and the sub-CDG over `v`'s channels (restricted to choices allowing
+    /// `v`) is acyclic.
+    pub fn escape_candidate(&self, v: VcId) -> bool {
+        if v.index() >= self.num_vcs as usize || self.escape_blocked[v.index()] {
+            return false;
+        }
+        let mut sub: Cdg<Channel> = Cdg::new();
+        for &(a, b) in &self.escape_edges[v.index()] {
+            sub.add_dependency(a, b);
+        }
+        sub.is_acyclic()
+    }
+}
+
+/// Injection states toward `target`: one per source node, sitting in the
+/// source NIC (holding no network channel) at the source router's local
+/// attach port — which is also what the routing sees as `in_port` at
+/// injection time.
+fn injection_seeds(topo: &Topology, target: NodeId) -> Vec<WalkState> {
+    (0..topo.num_nodes() as u32)
+        .map(NodeId)
+        .filter(|&n| n != target)
+        .map(|n| {
+            let attach = topo.node_attach(n);
+            WalkState {
+                router: attach.router,
+                port: attach.port,
+                held: 0,
+                ghops: 0,
+            }
+        })
+        .collect()
+}
+
+/// The VC indices below `num_vcs` that `mask` allows, as raw bits.
+fn mask_bits(mask: VcMask, num_vcs: u8) -> u32 {
+    let mut bits = 0u32;
+    for v in 0..num_vcs {
+        if mask.contains(VcId(v)) {
+            bits |= 1 << v;
+        }
+    }
+    bits
+}
+
+/// Iterates the set VC indices of `bits` in ascending order.
+fn bits(bits: u32) -> impl Iterator<Item = VcId> {
+    (0..32u8).filter(move |v| bits & (1 << v) != 0).map(VcId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_bits_respects_vc_count() {
+        assert_eq!(mask_bits(VcMask::all(), 2), 0b11);
+        assert_eq!(mask_bits(VcMask::only(VcId(1)), 2), 0b10);
+        assert_eq!(mask_bits(VcMask::only(VcId(3)), 2), 0);
+        assert_eq!(mask_bits(VcMask::except(VcId(0)), 1), 0);
+    }
+
+    #[test]
+    fn bit_iteration_ascends() {
+        let vs: Vec<u8> = bits(0b1011).map(|v| v.0).collect();
+        assert_eq!(vs, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,195 @@
+//! The standard verification matrix: every topology × routing × VC-count
+//! configuration the repo certifies in CI, plus a plain-data per-config
+//! report (JSON emission lives in `spin-experiments`, which owns the
+//! `results/` writer).
+
+use crate::analyze::{analyze, Analysis, DEFAULT_RING_CAP};
+use spin_routing::{
+    EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal, UpDown,
+    WestFirst, XyRouting,
+};
+use spin_topology::Topology;
+use spin_types::{PortId, RouterId};
+
+/// One configuration of the verification matrix.
+pub struct MatrixConfig {
+    /// Stable identifier: `topology/routing/Nvc`.
+    pub name: String,
+    /// The topology instance.
+    pub topo: Topology,
+    /// The routing algorithm.
+    pub routing: Box<dyn Routing>,
+    /// VCs per vnet assumed by the analysis.
+    pub num_vcs: u8,
+}
+
+impl std::fmt::Debug for MatrixConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatrixConfig")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl MatrixConfig {
+    fn new(topo: Topology, routing: impl Routing + 'static, num_vcs: u8) -> Self {
+        MatrixConfig {
+            name: format!("{}/{}/{}vc", topo.name(), routing.name(), num_vcs),
+            topo,
+            routing: Box::new(routing),
+            num_vcs,
+        }
+    }
+
+    /// Runs the full static analysis for this configuration.
+    pub fn analyze(&self) -> Analysis {
+        analyze(
+            &self.topo,
+            self.routing.as_ref(),
+            self.num_vcs,
+            DEFAULT_RING_CAP,
+        )
+    }
+
+    /// Analysis condensed into the flat record `verify_matrix.json` pins.
+    pub fn report(&self) -> ConfigReport {
+        let a = self.analyze();
+        ConfigReport {
+            name: self.name.clone(),
+            topology: self.topo.name().to_string(),
+            routing: self.routing.name().to_string(),
+            num_vcs: self.num_vcs,
+            misroute_bound: self.routing.misroute_bound(),
+            classification: a.classification.label().to_string(),
+            channels: a.derived.cdg.num_channels(),
+            dependencies: a.derived.cdg.num_dependencies(),
+            rings_enumerated: a.rings.len(),
+            rings_truncated: a.rings_truncated,
+            girth: a.girth,
+            max_spin_bound: a.max_spin_bound(),
+        }
+    }
+}
+
+/// Flat per-config summary, the unit of `results/verify_matrix.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigReport {
+    /// `topology/routing/Nvc`.
+    pub name: String,
+    /// Topology name.
+    pub topology: String,
+    /// Routing name.
+    pub routing: String,
+    /// VCs per vnet.
+    pub num_vcs: u8,
+    /// The routing's misroute bound `p`.
+    pub misroute_bound: u32,
+    /// Classification label (`deadlock_free`, `deadlock_free_escape`,
+    /// `recovery_required`).
+    pub classification: String,
+    /// Channels in the derived CDG.
+    pub channels: usize,
+    /// Dependency edges in the derived CDG.
+    pub dependencies: usize,
+    /// Rings enumerated (capped).
+    pub rings_enumerated: usize,
+    /// Whether the cap truncated ring enumeration.
+    pub rings_truncated: bool,
+    /// Shortest ring length (exact), if cyclic.
+    pub girth: Option<usize>,
+    /// Largest spin bound over the enumerated rings, if cyclic.
+    pub max_spin_bound: Option<u64>,
+}
+
+/// Builds the standard verification matrix. Infallible constructors are
+/// used directly; the fallible ones (c-mesh, random irregular, link
+/// surgery) are driven with parameters known to be valid.
+///
+/// # Panics
+///
+/// Panics only if a fixed known-good topology constructor regresses —
+/// which is exactly what the CI matrix job is there to catch.
+pub fn standard_configs() -> Vec<MatrixConfig> {
+    let mut out = vec![
+        // 4x4 mesh: the full Table I avoidance-vs-recovery spread.
+        MatrixConfig::new(Topology::mesh(4, 4), XyRouting, 1),
+        MatrixConfig::new(Topology::mesh(4, 4), WestFirst, 1),
+        MatrixConfig::new(Topology::mesh(4, 4), EscapeVc, 2),
+        MatrixConfig::new(Topology::mesh(4, 4), ReservedVcAdaptive::new(2), 2),
+        MatrixConfig::new(Topology::mesh(4, 4), FavorsMinimal, 1),
+        MatrixConfig::new(Topology::mesh(4, 4), FavorsNonMinimal, 1),
+        // 8x8 mesh: the paper's main mesh scale.
+        MatrixConfig::new(Topology::mesh(8, 8), XyRouting, 1),
+        MatrixConfig::new(Topology::mesh(8, 8), FavorsMinimal, 1),
+        MatrixConfig::new(Topology::mesh(8, 8), FavorsNonMinimal, 1),
+        // Tori: wrap links make even DOR cyclic with one VC.
+        MatrixConfig::new(Topology::torus(2, 2), FavorsMinimal, 1),
+        MatrixConfig::new(Topology::torus(4, 4), XyRouting, 1),
+        MatrixConfig::new(Topology::torus(4, 4), FavorsMinimal, 1),
+    ];
+    // Ring: the paper's canonical spin example.
+    let ring = Topology::ring(8);
+    let ud = UpDown::new(&ring);
+    out.push(MatrixConfig::new(Topology::ring(8), FavorsMinimal, 1));
+    out.push(MatrixConfig::new(ring, ud, 1));
+    // Concentrated mesh (kind = irregular, exercises BFS-distance routing).
+    let cmesh = Topology::cmesh(4, 4, 2).expect("valid cmesh parameters");
+    let cmesh_ud = UpDown::new(&cmesh);
+    out.push(MatrixConfig::new(
+        Topology::cmesh(4, 4, 2).expect("valid cmesh parameters"),
+        FavorsMinimal,
+        1,
+    ));
+    out.push(MatrixConfig::new(cmesh, cmesh_ud, 1));
+    // Dragonfly: global-hop VC ordering vs SPIN-reliant UGAL and FAvORS.
+    out.push(MatrixConfig::new(
+        Topology::dragonfly(2, 4, 2, 9),
+        Ugal::dally_baseline(),
+        3,
+    ));
+    out.push(MatrixConfig::new(
+        Topology::dragonfly(2, 4, 2, 9),
+        Ugal::with_spin(),
+        1,
+    ));
+    out.push(MatrixConfig::new(
+        Topology::dragonfly(2, 4, 2, 9),
+        FavorsMinimal,
+        1,
+    ));
+    // Random connected irregular network.
+    let rnd = || Topology::random_connected(12, 6, 1, 5).expect("valid parameters");
+    let rnd_ud = UpDown::new(&rnd());
+    out.push(MatrixConfig::new(rnd(), FavorsMinimal, 1));
+    out.push(MatrixConfig::new(rnd(), rnd_ud, 1));
+    // Post-fail_link surgery: an 8x8 mesh minus two links, as left behind
+    // by the runtime fault stage.
+    let degraded = || {
+        Topology::mesh(8, 8)
+            .with_failed_links(&[
+                (RouterId(9), PortId(2)),  // r9 east
+                (RouterId(27), PortId(3)), // r27 south
+            ])
+            .expect("removals keep the mesh connected")
+    };
+    let deg_ud = UpDown::new(&degraded());
+    out.push(MatrixConfig::new(degraded(), FavorsMinimal, 1));
+    out.push(MatrixConfig::new(degraded(), deg_ud, 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_names_are_unique() {
+        let configs = standard_configs();
+        let mut names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(before >= 20, "matrix should stay broad, got {before}");
+    }
+}

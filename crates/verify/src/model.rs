@@ -1,0 +1,100 @@
+//! The bridge from a static [`Analysis`] to the simulator's
+//! [`StaticModel`] cross-validation hook.
+
+use crate::analyze::{spin_bound, Analysis, Classification};
+use crate::channel::Channel;
+use spin_deadlock::Cdg;
+use spin_sim::{RingMember, StaticModel};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A [`StaticModel`] backed by a derived CDG analysis: ground-truth
+/// deadlocks must induce a cycle among the analysis' channels, and spins
+/// per episode must respect the paper's bound for the episode's ring size.
+pub struct DerivedModel {
+    name: String,
+    analysis: Analysis,
+}
+
+impl DerivedModel {
+    /// Wraps `analysis` under a config `name` used in violation messages.
+    pub fn new(name: impl Into<String>, analysis: Analysis) -> Self {
+        DerivedModel {
+            name: name.into(),
+            analysis,
+        }
+    }
+
+    /// The wrapped analysis.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+}
+
+impl fmt::Debug for DerivedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DerivedModel")
+            .field("name", &self.name)
+            .field("classification", &self.analysis.classification)
+            .field("channels", &self.analysis.derived.cdg.num_channels())
+            .finish()
+    }
+}
+
+impl StaticModel for DerivedModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check_members(&self, members: &[RingMember]) -> Result<(), String> {
+        let cdg = &self.analysis.derived.cdg;
+        let mut idxs: BTreeSet<usize> = BTreeSet::new();
+        for m in members {
+            // The vnet is dropped: one CDG describes every vnet's
+            // identically-structured buffer pool.
+            let ch = Channel {
+                router: m.at.router,
+                port: m.at.port,
+                vc: m.at.vc,
+            };
+            match cdg.index_of(&ch) {
+                Some(i) => {
+                    idxs.insert(i);
+                }
+                None => {
+                    return Err(format!(
+                        "deadlocked buffer {ch} is not a reachable channel of the derived CDG"
+                    ))
+                }
+            }
+        }
+        // The deadlocked buffers must induce a cycle: every member waits
+        // only on buffers held by other members, so if the static CDG is
+        // right the induced subgraph cannot be acyclic.
+        let mut sub: Cdg<usize> = Cdg::new();
+        for &i in &idxs {
+            sub.add_channel(i);
+            for &j in cdg.deps_of(i) {
+                if idxs.contains(&j) {
+                    sub.add_dependency(i, j);
+                }
+            }
+        }
+        if sub.is_acyclic() {
+            return Err(format!(
+                "{} deadlocked buffers induce no cycle in the static CDG",
+                idxs.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn spin_bound(&self, ring_len: usize) -> Option<u64> {
+        match self.analysis.classification {
+            Classification::RecoveryRequired => {
+                Some(spin_bound(ring_len, self.analysis.derived.misroute_bound))
+            }
+            _ => None,
+        }
+    }
+}

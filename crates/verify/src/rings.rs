@@ -1,0 +1,293 @@
+//! Elementary-cycle enumeration (Johnson's algorithm, capped) and girth.
+//!
+//! Cyclic CDGs can hold astronomically many elementary cycles, so
+//! enumeration is capped: callers get up to `cap` rings plus an explicit
+//! truncation flag. Enumeration order is deterministic (vertices ascending,
+//! adjacency in insertion order), so a capped prefix is stable across runs.
+
+/// Result of enumerating the elementary cycles of a directed graph.
+#[derive(Debug, Clone)]
+pub struct RingSet {
+    /// Elementary cycles as vertex-index sequences (no repeated endpoint;
+    /// a self-loop is a length-1 ring). Each ring starts at its smallest
+    /// vertex index.
+    pub rings: Vec<Vec<usize>>,
+    /// True if enumeration stopped at the cap with cycles left unexplored.
+    pub truncated: bool,
+}
+
+/// Enumerates up to `cap` elementary cycles of the graph given as
+/// adjacency lists (Johnson 1975). Returns the rings plus whether the cap
+/// truncated the enumeration.
+pub fn elementary_cycles(adj: &[Vec<usize>], cap: usize) -> RingSet {
+    let mut j = Johnson {
+        adj,
+        blocked: vec![false; adj.len()],
+        b_sets: vec![Vec::new(); adj.len()],
+        stack: Vec::new(),
+        in_scc: vec![false; adj.len()],
+        start: 0,
+        rings: Vec::new(),
+        cap,
+        truncated: false,
+    };
+    for s in 0..adj.len() {
+        if j.rings.len() >= cap {
+            // Anything still enumerable from here on is cut off.
+            j.truncated |= has_cycle_at_or_above(adj, s);
+            break;
+        }
+        let scc = scc_of(adj, s);
+        if scc.len() == 1 && !adj[s].contains(&s) {
+            continue;
+        }
+        j.start = s;
+        for v in &mut j.in_scc {
+            *v = false;
+        }
+        for &v in &scc {
+            j.in_scc[v] = true;
+        }
+        for &v in &scc {
+            j.blocked[v] = false;
+            j.b_sets[v].clear();
+        }
+        j.circuit(s);
+    }
+    RingSet {
+        rings: j.rings,
+        truncated: j.truncated,
+    }
+}
+
+/// Length of the shortest directed cycle (the girth), or `None` if the
+/// graph is acyclic. Exact: per-vertex BFS, `O(V·E)`.
+pub fn girth(adj: &[Vec<usize>]) -> Option<usize> {
+    let n = adj.len();
+    let mut best: Option<usize> = None;
+    let mut dist = vec![usize::MAX; n];
+    for s in 0..n {
+        for d in dist.iter_mut() {
+            *d = usize::MAX;
+        }
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            if best.is_some_and(|b| dist[u] + 1 >= b) {
+                continue;
+            }
+            for &w in &adj[u] {
+                if w == s {
+                    let len = dist[u] + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                } else if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// True if the subgraph induced on vertices `>= s` contains any cycle
+/// (used only to decide the truncation flag once the cap is hit).
+fn has_cycle_at_or_above(adj: &[Vec<usize>], s: usize) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = adj.len();
+    let mut mark = vec![Mark::White; n];
+    for start in s..n {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        mark[start] = Mark::Grey;
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            if *cursor < adj[u].len() {
+                let w = adj[u][*cursor];
+                *cursor += 1;
+                if w < s {
+                    continue;
+                }
+                match mark[w] {
+                    Mark::White => {
+                        mark[w] = Mark::Grey;
+                        stack.push((w, 0));
+                    }
+                    Mark::Grey => return true,
+                    Mark::Black => {}
+                }
+            } else {
+                mark[u] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// The strongly connected component containing `s` in the subgraph induced
+/// on vertices `>= s` (forward ∩ backward reachability — quadratic at
+/// worst but graphs here are small).
+fn scc_of(adj: &[Vec<usize>], s: usize) -> Vec<usize> {
+    let n = adj.len();
+    let reach = |forward: bool| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            if forward {
+                for &w in &adj[u] {
+                    if w >= s && !seen[w] {
+                        seen[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            } else {
+                // Backward: scan all vertices for edges into u.
+                for (v, outs) in adj.iter().enumerate().skip(s) {
+                    if !seen[v] && outs.contains(&u) {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        seen
+    };
+    let fwd = reach(true);
+    let bwd = reach(false);
+    (s..n).filter(|&v| fwd[v] && bwd[v]).collect()
+}
+
+struct Johnson<'a> {
+    adj: &'a [Vec<usize>],
+    blocked: Vec<bool>,
+    b_sets: Vec<Vec<usize>>,
+    stack: Vec<usize>,
+    in_scc: Vec<bool>,
+    start: usize,
+    rings: Vec<Vec<usize>>,
+    cap: usize,
+    truncated: bool,
+}
+
+impl Johnson<'_> {
+    fn legal(&self, w: usize) -> bool {
+        w >= self.start && self.in_scc[w]
+    }
+
+    fn circuit(&mut self, v: usize) -> bool {
+        if self.rings.len() >= self.cap {
+            // Unwind fast; report the cut-off.
+            self.truncated = true;
+            return true;
+        }
+        let mut found = false;
+        self.stack.push(v);
+        self.blocked[v] = true;
+        for i in 0..self.adj[v].len() {
+            let w = self.adj[v][i];
+            if !self.legal(w) {
+                continue;
+            }
+            if w == self.start {
+                if self.rings.len() < self.cap {
+                    self.rings.push(self.stack.clone());
+                } else {
+                    self.truncated = true;
+                }
+                found = true;
+            } else if !self.blocked[w] && self.circuit(w) {
+                found = true;
+            }
+        }
+        if found {
+            self.unblock(v);
+        } else {
+            for i in 0..self.adj[v].len() {
+                let w = self.adj[v][i];
+                if self.legal(w) && !self.b_sets[w].contains(&v) {
+                    self.b_sets[w].push(v);
+                }
+            }
+        }
+        self.stack.pop();
+        found
+    }
+
+    fn unblock(&mut self, v: usize) {
+        self.blocked[v] = false;
+        let waiters = std::mem::take(&mut self.b_sets[v]);
+        for w in waiters {
+            if self.blocked[w] {
+                self.unblock(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_rings() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let r = elementary_cycles(&adj, 10);
+        assert!(r.rings.is_empty() && !r.truncated);
+        assert_eq!(girth(&adj), None);
+    }
+
+    #[test]
+    fn triangle_plus_two_cycle() {
+        // 0->1->2->0 and 1->3->1.
+        let adj = vec![vec![1], vec![2, 3], vec![0], vec![1]];
+        let r = elementary_cycles(&adj, 10);
+        assert!(!r.truncated);
+        let mut rings = r.rings;
+        rings.sort();
+        assert_eq!(rings, vec![vec![0, 1, 2], vec![1, 3]]);
+        assert_eq!(girth(&adj), Some(2));
+    }
+
+    #[test]
+    fn self_loop_is_a_unit_ring() {
+        let adj = vec![vec![0, 1], vec![]];
+        let r = elementary_cycles(&adj, 10);
+        assert_eq!(r.rings, vec![vec![0]]);
+        assert_eq!(girth(&adj), Some(1));
+    }
+
+    #[test]
+    fn cap_truncates_and_reports() {
+        // Complete digraph on 4 vertices: 20 elementary cycles.
+        let adj: Vec<Vec<usize>> = (0..4)
+            .map(|v| (0..4).filter(|&w| w != v).collect())
+            .collect();
+        let full = elementary_cycles(&adj, 100);
+        assert_eq!(full.rings.len(), 20);
+        assert!(!full.truncated);
+        let capped = elementary_cycles(&adj, 5);
+        assert_eq!(capped.rings.len(), 5);
+        assert!(capped.truncated);
+        // The capped prefix is a prefix of the full enumeration.
+        assert_eq!(capped.rings[..], full.rings[..5]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_found() {
+        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        let r = elementary_cycles(&adj, 10);
+        let mut rings = r.rings;
+        rings.sort();
+        assert_eq!(rings, vec![vec![0, 1], vec![2, 3]]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property test: the *derived* acyclicity verdict for XY/DOR agrees with
+//! `Cdg::is_acyclic` on the hand-built Table-I-style edge list, over random
+//! small meshes and tori. The derivation must not invent cycles a manual
+//! turn-rule CDG lacks, nor miss the wrap-link cycles it has.
+
+use proptest::prelude::*;
+use spin_deadlock::Cdg;
+use spin_routing::XyRouting;
+use spin_topology::Topology;
+use spin_types::{Direction, RouterId};
+use spin_verify::{analyze, DEFAULT_RING_CAP};
+
+/// Hand-built XY CDG in the Table I style: channels are `(router entered,
+/// direction of travel)`, and XY permits going straight or turning from a
+/// horizontal direction into a vertical one — never the reverse.
+fn hand_built_xy_cdg(topo: &Topology) -> Cdg<(RouterId, Direction)> {
+    let horizontal = |d: Direction| matches!(d, Direction::East | Direction::West);
+    let allowed =
+        |din: Direction, dout: Direction| din == dout || (horizontal(din) && !horizontal(dout));
+    let mut cdg = Cdg::new();
+    for r in 0..topo.num_routers() {
+        let r = RouterId(r as u32);
+        for din in Direction::ALL {
+            // A link entering r travelling `din` arrives on the port facing
+            // back the way it came; it exists iff that port is connected.
+            if topo.neighbor(r, topo.dir_port(din.opposite())).is_none() {
+                continue;
+            }
+            for dout in Direction::ALL {
+                if dout == din.opposite() || !allowed(din, dout) {
+                    continue;
+                }
+                if let Some(peer) = topo.neighbor(r, topo.dir_port(dout)) {
+                    cdg.add_dependency((r, din), (peer.router, dout));
+                }
+            }
+        }
+    }
+    cdg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn derived_xy_verdict_matches_hand_built_cdg(
+        w in 2u32..=4,
+        h in 2u32..=4,
+        wrap in any::<bool>(),
+    ) {
+        // The hand-built CDG assumes every legal continuation is exercised
+        // by some route. That holds on meshes of any size, but on a torus a
+        // wrap dimension of 2 or 3 keeps every minimal route to one hop per
+        // dimension, so the route-precise derived CDG is strictly smaller
+        // (and acyclic) where the naive turn-rule CDG is cyclic. Compare on
+        // the regime where the hand model is accurate: wrap dims >= 4.
+        let topo = if wrap {
+            Topology::torus(w + 2, h + 2)
+        } else {
+            Topology::mesh(w, h)
+        };
+        let hand = hand_built_xy_cdg(&topo);
+        let a = analyze(&topo, &XyRouting, 1, DEFAULT_RING_CAP);
+        prop_assert!(
+            a.derived.cdg.is_acyclic() == hand.is_acyclic(),
+            "derived and hand-built XY CDGs disagree on {} ({}x{} wrap={})",
+            topo.name(), w, h, wrap
+        );
+        // The expected ground truth itself: meshes are acyclic under DOR,
+        // tori with one VC are not.
+        prop_assert_eq!(hand.is_acyclic(), !wrap);
+        prop_assert_eq!(a.classification.is_deadlock_free(), !wrap);
+    }
+}

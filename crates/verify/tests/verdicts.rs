@@ -1,0 +1,152 @@
+//! Acceptance verdicts for the standard matrix, pinned against the theory:
+//! avoidance-based designs certify deadlock-free, single-VC wrap/adaptive
+//! designs are recovery-required with finite spin bounds, and the 2x2-torus
+//! ring matches the `docs/PROTOCOL.md` worked example.
+
+use spin_routing::{EscapeVc, FavorsMinimal, UpDown, XyRouting};
+use spin_topology::Topology;
+use spin_types::VcId;
+use spin_verify::{analyze, Classification, DEFAULT_RING_CAP};
+
+#[test]
+fn xy_on_meshes_is_deadlock_free_with_certificate() {
+    for topo in [Topology::mesh(4, 4), Topology::mesh(8, 8)] {
+        let a = analyze(&topo, &XyRouting, 1, DEFAULT_RING_CAP);
+        assert_eq!(a.classification, Classification::DeadlockFree);
+        // The certificate is a genuine topological order: every dependency
+        // points forward in it.
+        let order = a.certificate.as_ref().expect("DF comes with certificate");
+        assert_eq!(order.len(), a.derived.cdg.num_channels());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        for i in 0..a.derived.cdg.num_channels() {
+            let from = a.derived.cdg.channel(i);
+            for &j in a.derived.cdg.deps_of(i) {
+                let to = a.derived.cdg.channel(j);
+                assert!(pos[from] < pos[to], "certificate violated: {from} -> {to}");
+            }
+        }
+    }
+}
+
+#[test]
+fn up_down_is_deadlock_free_everywhere_it_runs() {
+    let topos = [
+        Topology::ring(8),
+        Topology::cmesh(4, 4, 2).expect("valid cmesh"),
+        Topology::random_connected(12, 6, 1, 5).expect("valid parameters"),
+    ];
+    for topo in topos {
+        let ud = UpDown::new(&topo);
+        let a = analyze(&topo, &ud, 1, DEFAULT_RING_CAP);
+        assert_eq!(
+            a.classification,
+            Classification::DeadlockFree,
+            "up*/down* must be acyclic on {}",
+            topo.name()
+        );
+    }
+}
+
+#[test]
+fn escape_vc_certifies_via_duato() {
+    let topo = Topology::mesh(4, 4);
+    let a = analyze(&topo, &EscapeVc, 2, DEFAULT_RING_CAP);
+    assert_eq!(
+        a.classification,
+        Classification::DeadlockFreeEscape { escape_vc: VcId(0) }
+    );
+    // Not Dally-free: the adaptive VC may take any turn.
+    assert!(a.certificate.is_none());
+}
+
+#[test]
+fn single_vc_torus_dor_needs_recovery() {
+    let topo = Topology::torus(4, 4);
+    let a = analyze(&topo, &XyRouting, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::RecoveryRequired);
+    // One wrap ring per row and per column, each direction: 8 total, all
+    // of length 4 (the radix), bound m-1 = 3.
+    assert_eq!(a.rings.len(), 8);
+    assert!(!a.rings_truncated);
+    assert_eq!(a.girth, Some(4));
+    for r in &a.rings {
+        assert_eq!(r.channels.len(), 4);
+        assert_eq!(r.spin_bound, 3);
+    }
+}
+
+#[test]
+fn single_vc_favors_needs_recovery_with_finite_bound() {
+    for topo in [
+        Topology::mesh(4, 4),
+        Topology::torus(4, 4),
+        Topology::ring(8),
+    ] {
+        let a = analyze(&topo, &FavorsMinimal, 1, DEFAULT_RING_CAP);
+        assert_eq!(
+            a.classification,
+            Classification::RecoveryRequired,
+            "FAvORS with one VC must need recovery on {}",
+            topo.name()
+        );
+        assert!(!a.rings.is_empty());
+        let bound = a.max_spin_bound().expect("rings imply a bound");
+        assert!(bound > 0, "bound must be finite and positive");
+    }
+}
+
+/// The `docs/PROTOCOL.md` worked example: four routers in a cycle, one
+/// packet per hop, resolved in at most m-1 = 3 spins. On the 2x2 torus
+/// with FAvORS the static analysis enumerates exactly such rings.
+#[test]
+fn torus2x2_pins_the_protocol_worked_example_ring() {
+    let topo = Topology::torus(2, 2);
+    let a = analyze(&topo, &FavorsMinimal, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::RecoveryRequired);
+    assert_eq!(a.girth, Some(4));
+    // Find a 4-ring that visits all four routers exactly once — the
+    // clockwise cycle of the worked example.
+    let worked = a.rings.iter().find(|r| {
+        r.channels.len() == 4 && {
+            let mut routers: Vec<u32> = r.channels.iter().map(|c| c.router.0).collect();
+            routers.sort_unstable();
+            routers == [0, 1, 2, 3]
+        }
+    });
+    let ring = worked.expect("a 4-ring visiting all four routers must exist");
+    // FAvORS is minimal (p = 0): the bound is m-1 = 3, as in the example.
+    assert_eq!(ring.spin_bound, 3);
+}
+
+#[test]
+fn ring8_favors_matches_theorem_one() {
+    // The paper's canonical example: an 8-ring with minimal adaptive
+    // routing has exactly two dependency cycles (one per direction), each
+    // of length 8, resolved within m-1 = 7 spins (Theorem 1).
+    let topo = Topology::ring(8);
+    let a = analyze(&topo, &FavorsMinimal, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::RecoveryRequired);
+    assert_eq!(a.rings.len(), 2);
+    assert!(!a.rings_truncated);
+    for r in &a.rings {
+        assert_eq!(r.channels.len(), 8);
+        assert_eq!(r.spin_bound, 7);
+    }
+}
+
+#[test]
+fn degraded_mesh_stays_analysable_after_link_surgery() {
+    let degraded = Topology::mesh(8, 8)
+        .with_failed_links(&[
+            (spin_types::RouterId(9), spin_types::PortId(2)),
+            (spin_types::RouterId(27), spin_types::PortId(3)),
+        ])
+        .expect("removals keep the mesh connected");
+    let ud = UpDown::new(&degraded);
+    let a = analyze(&degraded, &ud, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::DeadlockFree);
+    // Two dead links remove 4 directed channels from the 224 of a full
+    // 8x8 mesh.
+    assert_eq!(a.derived.cdg.num_channels(), 220);
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the miri-checked subset of the test suite: the spin-types unit tests
+# and the spin-sim slab-store tests (the packet-header store is the one
+# data structure whose index-recycling logic most resembles unsafe code,
+# even though the workspace forbids unsafe and this is belt-and-braces).
+#
+# Requires a nightly toolchain with the miri component (CI installs one).
+# Set SPIN_SKIP_MIRI=1 to skip locally, e.g. on a stable-only toolchain.
+set -euo pipefail
+
+if [[ "${SPIN_SKIP_MIRI:-0}" == "1" ]]; then
+    echo "SPIN_SKIP_MIRI=1 — skipping miri suite"
+    exit 0
+fi
+
+if ! cargo miri --version >/dev/null 2>&1; then
+    echo "error: cargo miri is not installed (rustup +nightly component add miri)" >&2
+    echo "hint: set SPIN_SKIP_MIRI=1 to skip locally" >&2
+    exit 1
+fi
+
+# Isolation stays on (default): the checked tests are pure in-memory data
+# structure tests and must not need the OS.
+cargo miri test -p spin-types
+cargo miri test -p spin-sim store::

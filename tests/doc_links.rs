@@ -31,6 +31,10 @@ fn doc_files(root: &Path) -> Vec<PathBuf> {
         files.iter().any(|p| p.ends_with("PROTOCOL.md")),
         "docs/PROTOCOL.md missing — doc set is wrong"
     );
+    assert!(
+        files.iter().any(|p| p.ends_with("VERIFY.md")),
+        "docs/VERIFY.md missing — doc set is wrong"
+    );
     files
 }
 
