@@ -731,29 +731,25 @@ impl SpinAgent {
 
     fn watch_candidates(&self, view: &impl SpinRouterView) -> SmallVec<[Watch; 8]> {
         let mut v = SmallVec::new();
-        for port in 0..view.num_ports() {
-            let port = PortId(port);
+        // Occupied-slot iteration (ascending, like the old full scan) so
+        // the per-cycle rearm costs the number of buffered packets, not the
+        // router's total slot count.
+        view.for_each_occupied(&mut |port, vnet, vc| {
             if !view.is_network_port(port) {
-                continue;
+                return;
             }
-            for vnet in 0..view.num_vnets() {
-                let vnet = Vnet(vnet);
-                for vc in 0..view.num_vcs(port, vnet) {
-                    let vc = VcId(vc);
-                    let status = view.vc_status(port, vnet, vc);
-                    if status.is_occupied() && status != VcStatus::Ejecting {
-                        if let Some(packet) = view.vc_packet(port, vnet, vc) {
-                            v.push(Watch {
-                                port,
-                                vnet,
-                                vc,
-                                packet,
-                            });
-                        }
-                    }
+            let status = view.vc_status(port, vnet, vc);
+            if status.is_occupied() && status != VcStatus::Ejecting {
+                if let Some(packet) = view.vc_packet(port, vnet, vc) {
+                    v.push(Watch {
+                        port,
+                        vnet,
+                        vc,
+                        packet,
+                    });
                 }
             }
-        }
+        });
         v
     }
 

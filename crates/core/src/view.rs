@@ -55,6 +55,27 @@ pub trait SpinRouterView {
     /// Id of the head packet in the VC, used by the detection counter to
     /// notice that the watched packet moved.
     fn vc_packet(&self, port: PortId, vnet: Vnet, vc: VcId) -> Option<PacketId>;
+
+    /// Calls `f` for every occupied VC, in ascending (port, vnet, vc)
+    /// order — the order a full slot scan visits them. The default scans
+    /// every slot through [`SpinRouterView::vc_status`]; implementations
+    /// backed by an occupancy index (the simulator's router) override it to
+    /// visit only occupied slots, which keeps the agent's per-cycle watch
+    /// scan proportional to buffered packets rather than router radix.
+    fn for_each_occupied(&self, f: &mut dyn FnMut(PortId, Vnet, VcId)) {
+        for port in 0..self.num_ports() {
+            let port = PortId(port);
+            for vnet in 0..self.num_vnets() {
+                let vnet = Vnet(vnet);
+                for vc in 0..self.num_vcs(port, vnet) {
+                    let vc = VcId(vc);
+                    if self.vc_status(port, vnet, vc).is_occupied() {
+                        f(port, vnet, vc);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A simple table-backed [`SpinRouterView`] for unit tests, documentation

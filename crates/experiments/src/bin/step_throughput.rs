@@ -50,7 +50,7 @@ fn time_config(rate: f64, warmup: u64, batch: u64, reps: usize) -> (f64, Vec<f64
         samples.push(dt.as_nanos() as f64 / batch as f64);
     }
     let mut sorted = samples.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     (sorted[reps / 2], samples)
 }
 

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod fault;
 pub mod json;
@@ -347,6 +348,11 @@ where
 }
 
 /// [`parallel_map`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Panics if a worker thread panicked mid-map (the panic is propagated,
+/// and the slot mutexes it held are then poisoned).
 pub fn parallel_map_with_threads<T, R>(
     items: &[T],
     threads: usize,
@@ -363,7 +369,7 @@ where
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(item) = items.get(i) else { break };
         let r = f(item);
-        *slots[i].lock().unwrap() = Some(r);
+        *slots[i].lock().expect("a worker panicked holding a slot") = Some(r);
     };
     if threads == 1 {
         worker();
@@ -376,7 +382,11 @@ where
     }
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("a worker panicked holding a slot")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

@@ -97,7 +97,7 @@ impl FavorsNonMinimal {
         // route minimally."
         if min_ports
             .iter()
-            .any(|&p| view.free_vcs_downstream(src_r, p, pkt.vnet) > 0)
+            .any(|&p| view.has_free_vc_downstream(src_r, p, pkt.vnet))
         {
             return None;
         }

@@ -215,7 +215,7 @@ pub fn select_adaptive(
     let free: SmallVec<[PortId; 8]> = ports
         .iter()
         .copied()
-        .filter(|&p| view.free_vcs_downstream(at, p, vnet) > 0)
+        .filter(|&p| view.has_free_vc_downstream(at, p, vnet))
         .collect();
     if !free.is_empty() {
         return free.choose(rng).copied();

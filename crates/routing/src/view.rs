@@ -17,6 +17,14 @@ pub trait NetworkView {
     /// `at`, for `vnet` (from credits). 0 for unconnected ports.
     fn free_vcs_downstream(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> usize;
 
+    /// Whether at least one downstream VC is free — the only question the
+    /// adaptive selection policies actually ask. Views backed by live credit
+    /// state can override this with an early-exit scan instead of counting
+    /// every VC.
+    fn has_free_vc_downstream(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> bool {
+        self.free_vcs_downstream(at, out_port, vnet) > 0
+    }
+
     /// The minimum "active time" (cycles since allocation) over the
     /// downstream VCs for `vnet`; 0 if any VC is free. FAvORS uses this as
     /// its contention proxy (Sec. V).

@@ -1,0 +1,191 @@
+//! Epoch-stamped, duplicate-free activity sets — the worklists behind the
+//! activity-driven step kernel.
+//!
+//! Every pipeline stage of [`Network::step`](crate::Network::step) iterates
+//! a worklist of the entities that can possibly do work this cycle (routers
+//! holding packets, links carrying phits, NICs with queued traffic) instead
+//! of walking the whole fabric. An [`ActivitySet`] is the tiny data
+//! structure that makes that sound:
+//!
+//! * **duplicate-free inserts** — a per-id mark (stamped with the set's
+//!   current epoch) makes `insert` idempotent, so activity-creation sites
+//!   can mark eagerly without coordination;
+//! * **dense-equivalent iteration order** — ids are handed out ascending
+//!   ([`ActivitySet::sorted_into`]), which is exactly the order the dense
+//!   kernel visits them in, so a worklist walk is bit-identical to a dense
+//!   walk over the same active entities;
+//! * **O(1) clear** — bumping the epoch invalidates every mark at once
+//!   (used by the dense-oracle rebuild paths).
+//!
+//! The invariants the sets must maintain (no lost wakeups, drain to empty
+//! at quiescence) are documented in DESIGN.md §"Activity-driven kernel" and
+//! checked by [`Network::activity_invariants`](crate::Network::activity_invariants)
+//! under the bookkeeping proptest.
+
+/// A duplicate-free set of small integer ids with sorted iteration and O(1)
+/// clear. See the module docs for the role it plays in the step kernel.
+#[derive(Debug, Default)]
+pub(crate) struct ActivitySet {
+    /// `marks[id] == epoch` ⇔ `id` is in `list`.
+    marks: Vec<u32>,
+    /// Member ids, unordered until [`ActivitySet::sort`] runs.
+    list: Vec<u32>,
+    /// Current membership stamp; never 0, so a zeroed mark is never a
+    /// member.
+    epoch: u32,
+    /// True while `list` is known to be ascending.
+    sorted: bool,
+}
+
+impl ActivitySet {
+    /// Creates a set over the id universe `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        ActivitySet {
+            marks: vec![0; n],
+            list: Vec::new(),
+            epoch: 1,
+            sorted: true,
+        }
+    }
+
+    /// Number of member ids.
+    pub(crate) fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when no id is a member.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// True if `id` is a member.
+    pub(crate) fn contains(&self, id: usize) -> bool {
+        self.marks[id] == self.epoch
+    }
+
+    /// Inserts `id`; a no-op if already present.
+    #[inline]
+    pub(crate) fn insert(&mut self, id: usize) {
+        if self.marks[id] != self.epoch {
+            self.marks[id] = self.epoch;
+            self.sorted = self.sorted
+                && self
+                    .list
+                    .last()
+                    .is_none_or(|&last| last < id as u32);
+            self.list.push(id as u32);
+        }
+    }
+
+    /// Sorts the member list ascending (idempotent; lazily deferred until a
+    /// stage actually iterates).
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.list.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Appends the member ids to `out` in ascending order — the dense
+    /// kernel's visit order over the active subset.
+    pub(crate) fn sorted_into(&mut self, out: &mut Vec<u32>) {
+        self.sort();
+        out.extend_from_slice(&self.list);
+    }
+
+    /// Keeps only members satisfying `keep`; dropped ids leave the set.
+    /// Membership order is preserved.
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        let marks = &mut self.marks;
+        self.list.retain(|&id| {
+            if keep(id) {
+                true
+            } else {
+                marks[id as usize] = 0;
+                false
+            }
+        });
+    }
+
+    /// Removes every member in O(1) (epoch bump).
+    pub(crate) fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.marks.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.list.clear();
+        self.sorted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent_and_sorted() {
+        let mut s = ActivitySet::new(10);
+        for id in [7, 3, 3, 9, 0, 7] {
+            s.insert(id);
+        }
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(3) && s.contains(7) && !s.contains(1));
+        let mut out = Vec::new();
+        s.sorted_into(&mut out);
+        assert_eq!(out, vec![0, 3, 7, 9]);
+    }
+
+    #[test]
+    fn ascending_inserts_skip_the_sort() {
+        let mut s = ActivitySet::new(8);
+        for id in 0..8 {
+            s.insert(id);
+        }
+        assert!(s.sorted);
+        let mut out = Vec::new();
+        s.sorted_into(&mut out);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retain_drops_membership() {
+        let mut s = ActivitySet::new(6);
+        for id in 0..6 {
+            s.insert(id);
+        }
+        s.retain(|id| id % 2 == 0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(1) && s.contains(2));
+        // A dropped id can rejoin.
+        s.insert(1);
+        assert!(s.contains(1));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn clear_is_total_and_reusable() {
+        let mut s = ActivitySet::new(4);
+        s.insert(2);
+        s.clear();
+        assert!(s.is_empty() && !s.contains(2));
+        s.insert(2);
+        assert!(s.contains(2));
+        let mut out = Vec::new();
+        s.sorted_into(&mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn epoch_wraparound_rezeros_marks() {
+        let mut s = ActivitySet::new(3);
+        s.epoch = u32::MAX;
+        s.insert(1);
+        s.clear();
+        assert_eq!(s.epoch, 1);
+        assert!(!s.contains(1));
+        s.insert(1);
+        assert!(s.contains(1));
+    }
+}

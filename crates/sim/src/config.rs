@@ -145,6 +145,7 @@ pub struct NetworkBuilder {
     pub(crate) trace: Option<Box<dyn TraceSink>>,
     pub(crate) faults: FaultPlan,
     pub(crate) static_model: Option<Box<dyn StaticModel>>,
+    pub(crate) dense_step: Option<bool>,
 }
 
 impl NetworkBuilder {
@@ -159,6 +160,7 @@ impl NetworkBuilder {
             trace: None,
             faults: FaultPlan::new(),
             static_model: None,
+            dense_step: None,
         }
     }
 
@@ -210,6 +212,18 @@ impl NetworkBuilder {
     /// per potential emission site.
     pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Forces the step kernel's iteration strategy: `true` restores the
+    /// dense pre-worklist kernel (every stage walks every router, link and
+    /// NIC) while keeping the activity bookkeeping identical — the oracle
+    /// the differential tests step in lockstep with the worklist kernel.
+    /// The default follows the `SPIN_DENSE_STEP=1` environment escape
+    /// hatch, else worklist stepping. Results are bit-identical either
+    /// way; dense mode only costs time.
+    pub fn dense_step(mut self, dense: bool) -> Self {
+        self.dense_step = Some(dense);
         self
     }
 

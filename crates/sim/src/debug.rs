@@ -15,6 +15,79 @@ use spin_types::{PortId, RouterId, VcId, Vnet};
 use std::fmt::Write as _;
 
 impl Network {
+    /// Checks the activity-worklist bookkeeping invariants against ground
+    /// truth (a full scan of every router, link and NIC) and returns the
+    /// first violation found, if any. See DESIGN.md §"Activity-driven
+    /// kernel" for the invariants; the worklist proptest drives this after
+    /// random injection/fault schedules.
+    ///
+    /// 1. Every router's occupied-slot list exactly mirrors its non-empty
+    ///    VC queues (no lost packet, no stale slot).
+    /// 2. Every router with buffered packets, an undelivered SM, or a
+    ///    non-idle SPIN agent is in the active-router set (no lost wakeup).
+    /// 3. Every link (network or injection) with phits in flight is in the
+    ///    active-link set.
+    /// 4. Every NIC with queued packets or a mid-stream injection is in
+    ///    the active-NIC set.
+    pub fn activity_invariants(&self) -> Result<(), String> {
+        for (i, router) in self.routers.iter().enumerate() {
+            let truth = router.scan_occupied_slots();
+            if router.active_slot_list() != truth.as_slice() {
+                return Err(format!(
+                    "router {i}: active_slots {:?} != occupied queues {truth:?}",
+                    router.active_slot_list()
+                ));
+            }
+            let busy = !router.is_idle()
+                || !self.inbox[i].is_empty()
+                || (self.spin_enabled
+                    && (self.agents[i].state() != spin_core::FsmState::Off
+                        || self.agents[i].is_spinning()));
+            if busy && !self.active_routers.contains(i) {
+                return Err(format!("router {i} is busy but not in the active set"));
+            }
+        }
+        for (lid, &(r, p)) in self.link_owner.iter().enumerate() {
+            if self.out_links[r as usize][p as usize].in_flight() > 0
+                && !self.active_links.contains(lid)
+            {
+                return Err(format!(
+                    "link ({r}, {p}) carries phits but is not in the active set"
+                ));
+            }
+        }
+        for (n, link) in self.inj_links.iter().enumerate() {
+            if link.in_flight() > 0 && !self.active_links.contains(self.inj_base as usize + n) {
+                return Err(format!(
+                    "injection link {n} carries phits but is not in the active set"
+                ));
+            }
+        }
+        for (n, nic) in self.nics.iter().enumerate() {
+            if (nic.active.is_some() || nic.queued() > 0) && !self.active_nics.contains(n) {
+                return Err(format!("NIC {n} has work but is not in the active set"));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every activity worklist has drained — the quiescent state
+    /// an idle network must reach (and the cheap witness that stepping it
+    /// further costs near-nothing).
+    pub fn activity_idle(&self) -> bool {
+        self.active_routers.is_empty() && self.active_links.is_empty() && self.active_nics.is_empty()
+    }
+
+    /// Current worklist sizes `(routers, links, nics)` — a load gauge for
+    /// diagnostics and the worklist perf tests.
+    pub fn activity_sizes(&self) -> (usize, usize, usize) {
+        (
+            self.active_routers.len(),
+            self.active_links.len(),
+            self.active_nics.len(),
+        )
+    }
+
     /// Builds the AND-OR wait-for graph of the current buffer state (see
     /// [`spin_deadlock::WaitGraph`]).
     ///

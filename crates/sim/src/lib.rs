@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+mod activity;
 mod config;
 mod debug;
 pub mod faults;

@@ -3,6 +3,7 @@
 //! [`crate::pipeline`] (one module per stage) and the debug/ground-truth
 //! exports in [`crate::debug`].
 
+use crate::activity::ActivitySet;
 use crate::config::{NetworkBuilder, SimConfig, Switching};
 use crate::faults::FaultPlan;
 use crate::link::{Link, Phit};
@@ -14,7 +15,7 @@ use crate::stats::NetStats;
 use crate::store::PacketStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spin_core::{RotatingPriority, Sm, SpinAgent, SpinConfig, SpinStats};
+use spin_core::{FsmState, RotatingPriority, Sm, SpinAgent, SpinConfig, SpinStats};
 use spin_routing::{Routing, XyRouting};
 use spin_topology::Topology;
 use spin_trace::{TraceEvent, TraceRecord, TraceSink};
@@ -65,10 +66,6 @@ pub struct Network {
     /// Time-series metrics epoch ring (see `SimConfig::metrics`).
     pub(crate) metrics: Option<MetricsRing>,
     pub(crate) scratch_phits: Vec<Phit>,
-    /// Reused buffer for [`crate::router::Router::active_coords_into`]: the
-    /// three per-cycle stages that walk occupied VCs fill this instead of
-    /// allocating a fresh coordinate list per router per stage.
-    pub(crate) scratch_coords: Vec<(PortId, Vnet, VcId)>,
     /// Scheduled runtime link faults (sorted; see [`crate::faults`]).
     pub(crate) faults: FaultPlan,
     /// Index of the next unapplied event in `faults`.
@@ -82,6 +79,44 @@ pub struct Network {
     pub(crate) static_model: Option<Box<dyn crate::static_model::StaticModel>>,
     /// Episode tracking and recorded violations for the static model.
     pub(crate) xval: crate::static_model::CrossValidation,
+    /// Routers that may do work this cycle: any router holding packets, an
+    /// undelivered SM, or a non-idle SPIN agent (see [`crate::activity`]).
+    /// Inserted where activity is created (flit/SM arrival, agent state
+    /// changes, fault endpoints); pruned once per cycle at the end of
+    /// [`Network::step`].
+    pub(crate) active_routers: ActivitySet,
+    /// Links with phits in flight, over the flat id space `link_base[r] +
+    /// p` for router out-links followed by `inj_base + n` for injection
+    /// links — ascending flat order is exactly the dense delivery order.
+    /// Inserted at every send site; pruned in delivery.
+    pub(crate) active_links: ActivitySet,
+    /// NICs with queued packets or an active injection stream. Inserted
+    /// when the traffic source emits a packet; pruned in injection.
+    pub(crate) active_nics: ActivitySet,
+    /// Flat link-id base per router (prefix sums of radixes, like
+    /// `MetricsRing::link_index`).
+    pub(crate) link_base: Vec<u32>,
+    /// First flat id of the injection links (== total out-link count).
+    pub(crate) inj_base: u32,
+    /// Reverse map: flat out-link id -> (router, port).
+    pub(crate) link_owner: Vec<(u32, u8)>,
+    /// Scratch buffer for per-stage worklist snapshots.
+    pub(crate) scratch_ids: Vec<u32>,
+    /// This cycle's router worklist snapshot (see
+    /// [`Network::build_coord_cache`]).
+    pub(crate) cycle_ids: Vec<u32>,
+    /// Per `cycle_ids` entry: the `[lo, hi)` range of `cycle_coords`
+    /// holding that router's occupied VC coordinates.
+    pub(crate) cycle_ranges: Vec<(u32, u32)>,
+    /// Concatenated occupied `(port, vnet, vc)` coordinates of every router
+    /// in `cycle_ids`, each slice in ascending slot order.
+    pub(crate) cycle_coords: Vec<(PortId, Vnet, VcId)>,
+    /// Dense-step oracle mode: every stage iterates the full entity range
+    /// (the pre-worklist kernel) while maintaining identical activity
+    /// bookkeeping. Enabled via [`NetworkBuilder::dense_step`] or
+    /// `SPIN_DENSE_STEP=1`; the differential tests step both kernels in
+    /// lockstep.
+    pub(crate) dense_step: bool,
 }
 
 impl Network {
@@ -148,6 +183,21 @@ impl Network {
             .map(|n| Nic::new(NodeId(n as u32), b.cfg.vnets))
             .collect();
         let inbox = vec![Vec::new(); topo.num_routers()];
+        let mut link_base = Vec::with_capacity(topo.num_routers());
+        let mut link_owner = Vec::new();
+        let mut flat = 0u32;
+        for r in 0..topo.num_routers() {
+            link_base.push(flat);
+            let radix = topo.radix(RouterId(r as u32)) as u32;
+            for p in 0..radix {
+                link_owner.push((r as u32, p as u8));
+            }
+            flat += radix;
+        }
+        let inj_base = flat;
+        let dense_step = b.dense_step.unwrap_or_else(|| {
+            std::env::var("SPIN_DENSE_STEP").map(|v| v == "1").unwrap_or(false)
+        });
         let metrics = b.cfg.metrics.map(|mc| {
             let radixes: Vec<usize> = (0..topo.num_routers())
                 .map(|r| topo.radix(RouterId(r as u32)))
@@ -177,12 +227,22 @@ impl Network {
             trace: b.trace,
             metrics,
             scratch_phits: Vec::new(),
-            scratch_coords: Vec::new(),
             faults: b.faults,
             fault_cursor: 0,
             dead_links: Vec::new(),
             static_model: b.static_model,
             xval: crate::static_model::CrossValidation::default(),
+            active_routers: ActivitySet::new(topo.num_routers()),
+            active_links: ActivitySet::new(inj_base as usize + topo.num_nodes()),
+            active_nics: ActivitySet::new(topo.num_nodes()),
+            link_base,
+            inj_base,
+            link_owner,
+            scratch_ids: Vec::new(),
+            cycle_ids: Vec::new(),
+            cycle_ranges: Vec::new(),
+            cycle_coords: Vec::new(),
+            dense_step,
             cfg: b.cfg,
             routing,
             traffic,
@@ -323,6 +383,7 @@ impl Network {
         self.sm_busy.clear();
         self.pending_sms.clear();
         self.deliver_phits(); // pipeline::delivery
+        self.build_coord_cache();
         self.process_sms(); // pipeline::spin_engine
         self.agents_tick(); // pipeline::spin_engine
         self.resolve_sms(); // pipeline::spin_engine
@@ -331,6 +392,7 @@ impl Network {
         self.vc_allocate(); // pipeline::vc_alloc
         self.switch_traverse(); // pipeline::sw_alloc (sends via traversal)
         self.spin_completions(); // pipeline::spin_engine
+        self.prune_idle_routers();
         self.stats.cycles = self.now;
         self.stats.link_use.total += self.num_network_links;
         if let Some(m) = &mut self.metrics {
@@ -340,6 +402,112 @@ impl Network {
                 m.rollover(self.now, snap);
             }
         }
+    }
+
+    /// True when the kernel is running in dense-oracle mode (see
+    /// [`NetworkBuilder::dense_step`]).
+    pub fn dense_step(&self) -> bool {
+        self.dense_step
+    }
+
+    /// Marks a router as possibly having work next stage/cycle.
+    #[inline]
+    pub(crate) fn mark_router(&mut self, r: RouterId) {
+        self.active_routers.insert(r.index());
+    }
+
+    /// Marks the out-link (router `i`, `port`) as carrying phits.
+    #[inline]
+    pub(crate) fn mark_link(&mut self, i: usize, port: PortId) {
+        self.active_links
+            .insert(self.link_base[i] as usize + port.index());
+    }
+
+    /// Marks injection link `n` as carrying phits.
+    #[inline]
+    pub(crate) fn mark_inj_link(&mut self, n: usize) {
+        self.active_links.insert(self.inj_base as usize + n);
+    }
+
+    /// Fills `out` with this stage's router worklist: every router in
+    /// dense-oracle mode, otherwise the active set — both ascending, the
+    /// dense visit order. A snapshot per stage is sound because no stage
+    /// creates same-stage work on a router it has not yet visited (arrivals
+    /// land next delivery; agent actions target the acting router).
+    pub(crate) fn router_worklist_into(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        if self.dense_step {
+            out.extend(0..self.routers.len() as u32);
+        } else {
+            self.active_routers.sorted_into(out);
+        }
+    }
+
+    /// Builds the shared per-cycle router worklist snapshot (`cycle_ids`)
+    /// and occupied-coordinate cache (`cycle_ranges` + `cycle_coords`)
+    /// consumed by every stage after delivery.
+    ///
+    /// One snapshot per cycle is bit-identical to rebuilding it at the top
+    /// of every stage because (a) active-router membership only grows in
+    /// `apply_faults` and `deliver_phits` (flit/SM arrival), both already
+    /// run, and (b) VC occupancy changes only at delivery (push), fault
+    /// removal, and switch traversal (pop) — and a router's sends in
+    /// `switch_traverse` happen only after its own arbitration consumed the
+    /// cache, exactly like the per-stage rebuild this replaces.
+    pub(crate) fn build_coord_cache(&mut self) {
+        let mut ids = std::mem::take(&mut self.cycle_ids);
+        self.router_worklist_into(&mut ids);
+        self.cycle_ranges.clear();
+        self.cycle_coords.clear();
+        for &ri in &ids {
+            let lo = self.cycle_coords.len() as u32;
+            self.routers[ri as usize].append_coords(&mut self.cycle_coords);
+            self.cycle_ranges
+                .push((lo, self.cycle_coords.len() as u32));
+        }
+        self.cycle_ids = ids;
+    }
+
+    /// Hands the per-cycle coordinate cache to a stage (borrow-splitting;
+    /// pair with [`Network::restore_coord_cache`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn take_coord_cache(
+        &mut self,
+    ) -> (Vec<u32>, Vec<(u32, u32)>, Vec<(PortId, Vnet, VcId)>) {
+        (
+            std::mem::take(&mut self.cycle_ids),
+            std::mem::take(&mut self.cycle_ranges),
+            std::mem::take(&mut self.cycle_coords),
+        )
+    }
+
+    /// Returns the buffers taken by [`Network::take_coord_cache`].
+    pub(crate) fn restore_coord_cache(
+        &mut self,
+        ids: Vec<u32>,
+        ranges: Vec<(u32, u32)>,
+        coords: Vec<(PortId, Vnet, VcId)>,
+    ) {
+        self.cycle_ids = ids;
+        self.cycle_ranges = ranges;
+        self.cycle_coords = coords;
+    }
+
+    /// End-of-cycle worklist retention: a router stays active while it
+    /// holds packets, has an undelivered SM, or its SPIN agent is running
+    /// (deadlines tick even with empty buffers). Every other wakeup source
+    /// re-inserts at the point activity is created, so dropping a router
+    /// here can never lose one.
+    fn prune_idle_routers(&mut self) {
+        let mut active = std::mem::take(&mut self.active_routers);
+        active.retain(|i| {
+            let i = i as usize;
+            !self.routers[i].is_idle()
+                || !self.inbox[i].is_empty()
+                || (self.spin_enabled
+                    && (self.agents[i].state() != FsmState::Off || self.agents[i].is_spinning()))
+        });
+        self.active_routers = active;
     }
 
     /// The routing-visible congestion view at the current cycle.

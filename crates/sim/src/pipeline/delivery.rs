@@ -13,15 +13,35 @@ impl Network {
     pub(crate) fn deliver_phits(&mut self) {
         let now = self.now;
         let mut phits = std::mem::take(&mut self.scratch_phits);
-        for r in 0..self.routers.len() {
-            for p in 0..self.out_links[r].len() {
-                phits.clear();
-                self.out_links[r][p].deliver(now, &mut phits);
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        // The flat link-id space puts router out-links (ascending (r, p))
+        // before injection links (ascending node), so walking the worklist
+        // in id order replays the dense two-phase delivery order exactly.
+        ids.clear();
+        if self.dense_step {
+            ids.extend(0..self.inj_base + self.inj_links.len() as u32);
+        } else {
+            self.active_links.sorted_into(&mut ids);
+        }
+        // Retention is folded into the walk: the set is epoch-cleared, then
+        // each visited link re-inserts itself (ascending, so the list stays
+        // sorted) while its wire still carries phits. Fault-killed links
+        // drain to empty and fall out here too; every send site re-inserts.
+        self.active_links.clear();
+        for &lid in &ids {
+            phits.clear();
+            if lid < self.inj_base {
+                let (r, p) = self.link_owner[lid as usize];
+                let link = &mut self.out_links[r as usize][p as usize];
+                link.deliver(now, &mut phits);
+                if link.in_flight() > 0 {
+                    self.active_links.insert(lid as usize);
+                }
                 if phits.is_empty() {
                     continue;
                 }
-                let rid = RouterId(r as u32);
-                let port = self.topo.port(rid, PortId(p as u8));
+                let rid = RouterId(r);
+                let port = self.topo.port(rid, PortId(p));
                 if let Some(node) = port.node {
                     for phit in phits.drain(..) {
                         if let Phit::Flit { flit, .. } = phit {
@@ -35,23 +55,27 @@ impl Network {
                                 self.arrive_flit(peer.router, peer.port, flit, vc, spin, true);
                             }
                             Phit::Sm(sm) => {
+                                self.mark_router(peer.router);
                                 self.inbox[peer.router.index()].push((peer.port, *sm));
                             }
                         }
                     }
                 }
-            }
-        }
-        for n in 0..self.inj_links.len() {
-            phits.clear();
-            self.inj_links[n].deliver(now, &mut phits);
-            let at = self.topo.node_attach(NodeId(n as u32));
-            for phit in phits.drain(..) {
-                if let Phit::Flit { flit, vc, spin } = phit {
-                    self.arrive_flit(at.router, at.port, flit, vc, spin, false);
+            } else {
+                let n = (lid - self.inj_base) as usize;
+                self.inj_links[n].deliver(now, &mut phits);
+                if self.inj_links[n].in_flight() > 0 {
+                    self.active_links.insert(lid as usize);
+                }
+                let at = self.topo.node_attach(NodeId(n as u32));
+                for phit in phits.drain(..) {
+                    if let Phit::Flit { flit, vc, spin } = phit {
+                        self.arrive_flit(at.router, at.port, flit, vc, spin, false);
+                    }
                 }
             }
         }
+        self.scratch_ids = ids;
         self.scratch_phits = phits;
     }
 
@@ -65,6 +89,8 @@ impl Network {
         network_hop: bool,
     ) {
         let now = self.now;
+        // Any arrival is a wakeup: the router has a flit to act on.
+        self.mark_router(r);
         let vnet = self.store.get(flit.packet).vnet;
         let tvc = if spin {
             match self.routers[r.index()].spin_rx(p, vnet) {
@@ -80,14 +106,10 @@ impl Network {
         if flit.kind.is_head() {
             // The one per-hop header mutation: routing state advances on
             // the single authoritative header in the store, not on flit
-            // copies.
+            // copies. One store lookup covers the hop counters, the
+            // intermediate-target check and the trace id.
             let is_global = network_hop && self.topo.is_global_port(r, p);
-            let intermediate_here = {
-                let pkt = self.store.get(flit.packet);
-                pkt.intermediate
-                    .map(|i| self.topo.node_router(i) == r)
-                    .unwrap_or(false)
-            };
+            let topo = &self.topo;
             let pkt = self.store.get_mut(flit.packet);
             if network_hop {
                 pkt.hops += 1;
@@ -95,12 +117,14 @@ impl Network {
                     pkt.global_hops += 1;
                 }
             }
-            if intermediate_here {
-                pkt.intermediate = None;
+            if let Some(inter) = pkt.intermediate {
+                if topo.node_router(inter) == r {
+                    pkt.intermediate = None;
+                }
             }
             let len = pkt.len;
+            let packet = pkt.id;
             if network_hop && self.trace_on() {
-                let packet = self.store.get(flit.packet).id;
                 self.emit(TraceEvent::PacketHop {
                     packet,
                     router: r,
@@ -112,7 +136,7 @@ impl Network {
             pb.received = 1;
             let router = &mut self.routers[r.index()];
             if router.vc(p, vnet, tvc).q.is_empty() {
-                router.occupied_vcs += 1;
+                router.note_occupied(p, vnet, tvc);
             }
             router.vc_mut(p, vnet, tvc).q.push_back(pb);
         } else {
@@ -125,14 +149,14 @@ impl Network {
                 self.stats.spin_orphans += 1;
             }
         }
-        self.meta.occ_add(now, r, p, vnet, tvc, 1);
         if spin {
+            self.meta.occ_add(now, r, p, vnet, tvc, 1);
             self.meta.spin_inflight_add(r, p, vnet, -1);
             if flit.kind.is_tail() {
                 self.routers[r.index()].clear_spin_rx(p, vnet);
             }
         } else {
-            self.meta.inflight_add(now, r, p, vnet, tvc, -1);
+            self.meta.arrive(now, r, p, vnet, tvc);
         }
         let occ = self.routers[r.index()].vc(p, vnet, tvc).occupancy();
         if occ > self.cfg.vc_depth as usize {

@@ -84,6 +84,10 @@ impl Network {
         };
         self.stats.links_killed += 1;
         self.dead_links.push((a, b, latency));
+        // Both endpoints have work to do this cycle (SPIN resets, meta
+        // resync, re-routing) even if they were idle.
+        self.mark_router(a.router);
+        self.mark_router(b.router);
         // Two directed links left the utilisation denominator mid-step
         // (stats.link_use.total accrues num_network_links per cycle).
         self.num_network_links -= 2;
@@ -218,6 +222,8 @@ impl Network {
         self.dead_links.remove(idx);
         self.num_network_links += 2;
         self.stats.links_healed += 1;
+        self.mark_router(ea.router);
+        self.mark_router(eb.router);
         // The wires were drained at the kill and the credit mirror at both
         // input ports was reset then (and kept in sync by ordinary sends
         // since — a dead output cannot be allocated), so the link is clean;
@@ -248,7 +254,7 @@ impl Network {
         // order.
         for ri in 0..self.routers.len() {
             let rid = RouterId(ri as u32);
-            if self.routers[ri].occupied_vcs == 0 {
+            if self.routers[ri].is_idle() {
                 continue;
             }
             let coords: Vec<_> = self.routers[ri].vc_coords().collect();
@@ -273,7 +279,7 @@ impl Network {
                         }
                     }
                     if !removed.is_empty() && vcb.q.is_empty() {
-                        self.routers[ri].occupied_vcs -= 1;
+                        self.routers[ri].note_emptied(pi, vn, vi);
                     }
                 }
                 for pb in removed {
@@ -424,7 +430,7 @@ impl Network {
     fn clear_unallocated_choices(&mut self) -> u32 {
         let mut cleared = 0u32;
         for ri in 0..self.routers.len() {
-            if self.routers[ri].occupied_vcs == 0 {
+            if self.routers[ri].is_idle() {
                 continue;
             }
             for vns in self.routers[ri].in_vcs.iter_mut() {

@@ -13,6 +13,14 @@ use spin_types::{Flit, NodeId, PacketBuilder, VcId, Vnet};
 impl Network {
     pub(crate) fn inject(&mut self) {
         let now = self.now;
+        // Generation pass — always dense. The traffic source owns a single
+        // shared RNG drawn in node-ascending order every cycle; skipping
+        // idle nodes would shift the stream for everyone after them. This
+        // pass is decoupled from streaming below: generation reads only
+        // network-port congestion (routing's `at_injection`) while
+        // start/stream mutate only each NIC's own local attach-port state,
+        // so running all generations first is bit-identical to the old
+        // interleaved loop.
         for n in 0..self.nics.len() {
             let node = NodeId(n as u32);
             if let Some(spec) = self.traffic.generate(node, now) {
@@ -50,7 +58,26 @@ impl Network {
                 // carries the handle.
                 let handle = self.store.insert(pkt);
                 self.nics[n].queues[spec.vnet.index()].push_back(handle);
+                self.active_nics.insert(n);
             }
+        }
+        // Streaming pass — worklist-driven: only NICs with queued packets
+        // or a mid-stream injection.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        if self.dense_step {
+            ids.extend(0..self.nics.len() as u32);
+        } else {
+            self.active_nics.sorted_into(&mut ids);
+        }
+        // Retention is folded into the walk (set cleared, each visited NIC
+        // re-inserts itself while it still has work): a NIC leaves the
+        // worklist once it has nothing queued and nothing mid-stream;
+        // generation re-inserts on the next packet.
+        self.active_nics.clear();
+        for &nid in &ids {
+            let n = nid as usize;
+            let node = NodeId(nid);
             // Start streaming a new packet if idle.
             if self.nics[n].active.is_none() {
                 if let Some(vn) = self.nics[n].next_vnet() {
@@ -105,31 +132,37 @@ impl Network {
                         == 0
                 {
                     self.nics[n].active = Some(act);
-                    continue;
-                }
-                let flit = Flit::new(act.handle, act.flits_sent, act.len);
-                let is_tail = flit.kind.is_tail();
-                self.inj_links[n].send(
-                    now,
-                    Phit::Flit {
-                        flit,
-                        vc: act.vc,
-                        spin: false,
-                    },
-                );
-                self.meta
-                    .inflight_add(now, at.router, at.port, act.vnet, act.vc, 1);
-                self.stats.flits_injected += 1;
-                if let Some(m) = &mut self.metrics {
-                    m.on_flit_injected();
-                }
-                act.flits_sent += 1;
-                if is_tail {
-                    self.meta.release(now, at.router, at.port, act.vnet, act.vc);
                 } else {
-                    self.nics[n].active = Some(act);
+                    let flit = Flit::new(act.handle, act.flits_sent, act.len);
+                    let is_tail = flit.kind.is_tail();
+                    self.inj_links[n].send(
+                        now,
+                        Phit::Flit {
+                            flit,
+                            vc: act.vc,
+                            spin: false,
+                        },
+                    );
+                    self.mark_inj_link(n);
+                    self.meta
+                        .inflight_add(now, at.router, at.port, act.vnet, act.vc, 1);
+                    self.stats.flits_injected += 1;
+                    if let Some(m) = &mut self.metrics {
+                        m.on_flit_injected();
+                    }
+                    act.flits_sent += 1;
+                    if is_tail {
+                        self.meta.release(now, at.router, at.port, act.vnet, act.vc);
+                    } else {
+                        self.nics[n].active = Some(act);
+                    }
                 }
             }
+            let nic = &self.nics[n];
+            if nic.active.is_some() || nic.queues.iter().any(|q| !q.is_empty()) {
+                self.active_nics.insert(n);
+            }
         }
+        self.scratch_ids = ids;
     }
 }

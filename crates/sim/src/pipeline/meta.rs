@@ -135,6 +135,32 @@ impl MetaTable {
         self.touch(now, i);
     }
 
+    /// A normal (non-spin) flit arrival: the wire count moves into buffered
+    /// occupancy. Fuses `occ_add(+1)` + `inflight_add(-1)` into one index
+    /// computation and one busy-transition check — the per-flit delivery
+    /// path runs this once per hop.
+    pub(crate) fn arrive(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
+        let i = self.idx(r, p, vn, vc);
+        let m = &mut self.data[i];
+        m.occupancy += 1;
+        m.inflight = m.inflight.saturating_sub(1);
+        self.touch(now, i);
+    }
+
+    /// A normal (non-spin) flit send towards downstream VC (r, p, vn, vc):
+    /// one more flit on the wire, and a tail releases the upstream
+    /// reservation. Fuses `inflight_add(+1)` + conditional `release` into
+    /// one index computation and one busy-transition check.
+    pub(crate) fn wire(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId, tail: bool) {
+        let i = self.idx(r, p, vn, vc);
+        let m = &mut self.data[i];
+        m.inflight += 1;
+        if tail {
+            m.reserved = false;
+        }
+        self.touch(now, i);
+    }
+
     /// Free flit slots in a VC buffer (for wormhole per-flit flow control).
     pub(crate) fn space(&self, r: RouterId, p: PortId, vn: Vnet, vc: VcId, depth: u16) -> u16 {
         let m = self.get(r, p, vn, vc);
@@ -210,6 +236,14 @@ impl NetworkView for NetView<'_> {
             .filter(|&v| Some(VcId(v)) != self.hidden_vc)
             .filter(|&v| self.meta.allocatable(peer.router, peer.port, vnet, VcId(v)))
             .count()
+    }
+    fn has_free_vc_downstream(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> bool {
+        let Some(peer) = self.topo.neighbor(at, out_port) else {
+            return false;
+        };
+        (0..self.vcs)
+            .filter(|&v| Some(VcId(v)) != self.hidden_vc)
+            .any(|v| self.meta.allocatable(peer.router, peer.port, vnet, VcId(v)))
     }
     fn min_vc_active_time(&self, at: RouterId, out_port: PortId, vnet: Vnet) -> u64 {
         let Some(peer) = self.topo.neighbor(at, out_port) else {

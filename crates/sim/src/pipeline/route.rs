@@ -12,14 +12,15 @@ impl Network {
     pub(crate) fn route_compute(&mut self) {
         let now = self.now;
         let reserved = VcId(self.cfg.vcs_per_vnet - 1);
-        let mut coords = std::mem::take(&mut self.scratch_coords);
-        for i in 0..self.routers.len() {
-            if self.routers[i].occupied_vcs == 0 {
-                continue;
+        let (ids, ranges, coords) = self.take_coord_cache();
+        for (k, &ri) in ids.iter().enumerate() {
+            let i = ri as usize;
+            let (lo, hi) = ranges[k];
+            if lo == hi {
+                continue; // idle router (dense-oracle mode visits them all)
             }
-            let rid = RouterId(i as u32);
-            self.routers[i].active_coords_into(&mut coords);
-            for &(p, vn, v) in &coords {
+            let rid = RouterId(ri);
+            for &(p, vn, v) in &coords[lo as usize..hi as usize] {
                 let vcb = self.routers[i].vc(p, vn, v);
                 let Some(pb) = vcb.head() else { continue };
                 if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.received == 0 {
@@ -76,6 +77,6 @@ impl Network {
                 }
             }
         }
-        self.scratch_coords = coords;
+        self.restore_coord_cache(ids, ranges, coords);
     }
 }

@@ -66,13 +66,17 @@ fn drop_deltas(before: &SpinStats, after: &SpinStats) -> impl Iterator<Item = Pr
 impl Network {
     pub(crate) fn process_sms(&mut self) {
         if !self.spin_enabled {
-            for ib in &mut self.inbox {
-                ib.clear();
-            }
+            // SMs only ever originate from SPIN agents, so without SPIN the
+            // inboxes are provably empty — nothing to clear.
+            debug_assert!(self.inbox.iter().all(Vec::is_empty));
             return;
         }
         let now = self.now;
-        for i in 0..self.routers.len() {
+        // An SM in the inbox implies the receiving router was marked at
+        // delivery, so the cycle snapshot covers every non-empty inbox.
+        let ids = std::mem::take(&mut self.cycle_ids);
+        for &ri in &ids {
+            let i = ri as usize;
             if self.inbox[i].is_empty() {
                 continue;
             }
@@ -110,6 +114,7 @@ impl Network {
                 self.apply_actions(i, actions);
             }
         }
+        self.cycle_ids = ids;
     }
 
     pub(crate) fn agents_tick(&mut self) {
@@ -117,10 +122,15 @@ impl Network {
             return;
         }
         let now = self.now;
-        for i in 0..self.routers.len() {
+        // Agents leave the Off state only while their router is active, and
+        // end-of-cycle retention keeps every non-Off agent's router in the
+        // set, so the cycle snapshot covers all tickable agents.
+        let ids = std::mem::take(&mut self.cycle_ids);
+        for &ri in &ids {
+            let i = ri as usize;
             // An idle router with an Off FSM has nothing to do; skipping it
             // keeps large lightly-loaded networks cheap.
-            if self.routers[i].occupied_vcs == 0 && self.agents[i].state() == FsmState::Off {
+            if self.routers[i].is_idle() && self.agents[i].state() == FsmState::Off {
                 continue;
             }
             let actions = {
@@ -133,6 +143,7 @@ impl Network {
             };
             self.apply_actions(i, actions);
         }
+        self.cycle_ids = ids;
     }
 
     pub(crate) fn apply_actions(&mut self, i: usize, actions: Vec<Action>) {
@@ -303,6 +314,7 @@ impl Network {
             }
             self.sm_busy.push((r.0, p.0));
             self.out_links[r.index()][p.index()].send(now, Phit::Sm(Box::new(sm)));
+            self.mark_link(r.index(), p);
             idx = end + 1;
         }
     }
@@ -312,7 +324,12 @@ impl Network {
             return;
         }
         let now = self.now;
-        for i in 0..self.routers.len() {
+        // A spinning agent's router is always retained in the active set
+        // (see `prune_idle_routers`), so the cycle snapshot covers every
+        // potential completion.
+        let ids = std::mem::take(&mut self.cycle_ids);
+        for &ri in &ids {
+            let i = ri as usize;
             if self.agents[i].is_spinning() && !self.routers[i].any_spinning() {
                 let initiator = self.agents[i].state() == FsmState::ForwardProgress;
                 if initiator {
@@ -340,5 +357,6 @@ impl Network {
                 self.apply_actions(i, actions);
             }
         }
+        self.cycle_ids = ids;
     }
 }

@@ -9,15 +9,23 @@ use spin_types::{PortId, RouterId, VcId};
 
 impl Network {
     pub(crate) fn switch_traverse(&mut self) {
-        let mut coords = std::mem::take(&mut self.scratch_coords);
-        for i in 0..self.routers.len() {
-            if self.routers[i].occupied_vcs == 0 {
-                continue;
+        let (ids, ranges, coords) = self.take_coord_cache();
+        // Candidate out-ports of the router under arbitration (reused
+        // across routers). A port no resident packet wants is a no-op in
+        // the dense kernel — no spin stream, no round-robin winner, no
+        // pointer update — so arbitrating only wanted ports is
+        // state-identical while skipping the all-ports walk.
+        let mut cand_ports: Vec<u8> = Vec::new();
+        for (k, &ri) in ids.iter().enumerate() {
+            let i = ri as usize;
+            let (lo, hi) = ranges[k];
+            if lo == hi {
+                continue; // idle router (dense-oracle mode visits them all)
             }
-            let rid = RouterId(i as u32);
-            self.routers[i].active_coords_into(&mut coords);
+            let rid = RouterId(ri);
+            let rc = &coords[lo as usize..hi as usize];
             // Ejection: stall-free, unbounded bandwidth (paper Sec. II-F).
-            for &(p, vn, v) in &coords {
+            for &(p, vn, v) in rc {
                 let vcb = self.routers[i].vc(p, vn, v);
                 let Some(pb) = vcb.head() else { continue };
                 let Some((op, _)) = pb.out else { continue };
@@ -25,9 +33,36 @@ impl Network {
                     self.send_flit(i, p, vn, v, op, VcId(0), false);
                 }
             }
-            // Network ports: spins pre-empt, then round-robin SA.
-            for op_idx in 0..self.out_links[i].len() {
-                let op = PortId(op_idx as u8);
+            // Network ports: spins pre-empt, then round-robin SA. Gather
+            // the ports some VC actually wants: a spinning VC streams to
+            // its frozen outport; an unfrozen VC contends for its head's
+            // allocated output.
+            cand_ports.clear();
+            if self.dense_step {
+                // Oracle mode arbitrates every port, validating that the
+                // gathered candidate set below skips only no-op ports.
+                cand_ports.extend(0..self.out_links[i].len() as u8);
+            } else {
+                for &(p, vn, v) in rc {
+                    let vcb = self.routers[i].vc(p, vn, v);
+                    let want = if vcb.spinning {
+                        vcb.frozen_out
+                    } else if vcb.frozen {
+                        None
+                    } else {
+                        vcb.head().and_then(|pb| pb.out.map(|(op, _)| op))
+                    };
+                    if let Some(op) = want {
+                        if !cand_ports.contains(&op.0) {
+                            cand_ports.push(op.0);
+                        }
+                    }
+                }
+                cand_ports.sort_unstable();
+            }
+            for &cp in &cand_ports {
+                let op_idx = cp as usize;
+                let op = PortId(cp);
                 if !self.topo.port(rid, op).is_network() {
                     continue;
                 }
@@ -35,7 +70,7 @@ impl Network {
                     continue;
                 }
                 // Spin streaming gets the link.
-                let spin_vc = coords.iter().copied().find(|&(p, vn, v)| {
+                let spin_vc = rc.iter().copied().find(|&(p, vn, v)| {
                     let vcb = self.routers[i].vc(p, vn, v);
                     vcb.spinning
                         && vcb.frozen_out == Some(op)
@@ -46,14 +81,11 @@ impl Network {
                     continue;
                 }
                 // Round-robin switch allocation.
-                let n = coords.len();
-                if n == 0 {
-                    continue;
-                }
+                let n = rc.len();
                 let start = self.routers[i].sa_rr[op_idx] % n;
                 let mut winner = None;
                 for k in 0..n {
-                    let (p, vn, v) = coords[(start + k) % n];
+                    let (p, vn, v) = rc[(start + k) % n];
                     let vcb = self.routers[i].vc(p, vn, v);
                     if vcb.frozen || vcb.spinning {
                         continue;
@@ -85,6 +117,6 @@ impl Network {
                 }
             }
         }
-        self.scratch_coords = coords;
+        self.restore_coord_cache(ids, ranges, coords);
     }
 }

@@ -44,10 +44,7 @@ impl Network {
                 self.meta.spin_inflight_add(peer.router, peer.port, vn, 1);
             } else {
                 self.meta
-                    .inflight_add(now, peer.router, peer.port, vn, tvc, 1);
-                if is_tail {
-                    self.meta.release(now, peer.router, peer.port, vn, tvc);
-                }
+                    .wire(now, peer.router, peer.port, vn, tvc, is_tail);
             }
         }
         self.out_links[i][out_port.index()].send(
@@ -58,6 +55,7 @@ impl Network {
                 spin,
             },
         );
+        self.mark_link(i, out_port);
         self.meta.occ_add(now, rid, p, vn, v, -1);
         if fully_sent {
             let router = &mut self.routers[i];
@@ -72,7 +70,7 @@ impl Network {
                 next.head_since = None;
             }
             if router.vc(p, vn, v).q.is_empty() {
-                router.occupied_vcs -= 1;
+                router.note_emptied(p, vn, v);
             }
         }
     }

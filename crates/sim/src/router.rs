@@ -20,16 +20,26 @@ pub(crate) struct Router {
     /// no hashing on the per-flit SPIN receive path). Written on freeze,
     /// consumed until the pushed packet's tail arrives.
     spin_rx: Vec<Option<VcId>>,
-    /// Vnet count, for `spin_rx` indexing.
+    /// Vnet count, for `spin_rx` and slot indexing.
     vnets: usize,
-    /// Number of VCs currently holding at least one packet (maintained by
-    /// the network on packet arrival/departure; lets idle routers skip all
-    /// per-cycle work).
-    pub occupied_vcs: usize,
+    /// VCs per (port, vnet), for slot indexing.
+    vcs: usize,
+    /// Flat slots `(port * vnets + vnet) * vcs + vc` of VCs currently
+    /// holding at least one packet, kept sorted ascending — which is
+    /// exactly the dense port-major scan order, so iterating it visits
+    /// occupied VCs in the order a full scan would. Maintained at the
+    /// three points occupancy transitions (head-flit arrival into an empty
+    /// VC, departure of a packet's last flit, fault removal) via
+    /// [`Router::note_occupied`] / [`Router::note_emptied`].
+    active_slots: Vec<u16>,
 }
 
 impl Router {
     pub(crate) fn new(id: RouterId, radix: usize, vnets: u8, vcs: u8) -> Self {
+        debug_assert!(
+            radix * vnets as usize * vcs as usize <= u16::MAX as usize,
+            "flat VC slot index must fit in u16"
+        );
         let in_vcs = (0..radix)
             .map(|_| {
                 (0..vnets)
@@ -43,7 +53,8 @@ impl Router {
             sa_rr: vec![0; radix],
             spin_rx: vec![None; radix * vnets as usize],
             vnets: vnets as usize,
-            occupied_vcs: 0,
+            vcs: vcs as usize,
+            active_slots: Vec::new(),
         }
     }
 
@@ -53,6 +64,101 @@ impl Router {
 
     pub(crate) fn vc_mut(&mut self, port: PortId, vnet: Vnet, vc: VcId) -> &mut Vc {
         &mut self.in_vcs[port.index()][vnet.index()][vc.index()]
+    }
+
+    #[inline]
+    fn slot(&self, port: PortId, vnet: Vnet, vc: VcId) -> u16 {
+        ((port.index() * self.vnets + vnet.index()) * self.vcs + vc.index()) as u16
+    }
+
+    #[inline]
+    fn decode(&self, slot: u16) -> (PortId, Vnet, VcId) {
+        let s = slot as usize;
+        let v = s % self.vcs;
+        let pv = s / self.vcs;
+        (
+            PortId((pv / self.vnets) as u8),
+            Vnet((pv % self.vnets) as u8),
+            VcId(v as u8),
+        )
+    }
+
+    /// True when no VC holds a packet (the router can skip every per-cycle
+    /// stage).
+    #[inline]
+    pub(crate) fn is_idle(&self) -> bool {
+        self.active_slots.is_empty()
+    }
+
+    /// Records that the VC at (port, vnet, vc) went empty → occupied.
+    /// Idempotent (membership is checked), so callers may mark defensively.
+    pub(crate) fn note_occupied(&mut self, port: PortId, vnet: Vnet, vc: VcId) {
+        let s = self.slot(port, vnet, vc);
+        if let Err(i) = self.active_slots.binary_search(&s) {
+            self.active_slots.insert(i, s);
+        }
+    }
+
+    /// Records that the VC at (port, vnet, vc) went occupied → empty.
+    pub(crate) fn note_emptied(&mut self, port: PortId, vnet: Vnet, vc: VcId) {
+        debug_assert!(self.vc(port, vnet, vc).q.is_empty());
+        let s = self.slot(port, vnet, vc);
+        if let Ok(i) = self.active_slots.binary_search(&s) {
+            self.active_slots.remove(i);
+        }
+    }
+
+    /// Coordinates of VCs currently holding at least one packet, in the
+    /// dense (port, vnet, vc) scan order.
+    pub(crate) fn occupied_slots(&self) -> impl Iterator<Item = (PortId, Vnet, VcId)> + '_ {
+        self.active_slots.iter().map(|&s| self.decode(s))
+    }
+
+    /// Appends the coordinates of VCs currently holding at least one packet
+    /// (dense scan order). The per-cycle coordinate cache
+    /// ([`crate::Network::build_coord_cache`]) concatenates these so the
+    /// hot loops (route compute, VC allocation, switch traversal) share one
+    /// walk instead of re-deriving the list per router per stage.
+    pub(crate) fn append_coords(&self, out: &mut Vec<(PortId, Vnet, VcId)>) {
+        out.extend(self.occupied_slots());
+    }
+
+    /// Iterates (port, vnet, vc) coordinates.
+    pub(crate) fn vc_coords(&self) -> impl Iterator<Item = (PortId, Vnet, VcId)> + '_ {
+        self.in_vcs.iter().enumerate().flat_map(|(p, vns)| {
+            vns.iter().enumerate().flat_map(move |(vn, vcs)| {
+                (0..vcs.len()).map(move |v| (PortId(p as u8), Vnet(vn as u8), VcId(v as u8)))
+            })
+        })
+    }
+
+    /// True while any VC is streaming a spin. Deliberately a full scan, not
+    /// an `active_slots` walk: the `spinning` flag lives on the VC, and
+    /// this stays correct even if a spinning VC's queue were drained by a
+    /// path that leaves the flag set.
+    pub(crate) fn any_spinning(&self) -> bool {
+        self.in_vcs.iter().flatten().flatten().any(|vc| vc.spinning)
+    }
+
+    /// Recomputes the occupied-slot list from the VC queues — the ground
+    /// truth `active_slots` must mirror. Debug/verification use only.
+    pub(crate) fn scan_occupied_slots(&self) -> Vec<u16> {
+        let mut slots = Vec::new();
+        for (p, vns) in self.in_vcs.iter().enumerate() {
+            for (vn, vcs) in vns.iter().enumerate() {
+                for (v, vc) in vcs.iter().enumerate() {
+                    if !vc.q.is_empty() {
+                        slots.push(self.slot(PortId(p as u8), Vnet(vn as u8), VcId(v as u8)));
+                    }
+                }
+            }
+        }
+        slots
+    }
+
+    /// The maintained occupied-slot list (debug/verification use).
+    pub(crate) fn active_slot_list(&self) -> &[u16] {
+        &self.active_slots
     }
 
     /// The earmarked landing VC for spin pushes arriving at (port, vnet).
@@ -68,38 +174,6 @@ impl Router {
     /// Clears the earmark (the pushed packet's tail arrived).
     pub(crate) fn clear_spin_rx(&mut self, port: PortId, vnet: Vnet) {
         self.spin_rx[port.index() * self.vnets + vnet.index()] = None;
-    }
-
-    /// Fills `out` with the coordinates of VCs currently holding at least
-    /// one packet. The hot loops (route compute, VC allocation, switch
-    /// traversal) iterate this instead of every VC slot — a large idle
-    /// network costs nothing — and pass in the network's scratch buffer so
-    /// no stage allocates a fresh coordinate list per router per cycle.
-    pub(crate) fn active_coords_into(&self, out: &mut Vec<(PortId, Vnet, VcId)>) {
-        out.clear();
-        for (p, vns) in self.in_vcs.iter().enumerate() {
-            for (vn, vcs) in vns.iter().enumerate() {
-                for (i, vc) in vcs.iter().enumerate() {
-                    if !vc.q.is_empty() {
-                        out.push((PortId(p as u8), Vnet(vn as u8), VcId(i as u8)));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Iterates (port, vnet, vc) coordinates.
-    pub(crate) fn vc_coords(&self) -> impl Iterator<Item = (PortId, Vnet, VcId)> + '_ {
-        self.in_vcs.iter().enumerate().flat_map(|(p, vns)| {
-            vns.iter().enumerate().flat_map(move |(vn, vcs)| {
-                (0..vcs.len()).map(move |v| (PortId(p as u8), Vnet(vn as u8), VcId(v as u8)))
-            })
-        })
-    }
-
-    /// True while any VC is streaming a spin.
-    pub(crate) fn any_spinning(&self) -> bool {
-        self.in_vcs.iter().flatten().flatten().any(|vc| vc.spinning)
     }
 }
 
@@ -157,5 +231,11 @@ impl SpinRouterView for SpinView<'_> {
             .vc(port, vnet, vc)
             .head()
             .map(|pb| self.store.get(pb.handle).id)
+    }
+
+    fn for_each_occupied(&self, f: &mut dyn FnMut(PortId, Vnet, VcId)) {
+        for (p, vn, v) in self.router.occupied_slots() {
+            f(p, vn, v);
+        }
     }
 }

@@ -151,22 +151,36 @@ impl MetricsRing {
         now >= self.cur.start + self.cfg.epoch_len
     }
 
-    /// Closes the live epoch at `now`, attaching the per-VC `occupancy`
-    /// snapshot, and starts a fresh one. Evicts the oldest closed epoch
+    /// Closes every epoch due at `now` — each at its *fixed* boundary
+    /// `start + epoch_len` — attaching the per-VC `occupancy` snapshot,
+    /// and starts a fresh live epoch. Evicts the oldest closed epochs
     /// beyond `max_epochs`.
+    ///
+    /// When `now` has advanced across several epoch lengths since the last
+    /// call (a quiescent span the caller skipped), the intermediate epochs
+    /// are emitted as fixed-length *zero* epochs rather than stretching one
+    /// epoch over the whole span: the accumulated counters belong to the
+    /// first closed epoch (the only one whose cycles were actually
+    /// stepped), and nothing moved during the skipped cycles, so the single
+    /// occupancy snapshot is exact for every boundary in the span. This
+    /// keeps per-epoch *rates* (flits per epoch, etc.) comparable across
+    /// idle and busy regions of a run.
     pub fn rollover(&mut self, now: Cycle, occupancy: Vec<u16>) {
-        let mut closed = std::mem::replace(
-            &mut self.cur,
-            Epoch {
-                start: now,
-                end: now,
-                link_flits: vec![0; self.num_links],
-                ..Epoch::default()
-            },
-        );
-        closed.end = now;
-        closed.vc_occupancy = occupancy;
-        self.epochs.push(closed);
+        while self.epoch_due(now) {
+            let boundary = self.cur.start + self.cfg.epoch_len;
+            let mut closed = std::mem::replace(
+                &mut self.cur,
+                Epoch {
+                    start: boundary,
+                    end: boundary,
+                    link_flits: vec![0; self.num_links],
+                    ..Epoch::default()
+                },
+            );
+            closed.end = boundary;
+            closed.vc_occupancy = occupancy.clone();
+            self.epochs.push(closed);
+        }
         if self.epochs.len() > self.cfg.max_epochs {
             let excess = self.epochs.len() - self.cfg.max_epochs;
             self.epochs.drain(..excess);
@@ -255,6 +269,53 @@ mod tests {
         m.rollover(20, Vec::new());
         assert_eq!(m.epochs()[1].flits_injected, 1);
         assert_eq!(m.epochs()[1].packets_injected, 0);
+    }
+
+    #[test]
+    fn quiescent_window_yields_fixed_length_zero_epochs() {
+        // A burst of activity, then a long idle window the stepper skipped:
+        // the ring must emit one busy epoch followed by fixed-length zero
+        // epochs — not a single stretched epoch and not a dropped window.
+        let mut m = MetricsRing::new(
+            EpochConfig {
+                epoch_len: 10,
+                max_epochs: 16,
+            },
+            &[2],
+        );
+        m.on_packet_injected();
+        m.on_flit_injected();
+        m.on_link_flit(RouterId(0), PortId(1));
+        // The caller wakes up 4 epoch-lengths later with the network idle.
+        m.rollover(45, vec![3, 0]);
+        let es = m.epochs();
+        assert_eq!(es.len(), 4, "one busy epoch + three quiescent epochs");
+        // Every epoch has the exact configured length.
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(
+                (e.start, e.end),
+                (10 * i as u64, 10 * (i as u64 + 1)),
+                "epoch {i} is not a fixed-length boundary epoch"
+            );
+            assert_eq!(e.vc_occupancy, vec![3, 0]);
+        }
+        // Counters land in the first epoch (the only stepped one)...
+        assert_eq!(es[0].packets_injected, 1);
+        assert_eq!(es[0].flits_injected, 1);
+        assert_eq!(es[0].link_flits, vec![0, 1]);
+        // ...and the quiescent epochs report zeros.
+        for e in &es[1..] {
+            assert_eq!(e.packets_injected, 0);
+            assert_eq!(e.flits_injected, 0);
+            assert_eq!(e.hist_count(), 0);
+            assert_eq!(e.sm_link_cycles, 0);
+            assert!(e.link_flits.iter().all(|&f| f == 0));
+        }
+        // The live epoch resumes at the last boundary, not at `now`.
+        m.on_flit_injected();
+        m.rollover(50, Vec::new());
+        assert_eq!(m.epochs()[4].start, 40);
+        assert_eq!(m.epochs()[4].flits_injected, 1);
     }
 
     #[test]

@@ -288,6 +288,12 @@ impl Topology {
     ///
     /// Returns an error on duplicate/self edges, out-of-range endpoints, or
     /// a disconnected graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the internally-built adjacency lists are asymmetric,
+    /// which the construction above rules out (every edge inserts both
+    /// directions).
     pub fn irregular(
         num_routers: u32,
         edges: &[(u32, u32)],

@@ -54,6 +54,12 @@ impl Pattern {
     /// Computes the destination for `src`. Deterministic patterns ignore
     /// `rng`. Returns `None` when the pattern maps `src` to itself (the
     /// caller should skip injection, as Garnet does).
+    ///
+    /// # Panics
+    ///
+    /// The bit-permutation patterns (complement, reverse, rotation, and
+    /// transpose off-mesh) require a power-of-two node count and panic
+    /// otherwise — a configuration error, not a runtime condition.
     pub fn destination<R: Rng + ?Sized>(
         self,
         src: NodeId,

@@ -126,6 +126,39 @@ fn all_intra_repo_doc_links_resolve() {
     );
 }
 
+/// DESIGN.md's "Activity-driven kernel" section must exist, be
+/// cross-linked from the README, and keep naming the artefacts that pin
+/// the kernel's correctness (the invariant checker, the proptest, the
+/// differential oracle and the dense escape hatch).
+#[test]
+fn activity_kernel_design_section_is_cross_linked() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    assert!(
+        design.contains("### Activity-driven kernel"),
+        "DESIGN.md lost its activity-driven kernel section"
+    );
+    for needle in [
+        "activity_invariants",
+        "activity_idle",
+        "SPIN_DENSE_STEP",
+        "crates/sim/src/activity.rs",
+        "crates/sim/tests/dense_oracle.rs",
+        "crates/sim/tests/worklist_props.rs",
+        "prune_idle_routers",
+    ] {
+        assert!(
+            design.contains(needle),
+            "DESIGN.md activity section never mentions `{needle}`"
+        );
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    assert!(
+        readme.contains("Activity-driven kernel"),
+        "README.md must cross-link DESIGN.md's activity-driven kernel section"
+    );
+}
+
 /// The trace-event tables in docs/PROTOCOL.md must stay in sync with the
 /// event names the `spin-trace` crate actually emits.
 #[test]
