@@ -18,6 +18,9 @@
 //! | `verify` | Static verification matrix — derives and classifies the    |
 //! |          | CDG of every standard `(topology, routing, VCs)` config    |
 //! |          | and regenerates the golden `results/verify_matrix.json`    |
+//! | `cross_topology` | Low-diameter expansion campaign — HyperX,          |
+//! |          | dragonfly+ and full mesh at 256 nodes, native deadlock     |
+//! |          | discipline vs SPIN+FAvORS (see `docs/TOPOLOGIES.md`)       |
 //!
 //! Every binary accepts `--quick` (reduced cycles/points for smoke runs),
 //! prints a plain-text table whose rows mirror the series the paper plots,

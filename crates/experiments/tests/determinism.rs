@@ -5,7 +5,7 @@
 use spin_core::SpinConfig;
 use spin_experiments::fault::{campaign_json, run_campaign_with_threads};
 use spin_experiments::{run_spec_with_threads, sweep, Design, ExperimentSpec, RunParams};
-use spin_routing::FavorsMinimal;
+use spin_routing::{FavorsMinimal, FavorsNonMinimal, FullMeshDeroute};
 use spin_sim::{FaultPlan, NetStats, Network, NetworkBuilder, SimConfig};
 use spin_topology::Topology;
 use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
@@ -138,6 +138,49 @@ fn runner_is_deterministic_across_thread_counts() {
         assert_eq!(
             serial, parallel,
             "runner output changed at {threads} threads"
+        );
+    }
+}
+
+/// One operating point of the cross-topology campaign (full mesh, the
+/// VC-free deroute scheme vs SPIN+FAvORS-NMin), pinned thread-invariant
+/// like the mesh spec above — the deroute scheme re-rolls its random
+/// ascending pick per cycle, which must come from the per-network RNG,
+/// never from anything thread-dependent.
+fn cross_topology_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "determinism_fullmesh".into(),
+        topo: Topology::full_mesh(8, 2).expect("valid full-mesh parameters"),
+        designs: vec![
+            Design::new("fm_deroute_1vc", 1, false, || Box::new(FullMeshDeroute)),
+            Design::new("favors_nmin_spin_1vc", 1, true, || {
+                Box::new(FavorsNonMinimal)
+            }),
+        ],
+        patterns: vec![Pattern::UniformRandom],
+        rates: vec![0.10, 0.40, 0.70],
+        params: RunParams {
+            warmup: 200,
+            measure: 1_000,
+            ..RunParams::default()
+        },
+        stop_at_saturation: true,
+    }
+}
+
+#[test]
+fn cross_topology_point_is_deterministic_across_thread_counts() {
+    let spec = cross_topology_spec();
+    let serial = run_spec_with_threads(&spec, 1);
+    // Sanity: both designs actually moved traffic.
+    for c in &serial {
+        assert!(c.points.iter().any(|p| p.throughput > 0.0), "{}", c.design);
+    }
+    for threads in [2, 4, 8] {
+        let parallel = run_spec_with_threads(&spec, threads);
+        assert_eq!(
+            serial, parallel,
+            "cross-topology runner output changed at {threads} threads"
         );
     }
 }

@@ -1,0 +1,302 @@
+//! Dragonfly+ routing: adaptive minimal with an optional Valiant detour
+//! through an intermediate group, under either the per-global-hop VC
+//! escalation discipline or free VC use when SPIN provides deadlock
+//! freedom.
+//!
+//! Minimal dragonfly+ paths are up/down within a group (leaf → spine →
+//! leaf) and leaf → spine → global → spine → leaf across groups, all of
+//! which [`Topology::minimal_ports`] yields directly, so the algorithm is
+//! robust to runtime link faults (it re-reads distances every cycle, like
+//! FAvORS). The escalation discipline keys the VC class on
+//! [`Packet::global_hops`] — maintained by the delivery stage via
+//! [`Topology::is_global_port`] and tracked identically by the
+//! derived-CDG static walk.
+
+use crate::{
+    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use smallvec::smallvec;
+use spin_types::{NodeId, Packet, PortId, RouterId, VcId};
+
+/// How dragonfly+ adaptive packets may use VCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfPlusVcDiscipline {
+    /// Escalation baseline: the VC index equals the number of global links
+    /// already crossed. A Valiant path crosses at most two, so the
+    /// discipline needs 3 VCs.
+    Escalation,
+    /// SPIN configuration: any VC, recovery handles the rare deadlock.
+    Free,
+}
+
+/// Adaptive dragonfly+ routing: UGAL-style source decision between the
+/// minimal path and a Valiant detour through a random intermediate group,
+/// then congestion-adaptive minimal routing toward the current target.
+#[derive(Debug, Clone, Copy)]
+pub struct DfPlusAdaptive {
+    /// VC usage rule.
+    pub discipline: DfPlusVcDiscipline,
+}
+
+impl DfPlusAdaptive {
+    /// The native 3-VC escalation baseline.
+    pub fn escalation() -> Self {
+        DfPlusAdaptive {
+            discipline: DfPlusVcDiscipline::Escalation,
+        }
+    }
+
+    /// Adaptive dragonfly+ on top of SPIN: no VC-use restriction.
+    pub fn with_spin() -> Self {
+        DfPlusAdaptive {
+            discipline: DfPlusVcDiscipline::Free,
+        }
+    }
+
+    fn vc_mask(&self, pkt: &Packet) -> VcMask {
+        match self.discipline {
+            DfPlusVcDiscipline::Escalation => VcMask::only(VcId(pkt.global_hops.min(31) as u8)),
+            DfPlusVcDiscipline::Free => VcMask::all(),
+        }
+    }
+}
+
+impl Routing for DfPlusAdaptive {
+    fn name(&self) -> &'static str {
+        match self.discipline {
+            DfPlusVcDiscipline::Escalation => "dfplus_esc",
+            DfPlusVcDiscipline::Free => "dfplus_spin",
+        }
+    }
+
+    fn at_injection(&self, view: &dyn NetworkView, pkt: &mut Packet, rng: &mut StdRng) {
+        let topo = view.topology();
+        let src_r = topo.node_router(pkt.src);
+        let dst_r = topo.node_router(pkt.dst);
+        if src_r == dst_r {
+            return;
+        }
+        // Candidate Valiant intermediate: a random node whose group differs
+        // from both endpoints' groups (the classic dragonfly detour shape).
+        let n = topo.num_nodes() as u32;
+        let inter = NodeId(rng.random_range(0..n));
+        let inter_r = topo.node_router(inter);
+        if topo.group_of(inter_r) == topo.group_of(src_r)
+            || topo.group_of(inter_r) == topo.group_of(dst_r)
+        {
+            return;
+        }
+        let h_min = topo.dist(src_r, dst_r) as usize;
+        let h_nonmin = (topo.dist(src_r, inter_r) + topo.dist(inter_r, dst_r)) as usize;
+        let q = |target: RouterId| -> usize {
+            topo.minimal_ports(src_r, target)
+                .iter()
+                .map(|&p| view.downstream_occupancy(src_r, p, pkt.vnet))
+                .min()
+                .unwrap_or(0)
+        };
+        // Classic UGAL-L: detour when the minimal queue estimate scaled by
+        // its hop count exceeds the non-minimal one.
+        if q(dst_r) * h_min > q(inter_r) * h_nonmin {
+            pkt.intermediate = Some(inter);
+            pkt.misroutes = 1;
+        }
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(mut eject) = ejection_choice(topo, at, pkt) {
+            eject.vc_mask = VcMask::all();
+            return smallvec![eject];
+        }
+        let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
+        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
+            .expect("non-ejecting packet has a minimal port");
+        smallvec![RouteChoice {
+            out_port: port,
+            vc_mask: self.vc_mask(pkt),
+        }]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let mask = self.vc_mask(pkt);
+        topo.minimal_ports(at, topo.node_router(pkt.current_target()))
+            .iter()
+            .map(|&p| RouteChoice {
+                out_port: p,
+                vc_mask: mask,
+            })
+            .collect()
+    }
+
+    fn misroute_bound(&self) -> u32 {
+        1
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        match self.discipline {
+            DfPlusVcDiscipline::Escalation => 3,
+            DfPlusVcDiscipline::Free => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticView;
+    use rand::SeedableRng;
+    use spin_topology::Topology;
+    use spin_types::PacketBuilder;
+
+    fn dfp() -> Topology {
+        Topology::dragonfly_plus(2, 2, 2, 2, 4)
+    }
+
+    #[test]
+    fn minimal_when_uncongested() {
+        let topo = dfp();
+        let view = StaticView::new(&topo, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = PacketBuilder::new(NodeId(0), NodeId(12)).build(0);
+        DfPlusAdaptive::escalation().at_injection(&view, &mut p, &mut rng);
+        assert_eq!(p.intermediate, None);
+    }
+
+    #[test]
+    fn escalation_discipline_tracks_global_hops() {
+        let r = DfPlusAdaptive::escalation();
+        let mut p = PacketBuilder::new(NodeId(0), NodeId(12)).build(0);
+        assert_eq!(r.vc_mask(&p), VcMask::only(VcId(0)));
+        p.global_hops = 1;
+        assert_eq!(r.vc_mask(&p), VcMask::only(VcId(1)));
+        p.global_hops = 2;
+        assert_eq!(r.vc_mask(&p), VcMask::only(VcId(2)));
+        assert_eq!(r.min_vcs_required(), 3);
+        assert_eq!(DfPlusAdaptive::with_spin().min_vcs_required(), 1);
+    }
+
+    #[test]
+    fn routes_reach_destination_minimally() {
+        let topo = dfp();
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = DfPlusAdaptive::escalation();
+        for (s, d) in [(0u32, 15u32), (1, 4), (3, 0), (5, 13)] {
+            let p = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+            let mut at = topo.node_router(NodeId(s));
+            let dst_r = topo.node_router(NodeId(d));
+            let want = topo.dist(at, dst_r);
+            let mut hops = 0;
+            while at != dst_r {
+                let c = r.route(&view, at, PortId(0), &p, &mut rng);
+                at = topo.neighbor(at, c[0].out_port).unwrap().router;
+                hops += 1;
+            }
+            assert_eq!(hops, want, "minimal path length {s}->{d}");
+            assert!(hops <= 3, "dragonfly+ minimal exceeds 3 hops");
+        }
+    }
+
+    /// A view whose downstream queues are congested only on ports that
+    /// make progress toward `hot` — the directional pressure the UGAL-L
+    /// rule needs to actually fire.
+    #[derive(Debug)]
+    struct CongestedToward<'a> {
+        topo: &'a Topology,
+        hot: RouterId,
+    }
+
+    impl NetworkView for CongestedToward<'_> {
+        fn topology(&self) -> &Topology {
+            self.topo
+        }
+        fn now(&self) -> spin_types::Cycle {
+            0
+        }
+        fn free_vcs_downstream(
+            &self,
+            _at: RouterId,
+            _out_port: PortId,
+            _vnet: spin_types::Vnet,
+        ) -> usize {
+            1
+        }
+        fn min_vc_active_time(
+            &self,
+            _at: RouterId,
+            _out_port: PortId,
+            _vnet: spin_types::Vnet,
+        ) -> u64 {
+            0
+        }
+        fn downstream_occupancy(
+            &self,
+            at: RouterId,
+            out_port: PortId,
+            _vnet: spin_types::Vnet,
+        ) -> usize {
+            match self.topo.neighbor(at, out_port) {
+                Some(peer)
+                    if self.topo.dist(peer.router, self.hot) < self.topo.dist(at, self.hot) =>
+                {
+                    16
+                }
+                _ => 0,
+            }
+        }
+    }
+
+    /// The detour shape the discipline's 3-VC budget assumes: the Valiant
+    /// intermediate lands in a group other than the source's and the
+    /// destination's.
+    #[test]
+    fn valiant_intermediate_lands_in_third_group() {
+        let topo = dfp();
+        let dst = NodeId(12);
+        let view = CongestedToward {
+            topo: &topo,
+            hot: topo.node_router(dst),
+        };
+        let r = DfPlusAdaptive::escalation();
+        let mut derouted = false;
+        for seed in 0..64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = PacketBuilder::new(NodeId(0), dst).build(0);
+            r.at_injection(&view, &mut p, &mut rng);
+            if let Some(inter) = p.intermediate {
+                derouted = true;
+                let ig = topo.group_of(topo.node_router(inter));
+                assert_ne!(ig, topo.group_of(topo.node_router(NodeId(0))));
+                assert_ne!(ig, topo.group_of(topo.node_router(dst)));
+                assert_eq!(p.misroutes, 1);
+            }
+        }
+        assert!(derouted, "no seed ever triggered a Valiant detour");
+    }
+
+    #[test]
+    fn names_distinguish_disciplines() {
+        assert_eq!(DfPlusAdaptive::escalation().name(), "dfplus_esc");
+        assert_eq!(DfPlusAdaptive::with_spin().name(), "dfplus_spin");
+    }
+}

@@ -1,0 +1,215 @@
+//! The HOTI'25-style VC-free full-mesh scheme: direct single-hop routing
+//! with an optional congestion deroute through an *ascending* intermediate
+//! router, deadlock-free with a single VC and no SPIN.
+//!
+//! Every router pair in a full mesh is directly linked, so a packet either
+//! takes its direct link or — only at the source, only when the direct
+//! link's downstream VCs are all busy — derouted through one intermediate
+//! router `i` with a *higher index* than the source. The ascending rule is
+//! what makes zero VCs (one VC, no restriction classes) sufficient: a
+//! channel dependency from link `a→b` onto link `b→c` only arises when `b`
+//! was the deroute intermediate of a packet injected at `a`, which
+//! requires `b > a`; around any would-be cycle the first endpoints would
+//! have to ascend strictly forever, so the CDG is acyclic.
+//!
+//! The deroute is *positional*: whether it is on offer depends only on
+//! where the packet sits (its input port is still the source NIC's local
+//! attach port), not on per-packet counters or a recorded intermediate.
+//! [`Routing::alternatives`] is therefore an exact OR-set, and the
+//! derived-CDG walk sees the scheme through its ordinary single-pass walk
+//! — [`Routing::valiant_intermediate`] is `false` even though the
+//! misroute bound is 1.
+
+use crate::{ejection_choice, NetworkView, RouteChoice, RouteChoices, Routing};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use smallvec::smallvec;
+use spin_topology::PortVec;
+use spin_types::{Packet, PortId, RouterId};
+
+/// Direct full-mesh routing with ascending-intermediate congestion
+/// deroutes; deadlock-free on one VC without SPIN.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMeshDeroute;
+
+impl FullMeshDeroute {
+    /// Deroute candidate ports at source router `at`: the direct link to
+    /// every router with a higher index, excluding the destination.
+    fn deroute_ports(
+        topo: &spin_topology::Topology,
+        at: RouterId,
+        dst_r: RouterId,
+    ) -> impl Iterator<Item = PortId> + '_ {
+        (at.0 + 1..topo.num_routers() as u32)
+            .map(RouterId)
+            .filter(move |&i| i != dst_r)
+            .map(move |i| topo.full_mesh_port(at, i))
+    }
+}
+
+impl Routing for FullMeshDeroute {
+    fn name(&self) -> &'static str {
+        "fm_deroute"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let dst_r = topo.node_router(pkt.current_target());
+        let direct = topo.full_mesh_port(at, dst_r);
+        // Deroutes are legal only while the packet still sits in its source
+        // NIC (local input port) and engage only when the direct link has
+        // no free downstream VC.
+        if topo.port(at, in_port).is_local() && !view.has_free_vc_downstream(at, direct, pkt.vnet) {
+            let free: PortVec = Self::deroute_ports(topo, at, dst_r)
+                .filter(|&p| view.has_free_vc_downstream(at, p, pkt.vnet))
+                .collect();
+            if let Some(&p) = free.choose(rng) {
+                return smallvec![RouteChoice::any_vc(p)];
+            }
+        }
+        smallvec![RouteChoice::any_vc(direct)]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let dst_r = topo.node_router(pkt.current_target());
+        let mut out: RouteChoices = smallvec![RouteChoice::any_vc(topo.full_mesh_port(at, dst_r))];
+        if topo.port(at, in_port).is_local() {
+            out.extend(Self::deroute_ports(topo, at, dst_r).map(RouteChoice::any_vc));
+        }
+        out
+    }
+
+    fn misroute_bound(&self) -> u32 {
+        1 // at most one deroute hop, decided at the source
+    }
+
+    fn valiant_intermediate(&self) -> bool {
+        false // positional deroute: no Packet::intermediate involved
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        1 // the ascending rule alone keeps the CDG acyclic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticView;
+    use rand::SeedableRng;
+    use spin_topology::Topology;
+    use spin_types::{NodeId, PacketBuilder};
+
+    fn fm() -> Topology {
+        Topology::full_mesh(8, 1).unwrap()
+    }
+
+    #[test]
+    fn direct_when_uncongested() {
+        let topo = fm();
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = PacketBuilder::new(NodeId(2), NodeId(5)).build(0);
+        let c = FullMeshDeroute.route(&view, RouterId(2), PortId(0), &p, &mut rng);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].out_port, topo.full_mesh_port(RouterId(2), RouterId(5)));
+    }
+
+    #[test]
+    fn deroutes_ascend_under_congestion() {
+        let topo = fm();
+        let view = StaticView::new(&topo, 0); // every link busy
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = PacketBuilder::new(NodeId(2), NodeId(5)).build(0);
+        // All deroute candidates are busy too, so the router falls back to
+        // the direct port rather than stalling forever.
+        let c = FullMeshDeroute.route(&view, RouterId(2), PortId(0), &p, &mut rng);
+        assert_eq!(c[0].out_port, topo.full_mesh_port(RouterId(2), RouterId(5)));
+    }
+
+    /// The OR-set at the source is direct + every *ascending* intermediate;
+    /// mid-route (network input port) it collapses to the direct link.
+    #[test]
+    fn alternatives_are_positional() {
+        let topo = fm();
+        let view = StaticView::new(&topo, 1);
+        let p = PacketBuilder::new(NodeId(2), NodeId(5)).build(0);
+        let at = RouterId(2);
+        let src_alts = FullMeshDeroute.alternatives(&view, at, PortId(0), &p);
+        // Direct + intermediates {3, 4, 6, 7} (ascending, minus dst 5).
+        assert_eq!(src_alts.len(), 5);
+        for a in &src_alts {
+            let peer = topo.neighbor(at, a.out_port).unwrap().router;
+            assert!(peer == RouterId(5) || peer.0 > at.0);
+            assert_ne!(peer, at);
+        }
+        // Arrived through a network port: direct only.
+        let net_in = topo.full_mesh_port(at, RouterId(0));
+        let mid_alts = FullMeshDeroute.alternatives(&view, at, net_in, &p);
+        assert_eq!(mid_alts.len(), 1);
+        assert_eq!(mid_alts[0].out_port, topo.full_mesh_port(at, RouterId(5)));
+    }
+
+    #[test]
+    fn highest_router_has_no_deroutes() {
+        let topo = fm();
+        let view = StaticView::new(&topo, 0);
+        let p = PacketBuilder::new(NodeId(7), NodeId(3)).build(0);
+        let alts = FullMeshDeroute.alternatives(&view, RouterId(7), PortId(0), &p);
+        assert_eq!(alts.len(), 1, "router n-1 can only route directly");
+    }
+
+    #[test]
+    fn scheme_is_vc_free_and_positional() {
+        assert_eq!(FullMeshDeroute.min_vcs_required(), 1);
+        assert_eq!(FullMeshDeroute.misroute_bound(), 1);
+        assert!(!FullMeshDeroute.valiant_intermediate());
+        assert_eq!(FullMeshDeroute.name(), "fm_deroute");
+    }
+
+    #[test]
+    fn every_route_terminates_within_two_hops() {
+        let topo = fm();
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                if s == d {
+                    continue;
+                }
+                let p = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+                let mut at = topo.node_router(NodeId(s));
+                let mut in_port = PortId(0);
+                let mut hops = 0;
+                while at != topo.node_router(NodeId(d)) {
+                    let c = FullMeshDeroute.route(&view, at, in_port, &p, &mut rng);
+                    let peer = topo.neighbor(at, c[0].out_port).unwrap();
+                    at = peer.router;
+                    in_port = peer.port;
+                    hops += 1;
+                    assert!(hops <= 2, "deroute path exceeds two hops");
+                }
+            }
+        }
+    }
+}

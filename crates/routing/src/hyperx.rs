@@ -1,0 +1,304 @@
+//! HyperX routing: deterministic dimension-order and adaptive
+//! dimension-agnostic minimal (DAL-style) with the VC-escalation
+//! discipline of the low-diameter VC-management literature, or free VC use
+//! when SPIN provides deadlock freedom.
+//!
+//! In a HyperX every dimension is all-to-all, so a minimal route corrects
+//! each unaligned dimension with exactly one hop. The escalation
+//! discipline keys the VC class on how many dimensions have already been
+//! aligned — a quantity derivable from the packet's *position* alone,
+//! which keeps the discipline visible to the derived-CDG static walk (the
+//! walk does not track per-packet hop counters).
+//!
+//! Both algorithms assume an intact lattice (like XY on the mesh): they
+//! steer through [`Topology::hyperx_port`], which names ports by
+//! coordinate, so they must not be combined with runtime link faults.
+//! Fault campaigns on HyperX use the topology-agnostic FAvORS algorithms.
+
+use crate::{
+    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+};
+use rand::rngs::StdRng;
+use smallvec::smallvec;
+use spin_topology::{PortVec, Topology};
+use spin_types::{Packet, PortId, RouterId, VcId};
+
+/// How HyperX adaptive packets may use VCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HyperXVcDiscipline {
+    /// Escalation baseline: the VC index equals the number of dimensions
+    /// already aligned, so every hop requests a strictly higher VC class
+    /// and the CDG is acyclic. Needs `L` VCs on an `L`-dimensional HyperX.
+    Escalation,
+    /// SPIN configuration: any VC, recovery handles the rare deadlock.
+    Free,
+}
+
+/// Deterministic dimension-order routing for HyperX: correct the lowest
+/// unaligned dimension first, jumping directly to the destination
+/// coordinate (one hop per dimension). Deadlock-free with a single VC —
+/// dependencies only flow from lower-dimension channels to
+/// higher-dimension ones, and no packet takes two hops in one dimension.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HyperXDor;
+
+impl HyperXDor {
+    fn choice(topo: &Topology, at: RouterId, tgt: RouterId) -> RouteChoice {
+        let ca = topo.hyperx_coords(at);
+        let ct = topo.hyperx_coords(tgt);
+        let (dim, &to) = ca
+            .iter()
+            .zip(&ct)
+            .enumerate()
+            .find_map(|(d, (a, t))| (a != t).then_some((d, t)))
+            .expect("non-ejecting packet has an unaligned dimension");
+        RouteChoice::any_vc(topo.hyperx_port(at, dim, to))
+    }
+}
+
+impl Routing for HyperXDor {
+    fn name(&self) -> &'static str {
+        "hx_dor"
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        _rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let tgt = topo.node_router(pkt.current_target());
+        smallvec![Self::choice(topo, at, tgt)]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let tgt = topo.node_router(pkt.current_target());
+        smallvec![Self::choice(topo, at, tgt)]
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        1
+    }
+}
+
+/// Adaptive minimal HyperX routing (DAL-style dimension choice): every
+/// unaligned dimension's direct port is a candidate, selected with the
+/// FAvORS congestion policy. The VC discipline is either per-hop
+/// escalation (the native baseline) or free VC use under SPIN.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperXDal {
+    /// VC usage rule.
+    pub discipline: HyperXVcDiscipline,
+    /// Dimension count `L` of the lattice this instance was built for —
+    /// the escalation discipline's VC budget.
+    num_dims: u8,
+}
+
+impl HyperXDal {
+    /// The native escalation baseline for `topo`; needs `L` VCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` is not a HyperX.
+    pub fn escalation(topo: &Topology) -> Self {
+        HyperXDal {
+            discipline: HyperXVcDiscipline::Escalation,
+            num_dims: topo.hyperx_dims().len() as u8,
+        }
+    }
+
+    /// Adaptive HyperX on top of SPIN: no VC-use restriction.
+    pub fn with_spin() -> Self {
+        HyperXDal {
+            discipline: HyperXVcDiscipline::Free,
+            num_dims: 1,
+        }
+    }
+
+    /// Candidate minimal ports: one per unaligned dimension, each jumping
+    /// directly to the destination coordinate.
+    fn candidates(topo: &Topology, at: RouterId, tgt: RouterId) -> PortVec {
+        let ca = topo.hyperx_coords(at);
+        let ct = topo.hyperx_coords(tgt);
+        ca.iter()
+            .zip(&ct)
+            .enumerate()
+            .filter(|(_, (a, t))| a != t)
+            .map(|(d, (_, &t))| topo.hyperx_port(at, d, t))
+            .collect()
+    }
+
+    /// The VC mask for a packet at `at` heading to `tgt`: the escalation
+    /// class is the number of dimensions already aligned, so each hop
+    /// requests a strictly higher class than the one it holds.
+    fn vc_mask(&self, topo: &Topology, at: RouterId, tgt: RouterId) -> VcMask {
+        match self.discipline {
+            HyperXVcDiscipline::Escalation => {
+                let ca = topo.hyperx_coords(at);
+                let ct = topo.hyperx_coords(tgt);
+                let unaligned = ca.iter().zip(&ct).filter(|(a, t)| a != t).count();
+                let aligned = ca.len().saturating_sub(unaligned);
+                VcMask::only(VcId(aligned.min(31) as u8))
+            }
+            HyperXVcDiscipline::Free => VcMask::all(),
+        }
+    }
+}
+
+impl Routing for HyperXDal {
+    fn name(&self) -> &'static str {
+        match self.discipline {
+            HyperXVcDiscipline::Escalation => "hx_dal_esc",
+            HyperXVcDiscipline::Free => "hx_dal_spin",
+        }
+    }
+
+    fn route(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let tgt = topo.node_router(pkt.current_target());
+        let ports = Self::candidates(topo, at, tgt);
+        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
+            .expect("non-ejecting packet has an unaligned dimension");
+        smallvec![RouteChoice {
+            out_port: port,
+            vc_mask: self.vc_mask(topo, at, tgt),
+        }]
+    }
+
+    fn alternatives(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> RouteChoices {
+        let topo = view.topology();
+        if let Some(eject) = ejection_choice(topo, at, pkt) {
+            return smallvec![eject];
+        }
+        let tgt = topo.node_router(pkt.current_target());
+        let mask = self.vc_mask(topo, at, tgt);
+        Self::candidates(topo, at, tgt)
+            .iter()
+            .map(|&p| RouteChoice {
+                out_port: p,
+                vc_mask: mask,
+            })
+            .collect()
+    }
+
+    fn min_vcs_required(&self) -> u8 {
+        match self.discipline {
+            HyperXVcDiscipline::Escalation => self.num_dims,
+            HyperXVcDiscipline::Free => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticView;
+    use rand::SeedableRng;
+    use spin_types::{NodeId, PacketBuilder};
+
+    fn hx() -> Topology {
+        Topology::hyperx(&[3, 3, 3], 1)
+    }
+
+    #[test]
+    fn dor_corrects_lowest_dimension_first() {
+        let topo = hx();
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Node 0 is at (0,0,0); node 26 at (2,2,2).
+        let p = PacketBuilder::new(NodeId(0), NodeId(26)).build(0);
+        let c = HyperXDor.route(&view, RouterId(0), PortId(0), &p, &mut rng);
+        assert_eq!(c.len(), 1);
+        let peer = topo.neighbor(RouterId(0), c[0].out_port).unwrap();
+        assert_eq!(topo.hyperx_coords(peer.router).to_vec(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn dor_reaches_destination_in_unaligned_dim_hops() {
+        let topo = hx();
+        let view = StaticView::new(&topo, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for (s, d) in [(0u32, 26u32), (4, 22), (13, 5), (1, 0)] {
+            let p = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+            let mut at = topo.node_router(NodeId(s));
+            let dst_r = topo.node_router(NodeId(d));
+            let want = topo.dist(at, dst_r);
+            let mut hops = 0;
+            while at != dst_r {
+                let c = HyperXDor.route(&view, at, PortId(0), &p, &mut rng);
+                at = topo.neighbor(at, c[0].out_port).unwrap().router;
+                hops += 1;
+            }
+            assert_eq!(hops, want, "dor path length {s}->{d}");
+        }
+    }
+
+    #[test]
+    fn dal_offers_every_unaligned_dimension() {
+        let topo = hx();
+        let view = StaticView::new(&topo, 3);
+        let dal = HyperXDal::escalation(&topo);
+        let p = PacketBuilder::new(NodeId(0), NodeId(26)).build(0);
+        let alts = dal.alternatives(&view, RouterId(0), PortId(0), &p);
+        assert_eq!(alts.len(), 3);
+        // All three dims unaligned => 0 aligned => VC class 0.
+        for a in &alts {
+            assert_eq!(a.vc_mask, VcMask::only(VcId(0)));
+        }
+        // One dim aligned (router 2 = (2,0,0) toward (2,2,2)): class 1.
+        let alts = dal.alternatives(&view, RouterId(2), PortId(1), &p);
+        assert_eq!(alts.len(), 2);
+        for a in &alts {
+            assert_eq!(a.vc_mask, VcMask::only(VcId(1)));
+        }
+    }
+
+    #[test]
+    fn dal_vc_budget_tracks_dimensions() {
+        let topo = hx();
+        assert_eq!(HyperXDal::escalation(&topo).min_vcs_required(), 3);
+        assert_eq!(HyperXDal::with_spin().min_vcs_required(), 1);
+        let flat = Topology::hyperx(&[4], 1);
+        assert_eq!(HyperXDal::escalation(&flat).min_vcs_required(), 1);
+    }
+
+    #[test]
+    fn names_distinguish_disciplines() {
+        let topo = hx();
+        assert_eq!(HyperXDor.name(), "hx_dor");
+        assert_eq!(HyperXDal::escalation(&topo).name(), "hx_dal_esc");
+        assert_eq!(HyperXDal::with_spin().name(), "hx_dal_spin");
+    }
+}

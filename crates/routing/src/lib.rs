@@ -13,6 +13,16 @@
 //! | UGAL (Dally VCs)      | [`Ugal`]                                     |
 //! | **FAvORS** min / nmin | [`FavorsMinimal`] / [`FavorsNonMinimal`]     |
 //!
+//! The low-diameter topology expansion adds each new family's native
+//! discipline (see `docs/TOPOLOGIES.md`):
+//!
+//! | Topology   | Native discipline                | Type in this crate   |
+//! |------------|----------------------------------|----------------------|
+//! | HyperX     | Dimension-order (1 VC)           | [`HyperXDor`]        |
+//! | HyperX     | Adaptive + VC escalation (L VCs) | [`HyperXDal`]        |
+//! | Dragonfly+ | Adaptive + per-global-hop VCs    | [`DfPlusAdaptive`]   |
+//! | Full mesh  | Ascending deroute, VC-free       | [`FullMeshDeroute`]  |
+//!
 //! Algorithms are *stateless* policy objects: the simulator calls
 //! [`Routing::route`] every cycle a head packet waits, passing a
 //! [`NetworkView`] that exposes the congestion state an on-chip router can
@@ -44,14 +54,20 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+mod dfplus;
 mod dragonfly;
 mod favors;
+mod fullmesh;
+mod hyperx;
 mod mesh;
 mod updown;
 mod view;
 
+pub use dfplus::{DfPlusAdaptive, DfPlusVcDiscipline};
 pub use dragonfly::{Ugal, UgalVcDiscipline};
 pub use favors::{FavorsMinimal, FavorsNonMinimal};
+pub use fullmesh::FullMeshDeroute;
+pub use hyperx::{HyperXDal, HyperXDor, HyperXVcDiscipline};
 pub use mesh::{EscapeVc, ReservedVcAdaptive, WestFirst, XyRouting};
 pub use updown::UpDown;
 pub use view::{NetworkView, StaticView};
@@ -171,6 +187,21 @@ pub trait Routing: fmt::Debug + Send + Sync {
     /// theory's spin bound is `m*p + (m-1)` for a loop of length `m`.
     fn misroute_bound(&self) -> u32 {
         0
+    }
+
+    /// Whether misrouting takes the form of a source-chosen Valiant
+    /// intermediate recorded in [`Packet::intermediate`]. The derived-CDG
+    /// walk needs its two-pass over-approximation exactly for such
+    /// algorithms, because the recorded intermediate changes the routing
+    /// target mid-flight in a way the walk cannot see. *Positional*
+    /// misroutes — deroute choices [`Routing::alternatives`] offers
+    /// directly, conditioned only on where the packet sits (e.g. the
+    /// full-mesh ascending deroute at the injection port) — are fully
+    /// visible to the ordinary single-pass walk and should return `false`
+    /// even with a non-zero misroute bound. Defaults to
+    /// `misroute_bound() > 0`.
+    fn valiant_intermediate(&self) -> bool {
+        self.misroute_bound() > 0
     }
 
     /// Minimum VCs per vnet this algorithm's deadlock discipline requires

@@ -1,0 +1,212 @@
+//! Property tests for the low-diameter topology expansion: on HyperX,
+//! dragonfly+ and full-mesh topologies, every route choice the new
+//! algorithms emit must name a legal (connected or ejecting) port, and
+//! following any sequence of alternatives must reach the destination
+//! within the algorithm's path-length bound.
+
+#![allow(clippy::unwrap_used)] // test code, same as the unit-test allowance
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spin_routing::{DfPlusAdaptive, FullMeshDeroute, HyperXDal, HyperXDor, Routing, StaticView};
+use spin_topology::Topology;
+use spin_types::{NodeId, PacketBuilder, PortId, RouterId};
+
+/// Everything a single (topology, routing) case needs: the routing, a
+/// path-length bound as a function of the minimal distance, and whether
+/// the algorithm may legally exceed minimal distance (deroutes).
+struct Case {
+    topo: Topology,
+    routing: Box<dyn Routing>,
+    /// Max total hops for a packet whose minimal distance is `d`.
+    bound: fn(u32) -> u32,
+}
+
+fn cases() -> Vec<Case> {
+    let hx = Topology::hyperx(&[3, 3, 3], 1);
+    let hx_flat = Topology::hyperx(&[4, 2], 2);
+    let dfp = Topology::dragonfly_plus(2, 2, 2, 2, 4);
+    let fm = Topology::full_mesh(8, 2).unwrap();
+    vec![
+        Case {
+            routing: Box::new(HyperXDor),
+            topo: hx.clone(),
+            bound: |d| d,
+        },
+        Case {
+            routing: Box::new(HyperXDal::escalation(&hx)),
+            topo: hx,
+            bound: |d| d,
+        },
+        Case {
+            routing: Box::new(HyperXDal::with_spin()),
+            topo: hx_flat,
+            bound: |d| d,
+        },
+        Case {
+            routing: Box::new(DfPlusAdaptive::escalation()),
+            topo: dfp.clone(),
+            bound: |d| d,
+        },
+        Case {
+            routing: Box::new(DfPlusAdaptive::with_spin()),
+            topo: dfp,
+            bound: |d| d,
+        },
+        Case {
+            // Direct distance is always 1; a deroute adds one hop.
+            routing: Box::new(FullMeshDeroute),
+            topo: fm,
+            bound: |d| d + 1,
+        },
+    ]
+}
+
+/// Walks a packet from `src` to `dst` following `pick`th alternative at
+/// every hop (modulo the choice count), asserting legality throughout.
+/// Returns the hop count.
+fn drive(case: &Case, src: NodeId, dst: NodeId, pick: usize, free_vcs: usize) -> u32 {
+    let topo = &case.topo;
+    let view = StaticView::new(topo, free_vcs);
+    let pkt = PacketBuilder::new(src, dst).build(0);
+    let mut at = topo.node_router(src);
+    let mut in_port = topo.node_attach(src).port;
+    let dst_r = topo.node_router(dst);
+    let mut hops = 0u32;
+    while at != dst_r {
+        let alts = case.routing.alternatives(&view, at, in_port, &pkt);
+        assert!(!alts.is_empty(), "no alternative at {at} for {src}->{dst}");
+        for a in &alts {
+            // Every alternative is a live network port (never local while
+            // the packet is not at its destination router, never dead).
+            let port = topo.port(at, a.out_port);
+            assert!(
+                port.is_network(),
+                "illegal port {} at {at} for {src}->{dst}",
+                a.out_port
+            );
+        }
+        let choice = alts[pick % alts.len()];
+        let peer = topo.neighbor(at, choice.out_port).expect("network port");
+        at = peer.router;
+        in_port = peer.port;
+        hops += 1;
+        assert!(
+            hops <= (case.bound)(topo.dist(topo.node_router(src), dst_r)),
+            "path length bound exceeded for {src}->{dst}"
+        );
+    }
+    // At the destination router the single choice must be the ejection.
+    let alts = case.routing.alternatives(&view, at, in_port, &pkt);
+    assert_eq!(alts.len(), 1);
+    assert_eq!(alts[0].out_port, topo.node_attach(dst).port);
+    hops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any alternative-following walk is legal and within the bound.
+    #[test]
+    fn prop_alternatives_legal_and_bounded(
+        src in 0u32..16,
+        dst in 0u32..16,
+        pick in 0usize..8,
+        free in 0usize..2,
+    ) {
+        for case in cases() {
+            let n = case.topo.num_nodes() as u32;
+            let (s, d) = (NodeId(src % n), NodeId(dst % n));
+            if s == d {
+                continue;
+            }
+            drive(&case, s, d, pick, free);
+        }
+    }
+
+    /// route() — the adaptive selection — is itself one of alternatives()'s
+    /// choices, port-wise, whatever the congestion state.
+    #[test]
+    fn prop_route_is_subset_of_alternatives(
+        src in 0u32..16,
+        dst in 0u32..16,
+        seed in any::<u64>(),
+        free in 0usize..2,
+    ) {
+        for case in cases() {
+            let topo = &case.topo;
+            let n = topo.num_nodes() as u32;
+            let (s, d) = (NodeId(src % n), NodeId(dst % n));
+            if s == d {
+                continue;
+            }
+            let view = StaticView::new(topo, free);
+            let pkt = PacketBuilder::new(s, d).build(0);
+            let at = topo.node_router(s);
+            let in_port = topo.node_attach(s).port;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let picked = case.routing.route(&view, at, in_port, &pkt, &mut rng);
+            let alts = case.routing.alternatives(&view, at, in_port, &pkt);
+            for c in &picked {
+                prop_assert!(
+                    alts.iter().any(|a| a.out_port == c.out_port),
+                    "route() chose a port outside the OR-set"
+                );
+            }
+        }
+    }
+}
+
+/// Escalation VC classes never move downward along any legal path — the
+/// acyclicity argument for both HyperX DAL and dragonfly+ escalation.
+#[test]
+fn escalation_masks_ascend_along_paths() {
+    let topo = Topology::hyperx(&[3, 3, 3], 1);
+    let dal = HyperXDal::escalation(&topo);
+    let view = StaticView::new(&topo, 1);
+    let mut rng = StdRng::seed_from_u64(9);
+    for (s, d) in [(0u32, 26u32), (1, 25), (4, 22)] {
+        let pkt = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+        let mut at = topo.node_router(NodeId(s));
+        let dst_r = topo.node_router(NodeId(d));
+        let mut last_class: Option<u8> = None;
+        while at != dst_r {
+            let c = dal.route(&view, at, PortId(0), &pkt, &mut rng)[0];
+            let class = (0..32u8)
+                .find(|&v| c.vc_mask.contains(spin_types::VcId(v)))
+                .expect("escalation mask names one VC");
+            if let Some(prev) = last_class {
+                assert!(class > prev, "escalation class must strictly ascend");
+            }
+            last_class = Some(class);
+            at = topo.neighbor(at, c.out_port).unwrap().router;
+        }
+    }
+}
+
+/// The full-mesh ascending rule: at any source router r, every deroute
+/// alternative leads to a router with a strictly higher index.
+#[test]
+fn full_mesh_deroutes_strictly_ascend() {
+    let topo = Topology::full_mesh(10, 1).unwrap();
+    let view = StaticView::new(&topo, 1);
+    for s in 0..10u32 {
+        for d in 0..10u32 {
+            if s == d {
+                continue;
+            }
+            let pkt = PacketBuilder::new(NodeId(s), NodeId(d)).build(0);
+            let at = RouterId(s);
+            let alts = FullMeshDeroute.alternatives(&view, at, PortId(0), &pkt);
+            for a in &alts {
+                let peer = topo.neighbor(at, a.out_port).unwrap().router;
+                assert!(
+                    peer == RouterId(d) || peer.0 > s,
+                    "deroute {s}->{} violates the ascending rule",
+                    peer.0
+                );
+            }
+        }
+    }
+}

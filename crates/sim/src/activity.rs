@@ -68,11 +68,7 @@ impl ActivitySet {
     pub(crate) fn insert(&mut self, id: usize) {
         if self.marks[id] != self.epoch {
             self.marks[id] = self.epoch;
-            self.sorted = self.sorted
-                && self
-                    .list
-                    .last()
-                    .is_none_or(|&last| last < id as u32);
+            self.sorted = self.sorted && self.list.last().is_none_or(|&last| last < id as u32);
             self.list.push(id as u32);
         }
     }

@@ -75,7 +75,9 @@ impl Network {
     /// an idle network must reach (and the cheap witness that stepping it
     /// further costs near-nothing).
     pub fn activity_idle(&self) -> bool {
-        self.active_routers.is_empty() && self.active_links.is_empty() && self.active_nics.is_empty()
+        self.active_routers.is_empty()
+            && self.active_links.is_empty()
+            && self.active_nics.is_empty()
     }
 
     /// Current worklist sizes `(routers, links, nics)` — a load gauge for

@@ -196,7 +196,9 @@ impl Network {
         }
         let inj_base = flat;
         let dense_step = b.dense_step.unwrap_or_else(|| {
-            std::env::var("SPIN_DENSE_STEP").map(|v| v == "1").unwrap_or(false)
+            std::env::var("SPIN_DENSE_STEP")
+                .map(|v| v == "1")
+                .unwrap_or(false)
         });
         let metrics = b.cfg.metrics.map(|mc| {
             let radixes: Vec<usize> = (0..topo.num_routers())
@@ -462,8 +464,7 @@ impl Network {
         for &ri in &ids {
             let lo = self.cycle_coords.len() as u32;
             self.routers[ri as usize].append_coords(&mut self.cycle_coords);
-            self.cycle_ranges
-                .push((lo, self.cycle_coords.len() as u32));
+            self.cycle_ranges.push((lo, self.cycle_coords.len() as u32));
         }
         self.cycle_ids = ids;
     }

@@ -151,7 +151,15 @@ impl MetaTable {
     /// one more flit on the wire, and a tail releases the upstream
     /// reservation. Fuses `inflight_add(+1)` + conditional `release` into
     /// one index computation and one busy-transition check.
-    pub(crate) fn wire(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId, tail: bool) {
+    pub(crate) fn wire(
+        &mut self,
+        now: Cycle,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        tail: bool,
+    ) {
         let i = self.idx(r, p, vn, vc);
         let m = &mut self.data[i];
         m.inflight += 1;

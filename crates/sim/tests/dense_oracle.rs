@@ -29,7 +29,11 @@ fn pair(
     plan: FaultPlan,
 ) -> (Network, Network) {
     let build = |dense: bool| {
-        let traffic = SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), topo, seed);
+        let traffic = SyntheticTraffic::new(
+            SyntheticConfig::new(Pattern::UniformRandom, rate),
+            topo,
+            seed,
+        );
         NetworkBuilder::new(topo.clone())
             .config(SimConfig {
                 vnets: 3,

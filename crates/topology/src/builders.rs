@@ -281,6 +281,323 @@ impl Topology {
         )
     }
 
+    /// Builds an L-dimensional HyperX with 1-cycle links (see
+    /// [`Topology::try_hyperx`]). `hyperx(&[4, 4, 4], 4)` is a 256-node
+    /// 3-D HyperX.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (see [`Topology::try_hyperx`]).
+    pub fn hyperx(dims: &[u32], t: u32) -> Topology {
+        Self::try_hyperx(dims, t, 1).expect("invalid hyperx parameters")
+    }
+
+    /// Fallible HyperX constructor with explicit link latency.
+    ///
+    /// Routers form a `dims[0] x .. x dims[L-1]` lattice; within every
+    /// dimension, routers that agree on all other coordinates are pairwise
+    /// connected (per-dimension all-to-all). Each router attaches `t`
+    /// terminals. Port layout: `0..t` local, then for each dimension `i` in
+    /// order, `dims[i] - 1` network ports ordered by peer coordinate
+    /// (skipping the router's own coordinate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadParameter`] if `dims` is empty, any
+    /// dimension is `< 2`, `t == 0`, or the router radix exceeds the 256
+    /// ports a [`PortId`] can address.
+    pub fn try_hyperx(dims: &[u32], t: u32, latency: u32) -> Result<Topology, TopologyError> {
+        if dims.is_empty() || t == 0 {
+            return Err(TopologyError::BadParameter(format!(
+                "hyperx needs >= 1 dimension and >= 1 terminal, got {dims:?} t={t}"
+            )));
+        }
+        if let Some(&d) = dims.iter().find(|&&d| d < 2) {
+            return Err(TopologyError::BadParameter(format!(
+                "hyperx dimensions must be >= 2, got {d}"
+            )));
+        }
+        let radix = t as u64 + dims.iter().map(|&d| (d - 1) as u64).sum::<u64>();
+        if radix > 256 {
+            return Err(TopologyError::BadParameter(format!(
+                "hyperx radix {radix} exceeds the 256-port router limit"
+            )));
+        }
+        let num_routers: u64 = dims.iter().map(|&d| d as u64).product();
+        if num_routers * t as u64 > u32::MAX as u64 {
+            return Err(TopologyError::BadParameter(format!(
+                "hyperx with {num_routers} routers is too large"
+            )));
+        }
+        let num_routers = num_routers as u32;
+
+        // Router id is mixed-radix over the coordinates, dimension 0
+        // fastest; strides[i] = product of sizes below dimension i.
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut acc = 1u32;
+        for &d in dims {
+            strides.push(acc);
+            acc *= d;
+        }
+        let mut ports = vec![vec![Port::unconnected(); radix as usize]; num_routers as usize];
+        let mut node_attach = Vec::with_capacity((num_routers * t) as usize);
+        for r in 0..num_routers {
+            for tt in 0..t {
+                let node = NodeId(r * t + tt);
+                ports[r as usize][tt as usize] = local_port(node);
+                node_attach.push(PortConn {
+                    router: RouterId(r),
+                    port: PortId(tt as u8),
+                });
+            }
+            let mut base = t;
+            for (i, &d) in dims.iter().enumerate() {
+                let own = (r / strides[i]) % d;
+                for to in 0..d {
+                    if to == own {
+                        continue;
+                    }
+                    let my_port = base + if to < own { to } else { to - 1 };
+                    let peer_port = base + if own < to { own } else { own - 1 };
+                    let peer =
+                        RouterId((r as i64 + (to as i64 - own as i64) * strides[i] as i64) as u32);
+                    ports[r as usize][my_port as usize] = net_port(
+                        PortConn {
+                            router: peer,
+                            port: PortId(peer_port as u8),
+                        },
+                        latency,
+                    );
+                }
+                base += d - 1;
+            }
+        }
+        let dim_name: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+        Topology::from_parts(
+            format!("hyperx{}t{t}", dim_name.join("x")),
+            TopologyKind::HyperX {
+                dims: dims.to_vec(),
+                t,
+            },
+            ports,
+            node_attach,
+        )
+    }
+
+    /// Builds a dragonfly+ with 1-cycle local and 3-cycle global links
+    /// (see [`Topology::try_dragonfly_plus`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters cannot be wired (see
+    /// [`Topology::try_dragonfly_plus`]).
+    pub fn dragonfly_plus(p: u32, l: u32, s: u32, h: u32, g: u32) -> Topology {
+        Self::try_dragonfly_plus(p, l, s, h, g, 1, 3).expect("invalid dragonfly+ parameters")
+    }
+
+    /// Fallible dragonfly+ constructor with explicit link latencies.
+    ///
+    /// Each of the `g` groups is a two-level bipartite graph: `l` leaf
+    /// routers (each attaching `p` terminals) fully connected to `s` spine
+    /// routers. Spines carry `h` global links each; the `s*h` global
+    /// channels per group are spread over the other groups with the same
+    /// canonical pairing as [`Topology::try_dragonfly`] (every pair of
+    /// groups gets `floor(s*h / (g-1))` channels, remainder channels join
+    /// diametrically opposite groups).
+    ///
+    /// Router numbering within group `G`: leaves `G*(l+s) .. G*(l+s)+l`,
+    /// then spines. Leaf ports: `0..p` local, then `p..p+s` up-links (port
+    /// `p+j` to spine `j`). Spine ports: `0..l` down-links (port `i` to
+    /// leaf `i`), then `l..l+h` global.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadParameter`] if any parameter is zero,
+    /// `g < 2`, `s*h < g-1`, or the remainder channels cannot be paired
+    /// (odd `g`).
+    pub fn try_dragonfly_plus(
+        p: u32,
+        l: u32,
+        s: u32,
+        h: u32,
+        g: u32,
+        local_latency: u32,
+        global_latency: u32,
+    ) -> Result<Topology, TopologyError> {
+        if p == 0 || l == 0 || s == 0 || h == 0 || g < 2 {
+            return Err(TopologyError::BadParameter(format!(
+                "dragonfly+ parameters must be positive with g >= 2, got p={p} l={l} s={s} h={h} g={g}"
+            )));
+        }
+        let channels = s * h;
+        if channels < g - 1 {
+            return Err(TopologyError::BadParameter(format!(
+                "s*h = {channels} global channels cannot connect {g} groups pairwise"
+            )));
+        }
+        let base = channels / (g - 1);
+        let rem = channels % (g - 1);
+        if rem > 0 && !g.is_multiple_of(2) {
+            return Err(TopologyError::BadParameter(format!(
+                "remainder channels ({rem}) need an even group count, got g={g}"
+            )));
+        }
+        let leaf_radix = (p + s) as u64;
+        let spine_radix = (l + h) as u64;
+        if leaf_radix > 256 || spine_radix > 256 {
+            return Err(TopologyError::BadParameter(format!(
+                "dragonfly+ radix ({leaf_radix} leaf / {spine_radix} spine) exceeds the 256-port limit"
+            )));
+        }
+
+        let per_group = l + s;
+        let num_routers = (per_group * g) as usize;
+        let mut ports: Vec<Vec<Port>> = (0..num_routers)
+            .map(|r| {
+                let radix = if (r as u32) % per_group < l {
+                    (p + s) as usize
+                } else {
+                    (l + h) as usize
+                };
+                vec![Port::unconnected(); radix]
+            })
+            .collect();
+        let mut node_attach = Vec::with_capacity((p * l * g) as usize);
+
+        for grp in 0..g {
+            // Leaf terminals and the bipartite leaf-spine wiring.
+            for i in 0..l {
+                let leaf = RouterId(grp * per_group + i);
+                for t in 0..p {
+                    let node = NodeId((grp * l + i) * p + t);
+                    ports[leaf.index()][t as usize] = local_port(node);
+                    node_attach.push(PortConn {
+                        router: leaf,
+                        port: PortId(t as u8),
+                    });
+                }
+                for j in 0..s {
+                    let spine = RouterId(grp * per_group + l + j);
+                    ports[leaf.index()][(p + j) as usize] = net_port(
+                        PortConn {
+                            router: spine,
+                            port: PortId(i as u8),
+                        },
+                        local_latency,
+                    );
+                    ports[spine.index()][i as usize] = net_port(
+                        PortConn {
+                            router: leaf,
+                            port: PortId((p + j) as u8),
+                        },
+                        local_latency,
+                    );
+                }
+            }
+        }
+
+        // Global wiring between spines, canonical pairing as in the
+        // dragonfly builder: endpoint e of group G lives on spine e/h,
+        // port l + e%h.
+        let pair_count = |from: u32, to: u32| -> u32 {
+            let diametric = g.is_multiple_of(2) && (to + g / 2) % g == from;
+            base + if diametric { rem } else { 0 }
+        };
+        let endpoint_index = |from: u32, to: u32, copy: u32| -> u32 {
+            let mut idx = 0;
+            for k in 1..g {
+                let peer = (from + k) % g;
+                if peer == to {
+                    return idx + copy;
+                }
+                idx += pair_count(from, peer);
+            }
+            unreachable!("peer group not found");
+        };
+        let endpoint_router_port = |grp: u32, e: u32| -> PortConn {
+            let r = RouterId(grp * per_group + l + e / h);
+            let port = PortId((l + e % h) as u8);
+            PortConn { router: r, port }
+        };
+        for grp in 0..g {
+            for k in 1..g {
+                let peer = (grp + k) % g;
+                if peer < grp {
+                    continue; // wire each unordered pair once
+                }
+                for c in 0..pair_count(grp, peer) {
+                    let e1 = endpoint_index(grp, peer, c);
+                    let e2 = endpoint_index(peer, grp, c);
+                    let end1 = endpoint_router_port(grp, e1);
+                    let end2 = endpoint_router_port(peer, e2);
+                    ports[end1.router.index()][end1.port.index()] = net_port(end2, global_latency);
+                    ports[end2.router.index()][end2.port.index()] = net_port(end1, global_latency);
+                }
+            }
+        }
+
+        Topology::from_parts(
+            format!("dfplus_p{p}l{l}s{s}h{h}g{g}"),
+            TopologyKind::DragonflyPlus { p, l, s, h, g },
+            ports,
+            node_attach,
+        )
+    }
+
+    /// Builds a full mesh (complete graph) of `n` routers with `p`
+    /// terminals each and 1-cycle links. Port layout: `0..p` local, then
+    /// one port per peer router ordered by peer id (skipping self).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadParameter`] if `n < 2`, `p == 0`, or
+    /// the radix `p + n - 1` exceeds the 256-port router limit.
+    pub fn full_mesh(n: u32, p: u32) -> Result<Topology, TopologyError> {
+        if n < 2 || p == 0 {
+            return Err(TopologyError::BadParameter(format!(
+                "full mesh needs >= 2 routers and >= 1 terminal, got n={n} p={p}"
+            )));
+        }
+        let radix = p as u64 + n as u64 - 1;
+        if radix > 256 {
+            return Err(TopologyError::BadParameter(format!(
+                "full-mesh radix {radix} exceeds the 256-port router limit"
+            )));
+        }
+        let mut ports = vec![vec![Port::unconnected(); radix as usize]; n as usize];
+        let mut node_attach = Vec::with_capacity((n * p) as usize);
+        for i in 0..n {
+            for t in 0..p {
+                let node = NodeId(i * p + t);
+                ports[i as usize][t as usize] = local_port(node);
+                node_attach.push(PortConn {
+                    router: RouterId(i),
+                    port: PortId(t as u8),
+                });
+            }
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let my_port = p + if j < i { j } else { j - 1 };
+                let peer_port = p + if i < j { i } else { i - 1 };
+                ports[i as usize][my_port as usize] = net_port(
+                    PortConn {
+                        router: RouterId(j),
+                        port: PortId(peer_port as u8),
+                    },
+                    1,
+                );
+            }
+        }
+        Topology::from_parts(
+            format!("fullmesh{n}p{p}"),
+            TopologyKind::FullMesh { n, p },
+            ports,
+            node_attach,
+        )
+    }
+
     /// Builds an irregular topology from an undirected edge list, with
     /// `nodes_per_router` terminals at each router and 1-cycle links.
     ///

@@ -112,6 +112,37 @@ pub enum TopologyKind {
         /// Number of groups.
         g: u32,
     },
+    /// L-dimensional HyperX: routers form a `dims[0] x .. x dims[L-1]`
+    /// lattice with per-dimension all-to-all links and `t` terminals per
+    /// router.
+    HyperX {
+        /// Routers along each dimension (length L >= 1, entries >= 2).
+        dims: Vec<u32>,
+        /// Terminals per router.
+        t: u32,
+    },
+    /// Dragonfly+ (two-level fat-tree groups joined all-to-all): `p`
+    /// terminals per leaf, `l` leaves and `s` spines per group, `h` global
+    /// links per spine, `g` groups.
+    DragonflyPlus {
+        /// Terminals per leaf router.
+        p: u32,
+        /// Leaf routers per group.
+        l: u32,
+        /// Spine routers per group.
+        s: u32,
+        /// Global links per spine router.
+        h: u32,
+        /// Number of groups.
+        g: u32,
+    },
+    /// Complete graph of `n` routers with `p` terminals each.
+    FullMesh {
+        /// Number of routers.
+        n: u32,
+        /// Terminals per router.
+        p: u32,
+    },
     /// Arbitrary graph.
     Irregular,
 }
@@ -131,6 +162,10 @@ pub struct Topology {
 
 /// Candidate output ports, small enough to stay on the stack.
 pub type PortVec = SmallVec<[PortId; 8]>;
+
+/// Per-dimension coordinates of a HyperX router, small enough to stay on
+/// the stack for any realistic dimension count.
+pub type DimVec = SmallVec<[u32; 4]>;
 
 impl Topology {
     pub(crate) fn from_parts(
@@ -556,29 +591,135 @@ impl Topology {
         }
     }
 
-    // ---- dragonfly helpers ----------------------------------------------
+    // ---- dragonfly / dragonfly+ helpers ---------------------------------
 
-    /// The dragonfly group of router `r`.
+    /// The group of dragonfly or dragonfly+ router `r`.
     ///
     /// # Panics
     ///
-    /// Panics if the topology is not a dragonfly.
+    /// Panics if the topology is not a dragonfly or dragonfly+.
     pub fn group_of(&self, r: RouterId) -> u32 {
         match self.kind {
             TopologyKind::Dragonfly { a, .. } => r.0 / a,
-            _ => panic!("group_of() requires a dragonfly topology"),
+            TopologyKind::DragonflyPlus { l, s, .. } => r.0 / (l + s),
+            _ => panic!("group_of() requires a dragonfly or dragonfly+ topology"),
         }
     }
 
-    /// True if `p` is a global (inter-group) port of dragonfly router `r`.
+    /// True if `p` is a global (inter-group) port of dragonfly or
+    /// dragonfly+ router `r`. The delivery stage uses this to maintain
+    /// `Packet::global_hops`, so routing disciplines keyed on global hops
+    /// see identical semantics in the live pipeline and the static walk.
     pub fn is_global_port(&self, r: RouterId, p: PortId) -> bool {
         match self.kind {
-            TopologyKind::Dragonfly { .. } => self
+            TopologyKind::Dragonfly { .. } | TopologyKind::DragonflyPlus { .. } => self
                 .neighbor(r, p)
                 .map(|peer| self.group_of(peer.router) != self.group_of(r))
                 .unwrap_or(false),
             _ => false,
         }
+    }
+
+    /// True if `r` is a spine (second-level) router of a dragonfly+.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a dragonfly+.
+    pub fn is_spine(&self, r: RouterId) -> bool {
+        match self.kind {
+            TopologyKind::DragonflyPlus { l, s, .. } => r.0 % (l + s) >= l,
+            _ => panic!("is_spine() requires a dragonfly+ topology"),
+        }
+    }
+
+    // ---- hyperx helpers -------------------------------------------------
+
+    /// The per-dimension sizes of a HyperX topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a HyperX.
+    pub fn hyperx_dims(&self) -> &[u32] {
+        match &self.kind {
+            TopologyKind::HyperX { dims, .. } => dims,
+            _ => panic!("hyperx_dims() requires a HyperX topology"),
+        }
+    }
+
+    /// Mixed-radix coordinates of HyperX router `r` (dimension 0 varies
+    /// fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a HyperX.
+    pub fn hyperx_coords(&self, r: RouterId) -> DimVec {
+        let dims = self.hyperx_dims();
+        let mut coords = DimVec::new();
+        let mut rest = r.0;
+        for &d in dims {
+            coords.push(rest % d);
+            rest /= d;
+        }
+        coords
+    }
+
+    /// The HyperX router with the given coordinates (inverse of
+    /// [`Topology::hyperx_coords`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a HyperX or a coordinate is out of
+    /// range.
+    pub fn hyperx_router(&self, coords: &[u32]) -> RouterId {
+        let dims = self.hyperx_dims();
+        assert_eq!(coords.len(), dims.len(), "coordinate arity mismatch");
+        let mut r = 0u32;
+        for (i, (&c, &d)) in coords.iter().zip(dims).enumerate().rev() {
+            assert!(c < d, "coordinate {c} out of range in dimension {i}");
+            r = r * d + c;
+        }
+        RouterId(r)
+    }
+
+    /// The output port at HyperX router `r` along dimension `dim` towards
+    /// coordinate `to` (which must differ from `r`'s own coordinate in that
+    /// dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a HyperX, `dim`/`to` are out of range,
+    /// or `to` equals `r`'s coordinate in `dim`.
+    pub fn hyperx_port(&self, r: RouterId, dim: usize, to: u32) -> PortId {
+        let (dims, t) = match &self.kind {
+            TopologyKind::HyperX { dims, t } => (dims.as_slice(), *t),
+            _ => panic!("hyperx_port() requires a HyperX topology"),
+        };
+        assert!(dim < dims.len(), "dimension {dim} out of range");
+        assert!(to < dims[dim], "coordinate {to} out of range");
+        let own = self.hyperx_coords(r)[dim];
+        assert_ne!(to, own, "no self-link in dimension {dim}");
+        let base: u32 = t + dims[..dim].iter().map(|&d| d - 1).sum::<u32>();
+        let offset = if to < own { to } else { to - 1 };
+        PortId((base + offset) as u8)
+    }
+
+    // ---- full-mesh helpers ----------------------------------------------
+
+    /// The output port at full-mesh router `at` directly to router `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a full mesh, `to` is out of range, or
+    /// `at == to`.
+    pub fn full_mesh_port(&self, at: RouterId, to: RouterId) -> PortId {
+        let (n, p) = match self.kind {
+            TopologyKind::FullMesh { n, p } => (n, p),
+            _ => panic!("full_mesh_port() requires a full-mesh topology"),
+        };
+        assert!(to.0 < n, "router {to} out of range");
+        assert_ne!(at, to, "no self-link in a full mesh");
+        let offset = if to.0 < at.0 { to.0 } else { to.0 - 1 };
+        PortId((p + offset) as u8)
     }
 }
 

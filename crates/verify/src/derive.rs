@@ -20,8 +20,8 @@
 //! * Ejection (a local out port) is a sink: the packet leaves the network
 //!   and contributes no dependency.
 //!
-//! Misrouting (`Routing::misroute_bound() > 0`, i.e. a Valiant phase
-//! toward a chosen intermediate) is handled in two passes. Pass 1 walks
+//! Misrouting via a source-recorded Valiant intermediate
+//! (`Routing::valiant_intermediate()`) is handled in two passes. Pass 1 walks
 //! toward every possible intermediate target `i` and collects the *arrival
 //! states* at `i`'s router — the simulator clears `Packet::intermediate`
 //! when the head arrives there, so those states are where the final phase
@@ -89,7 +89,14 @@ impl DerivedCdg {
             escape_edges: vec![BTreeSet::new(); num_vcs as usize],
         };
         let nodes: Vec<NodeId> = (0..topo.num_nodes() as u32).map(NodeId).collect();
-        if d.misroute_bound == 0 {
+        // The two-pass Valiant over-approximation is needed only when the
+        // misroute is a source-recorded intermediate the walk cannot see.
+        // Positional deroutes (full-mesh ascending deroutes at the
+        // injection port) appear in `alternatives` directly, so the single
+        // pass covers them exactly — and the over-approximation would
+        // wrongly pair deroute arrival states with every destination,
+        // condemning a provably acyclic scheme.
+        if !routing.valiant_intermediate() {
             for &t in &nodes {
                 d.walk(topo, routing, t, injection_seeds(topo, t), false);
             }

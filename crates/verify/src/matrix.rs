@@ -5,8 +5,8 @@
 
 use crate::analyze::{analyze, Analysis, DEFAULT_RING_CAP};
 use spin_routing::{
-    EscapeVc, FavorsMinimal, FavorsNonMinimal, ReservedVcAdaptive, Routing, Ugal, UpDown,
-    WestFirst, XyRouting,
+    DfPlusAdaptive, EscapeVc, FavorsMinimal, FavorsNonMinimal, FullMeshDeroute, HyperXDal,
+    HyperXDor, ReservedVcAdaptive, Routing, Ugal, UpDown, WestFirst, XyRouting,
 };
 use spin_topology::Topology;
 use spin_types::{PortId, RouterId};
@@ -175,6 +175,24 @@ pub fn standard_configs() -> Vec<MatrixConfig> {
     let deg_ud = UpDown::new(&degraded());
     out.push(MatrixConfig::new(degraded(), FavorsMinimal, 1));
     out.push(MatrixConfig::new(degraded(), deg_ud, 1));
+    // HyperX: dimension-order and escalation baselines vs SPIN+FAvORS.
+    let hx = || Topology::hyperx(&[3, 3, 3], 1);
+    let hx_dal = HyperXDal::escalation(&hx());
+    out.push(MatrixConfig::new(hx(), HyperXDor, 1));
+    out.push(MatrixConfig::new(hx(), hx_dal, 3));
+    out.push(MatrixConfig::new(hx(), HyperXDal::with_spin(), 1));
+    out.push(MatrixConfig::new(hx(), FavorsMinimal, 1));
+    // Dragonfly+: per-global-hop escalation baseline vs SPIN-reliant free
+    // VC use and FAvORS.
+    let dfp = || Topology::dragonfly_plus(2, 2, 2, 2, 4);
+    out.push(MatrixConfig::new(dfp(), DfPlusAdaptive::escalation(), 3));
+    out.push(MatrixConfig::new(dfp(), DfPlusAdaptive::with_spin(), 1));
+    out.push(MatrixConfig::new(dfp(), FavorsNonMinimal, 1));
+    // Full mesh: the HOTI'25 VC-free deroute scheme needs no SPIN at all;
+    // FAvORS-NMin on the same graph relies on SPIN.
+    let fm = || Topology::full_mesh(8, 1).expect("valid full-mesh parameters");
+    out.push(MatrixConfig::new(fm(), FullMeshDeroute, 1));
+    out.push(MatrixConfig::new(fm(), FavorsNonMinimal, 1));
     out
 }
 

@@ -3,7 +3,10 @@
 //! designs are recovery-required with finite spin bounds, and the 2x2-torus
 //! ring matches the `docs/PROTOCOL.md` worked example.
 
-use spin_routing::{EscapeVc, FavorsMinimal, UpDown, XyRouting};
+use spin_routing::{
+    DfPlusAdaptive, EscapeVc, FavorsMinimal, FavorsNonMinimal, FullMeshDeroute, HyperXDal,
+    HyperXDor, UpDown, XyRouting,
+};
 use spin_topology::Topology;
 use spin_types::VcId;
 use spin_verify::{analyze, Classification, DEFAULT_RING_CAP};
@@ -133,6 +136,104 @@ fn ring8_favors_matches_theorem_one() {
         assert_eq!(r.channels.len(), 8);
         assert_eq!(r.spin_bound, 7);
     }
+}
+
+/// HyperX native disciplines certify Dally-acyclic: dimension-order with
+/// one VC (dependencies only flow low dim -> high dim), and adaptive DAL
+/// under VC escalation with L = 3 VCs (the class — dimensions already
+/// aligned — strictly ascends every hop).
+#[test]
+fn hyperx_native_disciplines_are_deadlock_free() {
+    let topo = Topology::hyperx(&[3, 3, 3], 1);
+    let a = analyze(&topo, &HyperXDor, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::DeadlockFree);
+    // 27 routers x 6 network in-ports x 1 VC.
+    assert_eq!(a.derived.cdg.num_channels(), 162);
+    assert!(a.certificate.is_some());
+
+    let dal = HyperXDal::escalation(&topo);
+    let a = analyze(&topo, &dal, 3, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::DeadlockFree);
+    assert!(a.certificate.is_some());
+}
+
+/// Stripping the escalation discipline (SPIN configuration, one VC) makes
+/// adaptive HyperX cyclic: recovery required, with a finite spin bound.
+#[test]
+fn hyperx_spin_configs_need_recovery_with_finite_bound() {
+    let topo = Topology::hyperx(&[3, 3, 3], 1);
+    for routing in [
+        Box::new(HyperXDal::with_spin()) as Box<dyn spin_routing::Routing>,
+        Box::new(FavorsMinimal),
+    ] {
+        let a = analyze(&topo, routing.as_ref(), 1, DEFAULT_RING_CAP);
+        assert_eq!(
+            a.classification,
+            Classification::RecoveryRequired,
+            "{} with one VC must need recovery on hyperx",
+            routing.name()
+        );
+        assert_eq!(a.girth, Some(4), "shortest cycle uses 2 routers x 2 dims");
+        let bound = a.max_spin_bound().expect("rings imply a bound");
+        assert!(bound > 0);
+    }
+}
+
+/// The headline of the expansion: the HOTI'25-style ascending-deroute
+/// scheme on a full mesh is deadlock-free with ONE VC and no escape
+/// channel — a dependency (a->b) -> (b->c) only arises when b > a, so
+/// every dependency chain strictly ascends router indices and can never
+/// close. The certificate is a genuine topological order.
+#[test]
+fn full_mesh_deroute_is_deadlock_free_on_a_single_vc() {
+    let topo = Topology::full_mesh(8, 1).expect("valid full-mesh parameters");
+    let a = analyze(&topo, &FullMeshDeroute, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::DeadlockFree);
+    // 8 routers x 7 network in-ports x 1 VC.
+    assert_eq!(a.derived.cdg.num_channels(), 56);
+    let order = a.certificate.as_ref().expect("DF comes with certificate");
+    let pos: std::collections::HashMap<_, _> =
+        order.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+    for i in 0..a.derived.cdg.num_channels() {
+        let from = a.derived.cdg.channel(i);
+        for &j in a.derived.cdg.deps_of(i) {
+            let to = a.derived.cdg.channel(j);
+            assert!(pos[from] < pos[to], "certificate violated: {from} -> {to}");
+        }
+    }
+    // Contrast: Valiant-style FAvORS-NMin on the SAME graph with the same
+    // single VC is cyclic (girth 2: any a->b->a pair), hence SPIN-reliant.
+    let a = analyze(&topo, &FavorsNonMinimal, 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::RecoveryRequired);
+    assert_eq!(a.girth, Some(2));
+}
+
+/// Dragonfly+ per-global-hop escalation: the live network is believed
+/// acyclic (a packet's VC class — global links crossed — never decreases),
+/// but the derived-CDG two-pass Valiant over-approximation pairs
+/// same-group intermediates it cannot rule out, so the verdict is the
+/// conservative `recovery_required` with a small finite bound. The SPIN
+/// configuration on one VC is strictly worse-bounded.
+#[test]
+fn dfplus_escalation_is_bounded_recovery_under_conservative_pairing() {
+    let topo = Topology::dragonfly_plus(2, 2, 2, 2, 4);
+    let a = analyze(&topo, &DfPlusAdaptive::escalation(), 3, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::RecoveryRequired);
+    assert!(
+        !a.rings_truncated,
+        "the ring set is small enough to be exact"
+    );
+    assert_eq!(a.girth, Some(4));
+    let esc_bound = a.max_spin_bound().expect("rings imply a bound");
+
+    let a = analyze(&topo, &DfPlusAdaptive::with_spin(), 1, DEFAULT_RING_CAP);
+    assert_eq!(a.classification, Classification::RecoveryRequired);
+    let spin_bound = a.max_spin_bound().expect("rings imply a bound");
+    assert!(
+        spin_bound > esc_bound,
+        "free VC use must admit longer dependency rings than escalation \
+         ({spin_bound} vs {esc_bound})"
+    );
 }
 
 #[test]

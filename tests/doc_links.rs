@@ -35,6 +35,10 @@ fn doc_files(root: &Path) -> Vec<PathBuf> {
         files.iter().any(|p| p.ends_with("VERIFY.md")),
         "docs/VERIFY.md missing — doc set is wrong"
     );
+    assert!(
+        files.iter().any(|p| p.ends_with("TOPOLOGIES.md")),
+        "docs/TOPOLOGIES.md missing — doc set is wrong"
+    );
     files
 }
 
@@ -157,6 +161,44 @@ fn activity_kernel_design_section_is_cross_linked() {
         readme.contains("Activity-driven kernel"),
         "README.md must cross-link DESIGN.md's activity-driven kernel section"
     );
+}
+
+/// docs/TOPOLOGIES.md must exist, cover every expansion family and its
+/// discipline by the names the code uses, and be cross-linked from the
+/// README, DESIGN.md, docs/VERIFY.md and EXPERIMENTS.md.
+#[test]
+fn topologies_doc_covers_the_expansion_and_is_cross_linked() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(root.join("docs/TOPOLOGIES.md")).expect("docs/TOPOLOGIES.md");
+    for needle in [
+        // Constructors and their routing disciplines, by code name.
+        "hyperx",
+        "dragonfly_plus",
+        "full_mesh",
+        "hx_dor",
+        "hx_dal_esc",
+        "dfplus_esc",
+        "fm_deroute",
+        // The headline verdicts the matrix pins.
+        "deadlock_free",
+        "recovery_required",
+        // The worked CDG example and the campaign binary.
+        "full_mesh(3, 1)",
+        "cross_topology",
+        "valiant_intermediate",
+    ] {
+        assert!(
+            doc.contains(needle),
+            "docs/TOPOLOGIES.md never mentions `{needle}`"
+        );
+    }
+    for file in ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/VERIFY.md"] {
+        let text = std::fs::read_to_string(root.join(file)).expect(file);
+        assert!(
+            text.contains("TOPOLOGIES.md"),
+            "{file} must cross-link docs/TOPOLOGIES.md"
+        );
+    }
 }
 
 /// The trace-event tables in docs/PROTOCOL.md must stay in sync with the
