@@ -1,0 +1,154 @@
+//! Sharded-kernel scaling probe: wall-clock `Network::step` throughput of
+//! one paper-scale simulation (the 1024-node dragonfly of `fig9_1024`,
+//! saturated bit complement) at 1, 2, 4 and 8 shards, written to
+//! `results/scaling.json` so the intra-simulation speedup is tracked across
+//! PRs.
+//!
+//! Every shard count simulates the identical network — the sharded kernel
+//! is bit-identical to serial — so the curve isolates pure kernel scaling:
+//! steps/s per shard count, speedup vs serial, plus the host's
+//! `available_parallelism` (the curve is only meaningful where the host has
+//! the cores; a 1-core runner measures thread overhead, not scaling, and
+//! the JSON records that honestly).
+//!
+//! Usage: `scaling [--quick] [--gate]`
+//!
+//! * `--quick` — smoke mode: shorter batches, the result is still written.
+//! * `--gate` — CI gate: exit nonzero if the 4-shard speedup over serial is
+//!   below 1.5x. Auto-skips (exit 0, with a notice) when the host reports
+//!   fewer than 4 available cores or `SPIN_SKIP_SCALING_GATE=1` — a
+//!   wall-clock gate is meaningless on an oversubscribed or tiny runner.
+
+use spin_core::SpinConfig;
+use spin_experiments::json::{arr, obj, write_results, Json};
+use spin_routing::Ugal;
+use spin_sim::{Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const GATE_SHARDS: usize = 4;
+const GATE_MIN_SPEEDUP: f64 = 1.5;
+
+fn dragonfly1024(shards: usize) -> Network {
+    let topo = Topology::dragonfly(4, 8, 4, 32);
+    let traffic = SyntheticTraffic::new(
+        SyntheticConfig::new(Pattern::BitComplement, 0.30),
+        &topo,
+        13,
+    );
+    NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            seed: 13,
+            ..SimConfig::default()
+        })
+        .routing(Ugal::with_spin())
+        .traffic(traffic)
+        .spin(SpinConfig::default())
+        .shards(shards)
+        .build()
+}
+
+/// Median ns/step over `reps` batches on a warmed network.
+fn time_shards(shards: usize, warmup: u64, batch: u64, reps: usize) -> (f64, Vec<f64>) {
+    let mut net = dragonfly1024(shards);
+    assert_eq!(net.shards(), shards.min(net.topology().num_routers()));
+    net.run(warmup);
+    let mut samples: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        net.run(batch);
+        black_box(net.now());
+        samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    let mut sorted = samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    (sorted[reps / 2], samples)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let (warmup, batch, reps) = if quick {
+        (200, 200, 3)
+    } else {
+        (1_000, 1_000, 5)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!(
+        "# scaling: 1024-node dragonfly, saturated bit complement \
+         (median of {reps} x {batch}-cycle batches; host cores: {cores})\n"
+    );
+    let mut serial_ns = 0.0f64;
+    let mut speedup_at_gate = 0.0f64;
+    let mut points = Vec::new();
+    for shards in SHARD_COUNTS {
+        let (median, samples) = time_shards(shards, warmup, batch, reps);
+        if shards == 1 {
+            serial_ns = median;
+        }
+        let speedup = serial_ns / median;
+        if shards == GATE_SHARDS {
+            speedup_at_gate = speedup;
+        }
+        println!(
+            "shards={shards:<2} {median:12.1} ns/step  ({:8.3} ksteps/s, {speedup:5.2}x vs serial)",
+            1e6 / median
+        );
+        points.push(obj(vec![
+            ("shards", Json::UInt(shards as u64)),
+            ("ns_per_step_median", Json::Num(median)),
+            ("steps_per_sec", Json::Num(1e9 / median)),
+            ("speedup_vs_serial", Json::Num(speedup)),
+            (
+                "samples_ns_per_step",
+                arr(samples.into_iter().map(Json::Num).collect()),
+            ),
+        ]));
+    }
+    let doc = obj(vec![
+        ("name", "scaling".into()),
+        ("topology", "dragonfly_p4_a8_h4_g32".into()),
+        ("pattern", "bit_complement_0.30".into()),
+        ("available_parallelism", Json::UInt(cores as u64)),
+        ("quick", Json::Bool(quick)),
+        ("warmup_cycles", Json::UInt(warmup)),
+        ("batch_cycles", Json::UInt(batch)),
+        ("reps", Json::UInt(reps as u64)),
+        ("points", arr(points)),
+    ]);
+    match write_results("scaling", &doc) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("failed to write results: {e}"),
+    }
+
+    if gate {
+        if std::env::var("SPIN_SKIP_SCALING_GATE").is_ok_and(|v| v == "1") {
+            println!("scaling gate: skipped (SPIN_SKIP_SCALING_GATE=1)");
+            return;
+        }
+        if cores < GATE_SHARDS {
+            println!(
+                "scaling gate: skipped (host reports {cores} cores; \
+                 need >= {GATE_SHARDS} for a meaningful {GATE_SHARDS}-shard gate)"
+            );
+            return;
+        }
+        if speedup_at_gate < GATE_MIN_SPEEDUP {
+            eprintln!(
+                "scaling gate: FAIL — {GATE_SHARDS}-shard speedup {speedup_at_gate:.2}x \
+                 is below the {GATE_MIN_SPEEDUP:.1}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("scaling gate: OK ({GATE_SHARDS}-shard speedup {speedup_at_gate:.2}x)");
+    }
+}

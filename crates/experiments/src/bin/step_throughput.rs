@@ -20,7 +20,7 @@ use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
 use std::hint::black_box;
 use std::time::Instant;
 
-fn mesh8x8(rate: f64) -> Network {
+fn mesh8x8(rate: f64, shards: usize) -> Network {
     let topo = Topology::mesh(8, 8);
     let traffic =
         SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
@@ -33,13 +33,14 @@ fn mesh8x8(rate: f64) -> Network {
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
+        .shards(shards)
         .build()
 }
 
 /// Times `batch` steps `reps` times on a warmed network; returns the
 /// per-batch nanosecond medians' midpoint (median of reps).
-fn time_config(rate: f64, warmup: u64, batch: u64, reps: usize) -> (f64, Vec<f64>) {
-    let mut net = mesh8x8(rate);
+fn time_config(rate: f64, shards: usize, warmup: u64, batch: u64, reps: usize) -> (f64, Vec<f64>) {
+    let mut net = mesh8x8(rate, shards);
     net.run(warmup);
     let mut samples: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
@@ -61,16 +62,20 @@ fn main() {
     } else {
         (2_000, 10_000, 9)
     };
+    // The sharded point reuses the saturated workload: saturation is where
+    // a parallel step has work to fan out (low load would only measure the
+    // phase-barrier overhead).
     let configs = [
-        ("mesh8x8_low_load_0.05", 0.05),
-        ("mesh8x8_saturated_0.45", 0.45),
+        ("mesh8x8_low_load_0.05", 0.05, 1),
+        ("mesh8x8_saturated_0.45", 0.45, 1),
+        ("mesh8x8_saturated_0.45_shards4", 0.45, 4),
     ];
     println!(
         "# step_throughput: ns per Network::step (median of {reps} x {batch}-cycle batches)\n"
     );
     let mut points = Vec::new();
-    for (name, rate) in configs {
-        let (median, samples) = time_config(rate, warmup, batch, reps);
+    for (name, rate, shards) in configs {
+        let (median, samples) = time_config(rate, shards, warmup, batch, reps);
         println!(
             "{name:<28} {median:10.1} ns/step  ({:.2} Msteps/s)",
             1e3 / median
@@ -78,6 +83,7 @@ fn main() {
         points.push(obj(vec![
             ("config", (*name).into()),
             ("rate", Json::Num(rate)),
+            ("shards", Json::UInt(shards as u64)),
             ("ns_per_step_median", Json::Num(median)),
             ("msteps_per_sec", Json::Num(1e3 / median)),
             (

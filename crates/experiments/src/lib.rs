@@ -170,6 +170,11 @@ pub struct RunParams {
     pub seed: u64,
     /// Classify probes against ground truth (Fig. 9).
     pub classify: bool,
+    /// Step-kernel shard count for each simulated network: `None` follows
+    /// the builder default (the `SPIN_SHARDS` environment escape hatch,
+    /// else serial). Results are bit-identical at any value — this only
+    /// changes how many worker threads one `Network::step` fans out over.
+    pub shards: Option<usize>,
 }
 
 impl Default for RunParams {
@@ -181,6 +186,7 @@ impl Default for RunParams {
             vnets: 3,
             seed: 1,
             classify: false,
+            shards: None,
         }
     }
 }
@@ -224,6 +230,9 @@ pub fn measure_with_traffic(
         .traffic(traffic);
     if design.spin {
         builder = builder.spin(design.spin_cfg);
+    }
+    if let Some(shards) = params.shards {
+        builder = builder.shards(shards);
     }
     let mut net = builder.build();
     net.run(params.warmup);

@@ -1,6 +1,14 @@
 //! Determinism regression tests: the simulator must produce bit-identical
-//! statistics for identical (SimConfig, seed) inputs, and the parallel
-//! sweep runner must produce identical results at any thread count.
+//! statistics for identical (SimConfig, seed) inputs, the parallel sweep
+//! runner must produce identical results at any thread count, and the
+//! sharded step kernel must produce identical results at any shard count.
+//!
+//! CI additionally reruns this whole suite (and the golden-trace and fault
+//! suites) under `SPIN_SHARDS=1/2/4`: every network here builds without an
+//! explicit `.shards()` call, so the environment fallback reroutes all of
+//! them through the sharded kernel — the repeated-run equality checks then
+//! pin sharded-vs-sharded, and the committed baselines pin
+//! sharded-vs-serial.
 
 use spin_core::SpinConfig;
 use spin_experiments::fault::{campaign_json, run_campaign_with_threads};
@@ -54,6 +62,39 @@ fn identical_config_and_seed_give_identical_stats() {
     // being ignored and the equality check proves nothing).
     let (s3, _) = run(43);
     assert_ne!(s1, s3, "different seeds should produce different runs");
+}
+
+/// The sharded kernel is bit-identical to serial at every shard count —
+/// stats *and* SPIN protocol aggregates — independent of the `SPIN_SHARDS`
+/// environment (the builder call pins the kernel explicitly).
+#[test]
+fn sharded_kernel_matches_serial_at_every_shard_count() {
+    let run = |shards: usize| -> (NetStats, spin_core::SpinStats) {
+        let topo = Topology::mesh(8, 8);
+        let traffic =
+            SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, 0.2), &topo, 42);
+        let mut net = NetworkBuilder::new(topo)
+            .config(SimConfig {
+                vnets: 3,
+                vcs_per_vnet: 1,
+                seed: 42,
+                ..SimConfig::default()
+            })
+            .routing(FavorsMinimal)
+            .traffic(traffic)
+            .spin(SpinConfig::default())
+            .shards(shards)
+            .build();
+        net.run(3_000);
+        (net.stats(), net.spin_stats())
+    };
+    let (s1, a1) = run(1);
+    assert!(s1.packets_delivered > 0);
+    for shards in [2, 4, 8] {
+        let (s, a) = run(shards);
+        assert_eq!(s1, s, "NetStats changed at {shards} shards");
+        assert_eq!(a1, a, "SpinStats changed at {shards} shards");
+    }
 }
 
 fn build_faulted_net(seed: u64) -> Network {

@@ -13,7 +13,8 @@
 //! derived-CDG static walk.
 
 use crate::{
-    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+    ejection_choice, select_adaptive_prepare, NetworkView, Prepared, RouteChoice, RouteChoices,
+    Routing, VcMask,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -105,26 +106,37 @@ impl Routing for DfPlusAdaptive {
         }
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(mut eject) = ejection_choice(topo, at, pkt) {
             eject.vc_mask = VcMask::all();
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
-        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
-            .expect("non-ejecting packet has a minimal port");
-        smallvec![RouteChoice {
-            out_port: port,
-            vc_mask: self.vc_mask(pkt),
-        }]
+        let mask = self.vc_mask(pkt);
+        let options = select_adaptive_prepare(view, at, &ports, pkt.vnet)
+            .iter()
+            .map(|&p| RouteChoice {
+                out_port: p,
+                vc_mask: mask,
+            })
+            .collect();
+        // ports[0] is a placeholder finish_prepared overwrites (a
+        // non-ejecting packet always has a minimal port).
+        Prepared::Pick {
+            choices: smallvec![RouteChoice {
+                out_port: ports[0],
+                vc_mask: mask,
+            }],
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(

@@ -17,7 +17,10 @@
 //! Both are topology-agnostic: they only use the topology's minimal-port
 //! sets, so the same code routes meshes, dragonflies, and irregular graphs.
 
-use crate::{ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing};
+use crate::{
+    ejection_choice, select_adaptive_prepare, NetworkView, Prepared, RouteChoice, RouteChoices,
+    Routing,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use smallvec::smallvec;
@@ -33,22 +36,29 @@ impl Routing for FavorsMinimal {
         "favors_min"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
-        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
-            .expect("non-ejecting packet has a minimal port");
-        smallvec![RouteChoice::any_vc(port)]
+        let options = select_adaptive_prepare(view, at, &ports, pkt.vnet)
+            .iter()
+            .map(|&p| RouteChoice::any_vc(p))
+            .collect();
+        // ports[0] is a placeholder finish_prepared overwrites (a
+        // non-ejecting packet always has a minimal port).
+        Prepared::Pick {
+            choices: smallvec![RouteChoice::any_vc(ports[0])],
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(
@@ -147,17 +157,16 @@ impl Routing for FavorsNonMinimal {
         }
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         // Each phase is plain minimal-adaptive towards the current target
         // (the simulator clears `intermediate` on arrival there).
-        FavorsMinimal.route(view, at, in_port, pkt, rng)
+        FavorsMinimal.route_prepare(view, at, in_port, pkt)
     }
 
     fn alternatives(

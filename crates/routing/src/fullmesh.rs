@@ -20,11 +20,8 @@
 //! — [`Routing::valiant_intermediate`] is `false` even though the
 //! misroute bound is 1.
 
-use crate::{ejection_choice, NetworkView, RouteChoice, RouteChoices, Routing};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use smallvec::smallvec;
-use spin_topology::PortVec;
+use crate::{ejection_choice, NetworkView, Prepared, RouteChoice, RouteChoices, Routing};
+use smallvec::{smallvec, SmallVec};
 use spin_types::{Packet, PortId, RouterId};
 
 /// Direct full-mesh routing with ascending-intermediate congestion
@@ -52,32 +49,38 @@ impl Routing for FullMeshDeroute {
         "fm_deroute"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let dst_r = topo.node_router(pkt.current_target());
         let direct = topo.full_mesh_port(at, dst_r);
         // Deroutes are legal only while the packet still sits in its source
         // NIC (local input port) and engage only when the direct link has
-        // no free downstream VC.
+        // no free downstream VC. An empty candidate list falls through to
+        // the direct port with no draw — exactly like `choose` on an empty
+        // slice in the fused path.
         if topo.port(at, in_port).is_local() && !view.has_free_vc_downstream(at, direct, pkt.vnet) {
-            let free: PortVec = Self::deroute_ports(topo, at, dst_r)
+            let options: SmallVec<[RouteChoice; 8]> = Self::deroute_ports(topo, at, dst_r)
                 .filter(|&p| view.has_free_vc_downstream(at, p, pkt.vnet))
+                .map(RouteChoice::any_vc)
                 .collect();
-            if let Some(&p) = free.choose(rng) {
-                return smallvec![RouteChoice::any_vc(p)];
+            if !options.is_empty() {
+                return Prepared::Pick {
+                    choices: smallvec![options[0]],
+                    slot: 0,
+                    options,
+                };
             }
         }
-        smallvec![RouteChoice::any_vc(direct)]
+        Prepared::Done(smallvec![RouteChoice::any_vc(direct)])
     }
 
     fn alternatives(
@@ -116,6 +119,7 @@ impl Routing for FullMeshDeroute {
 mod tests {
     use super::*;
     use crate::StaticView;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use spin_topology::Topology;
     use spin_types::{NodeId, PacketBuilder};

@@ -16,9 +16,9 @@
 //! Fault campaigns on HyperX use the topology-agnostic FAvORS algorithms.
 
 use crate::{
-    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+    ejection_choice, select_adaptive_prepare, NetworkView, Prepared, RouteChoice, RouteChoices,
+    Routing, VcMask,
 };
-use rand::rngs::StdRng;
 use smallvec::smallvec;
 use spin_topology::{PortVec, Topology};
 use spin_types::{Packet, PortId, RouterId, VcId};
@@ -61,20 +61,19 @@ impl Routing for HyperXDor {
         "hx_dor"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        _rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let tgt = topo.node_router(pkt.current_target());
-        smallvec![Self::choice(topo, at, tgt)]
+        Prepared::Done(smallvec![Self::choice(topo, at, tgt)])
     }
 
     fn alternatives(
@@ -169,26 +168,37 @@ impl Routing for HyperXDal {
         }
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let tgt = topo.node_router(pkt.current_target());
         let ports = Self::candidates(topo, at, tgt);
-        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
-            .expect("non-ejecting packet has an unaligned dimension");
-        smallvec![RouteChoice {
-            out_port: port,
-            vc_mask: self.vc_mask(topo, at, tgt),
-        }]
+        let mask = self.vc_mask(topo, at, tgt);
+        let options = select_adaptive_prepare(view, at, &ports, pkt.vnet)
+            .iter()
+            .map(|&p| RouteChoice {
+                out_port: p,
+                vc_mask: mask,
+            })
+            .collect();
+        // ports[0] is a placeholder finish_prepared overwrites (a
+        // non-ejecting packet always has an unaligned dimension).
+        Prepared::Pick {
+            choices: smallvec![RouteChoice {
+                out_port: ports[0],
+                vc_mask: mask,
+            }],
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(
@@ -225,6 +235,7 @@ impl Routing for HyperXDal {
 mod tests {
     use super::*;
     use crate::StaticView;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use spin_types::{NodeId, PacketBuilder};
 

@@ -161,6 +161,9 @@ pub trait Routing: fmt::Debug + Send + Sync {
     /// waits; adaptive algorithms may return different choices as congestion
     /// evolves. When the packet's current target node attaches to `at`, the
     /// single choice must be the ejection (local) port.
+    ///
+    /// Provided: completes [`Routing::route_prepare`] with its (at most
+    /// one) uniform draw via [`finish_prepared`].
     fn route(
         &self,
         view: &dyn NetworkView,
@@ -168,7 +171,25 @@ pub trait Routing: fmt::Debug + Send + Sync {
         in_port: PortId,
         pkt: &Packet,
         rng: &mut StdRng,
-    ) -> RouteChoices;
+    ) -> RouteChoices {
+        finish_prepared(self.route_prepare(view, at, in_port, pkt), rng)
+    }
+
+    /// The RNG-free part of [`Routing::route`], split at the single random
+    /// draw: everything except the final uniform pick is computed here, and
+    /// the draw itself is replayed by [`finish_prepared`]. This lets the
+    /// sharded kernel evaluate routes on worker threads (no shared RNG)
+    /// and consume the global RNG stream afterwards in exactly the serial
+    /// order — the returned [`Prepared`] consumes one `gen_range` draw for
+    /// `Pick` and none for `Done`, matching the direct `route` call
+    /// draw-for-draw.
+    fn route_prepare(
+        &self,
+        view: &dyn NetworkView,
+        at: RouterId,
+        in_port: PortId,
+        pkt: &Packet,
+    ) -> Prepared;
 
     /// The *full* set of legal route choices (not the adaptive selection) —
     /// every outport/VC combination the algorithm could ever pick for this
@@ -218,6 +239,50 @@ pub trait Routing: fmt::Debug + Send + Sync {
     fn on_topology_change(&mut self, _topo: &Topology) {}
 }
 
+/// A route decision split at its single random draw.
+///
+/// [`Routing::route_prepare`] returns this; [`finish_prepared`] replays
+/// the draw against the shared RNG. The split exists so route computation
+/// can run on worker threads while the RNG stream is consumed serially in
+/// the deterministic (ascending-router) order.
+#[derive(Debug, Clone)]
+pub enum Prepared {
+    /// Fully determined: completing this consumes no RNG.
+    Done(RouteChoices),
+    /// `choices[slot]` is a placeholder to be overwritten with a uniformly
+    /// drawn element of `options`; completing this consumes exactly one
+    /// `gen_range(0..options.len())` draw (none if `options` is empty, in
+    /// which case the placeholder stands — constructors only emit `Pick`
+    /// with non-empty options).
+    Pick {
+        /// Candidate choices with a placeholder at `slot`.
+        choices: RouteChoices,
+        /// Index into `choices` holding the placeholder.
+        slot: usize,
+        /// The draw candidates, in the exact order the serial selection
+        /// policy would offer them to `choose`.
+        options: SmallVec<[RouteChoice; 8]>,
+    },
+}
+
+/// Completes a [`Prepared`] decision, performing its (at most one) uniform
+/// draw — the only RNG consumption on the per-cycle route path.
+pub fn finish_prepared(prepared: Prepared, rng: &mut StdRng) -> RouteChoices {
+    match prepared {
+        Prepared::Done(choices) => choices,
+        Prepared::Pick {
+            mut choices,
+            slot,
+            options,
+        } => {
+            if let Some(c) = options.choose(rng) {
+                choices[slot] = *c;
+            }
+            choices
+        }
+    }
+}
+
 /// Ejection choice for a packet whose current target attaches to `at`.
 /// Returns `None` if the target is elsewhere.
 pub fn ejection_choice(topo: &Topology, at: RouterId, pkt: &Packet) -> Option<RouteChoice> {
@@ -240,8 +305,27 @@ pub fn select_adaptive(
     vnet: Vnet,
     rng: &mut StdRng,
 ) -> Option<PortId> {
+    select_adaptive_prepare(view, at, ports, vnet)
+        .choose(rng)
+        .copied()
+}
+
+/// The candidate list [`select_adaptive`] draws from: the ports with a free
+/// downstream VC if any, otherwise the least-recently-busy ports (random
+/// tie-break among equals — a deterministic tie-break would herd every
+/// congested packet towards the same port and create artificial hotspots).
+/// Empty iff `ports` is empty. Split out so route decisions can be
+/// *prepared* RNG-free on worker threads and the single uniform draw
+/// replayed serially ([`Prepared`] / [`finish_prepared`]); drawing from the
+/// returned list consumes RNG identically to the fused `select_adaptive`.
+pub fn select_adaptive_prepare(
+    view: &dyn NetworkView,
+    at: RouterId,
+    ports: &[PortId],
+    vnet: Vnet,
+) -> SmallVec<[PortId; 8]> {
     if ports.is_empty() {
-        return None;
+        return SmallVec::new();
     }
     let free: SmallVec<[PortId; 8]> = ports
         .iter()
@@ -249,21 +333,21 @@ pub fn select_adaptive(
         .filter(|&p| view.has_free_vc_downstream(at, p, vnet))
         .collect();
     if !free.is_empty() {
-        return free.choose(rng).copied();
+        return free;
     }
-    // No free VC anywhere: pick the least-recently-busy port, breaking ties
-    // randomly (a deterministic tie-break would herd every congested packet
-    // towards the same port and create artificial hotspots).
-    let min = ports
+    // No free VC anywhere: the least-recently-busy ports.
+    let Some(min) = ports
         .iter()
         .map(|&p| view.min_vc_active_time(at, p, vnet))
-        .min()?;
-    let argmin: SmallVec<[PortId; 8]> = ports
+        .min()
+    else {
+        return SmallVec::new();
+    };
+    ports
         .iter()
         .copied()
         .filter(|&p| view.min_vc_active_time(at, p, vnet) == min)
-        .collect();
-    argmin.choose(rng).copied()
+        .collect()
 }
 
 #[cfg(test)]

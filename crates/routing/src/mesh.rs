@@ -3,9 +3,9 @@
 //! adaptive routing.
 
 use crate::{
-    ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing, VcMask,
+    ejection_choice, select_adaptive_prepare, NetworkView, Prepared, RouteChoice, RouteChoices,
+    Routing, VcMask,
 };
-use rand::rngs::StdRng;
 use smallvec::{smallvec, SmallVec};
 use spin_topology::Topology;
 use spin_types::{Direction, Packet, PortId, RouterId, VcId};
@@ -63,17 +63,16 @@ impl Routing for XyRouting {
         "xy"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        _rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let dirs = minimal_dirs(topo, at, pkt);
         // X first: East/West wins if present.
@@ -83,7 +82,7 @@ impl Routing for XyRouting {
             .find(|d| matches!(d, Direction::East | Direction::West))
             .or_else(|| dirs.first().copied())
             .expect("non-ejecting packet has a minimal direction");
-        smallvec![RouteChoice::any_vc(topo.dir_port(dir))]
+        Prepared::Done(smallvec![RouteChoice::any_vc(topo.dir_port(dir))])
     }
 
     fn alternatives(
@@ -128,23 +127,31 @@ impl Routing for WestFirst {
         "west_first"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let dirs = Self::allowed_dirs(topo, at, pkt);
         let ports: SmallVec<[PortId; 4]> = dirs.iter().map(|&d| topo.dir_port(d)).collect();
-        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
-            .expect("non-ejecting packet has an allowed direction");
-        smallvec![RouteChoice::any_vc(port)]
+        let options: SmallVec<[RouteChoice; 8]> =
+            select_adaptive_prepare(view, at, &ports, pkt.vnet)
+                .iter()
+                .map(|&p| RouteChoice::any_vc(p))
+                .collect();
+        // ports[0] is a placeholder finish_prepared overwrites (a
+        // non-ejecting packet always has an allowed direction).
+        Prepared::Pick {
+            choices: smallvec![RouteChoice::any_vc(ports[0])],
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(
@@ -187,37 +194,48 @@ impl Routing for EscapeVc {
         "escape_vc"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
-        let mut out = RouteChoices::new();
         // Preferred: adaptive minimal through regular VCs.
         let dirs = minimal_dirs(topo, at, pkt);
         let ports: SmallVec<[PortId; 4]> = dirs.iter().map(|&d| topo.dir_port(d)).collect();
-        if let Some(port) = select_adaptive(view, at, &ports, pkt.vnet, rng) {
-            out.push(RouteChoice {
-                out_port: port,
-                vc_mask: VcMask::except(Self::ESCAPE),
-            });
-        }
+        let options: SmallVec<[RouteChoice; 8]> =
+            select_adaptive_prepare(view, at, &ports, pkt.vnet)
+                .iter()
+                .map(|&p| RouteChoice {
+                    out_port: p,
+                    vc_mask: VcMask::except(Self::ESCAPE),
+                })
+                .collect();
         // Fallback: the escape VC along the West-first route.
-        let escape_dirs = WestFirst::allowed_dirs(topo, at, pkt);
-        if let Some(&d) = escape_dirs.first() {
-            out.push(RouteChoice {
+        let escape = WestFirst::allowed_dirs(topo, at, pkt)
+            .first()
+            .map(|&d| RouteChoice {
                 out_port: topo.dir_port(d),
                 vc_mask: VcMask::only(Self::ESCAPE),
             });
+        if options.is_empty() {
+            // Only reachable with no minimal direction (never for a
+            // non-ejecting packet); the fused path then offered escape only.
+            return Prepared::Done(escape.into_iter().collect());
         }
-        out
+        let mut choices = RouteChoices::new();
+        choices.push(options[0]); // placeholder finish_prepared overwrites
+        choices.extend(escape);
+        Prepared::Pick {
+            choices,
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(
@@ -286,25 +304,36 @@ impl Routing for ReservedVcAdaptive {
         "static_bubble"
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         _in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
+    ) -> Prepared {
         let topo = view.topology();
         if let Some(eject) = ejection_choice(topo, at, pkt) {
-            return smallvec![eject];
+            return Prepared::Done(smallvec![eject]);
         }
         let ports = topo.minimal_ports(at, topo.node_router(pkt.current_target()));
-        let port = select_adaptive(view, at, &ports, pkt.vnet, rng)
-            .expect("non-ejecting packet has a minimal port");
-        smallvec![RouteChoice {
-            out_port: port,
-            vc_mask: VcMask::except(self.reserved)
-        }]
+        let options: SmallVec<[RouteChoice; 8]> =
+            select_adaptive_prepare(view, at, &ports, pkt.vnet)
+                .iter()
+                .map(|&p| RouteChoice {
+                    out_port: p,
+                    vc_mask: VcMask::except(self.reserved),
+                })
+                .collect();
+        // ports[0] is a placeholder (a non-ejecting packet always has a
+        // minimal port).
+        Prepared::Pick {
+            choices: smallvec![RouteChoice {
+                out_port: ports[0],
+                vc_mask: VcMask::except(self.reserved)
+            }],
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(
@@ -335,7 +364,8 @@ impl Routing for ReservedVcAdaptive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::StaticView;
+    use crate::{Routing, StaticView};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use spin_types::{NodeId, PacketBuilder};
 

@@ -9,8 +9,10 @@
 //! and the routing deadlock-free with a single VC, at the cost of
 //! concentrating traffic near the root.
 
-use crate::{ejection_choice, select_adaptive, NetworkView, RouteChoice, RouteChoices, Routing};
-use rand::rngs::StdRng;
+use crate::{
+    ejection_choice, select_adaptive_prepare, NetworkView, Prepared, RouteChoice, RouteChoices,
+    Routing,
+};
 use smallvec::{smallvec, SmallVec};
 use spin_topology::Topology;
 use spin_types::{Packet, PortId, RouterId};
@@ -145,22 +147,31 @@ impl Routing for UpDown {
         *self = UpDown::new(topo);
     }
 
-    fn route(
+    fn route_prepare(
         &self,
         view: &dyn NetworkView,
         at: RouterId,
         in_port: PortId,
         pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> RouteChoices {
-        let mut c = self.alternatives(view, at, in_port, pkt);
-        if c.len() > 1 {
-            let ports: SmallVec<[PortId; 8]> = c.iter().map(|x| x.out_port).collect();
-            if let Some(port) = select_adaptive(view, at, &ports, pkt.vnet, rng) {
-                c.retain(|x| x.out_port == port);
-            }
+    ) -> Prepared {
+        let c = self.alternatives(view, at, in_port, pkt);
+        if c.len() <= 1 {
+            return Prepared::Done(c);
         }
-        c
+        // Every alternative is `any_vc`, so re-wrapping the selected port
+        // reproduces exactly what the fused path's `retain` kept. The
+        // candidate list is non-empty, so the finish step always draws once
+        // and overwrites the c[0] placeholder.
+        let ports: SmallVec<[PortId; 8]> = c.iter().map(|x| x.out_port).collect();
+        let options = select_adaptive_prepare(view, at, &ports, pkt.vnet)
+            .iter()
+            .map(|&p| RouteChoice::any_vc(p))
+            .collect();
+        Prepared::Pick {
+            choices: smallvec![c[0]],
+            slot: 0,
+            options,
+        }
     }
 
     fn alternatives(
@@ -212,6 +223,7 @@ impl Routing for UpDown {
 mod tests {
     use super::*;
     use crate::StaticView;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use spin_types::{NodeId, PacketBuilder};
 

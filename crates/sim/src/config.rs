@@ -146,6 +146,8 @@ pub struct NetworkBuilder {
     pub(crate) faults: FaultPlan,
     pub(crate) static_model: Option<Box<dyn StaticModel>>,
     pub(crate) dense_step: Option<bool>,
+    pub(crate) shards: Option<usize>,
+    pub(crate) partitioner: Option<Box<dyn crate::shard::Partitioner>>,
 }
 
 impl NetworkBuilder {
@@ -161,6 +163,8 @@ impl NetworkBuilder {
             faults: FaultPlan::new(),
             static_model: None,
             dense_step: None,
+            shards: None,
+            partitioner: None,
         }
     }
 
@@ -224,6 +228,26 @@ impl NetworkBuilder {
     /// way; dense mode only costs time.
     pub fn dense_step(mut self, dense: bool) -> Self {
         self.dense_step = Some(dense);
+        self
+    }
+
+    /// Shards the step kernel across `n` worker threads (see
+    /// the `shard` module): routers are partitioned, the data-parallel
+    /// pipeline stages fan out, and order-sensitive work is merged back in
+    /// serial order — results are bit-identical to `shards = 1` for any
+    /// shard count. The default follows the `SPIN_SHARDS=n` environment
+    /// escape hatch, else serial. Values are clamped to `[1, 255]` and the
+    /// router count; wormhole switching always runs serial.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Overrides the router partitioner used by the sharded kernel (the
+    /// default is [`crate::ContiguousPartitioner`]). The choice affects
+    /// load balance and boundary traffic only, never results.
+    pub fn partitioner(mut self, p: Box<dyn crate::shard::Partitioner>) -> Self {
+        self.partitioner = Some(p);
         self
     }
 

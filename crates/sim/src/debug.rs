@@ -48,9 +48,7 @@ impl Network {
             }
         }
         for (lid, &(r, p)) in self.link_owner.iter().enumerate() {
-            if self.out_links[r as usize][p as usize].in_flight() > 0
-                && !self.active_links.contains(lid)
-            {
+            if self.out_links[lid].in_flight() > 0 && !self.active_links.contains(lid) {
                 return Err(format!(
                     "link ({r}, {p}) carries phits but is not in the active set"
                 ));

@@ -1,7 +1,7 @@
 //! Pipelined links carrying flits and special messages.
 
 use spin_core::Sm;
-use spin_types::{Cycle, Flit, VcId};
+use spin_types::{Cycle, Flit, VcId, Vnet};
 use std::collections::VecDeque;
 
 /// What travels on a link in one cycle (one phit per cycle per link).
@@ -15,6 +15,11 @@ pub(crate) enum Phit {
         flit: Flit,
         /// Target downstream VC chosen by upstream VC allocation.
         vc: VcId,
+        /// The packet's vnet (invariant across hops). Carried on the wire
+        /// so arrival never reads the packet store: in the sharded kernel a
+        /// body flit's arrival may run concurrently with the head flit's
+        /// one-per-hop header mutation on another shard.
+        vnet: Vnet,
         /// Pushed by a spin (bypassed allocation).
         spin: bool,
     },

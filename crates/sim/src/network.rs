@@ -36,9 +36,12 @@ pub struct Network {
     /// Arena of in-flight packet headers; flits and buffers carry handles
     /// into it (see [`crate::store`] for the ownership model).
     pub(crate) store: PacketStore,
-    /// Router output links: `out_links[router][port]` (local ports hold the
-    /// ejection link to the attached NIC).
-    pub(crate) out_links: Vec<Vec<Link>>,
+    /// Router output links, flat-indexed `link_base[router] + port` in the
+    /// same id space as `active_links` (local ports hold the ejection link
+    /// to the attached NIC). Flat so the sharded kernel can hand disjoint
+    /// element ranges to workers; use [`Network::link_at_mut`] for
+    /// (router, port) access.
+    pub(crate) out_links: Vec<Link>,
     /// Injection links: NIC -> router local port.
     pub(crate) inj_links: Vec<Link>,
     pub(crate) nics: Vec<Nic>,
@@ -117,6 +120,9 @@ pub struct Network {
     /// `SPIN_DENSE_STEP=1`; the differential tests step both kernels in
     /// lockstep.
     pub(crate) dense_step: bool,
+    /// Sharded-kernel state when stepping across threads (`None` = serial;
+    /// see [`crate::shard`]). Boxed: it is cold on every serial path.
+    pub(crate) sharding: Option<Box<crate::shard::ShardState>>,
 }
 
 impl Network {
@@ -162,22 +168,19 @@ impl Network {
             .collect();
         let meta = MetaTable::new(&topo, b.cfg.vnets, b.cfg.vcs_per_vnet);
         let mut num_network_links = 0u64;
-        let out_links: Vec<Vec<Link>> = (0..topo.num_routers())
-            .map(|r| {
-                let r = RouterId(r as u32);
-                (0..topo.radix(r))
-                    .map(|p| {
-                        let port = topo.port(r, PortId(p as u8));
-                        if port.is_network() {
-                            num_network_links += 1;
-                        }
-                        // Effective hop delay = link latency + the 1-cycle
-                        // router pipeline (Garnet's 1-cycle router model).
-                        Link::new(port.latency + 1)
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut out_links: Vec<Link> = Vec::new();
+        for r in 0..topo.num_routers() {
+            let r = RouterId(r as u32);
+            for p in 0..topo.radix(r) {
+                let port = topo.port(r, PortId(p as u8));
+                if port.is_network() {
+                    num_network_links += 1;
+                }
+                // Effective hop delay = link latency + the 1-cycle
+                // router pipeline (Garnet's 1-cycle router model).
+                out_links.push(Link::new(port.latency + 1));
+            }
+        }
         let inj_links = (0..topo.num_nodes()).map(|_| Link::new(2)).collect();
         let nics = (0..topo.num_nodes())
             .map(|n| Nic::new(NodeId(n as u32), b.cfg.vnets))
@@ -199,6 +202,31 @@ impl Network {
             std::env::var("SPIN_DENSE_STEP")
                 .map(|v| v == "1")
                 .unwrap_or(false)
+        });
+        let shards_req = b.shards.unwrap_or_else(|| {
+            std::env::var("SPIN_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1)
+        });
+        // Wormhole switch traversal reads mid-phase credit state, which the
+        // phase-parallel kernel cannot reproduce: clamp it to serial.
+        let shards = if b.cfg.switching == Switching::Wormhole {
+            1
+        } else {
+            shards_req.clamp(1, 255).min(topo.num_routers())
+        };
+        let sharding = (shards > 1).then(|| {
+            let partitioner = b
+                .partitioner
+                .unwrap_or_else(|| Box::new(crate::shard::ContiguousPartitioner));
+            Box::new(crate::shard::ShardState::new(
+                &topo,
+                partitioner,
+                shards,
+                &link_owner,
+                inj_base,
+            ))
         });
         let metrics = b.cfg.metrics.map(|mc| {
             let radixes: Vec<usize> = (0..topo.num_routers())
@@ -245,6 +273,7 @@ impl Network {
             cycle_ranges: Vec::new(),
             cycle_coords: Vec::new(),
             dense_step,
+            sharding,
             cfg: b.cfg,
             routing,
             traffic,
@@ -376,9 +405,20 @@ impl Network {
     }
 
     /// Advances the network by one cycle: the seven-stage pipeline of
-    /// DESIGN.md, in order. Each stage lives in its own `crate::pipeline`
-    /// module.
+    /// DESIGN.md, in order. Dispatches to the sharded kernel when the
+    /// builder configured more than one shard (see the `shard` module); the
+    /// two kernels are bit-identical.
     pub fn step(&mut self) {
+        if self.sharding.is_some() {
+            self.step_sharded();
+        } else {
+            self.step_serial();
+        }
+    }
+
+    /// The serial cycle: each stage lives in its own `crate::pipeline`
+    /// module.
+    pub(crate) fn step_serial(&mut self) {
         self.now += 1;
         self.apply_faults(); // pipeline::faults (no-op unless events are due)
         self.classify_cache = None;
@@ -416,6 +456,13 @@ impl Network {
     #[inline]
     pub(crate) fn mark_router(&mut self, r: RouterId) {
         self.active_routers.insert(r.index());
+    }
+
+    /// Mutable access to the out-link of (router `r`, port `p`) in the
+    /// flat link array (`link_base[r] + p`).
+    #[inline]
+    pub(crate) fn link_at_mut(&mut self, r: usize, p: usize) -> &mut Link {
+        &mut self.out_links[self.link_base[r] as usize + p]
     }
 
     /// Marks the out-link (router `i`, `port`) as carrying phits.
@@ -499,7 +546,7 @@ impl Network {
     /// (deadlines tick even with empty buffers). Every other wakeup source
     /// re-inserts at the point activity is created, so dropping a router
     /// here can never lose one.
-    fn prune_idle_routers(&mut self) {
+    pub(crate) fn prune_idle_routers(&mut self) {
         let mut active = std::mem::take(&mut self.active_routers);
         active.retain(|i| {
             let i = i as usize;
@@ -549,7 +596,7 @@ impl Network {
     /// Flits currently travelling on links (network, injection and
     /// ejection).
     pub fn flits_in_flight(&self) -> usize {
-        let net: usize = self.out_links.iter().flatten().map(|l| l.in_flight()).sum();
+        let net: usize = self.out_links.iter().map(|l| l.in_flight()).sum();
         let inj: usize = self.inj_links.iter().map(|l| l.in_flight()).sum();
         net + inj
     }

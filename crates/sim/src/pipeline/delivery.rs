@@ -7,7 +7,7 @@ use crate::network::Network;
 use crate::vc::PacketBuf;
 use spin_trace::TraceEvent;
 use spin_traffic::PacketSpec;
-use spin_types::{Flit, NodeId, PortId, RouterId, VcId};
+use spin_types::{Flit, NodeId, PortId, RouterId, VcId, Vnet};
 
 impl Network {
     pub(crate) fn deliver_phits(&mut self) {
@@ -32,7 +32,8 @@ impl Network {
             phits.clear();
             if lid < self.inj_base {
                 let (r, p) = self.link_owner[lid as usize];
-                let link = &mut self.out_links[r as usize][p as usize];
+                // The worklist id IS the flat out-link index.
+                let link = &mut self.out_links[lid as usize];
                 link.deliver(now, &mut phits);
                 if link.in_flight() > 0 {
                     self.active_links.insert(lid as usize);
@@ -51,8 +52,21 @@ impl Network {
                 } else if let Some(peer) = port.conn {
                     for phit in phits.drain(..) {
                         match phit {
-                            Phit::Flit { flit, vc, spin } => {
-                                self.arrive_flit(peer.router, peer.port, flit, vc, spin, true);
+                            Phit::Flit {
+                                flit,
+                                vc,
+                                vnet,
+                                spin,
+                            } => {
+                                self.arrive_flit(
+                                    peer.router,
+                                    peer.port,
+                                    flit,
+                                    vc,
+                                    vnet,
+                                    spin,
+                                    true,
+                                );
                             }
                             Phit::Sm(sm) => {
                                 self.mark_router(peer.router);
@@ -69,8 +83,14 @@ impl Network {
                 }
                 let at = self.topo.node_attach(NodeId(n as u32));
                 for phit in phits.drain(..) {
-                    if let Phit::Flit { flit, vc, spin } = phit {
-                        self.arrive_flit(at.router, at.port, flit, vc, spin, false);
+                    if let Phit::Flit {
+                        flit,
+                        vc,
+                        vnet,
+                        spin,
+                    } = phit
+                    {
+                        self.arrive_flit(at.router, at.port, flit, vc, vnet, spin, false);
                     }
                 }
             }
@@ -79,19 +99,20 @@ impl Network {
         self.scratch_phits = phits;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn arrive_flit(
         &mut self,
         r: RouterId,
         p: PortId,
         flit: Flit,
         vc: VcId,
+        vnet: Vnet,
         spin: bool,
         network_hop: bool,
     ) {
         let now = self.now;
         // Any arrival is a wakeup: the router has a flit to act on.
         self.mark_router(r);
-        let vnet = self.store.get(flit.packet).vnet;
         let tvc = if spin {
             match self.routers[r.index()].spin_rx(p, vnet) {
                 Some(v) => v,
@@ -164,7 +185,7 @@ impl Network {
         }
     }
 
-    fn eject_flit(&mut self, node: NodeId, flit: Flit) {
+    pub(crate) fn eject_flit(&mut self, node: NodeId, flit: Flit) {
         if !flit.kind.is_tail() {
             return;
         }

@@ -98,7 +98,10 @@ impl Network {
         // never feeds a port without a peer); SMs die with the wire — the
         // SPIN FSM tolerates lost SMs through its deadline timeouts.
         for (from, _to) in [(a, b), (b, a)] {
-            for (_, phit) in self.out_links[from.router.index()][from.port.index()].take_all() {
+            for (_, phit) in self
+                .link_at_mut(from.router.index(), from.port.index())
+                .take_all()
+            {
                 match phit {
                     Phit::Flit { flit, .. } => note_severed(&mut severed, flit.packet, from.router),
                     Phit::Sm(_) => self.stats.sms_dropped_by_fault += 1,
@@ -299,21 +302,26 @@ impl Network {
             }
         }
         // Flits of severed packets still travelling on live wires (the
-        // upstream tail of a chain). The packet's vnet comes from the
-        // store — a flit is only a handle — so this runs before removal.
+        // upstream tail of a chain). The phit carries the packet's vnet,
+        // so the store is not consulted here.
         for ri in 0..self.routers.len() {
             let rid = RouterId(ri as u32);
-            for pi in 0..self.out_links[ri].len() {
+            for pi in 0..self.topo.radix(rid) {
                 let op = PortId(pi as u8);
                 let Some(peer) = self.topo.neighbor(rid, op) else {
                     continue;
                 };
                 let mut removed: Vec<(VcId, bool, Vnet)> = Vec::new();
                 {
-                    let store = &self.store;
-                    self.out_links[ri][pi].retain_phits(|(_, phit)| match phit {
-                        Phit::Flit { flit, vc, spin } if hit(flit.packet) => {
-                            removed.push((*vc, *spin, store.get(flit.packet).vnet));
+                    let lid = self.link_base[ri] as usize + pi;
+                    self.out_links[lid].retain_phits(|(_, phit)| match phit {
+                        Phit::Flit {
+                            flit,
+                            vc,
+                            vnet,
+                            spin,
+                        } if hit(flit.packet) => {
+                            removed.push((*vc, *spin, *vnet));
                             false
                         }
                         _ => true,

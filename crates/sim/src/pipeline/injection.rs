@@ -11,7 +11,16 @@ use spin_trace::TraceEvent;
 use spin_types::{Flit, NodeId, PacketBuilder, VcId, Vnet};
 
 impl Network {
+    /// Stage 4 entry point: generation then streaming. The sharded kernel
+    /// calls the two passes separately (generation stays serial — it owns
+    /// the shared traffic RNG — while streaming fans out over NIC
+    /// partitions).
     pub(crate) fn inject(&mut self) {
+        self.generate_packets();
+        self.inject_streams();
+    }
+
+    pub(crate) fn generate_packets(&mut self) {
         let now = self.now;
         // Generation pass — always dense. The traffic source owns a single
         // shared RNG drawn in node-ascending order every cycle; skipping
@@ -61,6 +70,10 @@ impl Network {
                 self.active_nics.insert(n);
             }
         }
+    }
+
+    pub(crate) fn inject_streams(&mut self) {
+        let now = self.now;
         // Streaming pass — worklist-driven: only NICs with queued packets
         // or a mid-stream injection.
         let mut ids = std::mem::take(&mut self.scratch_ids);
@@ -140,6 +153,7 @@ impl Network {
                         Phit::Flit {
                             flit,
                             vc: act.vc,
+                            vnet: act.vnet,
                             spin: false,
                         },
                     );

@@ -24,6 +24,73 @@ impl VcMeta {
     pub(crate) fn allocatable(&self) -> bool {
         !self.reserved && self.occupancy == 0 && self.inflight == 0
     }
+
+    /// Re-derives the busy flag after any field change, stamping
+    /// `busy_since` on the idle→busy transition. Every mutation below ends
+    /// with this, so `busy_since` always means "the cycle this VC last left
+    /// idle".
+    #[inline]
+    fn touch(&mut self, now: Cycle) {
+        let busy_now = self.reserved || self.occupancy > 0 || self.inflight > 0;
+        if busy_now && !self.busy {
+            self.busy = true;
+            self.busy_since = now;
+        } else if !busy_now {
+            self.busy = false;
+        }
+    }
+
+    #[inline]
+    fn set_reserved(&mut self, now: Cycle) {
+        self.reserved = true;
+        self.touch(now);
+    }
+
+    #[inline]
+    fn clear_reserved(&mut self, now: Cycle) {
+        self.reserved = false;
+        self.touch(now);
+    }
+
+    #[inline]
+    fn add_occupancy(&mut self, now: Cycle, d: i32) {
+        self.occupancy = (self.occupancy as i32 + d).max(0) as u16;
+        self.touch(now);
+    }
+
+    #[inline]
+    fn add_inflight(&mut self, now: Cycle, d: i32) {
+        self.inflight = (self.inflight as i32 + d).max(0) as u16;
+        self.touch(now);
+    }
+
+    /// Normal flit arrival: wire count moves into buffered occupancy.
+    #[inline]
+    fn on_arrive(&mut self, now: Cycle) {
+        self.occupancy += 1;
+        self.inflight = self.inflight.saturating_sub(1);
+        self.touch(now);
+    }
+
+    /// Normal flit send: one more flit on the wire; a tail releases the
+    /// upstream reservation.
+    #[inline]
+    fn on_wire(&mut self, now: Cycle, tail: bool) {
+        self.inflight += 1;
+        if tail {
+            self.reserved = false;
+        }
+        self.touch(now);
+    }
+
+    /// Fault cleanup: forget upstream-derived claims, resync occupancy.
+    #[inline]
+    fn reset(&mut self, now: Cycle, occupancy: u16) {
+        self.reserved = false;
+        self.inflight = 0;
+        self.occupancy = occupancy;
+        self.touch(now);
+    }
 }
 
 /// Flat table of [`VcMeta`] plus per-(port,vnet) spin-flit in-flight
@@ -82,27 +149,14 @@ impl MetaTable {
         self.get(r, p, vn, vc).allocatable() && self.spin_inflight[self.pidx(r, p, vn)] == 0
     }
 
-    fn touch(&mut self, now: Cycle, i: usize) {
-        let m = &mut self.data[i];
-        let busy_now = m.reserved || m.occupancy > 0 || m.inflight > 0;
-        if busy_now && !m.busy {
-            m.busy = true;
-            m.busy_since = now;
-        } else if !busy_now {
-            m.busy = false;
-        }
-    }
-
     pub(crate) fn reserve(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
         let i = self.idx(r, p, vn, vc);
-        self.data[i].reserved = true;
-        self.touch(now, i);
+        self.data[i].set_reserved(now);
     }
 
     pub(crate) fn release(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
         let i = self.idx(r, p, vn, vc);
-        self.data[i].reserved = false;
-        self.touch(now, i);
+        self.data[i].clear_reserved(now);
     }
 
     pub(crate) fn occ_add(
@@ -115,9 +169,7 @@ impl MetaTable {
         d: i32,
     ) {
         let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.occupancy = (m.occupancy as i32 + d).max(0) as u16;
-        self.touch(now, i);
+        self.data[i].add_occupancy(now, d);
     }
 
     pub(crate) fn inflight_add(
@@ -130,9 +182,7 @@ impl MetaTable {
         d: i32,
     ) {
         let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.inflight = (m.inflight as i32 + d).max(0) as u16;
-        self.touch(now, i);
+        self.data[i].add_inflight(now, d);
     }
 
     /// A normal (non-spin) flit arrival: the wire count moves into buffered
@@ -141,10 +191,7 @@ impl MetaTable {
     /// path runs this once per hop.
     pub(crate) fn arrive(&mut self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
         let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.occupancy += 1;
-        m.inflight = m.inflight.saturating_sub(1);
-        self.touch(now, i);
+        self.data[i].on_arrive(now);
     }
 
     /// A normal (non-spin) flit send towards downstream VC (r, p, vn, vc):
@@ -161,12 +208,7 @@ impl MetaTable {
         tail: bool,
     ) {
         let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.inflight += 1;
-        if tail {
-            m.reserved = false;
-        }
-        self.touch(now, i);
+        self.data[i].on_wire(now, tail);
     }
 
     /// Free flit slots in a VC buffer (for wormhole per-flit flow control).
@@ -196,11 +238,7 @@ impl MetaTable {
         occupancy: u16,
     ) {
         let i = self.idx(r, p, vn, vc);
-        let m = &mut self.data[i];
-        m.reserved = false;
-        m.inflight = 0;
-        m.occupancy = occupancy;
-        self.touch(now, i);
+        self.data[i].reset(now, occupancy);
     }
 
     /// Runtime-fault cleanup: clears the spin-flit in-flight counter of a
@@ -216,6 +254,180 @@ impl MetaTable {
     pub(crate) fn occupancy_snapshot_into(&self, out: &mut Vec<u16>) {
         out.clear();
         out.extend(self.data.iter().map(|m| m.occupancy));
+    }
+
+    /// Raw-pointer view for the sharded kernel's worker phases. Taking
+    /// `&mut self` guarantees exclusive access at capture time; the caller
+    /// upholds the aliasing discipline from then on (see
+    /// [`MetaRaw`]'s safety contract).
+    #[allow(unsafe_code)]
+    pub(crate) fn raw(&mut self) -> MetaRaw {
+        MetaRaw {
+            data: self.data.as_mut_ptr(),
+            spin_inflight: self.spin_inflight.as_mut_ptr(),
+            offsets: self.offsets.as_ptr(),
+            port_offsets: self.port_offsets.as_ptr(),
+            vnets: self.vnets,
+            vcs: self.vcs,
+        }
+    }
+}
+
+/// Unsafe elementwise view of a [`MetaTable`] for the sharded kernel.
+///
+/// Every method resolves one flat index and touches exactly that
+/// [`VcMeta`] row (or one `spin_inflight` cell), delegating to the same
+/// `VcMeta` methods the serial `MetaTable` ops use — zero behavioural
+/// drift by construction.
+///
+/// # Safety contract (applies to every method)
+///
+/// * The originating `MetaTable` must outlive every use and must not be
+///   moved or structurally mutated (no reallocation) while any `MetaRaw`
+///   is live.
+/// * Concurrent callers must never touch the same row: the sharded kernel
+///   guarantees this via the unique-upstream invariant (each (router,
+///   in-port, vnet, vc) row has exactly one upstream writer) plus its
+///   per-phase defer/merge rules (see `crate::shard`).
+#[derive(Debug, Clone, Copy)]
+#[allow(unsafe_code)]
+pub(crate) struct MetaRaw {
+    data: *mut VcMeta,
+    spin_inflight: *mut u16,
+    offsets: *const usize,
+    port_offsets: *const usize,
+    vnets: usize,
+    vcs: usize,
+}
+
+// SAFETY: MetaRaw is a bundle of raw pointers; sending it across threads is
+// safe because every dereference is an unsafe method whose caller upholds
+// the row-disjointness contract above.
+#[allow(unsafe_code)]
+unsafe impl Send for MetaRaw {}
+// SAFETY: as for Send — shared references expose no safe mutation; all
+// access goes through unsafe methods with the same contract.
+#[allow(unsafe_code)]
+unsafe impl Sync for MetaRaw {}
+
+#[allow(unsafe_code)]
+impl MetaRaw {
+    /// # Safety
+    /// `r`/`p`/`vn`/`vc` must name a row of the originating table.
+    #[inline]
+    unsafe fn row<'a>(self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> &'a mut VcMeta {
+        // SAFETY: same index arithmetic as MetaTable::idx over the live
+        // table's buffers; caller guarantees in-bounds coordinates and row
+        // disjointness.
+        unsafe {
+            let i = *self.offsets.add(r.index())
+                + (p.index() * self.vnets + vn.index()) * self.vcs
+                + vc.index();
+            &mut *self.data.add(i)
+        }
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; caller holds exclusive access to the row and
+    /// its port's spin counter (reads only, but no concurrent writer).
+    #[inline]
+    pub(crate) unsafe fn allocatable(self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> bool {
+        // SAFETY: per the method contract; pidx mirrors MetaTable::pidx.
+        unsafe {
+            let pi = *self.port_offsets.add(r.index()) + p.index() * self.vnets + vn.index();
+            self.row(r, p, vn, vc).allocatable() && *self.spin_inflight.add(pi) == 0
+        }
+    }
+
+    /// Read-only copy of a row. # Safety: as [`Self::allocatable`].
+    #[inline]
+    pub(crate) unsafe fn get(self, r: RouterId, p: PortId, vn: Vnet, vc: VcId) -> VcMeta {
+        // SAFETY: per the method contract.
+        unsafe { *self.row(r, p, vn, vc) }
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; exclusive access to the row.
+    #[inline]
+    pub(crate) unsafe fn reserve(self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
+        // SAFETY: per the method contract.
+        unsafe { self.row(r, p, vn, vc) }.set_reserved(now);
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; exclusive access to the row.
+    #[inline]
+    pub(crate) unsafe fn release(self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
+        // SAFETY: per the method contract.
+        unsafe { self.row(r, p, vn, vc) }.clear_reserved(now);
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; exclusive access to the row.
+    #[inline]
+    pub(crate) unsafe fn occ_add(
+        self,
+        now: Cycle,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        d: i32,
+    ) {
+        // SAFETY: per the method contract.
+        unsafe { self.row(r, p, vn, vc) }.add_occupancy(now, d);
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; exclusive access to the row.
+    #[inline]
+    pub(crate) unsafe fn inflight_add(
+        self,
+        now: Cycle,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        d: i32,
+    ) {
+        // SAFETY: per the method contract.
+        unsafe { self.row(r, p, vn, vc) }.add_inflight(now, d);
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; exclusive access to the row.
+    #[inline]
+    pub(crate) unsafe fn arrive(self, now: Cycle, r: RouterId, p: PortId, vn: Vnet, vc: VcId) {
+        // SAFETY: per the method contract.
+        unsafe { self.row(r, p, vn, vc) }.on_arrive(now);
+    }
+
+    /// Free flit slots (wormhole flow control). # Safety: as [`Self::get`].
+    #[inline]
+    pub(crate) unsafe fn space(
+        self,
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        depth: u16,
+    ) -> u16 {
+        // SAFETY: per the method contract.
+        let m = unsafe { self.get(r, p, vn, vc) };
+        depth.saturating_sub(m.occupancy + m.inflight)
+    }
+
+    /// # Safety
+    /// Coordinates in-bounds; exclusive access to the (port, vnet) spin
+    /// counter.
+    #[inline]
+    pub(crate) unsafe fn spin_inflight_add(self, r: RouterId, p: PortId, vn: Vnet, d: i32) {
+        // SAFETY: per the method contract; pidx mirrors MetaTable::pidx.
+        unsafe {
+            let pi = *self.port_offsets.add(r.index()) + p.index() * self.vnets + vn.index();
+            let c = &mut *self.spin_inflight.add(pi);
+            *c = (*c as i32 + d).max(0) as u16;
+        }
     }
 }
 

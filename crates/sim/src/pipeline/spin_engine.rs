@@ -313,7 +313,8 @@ impl Network {
                 m.on_sm_link();
             }
             self.sm_busy.push((r.0, p.0));
-            self.out_links[r.index()][p.index()].send(now, Phit::Sm(Box::new(sm)));
+            self.link_at_mut(r.index(), p.index())
+                .send(now, Phit::Sm(Box::new(sm)));
             self.mark_link(r.index(), p);
             idx = end + 1;
         }

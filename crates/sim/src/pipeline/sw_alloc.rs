@@ -41,7 +41,7 @@ impl Network {
             if self.dense_step {
                 // Oracle mode arbitrates every port, validating that the
                 // gathered candidate set below skips only no-op ports.
-                cand_ports.extend(0..self.out_links[i].len() as u8);
+                cand_ports.extend(0..self.topo.radix(rid) as u8);
             } else {
                 for &(p, vn, v) in rc {
                     let vcb = self.routers[i].vc(p, vn, v);

@@ -47,11 +47,12 @@ impl Network {
                     .wire(now, peer.router, peer.port, vn, tvc, is_tail);
             }
         }
-        self.out_links[i][out_port.index()].send(
+        self.link_at_mut(i, out_port.index()).send(
             now,
             Phit::Flit {
                 flit,
                 vc: tvc,
+                vnet: vn,
                 spin,
             },
         );

@@ -51,7 +51,7 @@ impl Network {
                         // Bubble flow control: injections and turns must
                         // leave one VC free at the target port (the bubble).
                         let needs_bubble = self.cfg.bubble_flow_control
-                            && self.hop_needs_bubble(rid, p, c.out_port);
+                            && hop_needs_bubble(&self.topo, rid, p, c.out_port);
                         if needs_bubble {
                             let free = (0..self.cfg.vcs_per_vnet)
                                 .filter(|&v| {
@@ -101,30 +101,37 @@ impl Network {
         }
         self.restore_coord_cache(ids, ranges, coords);
     }
+}
 
-    /// Bubble flow control: does a hop from `in_port` to `out_port` at
-    /// router `r` need to preserve a bubble? Injections and dimension /
-    /// direction changes do; continuing straight along a ring does not
-    /// (the in-flight packet only rotates its ring's occupancy).
-    pub(crate) fn hop_needs_bubble(&self, r: RouterId, in_port: PortId, out_port: PortId) -> bool {
-        if self.topo.port(r, in_port).is_local() {
-            return true; // injection into the ring
-        }
-        use spin_topology::TopologyKind;
-        match self.topo.kind() {
-            TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => {
-                match (self.topo.port_dir(in_port), self.topo.port_dir(out_port)) {
-                    // Straight = leaving through the port opposite the one
-                    // we entered (same dimension, same direction).
-                    (Some(din), Some(dout)) => dout != din.opposite(),
-                    _ => true,
-                }
+/// Bubble flow control: does a hop from `in_port` to `out_port` at
+/// router `r` need to preserve a bubble? Injections and dimension /
+/// direction changes do; continuing straight along a ring does not
+/// (the in-flight packet only rotates its ring's occupancy). A free
+/// function so the sharded kernel's workers can call it without a
+/// `Network` borrow.
+pub(crate) fn hop_needs_bubble(
+    topo: &spin_topology::Topology,
+    r: RouterId,
+    in_port: PortId,
+    out_port: PortId,
+) -> bool {
+    if topo.port(r, in_port).is_local() {
+        return true; // injection into the ring
+    }
+    use spin_topology::TopologyKind;
+    match topo.kind() {
+        TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => {
+            match (topo.port_dir(in_port), topo.port_dir(out_port)) {
+                // Straight = leaving through the port opposite the one
+                // we entered (same dimension, same direction).
+                (Some(din), Some(dout)) => dout != din.opposite(),
+                _ => true,
             }
-            TopologyKind::Ring { .. } => {
-                // Ports 1 (cw) and 2 (ccw): straight-through pairs.
-                !(in_port.0 == 1 && out_port.0 == 2 || in_port.0 == 2 && out_port.0 == 1)
-            }
-            _ => true, // conservative on arbitrary graphs
         }
+        TopologyKind::Ring { .. } => {
+            // Ports 1 (cw) and 2 (ccw): straight-through pairs.
+            !(in_port.0 == 1 && out_port.0 == 2 || in_port.0 == 2 && out_port.0 == 1)
+        }
+        _ => true, // conservative on arbitrary graphs
     }
 }

@@ -1,0 +1,1672 @@
+//! The sharded step kernel: one [`Network::step`] fanned out across worker
+//! threads, bit-identical to the serial kernel.
+//!
+//! # Model
+//!
+//! This is conservative parallel discrete-event simulation (PDES) over the
+//! cycle-synchronous pipeline: the router set is partitioned across shards
+//! (a [`Partitioner`] picks the assignment), and each of the five
+//! data-parallel stages of a cycle — link delivery, NIC streaming, route
+//! compute, VC allocation, switch traversal — runs its partition slices
+//! concurrently with a barrier between stages. The link delay lines *are*
+//! the boundary queues with lookahead: every hop delay is `latency + 1 >= 2`
+//! cycles (injection links are 2), so a flit sent at cycle `t` is
+//! unobservable before `t + 2` and a stage may fan out freely within one
+//! cycle without ever seeing a neighbouring shard's same-cycle sends.
+//!
+//! # Why sharded == serial, bit for bit
+//!
+//! * **Unique upstream** — each credit-mirror row (router, in-port, vnet,
+//!   vc) has exactly one upstream writer (see [`MetaTable`]'s docs). In VC
+//!   allocation both the reads (including bubble free-counts) and the
+//!   writes of any row come from that unique upstream router, so direct
+//!   cross-shard writes are race-free *and* order-free.
+//! * **Deferred, keyed merges** — everything order-dependent (trace
+//!   emissions, tail ejections, RNG draws, switch-traversal meta ops whose
+//!   rows two routers touch) is logged per shard with its serial sort key
+//!   (link id, NIC id, or router id) and replayed on the main thread after
+//!   the barrier, stable-sorted by key. Each shard's log is already in
+//!   program order, so the stable sort reconstructs the exact serial order
+//!   for *arbitrary* partition assignments.
+//! * **Serial spine** — everything owning global order stays on the main
+//!   thread: the traffic source and its RNG, route-draw completion (the one
+//!   `gen_range` per adaptive pick, replayed ascending by router), the SPIN
+//!   engine, faults, stats/metrics rollover, and idle-router pruning.
+//!
+//! Wormhole switching reads mid-stage credit state in switch traversal, so
+//! the builder clamps wormhole configurations to one shard.
+
+use crate::config::Switching;
+use crate::link::{Link, Phit};
+use crate::network::Network;
+use crate::nic::{ActiveInjection, Nic};
+use crate::pipeline::meta::{MetaRaw, MetaTable, NetView};
+use crate::pipeline::vc_alloc::hop_needs_bubble;
+use crate::router::Router;
+use crate::store::StoreRaw;
+use spin_core::Sm;
+use spin_routing::{finish_prepared, Prepared, Routing, VcMask, XyRouting};
+use spin_topology::{Topology, TopologyKind};
+use spin_trace::TraceEvent;
+use spin_types::{Cycle, Flit, NodeId, PortId, RouterId, VcId, Vnet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Assigns every router to a shard. Implementations must be pure functions
+/// of the topology: the same `(topo, shards)` input must always produce the
+/// same assignment, or determinism across runs is lost.
+pub trait Partitioner: std::fmt::Debug + Send + Sync {
+    /// Short human-readable name (for logs and experiment manifests).
+    fn name(&self) -> &'static str;
+    /// `assign[r]` = shard of router `r`; every entry must be `< shards`.
+    fn assign(&self, topo: &Topology, shards: usize) -> Vec<u8>;
+}
+
+/// Contiguous-ID partitioning balanced by router radix: routers are split
+/// into `shards` consecutive-id bands with roughly equal total port counts
+/// (a proxy for per-cycle work).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContiguousPartitioner;
+
+impl Partitioner for ContiguousPartitioner {
+    fn name(&self) -> &'static str {
+        "contiguous"
+    }
+
+    fn assign(&self, topo: &Topology, shards: usize) -> Vec<u8> {
+        let total: usize = (0..topo.num_routers())
+            .map(|r| topo.radix(RouterId(r as u32)))
+            .sum();
+        let total = total.max(1);
+        let mut out = Vec::with_capacity(topo.num_routers());
+        let mut cum = 0usize;
+        for r in 0..topo.num_routers() {
+            // Midpoint rule: a router lands in the band its radix-weighted
+            // centre falls into, so bands are contiguous and balanced.
+            let mid = cum + topo.radix(RouterId(r as u32)) / 2;
+            out.push(((mid * shards / total).min(shards - 1)) as u8);
+            cum += topo.radix(RouterId(r as u32));
+        }
+        out
+    }
+}
+
+/// Coordinate-block partitioning: on meshes and tori, rows (y bands) go to
+/// shards so most links stay shard-internal; other topologies fall back to
+/// [`ContiguousPartitioner`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordBlockPartitioner;
+
+impl Partitioner for CoordBlockPartitioner {
+    fn name(&self) -> &'static str {
+        "coord_block"
+    }
+
+    fn assign(&self, topo: &Topology, shards: usize) -> Vec<u8> {
+        match *topo.kind() {
+            TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => (0
+                ..topo.num_routers())
+                .map(|r| {
+                    let y = r as u32 / width;
+                    ((y as usize * shards / height as usize).min(shards - 1)) as u8
+                })
+                .collect(),
+            _ => ContiguousPartitioner.assign(topo, shards),
+        }
+    }
+}
+
+/// The frozen ownership maps derived from a partition assignment.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    pub(crate) shards: usize,
+    /// `shard_of_router[r]` = shard that owns router `r`'s state.
+    pub(crate) shard_of_router: Vec<u8>,
+    /// Delivery-phase owner per flat link id (out-links then injection
+    /// links): the shard of the *receiving* router — peer router for
+    /// connected ports, the owning router for ejection/dangling ports, the
+    /// attach router for injection links. Built as-built; faults drain dead
+    /// links and heals restore identical endpoints, so the map stays valid.
+    pub(crate) lid_owner: Vec<u8>,
+    /// Streaming-phase owner per NIC: the shard of its attach router.
+    pub(crate) nic_owner: Vec<u8>,
+}
+
+impl ShardPlan {
+    fn build(
+        topo: &Topology,
+        assign: &[u8],
+        shards: usize,
+        link_owner: &[(u32, u8)],
+        inj_base: u32,
+    ) -> ShardPlan {
+        let mut lid_owner = Vec::with_capacity(inj_base as usize + topo.num_nodes());
+        for &(r, p) in link_owner {
+            let rid = RouterId(r);
+            let port = topo.port(rid, PortId(p));
+            let owner = match port.conn {
+                Some(peer) => assign[peer.router.index()],
+                None => assign[rid.index()],
+            };
+            lid_owner.push(owner);
+        }
+        let mut nic_owner = Vec::with_capacity(topo.num_nodes());
+        for n in 0..topo.num_nodes() {
+            let at = topo.node_attach(NodeId(n as u32));
+            // The injection link delivers at the attach router.
+            lid_owner.push(assign[at.router.index()]);
+            nic_owner.push(assign[at.router.index()]);
+        }
+        ShardPlan {
+            shards,
+            shard_of_router: assign.to_vec(),
+            lid_owner,
+            nic_owner,
+        }
+    }
+}
+
+/// Per-shard accumulated statistics deltas, applied serially at each merge.
+#[derive(Debug, Default, Clone, Copy)]
+struct StatsDelta {
+    spin_orphans: u64,
+    overflow_events: u64,
+    packets_injected: u64,
+    flits_injected: u64,
+    bubble_grants: u64,
+}
+
+/// Order-dependent delivery-phase event, deferred and replayed in link-id
+/// order: the head-hop trace emission, and the tail ejection (store free,
+/// stats, traffic feedback, trace).
+#[derive(Debug)]
+enum P1Event {
+    Hop(TraceEvent),
+    Eject { node: NodeId, flit: Flit },
+}
+
+/// A prepared (RNG-free) route computation awaiting its serial completion.
+#[derive(Debug)]
+struct PendRoute {
+    router: u32,
+    p: PortId,
+    vn: Vnet,
+    v: VcId,
+    prepared: Prepared,
+    escape: bool,
+}
+
+/// A switch-traversal meta/stats op whose target row two routers may touch
+/// in one cycle (the upstream `wire` vs the owner's `occ_add`): deferred
+/// and applied in sender-router order, reproducing the serial interleave.
+#[derive(Debug, Clone, Copy)]
+enum P6Op {
+    LinkFlit {
+        r: RouterId,
+        p: PortId,
+    },
+    Wire {
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+        tail: bool,
+    },
+    SpinInflight {
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+    },
+    OccAdd {
+        r: RouterId,
+        p: PortId,
+        vn: Vnet,
+        vc: VcId,
+    },
+}
+
+/// The five data-parallel stages of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Deliver,
+    Inject,
+    Route,
+    VcAlloc,
+    Switch,
+}
+
+/// Per-shard working state: the phase's input partition, its deferred
+/// output logs, and reusable scratch. One per shard, touched exclusively by
+/// that shard during a phase and by the main thread between phases.
+#[derive(Debug, Default)]
+struct ShardCtx {
+    /// Delivery partition: this shard's flat link ids, ascending.
+    lids: Vec<u32>,
+    /// Streaming partition: this shard's NIC ids, ascending.
+    nic_ids: Vec<u32>,
+    /// Router partition: indices into `cycle_ids`, ascending.
+    rwork: Vec<u32>,
+    /// Phit drain scratch (mirror of `Network::scratch_phits`).
+    phits: Vec<Phit>,
+    /// Candidate-port scratch for switch allocation.
+    ports_scratch: Vec<u8>,
+    /// Deferred delivery events, keyed by flat link id.
+    p1_events: Vec<(u32, P1Event)>,
+    /// Links still carrying phits after delivery (worklist retention).
+    links_kept: Vec<u32>,
+    /// Links woken by sends this phase (injection + switch traversal).
+    links_woken: Vec<u32>,
+    /// Routers woken by arrivals (delivery).
+    routers_woken: Vec<u32>,
+    /// Deferred `PacketInject` traces, keyed by NIC id.
+    p3_traces: Vec<(u32, TraceEvent)>,
+    /// Deferred `VcAllocated` traces, keyed by router id.
+    p5_traces: Vec<(u32, TraceEvent)>,
+    /// NICs still active after streaming (worklist retention).
+    nics_kept: Vec<u32>,
+    /// Prepared routes awaiting serial RNG completion.
+    pend: Vec<PendRoute>,
+    /// Deferred switch-traversal ops, keyed by sender router id.
+    p6_ops: Vec<(u32, P6Op)>,
+    /// Stats deltas accumulated this phase.
+    d: StatsDelta,
+}
+
+/// Raw elementwise view of the [`Network`] captured at the top of each
+/// parallel phase. `Copy` + `Send` so one value fans out to every worker.
+///
+/// # Safety contract
+///
+/// * Captured from `&mut Network`, so the pointers are exclusive at capture
+///   time; the main thread must not touch any pointee collection until the
+///   phase barrier completes.
+/// * Workers materialize *elementwise* borrows only (one `Router`, `Nic`,
+///   `Link`, inbox `Vec` element at a time), and the phase partitions
+///   guarantee no two shards borrow the same element.
+#[derive(Debug, Clone, Copy)]
+#[allow(unsafe_code)]
+struct RawNet {
+    routers: *mut Router,
+    nics: *mut Nic,
+    inbox: *mut Vec<(PortId, Sm)>,
+    out_links: *mut Link,
+    inj_links: *mut Link,
+    store: StoreRaw,
+    meta: MetaRaw,
+    /// Shared read-only view of the same table `meta` points into; used by
+    /// the pure-reader route phase (never while `meta` writes).
+    meta_table: *const MetaTable,
+    topo: *const Topology,
+    routing: *const dyn Routing,
+    cfg: crate::config::SimConfig,
+    now: Cycle,
+    trace_on: bool,
+    dense: bool,
+    inj_base: u32,
+    cycle_ids: *const u32,
+    cycle_ids_len: usize,
+    cycle_ranges: *const (u32, u32),
+    cycle_coords: *const (PortId, Vnet, VcId),
+    cycle_coords_len: usize,
+    sm_busy: *const (u32, u8),
+    sm_busy_len: usize,
+    link_base: *const u32,
+}
+
+// SAFETY: RawNet is a bundle of raw pointers plus Copy config; every
+// dereference happens in an unsafe method whose caller upholds the
+// element-disjointness contract documented on the struct.
+#[allow(unsafe_code)]
+unsafe impl Send for RawNet {}
+// SAFETY: as for Send — shared references expose no safe mutation; all
+// access goes through unsafe methods with the same contract.
+#[allow(unsafe_code)]
+unsafe impl Sync for RawNet {}
+
+#[allow(unsafe_code)]
+impl RawNet {
+    fn capture(net: &mut Network) -> RawNet {
+        let trace_on = net.trace_on();
+        // One *mut MetaTable is the provenance root for both the mutable
+        // elementwise view and the shared read view.
+        let meta_ptr: *mut MetaTable = &raw mut net.meta;
+        RawNet {
+            routers: net.routers.as_mut_ptr(),
+            nics: net.nics.as_mut_ptr(),
+            inbox: net.inbox.as_mut_ptr(),
+            out_links: net.out_links.as_mut_ptr(),
+            inj_links: net.inj_links.as_mut_ptr(),
+            store: net.store.raw(),
+            // SAFETY: meta_ptr is a fresh exclusive pointer to the live
+            // table; raw() only reads Vec data pointers.
+            meta: unsafe { (*meta_ptr).raw() },
+            meta_table: meta_ptr as *const MetaTable,
+            topo: &raw const net.topo,
+            routing: net.routing.as_ref() as *const dyn Routing,
+            cfg: net.cfg,
+            now: net.now,
+            trace_on,
+            dense: net.dense_step,
+            inj_base: net.inj_base,
+            cycle_ids: net.cycle_ids.as_ptr(),
+            cycle_ids_len: net.cycle_ids.len(),
+            cycle_ranges: net.cycle_ranges.as_ptr(),
+            cycle_coords: net.cycle_coords.as_ptr(),
+            cycle_coords_len: net.cycle_coords.len(),
+            sm_busy: net.sm_busy.as_ptr(),
+            sm_busy_len: net.sm_busy.len(),
+            link_base: net.link_base.as_ptr(),
+        }
+    }
+
+    /// # Safety
+    /// `i` in-bounds; no other live borrow of router `i` this phase.
+    #[inline]
+    unsafe fn router<'a>(self, i: usize) -> &'a mut Router {
+        // SAFETY: per the method contract (partition-disjoint element).
+        unsafe { &mut *self.routers.add(i) }
+    }
+
+    /// # Safety
+    /// `i` in-bounds; no concurrent mutable borrow of router `i`.
+    #[inline]
+    unsafe fn router_ref<'a>(self, i: usize) -> &'a Router {
+        // SAFETY: per the method contract.
+        unsafe { &*self.routers.add(i) }
+    }
+
+    /// # Safety
+    /// `n` in-bounds; no other live borrow of NIC `n` this phase.
+    #[inline]
+    unsafe fn nic<'a>(self, n: usize) -> &'a mut Nic {
+        // SAFETY: per the method contract.
+        unsafe { &mut *self.nics.add(n) }
+    }
+
+    /// # Safety
+    /// `i` in-bounds; no other live borrow of inbox `i` this phase.
+    #[inline]
+    unsafe fn inbox_of<'a>(self, i: usize) -> &'a mut Vec<(PortId, Sm)> {
+        // SAFETY: per the method contract.
+        unsafe { &mut *self.inbox.add(i) }
+    }
+
+    /// # Safety
+    /// `lid < inj_base`; no other live borrow of out-link `lid` this phase.
+    #[inline]
+    unsafe fn out_link<'a>(self, lid: usize) -> &'a mut Link {
+        // SAFETY: per the method contract.
+        unsafe { &mut *self.out_links.add(lid) }
+    }
+
+    /// # Safety
+    /// `n` in-bounds; no other live borrow of injection link `n`.
+    #[inline]
+    unsafe fn inj_link<'a>(self, n: usize) -> &'a mut Link {
+        // SAFETY: per the method contract.
+        unsafe { &mut *self.inj_links.add(n) }
+    }
+
+    #[inline]
+    fn topo<'a>(self) -> &'a Topology {
+        // SAFETY: the topology is never mutated during a parallel phase
+        // (faults apply serially between cycles).
+        unsafe { &*self.topo }
+    }
+
+    #[inline]
+    fn sm_busy<'a>(self) -> &'a [(u32, u8)] {
+        // SAFETY: built serially before the phase, read-only during it.
+        unsafe { std::slice::from_raw_parts(self.sm_busy, self.sm_busy_len) }
+    }
+
+    #[inline]
+    fn link_base(self, i: usize) -> u32 {
+        // SAFETY: link_base has one entry per router; read-only.
+        unsafe { *self.link_base.add(i) }
+    }
+
+    /// The per-cycle router worklist snapshot (read-only during phases).
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn cycle<'a>(self) -> (&'a [u32], &'a [(u32, u32)], &'a [(PortId, Vnet, VcId)]) {
+        // SAFETY: the coord cache is built serially before the router
+        // phases and not touched until the next cycle.
+        unsafe {
+            (
+                std::slice::from_raw_parts(self.cycle_ids, self.cycle_ids_len),
+                std::slice::from_raw_parts(self.cycle_ranges, self.cycle_ids_len),
+                std::slice::from_raw_parts(self.cycle_coords, self.cycle_coords_len),
+            )
+        }
+    }
+}
+
+/// One phase dispatch: the raw network view, the shard contexts array, and
+/// which phase to run.
+#[derive(Debug, Clone, Copy)]
+#[allow(unsafe_code)]
+struct Job {
+    raw: RawNet,
+    ctxs: *mut ShardCtx,
+    phase: Phase,
+}
+
+// SAFETY: Job carries RawNet (Send per its contract) and the ShardCtx array
+// pointer; each worker dereferences only its own shard's element.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+
+#[derive(Debug)]
+struct JobSlot {
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    start: Condvar,
+    done: Mutex<usize>,
+    finish: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A persistent pool of `shards - 1` phase workers; the main thread always
+/// runs shard 0 inline. Condvar-parked between phases, so oversubscribed
+/// hosts (including 1-core CI runners) never spin.
+#[derive(Debug)]
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+#[allow(unsafe_code)]
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Mutex::new(0),
+            finish: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let threads = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spin-shard-{}", w + 1))
+                    .spawn(move || worker_loop(&shared, w + 1))
+                    .expect("failed to spawn shard worker thread")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    /// Runs one phase across every shard: workers take shards `1..n`, the
+    /// main thread runs shard 0 inline, then waits for the barrier.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic on the main thread) if any worker panicked.
+    fn run(&self, job: Job) {
+        let n = self.threads.len();
+        if n == 0 {
+            run_phase(job, 0);
+            return;
+        }
+        *self.shared.done.lock().expect("shard pool mutex poisoned") = 0;
+        {
+            let mut slot = self.shared.slot.lock().expect("shard pool mutex poisoned");
+            slot.epoch += 1;
+            slot.job = Some(job);
+        }
+        self.shared.start.notify_all();
+        run_phase(job, 0);
+        let mut done = self.shared.done.lock().expect("shard pool mutex poisoned");
+        while *done < n {
+            done = self
+                .shared
+                .finish
+                .wait(done)
+                .expect("shard pool mutex poisoned");
+        }
+        drop(done);
+        assert!(
+            !self.shared.panicked.load(Ordering::SeqCst),
+            "a shard worker thread panicked during a parallel phase"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = match self.shared.slot.lock() {
+                Ok(s) => s,
+                Err(p) => p.into_inner(),
+            };
+            slot.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, shard: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = match shared.slot.lock() {
+                Ok(s) => s,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    break slot.job.expect("job set with epoch bump");
+                }
+                slot = match shared.start.wait(slot) {
+                    Ok(s) => s,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(|| run_phase(job, shard))).is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        {
+            let mut done = match shared.done.lock() {
+                Ok(d) => d,
+                Err(p) => p.into_inner(),
+            };
+            *done += 1;
+        }
+        shared.finish.notify_one();
+    }
+}
+
+/// Runs `job.phase` for shard `shard`.
+#[allow(unsafe_code)]
+fn run_phase(job: Job, shard: usize) {
+    // SAFETY: ctxs points at ShardState.ctxs (len == shards, boxed so the
+    // address is stable); each shard index is claimed by exactly one thread
+    // per phase (workers take 1..n, main takes 0).
+    let ctx = unsafe { &mut *job.ctxs.add(shard) };
+    match job.phase {
+        Phase::Deliver => p1_deliver(job.raw, ctx),
+        Phase::Inject => p3_inject(job.raw, ctx),
+        Phase::Route => p4_route(job.raw, ctx),
+        Phase::VcAlloc => p5_vc_alloc(job.raw, ctx),
+        Phase::Switch => p6_switch(job.raw, ctx),
+    }
+}
+
+/// The sharded-kernel state hung off the [`Network`]: the frozen plan, the
+/// per-shard contexts, the worker pool, and merge scratch.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    pub(crate) plan: ShardPlan,
+    /// The partitioner that produced the plan (kept for reporting).
+    pub(crate) partitioner: Box<dyn Partitioner>,
+    ctxs: Vec<ShardCtx>,
+    pool: WorkerPool,
+    ev_scratch: Vec<(u32, P1Event)>,
+    trace_scratch: Vec<(u32, TraceEvent)>,
+    pend_scratch: Vec<PendRoute>,
+    op_scratch: Vec<(u32, P6Op)>,
+}
+
+impl ShardState {
+    pub(crate) fn new(
+        topo: &Topology,
+        partitioner: Box<dyn Partitioner>,
+        shards: usize,
+        link_owner: &[(u32, u8)],
+        inj_base: u32,
+    ) -> ShardState {
+        let assign = partitioner.assign(topo, shards);
+        assert_eq!(
+            assign.len(),
+            topo.num_routers(),
+            "partitioner {} returned {} assignments for {} routers",
+            partitioner.name(),
+            assign.len(),
+            topo.num_routers()
+        );
+        assert!(
+            assign.iter().all(|&s| (s as usize) < shards),
+            "partitioner {} assigned a router to a shard >= {shards}",
+            partitioner.name()
+        );
+        let plan = ShardPlan::build(topo, &assign, shards, link_owner, inj_base);
+        ShardState {
+            plan,
+            partitioner,
+            ctxs: (0..shards).map(|_| ShardCtx::default()).collect(),
+            pool: WorkerPool::new(shards - 1),
+            ev_scratch: Vec::new(),
+            trace_scratch: Vec::new(),
+            pend_scratch: Vec::new(),
+            op_scratch: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker phase bodies. Each mirrors its serial stage statement for
+// statement; divergences are exactly the deferrals documented on ShardCtx.
+// ---------------------------------------------------------------------------
+
+/// Phase 1 worker: link delivery over this shard's receiver-partitioned
+/// link ids (mirrors `Network::deliver_phits`).
+#[allow(unsafe_code)]
+fn p1_deliver(raw: RawNet, ctx: &mut ShardCtx) {
+    let now = raw.now;
+    ctx.p1_events.clear();
+    ctx.links_kept.clear();
+    ctx.routers_woken.clear();
+    ctx.d = StatsDelta::default();
+    let lids = std::mem::take(&mut ctx.lids);
+    let mut phits = std::mem::take(&mut ctx.phits);
+    let topo = raw.topo();
+    for &lid in &lids {
+        phits.clear();
+        if lid < raw.inj_base {
+            // SAFETY: lid is owned by this shard's delivery partition.
+            let link = unsafe { raw.out_link(lid as usize) };
+            link.deliver(now, &mut phits);
+            if link.in_flight() > 0 {
+                ctx.links_kept.push(lid);
+            }
+            if phits.is_empty() {
+                continue;
+            }
+            // Re-derive (router, port) without the reverse map: the worker
+            // never needs it for anything but the topology lookup.
+            let (r, p) = link_owner_of(raw, lid);
+            let rid = RouterId(r);
+            let port = topo.port(rid, PortId(p));
+            if let Some(node) = port.node {
+                for phit in phits.drain(..) {
+                    if let Phit::Flit { flit, .. } = phit {
+                        // Tail ejection frees the store and feeds stats +
+                        // traffic: serial-only, so defer (non-tails are
+                        // no-ops in the serial path too).
+                        if flit.kind.is_tail() {
+                            ctx.p1_events.push((lid, P1Event::Eject { node, flit }));
+                        }
+                    }
+                }
+            } else if let Some(peer) = port.conn {
+                for phit in phits.drain(..) {
+                    match phit {
+                        Phit::Flit {
+                            flit,
+                            vc,
+                            vnet,
+                            spin,
+                        } => {
+                            shard_arrive_flit(
+                                raw,
+                                ctx,
+                                lid,
+                                peer.router,
+                                peer.port,
+                                flit,
+                                vc,
+                                vnet,
+                                spin,
+                                true,
+                            );
+                        }
+                        Phit::Sm(sm) => {
+                            ctx.routers_woken.push(peer.router.0);
+                            // SAFETY: the receiving router (and its inbox)
+                            // is owned by this shard: lid_owner is the
+                            // receiver's shard.
+                            unsafe { raw.inbox_of(peer.router.index()) }.push((peer.port, *sm));
+                        }
+                    }
+                }
+            }
+        } else {
+            let n = (lid - raw.inj_base) as usize;
+            // SAFETY: injection link n is owned by this shard's partition.
+            let link = unsafe { raw.inj_link(n) };
+            link.deliver(now, &mut phits);
+            if link.in_flight() > 0 {
+                ctx.links_kept.push(lid);
+            }
+            let at = topo.node_attach(NodeId(n as u32));
+            for phit in phits.drain(..) {
+                if let Phit::Flit {
+                    flit,
+                    vc,
+                    vnet,
+                    spin,
+                } = phit
+                {
+                    shard_arrive_flit(
+                        raw, ctx, lid, at.router, at.port, flit, vc, vnet, spin, false,
+                    );
+                }
+            }
+        }
+    }
+    ctx.lids = lids;
+    ctx.phits = phits;
+}
+
+/// Inverse of the flat link-id map (binary search over `link_base`).
+fn link_owner_of(raw: RawNet, lid: u32) -> (u32, u8) {
+    let topo = raw.topo();
+    let n = topo.num_routers();
+    let (mut lo, mut hi) = (0usize, n);
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if raw.link_base(mid) <= lid {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo as u32, (lid - raw.link_base(lo)) as u8)
+}
+
+/// Phase 1 worker arrival: mirrors `Network::arrive_flit` with the trace
+/// emission deferred (keyed by the delivering link id) and stats deltas
+/// accumulated locally.
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+fn shard_arrive_flit(
+    raw: RawNet,
+    ctx: &mut ShardCtx,
+    lid: u32,
+    r: RouterId,
+    p: PortId,
+    flit: Flit,
+    vc: VcId,
+    vnet: Vnet,
+    spin: bool,
+    network_hop: bool,
+) {
+    let now = raw.now;
+    ctx.routers_woken.push(r.0);
+    // SAFETY: router r is the receiver; lid_owner put this arrival on r's
+    // shard, which owns the Router element for the whole phase.
+    let router = unsafe { raw.router(r.index()) };
+    let tvc = if spin {
+        match router.spin_rx(p, vnet) {
+            Some(v) => v,
+            None => {
+                ctx.d.spin_orphans += 1;
+                vc
+            }
+        }
+    } else {
+        vc
+    };
+    if flit.kind.is_head() {
+        let topo = raw.topo();
+        let is_global = network_hop && topo.is_global_port(r, p);
+        // SAFETY: the head flit's handle is mutated exactly once per hop,
+        // by the shard owning the arrival (this one).
+        let pkt = unsafe { raw.store.get_mut(flit.packet) };
+        if network_hop {
+            pkt.hops += 1;
+            if is_global {
+                pkt.global_hops += 1;
+            }
+        }
+        if let Some(inter) = pkt.intermediate {
+            if topo.node_router(inter) == r {
+                pkt.intermediate = None;
+            }
+        }
+        let len = pkt.len;
+        let packet = pkt.id;
+        if network_hop && raw.trace_on {
+            ctx.p1_events.push((
+                lid,
+                P1Event::Hop(TraceEvent::PacketHop {
+                    packet,
+                    router: r,
+                    port: p,
+                    vc: tvc,
+                }),
+            ));
+        }
+        let mut pb = crate::vc::PacketBuf::new(flit.packet, len);
+        pb.received = 1;
+        if router.vc(p, vnet, tvc).q.is_empty() {
+            router.note_occupied(p, vnet, tvc);
+        }
+        router.vc_mut(p, vnet, tvc).q.push_back(pb);
+    } else {
+        let vcb = router.vc_mut(p, vnet, tvc);
+        if let Some(pb) = vcb.q.iter_mut().rev().find(|pb| pb.received < pb.len) {
+            pb.received += 1;
+        } else {
+            ctx.d.spin_orphans += 1;
+        }
+    }
+    if spin {
+        // SAFETY: meta rows of (r, p, *) are written only by arrivals at r
+        // this phase — all on this shard.
+        unsafe {
+            raw.meta.occ_add(now, r, p, vnet, tvc, 1);
+            raw.meta.spin_inflight_add(r, p, vnet, -1);
+        }
+        if flit.kind.is_tail() {
+            router.clear_spin_rx(p, vnet);
+        }
+    } else {
+        // SAFETY: as above.
+        unsafe { raw.meta.arrive(now, r, p, vnet, tvc) };
+    }
+    let occ = router.vc(p, vnet, tvc).occupancy();
+    if occ > raw.cfg.vc_depth as usize {
+        ctx.d.overflow_events += 1;
+    }
+}
+
+/// Phase 3 worker: NIC streaming over this shard's NICs (mirrors
+/// `Network::inject_streams`; generation already ran serially).
+#[allow(unsafe_code)]
+fn p3_inject(raw: RawNet, ctx: &mut ShardCtx) {
+    let now = raw.now;
+    ctx.nics_kept.clear();
+    ctx.links_woken.clear();
+    ctx.p3_traces.clear();
+    ctx.d = StatsDelta::default();
+    let nic_ids = std::mem::take(&mut ctx.nic_ids);
+    let topo = raw.topo();
+    for &nid in &nic_ids {
+        let n = nid as usize;
+        let node = NodeId(nid);
+        // SAFETY: NIC n is owned by this shard (nic_owner); so are the
+        // meta rows of its attach (router, local port) — the NIC is their
+        // unique upstream.
+        let nic = unsafe { raw.nic(n) };
+        if nic.active.is_none() {
+            if let Some(vn) = nic.next_vnet() {
+                let at = topo.node_attach(node);
+                let vnet = Vnet(vn as u8);
+                let vc = (0..raw.cfg.vcs_per_vnet)
+                    .map(VcId)
+                    .filter(|&v| !(raw.cfg.static_bubble && v.0 == raw.cfg.vcs_per_vnet - 1))
+                    // SAFETY: reads this NIC's own attach-port rows.
+                    .find(|&v| unsafe { raw.meta.allocatable(at.router, at.port, vnet, v) });
+                if let Some(vc) = vc {
+                    let handle = nic.queues[vn]
+                        .pop_front()
+                        .expect("next_vnet returned a non-empty queue");
+                    // SAFETY: the handle is queued at exactly this NIC; no
+                    // other shard touches it this phase.
+                    let pkt = unsafe { raw.store.get_mut(handle) };
+                    pkt.injected_at = now;
+                    let len = pkt.len;
+                    if raw.trace_on {
+                        ctx.p3_traces.push((
+                            nid,
+                            TraceEvent::PacketInject {
+                                packet: pkt.id,
+                                src: pkt.src,
+                                dst: pkt.dst,
+                                vnet,
+                                len,
+                            },
+                        ));
+                    }
+                    // SAFETY: this NIC's own attach-port row.
+                    unsafe { raw.meta.reserve(now, at.router, at.port, vnet, vc) };
+                    ctx.d.packets_injected += 1;
+                    nic.active = Some(ActiveInjection {
+                        handle,
+                        len,
+                        vnet,
+                        flits_sent: 0,
+                        vc,
+                    });
+                }
+            }
+        }
+        if let Some(mut act) = nic.active.take() {
+            let at = topo.node_attach(node);
+            // SAFETY: reads this NIC's own attach-port row.
+            let stalled = raw.cfg.switching == Switching::Wormhole
+                && unsafe {
+                    raw.meta
+                        .space(at.router, at.port, act.vnet, act.vc, raw.cfg.vc_depth)
+                } == 0;
+            if stalled {
+                nic.active = Some(act);
+            } else {
+                let flit = Flit::new(act.handle, act.flits_sent, act.len);
+                let is_tail = flit.kind.is_tail();
+                // SAFETY: injection link n belongs to this NIC.
+                unsafe { raw.inj_link(n) }.send(
+                    now,
+                    Phit::Flit {
+                        flit,
+                        vc: act.vc,
+                        vnet: act.vnet,
+                        spin: false,
+                    },
+                );
+                ctx.links_woken.push(raw.inj_base + nid);
+                // SAFETY: this NIC's own attach-port rows.
+                unsafe {
+                    raw.meta
+                        .inflight_add(now, at.router, at.port, act.vnet, act.vc, 1);
+                }
+                ctx.d.flits_injected += 1;
+                act.flits_sent += 1;
+                if is_tail {
+                    // SAFETY: as above.
+                    unsafe { raw.meta.release(now, at.router, at.port, act.vnet, act.vc) };
+                } else {
+                    nic.active = Some(act);
+                }
+            }
+        }
+        if nic.active.is_some() || nic.queues.iter().any(|q| !q.is_empty()) {
+            ctx.nics_kept.push(nid);
+        }
+    }
+    ctx.nic_ids = nic_ids;
+}
+
+/// Phase 4 worker: RNG-free route preparation over this shard's routers — a
+/// pure reader (mirrors `Network::route_compute` up to the draw, which the
+/// merge replays serially in router order).
+#[allow(unsafe_code)]
+fn p4_route(raw: RawNet, ctx: &mut ShardCtx) {
+    let now = raw.now;
+    ctx.pend.clear();
+    let reserved = VcId(raw.cfg.vcs_per_vnet - 1);
+    let (ids, ranges, coords) = raw.cycle();
+    let topo = raw.topo();
+    // SAFETY: the route phase only reads the table; no MetaRaw writes occur
+    // anywhere until the phase barrier.
+    let meta: &MetaTable = unsafe { &*raw.meta_table };
+    // SAFETY: the routing object is shared read-only (Routing: Sync).
+    let routing: &dyn Routing = unsafe { &*raw.routing };
+    let rwork = std::mem::take(&mut ctx.rwork);
+    for &k in &rwork {
+        let k = k as usize;
+        let ri = ids[k];
+        let i = ri as usize;
+        let (lo, hi) = ranges[k];
+        if lo == hi {
+            continue; // idle router (dense-oracle mode visits them all)
+        }
+        let rid = RouterId(ri);
+        for &(p, vn, v) in &coords[lo as usize..hi as usize] {
+            // SAFETY: router i belongs to this shard; phase is read-only.
+            let router = unsafe { raw.router_ref(i) };
+            let vcb = router.vc(p, vn, v);
+            let Some(pb) = vcb.head() else { continue };
+            if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.received == 0 {
+                continue;
+            }
+            if !pb.choices.is_empty() {
+                let stuck = pb
+                    .head_since
+                    .map(|t| now.saturating_sub(t) >= raw.cfg.route_stick_after)
+                    .unwrap_or(false);
+                if stuck {
+                    continue;
+                }
+            }
+            let handle = pb.handle;
+            // SAFETY: read-only header access; headers are not mutated
+            // during the route phase.
+            let pkt = unsafe { raw.store.get(handle) };
+            let view = NetView {
+                topo,
+                meta,
+                now,
+                vcs: raw.cfg.vcs_per_vnet,
+                hidden_vc: if raw.cfg.static_bubble && v != reserved {
+                    Some(reserved)
+                } else {
+                    None
+                },
+            };
+            let escape = raw.cfg.static_bubble && v == reserved;
+            let prepared = if escape {
+                XyRouting.route_prepare(&view, rid, p, pkt)
+            } else {
+                routing.route_prepare(&view, rid, p, pkt)
+            };
+            ctx.pend.push(PendRoute {
+                router: ri,
+                p,
+                vn,
+                v,
+                prepared,
+                escape,
+            });
+        }
+    }
+    ctx.rwork = rwork;
+}
+
+/// Phase 5 worker: VC allocation over this shard's routers (mirrors
+/// `Network::vc_allocate`). Direct cross-shard meta writes are sound here:
+/// every row read or written belongs to this router as unique upstream.
+#[allow(unsafe_code)]
+fn p5_vc_alloc(raw: RawNet, ctx: &mut ShardCtx) {
+    let now = raw.now;
+    ctx.p5_traces.clear();
+    ctx.d = StatsDelta::default();
+    let reserved = VcId(raw.cfg.vcs_per_vnet - 1);
+    let (ids, ranges, coords) = raw.cycle();
+    let topo = raw.topo();
+    let rwork = std::mem::take(&mut ctx.rwork);
+    for &k in &rwork {
+        let k = k as usize;
+        let ri = ids[k];
+        let i = ri as usize;
+        let (lo, hi) = ranges[k];
+        if lo == hi {
+            continue; // idle router (dense-oracle mode visits them all)
+        }
+        let rid = RouterId(ri);
+        for &(p, vn, v) in &coords[lo as usize..hi as usize] {
+            // SAFETY: router i belongs to this shard.
+            let router = unsafe { raw.router(i) };
+            let vcb = router.vc(p, vn, v);
+            let Some(pb) = vcb.head() else { continue };
+            if pb.out.is_some() || vcb.frozen || vcb.spinning || pb.choices.is_empty() {
+                continue;
+            }
+            let grant = raw.cfg.static_bubble
+                && pb
+                    .head_since
+                    .map(|since| now.saturating_sub(since) >= raw.cfg.bubble_timeout)
+                    .unwrap_or(false);
+            let mut alloc: Option<(PortId, VcId)> = None;
+            'outer: for pass in 0..=(grant as usize) {
+                for c in &pb.choices {
+                    let mask = if pass == 0 {
+                        c.vc_mask
+                    } else {
+                        VcMask::only(reserved)
+                    };
+                    let port = topo.port(rid, c.out_port);
+                    if port.is_local() {
+                        alloc = Some((c.out_port, VcId(0)));
+                        break 'outer;
+                    }
+                    let Some(peer) = port.conn else { continue };
+                    let needs_bubble =
+                        raw.cfg.bubble_flow_control && hop_needs_bubble(topo, rid, p, c.out_port);
+                    if needs_bubble {
+                        let free = (0..raw.cfg.vcs_per_vnet)
+                            .filter(|&v| {
+                                // SAFETY: rows downstream of this router's
+                                // out-port — unique-upstream owned.
+                                unsafe { raw.meta.allocatable(peer.router, peer.port, vn, VcId(v)) }
+                            })
+                            .count();
+                        if free < 2 {
+                            continue;
+                        }
+                    }
+                    for tv in 0..raw.cfg.vcs_per_vnet {
+                        let tv = VcId(tv);
+                        if !mask.contains(tv) {
+                            continue;
+                        }
+                        // SAFETY: unique-upstream owned rows (reads and the
+                        // reserve write below).
+                        if unsafe { raw.meta.allocatable(peer.router, peer.port, vn, tv) } {
+                            // SAFETY: as above.
+                            unsafe { raw.meta.reserve(now, peer.router, peer.port, vn, tv) };
+                            alloc = Some((c.out_port, tv));
+                            if grant && tv == reserved {
+                                ctx.d.bubble_grants += 1;
+                            }
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if let Some(out) = alloc {
+                let handle = {
+                    let pb = router
+                        .vc_mut(p, vn, v)
+                        .head_mut()
+                        .expect("head still present");
+                    pb.out = Some(out);
+                    pb.handle
+                };
+                if raw.trace_on {
+                    // SAFETY: read-only header access (headers are not
+                    // mutated during VC allocation).
+                    let packet = unsafe { raw.store.get(handle) }.id;
+                    ctx.p5_traces.push((
+                        ri,
+                        TraceEvent::VcAllocated {
+                            packet,
+                            router: rid,
+                            out_port: out.0,
+                            vc: out.1,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    ctx.rwork = rwork;
+}
+
+/// Phase 6 worker: switch allocation + traversal over this shard's routers
+/// (mirrors `Network::switch_traverse` + `send_flit`), with every meta/stat
+/// op on potentially-contended rows deferred into the keyed op log.
+#[allow(unsafe_code)]
+fn p6_switch(raw: RawNet, ctx: &mut ShardCtx) {
+    debug_assert!(
+        raw.cfg.switching == Switching::VirtualCutThrough,
+        "wormhole reads mid-phase credits; the builder clamps it to 1 shard"
+    );
+    ctx.p6_ops.clear();
+    ctx.links_woken.clear();
+    let (ids, ranges, coords) = raw.cycle();
+    let topo = raw.topo();
+    let mut cand_ports = std::mem::take(&mut ctx.ports_scratch);
+    let rwork = std::mem::take(&mut ctx.rwork);
+    for &k in &rwork {
+        let k = k as usize;
+        let ri = ids[k];
+        let i = ri as usize;
+        let (lo, hi) = ranges[k];
+        if lo == hi {
+            continue; // idle router (dense-oracle mode visits them all)
+        }
+        let rid = RouterId(ri);
+        let rc = &coords[lo as usize..hi as usize];
+        // Ejection: stall-free, unbounded bandwidth.
+        for &(p, vn, v) in rc {
+            // SAFETY: router i belongs to this shard.
+            let router = unsafe { raw.router_ref(i) };
+            let vcb = router.vc(p, vn, v);
+            let Some(pb) = vcb.head() else { continue };
+            let Some((op, _)) = pb.out else { continue };
+            if topo.port(rid, op).is_local() && pb.flit_available() {
+                shard_send_flit(raw, ctx, ri, p, vn, v, op, VcId(0), false);
+            }
+        }
+        cand_ports.clear();
+        if raw.dense {
+            cand_ports.extend(0..topo.radix(rid) as u8);
+        } else {
+            for &(p, vn, v) in rc {
+                // SAFETY: as above.
+                let router = unsafe { raw.router_ref(i) };
+                let vcb = router.vc(p, vn, v);
+                let want = if vcb.spinning {
+                    vcb.frozen_out
+                } else if vcb.frozen {
+                    None
+                } else {
+                    vcb.head().and_then(|pb| pb.out.map(|(op, _)| op))
+                };
+                if let Some(op) = want {
+                    if !cand_ports.contains(&op.0) {
+                        cand_ports.push(op.0);
+                    }
+                }
+            }
+            cand_ports.sort_unstable();
+        }
+        for &cp in &cand_ports {
+            let op_idx = cp as usize;
+            let op = PortId(cp);
+            if !topo.port(rid, op).is_network() {
+                continue;
+            }
+            if raw.sm_busy().contains(&(rid.0, op.0)) {
+                continue;
+            }
+            // SAFETY: as above.
+            let router = unsafe { raw.router_ref(i) };
+            let spin_vc = rc.iter().copied().find(|&(p, vn, v)| {
+                let vcb = router.vc(p, vn, v);
+                vcb.spinning
+                    && vcb.frozen_out == Some(op)
+                    && vcb.head().map(|pb| pb.flit_available()).unwrap_or(false)
+            });
+            if let Some((p, vn, v)) = spin_vc {
+                shard_send_flit(raw, ctx, ri, p, vn, v, op, VcId(0), true);
+                continue;
+            }
+            let n = rc.len();
+            let start = router.sa_rr[op_idx] % n;
+            let mut winner = None;
+            for k in 0..n {
+                let (p, vn, v) = rc[(start + k) % n];
+                let vcb = router.vc(p, vn, v);
+                if vcb.frozen || vcb.spinning {
+                    continue;
+                }
+                let Some(pb) = vcb.head() else { continue };
+                let Some((pout, tvc)) = pb.out else { continue };
+                if pout != op || !pb.flit_available() {
+                    continue;
+                }
+                winner = Some(((p, vn, v), tvc, (start + k) % n));
+                break;
+            }
+            if let Some(((p, vn, v), tvc, pos)) = winner {
+                // SAFETY: as above (now mutably, for the rr pointer).
+                unsafe { raw.router(i) }.sa_rr[op_idx] = (pos + 1) % n;
+                shard_send_flit(raw, ctx, ri, p, vn, v, op, tvc, false);
+            }
+        }
+    }
+    ctx.ports_scratch = cand_ports;
+    ctx.rwork = rwork;
+}
+
+/// Phase 6 worker send: mirrors `Network::send_flit` with the link-use
+/// stat, metrics hook and all meta ops deferred into the keyed op log (the
+/// sender's own buffer/link mutations happen in place).
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+fn shard_send_flit(
+    raw: RawNet,
+    ctx: &mut ShardCtx,
+    ri: u32,
+    p: PortId,
+    vn: Vnet,
+    v: VcId,
+    out_port: PortId,
+    tvc: VcId,
+    spin: bool,
+) {
+    let now = raw.now;
+    let i = ri as usize;
+    let rid = RouterId(ri);
+    // SAFETY: the sending router belongs to this shard.
+    let router = unsafe { raw.router(i) };
+    let (flit, is_tail, fully_sent) = {
+        let pb = router
+            .vc_mut(p, vn, v)
+            .head_mut()
+            .expect("send_flit requires a head packet");
+        let flit = Flit::new(pb.handle, pb.sent, pb.len);
+        pb.sent += 1;
+        (flit, flit.kind.is_tail(), pb.fully_sent())
+    };
+    let port = raw.topo().port(rid, out_port);
+    if let Some(peer) = port.conn {
+        ctx.p6_ops.push((
+            ri,
+            P6Op::LinkFlit {
+                r: rid,
+                p: out_port,
+            },
+        ));
+        if spin {
+            ctx.p6_ops.push((
+                ri,
+                P6Op::SpinInflight {
+                    r: peer.router,
+                    p: peer.port,
+                    vn,
+                },
+            ));
+        } else {
+            ctx.p6_ops.push((
+                ri,
+                P6Op::Wire {
+                    r: peer.router,
+                    p: peer.port,
+                    vn,
+                    vc: tvc,
+                    tail: is_tail,
+                },
+            ));
+        }
+    }
+    let lid = raw.link_base(i) + out_port.index() as u32;
+    // SAFETY: a router's out-links are touched only by the sending shard in
+    // this phase (links are partitioned sender-side here, receiver-side in
+    // delivery; the phases never overlap).
+    unsafe { raw.out_link(lid as usize) }.send(
+        now,
+        Phit::Flit {
+            flit,
+            vc: tvc,
+            vnet: vn,
+            spin,
+        },
+    );
+    ctx.links_woken.push(lid);
+    ctx.p6_ops.push((
+        ri,
+        P6Op::OccAdd {
+            r: rid,
+            p,
+            vn,
+            vc: v,
+        },
+    ));
+    if fully_sent {
+        let vcb = router.vc_mut(p, vn, v);
+        vcb.q.pop_front();
+        if spin {
+            vcb.spinning = false;
+            vcb.frozen = false;
+            vcb.frozen_out = None;
+        }
+        if let Some(next) = vcb.head_mut() {
+            next.head_since = None;
+        }
+        if router.vc(p, vn, v).q.is_empty() {
+            router.note_emptied(p, vn, v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Main-thread orchestration: partition builders, phase dispatch, merges.
+// ---------------------------------------------------------------------------
+
+impl Network {
+    /// Number of shards the step kernel runs across (1 = serial).
+    pub fn shards(&self) -> usize {
+        self.sharding.as_ref().map_or(1, |s| s.plan.shards)
+    }
+
+    /// Name of the partitioner driving the sharded kernel (`None` when
+    /// stepping serially).
+    pub fn partitioner_name(&self) -> Option<&'static str> {
+        self.sharding.as_ref().map(|s| s.partitioner.name())
+    }
+
+    /// The sharded cycle: the serial spine of [`Network::step_serial`] with
+    /// the five data-parallel stages fanned out over the worker pool and
+    /// merged back in serial order.
+    pub(crate) fn step_sharded(&mut self) {
+        let mut st = self
+            .sharding
+            .take()
+            .expect("step_sharded requires shard state");
+        self.now += 1;
+        self.apply_faults();
+        self.classify_cache = None;
+        self.sm_busy.clear();
+        self.pending_sms.clear();
+        self.partition_lids(&mut st);
+        self.run_phase_sharded(&mut st, Phase::Deliver);
+        self.merge_deliver(&mut st);
+        self.build_coord_cache();
+        self.build_router_partitions(&mut st);
+        self.process_sms();
+        self.agents_tick();
+        self.resolve_sms();
+        self.generate_packets();
+        self.partition_nics(&mut st);
+        self.run_phase_sharded(&mut st, Phase::Inject);
+        self.merge_inject(&mut st);
+        self.run_phase_sharded(&mut st, Phase::Route);
+        self.merge_route(&mut st);
+        self.run_phase_sharded(&mut st, Phase::VcAlloc);
+        self.merge_vc_alloc(&mut st);
+        self.run_phase_sharded(&mut st, Phase::Switch);
+        self.merge_switch(&mut st);
+        self.spin_completions();
+        self.prune_idle_routers();
+        self.stats.cycles = self.now;
+        self.stats.link_use.total += self.num_network_links;
+        if let Some(m) = &mut self.metrics {
+            if m.epoch_due(self.now) {
+                let mut snap = Vec::new();
+                self.meta.occupancy_snapshot_into(&mut snap);
+                m.rollover(self.now, snap);
+            }
+        }
+        self.sharding = Some(st);
+    }
+
+    /// Captures the raw view and runs one phase across every shard.
+    fn run_phase_sharded(&mut self, st: &mut ShardState, phase: Phase) {
+        let raw = RawNet::capture(self);
+        let job = Job {
+            raw,
+            ctxs: st.ctxs.as_mut_ptr(),
+            phase,
+        };
+        st.pool.run(job);
+    }
+
+    /// Splits this cycle's link worklist by receiver shard (each shard's
+    /// list stays ascending because the source worklist is).
+    fn partition_lids(&mut self, st: &mut ShardState) {
+        for c in &mut st.ctxs {
+            c.lids.clear();
+        }
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        if self.dense_step {
+            ids.extend(0..self.inj_base + self.inj_links.len() as u32);
+        } else {
+            self.active_links.sorted_into(&mut ids);
+        }
+        for &lid in &ids {
+            st.ctxs[st.plan.lid_owner[lid as usize] as usize]
+                .lids
+                .push(lid);
+        }
+        self.scratch_ids = ids;
+    }
+
+    /// Splits this cycle's NIC worklist by attach shard (ascending).
+    fn partition_nics(&mut self, st: &mut ShardState) {
+        for c in &mut st.ctxs {
+            c.nic_ids.clear();
+        }
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        if self.dense_step {
+            ids.extend(0..self.nics.len() as u32);
+        } else {
+            self.active_nics.sorted_into(&mut ids);
+        }
+        for &nid in &ids {
+            st.ctxs[st.plan.nic_owner[nid as usize] as usize]
+                .nic_ids
+                .push(nid);
+        }
+        self.scratch_ids = ids;
+    }
+
+    /// Splits this cycle's router worklist (`cycle_ids` indices) by shard;
+    /// shared by the route / VC-allocation / switch phases.
+    fn build_router_partitions(&mut self, st: &mut ShardState) {
+        for c in &mut st.ctxs {
+            c.rwork.clear();
+        }
+        for (k, &ri) in self.cycle_ids.iter().enumerate() {
+            st.ctxs[st.plan.shard_of_router[ri as usize] as usize]
+                .rwork
+                .push(k as u32);
+        }
+    }
+
+    /// Delivery merge: rebuild the link worklist, apply wakeups and stat
+    /// deltas, then replay the deferred events in flat-link-id order — the
+    /// exact serial interleave of hop traces and tail ejections.
+    fn merge_deliver(&mut self, st: &mut ShardState) {
+        let ShardState {
+            ctxs, ev_scratch, ..
+        } = st;
+        ev_scratch.clear();
+        self.active_links.clear();
+        for c in ctxs.iter_mut() {
+            for &lid in &c.links_kept {
+                self.active_links.insert(lid as usize);
+            }
+            for &r in &c.routers_woken {
+                self.active_routers.insert(r as usize);
+            }
+            self.stats.spin_orphans += c.d.spin_orphans;
+            self.stats.overflow_events += c.d.overflow_events;
+            ev_scratch.append(&mut c.p1_events);
+        }
+        // Stable: each shard's log is ascending by lid with program order
+        // within a lid, so the merged order is the serial delivery order.
+        ev_scratch.sort_by_key(|&(lid, _)| lid);
+        for (_, ev) in ev_scratch.drain(..) {
+            match ev {
+                P1Event::Hop(e) => self.emit(e),
+                P1Event::Eject { node, flit } => self.eject_flit(node, flit),
+            }
+        }
+    }
+
+    /// Streaming merge: rebuild the NIC worklist, wake injection links,
+    /// apply stat deltas and replay `PacketInject` traces in NIC order.
+    fn merge_inject(&mut self, st: &mut ShardState) {
+        let ShardState {
+            ctxs,
+            trace_scratch,
+            ..
+        } = st;
+        trace_scratch.clear();
+        self.active_nics.clear();
+        for c in ctxs.iter_mut() {
+            for &nid in &c.nics_kept {
+                self.active_nics.insert(nid as usize);
+            }
+            for &lid in &c.links_woken {
+                self.active_links.insert(lid as usize);
+            }
+            self.stats.packets_injected += c.d.packets_injected;
+            self.stats.flits_injected += c.d.flits_injected;
+            if let Some(m) = &mut self.metrics {
+                for _ in 0..c.d.packets_injected {
+                    m.on_packet_injected();
+                }
+                for _ in 0..c.d.flits_injected {
+                    m.on_flit_injected();
+                }
+            }
+            trace_scratch.append(&mut c.p3_traces);
+        }
+        trace_scratch.sort_by_key(|&(nid, _)| nid);
+        for (_, ev) in trace_scratch.drain(..) {
+            self.emit(ev);
+        }
+    }
+
+    /// Route merge: complete every prepared route in ascending router order
+    /// — the serial iteration order — so the shared RNG consumes draws in
+    /// exactly the serial sequence, then write the choices back.
+    fn merge_route(&mut self, st: &mut ShardState) {
+        let ShardState {
+            ctxs, pend_scratch, ..
+        } = st;
+        pend_scratch.clear();
+        for c in ctxs.iter_mut() {
+            pend_scratch.append(&mut c.pend);
+        }
+        // Stable: within a router the entries are in coord (program) order.
+        pend_scratch.sort_by_key(|pr| pr.router);
+        let now = self.now;
+        let reserved = VcId(self.cfg.vcs_per_vnet - 1);
+        for pr in pend_scratch.drain(..) {
+            let mut choices = finish_prepared(pr.prepared, &mut self.rng);
+            if pr.escape {
+                for choice in &mut choices {
+                    if self
+                        .topo
+                        .port(RouterId(pr.router), choice.out_port)
+                        .is_network()
+                    {
+                        choice.vc_mask = VcMask::only(reserved);
+                    }
+                }
+            }
+            let pb = self.routers[pr.router as usize]
+                .vc_mut(pr.p, pr.vn, pr.v)
+                .head_mut()
+                .expect("head still present");
+            pb.choices = choices;
+            if pb.head_since.is_none() {
+                pb.head_since = Some(now);
+            }
+        }
+    }
+
+    /// VC-allocation merge: stat deltas plus `VcAllocated` traces replayed
+    /// in router order.
+    fn merge_vc_alloc(&mut self, st: &mut ShardState) {
+        let ShardState {
+            ctxs,
+            trace_scratch,
+            ..
+        } = st;
+        trace_scratch.clear();
+        for c in ctxs.iter_mut() {
+            self.stats.bubble_grants += c.d.bubble_grants;
+            trace_scratch.append(&mut c.p5_traces);
+        }
+        trace_scratch.sort_by_key(|&(ri, _)| ri);
+        for (_, ev) in trace_scratch.drain(..) {
+            self.emit(ev);
+        }
+    }
+
+    /// Switch merge: apply the deferred meta/stat ops in sender-router
+    /// order — the serial send order — and wake the sending links.
+    fn merge_switch(&mut self, st: &mut ShardState) {
+        let ShardState {
+            ctxs, op_scratch, ..
+        } = st;
+        op_scratch.clear();
+        for c in ctxs.iter_mut() {
+            for &lid in &c.links_woken {
+                self.active_links.insert(lid as usize);
+            }
+            op_scratch.append(&mut c.p6_ops);
+        }
+        // Stable: within a sender the ops are in send (program) order.
+        op_scratch.sort_by_key(|&(ri, _)| ri);
+        let now = self.now;
+        for (_, op) in op_scratch.drain(..) {
+            match op {
+                P6Op::LinkFlit { r, p } => {
+                    self.stats.link_use.flit += 1;
+                    if let Some(m) = &mut self.metrics {
+                        m.on_link_flit(r, p);
+                    }
+                }
+                P6Op::Wire { r, p, vn, vc, tail } => {
+                    self.meta.wire(now, r, p, vn, vc, tail);
+                }
+                P6Op::SpinInflight { r, p, vn } => {
+                    self.meta.spin_inflight_add(r, p, vn, 1);
+                }
+                P6Op::OccAdd { r, p, vn, vc } => {
+                    self.meta.occ_add(now, r, p, vn, vc, -1);
+                }
+            }
+        }
+    }
+}

@@ -134,6 +134,89 @@ impl PacketStore {
     pub(crate) fn capacity(&self) -> usize {
         self.slots.len()
     }
+
+    /// Raw-pointer view for the sharded kernel's worker phases. Taking
+    /// `&mut self` guarantees exclusive access at capture time; the caller
+    /// upholds the aliasing discipline from then on (see [`StoreRaw`]).
+    #[allow(unsafe_code)]
+    pub(crate) fn raw(&mut self) -> StoreRaw {
+        StoreRaw {
+            slots: self.slots.as_mut_ptr(),
+        }
+    }
+}
+
+/// Unsafe elementwise view of a [`PacketStore`] for the sharded kernel:
+/// handle-indexed access to individual slots with the same
+/// generation-check panics as the safe accessors. No insert/remove — slot
+/// allocation stays serial, so the slab never reallocates while a
+/// `StoreRaw` is live.
+///
+/// # Safety contract (applies to every method)
+///
+/// * The originating `PacketStore` must outlive every use, with no
+///   insert/remove (and hence no reallocation or generation bump) while
+///   any `StoreRaw` is live.
+/// * Concurrent callers must never pass the same handle to `get_mut`: the
+///   sharded kernel guarantees this because a packet header is only
+///   mutated by the shard that owns the arrival/injection event naming it,
+///   and a handle is owned by exactly one in-flight event per phase.
+#[derive(Debug, Clone, Copy)]
+#[allow(unsafe_code)]
+pub(crate) struct StoreRaw {
+    slots: *mut Slot,
+}
+
+// SAFETY: StoreRaw is a raw pointer bundle; all dereferences are unsafe
+// methods whose callers uphold the handle-disjointness contract above.
+#[allow(unsafe_code)]
+unsafe impl Send for StoreRaw {}
+// SAFETY: as for Send — shared references expose no safe mutation; all
+// access goes through unsafe methods with the same contract.
+#[allow(unsafe_code)]
+unsafe impl Sync for StoreRaw {}
+
+#[allow(unsafe_code)]
+impl StoreRaw {
+    /// The header for `h`, read-only.
+    ///
+    /// # Safety
+    /// `h.slot()` in-bounds for the originating store; no concurrent
+    /// `get_mut` on the same handle.
+    ///
+    /// # Panics
+    /// Panics on a stale handle, like [`PacketStore::get`].
+    #[inline]
+    pub(crate) unsafe fn get<'a>(self, h: PacketHandle) -> &'a Packet {
+        // SAFETY: per the method contract; replicates PacketStore::get.
+        let s = unsafe { &*self.slots.add(h.slot() as usize) };
+        assert!(
+            s.generation == h.generation(),
+            "stale packet handle {h}: slot is at generation {}",
+            s.generation
+        );
+        s.packet.as_ref().expect("live generation but empty slot")
+    }
+
+    /// The header for `h`, mutable.
+    ///
+    /// # Safety
+    /// `h.slot()` in-bounds; this call has exclusive access to the slot
+    /// (no concurrent `get`/`get_mut` on the same handle).
+    ///
+    /// # Panics
+    /// Panics on a stale handle, like [`PacketStore::get_mut`].
+    #[inline]
+    pub(crate) unsafe fn get_mut<'a>(self, h: PacketHandle) -> &'a mut Packet {
+        // SAFETY: per the method contract; replicates PacketStore::get_mut.
+        let s = unsafe { &mut *self.slots.add(h.slot() as usize) };
+        assert!(
+            s.generation == h.generation(),
+            "stale packet handle {h}: slot is at generation {}",
+            s.generation
+        );
+        s.packet.as_mut().expect("live generation but empty slot")
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,283 @@
+//! Differential "oracle" tests for the sharded step kernel.
+//!
+//! Determinism is the contract: for every shard count the sharded kernel
+//! must be *bit-identical* to the serial worklist kernel — same
+//! [`NetStats`], same structured trace stream record-for-record (which pins
+//! RNG draw order: adaptive route draws consume the one shared `StdRng`, so
+//! a single out-of-order draw cascades into visibly different traces), same
+//! activity bookkeeping. Every scenario builds a serial reference plus
+//! sharded twins at 2, 4 and 8 shards from the identical seed and steps
+//! them all in lockstep.
+//!
+//! The dense-oracle composition test additionally crosses `SPIN_DENSE_STEP`
+//! with sharding: the dense reference walk fans out over the same shard
+//! partitions, so the two orthogonal kernel modes must compose.
+
+use spin_core::SpinConfig;
+use spin_routing::FavorsMinimal;
+use spin_sim::{
+    ContiguousPartitioner, CoordBlockPartitioner, FaultPlan, Network, NetworkBuilder, Partitioner,
+    SimConfig,
+};
+use spin_topology::Topology;
+use spin_trace::VecSink;
+use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_types::{PortId, RouterId};
+
+/// Builds one network for a scenario: `shards = 1` is the serial reference.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    topo: &Topology,
+    rate: f64,
+    seed: u64,
+    spin: SpinConfig,
+    plan: FaultPlan,
+    shards: usize,
+    dense: bool,
+    partitioner: Option<Box<dyn Partitioner>>,
+) -> Network {
+    let traffic = SyntheticTraffic::new(
+        SyntheticConfig::new(Pattern::UniformRandom, rate),
+        topo,
+        seed,
+    );
+    let mut b = NetworkBuilder::new(topo.clone())
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 1,
+            seed,
+            ..SimConfig::default()
+        })
+        .routing(FavorsMinimal)
+        .traffic(traffic)
+        .spin(spin)
+        .faults(plan)
+        .trace_sink(Box::new(VecSink::new()))
+        .dense_step(dense)
+        .shards(shards);
+    if let Some(p) = partitioner {
+        b = b.partitioner(p);
+    }
+    b.build()
+}
+
+/// Steps the serial reference and every sharded twin in lockstep, checking
+/// stats equality every `check_every` cycles and full trace equality at the
+/// end.
+fn lockstep(
+    mut serial: Network,
+    mut sharded: Vec<Network>,
+    cycles: u64,
+    check_every: u64,
+    what: &str,
+) {
+    for net in &sharded {
+        assert!(net.shards() > 1, "{what}: twin did not actually shard");
+    }
+    for c in 0..cycles {
+        serial.step();
+        for net in &mut sharded {
+            net.step();
+        }
+        if c % check_every == 0 || c + 1 == cycles {
+            let want = serial.stats();
+            for net in &sharded {
+                assert_eq!(
+                    want,
+                    net.stats(),
+                    "{what}: NetStats diverged from serial at cycle {c} ({} shards)",
+                    net.shards()
+                );
+                net.activity_invariants().unwrap_or_else(|e| {
+                    panic!(
+                        "{what}: invariant broken at cycle {c} ({} shards): {e}",
+                        net.shards()
+                    )
+                });
+            }
+        }
+    }
+    let want = serial.trace_events().expect("VecSink retains events");
+    for net in &sharded {
+        let got = net.trace_events().expect("VecSink retains events");
+        assert_eq!(
+            want.len(),
+            got.len(),
+            "{what}: trace lengths diverged ({} shards)",
+            net.shards()
+        );
+        for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+            assert_eq!(
+                a,
+                b,
+                "{what}: trace record {i} diverged ({} shards)",
+                net.shards()
+            );
+        }
+    }
+}
+
+fn scenario(
+    topo: &Topology,
+    rate: f64,
+    seed: u64,
+    spin: SpinConfig,
+    plan: FaultPlan,
+    cycles: u64,
+    what: &str,
+) {
+    let serial = build(topo, rate, seed, spin, plan.clone(), 1, false, None);
+    let sharded = [2usize, 4, 8]
+        .into_iter()
+        .map(|s| build(topo, rate, seed, spin, plan.clone(), s, false, None))
+        .collect();
+    lockstep(serial, sharded, cycles, 50, what);
+}
+
+/// The seeded 4x4 mesh far past saturation: deterministically deadlocks,
+/// probes and spins, so shard equivalence here covers the frozen-VC
+/// bookkeeping, spin streaming and the whole SPIN engine interleave.
+#[test]
+fn mesh_deadlock_scenario_is_shard_invariant() {
+    let topo = Topology::mesh(4, 4);
+    let spin = SpinConfig {
+        t_dd: 64,
+        ..SpinConfig::default()
+    };
+    scenario(
+        &topo,
+        0.40,
+        7,
+        spin,
+        FaultPlan::new(),
+        2_000,
+        "mesh deadlock",
+    );
+}
+
+/// The 64-node dragonfly at moderate load: multi-hop global channels, a
+/// different radix mix, and adaptive (UGAL-style) route draws whose RNG
+/// order the route merge must replay exactly.
+#[test]
+fn dragonfly_run_is_shard_invariant() {
+    let topo = Topology::dragonfly(2, 4, 2, 8);
+    scenario(
+        &topo,
+        0.10,
+        13,
+        SpinConfig::default(),
+        FaultPlan::new(),
+        1_500,
+        "dragonfly",
+    );
+}
+
+/// An 8x8 mesh with mid-run link kills and later heals: faults rewire live
+/// state between cycles, and the shard ownership maps (built as-built) must
+/// stay correct across the kill/heal lifecycle.
+#[test]
+fn fault_kill_and_heal_are_shard_invariant() {
+    let topo = Topology::mesh(8, 8);
+    let plan = FaultPlan::new()
+        .kill(400, RouterId(27), PortId(2))
+        .kill(500, RouterId(12), PortId(1))
+        .heal(900, RouterId(27), PortId(2))
+        .heal(1_100, RouterId(12), PortId(1));
+    scenario(
+        &topo,
+        0.12,
+        11,
+        SpinConfig::default(),
+        plan,
+        1_800,
+        "fault kill/heal",
+    );
+}
+
+/// Dense-oracle mode composes with sharding: the dense reference walk fans
+/// the full entity ranges out over the shard partitions and must still be
+/// bit-identical to the serial dense walk.
+#[test]
+fn dense_mode_composes_with_sharding() {
+    let topo = Topology::mesh(4, 4);
+    let spin = SpinConfig {
+        t_dd: 64,
+        ..SpinConfig::default()
+    };
+    let serial = build(&topo, 0.40, 7, spin, FaultPlan::new(), 1, true, None);
+    let sharded = [2usize, 4]
+        .into_iter()
+        .map(|s| build(&topo, 0.40, 7, spin, FaultPlan::new(), s, true, None))
+        .collect();
+    lockstep(serial, sharded, 1_200, 50, "dense x sharded");
+}
+
+/// The coordinate-block partitioner must produce the same results as the
+/// contiguous one (partitioning affects load balance, never outcomes), on
+/// a torus where its row-banding actually differs from contiguous bands.
+#[test]
+fn partitioner_choice_is_result_invariant() {
+    let topo = Topology::torus(6, 6);
+    let serial = build(
+        &topo,
+        0.15,
+        5,
+        SpinConfig::default(),
+        FaultPlan::new(),
+        1,
+        false,
+        None,
+    );
+    let sharded = vec![
+        build(
+            &topo,
+            0.15,
+            5,
+            SpinConfig::default(),
+            FaultPlan::new(),
+            3,
+            false,
+            Some(Box::new(ContiguousPartitioner)),
+        ),
+        build(
+            &topo,
+            0.15,
+            5,
+            SpinConfig::default(),
+            FaultPlan::new(),
+            3,
+            false,
+            Some(Box::new(CoordBlockPartitioner)),
+        ),
+    ];
+    lockstep(serial, sharded, 1_200, 50, "partitioner choice");
+}
+
+/// Shard counts above the router count clamp instead of exploding; the
+/// clamped build still matches serial.
+#[test]
+fn oversharding_clamps_to_router_count() {
+    let topo = Topology::ring(5);
+    let net = build(
+        &topo,
+        0.10,
+        3,
+        SpinConfig::default(),
+        FaultPlan::new(),
+        64,
+        false,
+        None,
+    );
+    assert_eq!(net.shards(), 5, "shards must clamp to the router count");
+    let serial = build(
+        &topo,
+        0.10,
+        3,
+        SpinConfig::default(),
+        FaultPlan::new(),
+        1,
+        false,
+        None,
+    );
+    lockstep(serial, vec![net], 800, 25, "oversharded ring");
+}
