@@ -16,6 +16,7 @@ use spin_routing::FavorsMinimal;
 use spin_sim::{Network, NetworkBuilder, SimConfig};
 use spin_topology::Topology;
 use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_verify::{FabricManager, DEFAULT_RING_CAP};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -32,12 +33,17 @@ const GATES: [(&str, f64, usize); 3] = [
     ("mesh8x8_saturated_0.45_shards4", 0.45, 4),
 ];
 const MAX_DROP: f64 = 0.10;
+/// Fault-free overhead budget for merely installing the online fabric
+/// manager (its admission work only runs on kill/heal events, so the hot
+/// step path must stay untouched). Checked in-process against the plain
+/// low-load point measured in the same run, which cancels machine speed.
+const MAX_FABRIC_OVERHEAD: f64 = 0.02;
 
-fn mesh8x8(rate: f64, shards: usize) -> Network {
+fn mesh8x8(rate: f64, shards: usize, fabric: bool) -> Network {
     let topo = Topology::mesh(8, 8);
     let traffic =
         SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
-    NetworkBuilder::new(topo)
+    let mut builder = NetworkBuilder::new(topo.clone())
         .config(SimConfig {
             vnets: 3,
             vcs_per_vnet: 1,
@@ -46,13 +52,23 @@ fn mesh8x8(rate: f64, shards: usize) -> Network {
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
-        .shards(shards)
-        .build()
+        .shards(shards);
+    if fabric {
+        builder = builder.fabric(Box::new(FabricManager::new(
+            "mesh8x8/favors_min",
+            topo,
+            Box::new(FavorsMinimal),
+            1,
+            true,
+            DEFAULT_RING_CAP,
+        )));
+    }
+    builder.build()
 }
 
-fn measure_ns_per_step(rate: f64, shards: usize) -> f64 {
+fn measure_ns_per_step(rate: f64, shards: usize, fabric: bool) -> f64 {
     let (warmup, batch, reps) = (2_000u64, 2_000u64, 5usize);
-    let mut net = mesh8x8(rate, shards);
+    let mut net = mesh8x8(rate, shards, fabric);
     net.run(warmup);
     let mut samples: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
@@ -61,7 +77,7 @@ fn measure_ns_per_step(rate: f64, shards: usize) -> f64 {
         black_box(net.now());
         samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(f64::total_cmp);
     samples[reps / 2]
 }
 
@@ -99,7 +115,7 @@ fn main() {
             eprintln!("perf gate: no ns_per_step_median for {config} in {BASELINE}");
             std::process::exit(1);
         };
-        let now_ns = measure_ns_per_step(rate, shards);
+        let now_ns = measure_ns_per_step(rate, shards, false);
         // Throughput is 1/ns: a drop of MAX_DROP means ns grew by
         // 1/(1-MAX_DROP).
         let limit_ns = base_ns / (1.0 - MAX_DROP);
@@ -121,6 +137,32 @@ fn main() {
             );
             failed = true;
         }
+    }
+    // Fault-free fabric-manager overhead: both sides measured here, in the
+    // same process, so machine speed cancels. Single runs still jitter by
+    // several percent (allocation layout, frequency steps), so the gate
+    // takes the median of interleaved plain/fabric pairs.
+    let mut ratios: Vec<f64> = (0..5)
+        .map(|_| measure_ns_per_step(0.05, 1, true) / measure_ns_per_step(0.05, 1, false))
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let overhead = ratios[ratios.len() / 2] - 1.0;
+    println!(
+        "perf gate (fabric manager, fault-free): median overhead {:+.2}% \
+         over {} interleaved pairs (limit +{:.0}%)",
+        overhead * 100.0,
+        ratios.len(),
+        MAX_FABRIC_OVERHEAD * 100.0
+    );
+    if overhead > MAX_FABRIC_OVERHEAD {
+        eprintln!(
+            "perf gate: FAIL — installing the fabric manager costs {:.2}% on the \
+             fault-free step path (limit {:.0}%); its admission work must stay \
+             off the hot path",
+            overhead * 100.0,
+            MAX_FABRIC_OVERHEAD * 100.0
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -17,14 +17,15 @@ use spin_routing::FavorsMinimal;
 use spin_sim::{Network, NetworkBuilder, SimConfig};
 use spin_topology::Topology;
 use spin_traffic::{Pattern, SyntheticConfig, SyntheticTraffic};
+use spin_verify::{FabricManager, DEFAULT_RING_CAP};
 use std::hint::black_box;
 use std::time::Instant;
 
-fn mesh8x8(rate: f64, shards: usize) -> Network {
+fn mesh8x8(rate: f64, shards: usize, fabric: bool) -> Network {
     let topo = Topology::mesh(8, 8);
     let traffic =
         SyntheticTraffic::new(SyntheticConfig::new(Pattern::UniformRandom, rate), &topo, 7);
-    NetworkBuilder::new(topo)
+    let mut builder = NetworkBuilder::new(topo.clone())
         .config(SimConfig {
             vnets: 3,
             vcs_per_vnet: 1,
@@ -33,14 +34,34 @@ fn mesh8x8(rate: f64, shards: usize) -> Network {
         .routing(FavorsMinimal)
         .traffic(traffic)
         .spin(SpinConfig::default())
-        .shards(shards)
-        .build()
+        .shards(shards);
+    if fabric {
+        // The online admission check only runs on kill/heal events; this
+        // fault-free point pins that merely installing the manager leaves
+        // the hot step path alone (the perf gate holds it to <2%).
+        builder = builder.fabric(Box::new(FabricManager::new(
+            "mesh8x8/favors_min",
+            topo,
+            Box::new(FavorsMinimal),
+            1,
+            true,
+            DEFAULT_RING_CAP,
+        )));
+    }
+    builder.build()
 }
 
 /// Times `batch` steps `reps` times on a warmed network; returns the
 /// per-batch nanosecond medians' midpoint (median of reps).
-fn time_config(rate: f64, shards: usize, warmup: u64, batch: u64, reps: usize) -> (f64, Vec<f64>) {
-    let mut net = mesh8x8(rate, shards);
+fn time_config(
+    rate: f64,
+    shards: usize,
+    fabric: bool,
+    warmup: u64,
+    batch: u64,
+    reps: usize,
+) -> (f64, Vec<f64>) {
+    let mut net = mesh8x8(rate, shards, fabric);
     net.run(warmup);
     let mut samples: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
@@ -66,16 +87,17 @@ fn main() {
     // a parallel step has work to fan out (low load would only measure the
     // phase-barrier overhead).
     let configs = [
-        ("mesh8x8_low_load_0.05", 0.05, 1),
-        ("mesh8x8_saturated_0.45", 0.45, 1),
-        ("mesh8x8_saturated_0.45_shards4", 0.45, 4),
+        ("mesh8x8_low_load_0.05", 0.05, 1, false),
+        ("mesh8x8_low_load_0.05_fabric", 0.05, 1, true),
+        ("mesh8x8_saturated_0.45", 0.45, 1, false),
+        ("mesh8x8_saturated_0.45_shards4", 0.45, 4, false),
     ];
     println!(
         "# step_throughput: ns per Network::step (median of {reps} x {batch}-cycle batches)\n"
     );
     let mut points = Vec::new();
-    for (name, rate, shards) in configs {
-        let (median, samples) = time_config(rate, shards, warmup, batch, reps);
+    for (name, rate, shards, fabric) in configs {
+        let (median, samples) = time_config(rate, shards, fabric, warmup, batch, reps);
         println!(
             "{name:<28} {median:10.1} ns/step  ({:.2} Msteps/s)",
             1e3 / median
@@ -84,6 +106,7 @@ fn main() {
             ("config", (*name).into()),
             ("rate", Json::Num(rate)),
             ("shards", Json::UInt(shards as u64)),
+            ("fabric", Json::Bool(fabric)),
             ("ns_per_step_median", Json::Num(median)),
             ("msteps_per_sec", Json::Num(1e3 / median)),
             (

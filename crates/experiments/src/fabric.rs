@@ -1,0 +1,553 @@
+//! The online fabric-manager campaign: rolling link kill/heal under load
+//! with every reconfiguration passing the incremental CDG re-certification
+//! admission check (`docs/FABRIC.md`).
+//!
+//! Each campaign point installs a [`FabricManager`] on one network and
+//! drives a seed-driven rolling kill/heal [`FaultPlan`] through warmup,
+//! injection and drain. Admitted reroutes go live between cycles;
+//! rejected ones quarantine the link with the previous tables retained.
+//! A point passes when the network drains (or was statically predicted
+//! not to — see [`FabricPoint::passes`]), packets are accounted for, and
+//! the live wait-graph never observed a deadlock the admitted CDG union
+//! called impossible (zero static-model violations — the "no uncertified
+//! deadlock" gate the `fabric_campaign` binary enforces with a nonzero
+//! exit).
+//!
+//! The campaign spans the admission spectrum: deadlock-free up*/down*
+//! (every reroute admitted), SPIN-certified recovery on a ring (admitted
+//! with certified bounds), cap-truncated ring enumeration on mesh and
+//! dragonfly (quarantined — never silently admitted), the ghops-only UGAL
+//! Dally discipline whose stranded walk states keep every kill
+//! quarantined and whose live run wedges exactly as predicted, and the
+//! VC-free full-mesh deroute scheme (admitted, no SPIN at all).
+
+use crate::json::{arr, obj, Json};
+use crate::parallel_map_with_threads;
+use spin_core::SpinConfig;
+use spin_routing::{FavorsMinimal, FullMeshDeroute, Routing, Ugal, UpDown};
+use spin_sim::{FabricEventReport, FaultPlan, Network, NetworkBuilder, SimConfig};
+use spin_topology::Topology;
+use spin_trace::FabricVerdict;
+use spin_traffic::{Pattern, StopAfter, SyntheticConfig, SyntheticTraffic};
+use spin_verify::{FabricManager, DEFAULT_RING_CAP};
+
+/// Time structure of one campaign point (same shape as the fault
+/// campaign: warmup, kill/heal-bearing injection window, drain gate).
+#[derive(Debug, Clone, Copy)]
+pub struct FabricRunParams {
+    /// Warmup cycles before the measurement window.
+    pub warmup: u64,
+    /// Injection cycles; all kills and heals land inside this window.
+    pub inject: u64,
+    /// Drain budget; failing to empty within it counts as wedged.
+    pub drain_cap: u64,
+    /// Step-kernel shard count (`None` = builder default). Results are
+    /// bit-identical at any value; the oracle test pins that.
+    pub shards: Option<usize>,
+}
+
+impl FabricRunParams {
+    /// Campaign scale: paper-shaped by default, smoke-sized with `quick`.
+    pub fn new(quick: bool) -> Self {
+        if quick {
+            FabricRunParams {
+                warmup: 300,
+                inject: 1_200,
+                drain_cap: 50_000,
+                shards: None,
+            }
+        } else {
+            FabricRunParams {
+                warmup: 1_000,
+                inject: 4_000,
+                drain_cap: 200_000,
+                shards: None,
+            }
+        }
+    }
+}
+
+/// One campaign case: a `(topology, routing, VCs)` config with its
+/// expected admission behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricCase {
+    /// 8x8 mesh, up*/down*: deadlock-free, every reroute admitted (and the
+    /// manager exercises the full-re-derivation fallback).
+    MeshUpDown,
+    /// 8x8 mesh, FAvORS-Min + SPIN: ring enumeration truncates at the cap,
+    /// so every reroute is quarantined even though SPIN could recover.
+    MeshFavorsMin,
+    /// 72-node dragonfly, UGAL free-VC + SPIN: truncated, quarantined.
+    DflyUgalSpin,
+    /// 72-node dragonfly, up*/down*: deadlock-free, admitted.
+    DflyUpDown,
+    /// 72-node dragonfly, UGAL with the ghops-only Dally discipline. The
+    /// manager's verdict on the *intact* fabric is already `stranded`:
+    /// hop-minimal tie paths can chain more global links than the 3-VC
+    /// ghops ladder covers, so some reachable positions have no grantable
+    /// VC at all. Every kill stays quarantined, and the live run is
+    /// expected to wedge — exactly what the static verdict predicts
+    /// (recovery cannot help; a stranded packet is not in a cycle).
+    DflyUgalDally,
+    /// 64-router full mesh, VC-free ascending deroutes: deadlock-free with
+    /// no SPIN at all; kills are admitted and fault-derouted around.
+    FullMesh64,
+    /// 8-ring, FAvORS-Min + SPIN: 2 rings, untruncated, certified spin
+    /// bounds — reroutes are admitted as `certified_recovery`.
+    Ring8FavorsMin,
+}
+
+/// All campaign cases in report order.
+pub const FABRIC_CASES: [FabricCase; 7] = [
+    FabricCase::MeshUpDown,
+    FabricCase::MeshFavorsMin,
+    FabricCase::DflyUgalSpin,
+    FabricCase::DflyUpDown,
+    FabricCase::DflyUgalDally,
+    FabricCase::FullMesh64,
+    FabricCase::Ring8FavorsMin,
+];
+
+impl FabricCase {
+    /// `(topology, routing)` labels for tables and JSON.
+    pub fn label(self) -> (&'static str, &'static str) {
+        match self {
+            FabricCase::MeshUpDown => ("mesh8x8", "up_down_1vc"),
+            FabricCase::MeshFavorsMin => ("mesh8x8", "favors_min_1vc_spin"),
+            FabricCase::DflyUgalSpin => ("dfly72", "ugal_1vc_spin"),
+            FabricCase::DflyUpDown => ("dfly72", "up_down_1vc"),
+            FabricCase::DflyUgalDally => ("dfly72", "ugal_dally_3vc"),
+            FabricCase::FullMesh64 => ("fullmesh64", "fm_deroute_1vc"),
+            FabricCase::Ring8FavorsMin => ("ring8", "favors_min_1vc_spin"),
+        }
+    }
+
+    fn topology(self) -> Topology {
+        match self {
+            FabricCase::MeshUpDown | FabricCase::MeshFavorsMin => Topology::mesh(8, 8),
+            FabricCase::DflyUgalSpin | FabricCase::DflyUpDown | FabricCase::DflyUgalDally => {
+                Topology::dragonfly(2, 4, 2, 9)
+            }
+            FabricCase::FullMesh64 => {
+                Topology::full_mesh(64, 1).expect("valid full-mesh parameters")
+            }
+            FabricCase::Ring8FavorsMin => Topology::ring(8),
+        }
+    }
+
+    fn routing(self) -> Box<dyn Routing> {
+        match self {
+            FabricCase::MeshUpDown | FabricCase::DflyUpDown => {
+                Box::new(UpDown::new(&self.topology()))
+            }
+            FabricCase::MeshFavorsMin | FabricCase::Ring8FavorsMin => Box::new(FavorsMinimal),
+            FabricCase::DflyUgalSpin => Box::new(Ugal::with_spin()),
+            FabricCase::DflyUgalDally => Box::new(Ugal::dally_baseline()),
+            FabricCase::FullMesh64 => Box::new(FullMeshDeroute),
+        }
+    }
+
+    fn vcs(self) -> u8 {
+        match self {
+            FabricCase::DflyUgalDally => 3,
+            _ => 1,
+        }
+    }
+
+    /// Whether the simulated network runs SPIN — which doubles as what the
+    /// manager is told about recovery certification. The Dally-discipline
+    /// case runs without SPIN: it models the pure avoidance baseline, and
+    /// its live failure mode is stranding (no grantable VC), which no
+    /// recovery scheme can resolve anyway.
+    fn spin(self) -> bool {
+        matches!(
+            self,
+            FabricCase::MeshFavorsMin | FabricCase::DflyUgalSpin | FabricCase::Ring8FavorsMin
+        )
+    }
+
+    fn rate(self) -> f64 {
+        // Well below every design's saturation knee: the campaign measures
+        // admission behaviour and degraded-mode delivery, and the drain
+        // gate needs fault-free headroom.
+        match self {
+            FabricCase::FullMesh64 => 0.05,
+            FabricCase::Ring8FavorsMin => 0.06,
+            _ => 0.08,
+        }
+    }
+
+    /// Kills scheduled per seed (each paired with a heal).
+    fn kills(self, quick: bool) -> usize {
+        let full = match self {
+            // A second concurrent ring kill would disconnect the line and
+            // be rejected before admission; three still exercises that
+            // runtime-rejection path once heals interleave.
+            FabricCase::Ring8FavorsMin => 3,
+            _ => 8,
+        };
+        if quick {
+            full.min(2)
+        } else {
+            full
+        }
+    }
+}
+
+/// One measured campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricPoint {
+    /// Topology label.
+    pub topo: String,
+    /// Routing label.
+    pub routing: String,
+    /// Seed of traffic and fault schedule.
+    pub seed: u64,
+    /// Kill/heal events scheduled by the plan.
+    pub events_scheduled: usize,
+    /// Verdict on the intact starting configuration.
+    pub initial_verdict: FabricVerdict,
+    /// Reroutes the manager admitted.
+    pub admitted: u64,
+    /// Reroutes the manager quarantined.
+    pub quarantined: u64,
+    /// Kills rejected before admission (they would disconnect the fabric).
+    pub kills_rejected: u64,
+    /// Links actually taken down.
+    pub links_killed: u64,
+    /// Links actually restored.
+    pub links_healed: u64,
+    /// Destinations re-walked across all admission events (the
+    /// deterministic reconfiguration-downtime total).
+    pub targets_rewalked: u64,
+    /// Per-event admission log from the manager.
+    pub events: Vec<FabricEventReport>,
+    /// Packets created / delivered / dropped-by-fault.
+    pub packets_created: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Packets destroyed because they were astride an admitted kill.
+    pub packets_dropped: u64,
+    /// SPIN recoveries over the whole run.
+    pub spins: u64,
+    /// The network emptied within the drain budget.
+    pub drained: bool,
+    /// Live wait-graph deadlocks the admitted CDG union could not explain
+    /// (the campaign gate: must be zero).
+    pub model_violations: Vec<String>,
+}
+
+impl FabricPoint {
+    /// The campaign invariant: packets accounted for, no uncertified
+    /// deadlock, and per-event downtime bounded by one full re-derivation.
+    /// A point must drain — except when the manager's verdict on the
+    /// *intact* fabric was already [`FabricVerdict::Stranded`]: such a
+    /// config has reachable positions with no live route, so wedging is
+    /// the statically predicted outcome (packets may be stuck in place,
+    /// but never lost).
+    pub fn passes(&self) -> bool {
+        let accounted = if self.drained {
+            self.packets_created == self.packets_delivered + self.packets_dropped
+        } else {
+            self.initial_verdict == FabricVerdict::Stranded
+                && self.packets_delivered + self.packets_dropped <= self.packets_created
+        };
+        accounted
+            && self.model_violations.is_empty()
+            && self
+                .events
+                .iter()
+                .all(|e| e.targets_rewalked <= e.total_targets)
+    }
+}
+
+/// Builds the network of one campaign point: a fabric manager mirroring
+/// the same `(topology, routing, VCs)` config, a rolling kill/heal plan
+/// inside the injection window, and traffic silenced at its end. Returns
+/// the network plus the manager's intact-fabric verdict and the number of
+/// scheduled kill/heal events.
+pub fn build_fabric_net(
+    case: FabricCase,
+    seed: u64,
+    params: FabricRunParams,
+) -> (Network, FabricVerdict, usize) {
+    let topo = case.topology();
+    let stop_at = params.warmup + params.inject;
+    // Short injection windows (smoke tests) get the quick-sized schedule.
+    let kills = case.kills(params.inject < 2_000);
+    // Kills spread over the first five-eighths of the window, each healed
+    // a quarter-window later: the fabric rolls through degraded states and
+    // back while traffic still runs.
+    let lo = params.warmup + params.inject / 8;
+    let hi = params.warmup + (params.inject / 8) * 5;
+    let plan = FaultPlan::random_kills(
+        &topo,
+        kills,
+        (lo, hi),
+        Some(params.inject / 4),
+        seed ^ 0xfab,
+    );
+    let scheduled = plan.len();
+    let (topo_label, routing_label) = case.label();
+    let manager = FabricManager::new(
+        format!("{topo_label}/{routing_label}"),
+        topo.clone(),
+        case.routing(),
+        case.vcs(),
+        case.spin(),
+        DEFAULT_RING_CAP,
+    );
+    let initial_verdict = manager.initial_verdict();
+    let traffic = StopAfter::new(
+        SyntheticTraffic::new(
+            SyntheticConfig::new(Pattern::UniformRandom, case.rate()),
+            &topo,
+            seed,
+        ),
+        stop_at,
+    );
+    let mut builder = NetworkBuilder::new(topo)
+        .config(SimConfig {
+            vnets: 3,
+            vcs_per_vnet: case.vcs(),
+            seed,
+            ..SimConfig::default()
+        })
+        .routing_box(case.routing())
+        .traffic(traffic)
+        .faults(plan)
+        .fabric(Box::new(manager));
+    if case.spin() {
+        builder = builder.spin(SpinConfig::default());
+    }
+    if let Some(shards) = params.shards {
+        builder = builder.shards(shards);
+    }
+    (builder.build(), initial_verdict, scheduled)
+}
+
+/// Runs one campaign point to completion and measures it.
+pub fn run_fabric_point(case: FabricCase, seed: u64, params: FabricRunParams) -> FabricPoint {
+    let (mut net, initial_verdict, scheduled) = build_fabric_net(case, seed, params);
+    net.run(params.warmup);
+    net.reset_measurement();
+    net.run(params.inject);
+    let drained = net.drain(params.drain_cap);
+    let s = net.stats();
+    let events: Vec<FabricEventReport> = net.fabric_events().to_vec();
+    let (topo, routing) = case.label();
+    FabricPoint {
+        topo: topo.to_string(),
+        routing: routing.to_string(),
+        seed,
+        events_scheduled: scheduled,
+        initial_verdict,
+        admitted: s.reroutes_admitted,
+        quarantined: s.reroutes_quarantined,
+        kills_rejected: s.link_kills_rejected,
+        links_killed: s.links_killed,
+        links_healed: s.links_healed,
+        targets_rewalked: s.fabric_targets_rewalked,
+        events,
+        packets_created: s.packets_created,
+        packets_delivered: s.packets_delivered,
+        packets_dropped: s.packets_dropped_by_fault,
+        spins: s.spins,
+        drained,
+        model_violations: net.static_model_violations().to_vec(),
+    }
+}
+
+/// The full campaign grid: every case x seeds, fanned out over `threads`
+/// workers; output order and content are independent of the thread count.
+pub fn run_fabric_campaign_with_threads(quick: bool, threads: usize) -> Vec<FabricPoint> {
+    let params = FabricRunParams::new(quick);
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2] };
+    let grid: Vec<(FabricCase, u64)> = FABRIC_CASES
+        .into_iter()
+        .flat_map(|case| seeds.iter().map(move |&s| (case, s)))
+        .collect();
+    parallel_map_with_threads(&grid, threads, |&(case, s)| {
+        run_fabric_point(case, s, params)
+    })
+}
+
+fn event_json(e: &FabricEventReport) -> Json {
+    obj(vec![
+        ("at", Json::UInt(e.at)),
+        ("action", e.action.name().into()),
+        ("router", Json::UInt(e.router.0 as u64)),
+        ("port", Json::UInt(e.port.0 as u64)),
+        ("admitted", Json::Bool(e.admitted)),
+        ("verdict", e.verdict.name().into()),
+        ("targets_rewalked", Json::UInt(e.targets_rewalked)),
+        ("total_targets", Json::UInt(e.total_targets)),
+        ("rings", Json::UInt(e.rings)),
+        ("max_spin_bound", Json::UInt(e.max_spin_bound)),
+        ("analysis_ns", Json::UInt(e.analysis_ns)),
+    ])
+}
+
+/// Serialises campaign points as the `results/fabric_campaign.json`
+/// document. Everything except the per-event wall-clock `analysis_ns` is
+/// deterministic for a given `(quick, seeds)` choice.
+pub fn fabric_campaign_json(points: &[FabricPoint], quick: bool) -> Json {
+    let rows = points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("topo", p.topo.as_str().into()),
+                ("routing", p.routing.as_str().into()),
+                ("seed", Json::UInt(p.seed)),
+                ("initial_verdict", p.initial_verdict.name().into()),
+                ("events_scheduled", Json::UInt(p.events_scheduled as u64)),
+                ("reroutes_admitted", Json::UInt(p.admitted)),
+                ("reroutes_quarantined", Json::UInt(p.quarantined)),
+                ("kills_rejected", Json::UInt(p.kills_rejected)),
+                ("links_killed", Json::UInt(p.links_killed)),
+                ("links_healed", Json::UInt(p.links_healed)),
+                ("targets_rewalked", Json::UInt(p.targets_rewalked)),
+                ("packets_created", Json::UInt(p.packets_created)),
+                ("packets_delivered", Json::UInt(p.packets_delivered)),
+                ("packets_dropped_by_fault", Json::UInt(p.packets_dropped)),
+                ("spins", Json::UInt(p.spins)),
+                ("drained", Json::Bool(p.drained)),
+                (
+                    "model_violations",
+                    Json::UInt(p.model_violations.len() as u64),
+                ),
+                ("passes", Json::Bool(p.passes())),
+                ("events", arr(p.events.iter().map(event_json).collect())),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("name", "fabric_campaign".into()),
+        ("quick", Json::Bool(quick)),
+        ("points", arr(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rolling-failure oracle: quarantine and admission behave as the
+    /// static analysis promises, no uncertified deadlock is ever observed,
+    /// per-event downtime is bounded, and the whole campaign point is
+    /// bit-identical across step-kernel shard counts.
+    #[test]
+    fn rolling_failures_admit_certify_and_stay_deterministic() {
+        let params = FabricRunParams {
+            warmup: 200,
+            inject: 800,
+            drain_cap: 50_000,
+            shards: Some(1),
+        };
+        for case in [
+            FabricCase::MeshUpDown,
+            FabricCase::MeshFavorsMin,
+            FabricCase::Ring8FavorsMin,
+        ] {
+            let p1 = run_fabric_point(case, 1, params);
+            assert!(
+                p1.passes(),
+                "{}/{} failed: drained={} violations={:?}",
+                p1.topo,
+                p1.routing,
+                p1.drained,
+                p1.model_violations
+            );
+            match case {
+                // Deadlock-free: every submitted event admitted.
+                FabricCase::MeshUpDown => {
+                    assert_eq!(p1.quarantined, 0);
+                    assert!(p1.events.iter().all(|e| e.admitted));
+                }
+                // Truncated enumeration: nothing is ever admitted, the
+                // fabric stays intact, so no heal is even submitted.
+                FabricCase::MeshFavorsMin => {
+                    assert_eq!(p1.admitted, 0);
+                    assert!(p1.quarantined > 0);
+                    assert_eq!(p1.links_killed, 0);
+                    assert!(p1
+                        .events
+                        .iter()
+                        .all(|e| e.verdict == FabricVerdict::UncertifiedTruncated));
+                }
+                // Certified recovery: kills and heals go live with a
+                // certified per-ring spin bound on the healed config.
+                FabricCase::Ring8FavorsMin => {
+                    assert!(p1.admitted > 0);
+                    assert!(p1.links_killed > 0);
+                    assert!(p1
+                        .events
+                        .iter()
+                        .filter(|e| e.verdict == FabricVerdict::CertifiedRecovery)
+                        .all(|e| e.max_spin_bound > 0));
+                }
+                _ => unreachable!(),
+            }
+            let p4 = run_fabric_point(
+                case,
+                1,
+                FabricRunParams {
+                    shards: Some(4),
+                    ..params
+                },
+            );
+            // Wall-clock analysis time may differ; everything else is
+            // bit-identical across shard counts.
+            let strip = |p: &FabricPoint| {
+                let mut q = p.clone();
+                for e in &mut q.events {
+                    e.analysis_ns = 0;
+                }
+                q
+            };
+            assert_eq!(strip(&p1), strip(&p4), "{case:?} diverged across shards");
+        }
+    }
+
+    /// The ghops-only Dally discipline end to end: the manager calls the
+    /// *intact* dragonfly `stranded` (hop-minimal tie paths outrun the
+    /// 3-VC ladder), every kill stays quarantined with the fabric
+    /// untouched, and the live network wedges exactly as that verdict
+    /// predicts — with zero packets lost and zero model violations.
+    #[test]
+    fn dally_ugal_quarantine_is_pinned_online() {
+        let params = FabricRunParams {
+            warmup: 200,
+            inject: 800,
+            drain_cap: 50_000,
+            shards: Some(1),
+        };
+        let p = run_fabric_point(FabricCase::DflyUgalDally, 1, params);
+        assert_eq!(p.initial_verdict, FabricVerdict::Stranded);
+        assert!(p.passes());
+        assert!(!p.drained, "stranding should wedge the drain, as predicted");
+        assert!(p.packets_delivered < p.packets_created);
+        assert_eq!(
+            p.admitted, 0,
+            "no kill may be admitted on a stranded fabric"
+        );
+        assert!(p.quarantined > 0);
+        assert_eq!(p.links_killed, 0, "quarantine must leave the fabric intact");
+        assert!(p.model_violations.is_empty());
+    }
+
+    #[test]
+    fn campaign_json_shape() {
+        let params = FabricRunParams {
+            warmup: 100,
+            inject: 400,
+            drain_cap: 50_000,
+            shards: Some(1),
+        };
+        let p = run_fabric_point(FabricCase::MeshUpDown, 1, params);
+        let doc = fabric_campaign_json(&[p], true).to_string();
+        assert!(doc.contains("\"name\":\"fabric_campaign\""));
+        assert!(doc.contains("\"verdict\":\"deadlock_free\""));
+        assert!(doc.contains("\"targets_rewalked\""));
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod fabric;
 pub mod fault;
 pub mod json;
 pub mod verify_matrix;

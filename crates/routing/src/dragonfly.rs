@@ -158,6 +158,14 @@ impl Routing for Ugal {
             UgalVcDiscipline::Free => 1,
         }
     }
+
+    fn distance_local(&self) -> bool {
+        // Both disciplines route over minimal_ports toward the current
+        // target; the Dally VC mask keys on the packet's global-hop count,
+        // which the derived-CDG walk carries in its state, not on any
+        // non-local topology data.
+        true
+    }
 }
 
 #[cfg(test)]

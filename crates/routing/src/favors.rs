@@ -81,6 +81,10 @@ impl Routing for FavorsMinimal {
     fn min_vcs_required(&self) -> u8 {
         1 // deadlock freedom comes from SPIN
     }
+
+    fn distance_local(&self) -> bool {
+        true // consults only minimal_ports/dist toward the current target
+    }
 }
 
 /// Non-minimal FAvORS: source-side Valiant decision, minimal-adaptive in
@@ -185,6 +189,10 @@ impl Routing for FavorsNonMinimal {
 
     fn min_vcs_required(&self) -> u8 {
         1
+    }
+
+    fn distance_local(&self) -> bool {
+        true // phases delegate to FavorsMinimal's minimal_ports walk
     }
 }
 

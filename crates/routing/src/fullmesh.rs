@@ -19,6 +19,21 @@
 //! derived-CDG walk sees the scheme through its ordinary single-pass walk
 //! — [`Routing::valiant_intermediate`] is `false` even though the
 //! misroute bound is 1.
+//!
+//! **Runtime faults.** When the direct link to the destination is dead the
+//! scheme deroutes through an ascending live intermediate from *any*
+//! input port (not just the source NIC), restricted to intermediates whose
+//! own direct link to the destination is alive. Acyclicity survives: a
+//! dependency from channel `a→b` onto any channel out of `b` still only
+//! arises when `b` was a (congestion or fault) deroute intermediate, which
+//! requires `b > a`, so around any would-be cycle the first endpoints
+//! ascend strictly forever. Fault deroutes also strictly ascend per hop,
+//! so every path still terminates. On an intact full mesh the fault branch
+//! never engages and the CDG is byte-identical to the original scheme.
+//! When no live ascending intermediate exists (e.g. the highest-index
+//! router loses its direct link) the scheme keeps the dead direct port as
+//! its only choice — a *stranded* state the fabric manager's admission
+//! check detects and rejects before such a kill ever goes live.
 
 use crate::{ejection_choice, NetworkView, Prepared, RouteChoice, RouteChoices, Routing};
 use smallvec::{smallvec, SmallVec};
@@ -30,8 +45,9 @@ use spin_types::{Packet, PortId, RouterId};
 pub struct FullMeshDeroute;
 
 impl FullMeshDeroute {
-    /// Deroute candidate ports at source router `at`: the direct link to
-    /// every router with a higher index, excluding the destination.
+    /// Deroute candidate ports at source router `at`: the live direct link
+    /// to every router with a higher index, excluding the destination. (On
+    /// an intact full mesh the liveness filter passes everything.)
     fn deroute_ports(
         topo: &spin_topology::Topology,
         at: RouterId,
@@ -41,6 +57,23 @@ impl FullMeshDeroute {
             .map(RouterId)
             .filter(move |&i| i != dst_r)
             .map(move |i| topo.full_mesh_port(at, i))
+            .filter(move |&p| topo.neighbor(at, p).is_some())
+    }
+
+    /// Fault-deroute candidate ports at `at` when the direct link to
+    /// `dst_r` is dead: ascending live intermediates whose own direct link
+    /// to `dst_r` is still up (so the next hop terminates directly).
+    fn fault_deroute_ports(
+        topo: &spin_topology::Topology,
+        at: RouterId,
+        dst_r: RouterId,
+    ) -> impl Iterator<Item = PortId> + '_ {
+        (at.0 + 1..topo.num_routers() as u32)
+            .map(RouterId)
+            .filter(move |&i| i != dst_r)
+            .filter(move |&i| topo.neighbor(i, topo.full_mesh_port(i, dst_r)).is_some())
+            .map(move |i| topo.full_mesh_port(at, i))
+            .filter(move |&p| topo.neighbor(at, p).is_some())
     }
 }
 
@@ -62,11 +95,35 @@ impl Routing for FullMeshDeroute {
         }
         let dst_r = topo.node_router(pkt.current_target());
         let direct = topo.full_mesh_port(at, dst_r);
-        // Deroutes are legal only while the packet still sits in its source
-        // NIC (local input port) and engage only when the direct link has
-        // no free downstream VC. An empty candidate list falls through to
-        // the direct port with no draw — exactly like `choose` on an empty
-        // slice in the fused path.
+        if topo.neighbor(at, direct).is_none() {
+            // The direct link is dead: fault-deroute through an ascending
+            // live intermediate, preferring ones with a free downstream VC.
+            let live: SmallVec<[RouteChoice; 8]> = Self::fault_deroute_ports(topo, at, dst_r)
+                .map(RouteChoice::any_vc)
+                .collect();
+            let free: SmallVec<[RouteChoice; 8]> = live
+                .iter()
+                .copied()
+                .filter(|c| view.has_free_vc_downstream(at, c.out_port, pkt.vnet))
+                .collect();
+            let options = if free.is_empty() { live } else { free };
+            if let Some(&first) = options.first() {
+                return Prepared::Pick {
+                    choices: smallvec![first],
+                    slot: 0,
+                    options,
+                };
+            }
+            // Stranded: no live ascending intermediate. Keep the dead
+            // direct port — admission control rejects kills that create
+            // this state, so a live network never reaches it.
+            return Prepared::Done(smallvec![RouteChoice::any_vc(direct)]);
+        }
+        // Congestion deroutes are legal only while the packet still sits in
+        // its source NIC (local input port) and engage only when the direct
+        // link has no free downstream VC. An empty candidate list falls
+        // through to the direct port with no draw — exactly like `choose`
+        // on an empty slice in the fused path.
         if topo.port(at, in_port).is_local() && !view.has_free_vc_downstream(at, direct, pkt.vnet) {
             let options: SmallVec<[RouteChoice; 8]> = Self::deroute_ports(topo, at, dst_r)
                 .filter(|&p| view.has_free_vc_downstream(at, p, pkt.vnet))
@@ -95,7 +152,19 @@ impl Routing for FullMeshDeroute {
             return smallvec![eject];
         }
         let dst_r = topo.node_router(pkt.current_target());
-        let mut out: RouteChoices = smallvec![RouteChoice::any_vc(topo.full_mesh_port(at, dst_r))];
+        let direct = topo.full_mesh_port(at, dst_r);
+        if topo.neighbor(at, direct).is_none() {
+            let out: RouteChoices = Self::fault_deroute_ports(topo, at, dst_r)
+                .map(RouteChoice::any_vc)
+                .collect();
+            if !out.is_empty() {
+                return out;
+            }
+            // Stranded witness: only the dead direct port, which the
+            // derived-CDG walk skips — the state counts as stranded.
+            return smallvec![RouteChoice::any_vc(direct)];
+        }
+        let mut out: RouteChoices = smallvec![RouteChoice::any_vc(direct)];
         if topo.port(at, in_port).is_local() {
             out.extend(Self::deroute_ports(topo, at, dst_r).map(RouteChoice::any_vc));
         }
@@ -112,6 +181,13 @@ impl Routing for FullMeshDeroute {
 
     fn min_vcs_required(&self) -> u8 {
         1 // the ascending rule alone keeps the CDG acyclic
+    }
+
+    fn distance_local(&self) -> bool {
+        // Every liveness check inspects links incident to `at` or to the
+        // target's router, both covered by the incremental walk's
+        // dirty-region contract.
+        true
     }
 }
 
@@ -189,6 +265,58 @@ mod tests {
         assert_eq!(FullMeshDeroute.misroute_bound(), 1);
         assert!(!FullMeshDeroute.valiant_intermediate());
         assert_eq!(FullMeshDeroute.name(), "fm_deroute");
+    }
+
+    #[test]
+    fn dead_direct_link_deroutes_ascending_from_any_port() {
+        let mut topo = fm();
+        let dead = topo.full_mesh_port(RouterId(2), RouterId(5));
+        topo.fail_link(RouterId(2), dead).unwrap();
+        let view = StaticView::new(&topo, 1);
+        let p = PacketBuilder::new(NodeId(2), NodeId(5)).build(0);
+        // Even from a *network* input port the dead direct link forces an
+        // ascending deroute whose intermediate still reaches 5 directly.
+        let net_in = topo.full_mesh_port(RouterId(2), RouterId(0));
+        let alts = FullMeshDeroute.alternatives(&view, RouterId(2), net_in, &p);
+        assert!(!alts.is_empty());
+        for a in &alts {
+            let peer = topo.neighbor(RouterId(2), a.out_port).unwrap().router;
+            assert!(peer.0 > 2 && peer != RouterId(5), "ascending intermediate");
+            let onward = topo.full_mesh_port(peer, RouterId(5));
+            assert!(topo.neighbor(peer, onward).is_some(), "live onward link");
+        }
+        // The live route also terminates: at most two extra hops.
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = FullMeshDeroute.route(&view, RouterId(2), net_in, &p, &mut rng);
+        let mid = topo.neighbor(RouterId(2), c[0].out_port).unwrap();
+        let c2 = FullMeshDeroute.route(&view, mid.router, mid.port, &p, &mut rng);
+        let end = topo.neighbor(mid.router, c2[0].out_port).unwrap();
+        assert_eq!(end.router, RouterId(5));
+    }
+
+    #[test]
+    fn highest_router_dead_direct_is_stranded_witness() {
+        let mut topo = fm();
+        let dead = topo.full_mesh_port(RouterId(7), RouterId(3));
+        topo.fail_link(RouterId(7), dead).unwrap();
+        let view = StaticView::new(&topo, 1);
+        let p = PacketBuilder::new(NodeId(7), NodeId(3)).build(0);
+        // No ascending intermediate exists above router 7: the OR-set
+        // keeps the dead direct port as a stranded witness.
+        let alts = FullMeshDeroute.alternatives(&view, RouterId(7), PortId(0), &p);
+        assert_eq!(alts.len(), 1);
+        assert_eq!(alts[0].out_port, dead);
+        assert!(topo.neighbor(RouterId(7), dead).is_none());
+    }
+
+    #[test]
+    fn intact_mesh_never_takes_fault_branch() {
+        let topo = fm();
+        assert_eq!(
+            FullMeshDeroute::fault_deroute_ports(&topo, RouterId(2), RouterId(5)).count(),
+            FullMeshDeroute::deroute_ports(&topo, RouterId(2), RouterId(5)).count()
+        );
+        assert!(FullMeshDeroute.distance_local());
     }
 
     #[test]

@@ -237,6 +237,25 @@ pub trait Routing: fmt::Debug + Send + Sync {
     /// which re-reads `minimal_ports`/`dist` every cycle) need nothing,
     /// which is the default.
     fn on_topology_change(&mut self, _topo: &Topology) {}
+
+    /// Whether this algorithm's [`Routing::alternatives`] answer at a given
+    /// walk state depends *only* on distance-local topology state: the
+    /// static node/coordinate maps, the live port table of `at`, the live
+    /// port table of the current target's router, and the BFS distance
+    /// column toward that target. When true, the fabric manager's
+    /// incremental CDG re-derivation can skip re-walking a destination
+    /// whose distance column did not change and whose previous walk never
+    /// visited either endpoint router of the changed link — every
+    /// `alternatives` call that walk would make returns the same answer.
+    ///
+    /// Algorithms with precomputed global tables (up*/down* trees), VC
+    /// disciplines keyed on coordinates of a lattice assumed intact
+    /// (HyperX, dragonfly+), or any other non-local state must leave this
+    /// `false` (the default): the manager then falls back to full
+    /// re-derivation on every fault event, which is always sound.
+    fn distance_local(&self) -> bool {
+        false
+    }
 }
 
 /// A route decision split at its single random draw.

@@ -186,8 +186,19 @@ impl Routing for UpDown {
             return smallvec![eject];
         }
         let dst = topo.node_router(pkt.current_target()).index();
-        let phase = self.phase_of_arrival(topo, at, in_port);
-        let here = self.remaining(phase, at.index(), dst);
+        let mut phase = self.phase_of_arrival(topo, at, in_port);
+        let mut here = self.remaining(phase, at.index(), dst);
+        if here == u32::MAX {
+            // A reconfiguration re-labelled the tree while this packet was
+            // in flight: its arrival edge may now read as Down with the
+            // destination reachable only by climbing. Restart the walk
+            // from here as if freshly injected. The transient down->up
+            // turn sits outside the steady-state CDG the fabric manager
+            // certified — which is exactly the window the live wait-graph
+            // cross-check watches during reconfiguration.
+            phase = Phase::Up;
+            here = self.remaining(phase, at.index(), dst);
+        }
         debug_assert_ne!(here, u32::MAX, "up*/down* cannot reach the destination");
         let mut out = RouteChoices::new();
         for p in topo.network_ports(at) {

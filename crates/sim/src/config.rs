@@ -1,5 +1,6 @@
 //! Simulation configuration and the network builder.
 
+use crate::fabric::FabricAdmission;
 use crate::faults::FaultPlan;
 use crate::network::Network;
 use crate::static_model::StaticModel;
@@ -145,6 +146,7 @@ pub struct NetworkBuilder {
     pub(crate) trace: Option<Box<dyn TraceSink>>,
     pub(crate) faults: FaultPlan,
     pub(crate) static_model: Option<Box<dyn StaticModel>>,
+    pub(crate) fabric: Option<Box<dyn FabricAdmission>>,
     pub(crate) dense_step: Option<bool>,
     pub(crate) shards: Option<usize>,
     pub(crate) partitioner: Option<Box<dyn crate::shard::Partitioner>>,
@@ -162,6 +164,7 @@ impl NetworkBuilder {
             trace: None,
             faults: FaultPlan::new(),
             static_model: None,
+            fabric: None,
             dense_step: None,
             shards: None,
             partitioner: None,
@@ -261,6 +264,18 @@ impl NetworkBuilder {
         self
     }
 
+    /// Installs an online fabric manager: every scheduled kill/heal is
+    /// submitted to it for CDG re-certification before going live, and
+    /// rejected changes are quarantined (see [`crate::fabric`] and
+    /// `docs/FABRIC.md`). The manager also serves as the static-model
+    /// cross-check for live deadlock episodes unless an explicit
+    /// [`NetworkBuilder::static_model`] was installed. Without one — the
+    /// default — admission costs nothing.
+    pub fn fabric(mut self, manager: Box<dyn FabricAdmission>) -> Self {
+        self.fabric = Some(manager);
+        self
+    }
+
     /// Builds the network.
     ///
     /// # Panics
@@ -281,6 +296,7 @@ impl std::fmt::Debug for NetworkBuilder {
             .field("spin", &self.spin.is_some())
             .field("trace", &self.trace.is_some())
             .field("faults", &self.faults.len())
+            .field("fabric", &self.fabric.is_some())
             .finish()
     }
 }

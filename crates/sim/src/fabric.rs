@@ -1,0 +1,132 @@
+//! Online fabric-manager admission hook: every runtime link kill/heal is
+//! submitted to an installed [`FabricAdmission`] implementation *before*
+//! it goes live, and rejected changes are quarantined (a kill stays up, a
+//! heal stays down) with the previous routing tables retained.
+//!
+//! The trait lives in the sim crate so the simulator does not depend on
+//! the verify crate; the production implementation — `FabricManager`,
+//! which re-derives the channel dependency graph incrementally and issues
+//! SPIN-certified verdicts — lives in `spin-verify` (see `docs/FABRIC.md`).
+//! The sim side only knows three things: ask for a verdict, count the
+//! decision, and consult the manager's [`StaticModel`] view so the live
+//! wait-graph is cross-checked against the *admitted* CDG.
+
+use crate::static_model::StaticModel;
+use spin_trace::FabricVerdict;
+use spin_types::{Cycle, PortId, RouterId};
+
+/// What the fabric manager decided about one kill/heal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionDecision {
+    /// The verdict the re-certification produced.
+    pub verdict: FabricVerdict,
+    /// Destinations whose CDG contribution was re-walked for this event —
+    /// the deterministic "reconfiguration downtime" measure (a full
+    /// re-derivation re-walks every destination).
+    pub targets_rewalked: u64,
+}
+
+impl AdmissionDecision {
+    /// True when the change may go live.
+    pub fn admitted(&self) -> bool {
+        self.verdict.admits()
+    }
+}
+
+/// Which way a fabric event changed the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricAction {
+    /// A link kill was submitted.
+    Kill,
+    /// A link heal was submitted.
+    Heal,
+}
+
+impl FabricAction {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricAction::Kill => "kill",
+            FabricAction::Heal => "heal",
+        }
+    }
+}
+
+/// One admission event as recorded by the manager, for post-run reporting
+/// (`fabric_campaign` serializes these into `results/fabric_campaign.json`).
+/// Wall-clock analysis time lives only here — never in [`crate::NetStats`],
+/// which must stay bit-deterministic across shard/thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricEventReport {
+    /// Cycle the event was submitted at.
+    pub at: Cycle,
+    /// Kill or heal.
+    pub action: FabricAction,
+    /// Local endpoint router of the changed link.
+    pub router: RouterId,
+    /// Local endpoint port of the changed link.
+    pub port: PortId,
+    /// Whether the change went live.
+    pub admitted: bool,
+    /// The verdict behind the decision.
+    pub verdict: FabricVerdict,
+    /// Destinations re-walked by the incremental derivation.
+    pub targets_rewalked: u64,
+    /// Total destinations in the config (the full-re-derivation cost).
+    pub total_targets: u64,
+    /// Rings enumerated in the re-certified CDG (0 when acyclic).
+    pub rings: u64,
+    /// Largest certified per-ring spin bound (0 when acyclic).
+    pub max_spin_bound: u64,
+    /// Wall-clock nanoseconds the online analysis took for this event.
+    pub analysis_ns: u64,
+}
+
+/// The admission check the `faults` pipeline stage consults before a
+/// kill/heal goes live. Implementations mirror the live topology: they
+/// must apply admitted changes to their own copy and roll back rejected
+/// ones, so their CDG always describes the fabric the simulator actually
+/// runs.
+pub trait FabricAdmission: std::fmt::Debug + Send {
+    /// Re-certifies the fabric with the link at (`router`, `port`) killed.
+    /// On an admitting verdict the manager keeps the degraded config; on a
+    /// rejecting one it must roll back to the previous config.
+    fn admit_kill(&mut self, now: Cycle, router: RouterId, port: PortId) -> AdmissionDecision;
+
+    /// Re-certifies the fabric with the link at (`router`, `port`) healed.
+    /// Rollback semantics mirror [`FabricAdmission::admit_kill`].
+    fn admit_heal(&mut self, now: Cycle, router: RouterId, port: PortId) -> AdmissionDecision;
+
+    /// The static-model view of everything admitted so far: the union of
+    /// all admitted CDGs, so a live deadlock spanning epochs still maps
+    /// onto channels some admitted CDG certified.
+    fn model(&self) -> &dyn StaticModel;
+
+    /// Every decision made so far, in submission order.
+    fn events(&self) -> &[FabricEventReport];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_admits_follow_verdict() {
+        let d = AdmissionDecision {
+            verdict: FabricVerdict::DeadlockFree,
+            targets_rewalked: 3,
+        };
+        assert!(d.admitted());
+        let q = AdmissionDecision {
+            verdict: FabricVerdict::UncertifiedTruncated,
+            targets_rewalked: 64,
+        };
+        assert!(!q.admitted());
+    }
+
+    #[test]
+    fn action_names_are_stable() {
+        assert_eq!(FabricAction::Kill.name(), "kill");
+        assert_eq!(FabricAction::Heal.name(), "heal");
+    }
+}

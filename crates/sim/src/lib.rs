@@ -78,6 +78,7 @@
 mod activity;
 mod config;
 mod debug;
+pub mod fabric;
 pub mod faults;
 mod link;
 mod network;
@@ -91,6 +92,7 @@ mod store;
 mod vc;
 
 pub use config::{NetworkBuilder, SimConfig, Switching};
+pub use fabric::{AdmissionDecision, FabricAction, FabricAdmission, FabricEventReport};
 pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use network::Network;
 pub use shard::{ContiguousPartitioner, CoordBlockPartitioner, Partitioner};

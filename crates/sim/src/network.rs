@@ -80,6 +80,10 @@ pub struct Network {
     /// [`crate::static_model`]); `None` (the default) disables the hook at
     /// the cost of one branch per ground-truth check.
     pub(crate) static_model: Option<Box<dyn crate::static_model::StaticModel>>,
+    /// Online fabric manager: admission check every kill/heal must pass
+    /// before going live (see [`crate::fabric`]). Doubles as the static
+    /// model when no explicit one is installed.
+    pub(crate) fabric: Option<Box<dyn crate::fabric::FabricAdmission>>,
     /// Episode tracking and recorded violations for the static model.
     pub(crate) xval: crate::static_model::CrossValidation,
     /// Routers that may do work this cycle: any router holding packets, an
@@ -261,6 +265,7 @@ impl Network {
             fault_cursor: 0,
             dead_links: Vec::new(),
             static_model: b.static_model,
+            fabric: b.fabric,
             xval: crate::static_model::CrossValidation::default(),
             active_routers: ActivitySet::new(topo.num_routers()),
             active_links: ActivitySet::new(inj_base as usize + topo.num_nodes()),
@@ -348,6 +353,13 @@ impl Network {
         self.metrics.as_ref()
     }
 
+    /// The fabric manager's per-event admission log, if one was installed
+    /// via [`NetworkBuilder::fabric`] (empty slice otherwise). Decisions
+    /// appear in submission order; see [`crate::fabric::FabricEventReport`].
+    pub fn fabric_events(&self) -> &[crate::fabric::FabricEventReport] {
+        self.fabric.as_deref().map_or(&[], |f| f.events())
+    }
+
     /// True when a trace sink is installed. Emission sites with non-trivial
     /// payload construction check this first so disabled tracing costs one
     /// branch.
@@ -382,7 +394,7 @@ impl Network {
         for _ in 0..max_cycles {
             self.step();
             if self.now.is_multiple_of(check_every) {
-                if self.static_model.is_some() {
+                if self.static_model.is_some() || self.fabric.is_some() {
                     // Cross-validate the detection against the static CDG
                     // before (possibly) returning on it.
                     self.static_model_check();

@@ -63,6 +63,36 @@ impl Network {
 
     fn apply_kill(&mut self, r: RouterId, p: PortId) {
         let now = self.now;
+        // Fabric-manager admission: re-certify the degraded CDG before the
+        // kill goes live. Malformed or disconnecting kills skip admission
+        // and keep the existing partition-witness rejection path below.
+        if let Some(mut fabric) = self.fabric.take() {
+            if self.topo.check_link_removal(r, p).is_ok() {
+                let decision = fabric.admit_kill(now, r, p);
+                self.fabric = Some(fabric);
+                self.stats.fabric_targets_rewalked += decision.targets_rewalked;
+                if decision.admitted() {
+                    self.stats.reroutes_admitted += 1;
+                    self.emit(TraceEvent::RerouteAdmitted {
+                        router: r,
+                        port: p,
+                        verdict: decision.verdict,
+                    });
+                } else {
+                    // Quarantined: the link stays up and the previous
+                    // routing tables are retained.
+                    self.stats.reroutes_quarantined += 1;
+                    self.emit(TraceEvent::RerouteQuarantined {
+                        router: r,
+                        port: p,
+                        verdict: decision.verdict,
+                    });
+                    return;
+                }
+            } else {
+                self.fabric = Some(fabric);
+            }
+        }
         let (a, b, latency) = match self.topo.fail_link(r, p) {
             Ok(ends) => ends,
             Err(e) => {
@@ -218,6 +248,31 @@ impl Network {
         }) else {
             return;
         };
+        // Fabric-manager admission: the healed fabric is a config change
+        // too — a heal can re-open rings the degraded CDG did not have, so
+        // it is re-certified exactly like a kill. A rejected heal leaves
+        // the link down.
+        if let Some(mut fabric) = self.fabric.take() {
+            let decision = fabric.admit_heal(self.now, r, p);
+            self.fabric = Some(fabric);
+            self.stats.fabric_targets_rewalked += decision.targets_rewalked;
+            if decision.admitted() {
+                self.stats.reroutes_admitted += 1;
+                self.emit(TraceEvent::RerouteAdmitted {
+                    router: r,
+                    port: p,
+                    verdict: decision.verdict,
+                });
+            } else {
+                self.stats.reroutes_quarantined += 1;
+                self.emit(TraceEvent::RerouteQuarantined {
+                    router: r,
+                    port: p,
+                    verdict: decision.verdict,
+                });
+                return;
+            }
+        }
         let (ea, eb, latency) = self.dead_links[idx];
         if self.topo.restore_link(ea, eb, latency).is_err() {
             return;

@@ -107,13 +107,22 @@ impl Network {
             .collect()
     }
 
+    /// The oracle live deadlocks are checked against: the explicitly
+    /// installed [`StaticModel`] if any, else the installed fabric
+    /// manager's union-of-admitted-CDGs view (see [`crate::fabric`]).
+    fn oracle(&self) -> Option<&dyn StaticModel> {
+        self.static_model
+            .as_deref()
+            .or_else(|| self.fabric.as_deref().map(|f| f.model()))
+    }
+
     /// Runs one cross-validation check against the installed
     /// [`StaticModel`] (no-op without one): builds the ground-truth wait
     /// graph, maps any deadlocked set onto the static CDG, and tracks the
     /// open episode's spin budget. Violations accumulate in
     /// [`Network::static_model_violations`].
     pub fn static_model_check(&mut self) {
-        if self.static_model.is_none() {
+        if self.static_model.is_none() && self.fabric.is_none() {
             return;
         }
         let members: Vec<RingMember> = self
@@ -155,7 +164,7 @@ impl Network {
             // Only re-check the ring mapping when the member set actually
             // gained a buffer; repeated detections of the same stuck ring
             // would otherwise duplicate identical violations.
-            let verdict = match self.static_model.as_deref() {
+            let verdict = match self.oracle() {
                 Some(model) => model.check_members(&members).err().map(|e| {
                     format!(
                         "cycle {}: deadlock does not map onto static model `{}`: {e}",
@@ -184,7 +193,7 @@ impl Network {
             .map(|r| now_spins[r.index()] - ep.spins_at_open[r.index()])
             .sum();
         let m = ep.channels.len();
-        let (violation, bound) = match self.static_model.as_deref() {
+        let (violation, bound) = match self.oracle() {
             Some(model) => match model.spin_bound(m) {
                 Some(bound) if spins <= bound => (None, bound),
                 Some(bound) => (
@@ -217,7 +226,7 @@ impl Network {
         };
         if let Some(v) = violation {
             self.xval.violations.push(v);
-        } else if self.static_model.is_some() {
+        } else if self.static_model.is_some() || self.fabric.is_some() {
             self.xval.episodes.push(EpisodeReport {
                 opened: ep.opened,
                 closed: self.now,

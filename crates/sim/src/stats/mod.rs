@@ -126,6 +126,17 @@ pub struct NetStats {
     /// Special messages lost on a killed link (the SPIN FSM recovers from
     /// lost SMs through its deadline timeouts, so these are tolerated).
     pub sms_dropped_by_fault: u64,
+    /// Kill/heal events the fabric manager re-certified and admitted.
+    pub reroutes_admitted: u64,
+    /// Kill/heal events the fabric manager rejected: the link was
+    /// quarantined and the previous routing tables retained.
+    pub reroutes_quarantined: u64,
+    /// Destinations re-walked by the fabric manager's incremental CDG
+    /// derivation, summed over all events — the deterministic
+    /// reconfiguration-downtime measure (wall-clock analysis time lives in
+    /// the manager's per-event log, never here: `NetStats` is compared
+    /// bit-for-bit across shard and thread counts).
+    pub fabric_targets_rewalked: u64,
     /// Measurement-window bookkeeping.
     pub window_start: Cycle,
     /// Flits delivered since the window started.

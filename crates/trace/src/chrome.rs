@@ -64,7 +64,9 @@ pub fn to_string(records: &[TraceRecord]) -> String {
             | TraceEvent::LinkHealed { router, .. }
             | TraceEvent::LinkKillRejected { router, .. }
             | TraceEvent::PacketRerouted { router, .. }
-            | TraceEvent::PacketDroppedByFault { router, .. } => Some(router.0 + 1),
+            | TraceEvent::PacketDroppedByFault { router, .. }
+            | TraceEvent::RerouteAdmitted { router, .. }
+            | TraceEvent::RerouteQuarantined { router, .. } => Some(router.0 + 1),
         })
         .collect();
     router_pids.sort_unstable();
@@ -354,6 +356,22 @@ pub fn to_string(records: &[TraceRecord]) -> String {
                     router.0 + 1,
                     &format_args_str(&[("packet", packet.0)]),
                 );
+            }
+            TraceEvent::RerouteAdmitted {
+                router,
+                port,
+                verdict,
+            } => {
+                let args = format!("{{\"port\":{},\"verdict\":\"{}\"}}", port.0, verdict.name());
+                instant(&mut buf, "reroute_admitted", ts, router.0 + 1, &args);
+            }
+            TraceEvent::RerouteQuarantined {
+                router,
+                port,
+                verdict,
+            } => {
+                let args = format!("{{\"port\":{},\"verdict\":\"{}\"}}", port.0, verdict.name());
+                instant(&mut buf, "reroute_quarantined", ts, router.0 + 1, &args);
             }
         }
         push_event(&mut out, &mut first, &buf);

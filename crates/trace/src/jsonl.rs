@@ -205,6 +205,24 @@ pub fn write_record(out: &mut String, rec: &TraceRecord) {
         | TraceEvent::PacketDroppedByFault { packet, router } => {
             let _ = write!(out, ",\"packet\":{},\"router\":{}", packet.0, router.0);
         }
+        TraceEvent::RerouteAdmitted {
+            router,
+            port,
+            verdict,
+        }
+        | TraceEvent::RerouteQuarantined {
+            router,
+            port,
+            verdict,
+        } => {
+            let _ = write!(
+                out,
+                ",\"router\":{},\"port\":{},\"verdict\":\"{}\"",
+                router.0,
+                port.0,
+                verdict.name()
+            );
+        }
     }
     out.push_str("}\n");
 }

@@ -120,6 +120,58 @@ impl fmt::Display for SmClass {
     }
 }
 
+/// The fabric manager's admission verdict for a fault-driven reroute (see
+/// `docs/FABRIC.md`). A trace-local mirror of the verify crate's verdict so
+/// this crate depends only on `spin-types`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricVerdict {
+    /// The degraded CDG is acyclic (Dally): admit unconditionally.
+    DeadlockFree,
+    /// Cyclic, but a Duato escape VC survives: admit unconditionally.
+    DeadlockFreeEscape,
+    /// Cyclic with every enumerated ring's spin bound certified and SPIN
+    /// recovery available: admit under recovery.
+    CertifiedRecovery,
+    /// Ring enumeration truncated at the cap — rings may exist whose spin
+    /// bound was never certified: reject (quarantine the link).
+    UncertifiedTruncated,
+    /// Cyclic and no recovery mechanism is available at runtime: reject.
+    UncertifiedNoRecovery,
+    /// The reroute would strand in-network packets (some reachable walk
+    /// state has no live route choice): reject.
+    Stranded,
+}
+
+impl FabricVerdict {
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricVerdict::DeadlockFree => "deadlock_free",
+            FabricVerdict::DeadlockFreeEscape => "deadlock_free_escape",
+            FabricVerdict::CertifiedRecovery => "certified_recovery",
+            FabricVerdict::UncertifiedTruncated => "uncertified_truncated",
+            FabricVerdict::UncertifiedNoRecovery => "uncertified_no_recovery",
+            FabricVerdict::Stranded => "stranded",
+        }
+    }
+
+    /// True for verdicts the admission policy lets go live.
+    pub fn admits(self) -> bool {
+        matches!(
+            self,
+            FabricVerdict::DeadlockFree
+                | FabricVerdict::DeadlockFreeEscape
+                | FabricVerdict::CertifiedRecovery
+        )
+    }
+}
+
+impl fmt::Display for FabricVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One structured simulator event. See `docs/PROTOCOL.md` for where each
 /// event sits in the SPIN protocol narrative.
 ///
@@ -334,6 +386,27 @@ pub enum TraceEvent {
         /// Upstream endpoint router of the dead link.
         router: RouterId,
     },
+    /// The fabric manager re-certified the degraded CDG and admitted the
+    /// reroute: the fault goes live this cycle (see `docs/FABRIC.md`).
+    RerouteAdmitted {
+        /// Local endpoint router of the changed link.
+        router: RouterId,
+        /// Local endpoint port of the changed link.
+        port: PortId,
+        /// The admission verdict (always an admitting one here).
+        verdict: FabricVerdict,
+    },
+    /// The fabric manager rejected the reroute: the link is quarantined
+    /// (a kill stays up, a heal stays down) and the previous routing
+    /// tables are retained.
+    RerouteQuarantined {
+        /// Local endpoint router of the rejected change.
+        router: RouterId,
+        /// Local endpoint port of the rejected change.
+        port: PortId,
+        /// Why admission failed.
+        verdict: FabricVerdict,
+    },
 }
 
 impl TraceEvent {
@@ -362,6 +435,8 @@ impl TraceEvent {
             TraceEvent::RerouteComputed { .. } => "reroute_computed",
             TraceEvent::PacketRerouted { .. } => "packet_rerouted",
             TraceEvent::PacketDroppedByFault { .. } => "packet_dropped_by_fault",
+            TraceEvent::RerouteAdmitted { .. } => "reroute_admitted",
+            TraceEvent::RerouteQuarantined { .. } => "reroute_quarantined",
         }
     }
 

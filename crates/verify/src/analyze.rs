@@ -95,7 +95,14 @@ pub fn spin_bound(ring_len: usize, misroute_bound: u32) -> u64 {
 /// try Dally (acyclic), then Duato (escape VC), else enumerate rings and
 /// bound their recovery cost.
 pub fn analyze(topo: &Topology, routing: &dyn Routing, num_vcs: u8, ring_cap: usize) -> Analysis {
-    let derived = DerivedCdg::derive(topo, routing, num_vcs);
+    analyze_derived(DerivedCdg::derive(topo, routing, num_vcs), ring_cap)
+}
+
+/// Classifies an already-derived CDG (the fabric manager re-derives
+/// incrementally and classifies the result through this entry point; the
+/// verdict is identical to [`analyze`] on the same configuration).
+pub fn analyze_derived(derived: DerivedCdg, ring_cap: usize) -> Analysis {
+    let num_vcs = derived.num_vcs;
     let adj: Vec<Vec<usize>> = (0..derived.cdg.num_channels())
         .map(|i| derived.cdg.deps_of(i).to_vec())
         .collect();

@@ -31,6 +31,17 @@
 //! *pairing* of intermediates with destinations, which is safe: extra
 //! edges can only make the analysis more conservative, never certify a
 //! cyclic configuration acyclic.
+//!
+//! The derivation is factored into per-target [`TargetWalk`] artifacts
+//! (the recorded channel/dependency op stream, escape bookkeeping,
+//! visited-router set and Valiant arrivals of one walk) plus an assembly
+//! step that replays the artifacts in target order. Replaying reproduces
+//! the monolithic walk's channel interning order byte-for-byte, which is
+//! what lets the fabric manager (`crate::fabric`) re-walk only the targets
+//! a link kill/heal can affect and still assemble a CDG identical to a
+//! full re-derivation.
+//!
+//! [`RouteChoice`]: spin_routing::RouteChoice
 
 use crate::channel::Channel;
 use spin_deadlock::Cdg;
@@ -48,11 +59,284 @@ const GLOBAL_HOPS_CAP: u8 = 7;
 /// holding some VC in `held` (a bitmask; 0 means "still in the source NIC",
 /// which holds no network channel), having crossed `ghops` global links.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct WalkState {
-    router: RouterId,
-    port: PortId,
-    held: u32,
-    ghops: u8,
+pub(crate) struct WalkState {
+    pub(crate) router: RouterId,
+    pub(crate) port: PortId,
+    pub(crate) held: u32,
+    pub(crate) ghops: u8,
+}
+
+/// One recorded CDG mutation, in the exact order the monolithic walk would
+/// have issued it (first occurrence per target; duplicates intern nothing
+/// and are dropped at record time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalkOp {
+    /// An `add_channel` call.
+    Chan(Channel),
+    /// An `add_dependency` call (interns both endpoints).
+    Dep(Channel, Channel),
+}
+
+/// Everything one per-target walk contributes to a derived CDG, recorded
+/// so that assembly can replay it and the fabric manager can re-walk only
+/// the targets a topology change dirtied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TargetWalk {
+    /// The destination (or Valiant intermediate) this walk routed toward.
+    pub(crate) target: NodeId,
+    /// Channel/dependency ops in first-occurrence order.
+    pub(crate) ops: Vec<WalkOp>,
+    /// Per-VC bit: set when some reachable in-network state offered no
+    /// choice whose mask allows that VC.
+    pub(crate) escape_blocked: u32,
+    /// Per-VC escape sub-CDG contribution (see [`DerivedCdg`]).
+    pub(crate) escape_edges: Vec<BTreeSet<(Channel, Channel)>>,
+    /// Every router some expanded state sat at, plus the target's router.
+    /// A distance-local routing's answers along this walk depend only on
+    /// these routers' live port tables, so a link whose endpoints are both
+    /// outside this set cannot dirty the walk.
+    pub(crate) visited: BTreeSet<RouterId>,
+    /// Every state the walk expanded through `Routing::alternatives`, in
+    /// pop order. The incremental re-derivation re-queries the states at a
+    /// changed link's endpoint routers (old vs new topology) to decide
+    /// whether the walk is genuinely dirty.
+    pub(crate) expanded: Vec<WalkState>,
+    /// Valiant phase-boundary arrival states (pass-1 walks only).
+    pub(crate) arrivals: Vec<WalkState>,
+    /// Reachable states that had no live choice at all: no ejection and
+    /// every alternative either dead or VC-starved. Arises on degraded
+    /// topologies where some in-flight position lost every route, and on
+    /// intact ones whose VC ladder is shorter than the walk's reachable
+    /// hop depth (e.g. the 3-VC ghops-only dragonfly discipline).
+    pub(crate) stranded: u64,
+}
+
+/// The full set of per-target walks a derivation consists of. For ordinary
+/// routings only `pass2` (one walk per destination) is populated; Valiant
+/// routings also carry `pass1` (one walk per possible intermediate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Derivation {
+    /// Per-intermediate walks (Valiant pass 1; empty otherwise).
+    pub(crate) pass1: Vec<TargetWalk>,
+    /// Per-destination walks (the single pass for ordinary routings).
+    pub(crate) pass2: Vec<TargetWalk>,
+}
+
+impl Derivation {
+    /// Walks every target of `(topo, routing, num_vcs)` and returns the
+    /// recorded artifacts. Deterministic: targets in node index order,
+    /// FIFO frontier per walk.
+    pub(crate) fn walk_all(topo: &Topology, routing: &dyn Routing, num_vcs: u8) -> Derivation {
+        let nodes: Vec<NodeId> = (0..topo.num_nodes() as u32).map(NodeId).collect();
+        // The two-pass Valiant over-approximation is needed only when the
+        // misroute is a source-recorded intermediate the walk cannot see.
+        // Positional deroutes (full-mesh ascending deroutes) appear in
+        // `alternatives` directly, so the single pass covers them exactly —
+        // and the over-approximation would wrongly pair deroute arrival
+        // states with every destination, condemning a provably acyclic
+        // scheme.
+        if !routing.valiant_intermediate() {
+            let pass2 = nodes
+                .iter()
+                .map(|&t| walk_target(topo, routing, num_vcs, t, injection_seeds(topo, t), false))
+                .collect();
+            return Derivation {
+                pass1: Vec::new(),
+                pass2,
+            };
+        }
+        // Pass 1: arrival states per possible intermediate target.
+        let pass1: Vec<TargetWalk> = nodes
+            .iter()
+            .map(|&i| walk_target(topo, routing, num_vcs, i, injection_seeds(topo, i), true))
+            .collect();
+        // Pass 2: final phase toward each destination, seeded with direct
+        // injections plus every other intermediate's arrivals.
+        let pass2 = nodes
+            .iter()
+            .map(|&dst| {
+                let seeds = pass2_seeds(topo, &pass1, dst);
+                walk_target(topo, routing, num_vcs, dst, seeds, false)
+            })
+            .collect();
+        Derivation { pass1, pass2 }
+    }
+
+    /// Replays every walk's op stream in target order into a fresh CDG and
+    /// merges the escape/stranded bookkeeping — byte-identical to what the
+    /// monolithic walk would have built directly.
+    pub(crate) fn assemble(&self, num_vcs: u8, misroute_bound: u32) -> DerivedCdg {
+        let mut d = DerivedCdg {
+            cdg: Cdg::new(),
+            num_vcs,
+            misroute_bound,
+            stranded_states: 0,
+            escape_blocked: vec![false; num_vcs as usize],
+            escape_edges: vec![BTreeSet::new(); num_vcs as usize],
+        };
+        for w in self.pass1.iter().chain(self.pass2.iter()) {
+            for op in &w.ops {
+                match *op {
+                    WalkOp::Chan(c) => {
+                        d.cdg.add_channel(c);
+                    }
+                    WalkOp::Dep(a, b) => {
+                        d.cdg.add_dependency(a, b);
+                    }
+                }
+            }
+            for v in 0..num_vcs as usize {
+                if w.escape_blocked & (1 << v) != 0 {
+                    d.escape_blocked[v] = true;
+                }
+                d.escape_edges[v].extend(w.escape_edges[v].iter().copied());
+            }
+            d.stranded_states += w.stranded;
+        }
+        d
+    }
+}
+
+/// Pass-2 seeds for destination `dst`: direct injections plus every other
+/// intermediate's arrival states (those already at the destination router
+/// eject immediately and contribute nothing).
+pub(crate) fn pass2_seeds(topo: &Topology, pass1: &[TargetWalk], dst: NodeId) -> Vec<WalkState> {
+    let dst_router = topo.node_router(dst);
+    let mut seeds = injection_seeds(topo, dst);
+    for w in pass1 {
+        if w.target == dst {
+            continue;
+        }
+        seeds.extend(w.arrivals.iter().filter(|s| s.router != dst_router));
+    }
+    seeds
+}
+
+/// Walks all states toward `target`, recording channels and dependencies
+/// into a [`TargetWalk`]. With `collect_arrivals`, states reaching the
+/// target's router are collected (Valiant phase boundary) instead of being
+/// routed to ejection.
+pub(crate) fn walk_target(
+    topo: &Topology,
+    routing: &dyn Routing,
+    num_vcs: u8,
+    target: NodeId,
+    seeds: Vec<WalkState>,
+    collect_arrivals: bool,
+) -> TargetWalk {
+    let view = StaticView::new(topo, 1);
+    let tgt_router = topo.node_router(target);
+    let mut pkt = PacketBuilder::new(NodeId(0), target).build(0);
+    let mut seen: HashSet<WalkState> = HashSet::new();
+    let mut queue: VecDeque<WalkState> = VecDeque::new();
+    let mut w = TargetWalk {
+        target,
+        ops: Vec::new(),
+        escape_blocked: 0,
+        escape_edges: vec![BTreeSet::new(); num_vcs as usize],
+        visited: BTreeSet::new(),
+        expanded: Vec::new(),
+        arrivals: Vec::new(),
+        stranded: 0,
+    };
+    // The target router's port table always matters (ejection, and e.g.
+    // the full-mesh deroute scheme keys on the liveness of links into the
+    // destination), even if no expanded state sits there.
+    w.visited.insert(tgt_router);
+    let mut chan_seen: HashSet<Channel> = HashSet::new();
+    let mut dep_seen: HashSet<(Channel, Channel)> = HashSet::new();
+    for s in seeds {
+        if seen.insert(s) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        w.visited.insert(s.router);
+        if collect_arrivals && s.router == tgt_router {
+            if s.held != 0 {
+                w.arrivals.push(s);
+            }
+            continue;
+        }
+        w.expanded.push(s);
+        pkt.global_hops = s.ghops as u32;
+        let choices = routing.alternatives(&view, s.router, s.port, &pkt);
+        let mut escape_union = 0u32;
+        let mut ejecting = false;
+        for c in choices {
+            let out = topo.port(s.router, c.out_port);
+            if out.is_local() {
+                ejecting = true;
+                continue;
+            }
+            let Some(peer) = out.conn else {
+                continue; // unconnected or dead port: no dependence
+            };
+            let eff = mask_bits(c.vc_mask, num_vcs);
+            if eff == 0 {
+                continue; // no VC this choice could ever be granted
+            }
+            escape_union |= eff;
+            for v in bits(eff) {
+                let to = Channel {
+                    router: peer.router,
+                    port: peer.port,
+                    vc: v,
+                };
+                if chan_seen.insert(to) {
+                    w.ops.push(WalkOp::Chan(to));
+                }
+                for h in bits(s.held) {
+                    let from = Channel {
+                        router: s.router,
+                        port: s.port,
+                        vc: h,
+                    };
+                    if dep_seen.insert((from, to)) {
+                        w.ops.push(WalkOp::Dep(from, to));
+                    }
+                }
+                if s.held & (1 << v.0) != 0 {
+                    // A packet genuinely holding `v` here (the walk
+                    // tracks which VCs each buffer can be granted, so
+                    // e.g. escape channels are only reachable through
+                    // escape choices) may take this choice and request
+                    // `v` downstream: a direct escape→escape
+                    // dependency, the kind Duato's criterion counts.
+                    let from_esc = Channel {
+                        router: s.router,
+                        port: s.port,
+                        vc: v,
+                    };
+                    w.escape_edges[v.index()].insert((from_esc, to));
+                }
+            }
+            let crossed = topo.is_global_port(peer.router, peer.port);
+            let next = WalkState {
+                router: peer.router,
+                port: peer.port,
+                held: eff,
+                ghops: (s.ghops + u8::from(crossed)).min(GLOBAL_HOPS_CAP),
+            };
+            if seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+        if !ejecting && escape_union == 0 {
+            // No live choice whatsoever: a packet reaching this position
+            // on a degraded topology can neither advance nor eject. The
+            // fabric manager refuses to certify such a configuration.
+            w.stranded += 1;
+        }
+        if s.held != 0 && !ejecting {
+            for v in 0..num_vcs {
+                if escape_union & (1 << v) == 0 {
+                    w.escape_blocked |= 1 << v;
+                }
+            }
+        }
+    }
+    w
 }
 
 /// A CDG derived from `(Topology, Routing, VC count)`, plus the escape-path
@@ -65,6 +349,14 @@ pub struct DerivedCdg {
     pub num_vcs: u8,
     /// The routing's misroute bound `p` (0 = minimal).
     pub misroute_bound: u32,
+    /// Reachable walk states that offered no live routing choice at all
+    /// (neither ejection nor an intact onward link with a grantable VC).
+    /// Nonzero means some traffic position can wedge forever without ever
+    /// deadlocking, so no deadlock-freedom verdict is meaningful. Link
+    /// failures are the usual cause; an intact fabric can also strand when
+    /// its VC ladder is shorter than the walk's reachable hop depth (the
+    /// 3-VC ghops-only dragonfly discipline does exactly this).
+    pub stranded_states: u64,
     /// Per VC `v`: true if some reachable in-network state offered *no*
     /// choice whose mask allows `v` — `v` then cannot serve as a Duato
     /// escape VC.
@@ -81,149 +373,7 @@ impl DerivedCdg {
     /// frontier), so channel interning order and every edge list are
     /// reproducible byte-for-byte.
     pub fn derive(topo: &Topology, routing: &dyn Routing, num_vcs: u8) -> DerivedCdg {
-        let mut d = DerivedCdg {
-            cdg: Cdg::new(),
-            num_vcs,
-            misroute_bound: routing.misroute_bound(),
-            escape_blocked: vec![false; num_vcs as usize],
-            escape_edges: vec![BTreeSet::new(); num_vcs as usize],
-        };
-        let nodes: Vec<NodeId> = (0..topo.num_nodes() as u32).map(NodeId).collect();
-        // The two-pass Valiant over-approximation is needed only when the
-        // misroute is a source-recorded intermediate the walk cannot see.
-        // Positional deroutes (full-mesh ascending deroutes at the
-        // injection port) appear in `alternatives` directly, so the single
-        // pass covers them exactly — and the over-approximation would
-        // wrongly pair deroute arrival states with every destination,
-        // condemning a provably acyclic scheme.
-        if !routing.valiant_intermediate() {
-            for &t in &nodes {
-                d.walk(topo, routing, t, injection_seeds(topo, t), false);
-            }
-        } else {
-            // Pass 1: arrival states per possible intermediate target.
-            let arrivals: Vec<Vec<WalkState>> = nodes
-                .iter()
-                .map(|&i| d.walk(topo, routing, i, injection_seeds(topo, i), true))
-                .collect();
-            // Pass 2: final phase toward each destination, seeded with
-            // direct injections plus every other intermediate's arrivals.
-            for &dst in &nodes {
-                let dst_router = topo.node_router(dst);
-                let mut seeds = injection_seeds(topo, dst);
-                for (i, arr) in arrivals.iter().enumerate() {
-                    if NodeId(i as u32) == dst {
-                        continue;
-                    }
-                    // An intermediate on the destination router means the
-                    // final phase starts at the destination: immediate
-                    // ejection, no further dependencies.
-                    seeds.extend(arr.iter().filter(|s| s.router != dst_router));
-                }
-                d.walk(topo, routing, dst, seeds, false);
-            }
-        }
-        d
-    }
-
-    /// Walks all states toward `target`, recording channels and
-    /// dependencies. With `collect_arrivals`, states reaching the target's
-    /// router are returned (Valiant phase boundary) instead of being routed
-    /// to ejection.
-    fn walk(
-        &mut self,
-        topo: &Topology,
-        routing: &dyn Routing,
-        target: NodeId,
-        seeds: Vec<WalkState>,
-        collect_arrivals: bool,
-    ) -> Vec<WalkState> {
-        let view = StaticView::new(topo, 1);
-        let tgt_router = topo.node_router(target);
-        let mut pkt = PacketBuilder::new(NodeId(0), target).build(0);
-        let mut seen: HashSet<WalkState> = HashSet::new();
-        let mut queue: VecDeque<WalkState> = VecDeque::new();
-        let mut arrivals = Vec::new();
-        for s in seeds {
-            if seen.insert(s) {
-                queue.push_back(s);
-            }
-        }
-        while let Some(s) = queue.pop_front() {
-            if collect_arrivals && s.router == tgt_router {
-                if s.held != 0 {
-                    arrivals.push(s);
-                }
-                continue;
-            }
-            pkt.global_hops = s.ghops as u32;
-            let choices = routing.alternatives(&view, s.router, s.port, &pkt);
-            let mut escape_union = 0u32;
-            let mut ejecting = false;
-            for c in choices {
-                let out = topo.port(s.router, c.out_port);
-                if out.is_local() {
-                    ejecting = true;
-                    continue;
-                }
-                let Some(peer) = out.conn else {
-                    continue; // unconnected or dead port: no dependence
-                };
-                let eff = mask_bits(c.vc_mask, self.num_vcs);
-                if eff == 0 {
-                    continue; // no VC this choice could ever be granted
-                }
-                escape_union |= eff;
-                for v in bits(eff) {
-                    let to = Channel {
-                        router: peer.router,
-                        port: peer.port,
-                        vc: v,
-                    };
-                    self.cdg.add_channel(to);
-                    for h in bits(s.held) {
-                        let from = Channel {
-                            router: s.router,
-                            port: s.port,
-                            vc: h,
-                        };
-                        self.cdg.add_dependency(from, to);
-                    }
-                    if s.held & (1 << v.0) != 0 {
-                        // A packet genuinely holding `v` here (the walk
-                        // tracks which VCs each buffer can be granted, so
-                        // e.g. escape channels are only reachable through
-                        // escape choices) may take this choice and request
-                        // `v` downstream: a direct escape→escape
-                        // dependency, the kind Duato's criterion counts.
-                        let from_esc = Channel {
-                            router: s.router,
-                            port: s.port,
-                            vc: v,
-                        };
-                        self.escape_edges[v.index()].insert((from_esc, to));
-                    }
-                }
-                let crossed = topo.is_global_port(peer.router, peer.port);
-                let next = WalkState {
-                    router: peer.router,
-                    port: peer.port,
-                    held: eff,
-                    ghops: (s.ghops + u8::from(crossed)).min(GLOBAL_HOPS_CAP),
-                };
-                if seen.insert(next) {
-                    queue.push_back(next);
-                }
-            }
-            if s.held != 0 && !ejecting {
-                for v in 0..self.num_vcs {
-                    if escape_union & (1 << v) == 0 {
-                        self.escape_blocked[v as usize] = true;
-                    }
-                }
-            }
-        }
-        arrivals
+        Derivation::walk_all(topo, routing, num_vcs).assemble(num_vcs, routing.misroute_bound())
     }
 
     /// Whether VC `v` satisfies Duato's criterion as an escape channel:
@@ -240,13 +390,33 @@ impl DerivedCdg {
         }
         sub.is_acyclic()
     }
+
+    /// Structural equality: identical channel interning order, identical
+    /// per-channel dependency lists, and identical escape/stranded
+    /// bookkeeping. Deliberately order-sensitive — the fabric manager's
+    /// incremental re-derivation promises byte-for-byte the same assembly
+    /// a full re-derivation would produce, and the equivalence proptest
+    /// holds it to that.
+    pub fn same_structure(&self, other: &DerivedCdg) -> bool {
+        self.num_vcs == other.num_vcs
+            && self.misroute_bound == other.misroute_bound
+            && self.stranded_states == other.stranded_states
+            && self.escape_blocked == other.escape_blocked
+            && self.escape_edges == other.escape_edges
+            && self.cdg.num_channels() == other.cdg.num_channels()
+            && self.cdg.num_dependencies() == other.cdg.num_dependencies()
+            && (0..self.cdg.num_channels()).all(|i| {
+                self.cdg.channel(i) == other.cdg.channel(i)
+                    && self.cdg.deps_of(i) == other.cdg.deps_of(i)
+            })
+    }
 }
 
 /// Injection states toward `target`: one per source node, sitting in the
 /// source NIC (holding no network channel) at the source router's local
 /// attach port — which is also what the routing sees as `in_port` at
 /// injection time.
-fn injection_seeds(topo: &Topology, target: NodeId) -> Vec<WalkState> {
+pub(crate) fn injection_seeds(topo: &Topology, target: NodeId) -> Vec<WalkState> {
     (0..topo.num_nodes() as u32)
         .map(NodeId)
         .filter(|&n| n != target)
@@ -281,6 +451,7 @@ fn bits(bits: u32) -> impl Iterator<Item = VcId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spin_routing::{FavorsMinimal, XyRouting};
 
     #[test]
     fn mask_bits_respects_vc_count() {
@@ -294,5 +465,26 @@ mod tests {
     fn bit_iteration_ascends() {
         let vs: Vec<u8> = bits(0b1011).map(|v| v.0).collect();
         assert_eq!(vs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn same_structure_accepts_identical_and_rejects_different() {
+        let mesh = Topology::mesh(3, 3);
+        let a = DerivedCdg::derive(&mesh, &XyRouting, 1);
+        let b = DerivedCdg::derive(&mesh, &XyRouting, 1);
+        assert!(a.same_structure(&b));
+        let c = DerivedCdg::derive(&mesh, &FavorsMinimal, 1);
+        assert!(!a.same_structure(&c));
+    }
+
+    #[test]
+    fn intact_topologies_have_no_stranded_states() {
+        let mesh = Topology::mesh(4, 4);
+        assert_eq!(
+            DerivedCdg::derive(&mesh, &FavorsMinimal, 1).stranded_states,
+            0
+        );
+        let torus = Topology::torus(4, 4);
+        assert_eq!(DerivedCdg::derive(&torus, &XyRouting, 1).stranded_states, 0);
     }
 }

@@ -1,0 +1,833 @@
+//! The online fabric manager: incremental CDG re-certification as an
+//! admission check for fault-driven reroutes (`docs/FABRIC.md`).
+//!
+//! [`IncrementalDerivation`] keeps the per-target walk artifacts of
+//! `crate::derive` alive between topology changes. On a link kill/heal it
+//! re-walks only the *dirty* targets — those whose BFS distance column
+//! changed, whose target sits on an endpoint router of the changed link,
+//! or whose recorded walk states at an endpoint router now get a
+//! different [`Routing::alternatives`] answer — and re-assembles a
+//! [`DerivedCdg`] that is byte-identical to a full re-derivation
+//! (property-tested in `tests/incremental.rs`).
+//! The dirty criterion is sound only for routings that declare
+//! [`Routing::distance_local`]; everything else falls back to a full
+//! re-derivation, which is always correct and merely slower.
+//!
+//! [`FabricManager`] wraps the derivation into the simulator's
+//! [`FabricAdmission`] hook: each kill/heal is applied to the manager's
+//! topology mirror, re-certified through [`analyze_derived`], and either
+//! admitted (the verdict keeps the fabric deadlock-free or SPIN-certified)
+//! or rejected — in which case the mirror rolls back and the simulator
+//! quarantines the link. The manager also implements [`StaticModel`] over
+//! the **union of all admitted CDGs**, so a live wait-graph deadlock can
+//! never span channels no admitted epoch certified.
+
+use crate::analyze::{analyze_derived, spin_bound, Analysis, Classification};
+use crate::channel::Channel;
+use crate::derive::{
+    injection_seeds, pass2_seeds, walk_target, Derivation, DerivedCdg, TargetWalk,
+};
+use spin_deadlock::Cdg;
+use spin_routing::{Routing, StaticView};
+use spin_sim::{
+    AdmissionDecision, FabricAction, FabricAdmission, FabricEventReport, RingMember, StaticModel,
+};
+use spin_topology::{Topology, TopologyError};
+use spin_trace::FabricVerdict;
+use spin_types::{Cycle, NodeId, PacketBuilder, PortConn, PortId, RouterId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Per-node BFS distance columns: `columns[n][r]` is the hop distance from
+/// router `r` to node `n`'s router. A target's walk can only change when
+/// its column changes or the walk touched the changed link's endpoints.
+fn dist_columns(topo: &Topology) -> Vec<Vec<u32>> {
+    (0..topo.num_nodes() as u32)
+        .map(|n| {
+            let t = topo.node_router(NodeId(n));
+            (0..topo.num_routers() as u32)
+                .map(|r| topo.dist(RouterId(r), t))
+                .collect()
+        })
+        .collect()
+}
+
+/// How to revert the mirror topology of the last kill/heal.
+#[derive(Debug)]
+enum MirrorUndo {
+    /// The last event was a kill: restore the last-pushed dead link.
+    UnKill,
+    /// The last event was a heal of dead-list entry `idx`: re-fail it and
+    /// reinsert the entry at its old position (the simulator's heal lookup
+    /// is position-sensitive, so the mirror's list must match).
+    UnHeal {
+        idx: usize,
+        entry: (PortConn, PortConn, u32),
+    },
+}
+
+/// Saved state to roll back one rejected kill/heal.
+#[derive(Debug)]
+struct UndoState {
+    mirror: MirrorUndo,
+    pass1: Vec<(usize, TargetWalk)>,
+    pass2: Vec<(usize, TargetWalk)>,
+    dists: Vec<(usize, Vec<u32>)>,
+}
+
+/// A derivation kept alive across topology changes, re-walking only dirty
+/// targets per change (with a sound full-re-derivation fallback for
+/// routings that are not distance-local).
+pub struct IncrementalDerivation {
+    topo: Topology,
+    routing: Box<dyn Routing>,
+    num_vcs: u8,
+    valiant: bool,
+    incremental: bool,
+    walks: Derivation,
+    dists: Vec<Vec<u32>>,
+    dead: Vec<(PortConn, PortConn, u32)>,
+    undo: Option<UndoState>,
+}
+
+impl fmt::Debug for IncrementalDerivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IncrementalDerivation")
+            .field("topology", &self.topo.name())
+            .field("routing", &self.routing.name())
+            .field("num_vcs", &self.num_vcs)
+            .field("incremental", &self.incremental)
+            .field("dead_links", &self.dead.len())
+            .finish()
+    }
+}
+
+impl IncrementalDerivation {
+    /// Performs the initial full derivation for `(topo, routing, num_vcs)`
+    /// and snapshots the per-target artifacts and distance columns.
+    pub fn new(topo: Topology, mut routing: Box<dyn Routing>, num_vcs: u8) -> Self {
+        // Make sure precomputed routing tables (e.g. up*/down* levels)
+        // describe this exact mirror instance.
+        routing.on_topology_change(&topo);
+        let walks = Derivation::walk_all(&topo, routing.as_ref(), num_vcs);
+        let dists = dist_columns(&topo);
+        IncrementalDerivation {
+            valiant: routing.valiant_intermediate(),
+            incremental: routing.distance_local(),
+            topo,
+            routing,
+            num_vcs,
+            walks,
+            dists,
+            dead: Vec::new(),
+            undo: None,
+        }
+    }
+
+    /// The mirror topology (reflects every applied, not-undone change).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing instance the derivation walks.
+    pub fn routing(&self) -> &dyn Routing {
+        self.routing.as_ref()
+    }
+
+    /// Total walk targets (pass-1 intermediates + pass-2 destinations) —
+    /// the cost of one full re-derivation, for downtime reporting.
+    pub fn total_targets(&self) -> u64 {
+        (self.walks.pass1.len() + self.walks.pass2.len()) as u64
+    }
+
+    /// Whether changes re-walk only dirty targets (distance-local routing)
+    /// rather than falling back to full re-derivation.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Assembles the current derived CDG (cheap replay of the recorded
+    /// artifacts; no routing walks).
+    pub fn derived(&self) -> DerivedCdg {
+        self.walks
+            .assemble(self.num_vcs, self.routing.misroute_bound())
+    }
+
+    /// Kills the link at `(r, p)` on the mirror and re-derives the dirty
+    /// region. Returns the number of targets re-walked. The change can be
+    /// reverted with [`IncrementalDerivation::undo`] until the next event.
+    ///
+    /// # Errors
+    ///
+    /// Fails (with the mirror untouched) if `(r, p)` is not a live network
+    /// port or removing it would disconnect the network.
+    pub fn kill(&mut self, r: RouterId, p: PortId) -> Result<u64, TopologyError> {
+        let old_topo = self.topo.clone();
+        let (a, b, latency) = self.topo.fail_link(r, p)?;
+        self.dead.push((a, b, latency));
+        self.routing.on_topology_change(&self.topo);
+        Ok(self.rederive(&old_topo, a.router, b.router, MirrorUndo::UnKill))
+    }
+
+    /// Heals the dead link at `(r, p)` on the mirror (matched by either
+    /// endpoint, first match — the simulator's own lookup order) and
+    /// re-derives the dirty region. Returns the number of targets
+    /// re-walked; revert with [`IncrementalDerivation::undo`].
+    ///
+    /// # Errors
+    ///
+    /// Fails (with the mirror untouched) if no dead link matches `(r, p)`.
+    pub fn heal(&mut self, r: RouterId, p: PortId) -> Result<u64, TopologyError> {
+        let Some(idx) = self.dead.iter().position(|&(a, b, _)| {
+            (a.router == r && a.port == p) || (b.router == r && b.port == p)
+        }) else {
+            return Err(TopologyError::BadParameter(format!(
+                "({r}, {p}) is not an endpoint of any dead link"
+            )));
+        };
+        let old_topo = self.topo.clone();
+        let entry = self.dead[idx];
+        self.topo.restore_link(entry.0, entry.1, entry.2)?;
+        self.dead.remove(idx);
+        self.routing.on_topology_change(&self.topo);
+        Ok(self.rederive(
+            &old_topo,
+            entry.0.router,
+            entry.1.router,
+            MirrorUndo::UnHeal { idx, entry },
+        ))
+    }
+
+    /// Reverts the most recent not-yet-superseded [`kill`] or [`heal`]:
+    /// the mirror topology, routing tables, walk artifacts and distance
+    /// snapshots all return to their prior state. No-op if there is
+    /// nothing to revert.
+    ///
+    /// [`kill`]: IncrementalDerivation::kill
+    /// [`heal`]: IncrementalDerivation::heal
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded topology reversal fails — impossible unless
+    /// the mirror was corrupted, since it restores exactly the state the
+    /// forward step left.
+    pub fn undo(&mut self) {
+        let Some(u) = self.undo.take() else {
+            return;
+        };
+        match u.mirror {
+            MirrorUndo::UnKill => {
+                let (a, b, latency) = self.dead.pop().expect("kill pushed a dead-link entry");
+                self.topo
+                    .restore_link(a, b, latency)
+                    .expect("restoring the just-killed link cannot fail");
+            }
+            MirrorUndo::UnHeal { idx, entry } => {
+                self.topo
+                    .fail_link(entry.0.router, entry.0.port)
+                    .expect("re-failing the just-healed link cannot fail");
+                self.dead.insert(idx, entry);
+            }
+        }
+        self.routing.on_topology_change(&self.topo);
+        for (i, w) in u.pass1 {
+            self.walks.pass1[i] = w;
+        }
+        for (i, w) in u.pass2 {
+            self.walks.pass2[i] = w;
+        }
+        for (n, d) in u.dists {
+            self.dists[n] = d;
+        }
+    }
+
+    /// Re-walks every target dirtied by the change of the link between
+    /// routers `ra` and `rb`, updates the distance snapshots, and arms the
+    /// undo state. Returns the number of targets re-walked.
+    ///
+    /// A distance-local walk with an unchanged distance column can only
+    /// change if the routing's answer changes at one of its recorded
+    /// states — possible only at the changed link's endpoint routers,
+    /// whose port tables changed — or if the target itself lives on an
+    /// endpoint router (arrival handling reads the target router's
+    /// ports). Both are checked exactly: the recorded `expanded` states at
+    /// `ra`/`rb` are re-queried against the old and new topologies, and
+    /// identical answers everywhere mean an identical BFS expansion.
+    fn rederive(
+        &mut self,
+        old_topo: &Topology,
+        ra: RouterId,
+        rb: RouterId,
+        mirror: MirrorUndo,
+    ) -> u64 {
+        let new_dists = dist_columns(&self.topo);
+        let mut undo = UndoState {
+            mirror,
+            pass1: Vec::new(),
+            pass2: Vec::new(),
+            dists: Vec::new(),
+        };
+        let mut rewalked = 0u64;
+        if !self.incremental {
+            // Sound fallback: the routing's answers may depend on
+            // non-local state (spanning trees, coordinate tables), so
+            // every target is dirty by assumption.
+            let fresh = Derivation::walk_all(&self.topo, self.routing.as_ref(), self.num_vcs);
+            rewalked = (fresh.pass1.len() + fresh.pass2.len()) as u64;
+            let old = std::mem::replace(&mut self.walks, fresh);
+            undo.pass1 = old.pass1.into_iter().enumerate().collect();
+            undo.pass2 = old.pass2.into_iter().enumerate().collect();
+        } else {
+            let old_view = StaticView::new(old_topo, 1);
+            let new_view = StaticView::new(&self.topo, 1);
+            // Pass 1 (Valiant intermediates): re-walk dirty targets and
+            // watch for arrival-set changes, which re-seed every pass-2
+            // walk and therefore dirty them all.
+            let mut arrivals_changed = false;
+            for i in 0..self.walks.pass1.len() {
+                let w = &self.walks.pass1[i];
+                let t = w.target.index();
+                let tgt_router = self.topo.node_router(w.target);
+                let dirty = new_dists[t] != self.dists[t]
+                    || tgt_router == ra
+                    || tgt_router == rb
+                    || answers_changed(self.routing.as_ref(), &old_view, &new_view, w, ra, rb);
+                if !dirty {
+                    continue;
+                }
+                let fresh = walk_target(
+                    &self.topo,
+                    self.routing.as_ref(),
+                    self.num_vcs,
+                    w.target,
+                    injection_seeds(&self.topo, w.target),
+                    true,
+                );
+                arrivals_changed |= fresh.arrivals != w.arrivals;
+                undo.pass1
+                    .push((i, std::mem::replace(&mut self.walks.pass1[i], fresh)));
+                rewalked += 1;
+            }
+            for i in 0..self.walks.pass2.len() {
+                let w = &self.walks.pass2[i];
+                let t = w.target.index();
+                let tgt_router = self.topo.node_router(w.target);
+                let dirty = arrivals_changed
+                    || new_dists[t] != self.dists[t]
+                    || tgt_router == ra
+                    || tgt_router == rb
+                    || answers_changed(self.routing.as_ref(), &old_view, &new_view, w, ra, rb);
+                if !dirty {
+                    continue;
+                }
+                let seeds = if self.valiant {
+                    pass2_seeds(&self.topo, &self.walks.pass1, w.target)
+                } else {
+                    injection_seeds(&self.topo, w.target)
+                };
+                let fresh = walk_target(
+                    &self.topo,
+                    self.routing.as_ref(),
+                    self.num_vcs,
+                    w.target,
+                    seeds,
+                    false,
+                );
+                undo.pass2
+                    .push((i, std::mem::replace(&mut self.walks.pass2[i], fresh)));
+                rewalked += 1;
+            }
+        }
+        for (n, fresh_col) in new_dists.iter().enumerate() {
+            if self.dists[n] != *fresh_col {
+                undo.dists
+                    .push((n, std::mem::replace(&mut self.dists[n], fresh_col.clone())));
+            }
+        }
+        self.undo = Some(undo);
+        rewalked
+    }
+}
+
+/// True if the routing answers differently on the old vs new topology at
+/// any state the walk expanded on routers `ra`/`rb`. Distance-local
+/// routings are stateless over the topology, so re-querying the *old*
+/// view after the mirror changed is valid; and a walk whose recorded
+/// states all answer identically expands identically (induction over the
+/// BFS frontier), so it is provably clean. The `visited` set is a cheap
+/// superset pre-filter over the expanded states' routers.
+fn answers_changed(
+    routing: &dyn Routing,
+    old_view: &StaticView<'_>,
+    new_view: &StaticView<'_>,
+    w: &TargetWalk,
+    ra: RouterId,
+    rb: RouterId,
+) -> bool {
+    if !w.visited.contains(&ra) && !w.visited.contains(&rb) {
+        return false;
+    }
+    let mut pkt = PacketBuilder::new(NodeId(0), w.target).build(0);
+    w.expanded.iter().any(|s| {
+        if s.router != ra && s.router != rb {
+            return false;
+        }
+        pkt.global_hops = s.ghops as u32;
+        routing.alternatives(old_view, s.router, s.port, &pkt)
+            != routing.alternatives(new_view, s.router, s.port, &pkt)
+    })
+}
+
+/// Maps an analysis onto the admission verdict, under the configured
+/// recovery policy. Truncated ring enumeration **never** admits: a ring
+/// beyond the cap would carry an uncertified spin bound.
+fn verdict_of(a: &Analysis, recovery_certified: bool) -> FabricVerdict {
+    if a.derived.stranded_states > 0 {
+        return FabricVerdict::Stranded;
+    }
+    match a.classification {
+        Classification::DeadlockFree => FabricVerdict::DeadlockFree,
+        Classification::DeadlockFreeEscape { .. } => FabricVerdict::DeadlockFreeEscape,
+        Classification::RecoveryRequired => {
+            if a.rings_truncated {
+                FabricVerdict::UncertifiedTruncated
+            } else if recovery_certified {
+                FabricVerdict::CertifiedRecovery
+            } else {
+                FabricVerdict::UncertifiedNoRecovery
+            }
+        }
+    }
+}
+
+/// The online fabric manager: an [`IncrementalDerivation`] plus admission
+/// policy, event log, and the union-of-admitted-CDGs [`StaticModel`].
+pub struct FabricManager {
+    name: String,
+    inc: IncrementalDerivation,
+    recovery_certified: bool,
+    ring_cap: usize,
+    union_cdg: Cdg<Channel>,
+    union_cyclic: bool,
+    misroute_bound: u32,
+    initial: FabricVerdict,
+    events: Vec<FabricEventReport>,
+}
+
+impl fmt::Debug for FabricManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FabricManager")
+            .field("name", &self.name)
+            .field("initial", &self.initial.name())
+            .field("events", &self.events.len())
+            .field("union_channels", &self.union_cdg.num_channels())
+            .finish()
+    }
+}
+
+impl FabricManager {
+    /// Builds a manager for `(topo, routing, num_vcs)` under config `name`.
+    ///
+    /// `recovery_certified` declares whether the simulation runs a
+    /// recovery mechanism (SPIN) that the per-ring `m*p + (m-1)` bounds
+    /// certify; without it any cyclic verdict rejects. `ring_cap` caps
+    /// Johnson's enumeration exactly like the offline matrix
+    /// ([`crate::DEFAULT_RING_CAP`] is the standard).
+    ///
+    /// The initial (intact-fabric) configuration is analyzed immediately:
+    /// its verdict is reported by [`FabricManager::initial_verdict`] and
+    /// its CDG always seeds the union model — the network *is* running
+    /// this config, whatever the verdict says about it.
+    pub fn new(
+        name: impl Into<String>,
+        topo: Topology,
+        routing: Box<dyn Routing>,
+        num_vcs: u8,
+        recovery_certified: bool,
+        ring_cap: usize,
+    ) -> Self {
+        let inc = IncrementalDerivation::new(topo, routing, num_vcs);
+        let derived = inc.derived();
+        let misroute_bound = derived.misroute_bound;
+        let analysis = analyze_derived(derived, ring_cap);
+        let initial = verdict_of(&analysis, recovery_certified);
+        let mut m = FabricManager {
+            name: name.into(),
+            inc,
+            recovery_certified,
+            ring_cap,
+            union_cdg: Cdg::new(),
+            union_cyclic: false,
+            misroute_bound,
+            initial,
+            events: Vec::new(),
+        };
+        m.absorb(&analysis);
+        m
+    }
+
+    /// The verdict on the intact starting configuration.
+    pub fn initial_verdict(&self) -> FabricVerdict {
+        self.initial
+    }
+
+    /// The derivation driving admissions (e.g. for its topology mirror).
+    pub fn derivation(&self) -> &IncrementalDerivation {
+        &self.inc
+    }
+
+    /// Folds an admitted analysis' CDG into the union model.
+    fn absorb(&mut self, a: &Analysis) {
+        let cdg = &a.derived.cdg;
+        for i in 0..cdg.num_channels() {
+            let c = *cdg.channel(i);
+            self.union_cdg.add_channel(c);
+            for &j in cdg.deps_of(i) {
+                self.union_cdg.add_dependency(c, *cdg.channel(j));
+            }
+        }
+        self.union_cyclic = !self.union_cdg.is_acyclic();
+    }
+
+    /// One admission round: apply the change to the mirror, re-certify,
+    /// and admit (absorb) or reject (roll back).
+    fn admit(
+        &mut self,
+        now: Cycle,
+        action: FabricAction,
+        r: RouterId,
+        p: PortId,
+    ) -> AdmissionDecision {
+        let t0 = std::time::Instant::now();
+        let applied = match action {
+            FabricAction::Kill => self.inc.kill(r, p),
+            FabricAction::Heal => self.inc.heal(r, p),
+        };
+        let (verdict, rewalked, rings, max_bound) = match applied {
+            // The mirror refused the change outright (disconnecting kill,
+            // unknown heal target): traffic would be stranded, quarantine.
+            Err(_) => (FabricVerdict::Stranded, 0, 0, 0),
+            Ok(rewalked) => {
+                let analysis = analyze_derived(self.inc.derived(), self.ring_cap);
+                let v = verdict_of(&analysis, self.recovery_certified);
+                let rings = analysis.rings.len() as u64;
+                let bound = analysis.max_spin_bound().unwrap_or(0);
+                if v.admits() {
+                    self.absorb(&analysis);
+                } else {
+                    self.inc.undo();
+                }
+                (v, rewalked, rings, bound)
+            }
+        };
+        self.events.push(FabricEventReport {
+            at: now,
+            action,
+            router: r,
+            port: p,
+            admitted: verdict.admits(),
+            verdict,
+            targets_rewalked: rewalked,
+            total_targets: self.inc.total_targets(),
+            rings,
+            max_spin_bound: max_bound,
+            analysis_ns: t0.elapsed().as_nanos() as u64,
+        });
+        AdmissionDecision {
+            verdict,
+            targets_rewalked: rewalked,
+        }
+    }
+}
+
+impl FabricAdmission for FabricManager {
+    fn admit_kill(&mut self, now: Cycle, router: RouterId, port: PortId) -> AdmissionDecision {
+        self.admit(now, FabricAction::Kill, router, port)
+    }
+
+    fn admit_heal(&mut self, now: Cycle, router: RouterId, port: PortId) -> AdmissionDecision {
+        self.admit(now, FabricAction::Heal, router, port)
+    }
+
+    fn model(&self) -> &dyn StaticModel {
+        self
+    }
+
+    fn events(&self) -> &[FabricEventReport] {
+        &self.events
+    }
+}
+
+impl StaticModel for FabricManager {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check_members(&self, members: &[RingMember]) -> Result<(), String> {
+        // Check against the union of every admitted epoch's CDG: a
+        // deadlock may straddle a reconfiguration (packets that committed
+        // to routes under the previous tables), so membership in any
+        // admitted epoch is the sound requirement. The union is monotone —
+        // admitting never removes channels — so the check can only get
+        // more permissive, never wrongly reject a legal wait.
+        let mut idxs: BTreeSet<usize> = BTreeSet::new();
+        for m in members {
+            // The vnet is dropped: one CDG describes every vnet's
+            // identically-structured buffer pool.
+            let ch = Channel {
+                router: m.at.router,
+                port: m.at.port,
+                vc: m.at.vc,
+            };
+            match self.union_cdg.index_of(&ch) {
+                Some(i) => {
+                    idxs.insert(i);
+                }
+                None => {
+                    return Err(format!(
+                        "deadlocked buffer {ch} is not a channel of any admitted CDG"
+                    ))
+                }
+            }
+        }
+        let mut sub: Cdg<usize> = Cdg::new();
+        for &i in &idxs {
+            sub.add_channel(i);
+            for &j in self.union_cdg.deps_of(i) {
+                if idxs.contains(&j) {
+                    sub.add_dependency(i, j);
+                }
+            }
+        }
+        if sub.is_acyclic() {
+            return Err(format!(
+                "{} deadlocked buffers induce no cycle in the admitted CDG union",
+                idxs.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn spin_bound(&self, ring_len: usize) -> Option<u64> {
+        if self.union_cyclic {
+            Some(spin_bound(ring_len, self.misroute_bound))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_RING_CAP;
+    use spin_routing::{FavorsMinimal, FullMeshDeroute, Ugal, UpDown};
+
+    #[test]
+    fn incremental_kill_rewalks_fewer_targets_than_full() {
+        // Minimal routing on a full mesh is all direct hops, so killing
+        // r2<->r5 only dirties the two endpoint targets: every other
+        // target's distance column is unchanged and its recorded states at
+        // r2/r5 still get the same direct-port answer.
+        let topo = Topology::full_mesh(8, 1).unwrap();
+        let p = topo.full_mesh_port(RouterId(2), RouterId(5));
+        let mut inc = IncrementalDerivation::new(topo, Box::new(FavorsMinimal), 1);
+        assert!(inc.is_incremental());
+        let full = inc.total_targets();
+        let rewalked = inc.kill(RouterId(2), p).unwrap();
+        assert_eq!(rewalked, 2, "only the endpoint targets are dirty");
+        assert!(rewalked < full);
+        let fresh = DerivedCdg::derive(inc.topology(), inc.routing(), 1);
+        assert!(inc.derived().same_structure(&fresh));
+    }
+
+    #[test]
+    fn dense_dirty_region_still_matches_full_rederivation() {
+        // On a mesh every minimal path set can traverse any link, so the
+        // dirty region legitimately covers most targets — the invariant
+        // that matters is structural identity with a full re-derivation.
+        let topo = Topology::mesh(8, 8);
+        let mut inc = IncrementalDerivation::new(topo, Box::new(FavorsMinimal), 1);
+        let rewalked = inc.kill(RouterId(0), PortId(2)).unwrap();
+        assert!(rewalked > 0);
+        let fresh = DerivedCdg::derive(inc.topology(), inc.routing(), 1);
+        assert!(inc.derived().same_structure(&fresh));
+    }
+
+    #[test]
+    fn undo_restores_the_previous_structure() {
+        let topo = Topology::mesh(4, 4);
+        let mut inc = IncrementalDerivation::new(topo.clone(), Box::new(FavorsMinimal), 1);
+        let before = inc.derived();
+        inc.kill(RouterId(5), PortId(2)).unwrap();
+        inc.undo();
+        assert!(inc.derived().same_structure(&before));
+        let fresh = DerivedCdg::derive(&topo, &FavorsMinimal, 1);
+        assert!(inc.derived().same_structure(&fresh));
+    }
+
+    #[test]
+    fn non_distance_local_routing_falls_back_to_full_rederivation() {
+        let topo = Topology::mesh(4, 4);
+        let ud = UpDown::new(&topo);
+        let mut inc = IncrementalDerivation::new(topo, Box::new(ud), 1);
+        assert!(!inc.is_incremental());
+        let rewalked = inc.kill(RouterId(5), PortId(2)).unwrap();
+        assert_eq!(rewalked, inc.total_targets());
+        let fresh = DerivedCdg::derive(inc.topology(), inc.routing(), 1);
+        assert!(inc.derived().same_structure(&fresh));
+    }
+
+    #[test]
+    fn deadlock_free_kill_is_admitted() {
+        let topo = Topology::mesh(4, 4);
+        let ud = UpDown::new(&topo);
+        let mut m = FabricManager::new(
+            "mesh4x4/up_down/1vc",
+            topo,
+            Box::new(ud),
+            1,
+            false,
+            DEFAULT_RING_CAP,
+        );
+        assert_eq!(m.initial_verdict(), FabricVerdict::DeadlockFree);
+        let d = m.admit_kill(10, RouterId(5), PortId(2));
+        assert!(d.admitted());
+        assert_eq!(d.verdict, FabricVerdict::DeadlockFree);
+        assert_eq!(m.events().len(), 1);
+        assert!(m.events()[0].admitted);
+    }
+
+    #[test]
+    fn truncated_ring_enumeration_never_admits() {
+        // mesh4x4/favors_min exceeds the default ring cap: even with SPIN
+        // available the spin bound is uncertified, so the manager must
+        // quarantine rather than silently admit (satellite: Johnson's
+        // `truncated` flag surfaces end-to-end).
+        let topo = Topology::mesh(4, 4);
+        let mut m = FabricManager::new(
+            "mesh4x4/favors_min/1vc",
+            topo,
+            Box::new(FavorsMinimal),
+            1,
+            true,
+            DEFAULT_RING_CAP,
+        );
+        assert_eq!(m.initial_verdict(), FabricVerdict::UncertifiedTruncated);
+        let d = m.admit_kill(10, RouterId(5), PortId(2));
+        assert!(!d.admitted());
+        assert_eq!(d.verdict, FabricVerdict::UncertifiedTruncated);
+        // A raised cap certifies the same config (48-ring class): the
+        // truncation, not the rings, drove the rejection.
+        let topo = Topology::torus(2, 2);
+        let m2 = FabricManager::new(
+            "torus2x2/favors_min/1vc",
+            topo,
+            Box::new(FavorsMinimal),
+            1,
+            true,
+            DEFAULT_RING_CAP,
+        );
+        assert_eq!(m2.initial_verdict(), FabricVerdict::CertifiedRecovery);
+    }
+
+    #[test]
+    fn recovery_without_spin_is_uncertified() {
+        let topo = Topology::torus(2, 2);
+        let m = FabricManager::new(
+            "torus2x2/favors_min/1vc",
+            topo,
+            Box::new(FavorsMinimal),
+            1,
+            false,
+            DEFAULT_RING_CAP,
+        );
+        assert_eq!(m.initial_verdict(), FabricVerdict::UncertifiedNoRecovery);
+    }
+
+    #[test]
+    fn ugal_dally_intra_group_cycle_is_quarantined() {
+        // PR 5's finding as an admission case: ghops-only VC ordering
+        // leaves intra-group 2-cycles, so the dragonfly Dally baseline is
+        // recovery-required (girth 2) — with no recovery mechanism the
+        // manager quarantines every reconfiguration.
+        let topo = Topology::dragonfly(2, 4, 2, 9);
+        let mut m = FabricManager::new(
+            "dragonfly/ugal_dally/3vc",
+            topo,
+            Box::new(Ugal::dally_baseline()),
+            3,
+            false,
+            DEFAULT_RING_CAP,
+        );
+        assert!(!m.initial_verdict().admits());
+        // Kill an intra-group link (router 0, first local-group port).
+        let d = m.admit_kill(50, RouterId(0), PortId(2));
+        assert!(!d.admitted());
+        assert_eq!(m.events().len(), 1);
+        assert!(!m.events()[0].admitted);
+    }
+
+    #[test]
+    fn disconnecting_kill_is_refused_as_stranded() {
+        let topo = Topology::ring(4);
+        let mut m = FabricManager::new(
+            "ring4/xy",
+            topo.clone(),
+            Box::new(UpDown::new(&topo)),
+            1,
+            false,
+            DEFAULT_RING_CAP,
+        );
+        // Sever one ring link (fine), then the opposite one — which would
+        // split the ring and must come back Stranded without panicking.
+        let first = m.admit_kill(1, RouterId(0), PortId(1));
+        assert!(first.admitted());
+        let d = m.admit_kill(2, RouterId(2), PortId(1));
+        assert!(!d.admitted());
+        assert_eq!(d.verdict, FabricVerdict::Stranded);
+    }
+
+    #[test]
+    fn fullmesh_deroute_survives_kill_and_heal() {
+        let topo = Topology::full_mesh(8, 1).unwrap();
+        let mut m = FabricManager::new(
+            "fullmesh8/fm_deroute/1vc",
+            topo.clone(),
+            Box::new(FullMeshDeroute),
+            1,
+            false,
+            DEFAULT_RING_CAP,
+        );
+        assert_eq!(m.initial_verdict(), FabricVerdict::DeadlockFree);
+        let p = topo.full_mesh_port(RouterId(2), RouterId(5));
+        let kill = m.admit_kill(10, RouterId(2), p);
+        assert!(kill.admitted(), "got {:?}", kill.verdict);
+        let heal = m.admit_heal(20, RouterId(2), p);
+        assert!(heal.admitted(), "got {:?}", heal.verdict);
+        let fresh = DerivedCdg::derive(&topo, &FullMeshDeroute, 1);
+        assert!(m.derivation().derived().same_structure(&fresh));
+    }
+
+    #[test]
+    fn union_model_keeps_pre_reconfiguration_channels() {
+        // After an admitted kill the union still contains the healthy
+        // config's channels: a deadlock straddling the reconfiguration
+        // must keep mapping onto the model.
+        let topo = Topology::torus(2, 2);
+        let mut m = FabricManager::new(
+            "torus2x2/favors_min/1vc",
+            topo,
+            Box::new(FavorsMinimal),
+            1,
+            true,
+            DEFAULT_RING_CAP,
+        );
+        let before = m.union_cdg.num_channels();
+        let d = m.admit_kill(10, RouterId(0), PortId(1));
+        // Whatever the verdict, the union never shrinks.
+        assert!(m.union_cdg.num_channels() >= before);
+        assert!(m.spin_bound(4).is_some());
+        let _ = d;
+    }
+}

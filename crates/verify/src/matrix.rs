@@ -41,6 +41,18 @@ impl MatrixConfig {
         }
     }
 
+    /// Like [`MatrixConfig::new`] but suffixes the topology name with
+    /// `tag` — runtime `fail_link` surgery keeps the original name, so
+    /// degraded rows must disambiguate themselves.
+    fn tagged(tag: &str, topo: Topology, routing: impl Routing + 'static, num_vcs: u8) -> Self {
+        MatrixConfig {
+            name: format!("{}_{tag}/{}/{num_vcs}vc", topo.name(), routing.name()),
+            topo,
+            routing: Box::new(routing),
+            num_vcs,
+        }
+    }
+
     /// Runs the full static analysis for this configuration.
     pub fn analyze(&self) -> Analysis {
         analyze(
@@ -193,6 +205,43 @@ pub fn standard_configs() -> Vec<MatrixConfig> {
     let fm = || Topology::full_mesh(8, 1).expect("valid full-mesh parameters");
     out.push(MatrixConfig::new(fm(), FullMeshDeroute, 1));
     out.push(MatrixConfig::new(fm(), FavorsNonMinimal, 1));
+    // Degraded-fabric goldens: the same surgery the online fabric manager
+    // certifies, applied with runtime `fail_link` (which, unlike
+    // `with_failed_links`, keeps the topology kind so global-hop and
+    // direct-port disciplines still apply). The UGAL rows pin the
+    // before/after of the quarantined intra-group 2-cycle: the Dally
+    // discipline stays `recovery_required` on the degraded fabric too.
+    let df_deg = || {
+        let mut t = Topology::dragonfly(2, 4, 2, 9);
+        t.fail_link(RouterId(0), PortId(2))
+            .expect("intra-group link r0<->r1 is live");
+        t
+    };
+    out.push(MatrixConfig::tagged(
+        "degraded1",
+        df_deg(),
+        Ugal::dally_baseline(),
+        3,
+    ));
+    out.push(MatrixConfig::tagged(
+        "degraded1",
+        df_deg(),
+        Ugal::with_spin(),
+        1,
+    ));
+    let fm_deg = || {
+        let mut t = Topology::full_mesh(8, 1).expect("valid full-mesh parameters");
+        let p = t.full_mesh_port(RouterId(2), RouterId(5));
+        t.fail_link(RouterId(2), p)
+            .expect("direct link r2<->r5 is live");
+        t
+    };
+    out.push(MatrixConfig::tagged(
+        "degraded1",
+        fm_deg(),
+        FullMeshDeroute,
+        1,
+    ));
     out
 }
 
